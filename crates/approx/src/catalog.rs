@@ -1,0 +1,835 @@
+//! Calibrated per-application profiles used by the co-location simulator and the Pliant
+//! runtime.
+//!
+//! The design-space exploration over the Rust kernels (Fig. 1, odd rows) produces relative
+//! execution-time / inaccuracy curves, but the *co-location* experiments additionally need
+//! each application's shared-resource pressure (LLC footprint, memory bandwidth, CPU
+//! intensity), its nominal execution time on the paper's platform, and how each pareto
+//! variant changes that pressure. Those quantities came from hardware measurements in the
+//! paper; here they are encoded as a calibrated catalog whose qualitative characteristics
+//! follow the paper's descriptions:
+//!
+//! * canneal is LLC- and compute-heavy and has 4 admissible variants; its variants shorten
+//!   execution but only moderately reduce cache pressure (so memcached still needs cores).
+//! * water_spatial's variants barely reduce execution time and it suffers the highest
+//!   dynamic-instrumentation overhead.
+//! * SNP has 5 variants that are especially effective at reducing LLC pressure
+//!   (approximation alone satisfies memcached/MongoDB).
+//! * raytrace has only 2 admissible variants; Bayesian and PLSA have 8 each.
+//!
+//! An [`AppProfile`] can also be constructed from measured kernel data via
+//! [`AppProfile::with_variants`], which is what `pliant-explore` does when bridging the DSE
+//! results into the runtime.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::Suite;
+
+/// Identifier for each of the 24 approximate applications in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AppId {
+    Fluidanimate,
+    Canneal,
+    Raytrace,
+    WaterNsquared,
+    WaterSpatial,
+    Streamcluster,
+    Bayesian,
+    KMeans,
+    Birch,
+    Snp,
+    GeneNet,
+    FuzzyKMeans,
+    Semphy,
+    SvmRfe,
+    Plsa,
+    ScalParC,
+    Hmmer,
+    Blast,
+    Fasta,
+    Grappa,
+    ClustalW,
+    TCoffee,
+    Glimmer,
+    Ce,
+}
+
+impl AppId {
+    /// All 24 applications, in the order the paper's Fig. 5 x-axis lists them.
+    pub fn all() -> [AppId; 24] {
+        use AppId::*;
+        [
+            Fluidanimate,
+            Canneal,
+            Raytrace,
+            WaterNsquared,
+            WaterSpatial,
+            Streamcluster,
+            Bayesian,
+            KMeans,
+            Birch,
+            Snp,
+            GeneNet,
+            FuzzyKMeans,
+            Semphy,
+            SvmRfe,
+            Plsa,
+            ScalParC,
+            Hmmer,
+            Blast,
+            Fasta,
+            Grappa,
+            ClustalW,
+            TCoffee,
+            Glimmer,
+            Ce,
+        ]
+    }
+
+    /// Lower-case application name used in figures and output rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppId::Fluidanimate => "fluidanimate",
+            AppId::Canneal => "canneal",
+            AppId::Raytrace => "raytrace",
+            AppId::WaterNsquared => "water_nsquared",
+            AppId::WaterSpatial => "water_spatial",
+            AppId::Streamcluster => "streamcluster",
+            AppId::Bayesian => "bayesian",
+            AppId::KMeans => "kmeans",
+            AppId::Birch => "birch",
+            AppId::Snp => "snp",
+            AppId::GeneNet => "genenet",
+            AppId::FuzzyKMeans => "fuzzy_kmeans",
+            AppId::Semphy => "semphy",
+            AppId::SvmRfe => "svm_rfe",
+            AppId::Plsa => "plsa",
+            AppId::ScalParC => "scalparc",
+            AppId::Hmmer => "hmmer",
+            AppId::Blast => "blast",
+            AppId::Fasta => "fasta",
+            AppId::Grappa => "grappa",
+            AppId::ClustalW => "clustalw",
+            AppId::TCoffee => "tcoffee",
+            AppId::Glimmer => "glimmer",
+            AppId::Ce => "ce",
+        }
+    }
+
+    /// Benchmark suite the application is drawn from.
+    pub fn suite(&self) -> Suite {
+        match self {
+            AppId::Fluidanimate | AppId::Canneal | AppId::Streamcluster => Suite::Parsec,
+            AppId::Raytrace | AppId::WaterNsquared | AppId::WaterSpatial => Suite::Splash2,
+            AppId::Bayesian
+            | AppId::KMeans
+            | AppId::Birch
+            | AppId::Snp
+            | AppId::GeneNet
+            | AppId::FuzzyKMeans
+            | AppId::Semphy
+            | AppId::SvmRfe
+            | AppId::Plsa
+            | AppId::ScalParC => Suite::MineBench,
+            AppId::Hmmer
+            | AppId::Blast
+            | AppId::Fasta
+            | AppId::Grappa
+            | AppId::ClustalW
+            | AppId::TCoffee
+            | AppId::Glimmer
+            | AppId::Ce => Suite::BioPerf,
+        }
+    }
+}
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Shared-resource pressure an application exerts when running unconstrained (all of its
+/// allotted cores, precise mode).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourcePressure {
+    /// CPU intensity in `[0, 1]`: fraction of each allocated core it keeps busy.
+    pub cpu_intensity: f64,
+    /// Last-level-cache footprint in MiB.
+    pub llc_mb: f64,
+    /// Memory-bandwidth demand in GiB/s.
+    pub membw_gbps: f64,
+}
+
+impl ResourcePressure {
+    /// Creates a pressure descriptor.
+    pub fn new(cpu_intensity: f64, llc_mb: f64, membw_gbps: f64) -> Self {
+        Self {
+            cpu_intensity: cpu_intensity.clamp(0.0, 1.0),
+            llc_mb: llc_mb.max(0.0),
+            membw_gbps: membw_gbps.max(0.0),
+        }
+    }
+
+    /// Scales every pressure component by the given factors (used when a variant reduces
+    /// memory traffic).
+    pub fn scaled(&self, cpu: f64, llc: f64, membw: f64) -> Self {
+        Self::new(
+            self.cpu_intensity * cpu,
+            self.llc_mb * llc,
+            self.membw_gbps * membw,
+        )
+    }
+}
+
+/// One approximate variant of an application, ordered from closest-to-precise (index 0 in
+/// `AppProfile::variants`) to most aggressive (last index).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariantProfile {
+    /// Short label (e.g. "v3" or the knob description from the kernel DSE).
+    pub label: String,
+    /// Execution-time factor relative to precise execution on the same core count
+    /// (`< 1.0` means faster).
+    pub exec_time_factor: f64,
+    /// Output-quality loss in percent when the whole run uses this variant.
+    pub inaccuracy_pct: f64,
+    /// Multiplier on the LLC footprint versus precise execution (`< 1.0` = less pressure).
+    pub llc_factor: f64,
+    /// Multiplier on memory-bandwidth demand versus precise execution.
+    pub membw_factor: f64,
+}
+
+impl VariantProfile {
+    /// Creates a variant profile.
+    pub fn new(
+        label: impl Into<String>,
+        exec_time_factor: f64,
+        inaccuracy_pct: f64,
+        llc_factor: f64,
+        membw_factor: f64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            exec_time_factor: exec_time_factor.max(0.05),
+            inaccuracy_pct: inaccuracy_pct.max(0.0),
+            llc_factor: llc_factor.clamp(0.05, 1.5),
+            membw_factor: membw_factor.clamp(0.05, 1.5),
+        }
+    }
+}
+
+/// Complete runtime profile of one approximate application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Which application this profile describes.
+    pub id: AppId,
+    /// Execution time in seconds when running precisely with a fair core allocation and no
+    /// co-runner interference (the "nominal execution time" the user supplies to Pliant).
+    pub nominal_exec_time_s: f64,
+    /// Shared-resource pressure in precise mode.
+    pub pressure: ResourcePressure,
+    /// Ordered approximate variants (closest-to-precise first).
+    pub variants: Vec<VariantProfile>,
+    /// Parallel efficiency exponent: speedup from `c` cores is `c^parallel_efficiency`.
+    pub parallel_efficiency: f64,
+    /// Mean execution-time overhead of running under the dynamic-recompilation tool
+    /// (DynamoRIO in the paper), as a fraction (0.038 = 3.8%).
+    pub instrumentation_overhead: f64,
+    /// Maximum output-quality loss the user tolerates, in percent (5% in the paper).
+    pub quality_threshold_pct: f64,
+}
+
+impl AppProfile {
+    /// Number of approximate variants (excluding precise execution).
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// The variant at `index`, where `index == 0` is closest to precise. Returns `None`
+    /// for out-of-range indices.
+    pub fn variant(&self, index: usize) -> Option<&VariantProfile> {
+        self.variants.get(index)
+    }
+
+    /// Index of the most aggressive variant, or `None` when the application has no
+    /// admissible variants.
+    pub fn most_approximate(&self) -> Option<usize> {
+        if self.variants.is_empty() {
+            None
+        } else {
+            Some(self.variants.len() - 1)
+        }
+    }
+
+    /// Replaces the variant table (used when bridging measured DSE results into a profile).
+    pub fn with_variants(mut self, variants: Vec<VariantProfile>) -> Self {
+        self.variants = variants;
+        self
+    }
+
+    /// Resource pressure when running the given variant (`None` = precise).
+    pub fn pressure_at(&self, variant: Option<usize>) -> ResourcePressure {
+        match variant.and_then(|v| self.variants.get(v)) {
+            None => self.pressure,
+            Some(v) => self.pressure.scaled(1.0, v.llc_factor, v.membw_factor),
+        }
+    }
+
+    /// Execution-time factor of the given variant (`None`/out-of-range = 1.0, precise).
+    pub fn exec_factor_at(&self, variant: Option<usize>) -> f64 {
+        variant
+            .and_then(|v| self.variants.get(v))
+            .map_or(1.0, |v| v.exec_time_factor)
+    }
+
+    /// Inaccuracy in percent of the given variant (`None` = 0.0).
+    pub fn inaccuracy_at(&self, variant: Option<usize>) -> f64 {
+        variant
+            .and_then(|v| self.variants.get(v))
+            .map_or(0.0, |v| v.inaccuracy_pct)
+    }
+}
+
+/// Builds a variant table from `(exec_time_factor, inaccuracy_pct, llc_factor,
+/// membw_factor)` tuples, labelling them `v1..vN`.
+fn variants(table: &[(f64, f64, f64, f64)]) -> Vec<VariantProfile> {
+    table
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, q, l, b))| VariantProfile::new(format!("v{}", i + 1), t, q, l, b))
+        .collect()
+}
+
+/// The catalog of all 24 calibrated application profiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    profiles: Vec<AppProfile>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+impl Catalog {
+    /// Builds a catalog from an explicit list of profiles (used to bridge design-space
+    /// exploration results, or to pin an application to a specific variant subset in the
+    /// figure harnesses).
+    pub fn from_profiles(profiles: Vec<AppProfile>) -> Self {
+        Self { profiles }
+    }
+
+    /// Builds the paper-calibrated catalog.
+    pub fn paper_calibrated() -> Self {
+        let mk = |id: AppId,
+                  exec_s: f64,
+                  pressure: ResourcePressure,
+                  table: &[(f64, f64, f64, f64)],
+                  par_eff: f64,
+                  overhead: f64| AppProfile {
+            id,
+            nominal_exec_time_s: exec_s,
+            pressure,
+            variants: variants(table),
+            parallel_efficiency: par_eff,
+            instrumentation_overhead: overhead,
+            quality_threshold_pct: 5.0,
+        };
+
+        let profiles = vec![
+            // fluidanimate: compute-heavy, moderate cache, 4 variants.
+            mk(
+                AppId::Fluidanimate,
+                38.0,
+                ResourcePressure::new(0.95, 14.0, 9.0),
+                &[
+                    (0.93, 0.4, 0.95, 0.92),
+                    (0.82, 1.1, 0.85, 0.80),
+                    (0.68, 2.3, 0.72, 0.66),
+                    (0.55, 3.9, 0.60, 0.52),
+                ],
+                0.88,
+                0.032,
+            ),
+            // canneal: LLC- and compute-heavy; 4 variants; variants shorten execution but
+            // only moderately reduce cache pressure.
+            mk(
+                AppId::Canneal,
+                42.0,
+                ResourcePressure::new(0.90, 30.0, 16.0),
+                &[
+                    (0.90, 1.0, 0.97, 0.93),
+                    (0.78, 2.2, 0.93, 0.85),
+                    (0.64, 3.6, 0.88, 0.76),
+                    (0.52, 5.0, 0.84, 0.68),
+                ],
+                0.85,
+                0.041,
+            ),
+            // raytrace: only 2 admissible variants; phase-dependent compute/LLC pressure.
+            mk(
+                AppId::Raytrace,
+                26.0,
+                ResourcePressure::new(0.92, 15.0, 8.0),
+                &[(0.80, 0.05, 0.88, 0.84), (0.58, 0.1, 0.70, 0.62)],
+                0.90,
+                0.035,
+            ),
+            // water_nsquared: compute-bound; approximation shortens runtime but does not
+            // substantially cut shared-resource pressure.
+            mk(
+                AppId::WaterNsquared,
+                35.0,
+                ResourcePressure::new(0.97, 8.0, 6.0),
+                &[
+                    (0.88, 0.8, 0.98, 0.95),
+                    (0.72, 1.7, 0.95, 0.90),
+                    (0.55, 3.4, 0.92, 0.85),
+                ],
+                0.92,
+                0.030,
+            ),
+            // water_spatial: variants barely reduce execution time (near-vertical Fig. 1
+            // line) and instrumentation overhead is the highest of all applications.
+            mk(
+                AppId::WaterSpatial,
+                33.0,
+                ResourcePressure::new(0.94, 16.0, 11.0),
+                &[
+                    (0.985, 0.6, 0.97, 0.95),
+                    (0.97, 1.6, 0.94, 0.91),
+                    (0.955, 3.0, 0.91, 0.88),
+                    (0.94, 5.0, 0.89, 0.85),
+                ],
+                0.90,
+                0.089,
+            ),
+            // streamcluster: memory-bandwidth heavy; 5 variants.
+            mk(
+                AppId::Streamcluster,
+                40.0,
+                ResourcePressure::new(0.88, 26.0, 22.0),
+                &[
+                    (0.92, 0.7, 0.90, 0.88),
+                    (0.80, 1.5, 0.80, 0.74),
+                    (0.68, 2.5, 0.70, 0.62),
+                    (0.57, 3.8, 0.62, 0.52),
+                    (0.46, 4.9, 0.55, 0.44),
+                ],
+                0.86,
+                0.037,
+            ),
+            // Bayesian: very rich design space (8 pareto variants).
+            mk(
+                AppId::Bayesian,
+                52.0,
+                ResourcePressure::new(0.85, 18.0, 14.0),
+                &[
+                    (0.95, 0.3, 0.96, 0.94),
+                    (0.88, 0.6, 0.91, 0.88),
+                    (0.81, 1.0, 0.86, 0.81),
+                    (0.74, 1.5, 0.81, 0.75),
+                    (0.67, 2.1, 0.76, 0.68),
+                    (0.60, 2.8, 0.71, 0.61),
+                    (0.52, 3.7, 0.65, 0.54),
+                    (0.44, 4.8, 0.58, 0.46),
+                ],
+                0.87,
+                0.033,
+            ),
+            // K-means: iterative; approximation alone often not enough with NGINX.
+            mk(
+                AppId::KMeans,
+                36.0,
+                ResourcePressure::new(0.92, 22.0, 19.0),
+                &[
+                    (0.90, 0.9, 0.93, 0.90),
+                    (0.78, 1.7, 0.86, 0.80),
+                    (0.64, 2.6, 0.78, 0.69),
+                    (0.53, 3.4, 0.70, 0.58),
+                ],
+                0.89,
+                0.034,
+            ),
+            // BIRCH: streaming inserts, cache-resident CF tree.
+            mk(
+                AppId::Birch,
+                31.0,
+                ResourcePressure::new(0.82, 20.0, 15.0),
+                &[
+                    (0.91, 0.9, 0.88, 0.86),
+                    (0.79, 1.8, 0.78, 0.72),
+                    (0.66, 2.8, 0.68, 0.60),
+                    (0.56, 3.8, 0.60, 0.50),
+                ],
+                0.84,
+                0.036,
+            ),
+            // SNP: 5 variants; synchronization elision + perforation are unusually
+            // effective at cutting LLC pressure.
+            mk(
+                AppId::Snp,
+                44.0,
+                ResourcePressure::new(0.86, 24.0, 17.0),
+                &[
+                    (0.93, 0.5, 0.80, 0.82),
+                    (0.85, 1.1, 0.63, 0.68),
+                    (0.76, 1.8, 0.48, 0.54),
+                    (0.68, 2.7, 0.36, 0.42),
+                    (0.60, 3.8, 0.26, 0.32),
+                ],
+                0.86,
+                0.031,
+            ),
+            // GeneNet: pairwise correlation; moderate pressure, 4 variants.
+            mk(
+                AppId::GeneNet,
+                39.0,
+                ResourcePressure::new(0.84, 16.0, 12.0),
+                &[
+                    (0.92, 0.8, 0.90, 0.89),
+                    (0.80, 1.6, 0.82, 0.78),
+                    (0.67, 2.5, 0.73, 0.66),
+                    (0.55, 3.4, 0.64, 0.55),
+                ],
+                0.85,
+                0.032,
+            ),
+            // Fuzzy K-means: like kmeans but heavier per-point arithmetic.
+            mk(
+                AppId::FuzzyKMeans,
+                41.0,
+                ResourcePressure::new(0.93, 23.0, 20.0),
+                &[
+                    (0.91, 0.6, 0.92, 0.90),
+                    (0.80, 1.2, 0.85, 0.80),
+                    (0.67, 2.0, 0.76, 0.68),
+                    (0.56, 2.9, 0.68, 0.57),
+                    (0.47, 4.1, 0.60, 0.47),
+                ],
+                0.88,
+                0.034,
+            ),
+            // SEMPHY: phylogenetic EM; approximation alone often insufficient with NGINX.
+            mk(
+                AppId::Semphy,
+                48.0,
+                ResourcePressure::new(0.90, 19.0, 13.0),
+                &[
+                    (0.92, 0.7, 0.94, 0.92),
+                    (0.82, 1.5, 0.89, 0.85),
+                    (0.71, 2.4, 0.83, 0.77),
+                    (0.61, 3.3, 0.77, 0.69),
+                    (0.52, 4.3, 0.71, 0.61),
+                ],
+                0.87,
+                0.038,
+            ),
+            // SVM-RFE: repeated training rounds; 4 variants.
+            mk(
+                AppId::SvmRfe,
+                45.0,
+                ResourcePressure::new(0.89, 17.0, 15.0),
+                &[
+                    (0.90, 0.9, 0.92, 0.89),
+                    (0.78, 1.9, 0.84, 0.78),
+                    (0.66, 2.9, 0.75, 0.66),
+                    (0.56, 3.9, 0.67, 0.56),
+                ],
+                0.86,
+                0.035,
+            ),
+            // PLSA: 8 variants, rich space; EM over a large matrix (bandwidth-heavy), and
+            // one of the workloads that needs core reclamation at high load.
+            mk(
+                AppId::Plsa,
+                50.0,
+                ResourcePressure::new(0.88, 25.0, 21.0),
+                &[
+                    (0.96, 0.2, 0.97, 0.95),
+                    (0.90, 0.5, 0.93, 0.90),
+                    (0.84, 0.9, 0.88, 0.84),
+                    (0.78, 1.3, 0.84, 0.78),
+                    (0.72, 1.8, 0.79, 0.72),
+                    (0.66, 2.4, 0.74, 0.66),
+                    (0.59, 3.1, 0.69, 0.59),
+                    (0.52, 4.0, 0.63, 0.52),
+                ],
+                0.87,
+                0.036,
+            ),
+            // ScalParC: decision-tree growth; 4 variants.
+            mk(
+                AppId::ScalParC,
+                34.0,
+                ResourcePressure::new(0.87, 21.0, 18.0),
+                &[
+                    (0.92, 0.5, 0.90, 0.88),
+                    (0.81, 1.1, 0.82, 0.77),
+                    (0.70, 1.9, 0.73, 0.66),
+                    (0.61, 2.8, 0.66, 0.56),
+                ],
+                0.85,
+                0.033,
+            ),
+            // Hmmer: Viterbi scoring, compute-bound; 4 variants.
+            mk(
+                AppId::Hmmer,
+                37.0,
+                ResourcePressure::new(0.94, 15.0, 9.0),
+                &[
+                    (0.91, 0.6, 0.93, 0.91),
+                    (0.80, 1.3, 0.86, 0.82),
+                    (0.69, 2.2, 0.79, 0.72),
+                    (0.59, 3.1, 0.72, 0.62),
+                ],
+                0.90,
+                0.030,
+            ),
+            // Blast: seed-and-extend; cache-friendly seeds, 4 variants.
+            mk(
+                AppId::Blast,
+                32.0,
+                ResourcePressure::new(0.90, 15.0, 11.0),
+                &[
+                    (0.90, 0.7, 0.90, 0.88),
+                    (0.79, 1.5, 0.82, 0.77),
+                    (0.68, 2.4, 0.74, 0.66),
+                    (0.58, 3.1, 0.67, 0.56),
+                ],
+                0.88,
+                0.031,
+            ),
+            // Fasta: banded alignment; 4 variants.
+            mk(
+                AppId::Fasta,
+                30.0,
+                ResourcePressure::new(0.91, 14.0, 10.0),
+                &[
+                    (0.92, 0.5, 0.91, 0.89),
+                    (0.82, 1.1, 0.84, 0.79),
+                    (0.72, 1.9, 0.76, 0.68),
+                    (0.63, 2.6, 0.69, 0.58),
+                ],
+                0.89,
+                0.029,
+            ),
+            // GRAPPA: combinatorial search; 4 variants.
+            mk(
+                AppId::Grappa,
+                43.0,
+                ResourcePressure::new(0.93, 11.0, 8.0),
+                &[
+                    (0.93, 0.9, 0.95, 0.93),
+                    (0.83, 1.9, 0.90, 0.86),
+                    (0.73, 3.0, 0.84, 0.78),
+                    (0.63, 4.4, 0.78, 0.70),
+                ],
+                0.88,
+                0.033,
+            ),
+            // ClustalW: pairwise alignment matrix; 4 variants.
+            mk(
+                AppId::ClustalW,
+                46.0,
+                ResourcePressure::new(0.89, 18.0, 13.0),
+                &[
+                    (0.90, 0.4, 0.89, 0.87),
+                    (0.78, 0.9, 0.80, 0.75),
+                    (0.66, 1.6, 0.71, 0.63),
+                    (0.55, 2.1, 0.63, 0.52),
+                ],
+                0.87,
+                0.034,
+            ),
+            // T-Coffee: consistency extension; 4 variants.
+            mk(
+                AppId::TCoffee,
+                49.0,
+                ResourcePressure::new(0.88, 19.0, 14.0),
+                &[
+                    (0.91, 0.6, 0.90, 0.88),
+                    (0.80, 1.3, 0.82, 0.77),
+                    (0.69, 2.2, 0.73, 0.65),
+                    (0.58, 3.1, 0.65, 0.54),
+                ],
+                0.86,
+                0.037,
+            ),
+            // Glimmer: IMM scoring; 4 variants.
+            mk(
+                AppId::Glimmer,
+                29.0,
+                ResourcePressure::new(0.85, 16.0, 12.0),
+                &[
+                    (0.92, 0.8, 0.88, 0.86),
+                    (0.81, 1.8, 0.79, 0.74),
+                    (0.70, 2.9, 0.70, 0.62),
+                    (0.60, 4.0, 0.62, 0.52),
+                ],
+                0.85,
+                0.032,
+            ),
+            // CE: structural alignment; 4 variants.
+            mk(
+                AppId::Ce,
+                35.0,
+                ResourcePressure::new(0.92, 12.0, 9.0),
+                &[
+                    (0.91, 0.5, 0.92, 0.90),
+                    (0.81, 1.1, 0.85, 0.80),
+                    (0.70, 1.8, 0.77, 0.69),
+                    (0.61, 2.3, 0.70, 0.60),
+                ],
+                0.89,
+                0.030,
+            ),
+        ];
+        Self { profiles }
+    }
+
+    /// Profile of an application.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: every `AppId` has a profile in the default catalog. (If a custom
+    /// catalog is constructed without one, this returns `None`.)
+    pub fn profile(&self, id: AppId) -> Option<&AppProfile> {
+        self.profiles.iter().find(|p| p.id == id)
+    }
+
+    /// All profiles, in Fig. 5 order.
+    pub fn profiles(&self) -> &[AppProfile] {
+        &self.profiles
+    }
+
+    /// Number of profiles in the catalog.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_24_applications() {
+        let cat = Catalog::default();
+        assert_eq!(cat.len(), 24);
+        for app in AppId::all() {
+            assert!(cat.profile(app).is_some(), "{app} missing from catalog");
+        }
+    }
+
+    #[test]
+    fn paper_variant_counts_are_respected() {
+        let cat = Catalog::default();
+        assert_eq!(cat.profile(AppId::Canneal).unwrap().variant_count(), 4);
+        assert_eq!(cat.profile(AppId::Raytrace).unwrap().variant_count(), 2);
+        assert_eq!(cat.profile(AppId::Bayesian).unwrap().variant_count(), 8);
+        assert_eq!(cat.profile(AppId::Plsa).unwrap().variant_count(), 8);
+        assert_eq!(cat.profile(AppId::Snp).unwrap().variant_count(), 5);
+    }
+
+    #[test]
+    fn variants_are_ordered_most_precise_first() {
+        let cat = Catalog::default();
+        for p in cat.profiles() {
+            for w in p.variants.windows(2) {
+                assert!(
+                    w[0].exec_time_factor >= w[1].exec_time_factor,
+                    "{}: execution-time factors must decrease toward more aggressive variants",
+                    p.id
+                );
+                assert!(
+                    w[0].inaccuracy_pct <= w[1].inaccuracy_pct,
+                    "{}: inaccuracy must increase toward more aggressive variants",
+                    p.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inaccuracy_stays_within_the_5pct_threshold() {
+        let cat = Catalog::default();
+        for p in cat.profiles() {
+            for v in &p.variants {
+                assert!(
+                    v.inaccuracy_pct <= p.quality_threshold_pct + 1e-9,
+                    "{} variant {} exceeds the quality threshold",
+                    p.id,
+                    v.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn water_spatial_variants_barely_change_execution_time() {
+        let cat = Catalog::default();
+        let ws = cat.profile(AppId::WaterSpatial).unwrap();
+        let most = ws.variants.last().unwrap();
+        assert!(most.exec_time_factor > 0.9, "water_spatial must stay near-vertical in Fig. 1");
+        assert!(ws.instrumentation_overhead > 0.08, "water_spatial has the worst DynamoRIO overhead");
+    }
+
+    #[test]
+    fn snp_variants_cut_llc_pressure_sharply() {
+        let cat = Catalog::default();
+        let snp = cat.profile(AppId::Snp).unwrap();
+        let most = snp.variants.last().unwrap();
+        assert!(most.llc_factor < 0.4, "SNP's most aggressive variant must slash LLC pressure");
+    }
+
+    #[test]
+    fn pressure_at_and_exec_factor_at_behave() {
+        let cat = Catalog::default();
+        let canneal = cat.profile(AppId::Canneal).unwrap();
+        let precise = canneal.pressure_at(None);
+        let most = canneal.pressure_at(canneal.most_approximate());
+        assert!(most.llc_mb < precise.llc_mb);
+        assert_eq!(canneal.exec_factor_at(None), 1.0);
+        assert!(canneal.exec_factor_at(Some(0)) < 1.0);
+        assert_eq!(canneal.inaccuracy_at(None), 0.0);
+        assert!(canneal.inaccuracy_at(canneal.most_approximate()) > 0.0);
+        // Out-of-range variants behave like precise.
+        assert_eq!(canneal.exec_factor_at(Some(99)), 1.0);
+    }
+
+    #[test]
+    fn instrumentation_overhead_matches_paper_statistics() {
+        let cat = Catalog::default();
+        let mean: f64 = cat
+            .profiles()
+            .iter()
+            .map(|p| p.instrumentation_overhead)
+            .sum::<f64>()
+            / cat.len() as f64;
+        let max = cat
+            .profiles()
+            .iter()
+            .map(|p| p.instrumentation_overhead)
+            .fold(0.0f64, f64::max);
+        assert!((mean - 0.038).abs() < 0.01, "mean overhead {mean} should be ~3.8%");
+        assert!((max - 0.089).abs() < 0.005, "max overhead {max} should be ~8.9%");
+    }
+
+    #[test]
+    fn app_display_and_suite() {
+        assert_eq!(AppId::WaterNsquared.to_string(), "water_nsquared");
+        assert_eq!(AppId::Canneal.suite(), Suite::Parsec);
+        assert_eq!(AppId::Raytrace.suite(), Suite::Splash2);
+        assert_eq!(AppId::Plsa.suite(), Suite::MineBench);
+        assert_eq!(AppId::Hmmer.suite(), Suite::BioPerf);
+        assert_eq!(AppId::all().len(), 24);
+    }
+}

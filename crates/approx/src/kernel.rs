@@ -1,0 +1,342 @@
+//! Kernel abstraction shared by all 24 approximate applications.
+//!
+//! A kernel is a self-contained computation with (a) a deterministic synthetic input
+//! generated from a seed, (b) a set of approximation knobs (perforable loops, precision,
+//! synchronization elision, input sampling), and (c) a quality metric that compares an
+//! approximate output against the precise output of the same input.
+//!
+//! The design-space exploration (`pliant-explore`) drives kernels through their
+//! [`ApproxKernel::candidate_configs`] and measures, for each configuration, the work
+//! performed (a proxy for execution time) and the output inaccuracy — regenerating the
+//! odd rows of the paper's Fig. 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::techniques::{Perforation, Precision, SyncElision};
+
+/// Identifier of a perforable site (loop) inside a kernel.
+pub type SiteId = u32;
+
+/// A complete approximation configuration for one kernel run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ApproxConfig {
+    /// Perforation applied to each perforable site. Sites not listed run precisely.
+    pub perforations: Vec<(SiteId, Perforation)>,
+    /// Precision of the kernel's core floating-point data.
+    pub precision: Precision,
+    /// Synchronization-elision setting for iterative shared-state updates.
+    pub sync: SyncElision,
+    /// Optional input sampling: keep this fraction of the input items (1.0 = all).
+    pub input_sampling: Option<f64>,
+    /// Human-readable label (e.g. "perf(site0,×4)+f32"); filled by config builders.
+    pub label: String,
+}
+
+impl ApproxConfig {
+    /// The precise configuration: no perforation, full precision, no elision, full input.
+    pub fn precise() -> Self {
+        Self {
+            label: "precise".to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Whether this configuration performs any approximation at all.
+    pub fn is_precise(&self) -> bool {
+        self.perforations.iter().all(|(_, p)| p.is_precise())
+            && self.precision.is_precise()
+            && self.sync.is_precise()
+            && self.input_sampling.map_or(true, |f| f >= 1.0)
+    }
+
+    /// Perforation configured for `site`, or [`Perforation::None`].
+    pub fn perforation(&self, site: SiteId) -> Perforation {
+        self.perforations
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map(|(_, p)| *p)
+            .unwrap_or(Perforation::None)
+    }
+
+    /// Builder: sets the perforation of a site.
+    pub fn with_perforation(mut self, site: SiteId, p: Perforation) -> Self {
+        if let Some(entry) = self.perforations.iter_mut().find(|(s, _)| *s == site) {
+            entry.1 = p;
+        } else {
+            self.perforations.push((site, p));
+        }
+        self
+    }
+
+    /// Builder: sets the precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Builder: sets synchronization elision.
+    pub fn with_sync(mut self, sync: SyncElision) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Builder: sets input sampling fraction.
+    pub fn with_input_sampling(mut self, fraction: f64) -> Self {
+        self.input_sampling = Some(fraction.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Builder: sets the label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Effective input fraction (1.0 when sampling is disabled).
+    pub fn input_fraction(&self) -> f64 {
+        self.input_sampling.unwrap_or(1.0).clamp(0.0, 1.0)
+    }
+}
+
+/// Work accounting for one kernel run.
+///
+/// `ops` is a deterministic count of the kernel's dominant inner-loop operations and acts
+/// as the execution-time proxy: the co-location simulator converts relative `ops` into
+/// relative execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cost {
+    /// Weighted operation count of the dominant loops.
+    pub ops: f64,
+    /// Bytes of synthetic data touched (proxy for memory traffic / LLC pressure).
+    pub bytes_touched: f64,
+}
+
+impl Cost {
+    /// Creates a cost record.
+    pub fn new(ops: f64, bytes_touched: f64) -> Self {
+        Self { ops, bytes_touched }
+    }
+
+    /// Adds another cost record.
+    pub fn add(&mut self, other: Cost) {
+        self.ops += other.ops;
+        self.bytes_touched += other.bytes_touched;
+    }
+}
+
+/// Output of a kernel run in a form that quality metrics can compare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KernelOutput {
+    /// A single scalar (e.g. final energy / cost / likelihood).
+    Scalar(f64),
+    /// A numeric vector (e.g. cluster centroids flattened, per-item scores).
+    Vector(Vec<f64>),
+    /// A discrete labelling (e.g. cluster assignment, classification labels).
+    Labels(Vec<u32>),
+}
+
+impl KernelOutput {
+    /// Relative error against a reference output, as a percentage in `[0, 100]`.
+    ///
+    /// * `Scalar`: relative difference `|a - b| / max(|b|, eps)`.
+    /// * `Vector`: mean element-wise relative error (length mismatches are penalized by
+    ///   treating missing elements as 100% error).
+    /// * `Labels`: fraction of positions whose label differs.
+    pub fn inaccuracy_vs(&self, reference: &KernelOutput) -> f64 {
+        const EPS: f64 = 1e-9;
+        let frac = match (self, reference) {
+            (KernelOutput::Scalar(a), KernelOutput::Scalar(b)) => {
+                ((a - b).abs() / b.abs().max(EPS)).min(1.0)
+            }
+            (KernelOutput::Vector(a), KernelOutput::Vector(b)) => {
+                if b.is_empty() {
+                    if a.is_empty() {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                } else {
+                    let n = b.len();
+                    let mut err = 0.0;
+                    for i in 0..n {
+                        match a.get(i) {
+                            Some(x) => {
+                                let denom = b[i].abs().max(EPS);
+                                err += ((x - b[i]).abs() / denom).min(1.0);
+                            }
+                            None => err += 1.0,
+                        }
+                    }
+                    err / n as f64
+                }
+            }
+            (KernelOutput::Labels(a), KernelOutput::Labels(b)) => {
+                if b.is_empty() {
+                    if a.is_empty() {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                } else {
+                    let n = b.len();
+                    let diff = (0..n).filter(|&i| a.get(i) != Some(&b[i])).count();
+                    diff as f64 / n as f64
+                }
+            }
+            // Mismatched output kinds mean the approximation broke the output shape
+            // entirely: report 100% inaccuracy.
+            _ => 1.0,
+        };
+        (frac * 100.0).clamp(0.0, 100.0)
+    }
+}
+
+/// Result of running a kernel under one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRun {
+    /// Work performed.
+    pub cost: Cost,
+    /// Output produced.
+    pub output: KernelOutput,
+}
+
+impl KernelRun {
+    /// Creates a run record.
+    pub fn new(cost: Cost, output: KernelOutput) -> Self {
+        Self { cost, output }
+    }
+}
+
+/// An approximate-computing application kernel.
+///
+/// Implementations are deterministic: the same seed and configuration always produce the
+/// same cost and output.
+pub trait ApproxKernel {
+    /// Short lower-case name matching the paper's application name (e.g. `"canneal"`).
+    fn name(&self) -> &'static str;
+
+    /// Benchmark suite the application is drawn from.
+    fn suite(&self) -> Suite;
+
+    /// Candidate approximate configurations for design-space exploration, excluding the
+    /// precise configuration. These correspond to the ACCEPT-style programmer hints the
+    /// paper uses to prune the design space.
+    fn candidate_configs(&self) -> Vec<ApproxConfig>;
+
+    /// Runs the kernel under the given configuration.
+    fn run(&self, config: &ApproxConfig) -> KernelRun;
+
+    /// Runs the precise configuration (convenience wrapper).
+    fn run_precise(&self) -> KernelRun {
+        self.run(&ApproxConfig::precise())
+    }
+}
+
+/// Benchmark suite of origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// PARSEC benchmark suite.
+    Parsec,
+    /// SPLASH-2 benchmark suite.
+    Splash2,
+    /// MineBench data-mining suite.
+    MineBench,
+    /// BioPerf bioinformatics suite.
+    BioPerf,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::Parsec => "PARSEC",
+            Suite::Splash2 => "SPLASH-2",
+            Suite::MineBench => "MineBench",
+            Suite::BioPerf => "BioPerf",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_config_is_precise() {
+        let c = ApproxConfig::precise();
+        assert!(c.is_precise());
+        assert_eq!(c.input_fraction(), 1.0);
+        assert_eq!(c.perforation(3), Perforation::None);
+    }
+
+    #[test]
+    fn builder_composes_knobs() {
+        let c = ApproxConfig::precise()
+            .with_perforation(0, Perforation::KeepEveryNth(2))
+            .with_perforation(0, Perforation::KeepEveryNth(4))
+            .with_precision(Precision::F32)
+            .with_sync(SyncElision::with_staleness(3))
+            .with_input_sampling(0.5)
+            .with_label("test");
+        assert!(!c.is_precise());
+        assert_eq!(c.perforation(0), Perforation::KeepEveryNth(4));
+        assert_eq!(c.perforations.len(), 1, "overwriting a site must not duplicate it");
+        assert_eq!(c.precision, Precision::F32);
+        assert_eq!(c.input_fraction(), 0.5);
+        assert_eq!(c.label, "test");
+    }
+
+    #[test]
+    fn scalar_inaccuracy_is_relative() {
+        let a = KernelOutput::Scalar(110.0);
+        let b = KernelOutput::Scalar(100.0);
+        assert!((a.inaccuracy_vs(&b) - 10.0).abs() < 1e-9);
+        assert_eq!(b.inaccuracy_vs(&b), 0.0);
+    }
+
+    #[test]
+    fn vector_inaccuracy_handles_length_mismatch() {
+        let short = KernelOutput::Vector(vec![1.0]);
+        let full = KernelOutput::Vector(vec![1.0, 2.0]);
+        let err = short.inaccuracy_vs(&full);
+        assert!((err - 50.0).abs() < 1e-9);
+        assert_eq!(full.inaccuracy_vs(&full), 0.0);
+    }
+
+    #[test]
+    fn labels_inaccuracy_is_mismatch_fraction() {
+        let a = KernelOutput::Labels(vec![0, 1, 2, 3]);
+        let b = KernelOutput::Labels(vec![0, 1, 0, 0]);
+        assert!((a.inaccuracy_vs(&b) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_kinds_are_total_error() {
+        let a = KernelOutput::Scalar(1.0);
+        let b = KernelOutput::Labels(vec![1, 2]);
+        assert_eq!(a.inaccuracy_vs(&b), 100.0);
+    }
+
+    #[test]
+    fn inaccuracy_is_capped_at_100() {
+        let a = KernelOutput::Scalar(1e12);
+        let b = KernelOutput::Scalar(1.0);
+        assert_eq!(a.inaccuracy_vs(&b), 100.0);
+    }
+
+    #[test]
+    fn cost_addition() {
+        let mut c = Cost::new(10.0, 100.0);
+        c.add(Cost::new(5.0, 50.0));
+        assert_eq!(c.ops, 15.0);
+        assert_eq!(c.bytes_touched, 150.0);
+    }
+
+    #[test]
+    fn suite_display_names() {
+        assert_eq!(Suite::Parsec.to_string(), "PARSEC");
+        assert_eq!(Suite::Splash2.to_string(), "SPLASH-2");
+        assert_eq!(Suite::MineBench.to_string(), "MineBench");
+        assert_eq!(Suite::BioPerf.to_string(), "BioPerf");
+    }
+}

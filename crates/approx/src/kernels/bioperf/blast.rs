@@ -1,0 +1,226 @@
+//! Blast — seed-and-extend local sequence search.
+//!
+//! BLAST finds database sequences similar to a query by locating exact k-mer seed matches
+//! and extending them into local alignments. Knobs: perforate the database loop (site 0),
+//! perforate the seed-extension loop (site 1, extending only a subset of seeds), sample the
+//! database, reduce precision (extension score arithmetic).
+
+use std::collections::HashMap;
+
+use crate::data::{random_sequence, related_sequences, DNA_ALPHABET};
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: database-sequence loop.
+pub const SITE_DATABASE: u32 = 0;
+/// Perforable site: seed-extension loop.
+pub const SITE_SEEDS: u32 = 1;
+
+const KMER: usize = 6;
+
+/// Seed-and-extend sequence-search kernel.
+#[derive(Debug, Clone)]
+pub struct BlastKernel {
+    query: Vec<u8>,
+    database: Vec<Vec<u8>>,
+    query_index: HashMap<Vec<u8>, Vec<usize>>,
+}
+
+impl BlastKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, query_len: usize, db_sequences: usize, seq_len: usize) -> Self {
+        let query = random_sequence(seed, query_len, &DNA_ALPHABET);
+        let mut database = Vec::with_capacity(db_sequences);
+        // Half the database contains fragments of the query with mutations; half is noise.
+        let related = related_sequences(seed, db_sequences / 2, query_len, 0.1, &DNA_ALPHABET);
+        for mut r in related {
+            r.truncate(seq_len.min(r.len()));
+            database.push(r);
+        }
+        for i in 0..(db_sequences - db_sequences / 2) {
+            database.push(random_sequence(seed + 500 + i as u64, seq_len, &DNA_ALPHABET));
+        }
+        let mut query_index: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        if query.len() >= KMER {
+            for i in 0..=(query.len() - KMER) {
+                query_index.entry(query[i..i + KMER].to_vec()).or_default().push(i);
+            }
+        }
+        Self {
+            query,
+            database,
+            query_index,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 200, 50, 150)
+    }
+
+    fn extend(
+        &self,
+        target: &[u8],
+        q_pos: usize,
+        t_pos: usize,
+        precision: Precision,
+        cost: &mut Cost,
+    ) -> f64 {
+        // Ungapped extension in both directions with X-drop termination.
+        let mut score = KMER as f64 * 2.0;
+        let mut best = score;
+        // Right extension.
+        let mut qi = q_pos + KMER;
+        let mut ti = t_pos + KMER;
+        while qi < self.query.len() && ti < target.len() {
+            score += if self.query[qi] == target[ti] { 2.0 } else { -3.0 };
+            score = precision.quantize(score);
+            best = best.max(score);
+            cost.ops += 3.0 * precision.op_cost();
+            cost.bytes_touched += 2.0;
+            if best - score > 10.0 {
+                break;
+            }
+            qi += 1;
+            ti += 1;
+        }
+        // Left extension.
+        let mut score_l = best;
+        let mut qi = q_pos;
+        let mut ti = t_pos;
+        while qi > 0 && ti > 0 {
+            qi -= 1;
+            ti -= 1;
+            score_l += if self.query[qi] == target[ti] { 2.0 } else { -3.0 };
+            score_l = precision.quantize(score_l);
+            best = best.max(score_l);
+            cost.ops += 3.0 * precision.op_cost();
+            cost.bytes_touched += 2.0;
+            if best - score_l > 10.0 {
+                break;
+            }
+        }
+        best
+    }
+}
+
+impl ApproxKernel for BlastKernel {
+    fn name(&self) -> &'static str {
+        "blast"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::BioPerf
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_SEEDS, Perforation::KeepEveryNth(p))
+                    .with_label(format!("seeds-keep1of{p}")),
+            );
+        }
+        for p in [2u32, 3] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_DATABASE, Perforation::SkipEveryNth(p.max(2)))
+                    .with_label(format!("db-skip1of{p}")),
+            );
+        }
+        for f in [0.7, 0.5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("db{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let db_perf = config.perforation(SITE_DATABASE);
+        let seed_perf = config.perforation(SITE_SEEDS);
+        let sample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let mut cost = Cost::default();
+        let n = self.database.len();
+        let mut hits = vec![0.0f64; n];
+        for (d, target) in self.database.iter().enumerate() {
+            if !db_perf.keeps(d, n) || !sample.keeps(d, n) {
+                continue;
+            }
+            let mut best = 0.0f64;
+            if target.len() >= KMER {
+                let mut seed_idx = 0usize;
+                for t_pos in 0..=(target.len() - KMER) {
+                    cost.ops += 2.0;
+                    cost.bytes_touched += KMER as f64;
+                    if let Some(q_positions) = self.query_index.get(&target[t_pos..t_pos + KMER]) {
+                        for &q_pos in q_positions {
+                            let keep = seed_perf.keeps(seed_idx, 64);
+                            seed_idx += 1;
+                            if !keep {
+                                continue;
+                            }
+                            let s = self.extend(target, q_pos, t_pos, precision, &mut cost);
+                            if s > best {
+                                best = s;
+                            }
+                        }
+                    }
+                }
+            }
+            hits[d] = best;
+        }
+        KernelRun::new(cost, KernelOutput::Vector(hits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn related_targets_score_higher() {
+        let k = BlastKernel::small(21);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(hits) => {
+                let related: f64 = hits[..25].iter().sum::<f64>() / 25.0;
+                let noise: f64 = hits[25..].iter().sum::<f64>() / 25.0;
+                assert!(related > noise, "related {related} vs noise {noise}");
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn seed_perforation_is_cheaper() {
+        let k = BlastKernel::small(21);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_SEEDS, Perforation::KeepEveryNth(3)));
+        assert!(approx.cost.ops < precise.cost.ops);
+    }
+
+    #[test]
+    fn database_sampling_scales_bytes() {
+        let k = BlastKernel::small(21);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_input_sampling(0.5));
+        assert!(approx.cost.bytes_touched < precise.cost.bytes_touched * 0.8);
+    }
+
+    #[test]
+    fn mild_perforation_keeps_top_hits() {
+        let k = BlastKernel::small(21);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_SEEDS, Perforation::KeepEveryNth(2)));
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 60.0, "inaccuracy {inacc}%");
+    }
+}

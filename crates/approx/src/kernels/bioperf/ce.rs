@@ -1,0 +1,218 @@
+//! CE (Combinatorial Extension) — protein structural alignment.
+//!
+//! CE aligns two protein 3-D structures by finding compatible aligned fragment pairs
+//! (AFPs) — short backbone fragments whose internal distance matrices agree — and chaining
+//! them. Knobs: perforate the fragment-pair enumeration (site 0), perforate the intra-
+//! fragment distance comparison (site 1), sample residues, reduce precision.
+
+use pliant_telemetry::rng::{sample_standard_normal, seeded_rng};
+
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: aligned-fragment-pair enumeration.
+pub const SITE_FRAGMENT_PAIRS: u32 = 0;
+/// Perforable site: intra-fragment distance comparisons.
+pub const SITE_DISTANCES: u32 = 1;
+
+const FRAGMENT: usize = 8;
+
+/// Protein structural-alignment kernel.
+#[derive(Debug, Clone)]
+pub struct CeKernel {
+    structure_a: Vec<[f64; 3]>,
+    structure_b: Vec<[f64; 3]>,
+}
+
+impl CeKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, residues: usize) -> Self {
+        let mut rng = seeded_rng(seed);
+        // Structure A: a random self-avoiding-ish walk (protein backbone analogue).
+        let mut a = Vec::with_capacity(residues);
+        let mut pos = [0.0f64; 3];
+        for _ in 0..residues {
+            for p in pos.iter_mut() {
+                *p += 1.2 + 0.4 * sample_standard_normal(&mut rng);
+            }
+            a.push(pos);
+        }
+        // Structure B: structure A with noise plus a rigid offset — a genuine homolog.
+        let b = a
+            .iter()
+            .map(|p| {
+                [
+                    p[0] + 5.0 + 0.3 * sample_standard_normal(&mut rng),
+                    p[1] - 2.0 + 0.3 * sample_standard_normal(&mut rng),
+                    p[2] + 0.3 * sample_standard_normal(&mut rng),
+                ]
+            })
+            .collect();
+        Self {
+            structure_a: a,
+            structure_b: b,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 120)
+    }
+
+    fn fragment_similarity(
+        &self,
+        ai: usize,
+        bi: usize,
+        dist_perf: Perforation,
+        precision: Precision,
+        cost: &mut Cost,
+    ) -> f64 {
+        // Compare intra-fragment distance matrices of the two fragments.
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        let mut idx = 0usize;
+        for x in 0..FRAGMENT {
+            for y in (x + 1)..FRAGMENT {
+                let keep = dist_perf.keeps(idx, FRAGMENT * (FRAGMENT - 1) / 2);
+                idx += 1;
+                if !keep {
+                    continue;
+                }
+                let da = Self::dist(&self.structure_a[ai + x], &self.structure_a[ai + y]);
+                let db = Self::dist(&self.structure_b[bi + x], &self.structure_b[bi + y]);
+                total += (da - db).abs();
+                pairs += 1;
+                cost.ops += 12.0 * precision.op_cost();
+                cost.bytes_touched += 48.0;
+            }
+        }
+        if pairs == 0 {
+            return 0.0;
+        }
+        precision.quantize(1.0 / (1.0 + total / pairs as f64))
+    }
+
+    fn dist(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+    }
+}
+
+impl ApproxKernel for CeKernel {
+    fn name(&self) -> &'static str {
+        "ce"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::BioPerf
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_FRAGMENT_PAIRS, Perforation::KeepEveryNth(p))
+                    .with_label(format!("afp-keep1of{p}")),
+            );
+        }
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_DISTANCES, Perforation::KeepEveryNth(2))
+                .with_label("dist-keep1of2"),
+        );
+        for f in [0.7, 0.5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("residues{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let afp_perf = config.perforation(SITE_FRAGMENT_PAIRS);
+        let dist_perf = config.perforation(SITE_DISTANCES);
+        let residue_fraction = config.input_fraction();
+        let precision = config.precision;
+        let mut cost = Cost::default();
+
+        let usable_a = ((self.structure_a.len() as f64 * residue_fraction) as usize)
+            .saturating_sub(FRAGMENT)
+            .max(1);
+        let usable_b = ((self.structure_b.len() as f64 * residue_fraction) as usize)
+            .saturating_sub(FRAGMENT)
+            .max(1);
+
+        // Enumerate fragment pairs near the diagonal (CE restricts the search window) and
+        // chain the best-scoring compatible path greedily.
+        let window = 6usize;
+        let mut best_per_position = vec![0.0f64; usable_a];
+        let mut pair_idx = 0usize;
+        for ai in 0..usable_a {
+            let lo = ai.saturating_sub(window).min(usable_b - 1);
+            let hi = (ai + window).min(usable_b - 1);
+            for bi in lo..=hi {
+                let keep = afp_perf.keeps(pair_idx, usable_a * (2 * window + 1));
+                pair_idx += 1;
+                if !keep {
+                    continue;
+                }
+                let s = self.fragment_similarity(ai, bi, dist_perf, precision, &mut cost);
+                if s > best_per_position[ai] {
+                    best_per_position[ai] = s;
+                }
+            }
+        }
+        // Output: per-position best AFP similarity (the alignment path profile).
+        KernelRun::new(cost, KernelOutput::Vector(best_per_position))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homologous_structures_align_well() {
+        let k = CeKernel::small(29);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(profile) => {
+                let mean: f64 = profile.iter().sum::<f64>() / profile.len() as f64;
+                assert!(mean > 0.4, "mean AFP similarity {mean} should be high for homologs");
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn afp_perforation_reduces_work() {
+        let k = CeKernel::small(29);
+        let precise = k.run_precise();
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_FRAGMENT_PAIRS, Perforation::KeepEveryNth(3)),
+        );
+        assert!(approx.cost.ops < precise.cost.ops * 0.6);
+    }
+
+    #[test]
+    fn distance_perforation_keeps_profile_similar() {
+        let k = CeKernel::small(29);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_DISTANCES, Perforation::KeepEveryNth(2)));
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 30.0, "inaccuracy {inacc}%");
+        assert!(approx.cost.ops < precise.cost.ops);
+    }
+
+    #[test]
+    fn residue_sampling_shortens_profile_work() {
+        let k = CeKernel::small(29);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_input_sampling(0.5));
+        assert!(approx.cost.ops < precise.cost.ops);
+    }
+}

@@ -1,0 +1,221 @@
+//! Glimmer — gene finding with interpolated Markov models (IMMs).
+//!
+//! Glimmer scores candidate open reading frames in a genome with Markov models of coding
+//! regions. Knobs: lower the Markov-model order (precision analogue, site 0 as
+//! TruncateBy), perforate the candidate-ORF loop (site 1), sample the training region,
+//! reduce floating-point precision.
+
+use std::collections::HashMap;
+
+use crate::data::{random_sequence, DNA_ALPHABET};
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: Markov-model order reduction (TruncateBy(p) divides the order by p).
+pub const SITE_MODEL_ORDER: u32 = 0;
+/// Perforable site: candidate-ORF scoring loop.
+pub const SITE_CANDIDATES: u32 = 1;
+
+/// Gene-finding kernel with interpolated Markov models.
+#[derive(Debug, Clone)]
+pub struct GlimmerKernel {
+    genome: Vec<u8>,
+    coding_regions: Vec<(usize, usize)>,
+    candidates: Vec<(usize, usize)>,
+    max_order: usize,
+}
+
+impl GlimmerKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, genome_len: usize, n_genes: usize) -> Self {
+        let mut genome = random_sequence(seed, genome_len, &DNA_ALPHABET);
+        // Insert synthetic "coding" regions with strong codon bias (every third base G).
+        let mut coding_regions = Vec::new();
+        let gene_len = genome_len / (2 * n_genes);
+        for g in 0..n_genes {
+            let start = g * 2 * gene_len;
+            let end = (start + gene_len).min(genome_len);
+            for i in (start..end).step_by(3) {
+                genome[i] = b'G';
+            }
+            coding_regions.push((start, end));
+        }
+        // Candidate ORFs: the true genes plus an equal number of random non-coding windows.
+        let mut candidates = coding_regions.clone();
+        for g in 0..n_genes {
+            let start = (g * 2 + 1) * gene_len;
+            let end = (start + gene_len).min(genome_len);
+            if start < end {
+                candidates.push((start, end));
+            }
+        }
+        Self {
+            genome,
+            coding_regions,
+            candidates,
+            max_order: 5,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 6_000, 8)
+    }
+
+    fn train_model(
+        &self,
+        order: usize,
+        train_fraction: f64,
+        cost: &mut Cost,
+    ) -> HashMap<Vec<u8>, f64> {
+        // Count (context, next-base) frequencies over the coding regions.
+        let mut counts: HashMap<Vec<u8>, f64> = HashMap::new();
+        let mut context_totals: HashMap<Vec<u8>, f64> = HashMap::new();
+        for &(start, end) in &self.coding_regions {
+            let span = ((end - start) as f64 * train_fraction) as usize;
+            let end = start + span;
+            for i in (start + order)..end {
+                let context = self.genome[i - order..i].to_vec();
+                *counts.entry([&context[..], &[self.genome[i]]].concat()).or_insert(0.0) += 1.0;
+                *context_totals.entry(context).or_insert(0.0) += 1.0;
+                cost.ops += 4.0;
+                cost.bytes_touched += order as f64 + 1.0;
+            }
+        }
+        // Convert to log-probabilities with add-one smoothing.
+        let mut model = HashMap::new();
+        for (key, c) in counts {
+            let context = key[..key.len() - 1].to_vec();
+            let total = context_totals.get(&context).copied().unwrap_or(1.0);
+            model.insert(key, ((c + 1.0) / (total + 4.0)).ln());
+        }
+        model
+    }
+
+    fn score_window(
+        &self,
+        window: (usize, usize),
+        order: usize,
+        model: &HashMap<Vec<u8>, f64>,
+        precision: Precision,
+        cost: &mut Cost,
+    ) -> f64 {
+        let (start, end) = window;
+        let mut score = 0.0;
+        for i in (start + order)..end {
+            let key = self.genome[i - order..=i].to_vec();
+            let p = model.get(&key).copied().unwrap_or((0.2f64).ln());
+            score += p - (0.25f64).ln(); // log-likelihood ratio vs uniform background
+            cost.ops += 3.0 * precision.op_cost();
+            cost.bytes_touched += order as f64 + 1.0;
+        }
+        precision.quantize(score / (end - start).max(1) as f64)
+    }
+}
+
+impl ApproxKernel for GlimmerKernel {
+    fn name(&self) -> &'static str {
+        "glimmer"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::BioPerf
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_MODEL_ORDER, Perforation::TruncateBy(p))
+                    .with_label(format!("order/{p}")),
+            );
+        }
+        for p in [2u32, 3] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_CANDIDATES, Perforation::SkipEveryNth(p.max(2)))
+                    .with_label(format!("candidates-skip1of{p}")),
+            );
+        }
+        for f in [0.6, 0.4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("train{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let order_factor = match config.perforation(SITE_MODEL_ORDER) {
+            Perforation::TruncateBy(p) => p.max(1) as usize,
+            _ => 1,
+        };
+        let order = (self.max_order / order_factor).max(1);
+        let cand_perf = config.perforation(SITE_CANDIDATES);
+        let precision = config.precision;
+        let mut cost = Cost::default();
+        let model = self.train_model(order, config.input_fraction(), &mut cost);
+        let n = self.candidates.len();
+        let mut scores = vec![0.0f64; n];
+        for (i, &window) in self.candidates.iter().enumerate() {
+            if !cand_perf.keeps(i, n) {
+                continue;
+            }
+            scores[i] = self.score_window(window, order, &model, precision, &mut cost);
+        }
+        KernelRun::new(cost, KernelOutput::Vector(scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coding_regions_score_higher_than_noncoding() {
+        let k = GlimmerKernel::small(19);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(scores) => {
+                let n_genes = k.coding_regions.len();
+                let coding: f64 = scores[..n_genes].iter().sum::<f64>() / n_genes as f64;
+                let noncoding: f64 =
+                    scores[n_genes..].iter().sum::<f64>() / (scores.len() - n_genes) as f64;
+                assert!(coding > noncoding, "coding {coding} vs noncoding {noncoding}");
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn lower_order_model_is_cheaper() {
+        let k = GlimmerKernel::small(19);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_MODEL_ORDER, Perforation::TruncateBy(5)));
+        assert!(approx.cost.bytes_touched < precise.cost.bytes_touched);
+    }
+
+    #[test]
+    fn training_sampling_reduces_work() {
+        let k = GlimmerKernel::small(19);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_input_sampling(0.4));
+        assert!(approx.cost.ops < precise.cost.ops);
+    }
+
+    #[test]
+    fn candidate_perforation_leaves_skipped_scores_zero() {
+        let k = GlimmerKernel::small(19);
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_CANDIDATES, Perforation::SkipEveryNth(2)));
+        match &approx.output {
+            KernelOutput::Vector(scores) => assert!(scores.iter().any(|s| *s == 0.0)),
+            _ => panic!("unexpected output"),
+        }
+    }
+}

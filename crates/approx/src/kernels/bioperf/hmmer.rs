@@ -1,0 +1,193 @@
+//! Hmmer — profile hidden-Markov-model scoring of a sequence database.
+//!
+//! The BioPerf hmmer workload scores every database sequence against a profile HMM with
+//! the Viterbi algorithm. Knobs: perforate the database-sequence loop (site 0), band the
+//! Viterbi dynamic program (site 1, modelled as perforating profile states), sample the
+//! database, reduce precision.
+
+use crate::data::{random_sequence, related_sequences, PROTEIN_ALPHABET};
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: database-sequence loop.
+pub const SITE_DATABASE: u32 = 0;
+/// Perforable site: profile-state loop inside Viterbi.
+pub const SITE_STATES: u32 = 1;
+
+/// Profile-HMM scoring kernel.
+#[derive(Debug, Clone)]
+pub struct HmmerKernel {
+    profile: Vec<Vec<f64>>, // per-state emission log-probabilities over the alphabet
+    database: Vec<Vec<u8>>,
+}
+
+impl HmmerKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, states: usize, db_sequences: usize, seq_len: usize) -> Self {
+        // Build a profile from the first `states` positions of the ancestor that also
+        // seeds the related half of the database, so those sequences genuinely match it.
+        let ancestor = random_sequence(seed, seq_len, &PROTEIN_ALPHABET);
+        let profile = ancestor
+            .iter()
+            .take(states)
+            .map(|&c| {
+                PROTEIN_ALPHABET
+                    .iter()
+                    .map(|&a| if a == c { (0.6f64).ln() } else { (0.4 / 7.0f64).ln() })
+                    .collect()
+            })
+            .collect();
+        // Half the database is related to the ancestor, half is random noise.
+        let mut database = related_sequences(seed, db_sequences / 2, seq_len, 0.15, &PROTEIN_ALPHABET);
+        for i in 0..(db_sequences - db_sequences / 2) {
+            database.push(random_sequence(seed + 100 + i as u64, seq_len, &PROTEIN_ALPHABET));
+        }
+        Self { profile, database }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 40, 60, 80)
+    }
+
+    fn alphabet_index(c: u8) -> usize {
+        PROTEIN_ALPHABET.iter().position(|&a| a == c).unwrap_or(0)
+    }
+
+    fn viterbi_score(
+        &self,
+        seq: &[u8],
+        state_perf: Perforation,
+        precision: Precision,
+        cost: &mut Cost,
+    ) -> f64 {
+        let states = self.profile.len();
+        let gap_penalty = -1.5f64;
+        // dp[s] = best log-score ending in state s after consuming current prefix.
+        let mut dp = vec![f64::NEG_INFINITY; states + 1];
+        dp[0] = 0.0;
+        for &c in seq {
+            let idx = Self::alphabet_index(c);
+            let mut next = vec![f64::NEG_INFINITY; states + 1];
+            next[0] = dp[0] + gap_penalty * 0.1;
+            for s in 1..=states {
+                if !state_perf.keeps(s - 1, states) {
+                    // Skipped state: inherit with a gap penalty (band approximation).
+                    next[s] = dp[s] + gap_penalty * 0.1;
+                    continue;
+                }
+                let emit = self.profile[s - 1][idx];
+                let stay = dp[s] + gap_penalty;
+                let advance = dp[s - 1] + emit;
+                next[s] = precision.quantize(stay.max(advance));
+                cost.ops += 5.0 * precision.op_cost();
+                cost.bytes_touched += 24.0;
+            }
+            dp = next;
+        }
+        dp.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl ApproxKernel for HmmerKernel {
+    fn name(&self) -> &'static str {
+        "hmmer"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::BioPerf
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_DATABASE, Perforation::KeepEveryNth(p))
+                    .with_label(format!("db-keep1of{p}")),
+            );
+        }
+        for p in [3u32, 5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_STATES, Perforation::SkipEveryNth(p))
+                    .with_label(format!("states-skip1of{p}")),
+            );
+        }
+        for f in [0.7, 0.5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("db{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let db_perf = config.perforation(SITE_DATABASE);
+        let state_perf = config.perforation(SITE_STATES);
+        let sample = Perforation::KeepFraction(config.input_fraction());
+        let mut cost = Cost::default();
+        let n = self.database.len();
+        let mut scores = vec![0.0f64; n];
+        for (i, seq) in self.database.iter().enumerate() {
+            if !db_perf.keeps(i, n) || !sample.keeps(i, n) {
+                // Skipped sequences report a floor score (treated as "no hit").
+                scores[i] = -1e3;
+                continue;
+            }
+            scores[i] = self.viterbi_score(seq, state_perf, config.precision, &mut cost);
+        }
+        KernelRun::new(cost, KernelOutput::Vector(scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn related_sequences_score_higher_than_noise() {
+        let k = HmmerKernel::small(11);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(scores) => {
+                let related_mean: f64 = scores[..30].iter().sum::<f64>() / 30.0;
+                let noise_mean: f64 = scores[30..].iter().sum::<f64>() / 30.0;
+                assert!(
+                    related_mean > noise_mean,
+                    "profile should prefer related sequences ({related_mean} vs {noise_mean})"
+                );
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn database_perforation_reduces_work() {
+        let k = HmmerKernel::small(11);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_DATABASE, Perforation::KeepEveryNth(2)));
+        assert!(approx.cost.ops < precise.cost.ops * 0.7);
+    }
+
+    #[test]
+    fn state_banding_is_cheaper_with_bounded_error() {
+        let k = HmmerKernel::small(11);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_STATES, Perforation::SkipEveryNth(5)));
+        assert!(approx.cost.ops < precise.cost.ops);
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 60.0, "inaccuracy {inacc}%");
+    }
+
+    #[test]
+    fn determinism() {
+        let k = HmmerKernel::small(11);
+        assert_eq!(k.run_precise().output, k.run_precise().output);
+    }
+}

@@ -1,0 +1,88 @@
+//! BioPerf-derived kernels: bioinformatics applications.
+
+pub mod blast;
+pub mod ce;
+pub mod clustalw;
+pub mod fasta;
+pub mod glimmer;
+pub mod grappa;
+pub mod hmmer;
+pub mod tcoffee;
+
+/// Shared scoring constants for the sequence-alignment kernels.
+pub(crate) mod align {
+    /// Score for a character match.
+    pub const MATCH: f64 = 2.0;
+    /// Penalty for a mismatch.
+    pub const MISMATCH: f64 = -1.0;
+    /// Penalty for a gap.
+    pub const GAP: f64 = -2.0;
+
+    /// Banded Smith–Waterman local-alignment score between two sequences.
+    ///
+    /// `band` limits the anti-diagonal distance considered (None = full matrix). Returns
+    /// the best local score and the number of cells evaluated.
+    pub fn smith_waterman_banded(a: &[u8], b: &[u8], band: Option<usize>) -> (f64, u64) {
+        let n = a.len();
+        let m = b.len();
+        if n == 0 || m == 0 {
+            return (0.0, 0);
+        }
+        let mut prev = vec![0.0f64; m + 1];
+        let mut curr = vec![0.0f64; m + 1];
+        let mut best = 0.0f64;
+        let mut cells = 0u64;
+        for i in 1..=n {
+            let (lo, hi) = match band {
+                Some(w) => {
+                    let centre = i * m / n;
+                    (centre.saturating_sub(w).max(1), (centre + w).min(m))
+                }
+                None => (1, m),
+            };
+            for cell in curr.iter_mut() {
+                *cell = 0.0;
+            }
+            for j in lo..=hi {
+                let s = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+                let val = (prev[j - 1] + s).max(prev[j] + GAP).max(curr[j - 1] + GAP).max(0.0);
+                curr[j] = val;
+                if val > best {
+                    best = val;
+                }
+                cells += 1;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        (best, cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::align::*;
+
+    #[test]
+    fn identical_sequences_score_length_times_match() {
+        let s = b"ACGTACGTACGT";
+        let (score, cells) = smith_waterman_banded(s, s, None);
+        assert!((score - s.len() as f64 * MATCH).abs() < 1e-9);
+        assert_eq!(cells, (s.len() * s.len()) as u64);
+    }
+
+    #[test]
+    fn banding_reduces_cells_and_bounds_score() {
+        let a = b"ACGTACGTACGTACGTACGT";
+        let b = b"ACGTACGAACGTACGTACGT";
+        let (full, full_cells) = smith_waterman_banded(a, b, None);
+        let (banded, banded_cells) = smith_waterman_banded(a, b, Some(3));
+        assert!(banded_cells < full_cells);
+        assert!(banded <= full + 1e-9);
+        assert!(banded > 0.0);
+    }
+
+    #[test]
+    fn empty_sequence_scores_zero() {
+        assert_eq!(smith_waterman_banded(b"", b"ACGT", None).0, 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Naive Bayesian classifier training and scoring.
+//!
+//! The MineBench Bayesian application trains a naive Bayes classifier over a discretized
+//! feature matrix and scores a held-out set. The paper highlights Bayesian as having a very
+//! rich approximation design space (8 pareto variants); accordingly this kernel exposes
+//! many knobs: perforate training samples (site 0), perforate feature accumulation
+//! (site 1), perforate scoring (site 2), sample input, and reduce precision.
+
+use crate::data::CountMatrix;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: training-sample loop.
+pub const SITE_TRAIN_SAMPLES: u32 = 0;
+/// Perforable site: per-feature accumulation loop.
+pub const SITE_FEATURES: u32 = 1;
+/// Perforable site: scoring loop.
+pub const SITE_SCORING: u32 = 2;
+
+/// Naive Bayes training/scoring kernel.
+#[derive(Debug, Clone)]
+pub struct BayesianKernel {
+    data: CountMatrix,
+    classes: usize,
+}
+
+impl BayesianKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, rows: usize, cols: usize, classes: usize) -> Self {
+        Self {
+            data: CountMatrix::synthetic(seed, rows, cols, classes),
+            classes,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 400, 40, 4)
+    }
+
+    fn train_and_score(&self, config: &ApproxConfig) -> (Vec<u32>, Cost) {
+        let rows = self.data.rows;
+        let cols = self.data.cols;
+        let train_perf = config.perforation(SITE_TRAIN_SAMPLES);
+        let feat_perf = config.perforation(SITE_FEATURES);
+        let score_perf = config.perforation(SITE_SCORING);
+        let sample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let mut cost = Cost::default();
+
+        // Class of row r is r % classes by construction of the synthetic data.
+        let train_rows = rows * 3 / 4;
+
+        // Train: per-class feature likelihoods with Laplace smoothing.
+        let mut class_totals = vec![1.0f64; self.classes];
+        let mut feature_counts = vec![1.0f64; self.classes * cols];
+        for r in 0..train_rows {
+            if !train_perf.keeps(r, train_rows) || !sample.keeps(r, train_rows) {
+                continue;
+            }
+            let class = r % self.classes;
+            for c in 0..cols {
+                if !feat_perf.keeps(c, cols) {
+                    continue;
+                }
+                let v = self.data.at(r, c);
+                feature_counts[class * cols + c] += v;
+                class_totals[class] += v;
+                cost.ops += 3.0 * precision.op_cost();
+                cost.bytes_touched += 16.0;
+            }
+        }
+        let log_likelihood: Vec<f64> = (0..self.classes * cols)
+            .map(|i| {
+                let class = i / cols;
+                precision.quantize((feature_counts[i] / class_totals[class]).ln())
+            })
+            .collect();
+        cost.ops += (self.classes * cols) as f64 * 2.0;
+
+        // Score held-out rows.
+        let mut predictions = Vec::with_capacity(rows - train_rows);
+        for r in train_rows..rows {
+            if !score_perf.keeps(r - train_rows, rows - train_rows) {
+                // Skipped scoring: predict the majority class (0).
+                predictions.push(0u32);
+                continue;
+            }
+            let mut best_class = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for class in 0..self.classes {
+                let mut score = 0.0;
+                for c in 0..cols {
+                    score += self.data.at(r, c) * log_likelihood[class * cols + c];
+                    cost.ops += 2.0 * precision.op_cost();
+                    cost.bytes_touched += 16.0;
+                }
+                let score = precision.quantize(score);
+                if score > best_score {
+                    best_score = score;
+                    best_class = class;
+                }
+            }
+            predictions.push(best_class as u32);
+        }
+        (predictions, cost)
+    }
+}
+
+impl ApproxKernel for BayesianKernel {
+    fn name(&self) -> &'static str {
+        "bayesian"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MineBench
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        // Training rows rotate through the classes (row r has class r % classes), so a
+        // strided KeepEveryNth would systematically starve some classes. Hash-based
+        // KeepFraction perforation keeps the class balance intact.
+        for p in [2u32, 3, 4, 6, 8] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_TRAIN_SAMPLES, Perforation::KeepFraction(1.0 / p as f64))
+                    .with_label(format!("train-keep1of{p}")),
+            );
+        }
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_FEATURES, Perforation::KeepEveryNth(p))
+                    .with_label(format!("features-keep1of{p}")),
+            );
+        }
+        for f in [0.8, 0.6, 0.4, 0.25] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("sample{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::Fixed16)
+                .with_label("fixed16"),
+        );
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_TRAIN_SAMPLES, Perforation::KeepEveryNth(2))
+                .with_precision(Precision::F32)
+                .with_label("train-keep1of2+f32"),
+        );
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (predictions, cost) = self.train_and_score(config);
+        KernelRun::new(cost, KernelOutput::Labels(predictions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_classifier_beats_chance() {
+        let k = BayesianKernel::small(2);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Labels(pred) => {
+                let test_start = 400 * 3 / 4;
+                let correct = pred
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| (test_start + i) % 4 == **p as usize)
+                    .count();
+                let accuracy = correct as f64 / pred.len() as f64;
+                assert!(accuracy > 0.4, "accuracy {accuracy} should beat 0.25 chance");
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn rich_candidate_space() {
+        // The paper singles out Bayesian for its rich design space (8 pareto variants).
+        let k = BayesianKernel::small(2);
+        assert!(k.candidate_configs().len() >= 12);
+    }
+
+    #[test]
+    fn training_perforation_reduces_work() {
+        let k = BayesianKernel::small(2);
+        let precise = k.run_precise();
+        let approx = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_TRAIN_SAMPLES, Perforation::KeepFraction(0.25)),
+        );
+        assert!(approx.cost.ops < precise.cost.ops * 0.8);
+    }
+
+    #[test]
+    fn mild_perforation_keeps_predictions_similar() {
+        let k = BayesianKernel::small(2);
+        let precise = k.run_precise();
+        let approx = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_TRAIN_SAMPLES, Perforation::KeepFraction(0.5)),
+        );
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 30.0, "inaccuracy {inacc}%");
+    }
+
+    #[test]
+    fn scoring_perforation_degrades_more() {
+        let k = BayesianKernel::small(2);
+        let precise = k.run_precise();
+        let skipped =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_SCORING, Perforation::KeepEveryNth(2)));
+        // Skipping half of the scoring loop forces default predictions for those rows.
+        let inacc = skipped.output.inaccuracy_vs(&precise.output);
+        assert!(inacc > 10.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! BIRCH — clustering-feature (CF) tree construction for hierarchical clustering.
+//!
+//! BIRCH summarizes a point stream into clustering features (count, linear sum, squared
+//! sum) organized in a tree, then clusters the leaf CFs. The kernel builds a flat CF layer
+//! with a distance threshold and clusters the CF centroids. Knobs: perforate the insertion
+//! stream (site 0, equivalent to input sampling), perforate the leaf refinement loop
+//! (site 1), reduce precision.
+
+use crate::data::PointCloud;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: point-insertion stream.
+pub const SITE_INSERTION: u32 = 0;
+/// Perforable site: leaf refinement loop.
+pub const SITE_REFINEMENT: u32 = 1;
+
+#[derive(Debug, Clone)]
+struct ClusteringFeature {
+    count: f64,
+    linear_sum: Vec<f64>,
+}
+
+impl ClusteringFeature {
+    fn centroid(&self) -> Vec<f64> {
+        self.linear_sum.iter().map(|s| s / self.count.max(1.0)).collect()
+    }
+}
+
+/// BIRCH CF-tree clustering kernel.
+#[derive(Debug, Clone)]
+pub struct BirchKernel {
+    points: PointCloud,
+    threshold: f64,
+    refinement_passes: usize,
+}
+
+impl BirchKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, n_points: usize, dims: usize, threshold: f64) -> Self {
+        Self {
+            points: PointCloud::gaussian_mixture(seed, n_points, dims, 8),
+            threshold,
+            refinement_passes: 4,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 700, 4, 2.0)
+    }
+
+    fn build(&self, config: &ApproxConfig) -> (Vec<f64>, Cost) {
+        let n = self.points.len();
+        let dims = self.points.dims;
+        let insert_perf = config.perforation(SITE_INSERTION);
+        let refine_perf = config.perforation(SITE_REFINEMENT);
+        let sample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let mut cost = Cost::default();
+        let t2 = self.threshold * self.threshold;
+
+        let mut features: Vec<ClusteringFeature> = Vec::new();
+        for i in 0..n {
+            if !insert_perf.keeps(i, n) || !sample.keeps(i, n) {
+                continue;
+            }
+            let p = self.points.point(i);
+            // Find the nearest CF.
+            let mut best: Option<(usize, f64)> = None;
+            for (fi, f) in features.iter().enumerate() {
+                let c = f.centroid();
+                let d: f64 = p.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d = precision.quantize(d);
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((fi, d));
+                }
+                cost.ops += (3 * dims) as f64 * precision.op_cost();
+                cost.bytes_touched += dims as f64 * 8.0;
+            }
+            match best {
+                Some((fi, d)) if d <= t2 => {
+                    let f = &mut features[fi];
+                    f.count += 1.0;
+                    for (s, v) in f.linear_sum.iter_mut().zip(p.iter()) {
+                        *s += v;
+                    }
+                }
+                _ => features.push(ClusteringFeature {
+                    count: 1.0,
+                    linear_sum: p.to_vec(),
+                }),
+            }
+            cost.ops += dims as f64;
+        }
+
+        // Refinement: merge nearby CFs for a few passes.
+        for pass in 0..self.refinement_passes {
+            if !refine_perf.keeps(pass, self.refinement_passes) {
+                continue;
+            }
+            let mut merged = true;
+            while merged {
+                merged = false;
+                'outer: for a in 0..features.len() {
+                    for b in (a + 1)..features.len() {
+                        let ca = features[a].centroid();
+                        let cb = features[b].centroid();
+                        let d: f64 = ca.iter().zip(cb.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+                        cost.ops += (3 * dims) as f64 * precision.op_cost();
+                        if d < t2 * 0.5 {
+                            let fb = features.remove(b);
+                            let fa = &mut features[a];
+                            fa.count += fb.count;
+                            for (s, v) in fa.linear_sum.iter_mut().zip(fb.linear_sum.iter()) {
+                                *s += v;
+                            }
+                            merged = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Output: sorted CF centroid norms (a stable, order-insensitive summary of the
+        // clustering structure).
+        let mut norms: Vec<f64> = features
+            .iter()
+            .map(|f| f.centroid().iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
+        norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (norms, cost)
+    }
+}
+
+impl ApproxKernel for BirchKernel {
+    fn name(&self) -> &'static str {
+        "birch"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MineBench
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_INSERTION, Perforation::SkipEveryNth(p.max(2)))
+                    .with_label(format!("insert-skip1of{p}")),
+            );
+        }
+        for f in [0.7, 0.5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("sample{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_REFINEMENT, Perforation::TruncateBy(2))
+                .with_label("refine-truncate2"),
+        );
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (norms, cost) = self.build(config);
+        KernelRun::new(cost, KernelOutput::Vector(norms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_run_produces_multiple_clusters() {
+        let run = BirchKernel::small(4).run_precise();
+        match &run.output {
+            KernelOutput::Vector(norms) => {
+                assert!(norms.len() >= 4, "expected several CFs, got {}", norms.len());
+                assert!(norms.windows(2).all(|w| w[0] <= w[1]), "norms must be sorted");
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn insertion_perforation_reduces_work() {
+        let k = BirchKernel::small(4);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_INSERTION, Perforation::SkipEveryNth(2)));
+        assert!(approx.cost.ops < precise.cost.ops);
+    }
+
+    #[test]
+    fn sampling_keeps_cluster_structure_roughly() {
+        let k = BirchKernel::small(4);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_input_sampling(0.7));
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 60.0, "inaccuracy {inacc}%");
+    }
+
+    #[test]
+    fn determinism() {
+        let k = BirchKernel::small(4);
+        assert_eq!(k.run_precise().output, k.run_precise().output);
+    }
+}

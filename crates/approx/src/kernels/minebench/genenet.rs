@@ -1,0 +1,184 @@
+//! GeneNet — gene regulatory network structure learning.
+//!
+//! GeneNet scores candidate regulatory links between genes from expression data (mutual
+//! information / correlation over expression profiles) and keeps the strongest edges.
+//! Knobs: perforate the candidate gene-pair loop (site 0), perforate the per-sample
+//! correlation accumulation (site 1), sample the expression profiles, reduce precision.
+
+use crate::data::CountMatrix;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: candidate gene-pair loop.
+pub const SITE_PAIRS: u32 = 0;
+/// Perforable site: per-sample accumulation loop.
+pub const SITE_SAMPLES: u32 = 1;
+
+/// Gene regulatory network inference kernel.
+#[derive(Debug, Clone)]
+pub struct GeneNetKernel {
+    // Rows = samples (conditions), cols = genes.
+    expression: CountMatrix,
+    edges_to_keep: usize,
+}
+
+impl GeneNetKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, samples: usize, genes: usize) -> Self {
+        Self {
+            expression: CountMatrix::synthetic(seed, samples, genes, 6),
+            edges_to_keep: genes * 2,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 80, 60)
+    }
+
+    fn infer(&self, config: &ApproxConfig) -> (Vec<f64>, Cost) {
+        let samples = self.expression.rows;
+        let genes = self.expression.cols;
+        let pair_perf = config.perforation(SITE_PAIRS);
+        let sample_perf = config.perforation(SITE_SAMPLES);
+        let subsample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let mut cost = Cost::default();
+
+        // Per-gene means for centering.
+        let mut means = vec![0.0f64; genes];
+        for g in 0..genes {
+            for s in 0..samples {
+                means[g] += self.expression.at(s, g);
+            }
+            means[g] /= samples as f64;
+            cost.ops += samples as f64;
+        }
+
+        // Score all gene pairs by absolute Pearson correlation.
+        let mut scores: Vec<(usize, usize, f64)> = Vec::new();
+        let total_pairs = genes * (genes - 1) / 2;
+        let mut pair_index = 0usize;
+        for a in 0..genes {
+            for b in (a + 1)..genes {
+                let keep = pair_perf.keeps(pair_index, total_pairs);
+                pair_index += 1;
+                if !keep {
+                    continue;
+                }
+                let mut num = 0.0;
+                let mut da = 0.0;
+                let mut db = 0.0;
+                for s in 0..samples {
+                    if !sample_perf.keeps(s, samples) || !subsample.keeps(s, samples) {
+                        continue;
+                    }
+                    let xa = self.expression.at(s, a) - means[a];
+                    let xb = self.expression.at(s, b) - means[b];
+                    num += xa * xb;
+                    da += xa * xa;
+                    db += xb * xb;
+                    cost.ops += 6.0 * precision.op_cost();
+                    cost.bytes_touched += 16.0;
+                }
+                let denom = (da * db).sqrt().max(1e-12);
+                let corr = precision.quantize((num / denom).abs());
+                scores.push((a, b, corr));
+            }
+        }
+
+        // Keep the strongest edges; output is a per-gene degree vector of the resulting
+        // network, a stable structural summary.
+        scores.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap());
+        let mut degrees = vec![0.0f64; genes];
+        for &(a, b, _) in scores.iter().take(self.edges_to_keep) {
+            degrees[a] += 1.0;
+            degrees[b] += 1.0;
+        }
+        cost.ops += scores.len() as f64 * (scores.len() as f64).log2().max(1.0) * 0.1;
+        (degrees, cost)
+    }
+}
+
+impl ApproxKernel for GeneNetKernel {
+    fn name(&self) -> &'static str {
+        "genenet"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MineBench
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_PAIRS, Perforation::SkipEveryNth(p.max(2)))
+                    .with_label(format!("pairs-skip1of{p}")),
+            );
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(p))
+                    .with_label(format!("samples-keep1of{p}")),
+            );
+        }
+        for f in [0.7, 0.5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("sample{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (degrees, cost) = self.infer(config);
+        KernelRun::new(cost, KernelOutput::Vector(degrees))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_network_has_expected_edge_mass() {
+        let k = GeneNetKernel::small(7);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(deg) => {
+                assert_eq!(deg.len(), 60);
+                let total: f64 = deg.iter().sum();
+                assert!((total - 2.0 * k.edges_to_keep as f64).abs() < 1e-9);
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn pair_perforation_reduces_work() {
+        let k = GeneNetKernel::small(7);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_perforation(SITE_PAIRS, Perforation::SkipEveryNth(2)));
+        assert!(approx.cost.ops < precise.cost.ops);
+    }
+
+    #[test]
+    fn sample_perforation_keeps_network_similar() {
+        let k = GeneNetKernel::small(7);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(2)));
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 70.0, "inaccuracy {inacc}%");
+    }
+
+    #[test]
+    fn determinism() {
+        let k = GeneNetKernel::small(7);
+        assert_eq!(k.run_precise().output, k.run_precise().output);
+    }
+}

@@ -1,0 +1,211 @@
+//! K-means — Lloyd's-algorithm clustering.
+//!
+//! Approximation knobs: perforate the refinement iterations (site 0), perforate the
+//! per-point assignment loop / sample the input (site 1 and input sampling), and reduce
+//! precision of the distance arithmetic.
+
+use crate::data::PointCloud;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: outer refinement iterations.
+pub const SITE_ITERATIONS: u32 = 0;
+/// Perforable site: per-point assignment loop.
+pub const SITE_ASSIGNMENT: u32 = 1;
+
+/// Lloyd's k-means clustering kernel.
+#[derive(Debug, Clone)]
+pub struct KMeansKernel {
+    points: PointCloud,
+    k: usize,
+    iterations: usize,
+}
+
+impl KMeansKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, n_points: usize, dims: usize, k: usize, iterations: usize) -> Self {
+        Self {
+            points: PointCloud::gaussian_mixture(seed, n_points, dims, k),
+            k,
+            iterations,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 800, 4, 6, 15)
+    }
+
+    fn cluster(&self, config: &ApproxConfig) -> (Vec<u32>, Cost) {
+        let n = self.points.len();
+        let dims = self.points.dims;
+        let iter_perf = config.perforation(SITE_ITERATIONS);
+        let assign_perf = config.perforation(SITE_ASSIGNMENT);
+        let sample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let mut cost = Cost::default();
+
+        // Initial centroids: evenly-spaced input points.
+        let mut centroids: Vec<Vec<f64>> = (0..self.k)
+            .map(|c| self.points.point(c * n / self.k).to_vec())
+            .collect();
+        let mut labels = vec![0u32; n];
+
+        for it in 0..self.iterations {
+            if !iter_perf.keeps(it, self.iterations) {
+                continue;
+            }
+            let mut sums = vec![vec![0.0f64; dims]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for i in 0..n {
+                if !sample.keeps(i, n) || !assign_perf.keeps(i, n) {
+                    continue;
+                }
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = precision.quantize(self.points.dist2(i, centroid));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                    cost.ops += (3 * dims) as f64 * precision.op_cost();
+                    cost.bytes_touched += dims as f64 * 8.0;
+                }
+                labels[i] = best as u32;
+                counts[best] += 1;
+                for d in 0..dims {
+                    sums[best][d] += self.points.point(i)[d];
+                }
+                cost.ops += dims as f64;
+            }
+            for c in 0..self.k {
+                if counts[c] > 0 {
+                    for d in 0..dims {
+                        centroids[c][d] = precision.quantize(sums[c][d] / counts[c] as f64);
+                    }
+                }
+            }
+        }
+        // Final full assignment so skipped points still receive their nearest centroid —
+        // this is the output users consume and is never perforated (the original code does
+        // one final labelling pass too).
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = self.points.dist2(i, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            labels[i] = best as u32;
+            cost.ops += (self.k * dims) as f64 * 0.5;
+        }
+        (labels, cost)
+    }
+}
+
+impl ApproxKernel for KMeansKernel {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MineBench
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4, 5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(p))
+                    .with_label(format!("iters-truncate{p}")),
+            );
+        }
+        for p in [2u32, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_ASSIGNMENT, Perforation::KeepEveryNth(p))
+                    .with_label(format!("assign-keep1of{p}")),
+            );
+        }
+        for f in [0.6, 0.4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("sample{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (labels, cost) = self.cluster(config);
+        KernelRun::new(cost, KernelOutput::Labels(labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_clustering_recovers_structure() {
+        let k = KMeansKernel::small(1);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Labels(labels) => {
+                assert_eq!(labels.len(), 800);
+                // Points sharing a ground-truth cluster should mostly share a label.
+                let mut agree = 0usize;
+                let mut total = 0usize;
+                for i in (0..800).step_by(13) {
+                    for j in (0..800).step_by(17) {
+                        if i == j {
+                            continue;
+                        }
+                        if k.points.true_labels[i] == k.points.true_labels[j] {
+                            total += 1;
+                            if labels[i] == labels[j] {
+                                agree += 1;
+                            }
+                        }
+                    }
+                }
+                assert!(agree as f64 / total as f64 > 0.6, "clustering lost structure");
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn iteration_truncation_reduces_work() {
+        let k = KMeansKernel::small(1);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(3)));
+        assert!(approx.cost.ops < precise.cost.ops * 0.6);
+    }
+
+    #[test]
+    fn truncated_iterations_keep_labels_mostly_stable() {
+        let k = KMeansKernel::small(1);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(2)));
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 30.0, "inaccuracy {inacc}%");
+    }
+
+    #[test]
+    fn sampling_reduces_bytes() {
+        let k = KMeansKernel::small(1);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_input_sampling(0.4));
+        assert!(approx.cost.bytes_touched < precise.cost.bytes_touched * 0.7);
+    }
+}

@@ -1,0 +1,12 @@
+//! MineBench-derived kernels: data-mining applications.
+
+pub mod bayesian;
+pub mod birch;
+pub mod fuzzy_kmeans;
+pub mod genenet;
+pub mod kmeans;
+pub mod plsa;
+pub mod scalparc;
+pub mod semphy;
+pub mod snp;
+pub mod svm_rfe;

@@ -1,0 +1,228 @@
+//! PLSA — probabilistic latent semantic analysis via expectation-maximization.
+//!
+//! PLSA factorizes a document-term count matrix into topic distributions with EM. The
+//! paper highlights PLSA (like Bayesian) as offering a rich approximation space with 8
+//! pareto variants. Knobs: perforate EM iterations (site 0), perforate the document loop
+//! inside each E-step (site 1), perforate the term loop (site 2), sample documents, reduce
+//! precision.
+
+use crate::data::CountMatrix;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: EM iterations.
+pub const SITE_EM_ITERATIONS: u32 = 0;
+/// Perforable site: document loop.
+pub const SITE_DOCUMENTS: u32 = 1;
+/// Perforable site: term loop.
+pub const SITE_TERMS: u32 = 2;
+
+/// PLSA topic-modelling kernel.
+#[derive(Debug, Clone)]
+pub struct PlsaKernel {
+    data: CountMatrix,
+    topics: usize,
+    iterations: usize,
+}
+
+impl PlsaKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, docs: usize, terms: usize, topics: usize, iterations: usize) -> Self {
+        Self {
+            data: CountMatrix::synthetic(seed, docs, terms, topics),
+            topics,
+            iterations,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 120, 50, 5, 14)
+    }
+
+    fn factorize(&self, config: &ApproxConfig) -> (Vec<f64>, Cost) {
+        let docs = self.data.rows;
+        let terms = self.data.cols;
+        let k = self.topics;
+        let iter_perf = config.perforation(SITE_EM_ITERATIONS);
+        let doc_perf = config.perforation(SITE_DOCUMENTS);
+        let term_perf = config.perforation(SITE_TERMS);
+        let doc_sample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let mut cost = Cost::default();
+
+        // Initialize p(topic|doc) and p(term|topic) deterministically.
+        let mut p_td = vec![1.0 / k as f64; docs * k];
+        let mut p_wt: Vec<f64> = (0..k * terms)
+            .map(|i| {
+                let t = i / terms;
+                let w = i % terms;
+                1.0 / terms as f64 + if (w + t) % k == 0 { 0.01 } else { 0.0 }
+            })
+            .collect();
+        // Normalize p_wt rows.
+        for t in 0..k {
+            let s: f64 = p_wt[t * terms..(t + 1) * terms].iter().sum();
+            for w in 0..terms {
+                p_wt[t * terms + w] /= s;
+            }
+        }
+
+        for it in 0..self.iterations {
+            if !iter_perf.keeps(it, self.iterations) {
+                continue;
+            }
+            let mut new_p_wt = vec![1e-9f64; k * terms];
+            let mut new_p_td = vec![1e-9f64; docs * k];
+            for d in 0..docs {
+                if !doc_perf.keeps(d, docs) || !doc_sample.keeps(d, docs) {
+                    continue;
+                }
+                for w in 0..terms {
+                    if !term_perf.keeps(w, terms) {
+                        continue;
+                    }
+                    let count = self.data.at(d, w);
+                    if count <= 0.0 {
+                        continue;
+                    }
+                    // E-step: responsibility of each topic for (d, w).
+                    let mut denom = 0.0;
+                    for t in 0..k {
+                        denom += p_td[d * k + t] * p_wt[t * terms + w];
+                    }
+                    let denom = denom.max(1e-12);
+                    for t in 0..k {
+                        let resp = precision.quantize(p_td[d * k + t] * p_wt[t * terms + w] / denom);
+                        new_p_wt[t * terms + w] += count * resp;
+                        new_p_td[d * k + t] += count * resp;
+                    }
+                    cost.ops += (4 * k) as f64 * precision.op_cost();
+                    cost.bytes_touched += (2 * k) as f64 * 8.0;
+                }
+            }
+            // M-step: renormalize.
+            for t in 0..k {
+                let s: f64 = new_p_wt[t * terms..(t + 1) * terms].iter().sum();
+                for w in 0..terms {
+                    p_wt[t * terms + w] = precision.quantize(new_p_wt[t * terms + w] / s.max(1e-12));
+                }
+            }
+            for d in 0..docs {
+                let s: f64 = new_p_td[d * k..(d + 1) * k].iter().sum();
+                if s > 1e-8 {
+                    for t in 0..k {
+                        p_td[d * k + t] = precision.quantize(new_p_td[d * k + t] / s);
+                    }
+                }
+            }
+            cost.ops += (k * terms + docs * k) as f64;
+        }
+        // Output: the topic-term matrix (the model downstream consumers use).
+        (p_wt, cost)
+    }
+}
+
+impl ApproxKernel for PlsaKernel {
+    fn name(&self) -> &'static str {
+        "plsa"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MineBench
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4, 5, 7] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(p))
+                    .with_label(format!("em-truncate{p}")),
+            );
+        }
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_DOCUMENTS, Perforation::KeepEveryNth(p))
+                    .with_label(format!("docs-keep1of{p}")),
+            );
+        }
+        for p in [2u32, 3] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_TERMS, Perforation::KeepEveryNth(p))
+                    .with_label(format!("terms-keep1of{p}")),
+            );
+        }
+        for f in [0.7, 0.5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("docs{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(2))
+                .with_precision(Precision::F32)
+                .with_label("em-truncate2+f32"),
+        );
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (model, cost) = self.factorize(config);
+        KernelRun::new(cost, KernelOutput::Vector(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_model_rows_are_distributions() {
+        let k = PlsaKernel::small(6);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(p_wt) => {
+                assert_eq!(p_wt.len(), 5 * 50);
+                for t in 0..5 {
+                    let s: f64 = p_wt[t * 50..(t + 1) * 50].iter().sum();
+                    assert!((s - 1.0).abs() < 1e-6, "topic {t} sums to {s}");
+                }
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn rich_candidate_space() {
+        let k = PlsaKernel::small(6);
+        assert!(k.candidate_configs().len() >= 12);
+    }
+
+    #[test]
+    fn em_truncation_reduces_work_roughly_proportionally() {
+        let k = PlsaKernel::small(6);
+        let precise = k.run_precise();
+        let half = k.run(&ApproxConfig::precise().with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(2)));
+        let ratio = half.cost.ops / precise.cost.ops;
+        assert!(ratio < 0.7, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mild_truncation_error_is_smaller_than_aggressive() {
+        let k = PlsaKernel::small(6);
+        let precise = k.run_precise();
+        let mild =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(2)));
+        let aggressive =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(7)));
+        let e_mild = mild.output.inaccuracy_vs(&precise.output);
+        let e_aggr = aggressive.output.inaccuracy_vs(&precise.output);
+        assert!(e_mild <= e_aggr + 1e-9, "mild {e_mild}% vs aggressive {e_aggr}%");
+    }
+}

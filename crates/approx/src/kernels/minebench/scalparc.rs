@@ -1,0 +1,227 @@
+//! ScalParC — scalable parallel decision-tree classification.
+//!
+//! ScalParC builds a decision tree by evaluating candidate split points per attribute at
+//! every node. Knobs: perforate the candidate-split evaluation loop (site 0), perforate the
+//! tree-depth loop (site 1, truncating growth), sample training rows, reduce precision.
+
+use crate::data::CountMatrix;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: candidate split evaluation.
+pub const SITE_SPLIT_CANDIDATES: u32 = 0;
+/// Perforable site: tree depth (growth levels).
+pub const SITE_TREE_DEPTH: u32 = 1;
+
+/// Decision-tree induction kernel.
+#[derive(Debug, Clone)]
+pub struct ScalParCKernel {
+    data: CountMatrix,
+    max_depth: usize,
+}
+
+impl ScalParCKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, rows: usize, cols: usize, max_depth: usize) -> Self {
+        Self {
+            data: CountMatrix::synthetic(seed, rows, cols, 2),
+            max_depth,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 500, 24, 6)
+    }
+
+    fn label(&self, row: usize) -> u32 {
+        (row % 2) as u32
+    }
+
+    fn gini(&self, rows: &[usize]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let pos = rows.iter().filter(|&&r| self.label(r) == 1).count() as f64;
+        let p = pos / rows.len() as f64;
+        2.0 * p * (1.0 - p)
+    }
+
+    fn build(&self, config: &ApproxConfig) -> (Vec<u32>, Cost) {
+        let rows_total = self.data.rows;
+        let cols = self.data.cols;
+        let split_perf = config.perforation(SITE_SPLIT_CANDIDATES);
+        let depth_perf = config.perforation(SITE_TREE_DEPTH);
+        let row_sample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let mut cost = Cost::default();
+
+        let training: Vec<usize> = (0..rows_total).filter(|&r| row_sample.keeps(r, rows_total)).collect();
+
+        // Grow the tree breadth-first; leaves predict majority class. We record, for every
+        // training row, the leaf-majority prediction — that labelling is the output.
+        let mut node_rows: Vec<Vec<usize>> = vec![training.clone()];
+        for depth in 0..self.max_depth {
+            if !depth_perf.keeps(depth, self.max_depth) {
+                break;
+            }
+            let mut next_level: Vec<Vec<usize>> = Vec::new();
+            for rows in &node_rows {
+                if rows.len() < 8 || self.gini(rows) < 0.05 {
+                    next_level.push(rows.clone());
+                    continue;
+                }
+                // Evaluate candidate splits: one threshold per attribute (its mean), with
+                // the attribute loop perforable.
+                let mut best: Option<(usize, f64, f64)> = None; // (attr, threshold, gain)
+                let parent_gini = self.gini(rows);
+                for a in 0..cols {
+                    if !split_perf.keeps(a, cols) {
+                        continue;
+                    }
+                    let mean: f64 =
+                        rows.iter().map(|&r| self.data.at(r, a)).sum::<f64>() / rows.len() as f64;
+                    let (left, right): (Vec<usize>, Vec<usize>) =
+                        rows.iter().partition(|&&r| self.data.at(r, a) <= mean);
+                    cost.ops += rows.len() as f64 * 3.0 * precision.op_cost();
+                    cost.bytes_touched += rows.len() as f64 * 8.0;
+                    if left.is_empty() || right.is_empty() {
+                        continue;
+                    }
+                    let weighted = (left.len() as f64 * self.gini(&left)
+                        + right.len() as f64 * self.gini(&right))
+                        / rows.len() as f64;
+                    let gain = precision.quantize(parent_gini - weighted);
+                    if best.map_or(true, |(_, _, g)| gain > g) {
+                        best = Some((a, mean, gain));
+                    }
+                }
+                match best {
+                    Some((a, threshold, gain)) if gain > 1e-6 => {
+                        let (left, right): (Vec<usize>, Vec<usize>) =
+                            rows.iter().partition(|&&r| self.data.at(r, a) <= threshold);
+                        next_level.push(left);
+                        next_level.push(right);
+                    }
+                    _ => next_level.push(rows.clone()),
+                }
+            }
+            node_rows = next_level;
+        }
+
+        // Predictions for all rows (rows excluded by sampling get the global majority).
+        let mut predictions = vec![0u32; rows_total];
+        let global_majority = {
+            let pos = training.iter().filter(|&&r| self.label(r) == 1).count();
+            u32::from(pos * 2 > training.len())
+        };
+        for p in &mut predictions {
+            *p = global_majority;
+        }
+        for leaf in &node_rows {
+            if leaf.is_empty() {
+                continue;
+            }
+            let pos = leaf.iter().filter(|&&r| self.label(r) == 1).count();
+            let majority = u32::from(pos * 2 > leaf.len());
+            for &r in leaf {
+                predictions[r] = majority;
+            }
+        }
+        (predictions, cost)
+    }
+}
+
+impl ApproxKernel for ScalParCKernel {
+    fn name(&self) -> &'static str {
+        "scalparc"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MineBench
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_SPLIT_CANDIDATES, Perforation::KeepEveryNth(p))
+                    .with_label(format!("splits-keep1of{p}")),
+            );
+        }
+        for p in [2u32, 3] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_TREE_DEPTH, Perforation::TruncateBy(p))
+                    .with_label(format!("depth-truncate{p}")),
+            );
+        }
+        for f in [0.7, 0.5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("rows{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (predictions, cost) = self.build(config);
+        KernelRun::new(cost, KernelOutput::Labels(predictions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_tree_fits_training_data_reasonably() {
+        let k = ScalParCKernel::small(8);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Labels(pred) => {
+                let correct = pred
+                    .iter()
+                    .enumerate()
+                    .filter(|(r, p)| k.label(*r) == **p)
+                    .count();
+                let acc = correct as f64 / pred.len() as f64;
+                assert!(acc >= 0.5, "training accuracy {acc}");
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn split_perforation_reduces_work() {
+        let k = ScalParCKernel::small(8);
+        let precise = k.run_precise();
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_SPLIT_CANDIDATES, Perforation::KeepEveryNth(3)),
+        );
+        assert!(approx.cost.ops < precise.cost.ops * 0.8);
+    }
+
+    #[test]
+    fn depth_truncation_changes_output_moderately() {
+        let k = ScalParCKernel::small(8);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_TREE_DEPTH, Perforation::TruncateBy(3)));
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 60.0, "inaccuracy {inacc}%");
+        assert!(approx.cost.ops <= precise.cost.ops);
+    }
+
+    #[test]
+    fn row_sampling_reduces_bytes() {
+        let k = ScalParCKernel::small(8);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_input_sampling(0.5));
+        assert!(approx.cost.bytes_touched < precise.cost.bytes_touched);
+    }
+}

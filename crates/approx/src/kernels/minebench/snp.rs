@@ -1,0 +1,197 @@
+//! SNP — single-nucleotide-polymorphism association testing.
+//!
+//! The MineBench SNP application scans a genotype matrix for markers associated with a
+//! phenotype (chi-square style association statistics). The paper notes SNP's approximate
+//! variants (perforation plus synchronization elision) are particularly effective at
+//! reducing LLC contention. Knobs: perforate the marker loop (site 0), perforate the sample
+//! loop (site 1), elide the shared contingency-table synchronization, reduce precision.
+
+use crate::data::GenotypeMatrix;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision, SyncElision};
+
+/// Perforable site: marker (SNP) loop.
+pub const SITE_MARKERS: u32 = 0;
+/// Perforable site: per-sample accumulation loop.
+pub const SITE_SAMPLES: u32 = 1;
+
+/// SNP association-testing kernel.
+#[derive(Debug, Clone)]
+pub struct SnpKernel {
+    data: GenotypeMatrix,
+}
+
+impl SnpKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, samples: usize, markers: usize) -> Self {
+        Self {
+            data: GenotypeMatrix::synthetic(seed, samples, markers),
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 300, 400)
+    }
+
+    fn associate(&self, config: &ApproxConfig) -> (Vec<f64>, Cost) {
+        let samples = self.data.samples;
+        let markers = self.data.markers;
+        let marker_perf = config.perforation(SITE_MARKERS);
+        let sample_perf = config.perforation(SITE_SAMPLES);
+        let subsample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let sync = config.sync;
+        let mut cost = Cost::default();
+
+        let mut stats = vec![0.0f64; markers];
+        for m in 0..markers {
+            if !marker_perf.keeps(m, markers) {
+                // Skipped markers keep a zero statistic (treated as "not associated").
+                continue;
+            }
+            // 3 genotype classes × 2 phenotype classes contingency table.
+            let mut table = [[0.0f64; 2]; 3];
+            let mut considered = 0.0;
+            for s in 0..samples {
+                if !sample_perf.keeps(s, samples) || !subsample.keeps(s, samples) {
+                    continue;
+                }
+                // With elided synchronization, a fraction of table increments is lost
+                // (racy updates to the shared contingency table).
+                if !sync.refreshes(s + m) {
+                    continue;
+                }
+                let g = self.data.genotype(s, m) as usize;
+                let p = self.data.phenotypes[s] as usize;
+                table[g][p] += 1.0;
+                considered += 1.0;
+                cost.ops += 4.0 * precision.op_cost();
+                cost.bytes_touched += 2.0;
+            }
+            if considered < 4.0 {
+                continue;
+            }
+            // Chi-square statistic.
+            let row_sums: Vec<f64> = table.iter().map(|r| r[0] + r[1]).collect();
+            let col_sums = [
+                table.iter().map(|r| r[0]).sum::<f64>(),
+                table.iter().map(|r| r[1]).sum::<f64>(),
+            ];
+            let mut chi2 = 0.0;
+            for (g, row) in table.iter().enumerate() {
+                for (p, &obs) in row.iter().enumerate() {
+                    let expected = row_sums[g] * col_sums[p] / considered;
+                    if expected > 0.0 {
+                        chi2 += (obs - expected) * (obs - expected) / expected;
+                    }
+                    cost.ops += 5.0 * precision.op_cost();
+                }
+            }
+            stats[m] = precision.quantize(chi2);
+        }
+        (stats, cost)
+    }
+}
+
+impl ApproxKernel for SnpKernel {
+    fn name(&self) -> &'static str {
+        "snp"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MineBench
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(p))
+                    .with_label(format!("samples-keep1of{p}")),
+            );
+        }
+        for s in [2u32, 3] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_sync(SyncElision::with_staleness(s))
+                    .with_label(format!("elide-sync-stale{s}")),
+            );
+        }
+        for f in [0.7, 0.5] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("sample{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(2))
+                .with_sync(SyncElision::with_staleness(2))
+                .with_label("samples-keep1of2+stale2"),
+        );
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (stats, cost) = self.associate(config);
+        KernelRun::new(cost, KernelOutput::Vector(stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_markers_have_higher_statistics() {
+        let k = SnpKernel::small(5);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(stats) => {
+                assert_eq!(stats.len(), 400);
+                let causal_mean: f64 =
+                    stats.iter().step_by(20).sum::<f64>() / (stats.len() / 20) as f64;
+                let all_mean: f64 = stats.iter().sum::<f64>() / stats.len() as f64;
+                assert!(
+                    causal_mean > all_mean,
+                    "causal markers ({causal_mean}) should stand out over background ({all_mean})"
+                );
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn sample_perforation_reduces_work_substantially() {
+        let k = SnpKernel::small(5);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(2)));
+        assert!(approx.cost.ops < precise.cost.ops * 0.7);
+        assert!(approx.cost.bytes_touched < precise.cost.bytes_touched * 0.7);
+    }
+
+    #[test]
+    fn sync_elision_reduces_work_with_moderate_error() {
+        let k = SnpKernel::small(5);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_sync(SyncElision::with_staleness(2)));
+        assert!(approx.cost.ops < precise.cost.ops);
+        // Chi-square statistics are small in magnitude, so the per-element relative-error
+        // metric is harsh; the bound here only guards against completely broken output.
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 85.0, "inaccuracy {inacc}%");
+    }
+
+    #[test]
+    fn candidate_configs_cover_multiple_techniques() {
+        let cfgs = SnpKernel::small(5).candidate_configs();
+        assert!(cfgs.iter().any(|c| !c.sync.is_precise()));
+        assert!(cfgs.iter().any(|c| c.input_sampling.is_some()));
+        assert!(cfgs.iter().any(|c| !c.precision.is_precise()));
+    }
+}

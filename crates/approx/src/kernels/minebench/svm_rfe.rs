@@ -1,0 +1,224 @@
+//! SVM-RFE — support-vector-machine recursive feature elimination.
+//!
+//! SVM-RFE repeatedly trains a linear classifier and removes the features with the smallest
+//! weights. The kernel uses a margin-perceptron style linear trainer (a faithful stand-in
+//! for the linear-SVM subproblem) over the synthetic count matrix. Knobs: perforate the
+//! training epochs (site 0), perforate the elimination rounds (site 1), sample training
+//! rows, reduce precision.
+
+use crate::data::CountMatrix;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: training epochs of the inner linear classifier.
+pub const SITE_EPOCHS: u32 = 0;
+/// Perforable site: feature-elimination rounds.
+pub const SITE_ELIMINATION: u32 = 1;
+
+/// SVM-RFE feature-ranking kernel.
+#[derive(Debug, Clone)]
+pub struct SvmRfeKernel {
+    data: CountMatrix,
+    epochs: usize,
+    eliminate_per_round: usize,
+    target_features: usize,
+}
+
+impl SvmRfeKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, rows: usize, cols: usize) -> Self {
+        Self {
+            data: CountMatrix::synthetic(seed, rows, cols, 2),
+            epochs: 8,
+            eliminate_per_round: (cols / 10).max(1),
+            target_features: cols / 4,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 240, 60)
+    }
+
+    fn label(&self, row: usize) -> f64 {
+        if row % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    fn train_linear(
+        &self,
+        active: &[usize],
+        config: &ApproxConfig,
+        cost: &mut Cost,
+    ) -> Vec<f64> {
+        let rows = self.data.rows;
+        let epoch_perf = config.perforation(SITE_EPOCHS);
+        let row_sample = Perforation::KeepFraction(config.input_fraction());
+        let precision = config.precision;
+        let mut weights = vec![0.0f64; active.len()];
+        let lr = 0.01;
+        for e in 0..self.epochs {
+            if !epoch_perf.keeps(e, self.epochs) {
+                continue;
+            }
+            for r in 0..rows {
+                if !row_sample.keeps(r, rows) {
+                    continue;
+                }
+                let y = self.label(r);
+                let mut score = 0.0;
+                for (wi, &f) in active.iter().enumerate() {
+                    score += weights[wi] * self.data.at(r, f);
+                    cost.ops += 2.0 * precision.op_cost();
+                    cost.bytes_touched += 16.0;
+                }
+                if y * score < 1.0 {
+                    for (wi, &f) in active.iter().enumerate() {
+                        weights[wi] =
+                            precision.quantize(weights[wi] + lr * y * self.data.at(r, f));
+                        cost.ops += 3.0 * precision.op_cost();
+                    }
+                }
+            }
+        }
+        weights
+    }
+
+    fn rank_features(&self, config: &ApproxConfig) -> (Vec<u32>, Cost) {
+        let cols = self.data.cols;
+        let elim_perf = config.perforation(SITE_ELIMINATION);
+        let mut cost = Cost::default();
+        let mut active: Vec<usize> = (0..cols).collect();
+        let mut elimination_order: Vec<u32> = Vec::new();
+
+        let total_rounds = (cols - self.target_features).div_ceil(self.eliminate_per_round);
+        let mut round = 0usize;
+        while active.len() > self.target_features {
+            let weights = if elim_perf.keeps(round, total_rounds) {
+                self.train_linear(&active, config, &mut cost)
+            } else {
+                // Skipped round: eliminate by raw feature variance instead of retraining.
+                active
+                    .iter()
+                    .map(|&f| {
+                        let mean: f64 =
+                            (0..self.data.rows).map(|r| self.data.at(r, f)).sum::<f64>()
+                                / self.data.rows as f64;
+                        (0..self.data.rows)
+                            .map(|r| (self.data.at(r, f) - mean).powi(2))
+                            .sum::<f64>()
+                    })
+                    .collect()
+            };
+            round += 1;
+            // Eliminate the features with the smallest |weight|.
+            let mut order: Vec<usize> = (0..active.len()).collect();
+            order.sort_by(|&a, &b| weights[a].abs().partial_cmp(&weights[b].abs()).unwrap());
+            let to_remove: Vec<usize> = order
+                .iter()
+                .take(self.eliminate_per_round.min(active.len() - self.target_features))
+                .map(|&i| active[i])
+                .collect();
+            for f in to_remove {
+                elimination_order.push(f as u32);
+                active.retain(|&x| x != f);
+            }
+            cost.ops += (active.len() as f64) * (active.len() as f64).log2().max(1.0);
+        }
+        // Output: the surviving feature set (sorted), which is what downstream users of
+        // RFE consume.
+        let mut survivors: Vec<u32> = active.iter().map(|&f| f as u32).collect();
+        survivors.sort_unstable();
+        (survivors, cost)
+    }
+}
+
+impl ApproxKernel for SvmRfeKernel {
+    fn name(&self) -> &'static str {
+        "svm_rfe"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MineBench
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_EPOCHS, Perforation::TruncateBy(p))
+                    .with_label(format!("epochs-truncate{p}")),
+            );
+        }
+        for p in [2u32, 3] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_ELIMINATION, Perforation::KeepEveryNth(p))
+                    .with_label(format!("rounds-keep1of{p}")),
+            );
+        }
+        for f in [0.6, 0.4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("rows{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (survivors, cost) = self.rank_features(config);
+        KernelRun::new(cost, KernelOutput::Labels(survivors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_run_keeps_target_feature_count() {
+        let k = SvmRfeKernel::small(2);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Labels(survivors) => {
+                assert_eq!(survivors.len(), 15);
+                assert!(survivors.windows(2).all(|w| w[0] < w[1]));
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn epoch_truncation_reduces_work() {
+        let k = SvmRfeKernel::small(2);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_EPOCHS, Perforation::TruncateBy(4)));
+        assert!(approx.cost.ops < precise.cost.ops * 0.6);
+    }
+
+    #[test]
+    fn row_sampling_reduces_bytes() {
+        let k = SvmRfeKernel::small(2);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_input_sampling(0.4));
+        assert!(approx.cost.bytes_touched < precise.cost.bytes_touched);
+    }
+
+    #[test]
+    fn mild_truncation_keeps_feature_set_overlapping() {
+        let k = SvmRfeKernel::small(2);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_EPOCHS, Perforation::TruncateBy(2)));
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 80.0, "inaccuracy {inacc}%");
+    }
+}

@@ -1,0 +1,219 @@
+//! canneal — simulated-annealing netlist placement.
+//!
+//! The PARSEC canneal benchmark minimizes total wire length of a chip netlist by randomly
+//! swapping element placements under a cooling schedule. The paper notes that perforating
+//! annealing iterations is particularly effective because iterations that do not improve
+//! the solution contribute no useful work. This kernel reproduces that structure: a
+//! synthetic netlist, a swap-based annealing loop (perforable, site 0), an inner cost
+//! re-evaluation loop over incident nets (perforable, site 1), and reduced-precision cost
+//! accumulation.
+
+use rand::Rng;
+
+use pliant_telemetry::rng::seeded_rng;
+
+use crate::data::Netlist;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: the outer annealing (swap) loop.
+pub const SITE_ANNEAL_LOOP: u32 = 0;
+/// Perforable site: the incident-net cost evaluation loop.
+pub const SITE_NET_EVAL: u32 = 1;
+
+/// Simulated-annealing placement kernel.
+#[derive(Debug, Clone)]
+pub struct CannealKernel {
+    netlist: Netlist,
+    seed: u64,
+    sweeps: usize,
+    start_temperature: f64,
+}
+
+impl CannealKernel {
+    /// Creates a kernel instance with an explicit problem size.
+    pub fn new(seed: u64, elements: usize, edges_per_element: usize, sweeps: usize) -> Self {
+        Self {
+            netlist: Netlist::synthetic(seed, elements, edges_per_element),
+            seed,
+            sweeps,
+            start_temperature: 8.0,
+        }
+    }
+
+    /// Small instance suitable for unit tests and fast design-space exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 256, 4, 24)
+    }
+
+    fn anneal(&self, config: &ApproxConfig) -> (Vec<u32>, Cost) {
+        let n = self.netlist.elements;
+        let mut rng = seeded_rng(self.seed.wrapping_add(17));
+        let mut placement: Vec<u32> = (0..n as u32).collect();
+        let outer = config.perforation(SITE_ANNEAL_LOOP);
+        let inner = config.perforation(SITE_NET_EVAL);
+        let precision = config.precision;
+        let mut cost = Cost::default();
+
+        // Pre-compute incident nets per element for delta evaluation.
+        let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ni, &(a, b)) in self.netlist.nets.iter().enumerate() {
+            incident[a as usize].push(ni);
+            incident[b as usize].push(ni);
+        }
+
+        let total_moves = self.sweeps * n;
+        let mut temperature = self.start_temperature;
+        for step in 0..total_moves {
+            if step % n == 0 && step > 0 {
+                temperature *= 0.85;
+            }
+            if !outer.keeps(step, total_moves) {
+                continue;
+            }
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            // Delta cost of swapping placements of a and b, over their incident nets
+            // (inner perforable loop).
+            let mut delta = 0.0f64;
+            let eval_one = |placement: &[u32], elem: usize, nets: &[usize], cost: &mut Cost| -> f64 {
+                let mut sum = 0.0;
+                for (k, &ni) in nets.iter().enumerate() {
+                    if !inner.keeps(k, nets.len()) {
+                        continue;
+                    }
+                    let (x, y) = self.netlist.nets[ni];
+                    let _ = elem;
+                    let w = self.netlist.width as i64;
+                    let px = placement[x as usize] as i64;
+                    let py = placement[y as usize] as i64;
+                    sum += ((px % w - py % w).abs() + (px / w - py / w).abs()) as f64;
+                    cost.ops += 6.0 * precision.op_cost();
+                    cost.bytes_touched += 24.0;
+                }
+                precision.quantize(sum)
+            };
+            let before =
+                eval_one(&placement, a, &incident[a], &mut cost) + eval_one(&placement, b, &incident[b], &mut cost);
+            placement.swap(a, b);
+            let after =
+                eval_one(&placement, a, &incident[a], &mut cost) + eval_one(&placement, b, &incident[b], &mut cost);
+            delta += after - before;
+
+            let accept = delta < 0.0 || {
+                let u: f64 = rng.gen_range(0.0f64..1.0);
+                u < (-delta / temperature.max(1e-6)).exp()
+            };
+            if !accept {
+                placement.swap(a, b);
+            }
+            cost.ops += 8.0;
+        }
+        (placement, cost)
+    }
+}
+
+impl ApproxKernel for CannealKernel {
+    fn name(&self) -> &'static str {
+        "canneal"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4, 6, 8] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_ANNEAL_LOOP, Perforation::SkipEveryNth(p.max(2)))
+                    .with_label(format!("anneal-skip1of{p}")),
+            );
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_ANNEAL_LOOP, Perforation::KeepEveryNth(p))
+                    .with_label(format!("anneal-keep1of{p}")),
+            );
+        }
+        for p in [2u32, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_NET_EVAL, Perforation::KeepEveryNth(p))
+                    .with_label(format!("neteval-keep1of{p}")),
+            );
+        }
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_ANNEAL_LOOP, Perforation::KeepEveryNth(2))
+                .with_precision(Precision::F32)
+                .with_label("anneal-keep1of2+f32"),
+        );
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (placement, cost) = self.anneal(config);
+        // Output quality is the achieved wire length (lower is better); inaccuracy is the
+        // relative regression versus the precise run's wire length.
+        let wl = self.netlist.wire_length(&placement);
+        KernelRun::new(cost, KernelOutput::Scalar(wl))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_run_improves_over_initial_placement() {
+        let k = CannealKernel::small(3);
+        let initial: Vec<u32> = (0..k.netlist.elements as u32).collect();
+        let initial_wl = k.netlist.wire_length(&initial);
+        let run = k.run_precise();
+        match run.output {
+            KernelOutput::Scalar(final_wl) => {
+                assert!(final_wl <= initial_wl, "annealing should not worsen placement");
+            }
+            _ => panic!("unexpected output kind"),
+        }
+        assert!(run.cost.ops > 0.0);
+    }
+
+    #[test]
+    fn perforation_reduces_work() {
+        let k = CannealKernel::small(3);
+        let precise = k.run_precise();
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_ANNEAL_LOOP, Perforation::KeepEveryNth(4)),
+        );
+        assert!(approx.cost.ops < precise.cost.ops * 0.6);
+    }
+
+    #[test]
+    fn inaccuracy_of_mild_perforation_is_bounded() {
+        let k = CannealKernel::small(3);
+        let precise = k.run_precise();
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_ANNEAL_LOOP, Perforation::SkipEveryNth(8)),
+        );
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 30.0, "mild perforation produced {inacc}% inaccuracy");
+    }
+
+    #[test]
+    fn candidate_configs_are_all_approximate() {
+        let k = CannealKernel::small(1);
+        for cfg in k.candidate_configs() {
+            assert!(!cfg.is_precise(), "candidate {:?} is precise", cfg.label);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! fluidanimate — smoothed-particle-hydrodynamics (SPH) fluid simulation.
+//!
+//! The PARSEC fluidanimate benchmark advances a particle fluid through time steps; most of
+//! the work is the pairwise density/force computation between particles in neighbouring
+//! grid cells, protected by per-cell locks in the parallel original. Approximation knobs:
+//! perforate time steps (site 0), perforate the neighbour-interaction loop (site 1), elide
+//! the per-cell synchronization (stale neighbour densities), and reduce precision.
+
+use crate::data::PointCloud;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision, SyncElision};
+
+/// Perforable site: simulation time steps.
+pub const SITE_TIME_STEPS: u32 = 0;
+/// Perforable site: neighbour-interaction loop.
+pub const SITE_NEIGHBOURS: u32 = 1;
+
+/// SPH fluid-simulation kernel.
+#[derive(Debug, Clone)]
+pub struct FluidanimateKernel {
+    particles: PointCloud,
+    steps: usize,
+    interaction_radius: f64,
+}
+
+impl FluidanimateKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, n_particles: usize, steps: usize) -> Self {
+        Self {
+            particles: PointCloud::gaussian_mixture(seed, n_particles, 3, 6),
+            steps,
+            interaction_radius: 2.0,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 280, 8)
+    }
+
+    fn simulate(&self, config: &ApproxConfig) -> (Vec<f64>, Cost) {
+        let n = self.particles.len();
+        let dims = self.particles.dims;
+        let steps_perf = config.perforation(SITE_TIME_STEPS);
+        let neigh_perf = config.perforation(SITE_NEIGHBOURS);
+        let precision = config.precision;
+        let sync = config.sync;
+        let mut cost = Cost::default();
+
+        let mut positions: Vec<f64> = self.particles.data.clone();
+        let mut velocities: Vec<f64> = vec![0.0; n * dims];
+        let mut densities: Vec<f64> = vec![1.0; n];
+        let r2 = self.interaction_radius * self.interaction_radius;
+
+        for step in 0..self.steps {
+            if !steps_perf.keeps(step, self.steps) {
+                continue;
+            }
+            // Density pass. With elided synchronization, densities are only refreshed on
+            // some steps and stale values are reused (mimicking racy reads).
+            if sync.refreshes(step) {
+                for i in 0..n {
+                    let mut rho = 1.0;
+                    let mut considered = 0usize;
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        if !neigh_perf.keeps(considered, n - 1) {
+                            considered += 1;
+                            continue;
+                        }
+                        considered += 1;
+                        let mut d2 = 0.0;
+                        for d in 0..dims {
+                            let diff = positions[i * dims + d] - positions[j * dims + d];
+                            d2 += diff * diff;
+                        }
+                        cost.ops += (3 * dims) as f64 * precision.op_cost();
+                        cost.bytes_touched += (2 * dims) as f64 * 8.0;
+                        if d2 < r2 {
+                            let w = (r2 - d2) / r2;
+                            rho += w * w * w;
+                            cost.ops += 4.0 * precision.op_cost();
+                        }
+                    }
+                    densities[i] = precision.quantize(rho);
+                }
+            } else {
+                cost.ops += n as f64; // bookkeeping only
+            }
+            // Force + integration pass (pressure gradient toward less dense regions).
+            for i in 0..n {
+                for d in 0..dims {
+                    let grad = (densities[i] - 1.0) * 0.01;
+                    velocities[i * dims + d] =
+                        precision.quantize(velocities[i * dims + d] * 0.98 - grad);
+                    positions[i * dims + d] =
+                        precision.quantize(positions[i * dims + d] + velocities[i * dims + d] * 0.05);
+                    cost.ops += 6.0 * precision.op_cost();
+                    cost.bytes_touched += 24.0;
+                }
+            }
+        }
+        (densities, cost)
+    }
+}
+
+impl ApproxKernel for FluidanimateKernel {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_NEIGHBOURS, Perforation::KeepEveryNth(p))
+                    .with_label(format!("neigh-keep1of{p}")),
+            );
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_TIME_STEPS, Perforation::SkipEveryNth(p.max(2)))
+                    .with_label(format!("steps-skip1of{p}")),
+            );
+        }
+        for s in [2u32, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_sync(SyncElision::with_staleness(s))
+                    .with_label(format!("elide-sync-stale{s}")),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_NEIGHBOURS, Perforation::KeepEveryNth(2))
+                .with_sync(SyncElision::with_staleness(2))
+                .with_label("neigh-keep1of2+stale2"),
+        );
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (densities, cost) = self.simulate(config);
+        KernelRun::new(cost, KernelOutput::Vector(densities))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_densities_are_positive() {
+        let k = FluidanimateKernel::small(2);
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(d) => {
+                assert_eq!(d.len(), 280);
+                assert!(d.iter().all(|x| *x >= 1.0));
+            }
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn neighbour_perforation_halves_interaction_work() {
+        let k = FluidanimateKernel::small(2);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_NEIGHBOURS, Perforation::KeepEveryNth(2)));
+        assert!(approx.cost.ops < precise.cost.ops * 0.75);
+    }
+
+    #[test]
+    fn sync_elision_reduces_work_with_bounded_error() {
+        let k = FluidanimateKernel::small(2);
+        let precise = k.run_precise();
+        let approx = k.run(&ApproxConfig::precise().with_sync(SyncElision::with_staleness(4)));
+        assert!(approx.cost.ops < precise.cost.ops);
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 50.0, "stale densities caused {inacc}% error");
+    }
+
+    #[test]
+    fn step_perforation_changes_output_mildly() {
+        let k = FluidanimateKernel::small(2);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_TIME_STEPS, Perforation::SkipEveryNth(4)));
+        let inacc = approx.output.inaccuracy_vs(&precise.output);
+        assert!(inacc > 0.0);
+        assert!(inacc < 60.0);
+    }
+}

@@ -1,0 +1,5 @@
+//! PARSEC-derived kernels: canneal, streamcluster, fluidanimate.
+
+pub mod canneal;
+pub mod fluidanimate;
+pub mod streamcluster;

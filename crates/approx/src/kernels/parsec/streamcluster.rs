@@ -1,0 +1,194 @@
+//! streamcluster — online k-median clustering of a point stream.
+//!
+//! The PARSEC streamcluster benchmark clusters a stream of points by opening facilities
+//! (medians) and repeatedly trying to improve the solution with local search ("gain"
+//! evaluation). Approximation knobs: perforate the local-search passes (site 0), perforate
+//! the per-point gain evaluation (site 1), sample the input stream, and reduce precision.
+
+use pliant_telemetry::rng::seeded_rng;
+use rand::Rng;
+
+use crate::data::PointCloud;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision};
+
+/// Perforable site: local-search improvement passes.
+pub const SITE_SEARCH_PASSES: u32 = 0;
+/// Perforable site: per-point gain evaluation.
+pub const SITE_GAIN_EVAL: u32 = 1;
+
+/// Online k-median clustering kernel.
+#[derive(Debug, Clone)]
+pub struct StreamclusterKernel {
+    points: PointCloud,
+    target_centers: usize,
+    search_passes: usize,
+    seed: u64,
+}
+
+impl StreamclusterKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, n_points: usize, dims: usize, target_centers: usize, passes: usize) -> Self {
+        Self {
+            points: PointCloud::gaussian_mixture(seed, n_points, dims, target_centers),
+            target_centers,
+            search_passes: passes,
+            seed,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 600, 4, 8, 6)
+    }
+
+    fn cluster(&self, config: &ApproxConfig) -> (f64, Cost) {
+        let n = self.points.len();
+        let keep_fraction = config.input_fraction();
+        let sample = Perforation::KeepFraction(keep_fraction);
+        let active: Vec<usize> = (0..n).filter(|&i| sample.keeps(i, n)).collect();
+        let passes_perf = config.perforation(SITE_SEARCH_PASSES);
+        let gain_perf = config.perforation(SITE_GAIN_EVAL);
+        let precision = config.precision;
+        let mut cost = Cost::default();
+        let mut rng = seeded_rng(self.seed.wrapping_add(41));
+
+        // Start with the first `k` active points as centers.
+        let k = self.target_centers.min(active.len().max(1));
+        let mut centers: Vec<Vec<f64>> = active
+            .iter()
+            .take(k)
+            .map(|&i| self.points.point(i).to_vec())
+            .collect();
+        if centers.is_empty() {
+            centers.push(vec![0.0; self.points.dims]);
+        }
+
+        let assignment_cost = |centers: &[Vec<f64>], cost: &mut Cost| -> f64 {
+            let mut total = 0.0;
+            for &i in &active {
+                let mut best = f64::INFINITY;
+                for c in centers {
+                    let d = self.points.dist2(i, c);
+                    if d < best {
+                        best = d;
+                    }
+                    cost.ops += self.points.dims as f64 * precision.op_cost();
+                    cost.bytes_touched += self.points.dims as f64 * 8.0;
+                }
+                total += precision.quantize(best.sqrt());
+            }
+            total
+        };
+
+        let mut best_cost = assignment_cost(&centers, &mut cost);
+        for pass in 0..self.search_passes {
+            if !passes_perf.keeps(pass, self.search_passes) {
+                continue;
+            }
+            // Local search: try to replace each center with a random active point.
+            for (ci, _) in centers.clone().iter().enumerate() {
+                if !gain_perf.keeps(ci, centers.len()) {
+                    continue;
+                }
+                let candidate = active[rng.gen_range(0..active.len())];
+                let old = std::mem::replace(&mut centers[ci], self.points.point(candidate).to_vec());
+                let new_cost = assignment_cost(&centers, &mut cost);
+                if new_cost < best_cost {
+                    best_cost = new_cost;
+                } else {
+                    centers[ci] = old;
+                }
+            }
+        }
+        (best_cost, cost)
+    }
+}
+
+impl ApproxKernel for StreamclusterKernel {
+    fn name(&self) -> &'static str {
+        "streamcluster"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4, 6] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_SEARCH_PASSES, Perforation::KeepEveryNth(p))
+                    .with_label(format!("passes-keep1of{p}")),
+            );
+        }
+        for p in [2u32, 3] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_GAIN_EVAL, Perforation::KeepEveryNth(p))
+                    .with_label(format!("gain-keep1of{p}")),
+            );
+        }
+        for f in [0.75, 0.5, 0.35] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_input_sampling(f)
+                    .with_label(format!("sample{:.0}%", f * 100.0)),
+            );
+        }
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_SEARCH_PASSES, Perforation::KeepEveryNth(2))
+                .with_input_sampling(0.5)
+                .with_label("passes-keep1of2+sample50%"),
+        );
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (objective, cost) = self.cluster(config);
+        KernelRun::new(cost, KernelOutput::Scalar(objective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_objective_is_positive_and_finite() {
+        let k = StreamclusterKernel::small(5);
+        let run = k.run_precise();
+        match run.output {
+            KernelOutput::Scalar(obj) => assert!(obj > 0.0 && obj.is_finite()),
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn sampling_reduces_bytes_touched() {
+        let k = StreamclusterKernel::small(5);
+        let precise = k.run_precise();
+        let sampled = k.run(&ApproxConfig::precise().with_input_sampling(0.4));
+        assert!(sampled.cost.bytes_touched < precise.cost.bytes_touched * 0.7);
+    }
+
+    #[test]
+    fn perforating_passes_reduces_ops() {
+        let k = StreamclusterKernel::small(5);
+        let precise = k.run_precise();
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_SEARCH_PASSES, Perforation::KeepEveryNth(3)));
+        assert!(approx.cost.ops < precise.cost.ops);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let k = StreamclusterKernel::small(9);
+        let a = k.run_precise();
+        let b = k.run_precise();
+        assert_eq!(a.output, b.output);
+    }
+}

@@ -1,0 +1,5 @@
+//! SPLASH-2-derived kernels: water_nsquared, water_spatial, raytrace.
+
+pub mod raytrace;
+pub mod water_nsquared;
+pub mod water_spatial;

@@ -1,0 +1,193 @@
+//! water_nsquared — O(n²) molecular-dynamics simulation of water molecules.
+//!
+//! The SPLASH-2 water-nsquared application evaluates pairwise intermolecular forces
+//! between all molecule pairs each time step. Approximation knobs: perforate the pairwise
+//! force loop (site 0), perforate time steps (site 1), reduce precision, and elide the
+//! inter-thread accumulation synchronization (stale partial forces).
+
+use crate::data::PointCloud;
+use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
+use crate::techniques::{Perforation, Precision, SyncElision};
+
+/// Perforable site: pairwise force evaluation.
+pub const SITE_PAIR_FORCES: u32 = 0;
+/// Perforable site: simulation time steps.
+pub const SITE_TIME_STEPS: u32 = 1;
+
+/// O(n²) molecular-dynamics kernel.
+#[derive(Debug, Clone)]
+pub struct WaterNsquaredKernel {
+    molecules: PointCloud,
+    steps: usize,
+}
+
+impl WaterNsquaredKernel {
+    /// Creates a kernel instance with explicit sizes.
+    pub fn new(seed: u64, n_molecules: usize, steps: usize) -> Self {
+        Self {
+            molecules: PointCloud::gaussian_mixture(seed, n_molecules, 3, 5),
+            steps,
+        }
+    }
+
+    /// Small instance for tests and fast exploration.
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed, 220, 10)
+    }
+
+    fn simulate(&self, config: &ApproxConfig) -> (f64, Cost) {
+        let n = self.molecules.len();
+        let dims = self.molecules.dims;
+        let pair_perf = config.perforation(SITE_PAIR_FORCES);
+        let step_perf = config.perforation(SITE_TIME_STEPS);
+        let precision = config.precision;
+        let sync = config.sync;
+        let mut cost = Cost::default();
+
+        let mut pos = self.molecules.data.clone();
+        let mut vel = vec![0.0f64; n * dims];
+        let mut potential_energy = 0.0f64;
+
+        for step in 0..self.steps {
+            if !step_perf.keeps(step, self.steps) {
+                continue;
+            }
+            let mut forces = vec![0.0f64; n * dims];
+            let mut step_energy = 0.0f64;
+            let mut pair_index = 0usize;
+            let total_pairs = n * (n - 1) / 2;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let keep = pair_perf.keeps(pair_index, total_pairs);
+                    pair_index += 1;
+                    if !keep {
+                        continue;
+                    }
+                    let mut d2 = 0.0;
+                    for d in 0..dims {
+                        let diff = pos[i * dims + d] - pos[j * dims + d];
+                        d2 += diff * diff;
+                    }
+                    let d2 = d2.max(0.25);
+                    // Lennard-Jones-style 6-12 interaction.
+                    let inv6 = 1.0 / (d2 * d2 * d2);
+                    let inv12 = inv6 * inv6;
+                    step_energy += precision.quantize(4.0 * (inv12 - inv6));
+                    let fmag = precision.quantize(24.0 * (2.0 * inv12 - inv6) / d2);
+                    for d in 0..dims {
+                        let diff = pos[i * dims + d] - pos[j * dims + d];
+                        // With elided synchronization, a fraction of force contributions is
+                        // dropped (lost updates from racy accumulation).
+                        if sync.refreshes(pair_index + d) {
+                            forces[i * dims + d] += fmag * diff;
+                            forces[j * dims + d] -= fmag * diff;
+                        }
+                    }
+                    cost.ops += (10 + 4 * dims) as f64 * precision.op_cost();
+                    cost.bytes_touched += (4 * dims) as f64 * 8.0;
+                }
+            }
+            // Integrate.
+            for i in 0..n {
+                for d in 0..dims {
+                    vel[i * dims + d] = precision.quantize(vel[i * dims + d] + forces[i * dims + d] * 1e-4);
+                    pos[i * dims + d] = precision.quantize(pos[i * dims + d] + vel[i * dims + d] * 0.01);
+                    cost.ops += 4.0 * precision.op_cost();
+                }
+            }
+            potential_energy = step_energy;
+        }
+        (potential_energy, cost)
+    }
+}
+
+impl ApproxKernel for WaterNsquaredKernel {
+    fn name(&self) -> &'static str {
+        "water_nsquared"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Splash2
+    }
+
+    fn candidate_configs(&self) -> Vec<ApproxConfig> {
+        let mut cfgs = Vec::new();
+        for p in [2u32, 3, 4, 8] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_PAIR_FORCES, Perforation::SkipEveryNth(p.max(2)))
+                    .with_label(format!("pairs-skip1of{p}")),
+            );
+        }
+        for p in [2u32, 4] {
+            cfgs.push(
+                ApproxConfig::precise()
+                    .with_perforation(SITE_PAIR_FORCES, Perforation::KeepEveryNth(p))
+                    .with_label(format!("pairs-keep1of{p}")),
+            );
+        }
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_perforation(SITE_TIME_STEPS, Perforation::SkipEveryNth(5))
+                .with_label("steps-skip1of5"),
+        );
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_sync(SyncElision::with_staleness(3))
+                .with_label("elide-sync-stale3"),
+        );
+        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs
+    }
+
+    fn run(&self, config: &ApproxConfig) -> KernelRun {
+        let (energy, cost) = self.simulate(config);
+        KernelRun::new(cost, KernelOutput::Scalar(energy.abs() + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_energy_is_finite() {
+        let run = WaterNsquaredKernel::small(4).run_precise();
+        match run.output {
+            KernelOutput::Scalar(e) => assert!(e.is_finite() && e > 0.0),
+            _ => panic!("unexpected output"),
+        }
+    }
+
+    #[test]
+    fn pair_perforation_scales_work_down() {
+        let k = WaterNsquaredKernel::small(4);
+        let precise = k.run_precise();
+        let half =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_PAIR_FORCES, Perforation::KeepEveryNth(2)));
+        let ratio = half.cost.ops / precise.cost.ops;
+        assert!(ratio < 0.75, "expected large reduction, got ratio {ratio}");
+    }
+
+    #[test]
+    fn skip_perforation_error_smaller_than_keep() {
+        let k = WaterNsquaredKernel::small(4);
+        let precise = k.run_precise();
+        let mild =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_PAIR_FORCES, Perforation::SkipEveryNth(8)));
+        let aggressive =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_PAIR_FORCES, Perforation::KeepEveryNth(4)));
+        let e_mild = mild.output.inaccuracy_vs(&precise.output);
+        let e_aggr = aggressive.output.inaccuracy_vs(&precise.output);
+        assert!(e_mild <= e_aggr + 5.0, "mild {e_mild}% vs aggressive {e_aggr}%");
+    }
+
+    #[test]
+    fn f32_precision_has_small_error() {
+        let k = WaterNsquaredKernel::small(4);
+        let precise = k.run_precise();
+        let f32run = k.run(&ApproxConfig::precise().with_precision(Precision::F32));
+        let inacc = f32run.output.inaccuracy_vs(&precise.output);
+        assert!(inacc < 10.0, "f32 error {inacc}%");
+    }
+}

@@ -1,0 +1,48 @@
+//! Approximate-computing applications and approximation techniques for the Pliant
+//! reproduction.
+//!
+//! The paper evaluates Pliant with 24 approximate applications drawn from PARSEC,
+//! SPLASH-2, MineBench, and BioPerf. This crate provides:
+//!
+//! * [`techniques`] — the approximation strategies the paper explores (loop perforation,
+//!   synchronization elision, reduced precision, input sampling), as reusable adapters.
+//! * [`kernel`] — the [`kernel::ApproxKernel`] trait plus the configuration and quality
+//!   types the design-space exploration operates on.
+//! * [`kernels`] — simplified but genuine Rust implementations of all 24 applications,
+//!   grouped by benchmark suite. Each kernel exposes the perforable sites / precision knobs
+//!   its original counterpart exposes and measures output quality against its own precise
+//!   execution.
+//! * [`catalog`] — calibrated per-application profiles (ordered approximate variants,
+//!   resource pressure on cores/LLC/memory bandwidth) used by the co-location simulator and
+//!   the Pliant runtime. Catalog entries mirror the qualitative characteristics reported in
+//!   the paper (e.g. canneal has 4 pareto variants and is LLC-heavy; Bayesian and PLSA have
+//!   8 variants; raytrace has only 2).
+//! * [`data`] — deterministic synthetic input generators shared by the kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use pliant_approx::kernel::{ApproxConfig, ApproxKernel};
+//! use pliant_approx::kernels::minebench::kmeans::KMeansKernel;
+//!
+//! let kernel = KMeansKernel::small(42);
+//! let precise = kernel.run(&ApproxConfig::precise());
+//! // Every candidate approximate configuration must cost no more work than precise.
+//! for cfg in kernel.candidate_configs() {
+//!     let run = kernel.run(&cfg);
+//!     assert!(run.cost.ops <= precise.cost.ops);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod data;
+pub mod kernel;
+pub mod kernels;
+pub mod techniques;
+
+pub use catalog::{AppId, AppProfile, Catalog, ResourcePressure, VariantProfile};
+pub use kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun};
+pub use techniques::{Perforation, Precision};

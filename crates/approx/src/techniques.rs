@@ -1,0 +1,298 @@
+//! Approximation techniques.
+//!
+//! The paper (§3) explores three families of approximation strategies: **loop
+//! perforation**, **synchronization elision**, and **lower-precision data types**. This
+//! module provides them as small, reusable adapters that the kernels apply to their inner
+//! loops and data, plus input **sampling**, which several MineBench/BioPerf kernels use as
+//! their natural perforation target.
+
+use serde::{Deserialize, Serialize};
+
+/// How a loop is perforated.
+///
+/// Matches the mechanisms described in §3 of the paper: execute only a prefix chunk of the
+/// iterations, execute every p-th iteration, or skip every p-th iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Perforation {
+    /// Precise execution: run every iteration.
+    None,
+    /// Run only the first `ceil(n / p)` iterations (factor `p >= 1`).
+    TruncateBy(u32),
+    /// Run every `p`-th iteration only (keeps ~`1/p` of iterations, `p >= 1`).
+    KeepEveryNth(u32),
+    /// Skip every `p`-th iteration (keeps ~`(p-1)/p` of iterations, `p >= 2`).
+    SkipEveryNth(u32),
+    /// Keep each iteration with the given probability, decided by a deterministic hash of
+    /// the iteration index (stateless, reproducible).
+    KeepFraction(f64),
+}
+
+impl Default for Perforation {
+    fn default() -> Self {
+        Perforation::None
+    }
+}
+
+impl Perforation {
+    /// Returns whether iteration `i` of a loop with `n` total iterations should execute.
+    pub fn keeps(&self, i: usize, n: usize) -> bool {
+        match *self {
+            Perforation::None => true,
+            Perforation::TruncateBy(p) => {
+                let p = p.max(1) as usize;
+                i < n.div_ceil(p)
+            }
+            Perforation::KeepEveryNth(p) => {
+                let p = p.max(1) as usize;
+                i % p == 0
+            }
+            Perforation::SkipEveryNth(p) => {
+                let p = p.max(2) as usize;
+                (i + 1) % p != 0
+            }
+            Perforation::KeepFraction(f) => {
+                if f >= 1.0 {
+                    return true;
+                }
+                if f <= 0.0 {
+                    return false;
+                }
+                // SplitMix-style hash of the index → uniform in [0,1).
+                let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z as f64 / u64::MAX as f64) < f
+            }
+        }
+    }
+
+    /// Expected fraction of iterations kept (in `[0, 1]`).
+    pub fn expected_kept_fraction(&self) -> f64 {
+        match *self {
+            Perforation::None => 1.0,
+            Perforation::TruncateBy(p) => 1.0 / p.max(1) as f64,
+            Perforation::KeepEveryNth(p) => 1.0 / p.max(1) as f64,
+            Perforation::SkipEveryNth(p) => {
+                let p = p.max(2) as f64;
+                (p - 1.0) / p
+            }
+            Perforation::KeepFraction(f) => f.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Indices of the iterations of `0..n` that survive perforation.
+    pub fn filter_indices(&self, n: usize) -> Vec<usize> {
+        (0..n).filter(|&i| self.keeps(i, n)).collect()
+    }
+
+    /// Whether this is precise execution.
+    pub fn is_precise(&self) -> bool {
+        matches!(self, Perforation::None)
+    }
+}
+
+/// Floating-point precision of a kernel's core data type.
+///
+/// The paper's "lower precision" technique replaces `double` with `float`/`int`. The
+/// kernels emulate this by quantizing intermediate values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Precision {
+    /// Full 64-bit floating point (precise).
+    #[default]
+    F64,
+    /// 32-bit floating point.
+    F32,
+    /// 16-bit fixed point with 8 fractional bits (aggressive).
+    Fixed16,
+}
+
+impl Precision {
+    /// Quantizes a value to this precision.
+    pub fn quantize(&self, x: f64) -> f64 {
+        match self {
+            Precision::F64 => x,
+            Precision::F32 => x as f32 as f64,
+            Precision::Fixed16 => {
+                let scaled = (x * 256.0).round();
+                let clamped = scaled.clamp(-32_768.0, 32_767.0);
+                clamped / 256.0
+            }
+        }
+    }
+
+    /// Relative cost of an arithmetic operation at this precision, versus `F64`.
+    ///
+    /// Lower precision reduces both memory traffic and (in the original SIMD-friendly
+    /// codes) execution time; the kernels use this factor when accounting work.
+    pub fn op_cost(&self) -> f64 {
+        match self {
+            Precision::F64 => 1.0,
+            Precision::F32 => 0.62,
+            Precision::Fixed16 => 0.45,
+        }
+    }
+
+    /// Whether this is the precise (F64) setting.
+    pub fn is_precise(&self) -> bool {
+        matches!(self, Precision::F64)
+    }
+}
+
+/// Synchronization-elision model for iterative parallel kernels.
+///
+/// The original applications elide locks/barriers, letting threads read slightly stale
+/// shared state. Sequentially, this is modelled by updating shared accumulators only every
+/// `staleness`-th iteration (staleness 1 = precise), which both skips the "synchronization
+/// work" and introduces the same kind of stale-read error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncElision {
+    /// Number of iterations between shared-state refreshes; 1 means precise.
+    pub staleness: u32,
+}
+
+impl Default for SyncElision {
+    fn default() -> Self {
+        Self { staleness: 1 }
+    }
+}
+
+impl SyncElision {
+    /// Precise synchronization (no elision).
+    pub fn precise() -> Self {
+        Self::default()
+    }
+
+    /// Elided synchronization with the given staleness (clamped to at least 1).
+    pub fn with_staleness(staleness: u32) -> Self {
+        Self {
+            staleness: staleness.max(1),
+        }
+    }
+
+    /// Whether iteration `i` refreshes shared state.
+    pub fn refreshes(&self, i: usize) -> bool {
+        i % self.staleness.max(1) as usize == 0
+    }
+
+    /// Fraction of synchronization work performed versus precise execution.
+    pub fn sync_work_fraction(&self) -> f64 {
+        1.0 / self.staleness.max(1) as f64
+    }
+
+    /// Whether this is precise synchronization.
+    pub fn is_precise(&self) -> bool {
+        self.staleness <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn none_keeps_everything() {
+        let p = Perforation::None;
+        assert_eq!(p.filter_indices(10).len(), 10);
+        assert_eq!(p.expected_kept_fraction(), 1.0);
+        assert!(p.is_precise());
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let p = Perforation::TruncateBy(4);
+        let kept = p.filter_indices(100);
+        assert_eq!(kept.len(), 25);
+        assert_eq!(kept[0], 0);
+        assert_eq!(*kept.last().unwrap(), 24);
+    }
+
+    #[test]
+    fn keep_every_nth_spacing() {
+        let p = Perforation::KeepEveryNth(3);
+        let kept = p.filter_indices(9);
+        assert_eq!(kept, vec![0, 3, 6]);
+        assert!((p.expected_kept_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_every_nth_spacing() {
+        let p = Perforation::SkipEveryNth(3);
+        let kept = p.filter_indices(9);
+        assert_eq!(kept, vec![0, 1, 3, 4, 6, 7]);
+        assert!((p.expected_kept_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keep_fraction_bounds() {
+        assert_eq!(Perforation::KeepFraction(0.0).filter_indices(50).len(), 0);
+        assert_eq!(Perforation::KeepFraction(1.0).filter_indices(50).len(), 50);
+        let kept = Perforation::KeepFraction(0.5).filter_indices(10_000).len();
+        assert!((kept as f64 - 5_000.0).abs() < 500.0, "kept {kept}");
+    }
+
+    #[test]
+    fn keep_fraction_is_deterministic() {
+        let a = Perforation::KeepFraction(0.3).filter_indices(1000);
+        let b = Perforation::KeepFraction(0.3).filter_indices(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn precision_quantization_error_ordering() {
+        let x = std::f64::consts::PI * 10.0;
+        let e32 = (Precision::F32.quantize(x) - x).abs();
+        let e16 = (Precision::Fixed16.quantize(x) - x).abs();
+        assert_eq!(Precision::F64.quantize(x), x);
+        assert!(e32 <= e16);
+        assert!(Precision::F64.op_cost() > Precision::F32.op_cost());
+        assert!(Precision::F32.op_cost() > Precision::Fixed16.op_cost());
+    }
+
+    #[test]
+    fn fixed16_saturates() {
+        assert!((Precision::Fixed16.quantize(1e9) - 32_767.0 / 256.0).abs() < 1e-9);
+        assert!((Precision::Fixed16.quantize(-1e9) + 32_768.0 / 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_elision_refresh_pattern() {
+        let e = SyncElision::with_staleness(4);
+        assert!(e.refreshes(0));
+        assert!(!e.refreshes(1));
+        assert!(e.refreshes(4));
+        assert!((e.sync_work_fraction() - 0.25).abs() < 1e-12);
+        assert!(SyncElision::precise().is_precise());
+        assert!(!e.is_precise());
+    }
+
+    #[test]
+    fn sync_elision_staleness_zero_clamped() {
+        let e = SyncElision::with_staleness(0);
+        assert!(e.is_precise());
+        assert!(e.refreshes(7));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kept_fraction_close_to_expected(
+            n in 200usize..2000,
+            p in 2u32..10,
+        ) {
+            for perf in [Perforation::TruncateBy(p), Perforation::KeepEveryNth(p), Perforation::SkipEveryNth(p)] {
+                let kept = perf.filter_indices(n).len() as f64 / n as f64;
+                prop_assert!((kept - perf.expected_kept_fraction()).abs() < 0.05);
+            }
+        }
+
+        #[test]
+        fn prop_quantize_idempotent(x in -1e4f64..1e4) {
+            for p in [Precision::F64, Precision::F32, Precision::Fixed16] {
+                let once = p.quantize(x);
+                let twice = p.quantize(once);
+                prop_assert_eq!(once, twice);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion bench: controller decision latency (the runtime's per-interval overhead) and
+//! monitor ingestion cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pliant_core::controller::{ControllerConfig, PliantController};
+use pliant_core::monitor::{MonitorConfig, MonitorReport, PerformanceMonitor};
+use pliant_core::multi::MultiAppController;
+use pliant_telemetry::rng::{sample_lognormal, seeded_rng};
+
+fn violation_report() -> MonitorReport {
+    MonitorReport {
+        p99_s: 0.02,
+        mean_s: 0.005,
+        smoothed_p99_s: 0.02,
+        sampled: 500,
+        qos_violated: true,
+        slack_fraction: -1.0,
+    }
+}
+
+fn bench_controller(c: &mut Criterion) {
+    c.bench_function("single_app_controller_decision", |b| {
+        b.iter(|| {
+            let mut ctrl = PliantController::new(ControllerConfig::default(), 8);
+            for _ in 0..100 {
+                let _ = ctrl.decide(0, &violation_report());
+            }
+        });
+    });
+
+    c.bench_function("multi_app_controller_decision", |b| {
+        b.iter(|| {
+            let mut ctrl =
+                MultiAppController::new(ControllerConfig::default(), &[4, 8, 5], &[3, 3, 2], 0);
+            for _ in 0..100 {
+                let _ = ctrl.decide(&violation_report());
+            }
+        });
+    });
+
+    c.bench_function("monitor_interval_ingestion_10k_samples", |b| {
+        let mut rng = seeded_rng(5);
+        let samples: Vec<f64> = (0..10_000).map(|_| sample_lognormal(&mut rng, 0.002, 0.3)).collect();
+        b.iter(|| {
+            let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.01), 1);
+            monitor.observe_interval(&samples)
+        });
+    });
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

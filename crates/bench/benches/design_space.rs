@@ -1,0 +1,22 @@
+//! Criterion bench: design-space exploration throughput (backs Fig. 1 regeneration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pliant_approx::catalog::AppId;
+use pliant_approx::kernels::kernel_for;
+use pliant_explore::{explore_kernel, ExplorationConfig};
+
+fn bench_design_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_space_exploration");
+    group.sample_size(10);
+    for app in [AppId::KMeans, AppId::Canneal, AppId::Raytrace, AppId::Hmmer] {
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &app, |b, &app| {
+            let kernel = kernel_for(app, 7);
+            let config = ExplorationConfig::default();
+            b.iter(|| explore_kernel(kernel.as_ref(), &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_space);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: approximate-kernel execution, precise vs most-approximate variant.
+//!
+//! This is the micro-benchmark counterpart of Fig. 1's odd rows: the speedup of the most
+//! aggressive admissible variant over precise execution, measured in wall-clock time on
+//! the Rust kernels themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pliant_approx::catalog::AppId;
+use pliant_approx::kernel::ApproxConfig;
+use pliant_approx::kernels::kernel_for;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_precise_vs_approx");
+    group.sample_size(10);
+    for app in [AppId::KMeans, AppId::Canneal, AppId::WaterNsquared, AppId::Fasta, AppId::Plsa] {
+        let kernel = kernel_for(app, 11);
+        group.bench_with_input(
+            BenchmarkId::new("precise", app.name()),
+            &ApproxConfig::precise(),
+            |b, cfg| b.iter(|| kernel.run(cfg)),
+        );
+        // The last candidate configuration is typically among the most aggressive knobs.
+        if let Some(most) = kernel.candidate_configs().into_iter().last() {
+            group.bench_with_input(BenchmarkId::new("approx", app.name()), &most, |b, cfg| {
+                b.iter(|| kernel.run(cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

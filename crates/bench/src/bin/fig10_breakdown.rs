@@ -1,0 +1,118 @@
+//! Regenerates Figure 10: the breakdown of colocations where approximation alone was
+//! enough to restore QoS versus those needing 1, 2, 3, or 4+ reclaimed cores.
+//!
+//! The paper aggregates over 1-, 2-, and 3-application mixes; this harness runs all
+//! single-application colocations plus a deterministic subset of 2- and 3-way mixes
+//! (`--combos N` to change the subset size).
+//!
+//! Usage: `fig10_breakdown [--json] [--combos N]`
+
+use std::collections::BTreeMap;
+
+use pliant_approx::catalog::AppId;
+use pliant_bench::print_table;
+use pliant_core::experiment::{classify_effort, run_colocation, EffortClass, ExperimentOptions};
+use pliant_core::policy::PolicyKind;
+use pliant_workloads::service::ServiceId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BreakdownRow {
+    service: String,
+    approximation_only: f64,
+    one_core: f64,
+    two_cores: f64,
+    three_cores: f64,
+    four_plus_cores: f64,
+    experiments: usize,
+}
+
+fn mixes(combos: usize) -> Vec<Vec<AppId>> {
+    let apps = AppId::all();
+    let mut mixes: Vec<Vec<AppId>> = apps.iter().map(|&a| vec![a]).collect();
+    // Deterministic 2- and 3-way subsets spread across the application list.
+    for i in 0..combos {
+        let a = apps[(i * 5) % apps.len()];
+        let b = apps[(i * 7 + 3) % apps.len()];
+        if a != b {
+            mixes.push(vec![a, b]);
+        }
+        let c = apps[(i * 11 + 6) % apps.len()];
+        if a != b && b != c && a != c {
+            mixes.push(vec![a, b, c]);
+        }
+    }
+    mixes
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = pliant_bench::json_requested(&args);
+    let combos = args
+        .iter()
+        .position(|a| a == "--combos")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(12);
+    let options = ExperimentOptions {
+        max_intervals: 50,
+        ..ExperimentOptions::default()
+    };
+
+    let mut rows: Vec<BreakdownRow> = Vec::new();
+    for service in ServiceId::all() {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for (i, mix) in mixes(combos).iter().enumerate() {
+            let opts = ExperimentOptions {
+                seed: 500 + i as u64,
+                ..options
+            };
+            let outcome = run_colocation(service, mix, PolicyKind::Pliant, &opts);
+            let key = match classify_effort(&outcome) {
+                EffortClass::ApproximationOnly => "approx",
+                EffortClass::Cores(1) => "1 core",
+                EffortClass::Cores(2) => "2 cores",
+                EffortClass::Cores(_) => "3 cores",
+                EffortClass::FourPlusCores => "4+ cores",
+            };
+            *counts.entry(key).or_insert(0) += 1;
+            total += 1;
+        }
+        let frac = |k: &str| *counts.get(k).unwrap_or(&0) as f64 / total.max(1) as f64;
+        rows.push(BreakdownRow {
+            service: service.name().to_string(),
+            approximation_only: frac("approx"),
+            one_core: frac("1 core"),
+            two_cores: frac("2 cores"),
+            three_cores: frac("3 cores"),
+            four_plus_cores: frac("4+ cores"),
+            experiments: total,
+        });
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+
+    println!("Figure 10: what it took to restore QoS (fraction of colocations)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.service.clone(),
+                format!("{:.0}%", r.approximation_only * 100.0),
+                format!("{:.0}%", r.one_core * 100.0),
+                format!("{:.0}%", r.two_cores * 100.0),
+                format!("{:.0}%", r.three_cores * 100.0),
+                format!("{:.0}%", r.four_plus_cores * 100.0),
+                r.experiments.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["service", "approx only", "1 core", "2 cores", "3 cores", "4+ cores", "experiments"],
+        &table,
+    );
+}

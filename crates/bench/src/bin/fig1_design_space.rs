@@ -1,0 +1,176 @@
+//! Regenerates Figure 1: the approximation design-space exploration.
+//!
+//! Odd rows of the paper's figure: for each of the 24 applications, the trade-off between
+//! relative execution time and output inaccuracy across examined approximate variants,
+//! with the near-pareto variants marked as selected.
+//!
+//! Even rows: the tail latency (relative to QoS) of each interactive service when
+//! statically co-located with the precise version and with each selected variant.
+//!
+//! Usage: `fig1_design_space [--json] [--skip-colocation]`
+
+use pliant_approx::catalog::{AppId, Catalog};
+use pliant_approx::kernels::kernel_for;
+use pliant_bench::print_table;
+use pliant_core::experiment::{run_colocation_with_config, ExperimentOptions};
+use pliant_core::policy::PolicyKind;
+use pliant_explore::{explore_kernel, ExplorationConfig};
+use pliant_sim::colocation::ColocationConfig;
+use pliant_workloads::service::ServiceId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AppDesignSpace {
+    app: String,
+    points: Vec<PointRow>,
+    selected_variants: usize,
+    colocation: Vec<ColocationRow>,
+}
+
+#[derive(Serialize)]
+struct PointRow {
+    label: String,
+    inaccuracy_pct: f64,
+    relative_time: f64,
+    kind: String,
+}
+
+#[derive(Serialize)]
+struct ColocationRow {
+    service: String,
+    variant: String,
+    tail_latency_vs_qos: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = pliant_bench::json_requested(&args);
+    let skip_colocation = args.iter().any(|a| a == "--skip-colocation");
+    let catalog = Catalog::default();
+    let dse_config = ExplorationConfig::default();
+    let options = ExperimentOptions {
+        max_intervals: 25,
+        ..ExperimentOptions::default()
+    };
+
+    let mut results: Vec<AppDesignSpace> = Vec::new();
+    for app in AppId::all() {
+        // Odd rows: kernel-level design-space exploration.
+        let kernel = kernel_for(app, 2024);
+        let exploration = explore_kernel(kernel.as_ref(), &dse_config);
+        let points: Vec<PointRow> = exploration
+            .measurements
+            .iter()
+            .map(|m| PointRow {
+                label: m.label.clone(),
+                inaccuracy_pct: m.inaccuracy_pct,
+                relative_time: m.relative_time,
+                kind: format!("{:?}", m.kind),
+            })
+            .collect();
+
+        // Even rows: static colocation of precise + each catalog variant with each service.
+        let mut colocation = Vec::new();
+        if !skip_colocation {
+            let profile = catalog.profile(app).expect("catalog covers all apps");
+            for service in ServiceId::all() {
+                for variant in std::iter::once(None).chain((0..profile.variant_count()).map(Some)) {
+                    let cfg = ColocationConfig::paper_default(service, &[app], 7)
+                        .without_instrumentation();
+                    // Static colocation: pin the variant via the static policy equivalent —
+                    // run precise policy but pre-set the variant through a one-off config.
+                    let outcome = {
+                        let catalog = Catalog::default();
+                        let mut sim_cfg = cfg;
+                        sim_cfg.instrumented = variant.is_some();
+                        let opts = options;
+                        // Use the reclaim-free static approach: run with the Precise policy
+                        // after forcing the variant by temporarily replacing the catalog
+                        // profile ordering is unnecessary — the simulator exposes
+                        // set_variant, which run_colocation_with_config does not call, so
+                        // instead we emulate by using the StaticMostApproximate policy only
+                        // for the most aggressive variant. For intermediate variants we
+                        // construct a single-variant catalog.
+                        let single_variant_catalog = match variant {
+                            None => catalog,
+                            Some(v) => {
+                                let c = catalog;
+                                let mut p = c.profile(app).unwrap().clone();
+                                let chosen = p.variants[v].clone();
+                                p = p.with_variants(vec![chosen]);
+                                pliant_approx::catalog::Catalog::from_profiles(
+                                    c.profiles()
+                                        .iter()
+                                        .map(|x| if x.id == app { p.clone() } else { x.clone() })
+                                        .collect(),
+                                )
+                            }
+                        };
+                        let policy = if variant.is_some() {
+                            PolicyKind::StaticMostApproximate
+                        } else {
+                            PolicyKind::Precise
+                        };
+                        run_colocation_with_config(sim_cfg, policy, &opts, &single_variant_catalog)
+                    };
+                    colocation.push(ColocationRow {
+                        service: service.name().to_string(),
+                        variant: variant.map_or("precise".to_string(), |v| format!("v{}", v + 1)),
+                        tail_latency_vs_qos: outcome.tail_latency_ratio,
+                    });
+                }
+            }
+        }
+
+        results.push(AppDesignSpace {
+            app: app.name().to_string(),
+            selected_variants: exploration.selected_count(),
+            points,
+            colocation,
+        });
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&results).expect("serializable results"));
+        return;
+    }
+
+    println!("Figure 1 (odd rows): execution time vs. inaccuracy per application\n");
+    for r in &results {
+        println!("== {} ({} selected variants) ==", r.app, r.selected_variants);
+        let rows: Vec<Vec<String>> = r
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.clone(),
+                    format!("{:.2}", p.inaccuracy_pct),
+                    format!("{:.3}", p.relative_time),
+                    p.kind.clone(),
+                ]
+            })
+            .collect();
+        print_table(&["variant", "inaccuracy(%)", "rel. time", "kind"], &rows);
+        println!();
+    }
+
+    if !skip_colocation {
+        println!("Figure 1 (even rows): tail latency vs. QoS per selected variant\n");
+        for r in &results {
+            println!("== {} ==", r.app);
+            let rows: Vec<Vec<String>> = r
+                .colocation
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.service.clone(),
+                        c.variant.clone(),
+                        format!("{:.2}", c.tail_latency_vs_qos),
+                    ]
+                })
+                .collect();
+            print_table(&["service", "variant", "tail latency / QoS"], &rows);
+            println!();
+        }
+    }
+}

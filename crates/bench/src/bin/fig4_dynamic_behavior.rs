@@ -1,0 +1,104 @@
+//! Regenerates Figure 4: Pliant's dynamic behaviour over time.
+//!
+//! For each interactive service co-located with each of four representative approximate
+//! applications (canneal, raytrace, Bayesian, SNP), prints the per-interval tail latency,
+//! cores reclaimed by the service, and the active approximate variant.
+//!
+//! Usage: `fig4_dynamic_behavior [--json]`
+
+use pliant_bench::{dynamic_behavior_apps, format_latency, print_table};
+use pliant_core::experiment::{run_colocation, ExperimentOptions};
+use pliant_core::policy::PolicyKind;
+use pliant_workloads::service::ServiceId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TraceRow {
+    time_s: f64,
+    p99_latency_s: f64,
+    qos_target_s: f64,
+    reclaimed_cores: f64,
+    variant: f64,
+}
+
+#[derive(Serialize)]
+struct TraceResult {
+    service: String,
+    app: String,
+    rows: Vec<TraceRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = pliant_bench::json_requested(&args);
+    let options = ExperimentOptions {
+        max_intervals: 60,
+        ..ExperimentOptions::default()
+    };
+
+    let mut results = Vec::new();
+    for service in ServiceId::all() {
+        for app in dynamic_behavior_apps() {
+            let outcome = run_colocation(service, &[app], PolicyKind::Pliant, &options);
+            let latency = outcome.trace.get("p99_latency_s").expect("latency series");
+            let cores = outcome
+                .trace
+                .get(&format!("reclaimed_{}", app.name()))
+                .expect("reclaimed series");
+            let variant = outcome
+                .trace
+                .get(&format!("variant_{}", app.name()))
+                .expect("variant series");
+            let rows: Vec<TraceRow> = latency
+                .points()
+                .iter()
+                .zip(cores.points().iter())
+                .zip(variant.points().iter())
+                .map(|((l, c), v)| TraceRow {
+                    time_s: l.time_s,
+                    p99_latency_s: l.value,
+                    qos_target_s: outcome.qos_target_s,
+                    reclaimed_cores: c.value,
+                    variant: v.value,
+                })
+                .collect();
+            results.push(TraceResult {
+                service: service.name().to_string(),
+                app: app.name().to_string(),
+                rows,
+            });
+        }
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&results).expect("serializable"));
+        return;
+    }
+
+    println!("Figure 4: Pliant dynamic behaviour (tail latency, reclaimed cores, variant)\n");
+    for r in &results {
+        let service: ServiceId = ServiceId::all()
+            .into_iter()
+            .find(|s| s.name() == r.service)
+            .expect("known service");
+        println!("== {} + {} (QoS {}) ==", r.service, r.app, format_latency(service, r.rows[0].qos_target_s));
+        let rows: Vec<Vec<String>> = r
+            .rows
+            .iter()
+            .map(|row| {
+                vec![
+                    format!("{:.0}", row.time_s),
+                    format_latency(service, row.p99_latency_s),
+                    format!("{:.0}", row.reclaimed_cores),
+                    if row.variant == 0.0 {
+                        "precise".to_string()
+                    } else {
+                        format!("v{:.0}", row.variant)
+                    },
+                ]
+            })
+            .collect();
+        print_table(&["t(s)", "p99", "cores reclaimed", "variant"], &rows);
+        println!();
+    }
+}

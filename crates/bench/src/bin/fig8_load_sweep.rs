@@ -1,0 +1,87 @@
+//! Regenerates Figure 8: Pliant across input-load levels (40%–100% of saturation) for each
+//! interactive service and every approximate application.
+//!
+//! Usage: `fig8_load_sweep [--json] [--apps N]`
+
+use pliant_approx::catalog::AppId;
+use pliant_bench::print_table;
+use pliant_core::experiment::{load_sweep, ExperimentOptions};
+use pliant_workloads::service::ServiceId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LoadRow {
+    service: String,
+    app: String,
+    load_fraction: f64,
+    qps: f64,
+    tail_latency_vs_qos: f64,
+    qos_violation_fraction: f64,
+    relative_execution_time: f64,
+    inaccuracy_pct: f64,
+    max_cores_reclaimed: u32,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = pliant_bench::json_requested(&args);
+    let app_limit = args
+        .iter()
+        .position(|a| a == "--apps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(24);
+
+    let loads = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let options = ExperimentOptions {
+        max_intervals: 40,
+        ..ExperimentOptions::default()
+    };
+
+    let mut rows: Vec<LoadRow> = Vec::new();
+    for service in ServiceId::all() {
+        let profile = pliant_workloads::service::ServiceProfile::paper_default(service);
+        for app in AppId::all().into_iter().take(app_limit) {
+            for (load, outcome) in load_sweep(service, app, &loads, &options) {
+                let a = &outcome.app_outcomes[0];
+                rows.push(LoadRow {
+                    service: service.name().to_string(),
+                    app: app.name().to_string(),
+                    load_fraction: load,
+                    qps: profile.qps_at_load(load),
+                    tail_latency_vs_qos: outcome.tail_latency_ratio,
+                    qos_violation_fraction: outcome.qos_violation_fraction,
+                    relative_execution_time: a.relative_execution_time,
+                    inaccuracy_pct: a.inaccuracy_pct,
+                    max_cores_reclaimed: outcome.max_extra_service_cores,
+                });
+            }
+        }
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+
+    println!("Figure 8: Pliant across input load levels\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.service.clone(),
+                r.app.clone(),
+                format!("{:.0}%", r.load_fraction * 100.0),
+                format!("{:.0}", r.qps),
+                format!("{:.2}", r.tail_latency_vs_qos),
+                format!("{:.2}", r.relative_execution_time),
+                format!("{:.1}", r.inaccuracy_pct),
+                r.max_cores_reclaimed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["service", "app", "load", "QPS", "p99/QoS", "rel. exec", "inacc(%)", "max cores"],
+        &table,
+    );
+}

@@ -1,0 +1,68 @@
+//! Regenerates Figure 9: sensitivity to the decision-interval length, with memcached as
+//! the interactive service and six representative approximate applications.
+//!
+//! Usage: `fig9_decision_interval [--json]`
+
+use pliant_bench::{interval_sensitivity_apps, print_table};
+use pliant_core::experiment::{interval_sweep, ExperimentOptions};
+use pliant_workloads::service::ServiceId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct IntervalRow {
+    app: String,
+    decision_interval_s: f64,
+    tail_latency_vs_qos: f64,
+    qos_violation_fraction: f64,
+    relative_execution_time: f64,
+    inaccuracy_pct: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = pliant_bench::json_requested(&args);
+    let intervals = [0.2, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+    let options = ExperimentOptions {
+        max_intervals: 60,
+        ..ExperimentOptions::default()
+    };
+
+    let mut rows: Vec<IntervalRow> = Vec::new();
+    for app in interval_sensitivity_apps() {
+        for (dt, outcome) in interval_sweep(ServiceId::Memcached, app, &intervals, &options) {
+            let a = &outcome.app_outcomes[0];
+            rows.push(IntervalRow {
+                app: app.name().to_string(),
+                decision_interval_s: dt,
+                tail_latency_vs_qos: outcome.tail_latency_ratio,
+                qos_violation_fraction: outcome.qos_violation_fraction,
+                relative_execution_time: a.relative_execution_time,
+                inaccuracy_pct: a.inaccuracy_pct,
+            });
+        }
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+
+    println!("Figure 9: decision-interval sensitivity (memcached)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                format!("{:.1}s", r.decision_interval_s),
+                format!("{:.2}", r.tail_latency_vs_qos),
+                format!("{:.0}%", r.qos_violation_fraction * 100.0),
+                format!("{:.2}", r.relative_execution_time),
+                format!("{:.1}", r.inaccuracy_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        &["app", "interval", "p99/QoS", "violations", "rel. exec", "inacc(%)"],
+        &table,
+    );
+}

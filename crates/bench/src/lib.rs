@@ -1,0 +1,147 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion benches.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the paper's evaluation:
+//! it runs the corresponding experiments through `pliant_core::experiment` and prints the
+//! same rows/series the paper plots (plus a machine-readable JSON dump when `--json` is
+//! passed). The Criterion benches under `benches/` measure the throughput of the key
+//! components (design-space exploration, controller decisions, co-location simulation,
+//! kernel execution).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pliant_approx::catalog::AppId;
+use pliant_core::experiment::ColocationOutcome;
+use pliant_workloads::service::ServiceId;
+
+/// The four approximate applications Fig. 4 and Fig. 6 focus on, chosen in the paper for
+/// their diverse characteristics (variant counts of 4, 2, 8, and 5 respectively).
+pub fn dynamic_behavior_apps() -> [AppId; 4] {
+    [AppId::Canneal, AppId::Raytrace, AppId::Bayesian, AppId::Snp]
+}
+
+/// The six applications the decision-interval sensitivity study (Fig. 9) uses.
+pub fn interval_sensitivity_apps() -> [AppId; 6] {
+    [
+        AppId::Fluidanimate,
+        AppId::Canneal,
+        AppId::Raytrace,
+        AppId::WaterNsquared,
+        AppId::WaterSpatial,
+        AppId::Streamcluster,
+    ]
+}
+
+/// Returns true when `--json` was passed to a harness binary.
+pub fn json_requested(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--json")
+}
+
+/// Formats a tail latency in the service's display unit with its unit suffix.
+pub fn format_latency(service: ServiceId, latency_s: f64) -> String {
+    format!("{:.1}{}", service.to_display_unit(latency_s), service.display_unit())
+}
+
+/// One row of a Fig. 5-style comparison table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ComparisonRow {
+    /// Interactive service.
+    pub service: String,
+    /// Approximate application.
+    pub app: String,
+    /// Precise-baseline tail latency divided by the QoS target.
+    pub precise_tail_ratio: f64,
+    /// Pliant tail latency divided by the QoS target.
+    pub pliant_tail_ratio: f64,
+    /// Pliant execution time of the approximate application relative to nominal.
+    pub pliant_relative_exec_time: f64,
+    /// Pliant output-quality loss in percent.
+    pub pliant_inaccuracy_pct: f64,
+    /// Instrumentation overhead fraction of the application.
+    pub instrumentation_overhead: f64,
+    /// Maximum number of cores reclaimed by the service under Pliant.
+    pub max_cores_reclaimed: u32,
+}
+
+impl ComparisonRow {
+    /// Builds a row from a (precise, pliant) outcome pair for one application.
+    pub fn from_outcomes(app: AppId, precise: &ColocationOutcome, pliant: &ColocationOutcome) -> Self {
+        let pliant_app = &pliant.app_outcomes[0];
+        Self {
+            service: precise.service.name().to_string(),
+            app: app.name().to_string(),
+            precise_tail_ratio: precise.tail_latency_ratio,
+            pliant_tail_ratio: pliant.tail_latency_ratio,
+            pliant_relative_exec_time: pliant_app.relative_execution_time,
+            pliant_inaccuracy_pct: pliant_app.inaccuracy_pct,
+            instrumentation_overhead: pliant_app.instrumentation_overhead,
+            max_cores_reclaimed: pliant.max_extra_service_cores,
+        }
+    }
+}
+
+/// Prints a header + rows as an aligned text table.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pliant_core::experiment::{run_colocation, ExperimentOptions};
+    use pliant_core::policy::PolicyKind;
+
+    #[test]
+    fn selected_app_lists_are_stable() {
+        assert_eq!(dynamic_behavior_apps().len(), 4);
+        assert_eq!(interval_sensitivity_apps().len(), 6);
+        assert_eq!(dynamic_behavior_apps()[0], AppId::Canneal);
+    }
+
+    #[test]
+    fn comparison_row_reflects_outcomes() {
+        let options = ExperimentOptions {
+            max_intervals: 20,
+            ..ExperimentOptions::default()
+        };
+        let precise = run_colocation(ServiceId::Nginx, &[AppId::Snp], PolicyKind::Precise, &options);
+        let pliant = run_colocation(ServiceId::Nginx, &[AppId::Snp], PolicyKind::Pliant, &options);
+        let row = ComparisonRow::from_outcomes(AppId::Snp, &precise, &pliant);
+        assert_eq!(row.service, "nginx");
+        assert_eq!(row.app, "snp");
+        assert!(row.precise_tail_ratio > 0.0);
+        assert!(row.pliant_inaccuracy_pct >= 0.0);
+    }
+
+    #[test]
+    fn latency_formatting_uses_display_units() {
+        assert_eq!(format_latency(ServiceId::Memcached, 0.000_2), "200.0us");
+        assert_eq!(format_latency(ServiceId::Nginx, 0.01), "10.0ms");
+    }
+
+    #[test]
+    fn json_flag_detection() {
+        assert!(json_requested(&["--json".to_string()]));
+        assert!(!json_requested(&["--full".to_string()]));
+    }
+}

@@ -1,0 +1,148 @@
+//! The actuator: applies the controller's decisions to the co-location substrate.
+//!
+//! In the paper the actuator drives DynamoRIO: each approximate variant is mapped to a
+//! Linux signal, and on receiving a signal the tool swaps the function pointers of the
+//! perforated functions to the corresponding variant at coarse (function) granularity.
+//! Here the actuator applies the equivalent operations to the [`ColocationSim`] and keeps
+//! the bookkeeping the evaluation reports: how many switches happened, how many cores are
+//! currently reclaimed from each application, and the instrumentation cost model.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_sim::colocation::ColocationSim;
+
+/// One actuation decision produced by a policy for a single decision interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Switch application `app` to variant `variant` (`None` = precise execution).
+    SetVariant {
+        /// Index of the application within the co-location.
+        app: usize,
+        /// Target variant (`None` = precise; `Some(i)` indexes the ordered variant list,
+        /// 0 being closest to precise).
+        variant: Option<usize>,
+    },
+    /// Reclaim one core from application `app` and give it to the interactive service.
+    ReclaimCore {
+        /// Index of the application within the co-location.
+        app: usize,
+    },
+    /// Return one previously-reclaimed core from the interactive service to `app`.
+    ReturnCore {
+        /// Index of the application within the co-location.
+        app: usize,
+    },
+}
+
+/// Statistics the actuator accumulates over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActuatorStats {
+    /// Total variant switches applied (signals delivered).
+    pub variant_switches: u64,
+    /// Total core reclamations applied.
+    pub cores_reclaimed: u64,
+    /// Total cores returned to applications.
+    pub cores_returned: u64,
+    /// Actions that could not be applied (e.g. reclaiming from an application already at
+    /// one core).
+    pub rejected: u64,
+}
+
+/// The actuator.
+#[derive(Debug, Clone, Default)]
+pub struct Actuator {
+    stats: ActuatorStats,
+}
+
+impl Actuator {
+    /// Creates an idle actuator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ActuatorStats {
+        self.stats
+    }
+
+    /// Applies one action to the simulator. Returns `true` if the action had an effect.
+    pub fn apply(&mut self, sim: &mut ColocationSim, action: Action) -> bool {
+        let applied = match action {
+            Action::SetVariant { app, variant } => sim.set_variant(app, variant),
+            Action::ReclaimCore { app } => sim.reclaim_core(app),
+            Action::ReturnCore { app } => sim.return_core(app),
+        };
+        match (applied, action) {
+            (true, Action::SetVariant { .. }) => self.stats.variant_switches += 1,
+            (true, Action::ReclaimCore { .. }) => self.stats.cores_reclaimed += 1,
+            (true, Action::ReturnCore { .. }) => self.stats.cores_returned += 1,
+            (false, _) => self.stats.rejected += 1,
+        }
+        applied
+    }
+
+    /// Applies a batch of actions in order, returning how many had an effect.
+    pub fn apply_all(&mut self, sim: &mut ColocationSim, actions: &[Action]) -> usize {
+        actions.iter().filter(|&&a| self.apply(sim, a)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pliant_approx::catalog::{AppId, Catalog};
+    use pliant_sim::colocation::ColocationConfig;
+    use pliant_workloads::service::ServiceId;
+
+    fn sim() -> ColocationSim {
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Canneal], 3);
+        ColocationSim::new(cfg, &Catalog::default())
+    }
+
+    #[test]
+    fn apply_variant_switch_and_core_moves() {
+        let mut sim = sim();
+        let mut act = Actuator::new();
+        assert!(act.apply(&mut sim, Action::SetVariant { app: 0, variant: Some(3) }));
+        assert!(act.apply(&mut sim, Action::ReclaimCore { app: 0 }));
+        assert!(act.apply(&mut sim, Action::ReturnCore { app: 0 }));
+        let stats = act.stats();
+        assert_eq!(stats.variant_switches, 1);
+        assert_eq!(stats.cores_reclaimed, 1);
+        assert_eq!(stats.cores_returned, 1);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn redundant_switch_is_rejected() {
+        let mut sim = sim();
+        let mut act = Actuator::new();
+        assert!(act.apply(&mut sim, Action::SetVariant { app: 0, variant: Some(2) }));
+        assert!(!act.apply(&mut sim, Action::SetVariant { app: 0, variant: Some(2) }));
+        assert_eq!(act.stats().rejected, 1);
+    }
+
+    #[test]
+    fn cannot_return_core_that_was_never_reclaimed() {
+        let mut sim = sim();
+        let mut act = Actuator::new();
+        assert!(!act.apply(&mut sim, Action::ReturnCore { app: 0 }));
+        assert_eq!(act.stats().cores_returned, 0);
+        assert_eq!(act.stats().rejected, 1);
+    }
+
+    #[test]
+    fn apply_all_counts_effective_actions() {
+        let mut sim = sim();
+        let mut act = Actuator::new();
+        let n = act.apply_all(
+            &mut sim,
+            &[
+                Action::SetVariant { app: 0, variant: Some(1) },
+                Action::SetVariant { app: 0, variant: Some(1) },
+                Action::ReclaimCore { app: 0 },
+            ],
+        );
+        assert_eq!(n, 2);
+    }
+}

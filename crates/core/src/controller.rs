@@ -1,0 +1,275 @@
+//! The single-application runtime algorithm (Fig. 3 of the paper).
+//!
+//! Execution starts in precise mode with a fair core allocation. On a QoS violation the
+//! controller first jumps the co-scheduled application to its **most** approximate variant
+//! (to avoid prolonged degradation); if the violation persists it reclaims cores from the
+//! application, one per decision interval. When QoS is met with more than 10% latency
+//! slack, the controller first returns reclaimed cores, then steps the application back
+//! toward precise execution one variant at a time. If the application is running at an
+//! intermediate approximation degree when a violation occurs, it immediately reverts to
+//! the most approximate variant.
+
+use serde::{Deserialize, Serialize};
+
+use crate::actuator::Action;
+use crate::monitor::MonitorReport;
+
+/// Configuration of the Pliant controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Decision interval in seconds (1 s by default, studied in Fig. 9).
+    pub decision_interval_s: f64,
+    /// Latency-slack threshold above which the controller relaxes approximation or returns
+    /// cores (10% in the paper, §4.3).
+    pub slack_threshold: f64,
+    /// Number of consecutive high-slack intervals required before the controller relaxes
+    /// (returns a core or steps toward precise). The paper notes that acting on every
+    /// single high-slack interval causes ping-ponging between states; a short streak
+    /// requirement is the hysteresis that prevents it.
+    pub consecutive_slack_required: u32,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            decision_interval_s: 1.0,
+            slack_threshold: 0.10,
+            consecutive_slack_required: 2,
+        }
+    }
+}
+
+/// Controller state for a single co-scheduled approximate application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PliantController {
+    config: ControllerConfig,
+    /// Number of admissible approximate variants of the managed application.
+    variant_count: usize,
+    /// Current variant (`None` = precise, `Some(i)` with 0 closest to precise).
+    variant: Option<usize>,
+    /// Cores reclaimed from the application so far.
+    cores_reclaimed: u32,
+    /// Consecutive intervals with slack above the threshold.
+    slack_streak: u32,
+    /// Total decisions taken.
+    decisions: u64,
+}
+
+impl PliantController {
+    /// Creates a controller for an application with `variant_count` admissible variants.
+    pub fn new(config: ControllerConfig, variant_count: usize) -> Self {
+        Self {
+            config,
+            variant_count,
+            variant: None,
+            cores_reclaimed: 0,
+            slack_streak: 0,
+            decisions: 0,
+        }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Index of the most aggressive variant, or `None` when the application has none.
+    fn most_approximate(&self) -> Option<usize> {
+        if self.variant_count == 0 {
+            None
+        } else {
+            Some(self.variant_count - 1)
+        }
+    }
+
+    /// Currently selected variant.
+    pub fn variant(&self) -> Option<usize> {
+        self.variant
+    }
+
+    /// Cores currently reclaimed from the application, as tracked by the controller.
+    pub fn cores_reclaimed(&self) -> u32 {
+        self.cores_reclaimed
+    }
+
+    /// Total decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Takes one decision from the monitor's report, returning the actions to apply before
+    /// the next interval. `app` is the index of the managed application within the
+    /// co-location (0 for single-application experiments).
+    pub fn decide(&mut self, app: usize, report: &MonitorReport) -> Vec<Action> {
+        self.decisions += 1;
+        if report.qos_violated {
+            self.slack_streak = 0;
+            // Violation path: escalate approximation first, then cores.
+            match (self.variant, self.most_approximate()) {
+                (current, Some(most)) if current != Some(most) => {
+                    self.variant = Some(most);
+                    vec![Action::SetVariant { app, variant: Some(most) }]
+                }
+                _ => {
+                    self.cores_reclaimed += 1;
+                    vec![Action::ReclaimCore { app }]
+                }
+            }
+        } else if report.slack_fraction > self.config.slack_threshold {
+            self.slack_streak += 1;
+            if self.slack_streak < self.config.consecutive_slack_required {
+                return Vec::new();
+            }
+            self.slack_streak = 0;
+            // Recovery path: return cores first, then relax approximation one step.
+            if self.cores_reclaimed > 0 {
+                self.cores_reclaimed -= 1;
+                vec![Action::ReturnCore { app }]
+            } else {
+                match self.variant {
+                    Some(0) => {
+                        self.variant = None;
+                        vec![Action::SetVariant { app, variant: None }]
+                    }
+                    Some(i) => {
+                        self.variant = Some(i - 1);
+                        vec![Action::SetVariant { app, variant: Some(i - 1) }]
+                    }
+                    None => Vec::new(),
+                }
+            }
+        } else {
+            // QoS met without enough slack: hold the current state.
+            self.slack_streak = 0;
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violated() -> MonitorReport {
+        MonitorReport {
+            p99_s: 0.02,
+            mean_s: 0.005,
+            smoothed_p99_s: 0.02,
+            sampled: 100,
+            qos_violated: true,
+            slack_fraction: -1.0,
+        }
+    }
+
+    fn met(slack: f64) -> MonitorReport {
+        MonitorReport {
+            p99_s: 0.005,
+            mean_s: 0.002,
+            smoothed_p99_s: 0.005,
+            sampled: 100,
+            qos_violated: false,
+            slack_fraction: slack,
+        }
+    }
+
+    /// Configuration without slack hysteresis, so the relaxation-order tests can observe
+    /// one relaxation step per high-slack interval.
+    fn immediate() -> ControllerConfig {
+        ControllerConfig {
+            consecutive_slack_required: 1,
+            ..ControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_violation_jumps_to_most_approximate() {
+        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let actions = c.decide(0, &violated());
+        assert_eq!(actions, vec![Action::SetVariant { app: 0, variant: Some(3) }]);
+        assert_eq!(c.variant(), Some(3));
+    }
+
+    #[test]
+    fn persistent_violation_reclaims_cores_incrementally() {
+        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let _ = c.decide(0, &violated());
+        let a2 = c.decide(0, &violated());
+        let a3 = c.decide(0, &violated());
+        assert_eq!(a2, vec![Action::ReclaimCore { app: 0 }]);
+        assert_eq!(a3, vec![Action::ReclaimCore { app: 0 }]);
+        assert_eq!(c.cores_reclaimed(), 2);
+        assert_eq!(c.variant(), Some(3), "variant stays at most approximate while reclaiming");
+    }
+
+    #[test]
+    fn violation_at_intermediate_variant_reverts_to_most_approximate() {
+        let mut c = PliantController::new(immediate(), 4);
+        let _ = c.decide(0, &violated()); // -> most approximate (3)
+        let _ = c.decide(0, &met(0.3)); //   -> relax to 2
+        assert_eq!(c.variant(), Some(2));
+        let actions = c.decide(0, &violated());
+        assert_eq!(actions, vec![Action::SetVariant { app: 0, variant: Some(3) }]);
+    }
+
+    #[test]
+    fn slack_returns_cores_before_relaxing_approximation() {
+        let mut c = PliantController::new(immediate(), 4);
+        let _ = c.decide(0, &violated()); // most approx
+        let _ = c.decide(0, &violated()); // reclaim core
+        let first_recovery = c.decide(0, &met(0.3));
+        assert_eq!(first_recovery, vec![Action::ReturnCore { app: 0 }]);
+        assert_eq!(c.cores_reclaimed(), 0);
+        let second_recovery = c.decide(0, &met(0.3));
+        assert_eq!(second_recovery, vec![Action::SetVariant { app: 0, variant: Some(2) }]);
+    }
+
+    #[test]
+    fn relaxation_steps_all_the_way_back_to_precise() {
+        let mut c = PliantController::new(immediate(), 2);
+        let _ = c.decide(0, &violated()); // -> variant 1 (most)
+        let _ = c.decide(0, &met(0.5)); //   -> variant 0
+        let last = c.decide(0, &met(0.5)); // -> precise
+        assert_eq!(last, vec![Action::SetVariant { app: 0, variant: None }]);
+        assert_eq!(c.variant(), None);
+        // Further slack with everything already precise does nothing.
+        assert!(c.decide(0, &met(0.5)).is_empty());
+    }
+
+    #[test]
+    fn default_hysteresis_requires_consecutive_slack_intervals() {
+        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let _ = c.decide(0, &violated()); // -> most approximate
+        assert!(c.decide(0, &met(0.3)).is_empty(), "first high-slack interval only arms the streak");
+        let second = c.decide(0, &met(0.3));
+        assert_eq!(second, vec![Action::SetVariant { app: 0, variant: Some(2) }]);
+        // A violation or a low-slack interval resets the streak.
+        let _ = c.decide(0, &violated());
+        assert!(c.decide(0, &met(0.3)).is_empty());
+        let _ = c.decide(0, &met(0.05));
+        assert!(c.decide(0, &met(0.3)).is_empty(), "streak restarts after a low-slack interval");
+    }
+
+    #[test]
+    fn low_slack_holds_state() {
+        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let _ = c.decide(0, &violated());
+        let hold = c.decide(0, &met(0.05));
+        assert!(hold.is_empty(), "5% slack is below the 10% threshold, state must hold");
+        assert_eq!(c.variant(), Some(3));
+    }
+
+    #[test]
+    fn application_without_variants_goes_straight_to_cores() {
+        let mut c = PliantController::new(ControllerConfig::default(), 0);
+        let actions = c.decide(0, &violated());
+        assert_eq!(actions, vec![Action::ReclaimCore { app: 0 }]);
+    }
+
+    #[test]
+    fn decision_counter_increments() {
+        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let _ = c.decide(0, &met(0.0));
+        let _ = c.decide(0, &met(0.0));
+        assert_eq!(c.decisions(), 2);
+    }
+}

@@ -1,0 +1,474 @@
+//! Experiment drivers.
+//!
+//! These functions run complete co-location experiments — one interactive service, one or
+//! more approximate applications, one policy — and produce the summaries and time series
+//! the figure-regeneration binaries in `pliant-bench` print. They are also exercised
+//! directly by the integration tests, which assert the paper's headline results as shape
+//! properties.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_approx::catalog::{AppId, Catalog};
+use pliant_sim::colocation::{ColocationConfig, ColocationSim};
+use pliant_telemetry::rng::derive_seed;
+use pliant_telemetry::series::{TimeSeries, TraceBundle};
+use pliant_telemetry::stats::OnlineStats;
+use pliant_workloads::service::{ServiceId, ServiceProfile};
+
+use crate::actuator::Actuator;
+use crate::controller::ControllerConfig;
+use crate::monitor::{MonitorConfig, PerformanceMonitor};
+use crate::policy::PolicyKind;
+
+/// Options controlling one co-location experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOptions {
+    /// Offered load as a fraction of the service's saturation throughput.
+    pub load_fraction: f64,
+    /// Decision interval in seconds.
+    pub decision_interval_s: f64,
+    /// Latency-slack threshold for relaxing approximation / returning cores.
+    pub slack_threshold: f64,
+    /// Hard cap on the number of decision intervals simulated.
+    pub max_intervals: usize,
+    /// Whether to stop as soon as every batch application finishes.
+    pub stop_when_apps_finish: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            load_fraction: 0.75,
+            decision_interval_s: 1.0,
+            slack_threshold: 0.10,
+            max_intervals: 120,
+            stop_when_apps_finish: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-application outcome of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppOutcome {
+    /// The application.
+    pub app: AppId,
+    /// Whether it finished within the simulated horizon.
+    pub finished: bool,
+    /// Execution time relative to the nominal precise run (1.0 = nominal).
+    pub relative_execution_time: f64,
+    /// Final output-quality loss in percent.
+    pub inaccuracy_pct: f64,
+    /// Maximum number of cores simultaneously reclaimed from this application.
+    pub max_cores_reclaimed: u32,
+    /// Instrumentation (dynamic recompilation) overhead fraction of this application.
+    pub instrumentation_overhead: f64,
+}
+
+/// Outcome of one co-location experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColocationOutcome {
+    /// Interactive service.
+    pub service: ServiceId,
+    /// Policy used.
+    pub policy: &'static str,
+    /// Co-located applications.
+    pub apps: Vec<AppId>,
+    /// Number of decision intervals simulated.
+    pub intervals: usize,
+    /// QoS target in seconds.
+    pub qos_target_s: f64,
+    /// Mean of the per-interval p99 latencies, in seconds.
+    pub mean_p99_s: f64,
+    /// Maximum per-interval p99 latency, in seconds.
+    pub max_p99_s: f64,
+    /// Fraction of intervals that violated QoS.
+    pub qos_violation_fraction: f64,
+    /// `mean_p99_s / qos_target_s` — the headline tail-latency-to-QoS ratio.
+    pub tail_latency_ratio: f64,
+    /// Maximum number of cores the service held beyond its fair share at any point.
+    pub max_extra_service_cores: u32,
+    /// Per-application outcomes.
+    pub app_outcomes: Vec<AppOutcome>,
+    /// Time series recorded during the run (tail latency, reclaimed cores, variants).
+    pub trace: TraceBundle,
+}
+
+impl ColocationOutcome {
+    /// Whether QoS was met for (almost) the entire run; the 5% allowance absorbs isolated
+    /// measurement-noise spikes, matching how the paper reports "QoS is met".
+    pub fn qos_met(&self) -> bool {
+        self.qos_violation_fraction <= 0.05 && self.tail_latency_ratio <= 1.0
+    }
+
+    /// Mean inaccuracy across the co-located applications, in percent.
+    pub fn mean_inaccuracy_pct(&self) -> f64 {
+        if self.app_outcomes.is_empty() {
+            return 0.0;
+        }
+        self.app_outcomes.iter().map(|a| a.inaccuracy_pct).sum::<f64>() / self.app_outcomes.len() as f64
+    }
+
+    /// Whether approximation alone (no core reclamation) was sufficient for the whole run.
+    pub fn approximation_alone(&self) -> bool {
+        self.max_extra_service_cores == 0
+    }
+}
+
+/// Runs one co-location experiment with the paper-default platform and calibration.
+pub fn run_colocation(
+    service: ServiceId,
+    apps: &[AppId],
+    policy: PolicyKind,
+    options: &ExperimentOptions,
+) -> ColocationOutcome {
+    let catalog = Catalog::default();
+    let mut config = ColocationConfig::paper_default(service, apps, options.seed)
+        .with_load(options.load_fraction);
+    if policy == PolicyKind::Precise {
+        config = config.without_instrumentation();
+    }
+    run_colocation_with_config(config, policy, options, &catalog)
+}
+
+/// Runs one co-location experiment with an explicit simulator configuration (used by the
+/// sensitivity sweeps and the benches).
+pub fn run_colocation_with_config(
+    config: ColocationConfig,
+    policy_kind: PolicyKind,
+    options: &ExperimentOptions,
+    catalog: &Catalog,
+) -> ColocationOutcome {
+    let service_id = config.service.id;
+    let service_profile: ServiceProfile = config.service.clone();
+    let app_ids = config.apps.clone();
+    let mut sim = ColocationSim::new(config, catalog);
+
+    let variant_counts: Vec<usize> = app_ids
+        .iter()
+        .map(|id| catalog.profile(*id).map_or(0, |p| p.variant_count()))
+        .collect();
+    let initial_cores: Vec<u32> = (0..app_ids.len()).map(|i| sim.app(i).cores()).collect();
+    let controller_config = ControllerConfig {
+        decision_interval_s: options.decision_interval_s,
+        slack_threshold: options.slack_threshold,
+        ..ControllerConfig::default()
+    };
+    let start_pointer = (derive_seed(options.seed, 7) % app_ids.len() as u64) as usize;
+    let mut policy = policy_kind.build(controller_config, &variant_counts, &initial_cores, start_pointer);
+    let mut monitor = PerformanceMonitor::new(
+        MonitorConfig::for_qos(service_profile.qos_target_s),
+        derive_seed(options.seed, 8),
+    );
+    let mut actuator = Actuator::new();
+
+    let fair_service_cores = sim.service_cores();
+    let mut p99_stats = OnlineStats::new();
+    let mut violations = 0usize;
+    let mut intervals = 0usize;
+    let mut max_extra_cores = 0u32;
+    let mut max_reclaimed_per_app = vec![0u32; app_ids.len()];
+
+    let mut latency_series = TimeSeries::new("p99_latency_s");
+    let mut cores_series = TimeSeries::new("service_extra_cores");
+    let mut variant_series: Vec<TimeSeries> = app_ids
+        .iter()
+        .map(|id| TimeSeries::new(format!("variant_{}", id.name())))
+        .collect();
+    let mut reclaimed_series: Vec<TimeSeries> = app_ids
+        .iter()
+        .map(|id| TimeSeries::new(format!("reclaimed_{}", id.name())))
+        .collect();
+
+    for _ in 0..options.max_intervals {
+        let obs = sim.advance(options.decision_interval_s);
+        intervals += 1;
+        p99_stats.push(obs.p99_latency_s);
+        if obs.qos_violated() {
+            violations += 1;
+        }
+        let extra = sim.service_cores().saturating_sub(fair_service_cores);
+        max_extra_cores = max_extra_cores.max(extra);
+
+        latency_series.push(obs.time_s, obs.p99_latency_s);
+        cores_series.push(obs.time_s, extra as f64);
+        for (i, status) in obs.apps.iter().enumerate() {
+            // Variant index for plotting: 0 = precise, k = k-th approximate variant.
+            let v = status.variant.map_or(0.0, |x| (x + 1) as f64);
+            variant_series[i].push(obs.time_s, v);
+            reclaimed_series[i].push(obs.time_s, status.cores_reclaimed as f64);
+            max_reclaimed_per_app[i] = max_reclaimed_per_app[i].max(status.cores_reclaimed);
+        }
+
+        if options.stop_when_apps_finish && obs.all_apps_finished {
+            break;
+        }
+
+        // Monitor → policy → actuator, exactly once per decision interval.
+        let report = monitor.observe_interval(&obs.latency_samples_s);
+        let actions = policy.decide(&report);
+        actuator.apply_all(&mut sim, &actions);
+    }
+
+    let app_outcomes: Vec<AppOutcome> = (0..app_ids.len())
+        .map(|i| {
+            let state = sim.app(i);
+            AppOutcome {
+                app: app_ids[i],
+                finished: state.is_finished(),
+                relative_execution_time: state.relative_execution_time(),
+                inaccuracy_pct: state.inaccuracy_pct(),
+                max_cores_reclaimed: max_reclaimed_per_app[i],
+                instrumentation_overhead: state.profile().instrumentation_overhead,
+            }
+        })
+        .collect();
+
+    let mut trace = TraceBundle::new();
+    trace.insert(latency_series);
+    trace.insert(cores_series);
+    for s in variant_series {
+        trace.insert(s);
+    }
+    for s in reclaimed_series {
+        trace.insert(s);
+    }
+
+    let mean_p99_s = p99_stats.mean();
+    ColocationOutcome {
+        service: service_id,
+        policy: policy_kind.name(),
+        apps: app_ids,
+        intervals,
+        qos_target_s: service_profile.qos_target_s,
+        mean_p99_s,
+        max_p99_s: p99_stats.max(),
+        qos_violation_fraction: violations as f64 / intervals.max(1) as f64,
+        tail_latency_ratio: mean_p99_s / service_profile.qos_target_s,
+        max_extra_service_cores: max_extra_cores,
+        app_outcomes,
+        trace,
+    }
+}
+
+/// Runs the Fig. 5-style aggregate comparison (Precise vs Pliant) for one service across a
+/// set of applications, returning `(app, precise outcome, pliant outcome)` triples.
+pub fn aggregate_comparison(
+    service: ServiceId,
+    apps: &[AppId],
+    options: &ExperimentOptions,
+) -> Vec<(AppId, ColocationOutcome, ColocationOutcome)> {
+    apps.iter()
+        .map(|&app| {
+            let precise = run_colocation(service, &[app], PolicyKind::Precise, options);
+            let pliant = run_colocation(service, &[app], PolicyKind::Pliant, options);
+            (app, precise, pliant)
+        })
+        .collect()
+}
+
+/// Runs the Fig. 8 load sweep for one service/application pair, returning
+/// `(load_fraction, outcome)` pairs under the Pliant policy.
+pub fn load_sweep(
+    service: ServiceId,
+    app: AppId,
+    loads: &[f64],
+    options: &ExperimentOptions,
+) -> Vec<(f64, ColocationOutcome)> {
+    loads
+        .iter()
+        .map(|&load| {
+            let opts = ExperimentOptions {
+                load_fraction: load,
+                ..*options
+            };
+            (load, run_colocation(service, &[app], PolicyKind::Pliant, &opts))
+        })
+        .collect()
+}
+
+/// Runs the Fig. 9 decision-interval sweep for one service/application pair, returning
+/// `(interval_s, outcome)` pairs under the Pliant policy.
+pub fn interval_sweep(
+    service: ServiceId,
+    app: AppId,
+    intervals_s: &[f64],
+    options: &ExperimentOptions,
+) -> Vec<(f64, ColocationOutcome)> {
+    intervals_s
+        .iter()
+        .map(|&dt| {
+            let opts = ExperimentOptions {
+                decision_interval_s: dt,
+                // Keep the simulated wall-clock horizon comparable across intervals.
+                max_intervals: ((options.max_intervals as f64)
+                    * (options.decision_interval_s / dt).max(0.25)) as usize,
+                ..*options
+            };
+            (dt, run_colocation(service, &[app], PolicyKind::Pliant, &opts))
+        })
+        .collect()
+}
+
+/// Classification used by the Fig. 10 breakdown: what it took to restore QoS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EffortClass {
+    /// Approximation alone was sufficient.
+    ApproximationOnly,
+    /// Exactly this many cores had to be reclaimed (1–3).
+    Cores(u32),
+    /// Four or more cores had to be reclaimed.
+    FourPlusCores,
+}
+
+/// Classifies an outcome for the Fig. 10 breakdown.
+pub fn classify_effort(outcome: &ColocationOutcome) -> EffortClass {
+    match outcome.max_extra_service_cores {
+        0 => EffortClass::ApproximationOnly,
+        n @ 1..=3 => EffortClass::Cores(n),
+        _ => EffortClass::FourPlusCores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options(seed: u64) -> ExperimentOptions {
+        ExperimentOptions {
+            max_intervals: 60,
+            seed,
+            ..ExperimentOptions::default()
+        }
+    }
+
+    #[test]
+    fn pliant_meets_qos_where_precise_does_not() {
+        let options = quick_options(5);
+        for service in [ServiceId::Nginx, ServiceId::Memcached] {
+            let precise = run_colocation(service, &[AppId::Canneal], PolicyKind::Precise, &options);
+            let pliant = run_colocation(service, &[AppId::Canneal], PolicyKind::Pliant, &options);
+            assert!(
+                precise.tail_latency_ratio > 1.4,
+                "{service}: precise baseline should violate QoS (ratio {})",
+                precise.tail_latency_ratio
+            );
+            assert!(
+                pliant.qos_violation_fraction < precise.qos_violation_fraction,
+                "{service}: Pliant must violate QoS less often than the precise baseline"
+            );
+            assert!(
+                pliant.tail_latency_ratio < precise.tail_latency_ratio * 0.7,
+                "{service}: Pliant must substantially reduce the tail-latency ratio"
+            );
+        }
+    }
+
+    #[test]
+    fn pliant_respects_the_quality_threshold() {
+        let options = quick_options(7);
+        let outcome = run_colocation(ServiceId::Memcached, &[AppId::Canneal], PolicyKind::Pliant, &options);
+        for app in &outcome.app_outcomes {
+            assert!(
+                app.inaccuracy_pct <= 5.5,
+                "{}: inaccuracy {} exceeds the tolerance band",
+                app.app,
+                app.inaccuracy_pct
+            );
+        }
+    }
+
+    #[test]
+    fn precise_baseline_has_zero_inaccuracy() {
+        let options = quick_options(9);
+        let outcome = run_colocation(ServiceId::Nginx, &[AppId::Bayesian], PolicyKind::Precise, &options);
+        assert_eq!(outcome.mean_inaccuracy_pct(), 0.0);
+        assert_eq!(outcome.max_extra_service_cores, 0);
+        assert_eq!(outcome.policy, "precise");
+    }
+
+    #[test]
+    fn trace_contains_expected_series() {
+        let options = quick_options(11);
+        let outcome = run_colocation(ServiceId::Nginx, &[AppId::Snp], PolicyKind::Pliant, &options);
+        assert!(outcome.trace.get("p99_latency_s").is_some());
+        assert!(outcome.trace.get("service_extra_cores").is_some());
+        assert!(outcome.trace.get("variant_snp").is_some());
+        assert!(outcome.trace.get("reclaimed_snp").is_some());
+        assert_eq!(outcome.trace.get("p99_latency_s").unwrap().len(), outcome.intervals);
+    }
+
+    #[test]
+    fn snp_with_memcached_uses_approximation_alone() {
+        let options = quick_options(13);
+        let outcome = run_colocation(ServiceId::Memcached, &[AppId::Snp], PolicyKind::Pliant, &options);
+        assert!(
+            outcome.max_extra_service_cores <= 1,
+            "SNP + memcached should need at most a brief single-core reclamation, got {}",
+            outcome.max_extra_service_cores
+        );
+        assert_eq!(classify_effort(&outcome), match outcome.max_extra_service_cores {
+            0 => EffortClass::ApproximationOnly,
+            n => EffortClass::Cores(n),
+        });
+    }
+
+    #[test]
+    fn multi_app_colocation_balances_the_burden() {
+        let options = quick_options(17);
+        let outcome = run_colocation(
+            ServiceId::Nginx,
+            &[AppId::Canneal, AppId::Bayesian],
+            PolicyKind::Pliant,
+            &options,
+        );
+        assert_eq!(outcome.app_outcomes.len(), 2);
+        let reclaimed: Vec<u32> = outcome.app_outcomes.iter().map(|a| a.max_cores_reclaimed).collect();
+        let spread = reclaimed.iter().max().unwrap() - reclaimed.iter().min().unwrap();
+        assert!(spread <= 2, "round-robin should not lopside core reclamation: {reclaimed:?}");
+    }
+
+    #[test]
+    fn load_sweep_is_monotone_in_violations_at_the_extremes() {
+        let options = ExperimentOptions {
+            max_intervals: 30,
+            ..quick_options(19)
+        };
+        let sweep = load_sweep(ServiceId::Nginx, AppId::KMeans, &[0.4, 0.95], &options);
+        let low = &sweep[0].1;
+        let high = &sweep[1].1;
+        assert!(low.qos_violation_fraction <= high.qos_violation_fraction);
+        assert!(low.tail_latency_ratio < high.tail_latency_ratio);
+    }
+
+    #[test]
+    fn interval_sweep_penalizes_coarse_intervals() {
+        let options = ExperimentOptions {
+            max_intervals: 60,
+            ..quick_options(23)
+        };
+        let sweep = interval_sweep(ServiceId::Memcached, AppId::Canneal, &[1.0, 8.0], &options);
+        let fine = &sweep[0].1;
+        let coarse = &sweep[1].1;
+        assert!(
+            fine.qos_violation_fraction <= coarse.qos_violation_fraction + 0.05,
+            "1 s decisions ({}) should not be worse than 8 s decisions ({})",
+            fine.qos_violation_fraction,
+            coarse.qos_violation_fraction
+        );
+    }
+
+    #[test]
+    fn effort_classification_bins_correctly() {
+        let options = quick_options(29);
+        let outcome = run_colocation(ServiceId::MongoDb, &[AppId::Raytrace], PolicyKind::Pliant, &options);
+        let class = classify_effort(&outcome);
+        match outcome.max_extra_service_cores {
+            0 => assert_eq!(class, EffortClass::ApproximationOnly),
+            n if n <= 3 => assert_eq!(class, EffortClass::Cores(n)),
+            _ => assert_eq!(class, EffortClass::FourPlusCores),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The Pliant runtime — the primary contribution of the paper.
+//!
+//! Pliant preserves the tail-latency QoS of an interactive service co-located with
+//! approximate batch applications by (1) monitoring end-to-end latency with lightweight
+//! client-side sampling, (2) switching the co-runners to incrementally more aggressive
+//! approximate variants when QoS is violated, and (3) reclaiming cores one per decision
+//! interval when approximation alone is insufficient — returning cores and stepping back
+//! toward precise execution whenever latency slack exceeds 10%.
+//!
+//! Module map:
+//!
+//! * [`monitor`] — the client-side performance monitor (adaptive latency sampling and
+//!   windowed tail estimation).
+//! * [`actuator`] — applies variant switches and core reallocations to the co-location
+//!   substrate, accounting for the dynamic-recompilation mechanism's cost.
+//! * [`controller`] — the single-application runtime algorithm of Fig. 3.
+//! * [`multi`] — the round-robin arbiter for multi-application co-locations (§4.4).
+//! * [`policy`] — the [`policy::Policy`] abstraction plus baselines (the paper's Precise
+//!   baseline and two ablations).
+//! * [`experiment`] — experiment drivers that run complete co-locations and produce the
+//!   summaries the figure-regeneration binaries print.
+//!
+//! # Example
+//!
+//! ```
+//! use pliant_approx::catalog::AppId;
+//! use pliant_core::experiment::{run_colocation, ExperimentOptions};
+//! use pliant_core::policy::PolicyKind;
+//! use pliant_workloads::service::ServiceId;
+//!
+//! let outcome = run_colocation(
+//!     ServiceId::MongoDb,
+//!     &[AppId::Raytrace],
+//!     PolicyKind::Pliant,
+//!     &ExperimentOptions { max_intervals: 40, ..ExperimentOptions::default() },
+//! );
+//! assert!(outcome.intervals > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod actuator;
+pub mod controller;
+pub mod experiment;
+pub mod monitor;
+pub mod multi;
+pub mod policy;
+
+pub use actuator::{Action, Actuator};
+pub use controller::{ControllerConfig, PliantController};
+pub use experiment::{run_colocation, ColocationOutcome, ExperimentOptions};
+pub use monitor::{MonitorConfig, PerformanceMonitor};
+pub use multi::MultiAppController;
+pub use policy::{Policy, PolicyKind, PrecisePolicy};

@@ -1,0 +1,232 @@
+//! The client-side performance monitor.
+//!
+//! The monitor resides on the client in the paper: it samples end-to-end request latency
+//! (average and tail) adaptively so that it adds no measurable overhead to the interactive
+//! service, and notifies the runtime when the tail exceeds the QoS target. Here it ingests
+//! the per-interval latency samples produced by the co-location substrate, subsamples
+//! them, and estimates the interval's p99 with a log-bucketed histogram.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_telemetry::histogram::LatencyHistogram;
+use pliant_telemetry::rng::seeded_rng;
+use pliant_telemetry::window::EwmaTracker;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Configuration of the performance monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Fraction of requests sampled when the service is comfortably within its QoS
+    /// (lightweight steady-state sampling).
+    pub base_sample_rate: f64,
+    /// Fraction of requests sampled once latency approaches or exceeds the QoS target
+    /// (adaptive escalation so violations are detected quickly and accurately).
+    pub elevated_sample_rate: f64,
+    /// Latency-to-QoS ratio above which the elevated sampling rate kicks in.
+    pub escalation_ratio: f64,
+    /// Smoothing factor of the EWMA over interval tail estimates.
+    pub ewma_alpha: f64,
+    /// QoS target in seconds.
+    pub qos_target_s: f64,
+}
+
+impl MonitorConfig {
+    /// Default monitor configuration for a service with the given QoS target.
+    pub fn for_qos(qos_target_s: f64) -> Self {
+        Self {
+            base_sample_rate: 0.05,
+            elevated_sample_rate: 0.25,
+            escalation_ratio: 0.85,
+            ewma_alpha: 0.6,
+            qos_target_s,
+        }
+    }
+}
+
+/// Summary the monitor reports to the runtime at the end of each decision interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Estimated 99th-percentile latency of the interval, in seconds.
+    pub p99_s: f64,
+    /// Estimated mean latency of the interval, in seconds.
+    pub mean_s: f64,
+    /// Smoothed (EWMA) tail estimate across recent intervals, in seconds.
+    pub smoothed_p99_s: f64,
+    /// Number of requests actually sampled this interval.
+    pub sampled: u64,
+    /// Whether the interval violated the QoS target.
+    pub qos_violated: bool,
+    /// Latency slack relative to the QoS target (positive = headroom).
+    pub slack_fraction: f64,
+}
+
+/// The performance monitor.
+#[derive(Debug, Clone)]
+pub struct PerformanceMonitor {
+    config: MonitorConfig,
+    rng: SmallRng,
+    ewma: EwmaTracker,
+    currently_elevated: bool,
+    intervals_observed: u64,
+}
+
+impl PerformanceMonitor {
+    /// Creates a monitor with the given configuration and sampling seed.
+    pub fn new(config: MonitorConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: seeded_rng(seed),
+            ewma: EwmaTracker::new(config.ewma_alpha),
+            currently_elevated: false,
+            intervals_observed: 0,
+        }
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Current sampling rate (adaptive: escalates near or above the QoS target).
+    pub fn sample_rate(&self) -> f64 {
+        if self.currently_elevated {
+            self.config.elevated_sample_rate
+        } else {
+            self.config.base_sample_rate
+        }
+    }
+
+    /// Number of intervals observed so far.
+    pub fn intervals_observed(&self) -> u64 {
+        self.intervals_observed
+    }
+
+    /// Ingests one decision interval's end-to-end latency samples and produces the report
+    /// the runtime acts on.
+    pub fn observe_interval(&mut self, latencies_s: &[f64]) -> MonitorReport {
+        self.intervals_observed += 1;
+        let rate = self.sample_rate();
+        let mut hist = LatencyHistogram::new();
+        let mut sum = 0.0;
+        let mut sampled = 0u64;
+        for &l in latencies_s {
+            if self.rng.gen_range(0.0f64..1.0) < rate {
+                hist.record(l * 1e6); // record in microseconds for histogram resolution
+                sum += l;
+                sampled += 1;
+            }
+        }
+        // Guard against an empty sample (tiny intervals at low load): fall back to the full
+        // set, which the real monitor would also do by forcing a minimum sample count.
+        let (p99_s, mean_s, sampled) = if sampled < 20 {
+            let mut full = LatencyHistogram::new();
+            for &l in latencies_s {
+                full.record(l * 1e6);
+            }
+            let mean = if latencies_s.is_empty() {
+                0.0
+            } else {
+                latencies_s.iter().sum::<f64>() / latencies_s.len() as f64
+            };
+            (full.p99() / 1e6, mean, latencies_s.len() as u64)
+        } else {
+            (hist.p99() / 1e6, sum / sampled as f64, sampled)
+        };
+
+        self.ewma.observe(p99_s);
+        let smoothed = self.ewma.value().unwrap_or(p99_s);
+        self.currently_elevated = p99_s >= self.config.qos_target_s * self.config.escalation_ratio;
+
+        MonitorReport {
+            p99_s,
+            mean_s,
+            smoothed_p99_s: smoothed,
+            sampled,
+            qos_violated: p99_s > self.config.qos_target_s,
+            slack_fraction: (self.config.qos_target_s - p99_s) / self.config.qos_target_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pliant_telemetry::rng::sample_lognormal;
+
+    fn synthetic_interval(median_s: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| sample_lognormal(&mut rng, median_s, sigma)).collect()
+    }
+
+    #[test]
+    fn detects_violation_and_slack() {
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 1);
+        // Healthy interval: median 2 ms.
+        let healthy = synthetic_interval(0.002, 0.3, 5_000, 2);
+        let report = monitor.observe_interval(&healthy);
+        assert!(!report.qos_violated, "p99 {} should be below 10 ms", report.p99_s);
+        assert!(report.slack_fraction > 0.0);
+        // Violating interval: median 8 ms → p99 well above 10 ms.
+        let violating = synthetic_interval(0.008, 0.4, 5_000, 3);
+        let report = monitor.observe_interval(&violating);
+        assert!(report.qos_violated);
+        assert!(report.slack_fraction < 0.0);
+    }
+
+    #[test]
+    fn p99_estimate_tracks_true_percentile() {
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 4);
+        let samples = synthetic_interval(0.003, 0.3, 20_000, 5);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let true_p99 = sorted[(0.99 * sorted.len() as f64) as usize];
+        let report = monitor.observe_interval(&samples);
+        assert!(
+            (report.p99_s - true_p99).abs() / true_p99 < 0.20,
+            "estimate {} vs true {true_p99}",
+            report.p99_s
+        );
+    }
+
+    #[test]
+    fn sampling_escalates_near_qos() {
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 6);
+        assert_eq!(monitor.sample_rate(), 0.05);
+        let near_qos = synthetic_interval(0.0065, 0.3, 5_000, 7);
+        let _ = monitor.observe_interval(&near_qos);
+        assert_eq!(monitor.sample_rate(), 0.25, "sampling should escalate near the QoS target");
+        let healthy = synthetic_interval(0.001, 0.3, 5_000, 8);
+        let _ = monitor.observe_interval(&healthy);
+        assert_eq!(monitor.sample_rate(), 0.05, "sampling should relax when latency recovers");
+    }
+
+    #[test]
+    fn small_intervals_fall_back_to_full_sampling() {
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 9);
+        let tiny = synthetic_interval(0.002, 0.3, 30, 10);
+        let report = monitor.observe_interval(&tiny);
+        assert_eq!(report.sampled, 30);
+        assert!(report.p99_s > 0.0);
+    }
+
+    #[test]
+    fn empty_interval_is_handled() {
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 9);
+        let report = monitor.observe_interval(&[]);
+        assert_eq!(report.p99_s, 0.0);
+        assert!(!report.qos_violated);
+    }
+
+    #[test]
+    fn ewma_smooths_across_intervals() {
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 11);
+        let low = synthetic_interval(0.002, 0.2, 5_000, 12);
+        let high = synthetic_interval(0.006, 0.2, 5_000, 13);
+        let r1 = monitor.observe_interval(&low);
+        let r2 = monitor.observe_interval(&high);
+        assert!(r2.smoothed_p99_s < r2.p99_s, "EWMA should lag the jump");
+        assert!(r2.smoothed_p99_s > r1.p99_s);
+        assert_eq!(monitor.intervals_observed(), 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! Round-robin arbitration for multi-application co-locations (§4.4 of the paper).
+//!
+//! When more than one approximate application shares the host with the interactive
+//! service, Pliant manages them in a round-robin fashion so that no single application is
+//! penalized disproportionately: on a QoS violation it first switches one application
+//! (starting from a rotating pointer) to its most approximate variant; only when every
+//! application is already at its most approximate variant does it start reclaiming cores,
+//! one application and one core per decision interval. Recovery mirrors that order —
+//! cores are returned first, then approximation is relaxed, again round-robin.
+
+use serde::{Deserialize, Serialize};
+
+use crate::actuator::Action;
+use crate::controller::ControllerConfig;
+use crate::monitor::MonitorReport;
+
+/// Per-application state tracked by the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct AppState {
+    variant_count: usize,
+    variant: Option<usize>,
+    cores_reclaimed: u32,
+    /// Cores that can still be reclaimed (the application keeps at least one core).
+    reclaimable: u32,
+}
+
+impl AppState {
+    fn most_approximate(&self) -> Option<usize> {
+        if self.variant_count == 0 {
+            None
+        } else {
+            Some(self.variant_count - 1)
+        }
+    }
+
+    fn at_most_approximate(&self) -> bool {
+        self.variant == self.most_approximate() || self.variant_count == 0
+    }
+}
+
+/// Round-robin multi-application controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiAppController {
+    config: ControllerConfig,
+    apps: Vec<AppState>,
+    /// Rotating pointer: the next application to be asked for a concession.
+    pointer: usize,
+    /// Consecutive intervals with slack above the threshold.
+    slack_streak: u32,
+    decisions: u64,
+}
+
+impl MultiAppController {
+    /// Creates a controller for applications with the given variant counts and initial
+    /// core allocations. `start_pointer` selects which application is asked first (the
+    /// paper picks it randomly; experiments derive it from the seed).
+    pub fn new(
+        config: ControllerConfig,
+        variant_counts: &[usize],
+        initial_cores: &[u32],
+        start_pointer: usize,
+    ) -> Self {
+        assert_eq!(
+            variant_counts.len(),
+            initial_cores.len(),
+            "one core allocation per application is required"
+        );
+        assert!(!variant_counts.is_empty(), "at least one application is required");
+        let apps = variant_counts
+            .iter()
+            .zip(initial_cores.iter())
+            .map(|(&vc, &cores)| AppState {
+                variant_count: vc,
+                variant: None,
+                cores_reclaimed: 0,
+                reclaimable: cores.saturating_sub(1),
+            })
+            .collect();
+        Self {
+            config,
+            apps,
+            pointer: start_pointer % variant_counts.len().max(1),
+            slack_streak: 0,
+            decisions: 0,
+        }
+    }
+
+    /// Number of managed applications.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Current variant of application `app`.
+    pub fn variant(&self, app: usize) -> Option<usize> {
+        self.apps[app].variant
+    }
+
+    /// Cores reclaimed from application `app` so far.
+    pub fn cores_reclaimed(&self, app: usize) -> u32 {
+        self.apps[app].cores_reclaimed
+    }
+
+    /// Total cores reclaimed across all applications.
+    pub fn total_cores_reclaimed(&self) -> u32 {
+        self.apps.iter().map(|a| a.cores_reclaimed).sum()
+    }
+
+    /// Total decisions taken.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Takes one decision from the monitor's report.
+    pub fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
+        self.decisions += 1;
+        let n = self.apps.len();
+        if report.qos_violated {
+            self.slack_streak = 0;
+            // 1. Find the next application (round-robin) not yet at its most approximate
+            //    variant and escalate it.
+            for offset in 0..n {
+                let idx = (self.pointer + offset) % n;
+                if !self.apps[idx].at_most_approximate() {
+                    let most = self.apps[idx].most_approximate();
+                    self.apps[idx].variant = most;
+                    self.pointer = (idx + 1) % n;
+                    return vec![Action::SetVariant { app: idx, variant: most }];
+                }
+            }
+            // 2. Everyone is maximally approximate: reclaim one core, round-robin over the
+            //    applications that still have cores to give.
+            for offset in 0..n {
+                let idx = (self.pointer + offset) % n;
+                if self.apps[idx].cores_reclaimed < self.apps[idx].reclaimable {
+                    self.apps[idx].cores_reclaimed += 1;
+                    self.pointer = (idx + 1) % n;
+                    return vec![Action::ReclaimCore { app: idx }];
+                }
+            }
+            // Nothing left to take.
+            Vec::new()
+        } else if report.slack_fraction > self.config.slack_threshold {
+            self.slack_streak += 1;
+            if self.slack_streak < self.config.consecutive_slack_required {
+                return Vec::new();
+            }
+            self.slack_streak = 0;
+            // Recovery: return cores first (round-robin), then relax approximation one
+            // application and one step at a time.
+            for offset in 0..n {
+                let idx = (self.pointer + offset) % n;
+                if self.apps[idx].cores_reclaimed > 0 {
+                    self.apps[idx].cores_reclaimed -= 1;
+                    self.pointer = (idx + 1) % n;
+                    return vec![Action::ReturnCore { app: idx }];
+                }
+            }
+            for offset in 0..n {
+                let idx = (self.pointer + offset) % n;
+                match self.apps[idx].variant {
+                    Some(0) => {
+                        self.apps[idx].variant = None;
+                        self.pointer = (idx + 1) % n;
+                        return vec![Action::SetVariant { app: idx, variant: None }];
+                    }
+                    Some(v) => {
+                        self.apps[idx].variant = Some(v - 1);
+                        self.pointer = (idx + 1) % n;
+                        return vec![Action::SetVariant { app: idx, variant: Some(v - 1) }];
+                    }
+                    None => {}
+                }
+            }
+            Vec::new()
+        } else {
+            self.slack_streak = 0;
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violated() -> MonitorReport {
+        MonitorReport {
+            p99_s: 1.0,
+            mean_s: 0.5,
+            smoothed_p99_s: 1.0,
+            sampled: 10,
+            qos_violated: true,
+            slack_fraction: -1.0,
+        }
+    }
+
+    fn met(slack: f64) -> MonitorReport {
+        MonitorReport {
+            p99_s: 0.1,
+            mean_s: 0.05,
+            smoothed_p99_s: 0.1,
+            sampled: 10,
+            qos_violated: false,
+            slack_fraction: slack,
+        }
+    }
+
+    fn controller() -> MultiAppController {
+        // No slack hysteresis so each high-slack interval yields one visible recovery step.
+        let config = ControllerConfig {
+            consecutive_slack_required: 1,
+            ..ControllerConfig::default()
+        };
+        MultiAppController::new(config, &[4, 8], &[4, 4], 0)
+    }
+
+    #[test]
+    fn violations_escalate_apps_round_robin_before_cores() {
+        let mut c = controller();
+        let a1 = c.decide(&violated());
+        assert_eq!(a1, vec![Action::SetVariant { app: 0, variant: Some(3) }]);
+        let a2 = c.decide(&violated());
+        assert_eq!(a2, vec![Action::SetVariant { app: 1, variant: Some(7) }]);
+        // Both at most approximate: cores come next, one app at a time.
+        let a3 = c.decide(&violated());
+        assert_eq!(a3, vec![Action::ReclaimCore { app: 0 }]);
+        let a4 = c.decide(&violated());
+        assert_eq!(a4, vec![Action::ReclaimCore { app: 1 }]);
+        assert_eq!(c.total_cores_reclaimed(), 2);
+        assert_eq!(c.cores_reclaimed(0), 1);
+        assert_eq!(c.cores_reclaimed(1), 1);
+    }
+
+    #[test]
+    fn no_application_is_penalized_disproportionately() {
+        let mut c = MultiAppController::new(ControllerConfig::default(), &[4, 4, 4], &[3, 3, 2], 1);
+        for _ in 0..9 {
+            let _ = c.decide(&violated());
+        }
+        // After 3 variant escalations and 6 core reclamations the spread between the most-
+        // and least-penalized application is at most one core.
+        let reclaimed: Vec<u32> = (0..3).map(|i| c.cores_reclaimed(i)).collect();
+        let max = *reclaimed.iter().max().unwrap();
+        let min = *reclaimed.iter().min().unwrap();
+        assert!(max - min <= 1, "round-robin must balance core reclamation: {reclaimed:?}");
+    }
+
+    #[test]
+    fn reclamation_stops_when_every_app_is_down_to_one_core() {
+        let mut c = MultiAppController::new(ControllerConfig::default(), &[1, 1], &[2, 2], 0);
+        // 2 variant escalations + 2 reclaimable cores, then nothing.
+        for _ in 0..4 {
+            assert!(!c.decide(&violated()).is_empty());
+        }
+        assert!(c.decide(&violated()).is_empty());
+        assert_eq!(c.total_cores_reclaimed(), 2);
+    }
+
+    #[test]
+    fn recovery_returns_cores_before_relaxing_variants() {
+        let mut c = controller();
+        for _ in 0..4 {
+            let _ = c.decide(&violated());
+        }
+        let r1 = c.decide(&met(0.3));
+        assert!(matches!(r1[0], Action::ReturnCore { .. }));
+        let r2 = c.decide(&met(0.3));
+        assert!(matches!(r2[0], Action::ReturnCore { .. }));
+        assert_eq!(c.total_cores_reclaimed(), 0);
+        let r3 = c.decide(&met(0.3));
+        assert!(matches!(r3[0], Action::SetVariant { .. }));
+    }
+
+    #[test]
+    fn low_slack_holds_state() {
+        let mut c = controller();
+        let _ = c.decide(&violated());
+        assert!(c.decide(&met(0.02)).is_empty());
+    }
+
+    #[test]
+    fn start_pointer_rotates_first_victim() {
+        let mut c = MultiAppController::new(ControllerConfig::default(), &[3, 3], &[4, 4], 1);
+        let a = c.decide(&violated());
+        assert_eq!(a, vec![Action::SetVariant { app: 1, variant: Some(2) }]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = MultiAppController::new(ControllerConfig::default(), &[3, 3], &[4], 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Runtime policies: Pliant and the baselines it is compared against.
+//!
+//! The paper's baseline is **Precise**: both the interactive service and the approximate
+//! application(s) keep their fair resource allocation and the approximate applications
+//! always run precisely — no runtime adaptation at all. Two additional ablation policies
+//! are provided for the benches: a static policy that pins every application to its most
+//! approximate variant for the whole run (maximum contention relief, maximum quality
+//! loss), and a reclaim-only policy that moves cores but never approximates (to isolate
+//! the contribution of approximation itself).
+
+use serde::{Deserialize, Serialize};
+
+use crate::actuator::Action;
+use crate::controller::ControllerConfig;
+use crate::monitor::MonitorReport;
+use crate::multi::MultiAppController;
+
+/// A runtime policy deciding, once per decision interval, how to actuate.
+pub trait Policy {
+    /// Human-readable policy name (used in result rows).
+    fn name(&self) -> &'static str;
+
+    /// Decides the actions for the next interval from this interval's monitor report.
+    fn decide(&mut self, report: &MonitorReport) -> Vec<Action>;
+}
+
+/// Selector for the built-in policies, used by the experiment drivers and harness
+/// binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The Pliant runtime (incremental approximation + core reclamation).
+    Pliant,
+    /// The paper's baseline: precise execution, static fair allocation.
+    Precise,
+    /// Ablation: every application statically pinned to its most approximate variant.
+    StaticMostApproximate,
+    /// Ablation: core reclamation only, no approximation.
+    ReclaimOnly,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy for a co-location with the given per-application variant
+    /// counts and initial core allocations.
+    pub fn build(
+        &self,
+        config: ControllerConfig,
+        variant_counts: &[usize],
+        initial_cores: &[u32],
+        start_pointer: usize,
+    ) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Pliant => Box::new(PliantPolicy::new(
+                config,
+                variant_counts,
+                initial_cores,
+                start_pointer,
+            )),
+            PolicyKind::Precise => Box::new(PrecisePolicy),
+            PolicyKind::StaticMostApproximate => {
+                Box::new(StaticMostApproximatePolicy::new(variant_counts))
+            }
+            PolicyKind::ReclaimOnly => Box::new(ReclaimOnlyPolicy::new(
+                config,
+                initial_cores,
+                start_pointer,
+            )),
+        }
+    }
+
+    /// Short name used in result rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Pliant => "pliant",
+            PolicyKind::Precise => "precise",
+            PolicyKind::StaticMostApproximate => "static-most-approx",
+            PolicyKind::ReclaimOnly => "reclaim-only",
+        }
+    }
+}
+
+/// The Pliant policy: the round-robin multi-application controller (which reduces to the
+/// Fig. 3 single-application algorithm when only one application is managed).
+#[derive(Debug, Clone)]
+pub struct PliantPolicy {
+    inner: MultiAppController,
+}
+
+impl PliantPolicy {
+    /// Creates the policy.
+    pub fn new(
+        config: ControllerConfig,
+        variant_counts: &[usize],
+        initial_cores: &[u32],
+        start_pointer: usize,
+    ) -> Self {
+        Self {
+            inner: MultiAppController::new(config, variant_counts, initial_cores, start_pointer),
+        }
+    }
+
+    /// Total cores currently reclaimed across all applications.
+    pub fn total_cores_reclaimed(&self) -> u32 {
+        self.inner.total_cores_reclaimed()
+    }
+}
+
+impl Policy for PliantPolicy {
+    fn name(&self) -> &'static str {
+        "pliant"
+    }
+
+    fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
+        self.inner.decide(report)
+    }
+}
+
+/// The paper's baseline: never adapts anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrecisePolicy;
+
+impl Policy for PrecisePolicy {
+    fn name(&self) -> &'static str {
+        "precise"
+    }
+
+    fn decide(&mut self, _report: &MonitorReport) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+/// Ablation: pin every application to its most approximate variant at the start and never
+/// change anything afterwards.
+#[derive(Debug, Clone)]
+pub struct StaticMostApproximatePolicy {
+    pending: Vec<Action>,
+}
+
+impl StaticMostApproximatePolicy {
+    /// Creates the policy for applications with the given variant counts.
+    pub fn new(variant_counts: &[usize]) -> Self {
+        let pending = variant_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &vc)| vc > 0)
+            .map(|(app, &vc)| Action::SetVariant {
+                app,
+                variant: Some(vc - 1),
+            })
+            .collect();
+        Self { pending }
+    }
+}
+
+impl Policy for StaticMostApproximatePolicy {
+    fn name(&self) -> &'static str {
+        "static-most-approx"
+    }
+
+    fn decide(&mut self, _report: &MonitorReport) -> Vec<Action> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+/// Ablation: react to QoS violations by reclaiming cores only (no approximation), and
+/// return them when slack is high.
+#[derive(Debug, Clone)]
+pub struct ReclaimOnlyPolicy {
+    config: ControllerConfig,
+    reclaimed: Vec<u32>,
+    reclaimable: Vec<u32>,
+    pointer: usize,
+}
+
+impl ReclaimOnlyPolicy {
+    /// Creates the policy for applications with the given initial core allocations.
+    pub fn new(config: ControllerConfig, initial_cores: &[u32], start_pointer: usize) -> Self {
+        Self {
+            config,
+            reclaimed: vec![0; initial_cores.len()],
+            reclaimable: initial_cores.iter().map(|&c| c.saturating_sub(1)).collect(),
+            pointer: start_pointer % initial_cores.len().max(1),
+        }
+    }
+}
+
+impl Policy for ReclaimOnlyPolicy {
+    fn name(&self) -> &'static str {
+        "reclaim-only"
+    }
+
+    fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
+        let n = self.reclaimed.len();
+        if report.qos_violated {
+            for offset in 0..n {
+                let idx = (self.pointer + offset) % n;
+                if self.reclaimed[idx] < self.reclaimable[idx] {
+                    self.reclaimed[idx] += 1;
+                    self.pointer = (idx + 1) % n;
+                    return vec![Action::ReclaimCore { app: idx }];
+                }
+            }
+            Vec::new()
+        } else if report.slack_fraction > self.config.slack_threshold {
+            for offset in 0..n {
+                let idx = (self.pointer + offset) % n;
+                if self.reclaimed[idx] > 0 {
+                    self.reclaimed[idx] -= 1;
+                    self.pointer = (idx + 1) % n;
+                    return vec![Action::ReturnCore { app: idx }];
+                }
+            }
+            Vec::new()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violated() -> MonitorReport {
+        MonitorReport {
+            p99_s: 1.0,
+            mean_s: 0.5,
+            smoothed_p99_s: 1.0,
+            sampled: 10,
+            qos_violated: true,
+            slack_fraction: -1.0,
+        }
+    }
+
+    fn met(slack: f64) -> MonitorReport {
+        MonitorReport {
+            p99_s: 0.1,
+            mean_s: 0.05,
+            smoothed_p99_s: 0.1,
+            sampled: 10,
+            qos_violated: false,
+            slack_fraction: slack,
+        }
+    }
+
+    #[test]
+    fn precise_policy_never_acts() {
+        let mut p = PrecisePolicy;
+        assert!(p.decide(&violated()).is_empty());
+        assert!(p.decide(&met(0.5)).is_empty());
+        assert_eq!(p.name(), "precise");
+    }
+
+    #[test]
+    fn static_policy_emits_switches_once() {
+        let mut p = StaticMostApproximatePolicy::new(&[4, 0, 2]);
+        let first = p.decide(&met(0.0));
+        assert_eq!(
+            first,
+            vec![
+                Action::SetVariant { app: 0, variant: Some(3) },
+                Action::SetVariant { app: 2, variant: Some(1) },
+            ]
+        );
+        assert!(p.decide(&violated()).is_empty());
+    }
+
+    #[test]
+    fn reclaim_only_moves_cores_back_and_forth() {
+        let mut p = ReclaimOnlyPolicy::new(ControllerConfig::default(), &[3], 0);
+        assert_eq!(p.decide(&violated()), vec![Action::ReclaimCore { app: 0 }]);
+        assert_eq!(p.decide(&violated()), vec![Action::ReclaimCore { app: 0 }]);
+        assert!(p.decide(&violated()).is_empty(), "only two cores are reclaimable from three");
+        assert_eq!(p.decide(&met(0.3)), vec![Action::ReturnCore { app: 0 }]);
+    }
+
+    #[test]
+    fn policy_kind_builds_the_right_policy() {
+        for (kind, expected) in [
+            (PolicyKind::Pliant, "pliant"),
+            (PolicyKind::Precise, "precise"),
+            (PolicyKind::StaticMostApproximate, "static-most-approx"),
+            (PolicyKind::ReclaimOnly, "reclaim-only"),
+        ] {
+            let policy = kind.build(ControllerConfig::default(), &[4], &[8], 0);
+            assert_eq!(policy.name(), expected);
+            assert_eq!(kind.name(), expected);
+        }
+    }
+
+    #[test]
+    fn pliant_policy_reports_reclaimed_cores() {
+        let mut p = PliantPolicy::new(ControllerConfig::default(), &[2], &[8], 0);
+        let _ = p.decide(&violated());
+        let _ = p.decide(&violated());
+        assert_eq!(p.total_cores_reclaimed(), 1);
+    }
+}

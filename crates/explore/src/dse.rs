@@ -1,0 +1,239 @@
+//! Design-space exploration driver.
+//!
+//! Runs every candidate configuration of a kernel, measures relative execution time (via
+//! the kernel's deterministic work counter) and output inaccuracy against precise
+//! execution, prunes configurations above the quality threshold, and selects the variants
+//! near the pareto frontier — reproducing the paper's §3 process and the data behind the
+//! odd rows of Fig. 1.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_approx::catalog::VariantProfile;
+use pliant_approx::kernel::{ApproxConfig, ApproxKernel};
+
+use crate::pareto::{near_pareto, PointKind};
+
+/// Configuration of the exploration process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationConfig {
+    /// Maximum tolerable output-quality loss in percent (5% in the paper).
+    pub quality_threshold_pct: f64,
+    /// Relative execution-time tolerance for "close to the pareto frontier" selection.
+    pub pareto_tolerance: f64,
+    /// Maximum number of variants to hand to the runtime (the paper observes between 2 and
+    /// 8 admissible variants per application).
+    pub max_selected: usize,
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> Self {
+        Self {
+            quality_threshold_pct: 5.0,
+            pareto_tolerance: 0.03,
+            max_selected: 8,
+        }
+    }
+}
+
+/// Measurement of one examined configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Label of the configuration.
+    pub label: String,
+    /// Output inaccuracy versus precise execution, in percent.
+    pub inaccuracy_pct: f64,
+    /// Execution time (work) relative to precise execution.
+    pub relative_time: f64,
+    /// Bytes touched relative to precise execution (memory-traffic proxy).
+    pub relative_bytes: f64,
+    /// How the point is classified in the Fig. 1 scatter plot.
+    pub kind: PointKind,
+}
+
+/// Full result of exploring one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationResult {
+    /// Application name (the kernel's name).
+    pub app: String,
+    /// All measurements: the precise point first, then every examined configuration.
+    pub measurements: Vec<Measurement>,
+    /// Indices (into `measurements`) of the selected near-pareto variants, ordered from
+    /// closest-to-precise to most aggressive.
+    pub selected: Vec<usize>,
+}
+
+impl ExplorationResult {
+    /// The selected variants as catalog-style [`VariantProfile`]s, ordered from
+    /// closest-to-precise to most aggressive.
+    ///
+    /// The LLC / memory-bandwidth factors are derived from the measured relative memory
+    /// traffic, which is the kernel-level proxy the paper's runtime also relies on
+    /// (approximation lowers contention by touching less data).
+    pub fn selected_variants(&self) -> Vec<VariantProfile> {
+        self.selected
+            .iter()
+            .map(|&i| {
+                let m = &self.measurements[i];
+                VariantProfile::new(
+                    m.label.clone(),
+                    m.relative_time,
+                    m.inaccuracy_pct,
+                    m.relative_bytes,
+                    m.relative_bytes,
+                )
+            })
+            .collect()
+    }
+
+    /// Number of variants selected.
+    pub fn selected_count(&self) -> usize {
+        self.selected.len()
+    }
+}
+
+/// Explores one kernel's candidate configurations.
+pub fn explore_kernel<K: ApproxKernel + ?Sized>(
+    kernel: &K,
+    config: &ExplorationConfig,
+) -> ExplorationResult {
+    let precise = kernel.run(&ApproxConfig::precise());
+    let precise_ops = precise.cost.ops.max(1e-9);
+    let precise_bytes = precise.cost.bytes_touched.max(1e-9);
+
+    let mut measurements = vec![Measurement {
+        label: "precise".to_string(),
+        inaccuracy_pct: 0.0,
+        relative_time: 1.0,
+        relative_bytes: 1.0,
+        kind: PointKind::Precise,
+    }];
+
+    for candidate in kernel.candidate_configs() {
+        let run = kernel.run(&candidate);
+        measurements.push(Measurement {
+            label: candidate.label.clone(),
+            inaccuracy_pct: run.output.inaccuracy_vs(&precise.output),
+            relative_time: run.cost.ops / precise_ops,
+            relative_bytes: run.cost.bytes_touched / precise_bytes,
+            kind: PointKind::Examined,
+        });
+    }
+
+    // Admissible points: inaccuracy within the threshold, and strictly faster than precise
+    // (a variant that saves no work is useless to the runtime), excluding the precise
+    // point itself.
+    let admissible: Vec<usize> = measurements
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, m)| m.inaccuracy_pct <= config.quality_threshold_pct && m.relative_time < 1.0)
+        .map(|(i, _)| i)
+        .collect();
+
+    let points: Vec<(f64, f64)> = admissible
+        .iter()
+        .map(|&i| (measurements[i].inaccuracy_pct, measurements[i].relative_time))
+        .collect();
+    let near = near_pareto(&points, config.pareto_tolerance);
+
+    let mut selected: Vec<usize> = near.iter().map(|&k| admissible[k]).collect();
+    // Order from closest-to-precise (lowest inaccuracy) to most aggressive, deduplicating
+    // points with nearly identical trade-offs, and cap the list length.
+    selected.sort_by(|&a, &b| {
+        measurements[a]
+            .inaccuracy_pct
+            .partial_cmp(&measurements[b].inaccuracy_pct)
+            .unwrap()
+    });
+    selected.dedup_by(|&mut a, &mut b| {
+        (measurements[a].inaccuracy_pct - measurements[b].inaccuracy_pct).abs() < 0.05
+            && (measurements[a].relative_time - measurements[b].relative_time).abs() < 0.02
+    });
+    if selected.len() > config.max_selected {
+        // Keep an evenly-spread subset including the extremes.
+        let n = selected.len();
+        let keep: Vec<usize> = (0..config.max_selected)
+            .map(|k| selected[k * (n - 1) / (config.max_selected - 1)])
+            .collect();
+        selected = keep;
+        selected.dedup();
+    }
+    for &i in &selected {
+        measurements[i].kind = PointKind::Selected;
+    }
+
+    ExplorationResult {
+        app: kernel.name().to_string(),
+        measurements,
+        selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pliant_approx::catalog::AppId;
+    use pliant_approx::kernels::kernel_for;
+
+    #[test]
+    fn exploration_of_kmeans_selects_ordered_variants() {
+        let kernel = kernel_for(AppId::KMeans, 5);
+        let result = explore_kernel(kernel.as_ref(), &ExplorationConfig::default());
+        assert_eq!(result.app, "kmeans");
+        assert!(result.measurements.len() > 5);
+        assert!(result.selected_count() >= 1, "kmeans must have at least one admissible variant");
+        let variants = result.selected_variants();
+        for w in variants.windows(2) {
+            assert!(w[0].inaccuracy_pct <= w[1].inaccuracy_pct);
+        }
+        for v in &variants {
+            assert!(v.exec_time_factor < 1.0);
+            assert!(v.inaccuracy_pct <= 5.0);
+        }
+    }
+
+    #[test]
+    fn precise_point_is_always_first_and_marked() {
+        let kernel = kernel_for(AppId::Raytrace, 5);
+        let result = explore_kernel(kernel.as_ref(), &ExplorationConfig::default());
+        assert_eq!(result.measurements[0].kind, PointKind::Precise);
+        assert_eq!(result.measurements[0].relative_time, 1.0);
+        assert!(!result.selected.contains(&0));
+    }
+
+    #[test]
+    fn selected_points_respect_quality_threshold() {
+        let strict = ExplorationConfig {
+            quality_threshold_pct: 2.0,
+            ..ExplorationConfig::default()
+        };
+        let kernel = kernel_for(AppId::Canneal, 5);
+        let result = explore_kernel(kernel.as_ref(), &strict);
+        for &i in &result.selected {
+            assert!(result.measurements[i].inaccuracy_pct <= 2.0);
+        }
+    }
+
+    #[test]
+    fn max_selected_caps_variant_count() {
+        let capped = ExplorationConfig {
+            max_selected: 3,
+            ..ExplorationConfig::default()
+        };
+        let kernel = kernel_for(AppId::Bayesian, 5);
+        let result = explore_kernel(kernel.as_ref(), &capped);
+        assert!(result.selected_count() <= 3);
+    }
+
+    #[test]
+    fn several_representative_kernels_yield_admissible_variants() {
+        for app in [AppId::KMeans, AppId::Plsa, AppId::Hmmer, AppId::Fasta, AppId::Canneal] {
+            let kernel = kernel_for(app, 11);
+            let result = explore_kernel(kernel.as_ref(), &ExplorationConfig::default());
+            assert!(
+                result.selected_count() >= 1,
+                "{app} produced no admissible variants"
+            );
+        }
+    }
+}

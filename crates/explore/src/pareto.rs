@@ -1,0 +1,158 @@
+//! Pareto-frontier extraction over (inaccuracy, execution-time) points.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a measured approximate variant in Fig. 1's scatter plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PointKind {
+    /// Precise execution (the green dot).
+    Precise,
+    /// An examined approximate variant that was not selected (blue dots).
+    Examined,
+    /// A variant on (or near) the pareto frontier, selected for use by the runtime
+    /// (red dots).
+    Selected,
+}
+
+/// Returns the indices of the points on the pareto frontier of (inaccuracy, time), i.e.
+/// points for which no other point has both lower-or-equal inaccuracy and strictly lower
+/// execution time (with ties broken toward lower inaccuracy).
+///
+/// Points are `(inaccuracy_pct, relative_execution_time)` pairs; both objectives are
+/// minimized. The returned indices are sorted by increasing inaccuracy.
+///
+/// # Example
+///
+/// ```
+/// use pliant_explore::pareto::pareto_frontier;
+///
+/// let points = vec![(0.0, 1.0), (1.0, 0.8), (2.0, 0.9), (3.0, 0.5)];
+/// let frontier = pareto_frontier(&points);
+/// assert_eq!(frontier, vec![0, 1, 3]); // (2.0, 0.9) is dominated by (1.0, 0.8)
+/// ```
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[a]
+                    .1
+                    .partial_cmp(&points[b].1)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut frontier = Vec::new();
+    let mut best_time = f64::INFINITY;
+    for &i in &order {
+        let (_, time) = points[i];
+        if time < best_time - 1e-12 {
+            frontier.push(i);
+            best_time = time;
+        }
+    }
+    frontier
+}
+
+/// Distance-based near-pareto selection: returns the indices of points whose execution
+/// time is within `tolerance` (relative) of the frontier at their inaccuracy level. The
+/// paper selects variants "close to" the pareto-optimal frontier rather than exactly on
+/// it, which this mirrors.
+pub fn near_pareto(points: &[(f64, f64)], tolerance: f64) -> Vec<usize> {
+    let frontier = pareto_frontier(points);
+    if frontier.is_empty() {
+        return Vec::new();
+    }
+    let mut selected = Vec::new();
+    for (i, &(inacc, time)) in points.iter().enumerate() {
+        // The frontier time at this inaccuracy level is the best time among frontier
+        // points with inaccuracy <= this point's inaccuracy.
+        let frontier_time = frontier
+            .iter()
+            .filter(|&&f| points[f].0 <= inacc + 1e-12)
+            .map(|&f| points[f].1)
+            .fold(f64::INFINITY, f64::min);
+        if frontier_time.is_finite() && time <= frontier_time * (1.0 + tolerance) {
+            selected.push(i);
+        }
+    }
+    selected.sort_by(|&a, &b| points[a].0.partial_cmp(&points[b].0).unwrap());
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+        assert!(near_pareto(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(pareto_frontier(&[(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let points = vec![(0.0, 1.0), (1.0, 0.8), (2.0, 0.9), (3.0, 0.5), (4.0, 0.55)];
+        let frontier = pareto_frontier(&points);
+        assert_eq!(frontier, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn frontier_is_monotone_decreasing_in_time() {
+        let points = vec![(0.5, 0.9), (1.5, 0.7), (2.5, 0.6), (0.1, 1.0), (3.0, 0.4)];
+        let frontier = pareto_frontier(&points);
+        let times: Vec<f64> = frontier.iter().map(|&i| points[i].1).collect();
+        assert!(times.windows(2).all(|w| w[1] < w[0]));
+        let inaccs: Vec<f64> = frontier.iter().map(|&i| points[i].0).collect();
+        assert!(inaccs.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn near_pareto_includes_frontier_and_close_points() {
+        let points = vec![(0.0, 1.0), (1.0, 0.8), (1.1, 0.81), (2.0, 0.78), (3.0, 0.5)];
+        let near = near_pareto(&points, 0.05);
+        let frontier = pareto_frontier(&points);
+        for f in &frontier {
+            assert!(near.contains(f), "frontier point {f} must be selected");
+        }
+        assert!(near.contains(&2), "a point within 5% of the frontier should be kept");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frontier_points_are_mutually_nondominated(
+            points in proptest::collection::vec((0.0f64..10.0, 0.1f64..2.0), 1..60)
+        ) {
+            let frontier = pareto_frontier(&points);
+            for &a in &frontier {
+                for &b in &frontier {
+                    if a == b { continue; }
+                    let dominated = points[b].0 <= points[a].0 && points[b].1 < points[a].1;
+                    prop_assert!(!dominated, "frontier point {a} is dominated by {b}");
+                }
+            }
+        }
+
+        #[test]
+        fn prop_frontier_subset_of_near_pareto(
+            points in proptest::collection::vec((0.0f64..10.0, 0.1f64..2.0), 1..60)
+        ) {
+            let frontier = pareto_frontier(&points);
+            let near = near_pareto(&points, 0.02);
+            for f in frontier {
+                prop_assert!(near.contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The co-location engine.
+//!
+//! A [`ColocationSim`] binds together one interactive service, one or more approximate
+//! batch applications, the platform model, the interference model, and the latency model.
+//! The Pliant runtime (or a baseline policy) drives it one decision interval at a time:
+//! observe the interval's tail latency, then actuate (switch variants, move cores) before
+//! the next interval.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_approx::catalog::{AppId, AppProfile, Catalog};
+use pliant_telemetry::rng::{derive_seed, seeded_rng};
+use pliant_workloads::generator::OpenLoopGenerator;
+use pliant_workloads::service::{ServiceId, ServiceProfile};
+use rand::rngs::SmallRng;
+
+use crate::batch::BatchAppState;
+use crate::interference::InterferenceModel;
+use crate::queueing::{LatencyInputs, LatencyModel};
+use crate::server::ServerSpec;
+
+/// Configuration of one co-location experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColocationConfig {
+    /// Platform model.
+    pub server: ServerSpec,
+    /// Interactive service model.
+    pub service: ServiceProfile,
+    /// Offered load as a fraction of the service's saturation throughput.
+    pub load_fraction: f64,
+    /// Approximate applications co-scheduled with the service.
+    pub apps: Vec<AppId>,
+    /// Whether the approximate applications run under the dynamic-instrumentation tool
+    /// (true for Pliant, false for the precise baseline, which needs no instrumentation).
+    pub instrumented: bool,
+    /// Interference-model constants.
+    pub interference: InterferenceModel,
+    /// Latency-model constants.
+    pub latency: LatencyModel,
+    /// Number of latency samples delivered to the monitor per decision interval.
+    pub samples_per_interval: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl ColocationConfig {
+    /// Paper-default configuration: high load (75% of saturation), paper platform,
+    /// instrumented applications.
+    pub fn paper_default(service: ServiceId, apps: &[AppId], seed: u64) -> Self {
+        Self {
+            server: ServerSpec::paper_platform(),
+            service: ServiceProfile::paper_default(service),
+            load_fraction: 0.75,
+            apps: apps.to_vec(),
+            instrumented: true,
+            interference: InterferenceModel::default(),
+            latency: LatencyModel::default(),
+            samples_per_interval: 1_000,
+            seed,
+        }
+    }
+
+    /// Same as [`Self::paper_default`] but with a custom load fraction (for Fig. 8).
+    pub fn with_load(mut self, load_fraction: f64) -> Self {
+        self.load_fraction = load_fraction;
+        self
+    }
+
+    /// Disables instrumentation (precise baseline).
+    pub fn without_instrumentation(mut self) -> Self {
+        self.instrumented = false;
+        self
+    }
+}
+
+/// Observation of one elapsed decision interval, returned by [`ColocationSim::advance`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalObservation {
+    /// Experiment time at the end of the interval, in seconds.
+    pub time_s: f64,
+    /// True 99th-percentile latency of the interval, in seconds.
+    pub p99_latency_s: f64,
+    /// The service's QoS target, in seconds.
+    pub qos_target_s: f64,
+    /// Raw latency samples for the performance monitor (client-side sampling).
+    pub latency_samples_s: Vec<f64>,
+    /// Utilization of the interactive service during the interval.
+    pub utilization: f64,
+    /// Per-application status snapshots.
+    pub apps: Vec<AppIntervalStatus>,
+    /// Whether every batch application has finished.
+    pub all_apps_finished: bool,
+}
+
+impl IntervalObservation {
+    /// Whether the interval violated the QoS target.
+    pub fn qos_violated(&self) -> bool {
+        self.p99_latency_s > self.qos_target_s
+    }
+
+    /// Latency slack as a fraction of the QoS target (positive when under the target).
+    pub fn slack_fraction(&self) -> f64 {
+        (self.qos_target_s - self.p99_latency_s) / self.qos_target_s
+    }
+}
+
+/// Snapshot of one batch application at the end of an interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppIntervalStatus {
+    /// Which application.
+    pub app: AppId,
+    /// Active variant (`None` = precise).
+    pub variant: Option<usize>,
+    /// Cores currently allocated to the application.
+    pub cores: u32,
+    /// Cores reclaimed from the application so far.
+    pub cores_reclaimed: u32,
+    /// Completed fraction of the job.
+    pub progress: f64,
+    /// Whether the job has finished.
+    pub finished: bool,
+    /// Running (work-weighted) inaccuracy in percent.
+    pub inaccuracy_pct: f64,
+    /// Execution time relative to the nominal precise run.
+    pub relative_execution_time: f64,
+}
+
+/// The co-location simulation engine.
+#[derive(Debug, Clone)]
+pub struct ColocationSim {
+    config: ColocationConfig,
+    apps: Vec<BatchAppState>,
+    service_cores: u32,
+    generator: OpenLoopGenerator,
+    rng: SmallRng,
+    time_s: f64,
+    interval_counter: u64,
+}
+
+impl ColocationSim {
+    /// Builds a simulator from a configuration, drawing application profiles from the
+    /// catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.apps` is empty or names an application missing from the catalog.
+    pub fn new(config: ColocationConfig, catalog: &Catalog) -> Self {
+        assert!(!config.apps.is_empty(), "at least one approximate application is required");
+        let (service_cores, per_app_cores) = config.server.fair_allocation(config.apps.len() as u32);
+        let apps: Vec<BatchAppState> = config
+            .apps
+            .iter()
+            .zip(per_app_cores.iter())
+            .map(|(id, &cores)| {
+                let profile: AppProfile = catalog
+                    .profile(*id)
+                    .unwrap_or_else(|| panic!("{id} missing from catalog"))
+                    .clone();
+                BatchAppState::new(profile, cores, config.instrumented)
+            })
+            .collect();
+        let qps = config.service.qps_at_load(config.load_fraction);
+        let generator = OpenLoopGenerator::new(qps, derive_seed(config.seed, 1));
+        let rng = seeded_rng(derive_seed(config.seed, 2));
+        Self {
+            config,
+            apps,
+            service_cores,
+            generator,
+            rng,
+            time_s: 0.0,
+            interval_counter: 0,
+        }
+    }
+
+    /// The configuration the simulator was built with.
+    pub fn config(&self) -> &ColocationConfig {
+        &self.config
+    }
+
+    /// Current experiment time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Cores currently allocated to the interactive service.
+    pub fn service_cores(&self) -> u32 {
+        self.service_cores
+    }
+
+    /// Number of co-located batch applications.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Immutable access to a batch application's state.
+    pub fn app(&self, index: usize) -> &BatchAppState {
+        &self.apps[index]
+    }
+
+    /// Changes the offered load mid-experiment (load sweeps).
+    pub fn set_load_fraction(&mut self, load_fraction: f64) {
+        self.config.load_fraction = load_fraction;
+        self.generator.set_qps(self.config.service.qps_at_load(load_fraction));
+    }
+
+    /// Switches application `index` to the given variant (`None` = precise). Returns
+    /// whether the variant changed.
+    pub fn set_variant(&mut self, index: usize, variant: Option<usize>) -> bool {
+        self.apps[index].set_variant(variant)
+    }
+
+    /// Reclaims one core from application `index` and gives it to the interactive service.
+    /// Returns `false` (and moves nothing) if the application is already at one core.
+    pub fn reclaim_core(&mut self, index: usize) -> bool {
+        if self.apps[index].reclaim_core() {
+            self.service_cores += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one core from the interactive service to application `index`. Returns
+    /// `false` if the application already holds its full initial allocation or the service
+    /// is at its own fair share.
+    pub fn return_core(&mut self, index: usize) -> bool {
+        let (fair_service, _) = self.config.server.fair_allocation(self.apps.len() as u32);
+        if self.service_cores <= fair_service {
+            return false;
+        }
+        if self.apps[index].return_core() {
+            self.service_cores -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances the simulation by one decision interval of `dt` seconds and returns the
+    /// interval's observation.
+    pub fn advance(&mut self, dt: f64) -> IntervalObservation {
+        assert!(dt > 0.0, "interval must be positive");
+        self.interval_counter += 1;
+        self.time_s += dt;
+
+        // Contention for this interval, from the live co-runners' current pressure.
+        let pressures: Vec<_> = self.apps.iter().map(|a| a.current_pressure()).collect();
+        let contention =
+            self.config
+                .interference
+                .contention(&self.config.server, &self.config.service, &pressures);
+
+        // Interactive service latency for the interval.
+        let arrivals = self.generator.arrivals_in(dt);
+        let qps = arrivals as f64 / dt;
+        let inputs = LatencyInputs {
+            qps,
+            cores: self.service_cores,
+            capacity_slowdown: contention.service_capacity_slowdown,
+            direct_slowdown: contention.service_direct_slowdown,
+        };
+        let p99 = self
+            .config
+            .latency
+            .p99_with_noise(&self.config.service, &inputs, &mut self.rng);
+        let samples = self.config.latency.sample_latencies(
+            &self.config.service,
+            p99,
+            self.config.samples_per_interval,
+            &mut self.rng,
+        );
+        let utilization = LatencyModel::utilization(&self.config.service, &inputs);
+
+        // Batch applications make progress under their own interference slowdown.
+        for app in &mut self.apps {
+            app.advance(dt, contention.batch_slowdown, self.time_s);
+        }
+
+        let apps: Vec<AppIntervalStatus> = self
+            .apps
+            .iter()
+            .map(|a| AppIntervalStatus {
+                app: a.profile().id,
+                variant: a.variant(),
+                cores: a.cores(),
+                cores_reclaimed: a.cores_reclaimed(),
+                progress: a.progress(),
+                finished: a.is_finished(),
+                inaccuracy_pct: a.inaccuracy_pct(),
+                relative_execution_time: a.relative_execution_time(),
+            })
+            .collect();
+        let all_apps_finished = self.apps.iter().all(|a| a.is_finished());
+
+        IntervalObservation {
+            time_s: self.time_s,
+            p99_latency_s: p99,
+            qos_target_s: self.config.service.qos_target_s,
+            latency_samples_s: samples,
+            utilization,
+            apps,
+            all_apps_finished,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::default()
+    }
+
+    fn run_static(
+        service: ServiceId,
+        app: AppId,
+        variant: Option<usize>,
+        extra_cores: u32,
+        intervals: usize,
+    ) -> (f64, f64) {
+        // Returns (mean p99 / QoS ratio, QoS-violation fraction) for a static configuration.
+        let cfg = ColocationConfig::paper_default(service, &[app], 7);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        sim.set_variant(0, variant);
+        for _ in 0..extra_cores {
+            sim.reclaim_core(0);
+        }
+        let mut ratio_sum = 0.0;
+        let mut violations = 0usize;
+        for _ in 0..intervals {
+            let obs = sim.advance(1.0);
+            ratio_sum += obs.p99_latency_s / obs.qos_target_s;
+            if obs.qos_violated() {
+                violations += 1;
+            }
+        }
+        (ratio_sum / intervals as f64, violations as f64 / intervals as f64)
+    }
+
+    #[test]
+    fn precise_colocation_violates_qos_for_sensitive_services() {
+        for service in [ServiceId::Nginx, ServiceId::Memcached] {
+            let (ratio, violation_frac) = run_static(service, AppId::Canneal, None, 0, 20);
+            assert!(
+                ratio > 1.4,
+                "{service}: precise canneal colocation should clearly violate QoS (ratio {ratio})"
+            );
+            assert!(violation_frac > 0.9);
+        }
+    }
+
+    #[test]
+    fn mongodb_precise_colocation_is_borderline_or_violating() {
+        let (ratio, _) = run_static(ServiceId::MongoDb, AppId::Canneal, None, 0, 20);
+        assert!(ratio > 0.95, "MongoDB + precise canneal should sit at or above QoS (ratio {ratio})");
+    }
+
+    #[test]
+    fn snp_most_approximate_lets_memcached_meet_qos_without_cores() {
+        let catalog = catalog();
+        let most = catalog.profile(AppId::Snp).unwrap().most_approximate();
+        let (ratio, violation_frac) = run_static(ServiceId::Memcached, AppId::Snp, most, 0, 20);
+        assert!(
+            violation_frac < 0.3,
+            "memcached + most-approximate SNP should mostly meet QoS (ratio {ratio}, violations {violation_frac})"
+        );
+    }
+
+    #[test]
+    fn canneal_needs_cores_in_addition_to_approximation_for_memcached() {
+        let catalog = catalog();
+        let most = catalog.profile(AppId::Canneal).unwrap().most_approximate();
+        let (_, violations_without_cores) = run_static(ServiceId::Memcached, AppId::Canneal, most, 0, 20);
+        let (_, violations_with_cores) = run_static(ServiceId::Memcached, AppId::Canneal, most, 4, 20);
+        assert!(
+            violations_without_cores > 0.5,
+            "approximation alone should not be enough for canneal + memcached"
+        );
+        assert!(
+            violations_with_cores < 0.3,
+            "reclaiming cores plus approximation should restore QoS"
+        );
+    }
+
+    #[test]
+    fn batch_app_progresses_and_finishes() {
+        let cfg = ColocationConfig::paper_default(ServiceId::MongoDb, &[AppId::Raytrace], 3);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let mut finished_at = None;
+        for _ in 0..120 {
+            let obs = sim.advance(1.0);
+            if obs.all_apps_finished {
+                finished_at = Some(obs.time_s);
+                break;
+            }
+        }
+        let t = finished_at.expect("raytrace should finish within 120 s");
+        let nominal = catalog().profile(AppId::Raytrace).unwrap().nominal_exec_time_s;
+        assert!(t >= nominal * 0.9 && t <= nominal * 1.6, "finish time {t} vs nominal {nominal}");
+    }
+
+    #[test]
+    fn reclaim_and_return_core_move_allocation_back_and_forth() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Bayesian], 5);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let initial = sim.service_cores();
+        assert!(sim.reclaim_core(0));
+        assert_eq!(sim.service_cores(), initial + 1);
+        assert!(sim.return_core(0));
+        assert_eq!(sim.service_cores(), initial);
+        // The service never drops below its fair share.
+        assert!(!sim.return_core(0));
+    }
+
+    #[test]
+    fn multi_app_colocation_splits_batch_cores() {
+        let cfg = ColocationConfig::paper_default(
+            ServiceId::Nginx,
+            &[AppId::Canneal, AppId::Bayesian],
+            9,
+        );
+        let sim = ColocationSim::new(cfg, &catalog());
+        assert_eq!(sim.app_count(), 2);
+        assert_eq!(sim.service_cores(), 8);
+        assert_eq!(sim.app(0).cores() + sim.app(1).cores(), 8);
+    }
+
+    #[test]
+    fn observation_reports_samples_and_slack() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 11);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let obs = sim.advance(1.0);
+        assert_eq!(obs.latency_samples_s.len(), 1_000);
+        assert!(obs.latency_samples_s.iter().all(|s| *s > 0.0));
+        assert_eq!(obs.apps.len(), 1);
+        assert!((obs.slack_fraction() - (obs.qos_target_s - obs.p99_latency_s) / obs.qos_target_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_in_seed() {
+        let run = |seed: u64| -> Vec<f64> {
+            let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], seed);
+            let mut sim = ColocationSim::new(cfg, &catalog());
+            (0..10).map(|_| sim.advance(1.0).p99_latency_s).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn load_sweep_changes_utilization() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 13).with_load(0.4);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let low = sim.advance(1.0).utilization;
+        sim.set_load_fraction(0.95);
+        let high = sim.advance(1.0).utilization;
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,193 @@
+//! Platform specification (the paper's Table 1) and core-allocation accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware platform model.
+///
+/// The defaults reproduce Table 1 of the paper: a dual-socket Intel Xeon E5-2699 v4 with
+/// 22 physical cores per socket, 55 MB of last-level cache per socket, and DDR4-2400
+/// memory. As in the paper's methodology (§5), only one socket is used for the co-located
+/// applications, 6 of its physical cores are dedicated to network-interrupt handling, and
+/// the remaining cores are shared by the interactive service and the approximate
+/// applications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// CPU model string (informational, used by the Table 1 harness binary).
+    pub cpu_model: String,
+    /// Operating system string (informational).
+    pub os: String,
+    /// Number of CPU sockets.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+    /// Base clock frequency in GHz.
+    pub base_freq_ghz: f64,
+    /// Maximum turbo frequency in GHz.
+    pub max_turbo_ghz: f64,
+    /// L1 instruction/data cache size in KB (per core).
+    pub l1_kb: u32,
+    /// L2 cache size in KB (per core).
+    pub l2_kb: u32,
+    /// Last-level cache per socket in MiB.
+    pub llc_mb: f64,
+    /// LLC associativity (ways).
+    pub llc_ways: u32,
+    /// Total memory in GiB.
+    pub memory_gib: u32,
+    /// Memory frequency in MHz.
+    pub memory_mhz: u32,
+    /// Usable memory bandwidth per socket in GiB/s.
+    pub membw_gbps: f64,
+    /// Disk description (informational).
+    pub disk: String,
+    /// Network bandwidth in Gbps.
+    pub network_gbps: u32,
+    /// Physical cores per socket reserved for network-interrupt handling (soft IRQ).
+    pub irq_cores: u32,
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        Self::paper_platform()
+    }
+}
+
+impl ServerSpec {
+    /// The platform of Table 1.
+    pub fn paper_platform() -> Self {
+        Self {
+            cpu_model: "Intel Xeon E5-2699 v4".to_string(),
+            os: "Ubuntu 16.04 (kernel 4.14)".to_string(),
+            sockets: 2,
+            cores_per_socket: 22,
+            threads_per_core: 2,
+            base_freq_ghz: 2.2,
+            max_turbo_ghz: 3.6,
+            l1_kb: 32,
+            l2_kb: 256,
+            llc_mb: 55.0,
+            llc_ways: 20,
+            memory_gib: 128,
+            memory_mhz: 2400,
+            membw_gbps: 60.0,
+            disk: "1TB, 7200RPM HDD".to_string(),
+            network_gbps: 10,
+            irq_cores: 6,
+        }
+    }
+
+    /// Physical cores on the experiment socket available to the co-located applications
+    /// (cores per socket minus the IRQ reservation).
+    pub fn usable_cores(&self) -> u32 {
+        self.cores_per_socket.saturating_sub(self.irq_cores)
+    }
+
+    /// Fair initial split of the usable cores between the interactive service and `n_apps`
+    /// approximate applications: the service keeps half the usable cores (its fair share
+    /// for the single-app case the saturation throughput was calibrated at), and the batch
+    /// applications divide the other half evenly.
+    ///
+    /// Returns `(service_cores, per_app_cores)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_apps` is zero.
+    pub fn fair_allocation(&self, n_apps: u32) -> (u32, Vec<u32>) {
+        assert!(n_apps > 0, "at least one approximate application is required");
+        let usable = self.usable_cores();
+        let service = usable / 2;
+        let batch_pool = usable - service;
+        let base = batch_pool / n_apps;
+        let extra = batch_pool % n_apps;
+        let per_app = (0..n_apps)
+            .map(|i| base + u32::from(i < extra))
+            .collect();
+        (service, per_app)
+    }
+
+    /// Renders the specification as `(field, value)` rows matching Table 1.
+    pub fn table1_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("Model".to_string(), self.cpu_model.clone()),
+            ("OS".to_string(), self.os.clone()),
+            ("Sockets".to_string(), self.sockets.to_string()),
+            ("Cores/Socket".to_string(), self.cores_per_socket.to_string()),
+            ("Threads/Core".to_string(), self.threads_per_core.to_string()),
+            (
+                "Base/Max Turbo Frequency".to_string(),
+                format!("{}GHz / {}GHz", self.base_freq_ghz, self.max_turbo_ghz),
+            ),
+            ("L1 Inst/Data Cache".to_string(), format!("{} / {} KB", self.l1_kb, self.l1_kb)),
+            ("L2 Cache".to_string(), format!("{}KB", self.l2_kb)),
+            (
+                "L3 (Last-Level) Cache".to_string(),
+                format!("{} MB, {} ways", self.llc_mb, self.llc_ways),
+            ),
+            (
+                "Memory".to_string(),
+                format!("{}GB total, {}MHz DDR4", self.memory_gib, self.memory_mhz),
+            ),
+            ("Disk".to_string(), self.disk.clone()),
+            ("Network Bandwidth".to_string(), format!("{}Gbps", self.network_gbps)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_matches_table1() {
+        let s = ServerSpec::paper_platform();
+        assert_eq!(s.sockets, 2);
+        assert_eq!(s.cores_per_socket, 22);
+        assert_eq!(s.threads_per_core, 2);
+        assert_eq!(s.llc_mb, 55.0);
+        assert_eq!(s.llc_ways, 20);
+        assert_eq!(s.memory_gib, 128);
+        assert_eq!(s.memory_mhz, 2400);
+        assert_eq!(s.network_gbps, 10);
+        assert_eq!(s.base_freq_ghz, 2.2);
+    }
+
+    #[test]
+    fn usable_cores_excludes_irq_reservation() {
+        let s = ServerSpec::paper_platform();
+        assert_eq!(s.usable_cores(), 16);
+    }
+
+    #[test]
+    fn fair_allocation_single_app() {
+        let s = ServerSpec::paper_platform();
+        let (service, apps) = s.fair_allocation(1);
+        assert_eq!(service, 8);
+        assert_eq!(apps, vec![8]);
+    }
+
+    #[test]
+    fn fair_allocation_multi_app_splits_batch_pool() {
+        let s = ServerSpec::paper_platform();
+        let (service, apps) = s.fair_allocation(3);
+        assert_eq!(service, 8);
+        assert_eq!(apps.iter().sum::<u32>(), 8);
+        assert_eq!(apps.len(), 3);
+        assert!(apps.iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn fair_allocation_requires_at_least_one_app() {
+        ServerSpec::paper_platform().fair_allocation(0);
+    }
+
+    #[test]
+    fn table1_rows_cover_every_field() {
+        let rows = ServerSpec::paper_platform().table1_rows();
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().any(|(k, v)| k == "Model" && v.contains("E5-2699")));
+        assert!(rows.iter().any(|(k, v)| k.contains("L3") && v.contains("55")));
+    }
+}

@@ -1,0 +1,326 @@
+//! Log-bucketed latency histogram with percentile queries.
+//!
+//! The performance monitor in Pliant continuously samples end-to-end request latency and
+//! needs cheap, allocation-free recording plus accurate tail percentiles (p99 and above).
+//! A log-bucketed histogram (HdrHistogram-style) gives bounded relative error across many
+//! orders of magnitude, which matters because the three interactive services span latencies
+//! from ~100 µs (memcached) to ~100 ms (MongoDB).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of linear sub-buckets per power-of-two bucket.
+///
+/// 32 sub-buckets bound the relative quantization error to roughly 3%.
+const SUB_BUCKETS: usize = 32;
+/// Number of power-of-two buckets; covers values up to 2^40 (~10^12), far beyond any
+/// latency expressed in microseconds that the simulators produce.
+const EXP_BUCKETS: usize = 40;
+
+/// A log-bucketed histogram of non-negative `f64` values (latencies, in any unit).
+///
+/// Values are bucketed into `EXP_BUCKETS` powers of two, each split into `SUB_BUCKETS`
+/// linear sub-buckets, giving a bounded relative error of about `1/SUB_BUCKETS`.
+///
+/// # Example
+///
+/// ```
+/// use pliant_telemetry::histogram::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// h.record_many(&[1.0, 2.0, 3.0, 100.0]);
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.5) >= 2.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; SUB_BUCKETS * EXP_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Index of the bucket a value falls into.
+    fn bucket_index(value: f64) -> usize {
+        let v = value.max(0.0);
+        if v < 1.0 {
+            // Values in [0, 1) map linearly onto the first power-of-two bucket.
+            return (v * SUB_BUCKETS as f64) as usize % SUB_BUCKETS;
+        }
+        let exp = v.log2().floor() as usize;
+        let exp = exp.min(EXP_BUCKETS - 1);
+        let base = 2f64.powi(exp as i32);
+        let frac = ((v - base) / base * SUB_BUCKETS as f64) as usize;
+        exp * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)
+    }
+
+    /// Representative (upper-edge midpoint) value of a bucket, used when reporting
+    /// percentiles.
+    fn bucket_value(index: usize) -> f64 {
+        let exp = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        if exp == 0 && sub < SUB_BUCKETS {
+            // First bucket may hold sub-1.0 values recorded via the linear path; treat it
+            // as the standard log bucket otherwise.
+        }
+        let base = 2f64.powi(exp as i32);
+        base + base * (sub as f64 + 0.5) / SUB_BUCKETS as f64
+    }
+
+    /// Records a single value.
+    ///
+    /// Negative values are clamped to zero.
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        let idx = Self::bucket_index(v);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Records every value in `values`.
+    pub fn record_many(&mut self, values: &[f64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the histogram has no recorded values.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Value at quantile `q` (`0.0..=1.0`).
+    ///
+    /// The returned value is the representative value of the bucket containing the
+    /// requested rank, clamped to the observed `[min, max]` range so exact extremes are
+    /// reported faithfully.
+    ///
+    /// Returns 0.0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience accessor for the 99th percentile — the QoS metric used throughout the
+    /// paper.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// Convenience accessor for the 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// Convenience accessor for the median.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// Clears all recorded values.
+    pub fn reset(&mut self) {
+        for b in &mut self.buckets {
+            *b = 0;
+        }
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(42.0);
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 42.0).abs() < 1e-9);
+        let p = h.percentile(0.99);
+        assert!((p - 42.0).abs() / 42.0 < 0.05, "p99 {p} should be close to 42");
+    }
+
+    #[test]
+    fn uniform_sequence_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64);
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.06, "p50 was {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.06, "p99 was {p99}");
+        assert!(p99 > p50);
+    }
+
+    #[test]
+    fn percentiles_monotone_in_q() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..5_000u64 {
+            h.record((i % 977) as f64 + 0.5);
+        }
+        let mut prev = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.percentile(q);
+            assert!(v + 1e-9 >= prev, "percentile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_all() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..1000 {
+            let v = (i * 7 % 311) as f64 + 1.0;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.percentile(0.99) - all.percentile(0.99)).abs() < 1e-9);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nonfinite_values_are_clamped() {
+        let mut h = LatencyHistogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut h = LatencyHistogram::new();
+        h.record_many(&[1.0, 2.0, 3.0]);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_quantile_panics() {
+        let h = LatencyHistogram::new();
+        let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn relative_error_bound_holds() {
+        // Every recorded value should be reported by its own bucket within ~2/SUB_BUCKETS
+        // relative error.
+        let mut worst = 0.0f64;
+        for v in [1.0, 3.0, 17.0, 123.0, 999.0, 12_345.0, 1_000_000.0] {
+            let idx = LatencyHistogram::bucket_index(v);
+            let rep = LatencyHistogram::bucket_value(idx);
+            let rel = (rep - v).abs() / v;
+            worst = worst.max(rel);
+        }
+        assert!(worst < 2.0 / SUB_BUCKETS as f64 + 0.02, "worst relative error {worst}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Telemetry primitives for the Pliant reproduction.
+//!
+//! This crate provides the measurement substrate every other crate builds on:
+//!
+//! * [`histogram::LatencyHistogram`] — a log-bucketed histogram with percentile queries,
+//!   used by the performance monitor to estimate tail latency (p95/p99/p999).
+//! * [`stats`] — streaming summary statistics (mean/variance/min/max) and
+//!   [`stats::Summary`] snapshots.
+//! * [`window`] — sliding-window and exponentially-weighted latency trackers used for
+//!   adaptive sampling in the monitor.
+//! * [`series`] — a time-series recorder used by the experiment harness to regenerate the
+//!   paper's dynamic-behaviour figures (Fig. 4 and Fig. 6).
+//! * [`violin`] — distribution summaries (min/max/quartiles/density) matching the violin
+//!   plots of Fig. 7.
+//! * [`rng`] — deterministic random-number helpers and the samplers (exponential, Poisson,
+//!   lognormal, Pareto) the workload generators and queueing models rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use pliant_telemetry::histogram::LatencyHistogram;
+//!
+//! let mut h = LatencyHistogram::new();
+//! for i in 1..=1000u64 {
+//!     h.record(i as f64);
+//! }
+//! let p99 = h.percentile(0.99);
+//! assert!(p99 >= 980.0 && p99 <= 1000.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod violin;
+pub mod window;
+
+pub use histogram::LatencyHistogram;
+pub use series::{TimePoint, TimeSeries};
+pub use stats::{OnlineStats, Summary};
+pub use violin::ViolinSummary;
+pub use window::{EwmaTracker, SlidingWindow};

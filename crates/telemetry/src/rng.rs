@@ -1,0 +1,223 @@
+//! Deterministic random-number helpers and samplers.
+//!
+//! Every stochastic component in the reproduction (request arrivals, service-time noise,
+//! kernel input generation) draws from a seeded [`rand::rngs::SmallRng`] created through
+//! this module, so experiment results are reproducible run-to-run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from an explicit seed.
+///
+/// # Example
+///
+/// ```
+/// use pliant_telemetry::rng::seeded_rng;
+/// use rand::Rng;
+///
+/// let mut a = seeded_rng(7);
+/// let mut b = seeded_rng(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derives a sub-seed from a parent seed and a stream label.
+///
+/// Used to give each component of an experiment (arrival process, service times, kernel
+/// input, controller jitter) an independent but reproducible stream.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    // SplitMix64 finalizer over the combined value: cheap, well-distributed, deterministic.
+    let mut z = parent
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples an exponentially-distributed value with the given rate (events per unit time).
+///
+/// Used for Poisson-process inter-arrival times in the open-loop workload generators.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Samples a Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's multiplication method for small means and a normal approximation for large
+/// means (>64), which is plenty accurate for request-count-per-tick sampling.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 64.0 {
+        // Normal approximation with continuity correction.
+        let g = sample_standard_normal(rng);
+        let v = mean + mean.sqrt() * g + 0.5;
+        return v.max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0f64..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Samples a standard normal variate using the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0f64..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a lognormal variate parameterized by the *median* and the shape `sigma` (the
+/// standard deviation of the underlying normal).
+///
+/// Service-time distributions of interactive cloud services are heavy-tailed; a lognormal
+/// body is a standard modelling choice and produces realistic p99/p50 ratios.
+///
+/// # Panics
+///
+/// Panics if `median` is not strictly positive or `sigma` is negative.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "lognormal median must be positive");
+    assert!(sigma >= 0.0, "lognormal sigma must be non-negative");
+    let n = sample_standard_normal(rng);
+    median * (sigma * n).exp()
+}
+
+/// Samples a bounded Pareto variate with shape `alpha` on `[min, max]`.
+///
+/// Used to inject occasional very slow requests (e.g. MongoDB disk stalls) into the
+/// discrete-event simulator.
+///
+/// # Panics
+///
+/// Panics if the bounds are not `0 < min < max` or `alpha <= 0`.
+pub fn sample_bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, min: f64, max: f64) -> f64 {
+    assert!(min > 0.0 && max > min, "require 0 < min < max");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let ha = max.powf(alpha);
+    let la = min.powf(alpha);
+    let x = -(u * ha - u * la - ha) / (ha * la);
+    x.powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(123);
+        let mut b = seeded_rng(123);
+        for _ in 0..10 {
+            assert_eq!(rand::Rng::gen::<u64>(&mut a), rand::Rng::gen::<u64>(&mut b));
+        }
+    }
+
+    #[test]
+    fn derive_seed_varies_with_stream() {
+        let s1 = derive_seed(42, 0);
+        let s2 = derive_seed(42, 1);
+        let s3 = derive_seed(43, 0);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_eq!(derive_seed(42, 0), s1);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = seeded_rng(7);
+        let rate = 4.0;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_parameter() {
+        let mut rng = seeded_rng(11);
+        for &lambda in &[0.5, 3.0, 20.0, 150.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda.max(1.0) < 0.05,
+                "lambda {lambda} produced mean {mean}"
+            );
+        }
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        assert_eq!(sample_poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn lognormal_median_is_approximately_parameter() {
+        let mut rng = seeded_rng(5);
+        let mut v: Vec<f64> = (0..20_001).map(|_| sample_lognormal(&mut rng, 10.0, 0.5)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median - 10.0).abs() / 10.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let mut rng = seeded_rng(5);
+        for _ in 0..10 {
+            assert!((sample_lognormal(&mut rng, 3.0, 0.0) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_within_bounds() {
+        let mut rng = seeded_rng(9);
+        for _ in 0..5_000 {
+            let x = sample_bounded_pareto(&mut rng, 1.5, 1.0, 100.0);
+            assert!(x >= 1.0 - 1e-9 && x <= 100.0 + 1e-9, "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = seeded_rng(1);
+        let _ = sample_exponential(&mut rng, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exponential_positive(seed in 0u64..1000, rate in 0.01f64..100.0) {
+            let mut rng = seeded_rng(seed);
+            let x = sample_exponential(&mut rng, rate);
+            prop_assert!(x > 0.0);
+            prop_assert!(x.is_finite());
+        }
+
+        #[test]
+        fn prop_lognormal_positive(seed in 0u64..1000, median in 0.01f64..1e4, sigma in 0.0f64..2.0) {
+            let mut rng = seeded_rng(seed);
+            let x = sample_lognormal(&mut rng, median, sigma);
+            prop_assert!(x > 0.0);
+            prop_assert!(x.is_finite());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Time-series recording for dynamic-behaviour experiments.
+//!
+//! The paper's Fig. 4 and Fig. 6 plot tail latency, reclaimed cores, and the active
+//! approximate variant over wall-clock time. The experiment harness records one
+//! [`TimePoint`] per decision interval into a [`TimeSeries`] and the figure binaries dump
+//! the series as CSV/JSON rows.
+
+use serde::{Deserialize, Serialize};
+
+/// A single labelled sample in a time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Time of the sample, in seconds since the start of the experiment.
+    pub time_s: f64,
+    /// Sample value (unit depends on the series).
+    pub value: f64,
+}
+
+/// A named sequence of [`TimePoint`]s.
+///
+/// # Example
+///
+/// ```
+/// use pliant_telemetry::series::TimeSeries;
+///
+/// let mut s = TimeSeries::new("p99_latency_ms");
+/// s.push(0.0, 4.2);
+/// s.push(1.0, 5.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.max_value(), Some(5.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<TimePoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Name of the series.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, time_s: f64, value: f64) {
+        self.points.push(TimePoint { time_s, value });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded points, in insertion order.
+    pub fn points(&self) -> &[TimePoint] {
+        &self.points
+    }
+
+    /// Values only, in insertion order.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.value).collect()
+    }
+
+    /// Largest recorded value.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Smallest recorded value.
+    pub fn min_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean_value(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Fraction of points whose value is strictly greater than `threshold`.
+    ///
+    /// Used to report how often a service's tail latency exceeded its QoS target.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let above = self.points.iter().filter(|p| p.value > threshold).count();
+        above as f64 / self.points.len() as f64
+    }
+
+    /// Renders the series as CSV rows (`time_s,value` with a header line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,value\n");
+        for p in &self.points {
+            out.push_str(&format!("{:.6},{:.6}\n", p.time_s, p.value));
+        }
+        out
+    }
+}
+
+/// A bundle of related time series captured by one experiment run (e.g. tail latency +
+/// reclaimed cores + active variant index).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceBundle {
+    series: Vec<TimeSeries>,
+}
+
+impl TraceBundle {
+    /// Creates an empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a series to the bundle.
+    pub fn insert(&mut self, series: TimeSeries) {
+        self.series.push(series);
+    }
+
+    /// Looks up a series by name.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// All series in insertion order.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Number of series held.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the bundle holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_basic_accessors() {
+        let mut s = TimeSeries::new("lat");
+        assert!(s.is_empty());
+        assert_eq!(s.max_value(), None);
+        assert_eq!(s.min_value(), None);
+        assert_eq!(s.mean_value(), None);
+        s.push(0.0, 10.0);
+        s.push(1.0, 30.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.name(), "lat");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_value(), Some(30.0));
+        assert_eq!(s.min_value(), Some(10.0));
+        assert_eq!(s.mean_value(), Some(20.0));
+        assert_eq!(s.values(), vec![10.0, 30.0, 20.0]);
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let mut s = TimeSeries::new("lat");
+        for (t, v) in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0), (3.0, 7.0)] {
+            s.push(t, v);
+        }
+        assert!((s.fraction_above(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.fraction_above(100.0), 0.0);
+        assert_eq!(TimeSeries::new("x").fraction_above(0.0), 0.0);
+    }
+
+    #[test]
+    fn csv_rendering_has_header_and_rows() {
+        let mut s = TimeSeries::new("lat");
+        s.push(0.0, 1.5);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("time_s,value\n"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn bundle_lookup_by_name() {
+        let mut b = TraceBundle::new();
+        assert!(b.is_empty());
+        b.insert(TimeSeries::new("a"));
+        b.insert(TimeSeries::new("b"));
+        assert_eq!(b.len(), 2);
+        assert!(b.get("a").is_some());
+        assert!(b.get("missing").is_none());
+        assert_eq!(b.series()[1].name(), "b");
+    }
+}

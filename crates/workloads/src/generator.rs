@@ -1,0 +1,161 @@
+//! Open-loop workload generation.
+//!
+//! The paper drives every interactive service with open-loop client generators: requests
+//! arrive according to the offered load regardless of how quickly the server responds,
+//! which is what makes tail latency explode once the service saturates. The
+//! [`OpenLoopGenerator`] produces Poisson arrival counts and exact arrival timestamps for
+//! the simulators.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_telemetry::rng::{sample_exponential, sample_poisson, seeded_rng};
+use rand::rngs::SmallRng;
+
+/// An open-loop (Poisson) request generator with a fixed target rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenLoopGenerator {
+    qps: f64,
+    seed: u64,
+    #[serde(skip, default = "default_rng")]
+    rng: SmallRng,
+}
+
+fn default_rng() -> SmallRng {
+    seeded_rng(0)
+}
+
+impl OpenLoopGenerator {
+    /// Creates a generator issuing `qps` requests per second on average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is negative or not finite.
+    pub fn new(qps: f64, seed: u64) -> Self {
+        assert!(qps.is_finite() && qps >= 0.0, "qps must be non-negative");
+        Self {
+            qps,
+            seed,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// Target request rate in queries per second.
+    pub fn qps(&self) -> f64 {
+        self.qps
+    }
+
+    /// Changes the offered load (used by the load-sweep experiments).
+    pub fn set_qps(&mut self, qps: f64) {
+        assert!(qps.is_finite() && qps >= 0.0, "qps must be non-negative");
+        self.qps = qps;
+    }
+
+    /// Samples the number of requests arriving within a window of `window_s` seconds.
+    pub fn arrivals_in(&mut self, window_s: f64) -> u64 {
+        if self.qps <= 0.0 || window_s <= 0.0 {
+            return 0;
+        }
+        sample_poisson(&mut self.rng, self.qps * window_s)
+    }
+
+    /// Samples explicit arrival timestamps (seconds, relative to the window start) for a
+    /// window of `window_s` seconds. Used by the discrete-event simulator; the count
+    /// follows the same Poisson process as [`Self::arrivals_in`].
+    pub fn arrival_times_in(&mut self, window_s: f64) -> Vec<f64> {
+        let mut times = Vec::new();
+        if self.qps <= 0.0 || window_s <= 0.0 {
+            return times;
+        }
+        let mut t = 0.0;
+        loop {
+            t += sample_exponential(&mut self.rng, self.qps);
+            if t >= window_s {
+                break;
+            }
+            times.push(t);
+        }
+        times
+    }
+
+    /// Resets the generator to its initial seed, replaying the identical arrival stream.
+    pub fn reset(&mut self) {
+        self.rng = seeded_rng(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arrivals_track_offered_load() {
+        let mut gen = OpenLoopGenerator::new(10_000.0, 3);
+        let total: u64 = (0..100).map(|_| gen.arrivals_in(0.1)).sum();
+        // 100 windows of 0.1 s at 10 K QPS → about 100 K arrivals.
+        assert!((total as f64 - 100_000.0).abs() < 5_000.0, "total {total}");
+    }
+
+    #[test]
+    fn zero_rate_or_zero_window_produces_no_arrivals() {
+        let mut idle = OpenLoopGenerator::new(0.0, 1);
+        assert_eq!(idle.arrivals_in(10.0), 0);
+        assert!(idle.arrival_times_in(10.0).is_empty());
+        let mut busy = OpenLoopGenerator::new(100.0, 1);
+        assert_eq!(busy.arrivals_in(0.0), 0);
+    }
+
+    #[test]
+    fn arrival_times_are_sorted_and_within_window() {
+        let mut gen = OpenLoopGenerator::new(5_000.0, 9);
+        let times = gen.arrival_times_in(0.05);
+        assert!(!times.is_empty());
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|t| *t >= 0.0 && *t < 0.05));
+    }
+
+    #[test]
+    fn reset_replays_identical_stream() {
+        let mut gen = OpenLoopGenerator::new(2_000.0, 11);
+        let first: Vec<u64> = (0..10).map(|_| gen.arrivals_in(0.01)).collect();
+        gen.reset();
+        let second: Vec<u64> = (0..10).map(|_| gen.arrivals_in(0.01)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn set_qps_changes_rate() {
+        let mut gen = OpenLoopGenerator::new(1_000.0, 5);
+        gen.set_qps(100_000.0);
+        assert_eq!(gen.qps(), 100_000.0);
+        let arrivals = gen.arrivals_in(0.1);
+        assert!(arrivals > 5_000, "arrivals {arrivals} should reflect the new rate");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_qps_rejected() {
+        let _ = OpenLoopGenerator::new(-1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_arrival_counts_nonnegative_and_bounded(
+            qps in 0.0f64..50_000.0,
+            window in 0.001f64..0.5,
+            seed in 0u64..500,
+        ) {
+            let mut gen = OpenLoopGenerator::new(qps, seed);
+            let n = gen.arrivals_in(window);
+            // Allow generous head-room above the mean (Poisson tail).
+            prop_assert!((n as f64) < qps * window + 10.0 * (qps * window).sqrt() + 50.0);
+        }
+
+        #[test]
+        fn prop_arrival_times_count_similar_to_counts(seed in 0u64..200) {
+            let mut a = OpenLoopGenerator::new(20_000.0, seed);
+            let times = a.arrival_times_in(0.1);
+            prop_assert!((times.len() as f64 - 2_000.0).abs() < 500.0);
+        }
+    }
+}

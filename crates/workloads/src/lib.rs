@@ -1,0 +1,37 @@
+//! Interactive, latency-critical service models and workload generators for the Pliant
+//! reproduction.
+//!
+//! The paper co-schedules three open-source interactive services with approximate batch
+//! applications:
+//!
+//! * **NGINX** — front-end web server serving 1 KB static pages; QoS target 10 ms p99.
+//! * **memcached** — in-memory key-value store; QoS target 200 µs p99 (the most
+//!   interference-sensitive of the three).
+//! * **MongoDB** — persistent NoSQL database with a 178 GB dataset; QoS target 100 ms p99
+//!   (I/O-bound and the least interference-sensitive).
+//!
+//! Those servers are not run here; instead each is modelled by a calibrated
+//! [`service::ServiceProfile`] capturing its QoS target, saturation throughput at a fair
+//! core allocation, request service-time distribution, and sensitivity to contention in
+//! shared resources. The [`generator::OpenLoopGenerator`] produces the open-loop Poisson
+//! arrival streams the paper's client machines generate.
+//!
+//! # Example
+//!
+//! ```
+//! use pliant_workloads::service::{ServiceId, ServiceProfile};
+//!
+//! let memcached = ServiceProfile::paper_default(ServiceId::Memcached);
+//! assert!(memcached.qos_target_s < 0.001); // 200 us
+//! let high_load_qps = memcached.qps_at_load(0.75);
+//! assert!(high_load_qps > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod service;
+
+pub use generator::OpenLoopGenerator;
+pub use service::{ServiceId, ServiceProfile};

@@ -1,0 +1,32 @@
+//! Offline design-space exploration (the paper's §3 / Fig. 1 odd rows) for a handful of
+//! kernels: run every candidate approximate configuration, measure execution time and
+//! output inaccuracy against precise execution, and print the variants selected near the
+//! pareto frontier.
+//!
+//! Run with: `cargo run --example design_space_exploration`
+
+use pliant::approx::kernels::kernel_for;
+use pliant::prelude::*;
+
+fn main() {
+    let config = ExplorationConfig::default();
+    for app in [AppId::KMeans, AppId::Canneal, AppId::Raytrace, AppId::Plsa, AppId::Hmmer] {
+        let kernel = kernel_for(app, 2024);
+        let result = explore_kernel(kernel.as_ref(), &config);
+        println!("== {} ==", result.app);
+        println!("  examined configurations : {}", result.measurements.len() - 1);
+        println!("  selected variants       : {}", result.selected_count());
+        for (i, v) in result.selected_variants().iter().enumerate() {
+            println!(
+                "    v{} {:<26} time {:.2}x  inaccuracy {:.2}%",
+                i + 1,
+                v.label,
+                v.exec_time_factor,
+                v.inaccuracy_pct
+            );
+        }
+        println!();
+    }
+    println!("These ordered variant lists are what the Pliant runtime switches between at");
+    println!("run time; anything above the 5% quality threshold was discarded.");
+}

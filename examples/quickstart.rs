@@ -1,0 +1,40 @@
+//! Quickstart: run one co-location under the Precise baseline and under Pliant, and
+//! compare the interactive service's tail latency and the approximate application's
+//! execution time / output quality.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pliant::prelude::*;
+
+fn main() {
+    let service = ServiceId::Memcached;
+    let app = AppId::Canneal;
+    let options = ExperimentOptions {
+        max_intervals: 60,
+        seed: 7,
+        ..ExperimentOptions::default()
+    };
+
+    println!("Co-locating {} (QoS {} {}) with {}\n",
+        service.name(),
+        ServiceProfile::paper_default(service).qos_target_display(),
+        service.display_unit(),
+        app.name(),
+    );
+
+    for policy in [PolicyKind::Precise, PolicyKind::Pliant] {
+        let outcome = run_colocation(service, &[app], policy, &options);
+        let batch = &outcome.app_outcomes[0];
+        println!("policy = {}", policy.name());
+        println!("  p99 / QoS               : {:.2}x", outcome.tail_latency_ratio);
+        println!("  intervals violating QoS : {:.0}%", outcome.qos_violation_fraction * 100.0);
+        println!("  max cores reclaimed     : {}", outcome.max_extra_service_cores);
+        println!("  {} execution time  : {:.2}x nominal", batch.app.name(), batch.relative_execution_time);
+        println!("  {} quality loss    : {:.1}%", batch.app.name(), batch.inaccuracy_pct);
+        println!();
+    }
+
+    println!("Pliant restores the interactive service's QoS by approximating the batch");
+    println!("application and, when necessary, briefly reclaiming cores from it — while the");
+    println!("precise baseline leaves the service violating its tail-latency target.");
+}

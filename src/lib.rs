@@ -1,0 +1,56 @@
+//! Facade crate for the Pliant reproduction.
+//!
+//! Pliant (HPCA 2019) is a lightweight cloud runtime that co-schedules latency-critical
+//! interactive services with approximate-computing applications: when the interactive
+//! service's tail-latency QoS is violated, Pliant incrementally switches the co-runners to
+//! more aggressive approximate variants and, if necessary, reclaims cores from them — then
+//! relaxes both once latency slack returns.
+//!
+//! This crate re-exports the workspace's components under one roof:
+//!
+//! * [`approx`] — approximation techniques, the 24 approximate kernels, and the calibrated
+//!   application catalog.
+//! * [`workloads`] — the NGINX / memcached / MongoDB service models and open-loop
+//!   generators.
+//! * [`sim`] — the server, interference, queueing, and co-location simulation substrate.
+//! * [`explore`] — offline design-space exploration and pareto-frontier variant selection.
+//! * [`runtime`] — the Pliant runtime itself (monitor, actuator, controller, policies) and
+//!   the experiment drivers.
+//! * [`telemetry`] — histograms, summaries, and time-series recording.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pliant::prelude::*;
+//!
+//! let options = ExperimentOptions { max_intervals: 30, ..ExperimentOptions::default() };
+//! let outcome = run_colocation(ServiceId::MongoDb, &[AppId::Raytrace], PolicyKind::Pliant, &options);
+//! println!("p99/QoS = {:.2}", outcome.tail_latency_ratio);
+//! assert!(outcome.intervals > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pliant_approx as approx;
+pub use pliant_core as runtime;
+pub use pliant_explore as explore;
+pub use pliant_sim as sim;
+pub use pliant_telemetry as telemetry;
+pub use pliant_workloads as workloads;
+
+/// Commonly-used items, re-exported for convenience.
+pub mod prelude {
+    pub use pliant_approx::catalog::{AppId, AppProfile, Catalog};
+    pub use pliant_approx::kernel::{ApproxConfig, ApproxKernel};
+    pub use pliant_core::experiment::{
+        aggregate_comparison, interval_sweep, load_sweep, run_colocation, ColocationOutcome,
+        ExperimentOptions,
+    };
+    pub use pliant_core::policy::PolicyKind;
+    pub use pliant_core::{ControllerConfig, MonitorConfig, PerformanceMonitor, PliantController};
+    pub use pliant_explore::{explore_kernel, ExplorationConfig};
+    pub use pliant_sim::colocation::{ColocationConfig, ColocationSim};
+    pub use pliant_sim::server::ServerSpec;
+    pub use pliant_workloads::service::{ServiceId, ServiceProfile};
+}

@@ -1,0 +1,93 @@
+//! Property-based integration tests: invariants of the Pliant controllers under arbitrary
+//! sequences of monitor reports.
+
+use pliant::runtime::actuator::Action;
+use pliant::runtime::monitor::MonitorReport;
+use pliant::runtime::multi::MultiAppController;
+use pliant::runtime::{ControllerConfig, PliantController};
+use proptest::prelude::*;
+
+fn report(violated: bool, slack: f64) -> MonitorReport {
+    MonitorReport {
+        p99_s: if violated { 1.0 } else { 0.1 },
+        mean_s: 0.05,
+        smoothed_p99_s: 0.5,
+        sampled: 100,
+        qos_violated: violated,
+        slack_fraction: if violated { -0.5 } else { slack },
+    }
+}
+
+proptest! {
+    /// The single-application controller never selects a variant outside the admissible
+    /// range, never "returns" more cores than it reclaimed, and only ever emits one action
+    /// per decision.
+    #[test]
+    fn single_controller_invariants(
+        variant_count in 0usize..9,
+        steps in proptest::collection::vec((any::<bool>(), 0.0f64..0.5), 1..200),
+    ) {
+        let mut controller = PliantController::new(ControllerConfig::default(), variant_count);
+        let mut reclaimed: i64 = 0;
+        for (violated, slack) in steps {
+            let actions = controller.decide(0, &report(violated, slack));
+            prop_assert!(actions.len() <= 1, "at most one action per decision interval");
+            for action in actions {
+                match action {
+                    Action::SetVariant { variant: Some(v), .. } => {
+                        prop_assert!(v < variant_count.max(1), "variant {v} out of range");
+                    }
+                    Action::SetVariant { variant: None, .. } => {}
+                    Action::ReclaimCore { .. } => reclaimed += 1,
+                    Action::ReturnCore { .. } => reclaimed -= 1,
+                }
+            }
+            prop_assert!(reclaimed >= 0, "returned a core that was never reclaimed");
+            prop_assert_eq!(controller.cores_reclaimed() as i64, reclaimed);
+        }
+    }
+
+    /// The round-robin arbiter keeps per-application core reclamation balanced (spread of
+    /// at most one) and never reclaims an application's last core.
+    #[test]
+    fn multi_controller_fairness_invariants(
+        app_count in 1usize..5,
+        cores in 2u32..6,
+        violations in 1usize..60,
+    ) {
+        let variant_counts = vec![3usize; app_count];
+        let initial_cores = vec![cores; app_count];
+        let mut controller =
+            MultiAppController::new(ControllerConfig::default(), &variant_counts, &initial_cores, 0);
+        for _ in 0..violations {
+            let _ = controller.decide(&report(true, 0.0));
+        }
+        let reclaimed: Vec<u32> = (0..app_count).map(|i| controller.cores_reclaimed(i)).collect();
+        let max = *reclaimed.iter().max().unwrap();
+        let min = *reclaimed.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced reclamation under pure violations: {:?}", reclaimed);
+        for &r in &reclaimed {
+            prop_assert!(r <= cores - 1, "an application lost its last core");
+        }
+    }
+
+    /// After any violation burst followed by a long stretch of ample slack, the controller
+    /// returns to precise execution with all cores given back.
+    #[test]
+    fn recovery_always_reaches_precise(
+        variant_count in 1usize..9,
+        violation_burst in 1usize..20,
+    ) {
+        let mut controller = PliantController::new(ControllerConfig::default(), variant_count);
+        for _ in 0..violation_burst {
+            let _ = controller.decide(0, &report(true, 0.0));
+        }
+        // Enough high-slack intervals to unwind every core and every variant step even with
+        // the 2-interval hysteresis.
+        for _ in 0..(2 * (violation_burst + variant_count + 2)) {
+            let _ = controller.decide(0, &report(false, 0.4));
+        }
+        prop_assert_eq!(controller.variant(), None, "must relax back to precise");
+        prop_assert_eq!(controller.cores_reclaimed(), 0, "must return every reclaimed core");
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration tests: end-to-end determinism, load sensitivity (Fig. 8), decision-interval
+//! sensitivity (Fig. 9), and the effort breakdown (Fig. 10).
+
+use pliant::prelude::*;
+use pliant::runtime::experiment::{classify_effort, EffortClass};
+
+fn options(seed: u64) -> ExperimentOptions {
+    ExperimentOptions {
+        max_intervals: 40,
+        seed,
+        ..ExperimentOptions::default()
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_outcomes() {
+    let a = run_colocation(ServiceId::Memcached, &[AppId::Plsa], PolicyKind::Pliant, &options(123));
+    let b = run_colocation(ServiceId::Memcached, &[AppId::Plsa], PolicyKind::Pliant, &options(123));
+    assert_eq!(a.mean_p99_s, b.mean_p99_s);
+    assert_eq!(a.qos_violation_fraction, b.qos_violation_fraction);
+    assert_eq!(a.app_outcomes[0].inaccuracy_pct, b.app_outcomes[0].inaccuracy_pct);
+    let c = run_colocation(ServiceId::Memcached, &[AppId::Plsa], PolicyKind::Pliant, &options(124));
+    assert_ne!(a.mean_p99_s, c.mean_p99_s, "different seeds should differ");
+}
+
+#[test]
+fn low_load_runs_mostly_precise_and_high_load_needs_intervention() {
+    // Fig. 8: below ~60% load the approximate workload can stay (mostly) precise; at high
+    // load approximation and core reclamation are required.
+    let low = load_sweep(ServiceId::Nginx, AppId::Canneal, &[0.4], &options(9));
+    let high = load_sweep(ServiceId::Nginx, AppId::Canneal, &[0.9], &options(9));
+    let (_, low_outcome) = &low[0];
+    let (_, high_outcome) = &high[0];
+    assert!(low_outcome.app_outcomes[0].inaccuracy_pct <= high_outcome.app_outcomes[0].inaccuracy_pct + 0.2);
+    assert!(low_outcome.max_extra_service_cores <= high_outcome.max_extra_service_cores);
+    assert!(low_outcome.tail_latency_ratio < high_outcome.tail_latency_ratio);
+}
+
+#[test]
+fn coarse_decision_intervals_prolong_violations() {
+    // Fig. 9: decision intervals above ~1 s leave the interactive service violating QoS for
+    // longer before Pliant reacts.
+    let sweep = interval_sweep(ServiceId::Memcached, AppId::Streamcluster, &[1.0, 8.0], &options(31));
+    let fine = &sweep[0].1;
+    let coarse = &sweep[1].1;
+    assert!(
+        fine.qos_violation_fraction <= coarse.qos_violation_fraction + 0.05,
+        "1 s interval ({:.2}) should violate no more than an 8 s interval ({:.2})",
+        fine.qos_violation_fraction,
+        coarse.qos_violation_fraction
+    );
+}
+
+#[test]
+fn effort_breakdown_matches_service_strictness() {
+    // Fig. 10: memcached needs reclaimed cores more often than MongoDB.
+    let apps = [AppId::Canneal, AppId::Bayesian, AppId::Snp, AppId::Raytrace, AppId::Plsa, AppId::Hmmer];
+    let needs_cores = |service: ServiceId| -> usize {
+        apps.iter()
+            .filter(|&&app| {
+                let o = run_colocation(service, &[app], PolicyKind::Pliant, &options(41));
+                classify_effort(&o) != EffortClass::ApproximationOnly
+            })
+            .count()
+    };
+    let memcached = needs_cores(ServiceId::Memcached);
+    let mongodb = needs_cores(ServiceId::MongoDb);
+    assert!(
+        mongodb <= memcached,
+        "MongoDB ({mongodb}) should need core reclamation no more often than memcached ({memcached})"
+    );
+}
+
+#[test]
+fn reclaim_only_ablation_sacrifices_more_batch_performance_than_pliant() {
+    // Without approximation, restoring QoS requires taking more cores for longer, which
+    // shows up as a longer batch execution time.
+    let pliant = run_colocation(ServiceId::Memcached, &[AppId::Bayesian], PolicyKind::Pliant, &options(51));
+    let reclaim_only =
+        run_colocation(ServiceId::Memcached, &[AppId::Bayesian], PolicyKind::ReclaimOnly, &options(51));
+    assert!(
+        reclaim_only.max_extra_service_cores >= pliant.max_extra_service_cores,
+        "reclaim-only should take at least as many cores as Pliant"
+    );
+    assert!(
+        reclaim_only.app_outcomes[0].relative_execution_time
+            >= pliant.app_outcomes[0].relative_execution_time - 0.05,
+        "reclaim-only should not finish the batch job faster than Pliant"
+    );
+    assert_eq!(reclaim_only.app_outcomes[0].inaccuracy_pct, 0.0);
+}

@@ -1,0 +1,95 @@
+//! Integration test: multi-application colocations (§4.4, Fig. 6, Fig. 7).
+
+use pliant::prelude::*;
+
+fn options(seed: u64) -> ExperimentOptions {
+    ExperimentOptions {
+        max_intervals: 60,
+        seed,
+        ..ExperimentOptions::default()
+    }
+}
+
+#[test]
+fn two_way_colocation_keeps_qos_and_shares_the_burden() {
+    for service in ServiceId::all() {
+        let outcome = run_colocation(
+            service,
+            &[AppId::Canneal, AppId::Bayesian],
+            PolicyKind::Pliant,
+            &options(55),
+        );
+        assert!(
+            outcome.tail_latency_ratio < 1.3,
+            "{service}: 2-way Pliant colocation should hold the tail near QoS (got {:.2})",
+            outcome.tail_latency_ratio
+        );
+        let reclaimed: Vec<u32> = outcome.app_outcomes.iter().map(|a| a.max_cores_reclaimed).collect();
+        let spread = reclaimed.iter().max().unwrap() - reclaimed.iter().min().unwrap();
+        assert!(spread <= 2, "{service}: unbalanced core reclamation {reclaimed:?}");
+        let inaccs: Vec<f64> = outcome.app_outcomes.iter().map(|a| a.inaccuracy_pct).collect();
+        assert!(inaccs.iter().all(|&x| x <= 5.5), "{service}: inaccuracies {inaccs:?}");
+    }
+}
+
+#[test]
+fn three_way_colocation_still_meets_quality_threshold() {
+    let outcome = run_colocation(
+        ServiceId::Nginx,
+        &[AppId::KMeans, AppId::Snp, AppId::Hmmer],
+        PolicyKind::Pliant,
+        &options(66),
+    );
+    assert_eq!(outcome.app_outcomes.len(), 3);
+    for a in &outcome.app_outcomes {
+        assert!(a.inaccuracy_pct <= 5.5, "{}: {:.1}%", a.app, a.inaccuracy_pct);
+    }
+    assert!(outcome.tail_latency_ratio < 1.4);
+}
+
+#[test]
+fn more_corunners_centralize_inaccuracy_distribution() {
+    // Fig. 7's observation: with more co-located applications, each sacrifices a more
+    // moderate (similar) amount of quality than a lone co-runner might.
+    let single = run_colocation(ServiceId::Memcached, &[AppId::Canneal], PolicyKind::Pliant, &options(77));
+    let triple = run_colocation(
+        ServiceId::Memcached,
+        &[AppId::Canneal, AppId::Bayesian, AppId::Snp],
+        PolicyKind::Pliant,
+        &options(77),
+    );
+    let single_max = single
+        .app_outcomes
+        .iter()
+        .map(|a| a.inaccuracy_pct)
+        .fold(0.0f64, f64::max);
+    let triple_canneal = triple
+        .app_outcomes
+        .iter()
+        .find(|a| a.app == AppId::Canneal)
+        .unwrap()
+        .inaccuracy_pct;
+    assert!(
+        triple_canneal <= single_max + 0.5,
+        "canneal should not sacrifice more quality with co-runners sharing the burden \
+         (alone: {single_max:.1}%, in a 3-way mix: {triple_canneal:.1}%)"
+    );
+}
+
+#[test]
+fn precise_multi_app_baseline_is_worse_than_pliant() {
+    let precise = run_colocation(
+        ServiceId::Nginx,
+        &[AppId::Canneal, AppId::Streamcluster],
+        PolicyKind::Precise,
+        &options(88),
+    );
+    let pliant = run_colocation(
+        ServiceId::Nginx,
+        &[AppId::Canneal, AppId::Streamcluster],
+        PolicyKind::Pliant,
+        &options(88),
+    );
+    assert!(precise.tail_latency_ratio > pliant.tail_latency_ratio);
+    assert!(precise.qos_violation_fraction > pliant.qos_violation_fraction);
+}
