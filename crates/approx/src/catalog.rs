@@ -778,8 +778,14 @@ mod tests {
         let cat = Catalog::default();
         let ws = cat.profile(AppId::WaterSpatial).unwrap();
         let most = ws.variants.last().unwrap();
-        assert!(most.exec_time_factor > 0.9, "water_spatial must stay near-vertical in Fig. 1");
-        assert!(ws.instrumentation_overhead > 0.08, "water_spatial has the worst DynamoRIO overhead");
+        assert!(
+            most.exec_time_factor > 0.9,
+            "water_spatial must stay near-vertical in Fig. 1"
+        );
+        assert!(
+            ws.instrumentation_overhead > 0.08,
+            "water_spatial has the worst DynamoRIO overhead"
+        );
     }
 
     #[test]
@@ -787,7 +793,10 @@ mod tests {
         let cat = Catalog::default();
         let snp = cat.profile(AppId::Snp).unwrap();
         let most = snp.variants.last().unwrap();
-        assert!(most.llc_factor < 0.4, "SNP's most aggressive variant must slash LLC pressure");
+        assert!(
+            most.llc_factor < 0.4,
+            "SNP's most aggressive variant must slash LLC pressure"
+        );
     }
 
     #[test]
@@ -819,8 +828,14 @@ mod tests {
             .iter()
             .map(|p| p.instrumentation_overhead)
             .fold(0.0f64, f64::max);
-        assert!((mean - 0.038).abs() < 0.01, "mean overhead {mean} should be ~3.8%");
-        assert!((max - 0.089).abs() < 0.005, "max overhead {max} should be ~8.9%");
+        assert!(
+            (mean - 0.038).abs() < 0.01,
+            "mean overhead {mean} should be ~3.8%"
+        );
+        assert!(
+            (max - 0.089).abs() < 0.005,
+            "max overhead {max} should be ~8.9%"
+        );
     }
 
     #[test]

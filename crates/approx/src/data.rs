@@ -53,11 +53,7 @@ impl PointCloud {
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        if self.dims == 0 {
-            0
-        } else {
-            self.data.len() / self.dims
-        }
+        self.data.len().checked_div(self.dims).unwrap_or(0)
     }
 
     /// Whether the cloud contains no points.

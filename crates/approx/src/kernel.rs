@@ -46,7 +46,7 @@ impl ApproxConfig {
         self.perforations.iter().all(|(_, p)| p.is_precise())
             && self.precision.is_precise()
             && self.sync.is_precise()
-            && self.input_sampling.map_or(true, |f| f >= 1.0)
+            && self.input_sampling.is_none_or(|f| f >= 1.0)
     }
 
     /// Perforation configured for `site`, or [`Perforation::None`].
@@ -280,7 +280,11 @@ mod tests {
             .with_label("test");
         assert!(!c.is_precise());
         assert_eq!(c.perforation(0), Perforation::KeepEveryNth(4));
-        assert_eq!(c.perforations.len(), 1, "overwriting a site must not duplicate it");
+        assert_eq!(
+            c.perforations.len(),
+            1,
+            "overwriting a site must not duplicate it"
+        );
         assert_eq!(c.precision, Precision::F32);
         assert_eq!(c.input_fraction(), 0.5);
         assert_eq!(c.label, "test");

@@ -38,12 +38,19 @@ impl BlastKernel {
             database.push(r);
         }
         for i in 0..(db_sequences - db_sequences / 2) {
-            database.push(random_sequence(seed + 500 + i as u64, seq_len, &DNA_ALPHABET));
+            database.push(random_sequence(
+                seed + 500 + i as u64,
+                seq_len,
+                &DNA_ALPHABET,
+            ));
         }
         let mut query_index: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
         if query.len() >= KMER {
             for i in 0..=(query.len() - KMER) {
-                query_index.entry(query[i..i + KMER].to_vec()).or_default().push(i);
+                query_index
+                    .entry(query[i..i + KMER].to_vec())
+                    .or_default()
+                    .push(i);
             }
         }
         Self {
@@ -73,7 +80,11 @@ impl BlastKernel {
         let mut qi = q_pos + KMER;
         let mut ti = t_pos + KMER;
         while qi < self.query.len() && ti < target.len() {
-            score += if self.query[qi] == target[ti] { 2.0 } else { -3.0 };
+            score += if self.query[qi] == target[ti] {
+                2.0
+            } else {
+                -3.0
+            };
             score = precision.quantize(score);
             best = best.max(score);
             cost.ops += 3.0 * precision.op_cost();
@@ -91,7 +102,11 @@ impl BlastKernel {
         while qi > 0 && ti > 0 {
             qi -= 1;
             ti -= 1;
-            score_l += if self.query[qi] == target[ti] { 2.0 } else { -3.0 };
+            score_l += if self.query[qi] == target[ti] {
+                2.0
+            } else {
+                -3.0
+            };
             score_l = precision.quantize(score_l);
             best = best.max(score_l);
             cost.ops += 3.0 * precision.op_cost();
@@ -136,7 +151,11 @@ impl ApproxKernel for BlastKernel {
                     .with_label(format!("db{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -201,8 +220,9 @@ mod tests {
     fn seed_perforation_is_cheaper() {
         let k = BlastKernel::small(21);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_SEEDS, Perforation::KeepEveryNth(3)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_SEEDS, Perforation::KeepEveryNth(3)),
+        );
         assert!(approx.cost.ops < precise.cost.ops);
     }
 
@@ -218,8 +238,9 @@ mod tests {
     fn mild_perforation_keeps_top_hits() {
         let k = BlastKernel::small(21);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_SEEDS, Perforation::KeepEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_SEEDS, Perforation::KeepEveryNth(2)),
+        );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 60.0, "inaccuracy {inacc}%");
     }

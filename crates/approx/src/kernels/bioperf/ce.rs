@@ -127,7 +127,11 @@ impl ApproxKernel for CeKernel {
                     .with_label(format!("residues{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -181,7 +185,10 @@ mod tests {
         match &run.output {
             KernelOutput::Vector(profile) => {
                 let mean: f64 = profile.iter().sum::<f64>() / profile.len() as f64;
-                assert!(mean > 0.4, "mean AFP similarity {mean} should be high for homologs");
+                assert!(
+                    mean > 0.4,
+                    "mean AFP similarity {mean} should be high for homologs"
+                );
             }
             _ => panic!("unexpected output"),
         }
@@ -192,7 +199,8 @@ mod tests {
         let k = CeKernel::small(29);
         let precise = k.run_precise();
         let approx = k.run(
-            &ApproxConfig::precise().with_perforation(SITE_FRAGMENT_PAIRS, Perforation::KeepEveryNth(3)),
+            &ApproxConfig::precise()
+                .with_perforation(SITE_FRAGMENT_PAIRS, Perforation::KeepEveryNth(3)),
         );
         assert!(approx.cost.ops < precise.cost.ops * 0.6);
     }
@@ -201,8 +209,9 @@ mod tests {
     fn distance_perforation_keeps_profile_similar() {
         let k = CeKernel::small(29);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_DISTANCES, Perforation::KeepEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_DISTANCES, Perforation::KeepEveryNth(2)),
+        );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 30.0, "inaccuracy {inacc}%");
         assert!(approx.cost.ops < precise.cost.ops);

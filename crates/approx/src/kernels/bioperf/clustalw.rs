@@ -55,7 +55,10 @@ impl ClustalWKernel {
         for w in b.windows(3) {
             pb[code(w[0]) * 16 + code(w[1]) * 4 + code(w[2])] += 1.0;
         }
-        pa.iter().zip(pb.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>()
+        pa.iter()
+            .zip(pb.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>()
             / (a.len() + b.len()).max(1) as f64
     }
 
@@ -161,7 +164,11 @@ impl ApproxKernel for ClustalWKernel {
                     .with_label(format!("cols{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -182,7 +189,9 @@ mod tests {
         match &run.output {
             KernelOutput::Vector(joins) => {
                 assert_eq!(joins.len(), 11);
-                assert!(joins.iter().all(|d| d.is_finite() && *d >= 0.0 && *d <= 1.5));
+                assert!(joins
+                    .iter()
+                    .all(|d| d.is_finite() && *d >= 0.0 && *d <= 1.5));
             }
             _ => panic!("unexpected output"),
         }
@@ -192,8 +201,9 @@ mod tests {
     fn pair_perforation_reduces_work() {
         let k = ClustalWKernel::small(13);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_PAIRWISE, Perforation::KeepEveryNth(3)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_PAIRWISE, Perforation::KeepEveryNth(3)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.7);
     }
 
@@ -201,7 +211,8 @@ mod tests {
     fn band_narrowing_reduces_work_with_small_error() {
         let k = ClustalWKernel::small(13);
         let precise = k.run_precise();
-        let approx = k.run(&ApproxConfig::precise().with_perforation(SITE_BAND, Perforation::TruncateBy(2)));
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_BAND, Perforation::TruncateBy(2)));
         assert!(approx.cost.ops < precise.cost.ops);
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 50.0, "inaccuracy {inacc}%");

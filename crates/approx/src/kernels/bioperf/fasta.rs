@@ -27,12 +27,17 @@ impl FastaKernel {
     /// Creates a kernel instance with explicit sizes.
     pub fn new(seed: u64, query_len: usize, db_sequences: usize, seq_len: usize) -> Self {
         let query = random_sequence(seed, query_len, &DNA_ALPHABET);
-        let mut database = related_sequences(seed, db_sequences / 2, query_len, 0.12, &DNA_ALPHABET);
+        let mut database =
+            related_sequences(seed, db_sequences / 2, query_len, 0.12, &DNA_ALPHABET);
         for s in &mut database {
             s.truncate(seq_len.min(s.len()));
         }
         for i in 0..(db_sequences - db_sequences / 2) {
-            database.push(random_sequence(seed + 900 + i as u64, seq_len, &DNA_ALPHABET));
+            database.push(random_sequence(
+                seed + 900 + i as u64,
+                seq_len,
+                &DNA_ALPHABET,
+            ));
         }
         Self {
             query,
@@ -79,7 +84,11 @@ impl ApproxKernel for FastaKernel {
                     .with_label(format!("db{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -130,7 +139,8 @@ mod tests {
     fn narrower_band_is_cheaper() {
         let k = FastaKernel::small(31);
         let precise = k.run_precise();
-        let approx = k.run(&ApproxConfig::precise().with_perforation(SITE_BAND, Perforation::TruncateBy(3)));
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_BAND, Perforation::TruncateBy(3)));
         assert!(approx.cost.ops < precise.cost.ops * 0.7);
     }
 
@@ -138,8 +148,11 @@ mod tests {
     fn narrower_band_never_increases_scores() {
         let k = FastaKernel::small(31);
         let precise = k.run_precise();
-        let approx = k.run(&ApproxConfig::precise().with_perforation(SITE_BAND, Perforation::TruncateBy(2)));
-        if let (KernelOutput::Vector(p), KernelOutput::Vector(a)) = (&precise.output, &approx.output) {
+        let approx =
+            k.run(&ApproxConfig::precise().with_perforation(SITE_BAND, Perforation::TruncateBy(2)));
+        if let (KernelOutput::Vector(p), KernelOutput::Vector(a)) =
+            (&precise.output, &approx.output)
+        {
             for (x, y) in a.iter().zip(p.iter()) {
                 assert!(*x <= *y + 1e-9, "banded score {x} exceeded full score {y}");
             }
@@ -152,8 +165,9 @@ mod tests {
     fn database_skip_reduces_work() {
         let k = FastaKernel::small(31);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_DATABASE, Perforation::SkipEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_DATABASE, Perforation::SkipEveryNth(2)),
+        );
         assert!(approx.cost.ops < precise.cost.ops);
     }
 }

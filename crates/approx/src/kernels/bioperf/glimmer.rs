@@ -76,7 +76,9 @@ impl GlimmerKernel {
             let end = start + span;
             for i in (start + order)..end {
                 let context = self.genome[i - order..i].to_vec();
-                *counts.entry([&context[..], &[self.genome[i]]].concat()).or_insert(0.0) += 1.0;
+                *counts
+                    .entry([&context[..], &[self.genome[i]]].concat())
+                    .or_insert(0.0) += 1.0;
                 *context_totals.entry(context).or_insert(0.0) += 1.0;
                 cost.ops += 4.0;
                 cost.bytes_touched += order as f64 + 1.0;
@@ -145,7 +147,11 @@ impl ApproxKernel for GlimmerKernel {
                     .with_label(format!("train{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -185,7 +191,10 @@ mod tests {
                 let coding: f64 = scores[..n_genes].iter().sum::<f64>() / n_genes as f64;
                 let noncoding: f64 =
                     scores[n_genes..].iter().sum::<f64>() / (scores.len() - n_genes) as f64;
-                assert!(coding > noncoding, "coding {coding} vs noncoding {noncoding}");
+                assert!(
+                    coding > noncoding,
+                    "coding {coding} vs noncoding {noncoding}"
+                );
             }
             _ => panic!("unexpected output"),
         }
@@ -195,8 +204,9 @@ mod tests {
     fn lower_order_model_is_cheaper() {
         let k = GlimmerKernel::small(19);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_MODEL_ORDER, Perforation::TruncateBy(5)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_MODEL_ORDER, Perforation::TruncateBy(5)),
+        );
         assert!(approx.cost.bytes_touched < precise.cost.bytes_touched);
     }
 
@@ -211,10 +221,12 @@ mod tests {
     #[test]
     fn candidate_perforation_leaves_skipped_scores_zero() {
         let k = GlimmerKernel::small(19);
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_CANDIDATES, Perforation::SkipEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_CANDIDATES, Perforation::SkipEveryNth(2)),
+        );
         match &approx.output {
-            KernelOutput::Vector(scores) => assert!(scores.iter().any(|s| *s == 0.0)),
+            KernelOutput::Vector(scores) => assert!(scores.contains(&0.0)),
             _ => panic!("unexpected output"),
         }
     }

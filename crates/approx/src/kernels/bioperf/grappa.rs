@@ -158,7 +158,11 @@ impl ApproxKernel for GrappaKernel {
                     .with_label(format!("genomes{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -185,8 +189,10 @@ mod tests {
     fn search_perforation_reduces_work() {
         let k = GrappaKernel::small(17);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_MEDIAN_SEARCH, Perforation::KeepEveryNth(4)));
+        let approx = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_MEDIAN_SEARCH, Perforation::KeepEveryNth(4)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.6);
     }
 

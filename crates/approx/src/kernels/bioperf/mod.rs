@@ -44,8 +44,15 @@ pub(crate) mod align {
                 *cell = 0.0;
             }
             for j in lo..=hi {
-                let s = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
-                let val = (prev[j - 1] + s).max(prev[j] + GAP).max(curr[j - 1] + GAP).max(0.0);
+                let s = if a[i - 1] == b[j - 1] {
+                    MATCH
+                } else {
+                    MISMATCH
+                };
+                let val = (prev[j - 1] + s)
+                    .max(prev[j] + GAP)
+                    .max(curr[j - 1] + GAP)
+                    .max(0.0);
                 curr[j] = val;
                 if val > best {
                     best = val;

@@ -144,7 +144,11 @@ impl ApproxKernel for TCoffeeKernel {
                     .with_label(format!("cols{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -177,8 +181,9 @@ mod tests {
     fn triplet_perforation_reduces_work() {
         let k = TCoffeeKernel::small(23);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_TRIPLETS, Perforation::KeepEveryNth(3)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_TRIPLETS, Perforation::KeepEveryNth(3)),
+        );
         assert!(approx.cost.ops < precise.cost.ops);
     }
 
@@ -186,8 +191,9 @@ mod tests {
     fn library_perforation_is_much_cheaper() {
         let k = TCoffeeKernel::small(23);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_LIBRARY, Perforation::KeepEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_LIBRARY, Perforation::KeepEveryNth(2)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.75);
     }
 
@@ -195,8 +201,9 @@ mod tests {
     fn mild_triplet_perforation_has_bounded_error() {
         let k = TCoffeeKernel::small(23);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_TRIPLETS, Perforation::KeepEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_TRIPLETS, Perforation::KeepEveryNth(2)),
+        );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 30.0, "inaccuracy {inacc}%");
     }

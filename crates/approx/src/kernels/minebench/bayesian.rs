@@ -124,7 +124,10 @@ impl ApproxKernel for BayesianKernel {
         for p in [2u32, 3, 4, 6, 8] {
             cfgs.push(
                 ApproxConfig::precise()
-                    .with_perforation(SITE_TRAIN_SAMPLES, Perforation::KeepFraction(1.0 / p as f64))
+                    .with_perforation(
+                        SITE_TRAIN_SAMPLES,
+                        Perforation::KeepFraction(1.0 / p as f64),
+                    )
                     .with_label(format!("train-keep1of{p}")),
             );
         }
@@ -142,7 +145,11 @@ impl ApproxKernel for BayesianKernel {
                     .with_label(format!("sample{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs.push(
             ApproxConfig::precise()
                 .with_precision(Precision::Fixed16)
@@ -180,7 +187,10 @@ mod tests {
                     .filter(|(i, p)| (test_start + i) % 4 == **p as usize)
                     .count();
                 let accuracy = correct as f64 / pred.len() as f64;
-                assert!(accuracy > 0.4, "accuracy {accuracy} should beat 0.25 chance");
+                assert!(
+                    accuracy > 0.4,
+                    "accuracy {accuracy} should beat 0.25 chance"
+                );
             }
             _ => panic!("unexpected output"),
         }
@@ -220,8 +230,9 @@ mod tests {
     fn scoring_perforation_degrades_more() {
         let k = BayesianKernel::small(2);
         let precise = k.run_precise();
-        let skipped =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_SCORING, Perforation::KeepEveryNth(2)));
+        let skipped = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_SCORING, Perforation::KeepEveryNth(2)),
+        );
         // Skipping half of the scoring loop forces default predictions for those rows.
         let inacc = skipped.output.inaccuracy_vs(&precise.output);
         assert!(inacc > 10.0);

@@ -23,7 +23,10 @@ struct ClusteringFeature {
 
 impl ClusteringFeature {
     fn centroid(&self) -> Vec<f64> {
-        self.linear_sum.iter().map(|s| s / self.count.max(1.0)).collect()
+        self.linear_sum
+            .iter()
+            .map(|s| s / self.count.max(1.0))
+            .collect()
     }
 }
 
@@ -72,7 +75,7 @@ impl BirchKernel {
                 let c = f.centroid();
                 let d: f64 = p.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
                 let d = precision.quantize(d);
-                if best.map_or(true, |(_, bd)| d < bd) {
+                if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((fi, d));
                 }
                 cost.ops += (3 * dims) as f64 * precision.op_cost();
@@ -106,7 +109,11 @@ impl BirchKernel {
                     for b in (a + 1)..features.len() {
                         let ca = features[a].centroid();
                         let cb = features[b].centroid();
-                        let d: f64 = ca.iter().zip(cb.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+                        let d: f64 = ca
+                            .iter()
+                            .zip(cb.iter())
+                            .map(|(x, y)| (x - y) * (x - y))
+                            .sum();
                         cost.ops += (3 * dims) as f64 * precision.op_cost();
                         if d < t2 * 0.5 {
                             let fb = features.remove(b);
@@ -164,7 +171,11 @@ impl ApproxKernel for BirchKernel {
                 .with_perforation(SITE_REFINEMENT, Perforation::TruncateBy(2))
                 .with_label("refine-truncate2"),
         );
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -183,8 +194,15 @@ mod tests {
         let run = BirchKernel::small(4).run_precise();
         match &run.output {
             KernelOutput::Vector(norms) => {
-                assert!(norms.len() >= 4, "expected several CFs, got {}", norms.len());
-                assert!(norms.windows(2).all(|w| w[0] <= w[1]), "norms must be sorted");
+                assert!(
+                    norms.len() >= 4,
+                    "expected several CFs, got {}",
+                    norms.len()
+                );
+                assert!(
+                    norms.windows(2).all(|w| w[0] <= w[1]),
+                    "norms must be sorted"
+                );
             }
             _ => panic!("unexpected output"),
         }
@@ -194,8 +212,9 @@ mod tests {
     fn insertion_perforation_reduces_work() {
         let k = BirchKernel::small(4);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_INSERTION, Perforation::SkipEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_INSERTION, Perforation::SkipEveryNth(2)),
+        );
         assert!(approx.cost.ops < precise.cost.ops);
     }
 

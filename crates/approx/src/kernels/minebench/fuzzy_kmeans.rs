@@ -128,7 +128,11 @@ impl ApproxKernel for FuzzyKMeansKernel {
                     .with_label(format!("sample{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs.push(
             ApproxConfig::precise()
                 .with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(2))
@@ -164,8 +168,9 @@ mod tests {
     fn truncation_reduces_work_and_keeps_centroids_close() {
         let k = FuzzyKMeansKernel::small(3);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(2)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.75);
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 25.0, "inaccuracy {inacc}%");
@@ -175,8 +180,10 @@ mod tests {
     fn membership_perforation_cheaper_than_precise() {
         let k = FuzzyKMeansKernel::small(3);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_MEMBERSHIP, Perforation::KeepEveryNth(4)));
+        let approx = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_MEMBERSHIP, Perforation::KeepEveryNth(4)),
+        );
         assert!(approx.cost.ops < precise.cost.ops);
     }
 

@@ -130,7 +130,11 @@ impl ApproxKernel for GeneNetKernel {
                     .with_label(format!("sample{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -162,7 +166,9 @@ mod tests {
     fn pair_perforation_reduces_work() {
         let k = GeneNetKernel::small(7);
         let precise = k.run_precise();
-        let approx = k.run(&ApproxConfig::precise().with_perforation(SITE_PAIRS, Perforation::SkipEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_PAIRS, Perforation::SkipEveryNth(2)),
+        );
         assert!(approx.cost.ops < precise.cost.ops);
     }
 
@@ -170,8 +176,9 @@ mod tests {
     fn sample_perforation_keeps_network_similar() {
         let k = GeneNetKernel::small(7);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(2)),
+        );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 70.0, "inaccuracy {inacc}%");
     }

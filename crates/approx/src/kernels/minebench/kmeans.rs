@@ -139,7 +139,11 @@ impl ApproxKernel for KMeansKernel {
                     .with_label(format!("sample{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -176,7 +180,10 @@ mod tests {
                         }
                     }
                 }
-                assert!(agree as f64 / total as f64 > 0.6, "clustering lost structure");
+                assert!(
+                    agree as f64 / total as f64 > 0.6,
+                    "clustering lost structure"
+                );
             }
             _ => panic!("unexpected output"),
         }
@@ -186,8 +193,9 @@ mod tests {
     fn iteration_truncation_reduces_work() {
         let k = KMeansKernel::small(1);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(3)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(3)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.6);
     }
 
@@ -195,8 +203,9 @@ mod tests {
     fn truncated_iterations_keep_labels_mostly_stable() {
         let k = KMeansKernel::small(1);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_ITERATIONS, Perforation::TruncateBy(2)),
+        );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 30.0, "inaccuracy {inacc}%");
     }

@@ -57,7 +57,7 @@ impl PlsaKernel {
             .map(|i| {
                 let t = i / terms;
                 let w = i % terms;
-                1.0 / terms as f64 + if (w + t) % k == 0 { 0.01 } else { 0.0 }
+                1.0 / terms as f64 + if (w + t).is_multiple_of(k) { 0.01 } else { 0.0 }
             })
             .collect();
         // Normalize p_wt rows.
@@ -93,7 +93,8 @@ impl PlsaKernel {
                     }
                     let denom = denom.max(1e-12);
                     for t in 0..k {
-                        let resp = precision.quantize(p_td[d * k + t] * p_wt[t * terms + w] / denom);
+                        let resp =
+                            precision.quantize(p_td[d * k + t] * p_wt[t * terms + w] / denom);
                         new_p_wt[t * terms + w] += count * resp;
                         new_p_td[d * k + t] += count * resp;
                     }
@@ -105,7 +106,8 @@ impl PlsaKernel {
             for t in 0..k {
                 let s: f64 = new_p_wt[t * terms..(t + 1) * terms].iter().sum();
                 for w in 0..terms {
-                    p_wt[t * terms + w] = precision.quantize(new_p_wt[t * terms + w] / s.max(1e-12));
+                    p_wt[t * terms + w] =
+                        precision.quantize(new_p_wt[t * terms + w] / s.max(1e-12));
                 }
             }
             for d in 0..docs {
@@ -162,7 +164,11 @@ impl ApproxKernel for PlsaKernel {
                     .with_label(format!("docs{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs.push(
             ApproxConfig::precise()
                 .with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(2))
@@ -208,7 +214,10 @@ mod tests {
     fn em_truncation_reduces_work_roughly_proportionally() {
         let k = PlsaKernel::small(6);
         let precise = k.run_precise();
-        let half = k.run(&ApproxConfig::precise().with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(2)));
+        let half = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(2)),
+        );
         let ratio = half.cost.ops / precise.cost.ops;
         assert!(ratio < 0.7, "ratio {ratio}");
     }
@@ -217,12 +226,19 @@ mod tests {
     fn mild_truncation_error_is_smaller_than_aggressive() {
         let k = PlsaKernel::small(6);
         let precise = k.run_precise();
-        let mild =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(2)));
-        let aggressive =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(7)));
+        let mild = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(2)),
+        );
+        let aggressive = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_EM_ITERATIONS, Perforation::TruncateBy(7)),
+        );
         let e_mild = mild.output.inaccuracy_vs(&precise.output);
         let e_aggr = aggressive.output.inaccuracy_vs(&precise.output);
-        assert!(e_mild <= e_aggr + 1e-9, "mild {e_mild}% vs aggressive {e_aggr}%");
+        assert!(
+            e_mild <= e_aggr + 1e-9,
+            "mild {e_mild}% vs aggressive {e_aggr}%"
+        );
     }
 }

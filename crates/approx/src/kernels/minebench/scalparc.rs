@@ -56,7 +56,9 @@ impl ScalParCKernel {
         let precision = config.precision;
         let mut cost = Cost::default();
 
-        let training: Vec<usize> = (0..rows_total).filter(|&r| row_sample.keeps(r, rows_total)).collect();
+        let training: Vec<usize> = (0..rows_total)
+            .filter(|&r| row_sample.keeps(r, rows_total))
+            .collect();
 
         // Grow the tree breadth-first; leaves predict majority class. We record, for every
         // training row, the leaf-majority prediction — that labelling is the output.
@@ -92,7 +94,7 @@ impl ScalParCKernel {
                         + right.len() as f64 * self.gini(&right))
                         / rows.len() as f64;
                     let gain = precision.quantize(parent_gini - weighted);
-                    if best.map_or(true, |(_, _, g)| gain > g) {
+                    if best.is_none_or(|(_, _, g)| gain > g) {
                         best = Some((a, mean, gain));
                     }
                 }
@@ -115,9 +117,7 @@ impl ScalParCKernel {
             let pos = training.iter().filter(|&&r| self.label(r) == 1).count();
             u32::from(pos * 2 > training.len())
         };
-        for p in &mut predictions {
-            *p = global_majority;
-        }
+        predictions.fill(global_majority);
         for leaf in &node_rows {
             if leaf.is_empty() {
                 continue;
@@ -164,7 +164,11 @@ impl ApproxKernel for ScalParCKernel {
                     .with_label(format!("rows{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -201,7 +205,8 @@ mod tests {
         let k = ScalParCKernel::small(8);
         let precise = k.run_precise();
         let approx = k.run(
-            &ApproxConfig::precise().with_perforation(SITE_SPLIT_CANDIDATES, Perforation::KeepEveryNth(3)),
+            &ApproxConfig::precise()
+                .with_perforation(SITE_SPLIT_CANDIDATES, Perforation::KeepEveryNth(3)),
         );
         assert!(approx.cost.ops < precise.cost.ops * 0.8);
     }
@@ -210,8 +215,9 @@ mod tests {
     fn depth_truncation_changes_output_moderately() {
         let k = ScalParCKernel::small(8);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_TREE_DEPTH, Perforation::TruncateBy(3)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_TREE_DEPTH, Perforation::TruncateBy(3)),
+        );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 60.0, "inaccuracy {inacc}%");
         assert!(approx.cost.ops <= precise.cost.ops);

@@ -156,7 +156,11 @@ impl ApproxKernel for SemphyKernel {
                     .with_label(format!("cols{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -204,7 +208,9 @@ mod tests {
     fn distance_perforation_is_cheaper_but_noisier_than_sampling() {
         let k = SemphyKernel::small(3);
         let precise = k.run_precise();
-        let perf = k.run(&ApproxConfig::precise().with_perforation(SITE_DISTANCES, Perforation::SkipEveryNth(2)));
+        let perf = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_DISTANCES, Perforation::SkipEveryNth(2)),
+        );
         assert!(perf.cost.ops < precise.cost.ops);
     }
 }

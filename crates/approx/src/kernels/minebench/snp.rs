@@ -126,7 +126,11 @@ impl ApproxKernel for SnpKernel {
                     .with_label(format!("sample{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs.push(
             ApproxConfig::precise()
                 .with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(2))
@@ -169,8 +173,9 @@ mod tests {
     fn sample_perforation_reduces_work_substantially() {
         let k = SnpKernel::small(5);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_SAMPLES, Perforation::KeepEveryNth(2)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.7);
         assert!(approx.cost.bytes_touched < precise.cost.bytes_touched * 0.7);
     }

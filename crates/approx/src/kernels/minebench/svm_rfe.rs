@@ -41,19 +41,14 @@ impl SvmRfeKernel {
     }
 
     fn label(&self, row: usize) -> f64 {
-        if row % 2 == 0 {
+        if row.is_multiple_of(2) {
             1.0
         } else {
             -1.0
         }
     }
 
-    fn train_linear(
-        &self,
-        active: &[usize],
-        config: &ApproxConfig,
-        cost: &mut Cost,
-    ) -> Vec<f64> {
+    fn train_linear(&self, active: &[usize], config: &ApproxConfig, cost: &mut Cost) -> Vec<f64> {
         let rows = self.data.rows;
         let epoch_perf = config.perforation(SITE_EPOCHS);
         let row_sample = Perforation::KeepFraction(config.input_fraction());
@@ -77,8 +72,7 @@ impl SvmRfeKernel {
                 }
                 if y * score < 1.0 {
                     for (wi, &f) in active.iter().enumerate() {
-                        weights[wi] =
-                            precision.quantize(weights[wi] + lr * y * self.data.at(r, f));
+                        weights[wi] = precision.quantize(weights[wi] + lr * y * self.data.at(r, f));
                         cost.ops += 3.0 * precision.op_cost();
                     }
                 }
@@ -119,7 +113,10 @@ impl SvmRfeKernel {
             order.sort_by(|&a, &b| weights[a].abs().partial_cmp(&weights[b].abs()).unwrap());
             let to_remove: Vec<usize> = order
                 .iter()
-                .take(self.eliminate_per_round.min(active.len() - self.target_features))
+                .take(
+                    self.eliminate_per_round
+                        .min(active.len() - self.target_features),
+                )
                 .map(|&i| active[i])
                 .collect();
             for f in to_remove {
@@ -168,7 +165,11 @@ impl ApproxKernel for SvmRfeKernel {
                     .with_label(format!("rows{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -199,8 +200,9 @@ mod tests {
     fn epoch_truncation_reduces_work() {
         let k = SvmRfeKernel::small(2);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_EPOCHS, Perforation::TruncateBy(4)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_EPOCHS, Perforation::TruncateBy(4)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.6);
     }
 
@@ -216,8 +218,9 @@ mod tests {
     fn mild_truncation_keeps_feature_set_overlapping() {
         let k = SvmRfeKernel::small(2);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_EPOCHS, Perforation::TruncateBy(2)));
+        let approx = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_EPOCHS, Perforation::TruncateBy(2)),
+        );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 80.0, "inaccuracy {inacc}%");
     }

@@ -79,7 +79,10 @@ mod tests {
         for app in [AppId::KMeans, AppId::Canneal, AppId::Hmmer] {
             let a = kernel_for(app, 5).run(&ApproxConfig::precise());
             let b = kernel_for(app, 5).run(&ApproxConfig::precise());
-            assert_eq!(a.output, b.output, "{app:?} precise output must be deterministic");
+            assert_eq!(
+                a.output, b.output,
+                "{app:?} precise output must be deterministic"
+            );
             assert_eq!(a.cost, b.cost);
         }
     }

@@ -79,28 +79,29 @@ impl CannealKernel {
             // Delta cost of swapping placements of a and b, over their incident nets
             // (inner perforable loop).
             let mut delta = 0.0f64;
-            let eval_one = |placement: &[u32], elem: usize, nets: &[usize], cost: &mut Cost| -> f64 {
-                let mut sum = 0.0;
-                for (k, &ni) in nets.iter().enumerate() {
-                    if !inner.keeps(k, nets.len()) {
-                        continue;
+            let eval_one =
+                |placement: &[u32], elem: usize, nets: &[usize], cost: &mut Cost| -> f64 {
+                    let mut sum = 0.0;
+                    for (k, &ni) in nets.iter().enumerate() {
+                        if !inner.keeps(k, nets.len()) {
+                            continue;
+                        }
+                        let (x, y) = self.netlist.nets[ni];
+                        let _ = elem;
+                        let w = self.netlist.width as i64;
+                        let px = placement[x as usize] as i64;
+                        let py = placement[y as usize] as i64;
+                        sum += ((px % w - py % w).abs() + (px / w - py / w).abs()) as f64;
+                        cost.ops += 6.0 * precision.op_cost();
+                        cost.bytes_touched += 24.0;
                     }
-                    let (x, y) = self.netlist.nets[ni];
-                    let _ = elem;
-                    let w = self.netlist.width as i64;
-                    let px = placement[x as usize] as i64;
-                    let py = placement[y as usize] as i64;
-                    sum += ((px % w - py % w).abs() + (px / w - py / w).abs()) as f64;
-                    cost.ops += 6.0 * precision.op_cost();
-                    cost.bytes_touched += 24.0;
-                }
-                precision.quantize(sum)
-            };
-            let before =
-                eval_one(&placement, a, &incident[a], &mut cost) + eval_one(&placement, b, &incident[b], &mut cost);
+                    precision.quantize(sum)
+                };
+            let before = eval_one(&placement, a, &incident[a], &mut cost)
+                + eval_one(&placement, b, &incident[b], &mut cost);
             placement.swap(a, b);
-            let after =
-                eval_one(&placement, a, &incident[a], &mut cost) + eval_one(&placement, b, &incident[b], &mut cost);
+            let after = eval_one(&placement, a, &incident[a], &mut cost)
+                + eval_one(&placement, b, &incident[b], &mut cost);
             delta += after - before;
 
             let accept = delta < 0.0 || {
@@ -181,7 +182,10 @@ mod tests {
         let run = k.run_precise();
         match run.output {
             KernelOutput::Scalar(final_wl) => {
-                assert!(final_wl <= initial_wl, "annealing should not worsen placement");
+                assert!(
+                    final_wl <= initial_wl,
+                    "annealing should not worsen placement"
+                );
             }
             _ => panic!("unexpected output kind"),
         }
@@ -193,7 +197,8 @@ mod tests {
         let k = CannealKernel::small(3);
         let precise = k.run_precise();
         let approx = k.run(
-            &ApproxConfig::precise().with_perforation(SITE_ANNEAL_LOOP, Perforation::KeepEveryNth(4)),
+            &ApproxConfig::precise()
+                .with_perforation(SITE_ANNEAL_LOOP, Perforation::KeepEveryNth(4)),
         );
         assert!(approx.cost.ops < precise.cost.ops * 0.6);
     }
@@ -203,10 +208,14 @@ mod tests {
         let k = CannealKernel::small(3);
         let precise = k.run_precise();
         let approx = k.run(
-            &ApproxConfig::precise().with_perforation(SITE_ANNEAL_LOOP, Perforation::SkipEveryNth(8)),
+            &ApproxConfig::precise()
+                .with_perforation(SITE_ANNEAL_LOOP, Perforation::SkipEveryNth(8)),
         );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
-        assert!(inacc < 30.0, "mild perforation produced {inacc}% inaccuracy");
+        assert!(
+            inacc < 30.0,
+            "mild perforation produced {inacc}% inaccuracy"
+        );
     }
 
     #[test]

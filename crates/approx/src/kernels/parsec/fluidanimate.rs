@@ -95,8 +95,8 @@ impl FluidanimateKernel {
                     let grad = (densities[i] - 1.0) * 0.01;
                     velocities[i * dims + d] =
                         precision.quantize(velocities[i * dims + d] * 0.98 - grad);
-                    positions[i * dims + d] =
-                        precision.quantize(positions[i * dims + d] + velocities[i * dims + d] * 0.05);
+                    positions[i * dims + d] = precision
+                        .quantize(positions[i * dims + d] + velocities[i * dims + d] * 0.05);
                     cost.ops += 6.0 * precision.op_cost();
                     cost.bytes_touched += 24.0;
                 }
@@ -136,7 +136,11 @@ impl ApproxKernel for FluidanimateKernel {
                     .with_label(format!("elide-sync-stale{s}")),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs.push(
             ApproxConfig::precise()
                 .with_perforation(SITE_NEIGHBOURS, Perforation::KeepEveryNth(2))
@@ -173,8 +177,10 @@ mod tests {
     fn neighbour_perforation_halves_interaction_work() {
         let k = FluidanimateKernel::small(2);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_NEIGHBOURS, Perforation::KeepEveryNth(2)));
+        let approx = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_NEIGHBOURS, Perforation::KeepEveryNth(2)),
+        );
         assert!(approx.cost.ops < precise.cost.ops * 0.75);
     }
 
@@ -192,8 +198,10 @@ mod tests {
     fn step_perforation_changes_output_mildly() {
         let k = FluidanimateKernel::small(2);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_TIME_STEPS, Perforation::SkipEveryNth(4)));
+        let approx = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_TIME_STEPS, Perforation::SkipEveryNth(4)),
+        );
         let inacc = approx.output.inaccuracy_vs(&precise.output);
         assert!(inacc > 0.0);
         assert!(inacc < 60.0);

@@ -28,7 +28,13 @@ pub struct StreamclusterKernel {
 
 impl StreamclusterKernel {
     /// Creates a kernel instance with explicit sizes.
-    pub fn new(seed: u64, n_points: usize, dims: usize, target_centers: usize, passes: usize) -> Self {
+    pub fn new(
+        seed: u64,
+        n_points: usize,
+        dims: usize,
+        target_centers: usize,
+        passes: usize,
+    ) -> Self {
         Self {
             points: PointCloud::gaussian_mixture(seed, n_points, dims, target_centers),
             target_centers,
@@ -92,7 +98,8 @@ impl StreamclusterKernel {
                     continue;
                 }
                 let candidate = active[rng.gen_range(0..active.len())];
-                let old = std::mem::replace(&mut centers[ci], self.points.point(candidate).to_vec());
+                let old =
+                    std::mem::replace(&mut centers[ci], self.points.point(candidate).to_vec());
                 let new_cost = assignment_cost(&centers, &mut cost);
                 if new_cost < best_cost {
                     best_cost = new_cost;
@@ -137,7 +144,11 @@ impl ApproxKernel for StreamclusterKernel {
                     .with_label(format!("sample{:.0}%", f * 100.0)),
             );
         }
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs.push(
             ApproxConfig::precise()
                 .with_perforation(SITE_SEARCH_PASSES, Perforation::KeepEveryNth(2))
@@ -179,8 +190,10 @@ mod tests {
     fn perforating_passes_reduces_ops() {
         let k = StreamclusterKernel::small(5);
         let precise = k.run_precise();
-        let approx =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_SEARCH_PASSES, Perforation::KeepEveryNth(3)));
+        let approx = k.run(
+            &ApproxConfig::precise()
+                .with_perforation(SITE_SEARCH_PASSES, Perforation::KeepEveryNth(3)),
+        );
         assert!(approx.cost.ops < precise.cost.ops);
     }
 

@@ -75,7 +75,7 @@ impl RaytraceKernel {
             let disc = b * b - c;
             if disc > 0.0 {
                 let t = -b - disc.sqrt();
-                if t > 1e-3 && best.map_or(true, |(_, bt)| t < bt) {
+                if t > 1e-3 && best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((i, t));
                 }
             }
@@ -128,9 +128,10 @@ impl RaytraceKernel {
                             origin[1] - s.centre[1],
                             origin[2] - s.centre[2],
                         ];
-                        let nl = (normal[0] * normal[0] + normal[1] * normal[1] + normal[2] * normal[2])
-                            .sqrt()
-                            .max(1e-9);
+                        let nl =
+                            (normal[0] * normal[0] + normal[1] * normal[1] + normal[2] * normal[2])
+                                .sqrt()
+                                .max(1e-9);
                         for nd in &mut normal {
                             *nd /= nl;
                         }
@@ -208,7 +209,9 @@ mod tests {
     fn pixel_perforation_reduces_work_proportionally() {
         let k = RaytraceKernel::small(6);
         let precise = k.run_precise();
-        let half = k.run(&ApproxConfig::precise().with_perforation(SITE_PIXELS, Perforation::SkipEveryNth(2)));
+        let half = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_PIXELS, Perforation::SkipEveryNth(2)),
+        );
         let ratio = half.cost.ops / precise.cost.ops;
         assert!(ratio < 0.75 && ratio > 0.3, "ratio {ratio}");
     }
@@ -217,7 +220,9 @@ mod tests {
     fn mild_perforation_keeps_quality_reasonable() {
         let k = RaytraceKernel::small(6);
         let precise = k.run_precise();
-        let mild = k.run(&ApproxConfig::precise().with_perforation(SITE_PIXELS, Perforation::SkipEveryNth(8)));
+        let mild = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_PIXELS, Perforation::SkipEveryNth(8)),
+        );
         let inacc = mild.output.inaccuracy_vs(&precise.output);
         assert!(inacc < 25.0, "inaccuracy {inacc}%");
     }
@@ -226,8 +231,9 @@ mod tests {
     fn bounce_truncation_is_cheaper() {
         let k = RaytraceKernel::small(6);
         let precise = k.run_precise();
-        let truncated =
-            k.run(&ApproxConfig::precise().with_perforation(SITE_BOUNCES, Perforation::TruncateBy(2)));
+        let truncated = k.run(
+            &ApproxConfig::precise().with_perforation(SITE_BOUNCES, Perforation::TruncateBy(2)),
+        );
         assert!(truncated.cost.ops < precise.cost.ops);
     }
 }

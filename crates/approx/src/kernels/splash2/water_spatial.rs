@@ -144,8 +144,10 @@ impl WaterSpatialKernel {
             }
             for i in 0..n {
                 for d in 0..dims {
-                    vel[i * dims + d] = precision.quantize(vel[i * dims + d] + forces[i * dims + d] * 1e-4);
-                    pos[i * dims + d] = precision.quantize(pos[i * dims + d] + vel[i * dims + d] * 0.01);
+                    vel[i * dims + d] =
+                        precision.quantize(vel[i * dims + d] + forces[i * dims + d] * 1e-4);
+                    pos[i * dims + d] =
+                        precision.quantize(pos[i * dims + d] + vel[i * dims + d] * 0.01);
                     cost.ops += 4.0 * precision.op_cost();
                 }
             }
@@ -183,7 +185,11 @@ impl ApproxKernel for WaterSpatialKernel {
                 .with_sync(SyncElision::with_staleness(2))
                 .with_label("elide-sync-stale2"),
         );
-        cfgs.push(ApproxConfig::precise().with_precision(Precision::F32).with_label("f32"));
+        cfgs.push(
+            ApproxConfig::precise()
+                .with_precision(Precision::F32)
+                .with_label("f32"),
+        );
         cfgs
     }
 
@@ -214,10 +220,14 @@ mod tests {
         let k = WaterSpatialKernel::small(8);
         let precise = k.run_precise();
         let approx = k.run(
-            &ApproxConfig::precise().with_perforation(SITE_CELL_INTERACTIONS, Perforation::KeepEveryNth(4)),
+            &ApproxConfig::precise()
+                .with_perforation(SITE_CELL_INTERACTIONS, Perforation::KeepEveryNth(4)),
         );
         let ratio = approx.cost.ops / precise.cost.ops;
-        assert!(ratio > 0.2, "cell-list overhead should keep ratio meaningful: {ratio}");
+        assert!(
+            ratio > 0.2,
+            "cell-list overhead should keep ratio meaningful: {ratio}"
+        );
         assert!(ratio < 1.0);
     }
 

@@ -36,6 +36,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The numeric kernels intentionally use index-based loops over multiple parallel arrays
+// (centres/sums/labels, …) where iterator zips would obscure the maths being mirrored
+// from the original benchmarks.
+#![allow(clippy::needless_range_loop)]
 
 pub mod catalog;
 pub mod data;

@@ -12,9 +12,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// Matches the mechanisms described in §3 of the paper: execute only a prefix chunk of the
 /// iterations, execute every p-th iteration, or skip every p-th iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Perforation {
     /// Precise execution: run every iteration.
+    #[default]
     None,
     /// Run only the first `ceil(n / p)` iterations (factor `p >= 1`).
     TruncateBy(u32),
@@ -25,12 +26,6 @@ pub enum Perforation {
     /// Keep each iteration with the given probability, decided by a deterministic hash of
     /// the iteration index (stateless, reproducible).
     KeepFraction(f64),
-}
-
-impl Default for Perforation {
-    fn default() -> Self {
-        Perforation::None
-    }
 }
 
 impl Perforation {
@@ -44,11 +39,11 @@ impl Perforation {
             }
             Perforation::KeepEveryNth(p) => {
                 let p = p.max(1) as usize;
-                i % p == 0
+                i.is_multiple_of(p)
             }
             Perforation::SkipEveryNth(p) => {
                 let p = p.max(2) as usize;
-                (i + 1) % p != 0
+                !(i + 1).is_multiple_of(p)
             }
             Perforation::KeepFraction(f) => {
                 if f >= 1.0 {
@@ -172,7 +167,7 @@ impl SyncElision {
 
     /// Whether iteration `i` refreshes shared state.
     pub fn refreshes(&self, i: usize) -> bool {
-        i % self.staleness.max(1) as usize == 0
+        i.is_multiple_of(self.staleness.max(1) as usize)
     }
 
     /// Fraction of synchronization work performed versus precise execution.

@@ -40,7 +40,9 @@ fn bench_controller(c: &mut Criterion) {
 
     c.bench_function("monitor_interval_ingestion_10k_samples", |b| {
         let mut rng = seeded_rng(5);
-        let samples: Vec<f64> = (0..10_000).map(|_| sample_lognormal(&mut rng, 0.002, 0.3)).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| sample_lognormal(&mut rng, 0.002, 0.3))
+            .collect();
         b.iter(|| {
             let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.01), 1);
             monitor.observe_interval(&samples)

@@ -1,0 +1,67 @@
+//! Criterion bench: suite-engine throughput (scenarios/second), serial vs parallel.
+//!
+//! This is the hot path every figure binary and future scaling PR (fleets, caching, new
+//! workloads) sits on, so its trajectory matters: the parallel numbers should approach
+//! `serial × cores` for compute-bound suites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pliant_approx::catalog::AppId;
+use pliant_core::engine::Engine;
+use pliant_core::policy::PolicyKind;
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::Suite;
+use pliant_workloads::service::ServiceId;
+
+fn bench_suite(n_apps: usize) -> Suite {
+    let apps: Vec<AppId> = AppId::all().into_iter().take(n_apps).collect();
+    Suite::new(
+        Scenario::builder(ServiceId::Memcached)
+            .app(apps[0])
+            .horizon_intervals(20)
+            .build(),
+    )
+    .named("bench")
+    .for_each_app(apps)
+    .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_engine");
+    group.sample_size(10);
+    for n_apps in [4usize, 12] {
+        let suite = bench_suite(n_apps);
+        let cells = suite.len();
+        let serial = Engine::new();
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("{cells}cells")),
+            &suite,
+            |b, suite| {
+                b.iter(|| serial.run_collect(suite));
+            },
+        );
+        let parallel = Engine::new().parallel();
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("{cells}cells")),
+            &suite,
+            |b, suite| {
+                b.iter(|| parallel.run_collect(suite));
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("suite_expansion_1000_cells", |b| {
+        let suite = Suite::new(
+            Scenario::builder(ServiceId::Nginx)
+                .app(AppId::Canneal)
+                .build(),
+        )
+        .for_each_app(AppId::all().into_iter().take(10))
+        .sweep_loads((0..10).map(|i| 0.4 + 0.06 * i as f64))
+        .sweep_seeds(0..10);
+        b.iter(|| suite.scenarios().len());
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

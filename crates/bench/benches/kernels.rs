@@ -12,7 +12,13 @@ use pliant_approx::kernels::kernel_for;
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels_precise_vs_approx");
     group.sample_size(10);
-    for app in [AppId::KMeans, AppId::Canneal, AppId::WaterNsquared, AppId::Fasta, AppId::Plsa] {
+    for app in [
+        AppId::KMeans,
+        AppId::Canneal,
+        AppId::WaterNsquared,
+        AppId::Fasta,
+        AppId::Plsa,
+    ] {
         let kernel = kernel_for(app, 11);
         group.bench_with_input(
             BenchmarkId::new("precise", app.name()),

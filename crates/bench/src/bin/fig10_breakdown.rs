@@ -3,7 +3,9 @@
 //!
 //! The paper aggregates over 1-, 2-, and 3-application mixes; this harness runs all
 //! single-application colocations plus a deterministic subset of 2- and 3-way mixes
-//! (`--combos N` to change the subset size).
+//! (`--combos N` to change the subset size). Mixes run as one application-set sweep per
+//! service with independent per-cell seeds, since the cells are aggregated as independent
+//! experiments.
 //!
 //! Usage: `fig10_breakdown [--json] [--combos N]`
 
@@ -11,8 +13,10 @@ use std::collections::BTreeMap;
 
 use pliant_approx::catalog::AppId;
 use pliant_bench::print_table;
-use pliant_core::experiment::{classify_effort, run_colocation, EffortClass, ExperimentOptions};
-use pliant_core::policy::PolicyKind;
+use pliant_core::engine::Engine;
+use pliant_core::experiment::{classify_effort, EffortClass};
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::{SeedMode, Suite};
 use pliant_workloads::service::ServiceId;
 use serde::Serialize;
 
@@ -54,22 +58,28 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(12);
-    let options = ExperimentOptions {
-        max_intervals: 50,
-        ..ExperimentOptions::default()
-    };
+
+    let suite = Suite::new(
+        Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Canneal)
+            .horizon_intervals(50)
+            .seed(500)
+            .build(),
+    )
+    .named("fig10")
+    .seed_mode(SeedMode::Independent)
+    .for_each_service(ServiceId::all())
+    .for_each_app_set(mixes(combos));
+
+    let engine = Engine::new().parallel();
+    let cells = engine.run_collect(&suite);
 
     let mut rows: Vec<BreakdownRow> = Vec::new();
     for service in ServiceId::all() {
         let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
         let mut total = 0usize;
-        for (i, mix) in mixes(combos).iter().enumerate() {
-            let opts = ExperimentOptions {
-                seed: 500 + i as u64,
-                ..options
-            };
-            let outcome = run_colocation(service, mix, PolicyKind::Pliant, &opts);
-            let key = match classify_effort(&outcome) {
+        for cell in cells.iter().filter(|c| c.scenario.service == service) {
+            let key = match classify_effort(&cell.outcome) {
                 EffortClass::ApproximationOnly => "approx",
                 EffortClass::Cores(1) => "1 core",
                 EffortClass::Cores(2) => "2 cores",
@@ -92,7 +102,10 @@ fn main() {
     }
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable")
+        );
         return;
     }
 
@@ -112,7 +125,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["service", "approx only", "1 core", "2 cores", "3 cores", "4+ cores", "experiments"],
+        &[
+            "service",
+            "approx only",
+            "1 core",
+            "2 cores",
+            "3 cores",
+            "4+ cores",
+            "experiments",
+        ],
         &table,
     );
 }

@@ -5,17 +5,19 @@
 //! with the near-pareto variants marked as selected.
 //!
 //! Even rows: the tail latency (relative to QoS) of each interactive service when
-//! statically co-located with the precise version and with each selected variant.
+//! statically co-located with the precise version and with each selected variant. Each
+//! static pin is expressed as a scenario run against a bridged single-variant catalog
+//! (the same [`pliant_explore::bridge`] path the DSE-to-runtime pipeline uses).
 //!
 //! Usage: `fig1_design_space [--json] [--skip-colocation]`
 
 use pliant_approx::catalog::{AppId, Catalog};
 use pliant_approx::kernels::kernel_for;
 use pliant_bench::print_table;
-use pliant_core::experiment::{run_colocation_with_config, ExperimentOptions};
+use pliant_core::engine::Engine;
 use pliant_core::policy::PolicyKind;
-use pliant_explore::{explore_kernel, ExplorationConfig};
-use pliant_sim::colocation::ColocationConfig;
+use pliant_core::scenario::Scenario;
+use pliant_explore::{bridge, explore_kernel, ExplorationConfig};
 use pliant_workloads::service::ServiceId;
 use serde::Serialize;
 
@@ -48,10 +50,6 @@ fn main() {
     let skip_colocation = args.iter().any(|a| a == "--skip-colocation");
     let catalog = Catalog::default();
     let dse_config = ExplorationConfig::default();
-    let options = ExperimentOptions {
-        max_intervals: 25,
-        ..ExperimentOptions::default()
-    };
 
     let mut results: Vec<AppDesignSpace> = Vec::new();
     for app in AppId::all() {
@@ -69,50 +67,36 @@ fn main() {
             })
             .collect();
 
-        // Even rows: static colocation of precise + each catalog variant with each service.
+        // Even rows: static colocation of precise + each catalog variant with each
+        // service. Pinning a variant = bridging a single-variant catalog into an engine
+        // and running the static most-approximate policy over it.
         let mut colocation = Vec::new();
         if !skip_colocation {
             let profile = catalog.profile(app).expect("catalog covers all apps");
             for service in ServiceId::all() {
                 for variant in std::iter::once(None).chain((0..profile.variant_count()).map(Some)) {
-                    let cfg = ColocationConfig::paper_default(service, &[app], 7)
-                        .without_instrumentation();
-                    // Static colocation: pin the variant via the static policy equivalent —
-                    // run precise policy but pre-set the variant through a one-off config.
-                    let outcome = {
-                        let catalog = Catalog::default();
-                        let mut sim_cfg = cfg;
-                        sim_cfg.instrumented = variant.is_some();
-                        let opts = options;
-                        // Use the reclaim-free static approach: run with the Precise policy
-                        // after forcing the variant by temporarily replacing the catalog
-                        // profile ordering is unnecessary — the simulator exposes
-                        // set_variant, which run_colocation_with_config does not call, so
-                        // instead we emulate by using the StaticMostApproximate policy only
-                        // for the most aggressive variant. For intermediate variants we
-                        // construct a single-variant catalog.
-                        let single_variant_catalog = match variant {
-                            None => catalog,
-                            Some(v) => {
-                                let c = catalog;
-                                let mut p = c.profile(app).unwrap().clone();
-                                let chosen = p.variants[v].clone();
-                                p = p.with_variants(vec![chosen]);
-                                pliant_approx::catalog::Catalog::from_profiles(
-                                    c.profiles()
-                                        .iter()
-                                        .map(|x| if x.id == app { p.clone() } else { x.clone() })
-                                        .collect(),
-                                )
-                            }
-                        };
-                        let policy = if variant.is_some() {
-                            PolicyKind::StaticMostApproximate
-                        } else {
-                            PolicyKind::Precise
-                        };
-                        run_colocation_with_config(sim_cfg, policy, &opts, &single_variant_catalog)
+                    let (engine, policy) = match variant {
+                        None => (
+                            Engine::new().with_catalog(catalog.clone()),
+                            PolicyKind::Precise,
+                        ),
+                        Some(v) => {
+                            let chosen = profile.variants[v].clone();
+                            let single = bridge::catalog_with_variants(&catalog, app, vec![chosen]);
+                            (
+                                Engine::new().with_catalog(single),
+                                PolicyKind::StaticMostApproximate,
+                            )
+                        }
                     };
+                    let scenario = Scenario::builder(service)
+                        .app(app)
+                        .policy(policy)
+                        .instrumented(variant.is_some())
+                        .horizon_intervals(25)
+                        .seed(7)
+                        .build();
+                    let outcome = engine.run_scenario(&scenario);
                     colocation.push(ColocationRow {
                         service: service.name().to_string(),
                         variant: variant.map_or("precise".to_string(), |v| format!("v{}", v + 1)),
@@ -131,13 +115,19 @@ fn main() {
     }
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&results).expect("serializable results"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).expect("serializable results")
+        );
         return;
     }
 
     println!("Figure 1 (odd rows): execution time vs. inaccuracy per application\n");
     for r in &results {
-        println!("== {} ({} selected variants) ==", r.app, r.selected_variants);
+        println!(
+            "== {} ({} selected variants) ==",
+            r.app, r.selected_variants
+        );
         let rows: Vec<Vec<String>> = r
             .points
             .iter()

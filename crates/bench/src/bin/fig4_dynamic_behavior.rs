@@ -7,8 +7,9 @@
 //! Usage: `fig4_dynamic_behavior [--json]`
 
 use pliant_bench::{dynamic_behavior_apps, format_latency, print_table};
-use pliant_core::experiment::{run_colocation, ExperimentOptions};
-use pliant_core::policy::PolicyKind;
+use pliant_core::engine::Engine;
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::Suite;
 use pliant_workloads::service::ServiceId;
 use serde::Serialize;
 
@@ -31,15 +32,24 @@ struct TraceResult {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = pliant_bench::json_requested(&args);
-    let options = ExperimentOptions {
-        max_intervals: 60,
-        ..ExperimentOptions::default()
-    };
 
-    let mut results = Vec::new();
-    for service in ServiceId::all() {
-        for app in dynamic_behavior_apps() {
-            let outcome = run_colocation(service, &[app], PolicyKind::Pliant, &options);
+    let suite = Suite::new(
+        Scenario::builder(ServiceId::Nginx)
+            .app(dynamic_behavior_apps()[0])
+            .horizon_intervals(60)
+            .build(),
+    )
+    .named("fig4")
+    .for_each_service(ServiceId::all())
+    .for_each_app(dynamic_behavior_apps());
+
+    let cells = Engine::new().parallel().run_collect(&suite);
+
+    let results: Vec<TraceResult> = cells
+        .iter()
+        .map(|cell| {
+            let app = cell.scenario.apps[0];
+            let outcome = &cell.outcome;
             let latency = outcome.trace.get("p99_latency_s").expect("latency series");
             let cores = outcome
                 .trace
@@ -62,16 +72,19 @@ fn main() {
                     variant: v.value,
                 })
                 .collect();
-            results.push(TraceResult {
-                service: service.name().to_string(),
+            TraceResult {
+                service: cell.scenario.service.name().to_string(),
                 app: app.name().to_string(),
                 rows,
-            });
-        }
-    }
+            }
+        })
+        .collect();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&results).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).expect("serializable")
+        );
         return;
     }
 
@@ -81,7 +94,12 @@ fn main() {
             .into_iter()
             .find(|s| s.name() == r.service)
             .expect("known service");
-        println!("== {} + {} (QoS {}) ==", r.service, r.app, format_latency(service, r.rows[0].qos_target_s));
+        println!(
+            "== {} + {} (QoS {}) ==",
+            r.service,
+            r.app,
+            format_latency(service, r.rows[0].qos_target_s)
+        );
         let rows: Vec<Vec<String>> = r
             .rows
             .iter()

@@ -1,32 +1,56 @@
 //! Regenerates Figure 5 and the §6.2 headline numbers: Pliant vs the Precise baseline
 //! across all 24 approximate applications and all three interactive services.
 //!
+//! The whole figure is one suite — service × application × {Precise, Pliant} — executed
+//! in parallel with common random numbers, so each (precise, pliant) pair sees identical
+//! workload randomness.
+//!
 //! Usage: `fig5_aggregate [--json] [--summary]`
 
 use pliant_approx::catalog::AppId;
 use pliant_bench::{print_table, ComparisonRow};
-use pliant_core::experiment::{aggregate_comparison, ExperimentOptions};
+use pliant_core::engine::Engine;
+use pliant_core::policy::PolicyKind;
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::Suite;
 use pliant_workloads::service::ServiceId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = pliant_bench::json_requested(&args);
     let summary_only = args.iter().any(|a| a == "--summary");
-    let options = ExperimentOptions {
-        max_intervals: 70,
-        ..ExperimentOptions::default()
-    };
 
-    let mut all_rows: Vec<ComparisonRow> = Vec::new();
-    for service in ServiceId::all() {
-        let comparisons = aggregate_comparison(service, &AppId::all(), &options);
-        for (app, precise, pliant) in &comparisons {
-            all_rows.push(ComparisonRow::from_outcomes(*app, precise, pliant));
-        }
-    }
+    let apps = AppId::all();
+    let suite = Suite::new(
+        Scenario::builder(ServiceId::Nginx)
+            .app(apps[0])
+            .horizon_intervals(70)
+            .build(),
+    )
+    .named("fig5")
+    .for_each_service(ServiceId::all())
+    .for_each_app(apps)
+    .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+
+    let results = Engine::new().parallel().run_collect(&suite);
+
+    // Cells arrive in grid order: for each service, for each app, [precise, pliant].
+    let all_rows: Vec<ComparisonRow> = results
+        .chunks_exact(2)
+        .map(|pair| {
+            ComparisonRow::from_outcomes(
+                pair[0].scenario.apps[0],
+                &pair[0].outcome,
+                &pair[1].outcome,
+            )
+        })
+        .collect();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&all_rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&all_rows).expect("serializable rows")
+        );
         return;
     }
 
@@ -66,24 +90,62 @@ fn main() {
     }
 
     // §6.2 headline numbers.
-    let pliant_met = all_rows.iter().filter(|r| r.pliant_tail_ratio <= 1.05).count();
-    let precise_violating = all_rows.iter().filter(|r| r.precise_tail_ratio > 1.0).count();
-    let mean_inacc: f64 =
-        all_rows.iter().map(|r| r.pliant_inaccuracy_pct).sum::<f64>() / all_rows.len() as f64;
-    let max_inacc = all_rows.iter().map(|r| r.pliant_inaccuracy_pct).fold(0.0f64, f64::max);
-    let mean_overhead: f64 =
-        all_rows.iter().map(|r| r.instrumentation_overhead).sum::<f64>() / all_rows.len() as f64;
-    let max_overhead = all_rows.iter().map(|r| r.instrumentation_overhead).fold(0.0f64, f64::max);
+    let pliant_met = all_rows
+        .iter()
+        .filter(|r| r.pliant_tail_ratio <= 1.05)
+        .count();
+    let precise_violating = all_rows
+        .iter()
+        .filter(|r| r.precise_tail_ratio > 1.0)
+        .count();
+    let mean_inacc: f64 = all_rows
+        .iter()
+        .map(|r| r.pliant_inaccuracy_pct)
+        .sum::<f64>()
+        / all_rows.len() as f64;
+    let max_inacc = all_rows
+        .iter()
+        .map(|r| r.pliant_inaccuracy_pct)
+        .fold(0.0f64, f64::max);
+    let mean_overhead: f64 = all_rows
+        .iter()
+        .map(|r| r.instrumentation_overhead)
+        .sum::<f64>()
+        / all_rows.len() as f64;
+    let max_overhead = all_rows
+        .iter()
+        .map(|r| r.instrumentation_overhead)
+        .fold(0.0f64, f64::max);
     let precise_range = (
-        all_rows.iter().map(|r| r.precise_tail_ratio).fold(f64::INFINITY, f64::min),
-        all_rows.iter().map(|r| r.precise_tail_ratio).fold(0.0f64, f64::max),
+        all_rows
+            .iter()
+            .map(|r| r.precise_tail_ratio)
+            .fold(f64::INFINITY, f64::min),
+        all_rows
+            .iter()
+            .map(|r| r.precise_tail_ratio)
+            .fold(0.0f64, f64::max),
     );
 
     println!("Section 6.2 headline summary");
-    println!("  colocations where Pliant keeps p99 within ~QoS : {}/{}", pliant_met, all_rows.len());
-    println!("  colocations where Precise violates QoS          : {}/{}", precise_violating, all_rows.len());
-    println!("  Precise tail-latency ratio range                : {:.2}x - {:.2}x", precise_range.0, precise_range.1);
-    println!("  mean / max output-quality loss under Pliant     : {:.1}% / {:.1}%", mean_inacc, max_inacc);
+    println!(
+        "  colocations where Pliant keeps p99 within ~QoS : {}/{}",
+        pliant_met,
+        all_rows.len()
+    );
+    println!(
+        "  colocations where Precise violates QoS          : {}/{}",
+        precise_violating,
+        all_rows.len()
+    );
+    println!(
+        "  Precise tail-latency ratio range                : {:.2}x - {:.2}x",
+        precise_range.0, precise_range.1
+    );
+    println!(
+        "  mean / max output-quality loss under Pliant     : {:.1}% / {:.1}%",
+        mean_inacc, max_inacc
+    );
     println!(
         "  mean / max dynamic-instrumentation overhead      : {:.1}% / {:.1}%",
         mean_overhead * 100.0,

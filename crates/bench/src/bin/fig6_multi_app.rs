@@ -5,8 +5,9 @@
 
 use pliant_approx::catalog::AppId;
 use pliant_bench::{format_latency, print_table};
-use pliant_core::experiment::{run_colocation, ExperimentOptions};
-use pliant_core::policy::PolicyKind;
+use pliant_core::engine::Engine;
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::Suite;
 use pliant_workloads::service::ServiceId;
 use serde::Serialize;
 
@@ -32,45 +33,64 @@ struct MultiTrace {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = pliant_bench::json_requested(&args);
-    let options = ExperimentOptions {
-        max_intervals: 60,
-        ..ExperimentOptions::default()
-    };
 
-    let mut results = Vec::new();
-    for service in ServiceId::all() {
-        let outcome = run_colocation(
-            service,
-            &[AppId::Canneal, AppId::Bayesian],
-            PolicyKind::Pliant,
-            &options,
-        );
-        let latency = outcome.trace.get("p99_latency_s").expect("latency series");
-        let cv = outcome.trace.get("variant_canneal").expect("canneal variant series");
-        let cr = outcome.trace.get("reclaimed_canneal").expect("canneal reclaimed series");
-        let bv = outcome.trace.get("variant_bayesian").expect("bayesian variant series");
-        let br = outcome.trace.get("reclaimed_bayesian").expect("bayesian reclaimed series");
-        let rows: Vec<MultiTraceRow> = (0..latency.len())
-            .map(|i| MultiTraceRow {
-                time_s: latency.points()[i].time_s,
-                p99_latency_s: latency.points()[i].value,
-                canneal_variant: cv.points()[i].value,
-                canneal_reclaimed: cr.points()[i].value,
-                bayesian_variant: bv.points()[i].value,
-                bayesian_reclaimed: br.points()[i].value,
-            })
-            .collect();
-        results.push(MultiTrace {
-            service: service.name().to_string(),
-            qos_target_s: outcome.qos_target_s,
-            rows,
-            canneal_inaccuracy_pct: outcome.app_outcomes[0].inaccuracy_pct,
-            bayesian_inaccuracy_pct: outcome.app_outcomes[1].inaccuracy_pct,
-        });
-    }
+    let suite = Suite::new(
+        Scenario::builder(ServiceId::Nginx)
+            .apps([AppId::Canneal, AppId::Bayesian])
+            .horizon_intervals(60)
+            .build(),
+    )
+    .named("fig6")
+    .for_each_service(ServiceId::all());
+
+    let cells = Engine::new().parallel().run_collect(&suite);
+
+    let results: Vec<MultiTrace> = cells
+        .iter()
+        .map(|cell| {
+            let outcome = &cell.outcome;
+            let latency = outcome.trace.get("p99_latency_s").expect("latency series");
+            let cv = outcome
+                .trace
+                .get("variant_canneal")
+                .expect("canneal variant series");
+            let cr = outcome
+                .trace
+                .get("reclaimed_canneal")
+                .expect("canneal reclaimed series");
+            let bv = outcome
+                .trace
+                .get("variant_bayesian")
+                .expect("bayesian variant series");
+            let br = outcome
+                .trace
+                .get("reclaimed_bayesian")
+                .expect("bayesian reclaimed series");
+            let rows: Vec<MultiTraceRow> = (0..latency.len())
+                .map(|i| MultiTraceRow {
+                    time_s: latency.points()[i].time_s,
+                    p99_latency_s: latency.points()[i].value,
+                    canneal_variant: cv.points()[i].value,
+                    canneal_reclaimed: cr.points()[i].value,
+                    bayesian_variant: bv.points()[i].value,
+                    bayesian_reclaimed: br.points()[i].value,
+                })
+                .collect();
+            MultiTrace {
+                service: cell.scenario.service.name().to_string(),
+                qos_target_s: outcome.qos_target_s,
+                rows,
+                canneal_inaccuracy_pct: outcome.app_outcomes[0].inaccuracy_pct,
+                bayesian_inaccuracy_pct: outcome.app_outcomes[1].inaccuracy_pct,
+            }
+        })
+        .collect();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&results).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).expect("serializable")
+        );
         return;
     }
 
@@ -94,15 +114,30 @@ fn main() {
                 vec![
                     format!("{:.0}", row.time_s),
                     format_latency(service, row.p99_latency_s),
-                    if row.canneal_variant == 0.0 { "precise".into() } else { format!("v{:.0}", row.canneal_variant) },
+                    if row.canneal_variant == 0.0 {
+                        "precise".into()
+                    } else {
+                        format!("v{:.0}", row.canneal_variant)
+                    },
                     format!("{:.0}", row.canneal_reclaimed),
-                    if row.bayesian_variant == 0.0 { "precise".into() } else { format!("v{:.0}", row.bayesian_variant) },
+                    if row.bayesian_variant == 0.0 {
+                        "precise".into()
+                    } else {
+                        format!("v{:.0}", row.bayesian_variant)
+                    },
                     format!("{:.0}", row.bayesian_reclaimed),
                 ]
             })
             .collect();
         print_table(
-            &["t(s)", "p99", "canneal variant", "canneal cores", "bayesian variant", "bayesian cores"],
+            &[
+                "t(s)",
+                "p99",
+                "canneal variant",
+                "canneal cores",
+                "bayesian variant",
+                "bayesian cores",
+            ],
             &rows,
         );
         println!();

@@ -4,14 +4,17 @@
 //!
 //! The paper runs every 2- and 3-way combination of the 24 applications; by default this
 //! harness samples a deterministic subset per mix size to keep the run short. Pass
-//! `--combos N` to change the subset size or `--full` to run every combination.
+//! `--combos N` to change the subset size or `--full` to run every combination. Each
+//! (service, mix-size) stratum is one application-set sweep with independent per-cell
+//! seeds, executed in parallel.
 //!
 //! Usage: `fig7_violins [--json] [--combos N] [--full]`
 
 use pliant_approx::catalog::AppId;
 use pliant_bench::print_table;
-use pliant_core::experiment::{run_colocation, ExperimentOptions};
-use pliant_core::policy::PolicyKind;
+use pliant_core::engine::Engine;
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::{SeedMode, Suite};
 use pliant_telemetry::violin::ViolinSummary;
 use pliant_workloads::service::ServiceId;
 use serde::Serialize;
@@ -68,27 +71,30 @@ fn main() {
         .unwrap_or(20);
     let limit = if full { None } else { Some(combos) };
 
-    let options = ExperimentOptions {
-        max_intervals: 50,
-        ..ExperimentOptions::default()
-    };
     let apps = AppId::all();
+    let engine = Engine::new().parallel();
 
     let mut rows: Vec<ViolinRow> = Vec::new();
     for service in ServiceId::all() {
         for k in 1..=3usize {
-            let mixes = combinations(&apps, k, if k == 1 { None } else { limit });
+            let mix_sets = combinations(&apps, k, if k == 1 { None } else { limit });
+            let suite = Suite::new(
+                Scenario::builder(service)
+                    .app(apps[0])
+                    .horizon_intervals(50)
+                    .seed(1000)
+                    .build(),
+            )
+            .named(format!("fig7/{}way", k))
+            .seed_mode(SeedMode::Independent)
+            .for_each_app_set(mix_sets);
+
             let mut latency_ratios = Vec::new();
             let mut exec_times = Vec::new();
             let mut inaccuracies = Vec::new();
-            for (i, mix) in mixes.iter().enumerate() {
-                let opts = ExperimentOptions {
-                    seed: 1000 + i as u64,
-                    ..options
-                };
-                let outcome = run_colocation(service, mix, PolicyKind::Pliant, &opts);
-                latency_ratios.push(outcome.tail_latency_ratio);
-                for app in &outcome.app_outcomes {
+            for cell in engine.run_collect(&suite) {
+                latency_ratios.push(cell.outcome.tail_latency_ratio);
+                for app in &cell.outcome.app_outcomes {
                     exec_times.push(app.relative_execution_time);
                     inaccuracies.push(app.inaccuracy_pct);
                 }
@@ -115,7 +121,10 @@ fn main() {
     }
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable")
+        );
         return;
     }
 
@@ -136,7 +145,16 @@ fn main() {
         })
         .collect();
     print_table(
-        &["service", "apps/node", "metric", "min", "q1", "median", "q3", "max"],
+        &[
+            "service",
+            "apps/node",
+            "metric",
+            "min",
+            "q1",
+            "median",
+            "q3",
+            "max",
+        ],
         &table,
     );
 }

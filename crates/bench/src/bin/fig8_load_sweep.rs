@@ -1,11 +1,15 @@
 //! Regenerates Figure 8: Pliant across input-load levels (40%–100% of saturation) for each
 //! interactive service and every approximate application.
 //!
+//! One suite — service × application × load — executed in parallel.
+//!
 //! Usage: `fig8_load_sweep [--json] [--apps N]`
 
 use pliant_approx::catalog::AppId;
 use pliant_bench::print_table;
-use pliant_core::experiment::{load_sweep, ExperimentOptions};
+use pliant_core::engine::Engine;
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::Suite;
 use pliant_workloads::service::ServiceId;
 use serde::Serialize;
 
@@ -33,34 +37,50 @@ fn main() {
         .unwrap_or(24);
 
     let loads = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
-    let options = ExperimentOptions {
-        max_intervals: 40,
-        ..ExperimentOptions::default()
-    };
-
-    let mut rows: Vec<LoadRow> = Vec::new();
-    for service in ServiceId::all() {
-        let profile = pliant_workloads::service::ServiceProfile::paper_default(service);
-        for app in AppId::all().into_iter().take(app_limit) {
-            for (load, outcome) in load_sweep(service, app, &loads, &options) {
-                let a = &outcome.app_outcomes[0];
-                rows.push(LoadRow {
-                    service: service.name().to_string(),
-                    app: app.name().to_string(),
-                    load_fraction: load,
-                    qps: profile.qps_at_load(load),
-                    tail_latency_vs_qos: outcome.tail_latency_ratio,
-                    qos_violation_fraction: outcome.qos_violation_fraction,
-                    relative_execution_time: a.relative_execution_time,
-                    inaccuracy_pct: a.inaccuracy_pct,
-                    max_cores_reclaimed: outcome.max_extra_service_cores,
-                });
-            }
-        }
+    let apps: Vec<AppId> = AppId::all().into_iter().take(app_limit).collect();
+    if apps.is_empty() {
+        eprintln!("error: --apps must be at least 1");
+        std::process::exit(2);
     }
 
+    let suite = Suite::new(
+        Scenario::builder(ServiceId::Nginx)
+            .app(apps[0])
+            .horizon_intervals(40)
+            .build(),
+    )
+    .named("fig8")
+    .for_each_service(ServiceId::all())
+    .for_each_app(apps)
+    .sweep_loads(loads);
+
+    let results = Engine::new().parallel().run_collect(&suite);
+
+    let rows: Vec<LoadRow> = results
+        .iter()
+        .map(|cell| {
+            let service = cell.scenario.service;
+            let profile = pliant_workloads::service::ServiceProfile::paper_default(service);
+            let a = &cell.outcome.app_outcomes[0];
+            LoadRow {
+                service: service.name().to_string(),
+                app: cell.scenario.apps[0].name().to_string(),
+                load_fraction: cell.scenario.load_fraction,
+                qps: profile.qps_at_load(cell.scenario.load_fraction),
+                tail_latency_vs_qos: cell.outcome.tail_latency_ratio,
+                qos_violation_fraction: cell.outcome.qos_violation_fraction,
+                relative_execution_time: a.relative_execution_time,
+                inaccuracy_pct: a.inaccuracy_pct,
+                max_cores_reclaimed: cell.outcome.max_extra_service_cores,
+            }
+        })
+        .collect();
+
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable")
+        );
         return;
     }
 
@@ -81,7 +101,16 @@ fn main() {
         })
         .collect();
     print_table(
-        &["service", "app", "load", "QPS", "p99/QoS", "rel. exec", "inacc(%)", "max cores"],
+        &[
+            "service",
+            "app",
+            "load",
+            "QPS",
+            "p99/QoS",
+            "rel. exec",
+            "inacc(%)",
+            "max cores",
+        ],
         &table,
     );
 }

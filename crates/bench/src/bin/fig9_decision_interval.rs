@@ -1,10 +1,15 @@
 //! Regenerates Figure 9: sensitivity to the decision-interval length, with memcached as
 //! the interactive service and six representative approximate applications.
 //!
+//! One suite — application × decision interval — with a fixed 60 s wall-clock horizon, so
+//! coarse-interval cells simulate the same amount of service time as fine-interval cells.
+//!
 //! Usage: `fig9_decision_interval [--json]`
 
 use pliant_bench::{interval_sensitivity_apps, print_table};
-use pliant_core::experiment::{interval_sweep, ExperimentOptions};
+use pliant_core::engine::Engine;
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::Suite;
 use pliant_workloads::service::ServiceId;
 use serde::Serialize;
 
@@ -22,32 +27,43 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = pliant_bench::json_requested(&args);
     let intervals = [0.2, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
-    let options = ExperimentOptions {
-        max_intervals: 60,
-        ..ExperimentOptions::default()
-    };
 
-    let mut rows: Vec<IntervalRow> = Vec::new();
-    for app in interval_sensitivity_apps() {
-        for (dt, outcome) in interval_sweep(ServiceId::Memcached, app, &intervals, &options) {
-            let a = &outcome.app_outcomes[0];
-            rows.push(IntervalRow {
-                app: app.name().to_string(),
-                decision_interval_s: dt,
-                tail_latency_vs_qos: outcome.tail_latency_ratio,
-                qos_violation_fraction: outcome.qos_violation_fraction,
+    let suite = Suite::new(
+        Scenario::builder(ServiceId::Memcached)
+            .app(interval_sensitivity_apps()[0])
+            .horizon_seconds(60.0)
+            .build(),
+    )
+    .named("fig9")
+    .for_each_app(interval_sensitivity_apps())
+    .sweep_decision_intervals_s(intervals);
+
+    let results = Engine::new().parallel().run_collect(&suite);
+
+    let rows: Vec<IntervalRow> = results
+        .iter()
+        .map(|cell| {
+            let a = &cell.outcome.app_outcomes[0];
+            IntervalRow {
+                app: cell.scenario.apps[0].name().to_string(),
+                decision_interval_s: cell.scenario.decision_interval_s,
+                tail_latency_vs_qos: cell.outcome.tail_latency_ratio,
+                qos_violation_fraction: cell.outcome.qos_violation_fraction,
                 relative_execution_time: a.relative_execution_time,
                 inaccuracy_pct: a.inaccuracy_pct,
-            });
-        }
-    }
+            }
+        })
+        .collect();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable")
+        );
         return;
     }
 
-    println!("Figure 9: decision-interval sensitivity (memcached)\n");
+    println!("Figure 9: decision-interval sensitivity (memcached, equal 60s wall clock)\n");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -62,7 +78,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["app", "interval", "p99/QoS", "violations", "rel. exec", "inacc(%)"],
+        &[
+            "app",
+            "interval",
+            "p99/QoS",
+            "violations",
+            "rel. exec",
+            "inacc(%)",
+        ],
         &table,
     );
 }

@@ -7,7 +7,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let spec = ServerSpec::paper_platform();
     if pliant_bench::json_requested(&args) {
-        println!("{}", serde_json::to_string_pretty(&spec).expect("serializable spec"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&spec).expect("serializable spec")
+        );
         return;
     }
     println!("Table 1: Platform Specification (modelled)\n");

@@ -1,17 +1,27 @@
 //! Shared helpers for the figure-regeneration binaries and Criterion benches.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the paper's evaluation:
-//! it runs the corresponding experiments through `pliant_core::experiment` and prints the
-//! same rows/series the paper plots (plus a machine-readable JSON dump when `--json` is
-//! passed). The Criterion benches under `benches/` measure the throughput of the key
-//! components (design-space exploration, controller decisions, co-location simulation,
-//! kernel execution).
+//! it describes the corresponding experiment grid as a `pliant_core` scenario
+//! [`Suite`](pliant_core::suite::Suite), executes it on the
+//! [`Engine`](pliant_core::engine::Engine) (in parallel), and prints the same rows/series
+//! the paper plots (plus a machine-readable JSON dump when `--json` is passed). The
+//! Criterion benches under `benches/` measure the throughput of the key components
+//! (design-space exploration, controller decisions, co-location simulation, kernel
+//! execution, and the suite engine itself).
+//!
+//! This crate also provides the harness-side [`ResultSink`] implementations:
+//! [`JsonLinesSink`] (one JSON object per cell, streamable) and [`SummaryTableSink`]
+//! (an aligned text table printed when the suite completes).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::io::Write;
+
 use pliant_approx::catalog::AppId;
+use pliant_core::engine::{CellOutcome, ResultSink};
 use pliant_core::experiment::ColocationOutcome;
+use pliant_core::scenario::Scenario;
 use pliant_workloads::service::ServiceId;
 
 /// The four approximate applications Fig. 4 and Fig. 6 focus on, chosen in the paper for
@@ -39,7 +49,11 @@ pub fn json_requested(args: &[String]) -> bool {
 
 /// Formats a tail latency in the service's display unit with its unit suffix.
 pub fn format_latency(service: ServiceId, latency_s: f64) -> String {
-    format!("{:.1}{}", service.to_display_unit(latency_s), service.display_unit())
+    format!(
+        "{:.1}{}",
+        service.to_display_unit(latency_s),
+        service.display_unit()
+    )
 }
 
 /// One row of a Fig. 5-style comparison table.
@@ -65,7 +79,11 @@ pub struct ComparisonRow {
 
 impl ComparisonRow {
     /// Builds a row from a (precise, pliant) outcome pair for one application.
-    pub fn from_outcomes(app: AppId, precise: &ColocationOutcome, pliant: &ColocationOutcome) -> Self {
+    pub fn from_outcomes(
+        app: AppId,
+        precise: &ColocationOutcome,
+        pliant: &ColocationOutcome,
+    ) -> Self {
         let pliant_app = &pliant.app_outcomes[0];
         Self {
             service: precise.service.name().to_string(),
@@ -94,22 +112,137 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
+    }
+}
+
+/// A [`ResultSink`] writing one JSON object per cell (JSON-lines), streamable while the
+/// suite is still running.
+///
+/// Each line has the shape `{"index": …, "scenario": {…}, "outcome": {…}}`, so an
+/// archived suite run can be re-aggregated without re-simulating.
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer (e.g. a locked stdout or a file).
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> ResultSink for JsonLinesSink<W> {
+    fn on_result(&mut self, index: usize, scenario: &Scenario, outcome: &ColocationOutcome) {
+        let cell = CellOutcome {
+            index,
+            scenario: scenario.clone(),
+            outcome: outcome.clone(),
+        };
+        let line = serde_json::to_string(&cell).expect("cell outcomes are serializable");
+        writeln!(self.out, "{line}").expect("writing a result line must succeed");
+    }
+
+    fn on_complete(&mut self, _total: usize) {
+        self.out
+            .flush()
+            .expect("flushing the result stream must succeed");
+    }
+}
+
+/// A [`ResultSink`] that accumulates one summary row per cell and prints an aligned table
+/// when the suite completes.
+#[derive(Debug, Default)]
+pub struct SummaryTableSink {
+    rows: Vec<Vec<String>>,
+}
+
+impl SummaryTableSink {
+    /// Creates an empty summary sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The header matching this sink's row shape.
+    pub fn header() -> [&'static str; 7] {
+        [
+            "cell",
+            "policy",
+            "p99/QoS",
+            "violations",
+            "max cores",
+            "mean inacc(%)",
+            "intervals",
+        ]
+    }
+
+    /// Rows collected so far (one per delivered cell).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+impl ResultSink for SummaryTableSink {
+    fn on_result(&mut self, _index: usize, scenario: &Scenario, outcome: &ColocationOutcome) {
+        self.rows.push(vec![
+            scenario.describe(),
+            scenario.policy.to_string(),
+            format!("{:.2}", outcome.tail_latency_ratio),
+            format!("{:.0}%", outcome.qos_violation_fraction * 100.0),
+            outcome.max_extra_service_cores.to_string(),
+            format!("{:.1}", outcome.mean_inaccuracy_pct()),
+            outcome.intervals.to_string(),
+        ]);
+    }
+
+    fn on_complete(&mut self, _total: usize) {
+        let header = Self::header();
+        print_table(&header, &self.rows);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pliant_core::experiment::{run_colocation, ExperimentOptions};
+    use pliant_core::engine::Engine;
     use pliant_core::policy::PolicyKind;
+    use pliant_core::suite::Suite;
+
+    fn scenario(service: ServiceId, app: AppId, policy: PolicyKind) -> Scenario {
+        Scenario::builder(service)
+            .app(app)
+            .policy(policy)
+            .horizon_intervals(20)
+            .build()
+    }
 
     #[test]
     fn selected_app_lists_are_stable() {
@@ -120,12 +253,11 @@ mod tests {
 
     #[test]
     fn comparison_row_reflects_outcomes() {
-        let options = ExperimentOptions {
-            max_intervals: 20,
-            ..ExperimentOptions::default()
-        };
-        let precise = run_colocation(ServiceId::Nginx, &[AppId::Snp], PolicyKind::Precise, &options);
-        let pliant = run_colocation(ServiceId::Nginx, &[AppId::Snp], PolicyKind::Pliant, &options);
+        let engine = Engine::new();
+        let precise =
+            engine.run_scenario(&scenario(ServiceId::Nginx, AppId::Snp, PolicyKind::Precise));
+        let pliant =
+            engine.run_scenario(&scenario(ServiceId::Nginx, AppId::Snp, PolicyKind::Pliant));
         let row = ComparisonRow::from_outcomes(AppId::Snp, &precise, &pliant);
         assert_eq!(row.service, "nginx");
         assert_eq!(row.app, "snp");
@@ -143,5 +275,38 @@ mod tests {
     fn json_flag_detection() {
         assert!(json_requested(&["--json".to_string()]));
         assert!(!json_requested(&["--full".to_string()]));
+    }
+
+    #[test]
+    fn json_lines_sink_emits_one_parseable_line_per_cell() {
+        let suite = Suite::new(scenario(
+            ServiceId::Memcached,
+            AppId::Canneal,
+            PolicyKind::Pliant,
+        ))
+        .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+        let mut sink = JsonLinesSink::new(Vec::new());
+        Engine::new().run_suite(&suite, &mut sink);
+        let text = String::from_utf8(sink.into_inner()).expect("utf-8 output");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let cell: CellOutcome = serde_json::from_str(line).expect("parseable cell");
+            assert_eq!(cell.index, i);
+            assert_eq!(
+                cell.outcome.intervals,
+                cell.outcome.trace.get("p99_latency_s").unwrap().len()
+            );
+        }
+    }
+
+    #[test]
+    fn summary_sink_collects_one_row_per_cell() {
+        let suite = Suite::new(scenario(ServiceId::Nginx, AppId::Snp, PolicyKind::Pliant))
+            .sweep_loads([0.5, 0.9]);
+        let mut sink = SummaryTableSink::new();
+        Engine::new().run_suite(&suite, &mut sink);
+        assert_eq!(sink.rows().len(), 2);
+        assert_eq!(sink.rows()[0].len(), SummaryTableSink::header().len());
     }
 }

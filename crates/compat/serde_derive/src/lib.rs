@@ -1,0 +1,536 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the companion
+//! `serde` shim without depending on `syn`/`quote` (crates.io is unreachable in this build
+//! environment): the item is parsed with a small hand-rolled token cursor and the impl is
+//! generated as a string, which `proc_macro`'s `FromStr` turns back into tokens.
+//!
+//! Supported shapes: non-generic structs with named fields and non-generic enums with
+//! unit, tuple, or struct variants. Supported attributes: `#[serde(skip)]`,
+//! `#[serde(default)]`, `#[serde(default = "path")]`, `#[serde(rename = "name")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    default_path: Option<String>,
+    rename: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    ident: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn wire_name(&self) -> String {
+        self.attrs
+            .rename
+            .clone()
+            .unwrap_or_else(|| self.ident.clone())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    ident: String,
+    rename: Option<String>,
+    fields: VariantFields,
+}
+
+impl Variant {
+    fn wire_name(&self) -> String {
+        self.rename.clone().unwrap_or_else(|| self.ident.clone())
+    }
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives `serde::Serialize` via the value-tree model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` via the value-tree model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind_kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic types are not supported (type `{name}`)");
+        }
+    }
+
+    // Skip a possible where-clause (none in this workspace) and find the body group.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind_kw == "struct" =>
+            {
+                panic!("serde derive shim: tuple structs are not supported (type `{name}`)")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde derive: no body found for `{name}`"),
+        }
+    };
+
+    let kind = match kind_kw.as_str() {
+        "struct" => ItemKind::Struct(parse_named_fields(body)),
+        "enum" => ItemKind::Enum(parse_variants(body)),
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Parses `#[serde(...)]`-style attributes at the cursor, returning collected attrs and
+/// advancing past every attribute (serde or not).
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+            panic!("serde derive: malformed attribute");
+        };
+        *i += 2;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+        let mut j = 0;
+        while j < arg_tokens.len() {
+            let key = match &arg_tokens[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    j += 1;
+                    continue;
+                }
+                other => panic!("serde derive: unexpected attribute token {other:?}"),
+            };
+            j += 1;
+            let mut value: Option<String> = None;
+            if let Some(TokenTree::Punct(p)) = arg_tokens.get(j) {
+                if p.as_char() == '=' {
+                    j += 1;
+                    match arg_tokens.get(j) {
+                        Some(TokenTree::Literal(lit)) => {
+                            value = Some(strip_string_literal(&lit.to_string()));
+                            j += 1;
+                        }
+                        other => {
+                            panic!("serde derive: expected literal after `=`, found {other:?}")
+                        }
+                    }
+                }
+            }
+            match (key.as_str(), value) {
+                ("skip", None) | ("skip_serializing", None) | ("skip_deserializing", None) => {
+                    attrs.skip = true;
+                }
+                ("default", None) => attrs.default = true,
+                ("default", Some(path)) => {
+                    attrs.default = true;
+                    attrs.default_path = Some(path);
+                }
+                ("rename", Some(name)) => attrs.rename = Some(name),
+                (other, _) => {
+                    panic!("serde derive shim: unsupported serde attribute `{other}`")
+                }
+            }
+        }
+    }
+    attrs
+}
+
+fn strip_string_literal(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let ident = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{ident}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { ident, attrs });
+    }
+    fields
+}
+
+/// Advances the cursor past a type, stopping after the top-level `,` (or at end of input).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i64 = 0;
+    let mut prev_dash = false;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth -= 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        let ident = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_top_level_elements(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip to the comma separating variants (covers explicit discriminants).
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            ident,
+            rename: attrs.rename,
+            fields,
+        });
+    }
+    variants
+}
+
+fn count_top_level_elements(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i64 = 0;
+    let mut prev_dash = false;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    prev_dash = false;
+                    continue;
+                }
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth -= 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__fields.push((\"{}\".to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.wire_name(),
+                    f.ident
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vi = &v.ident;
+                let wire = v.wire_name();
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vi} => ::serde::Value::Str(\"{wire}\".to_string()),\n"
+                    )),
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vi}(__f0) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vi}({}) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            pushes.push_str(&format!(
+                                "__inner.push((\"{}\".to_string(), ::serde::Serialize::to_value({})));\n",
+                                f.wire_name(),
+                                f.ident
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vi} {{ {} }} => {{\n\
+                             let mut __inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Value::Object(__inner))])\n\
+                             }},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_field_read(ty_name: &str, f: &Field, source: &str) -> String {
+    if f.attrs.skip {
+        return match &f.attrs.default_path {
+            Some(path) => format!("{}: {path}(),\n", f.ident),
+            None => format!("{}: ::std::default::Default::default(),\n", f.ident),
+        };
+    }
+    let wire = f.wire_name();
+    let missing = if f.attrs.default {
+        match &f.attrs.default_path {
+            Some(path) => format!("{path}()"),
+            None => "::std::default::Default::default()".to_string(),
+        }
+    } else {
+        format!(
+            "match ::serde::Deserialize::absent() {{\n\
+             Some(__d) => __d,\n\
+             None => return Err(::serde::Error::missing_field(\"{ty_name}\", \"{wire}\")),\n\
+             }}"
+        )
+    };
+    format!(
+        "{}: match {source}.get(\"{wire}\") {{\n\
+         Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+         None => {missing},\n\
+         }},\n",
+        f.ident
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut reads = String::new();
+            for f in fields {
+                reads.push_str(&gen_field_read(name, f, "__value"));
+            }
+            format!(
+                "if __value.as_object().is_none() {{\n\
+                 return Err(::serde::Error::unexpected(\"{name} (object)\", __value));\n\
+                 }}\n\
+                 Ok({name} {{\n{reads}}})"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vi = &v.ident;
+                let wire = v.wire_name();
+                match &v.fields {
+                    VariantFields::Unit => str_arms.push_str(&format!(
+                        "\"{wire}\" => return Ok({name}::{vi}),\n"
+                    )),
+                    VariantFields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{wire}\" => return Ok({name}::{vi}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{wire}\" => {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| ::serde::Error::unexpected(\"{name}::{vi} data (array)\", __inner))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\"wrong tuple arity for {name}::{vi}\"));\n\
+                             }}\n\
+                             return Ok({name}::{vi}({}));\n\
+                             }}\n",
+                            reads.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut reads = String::new();
+                        for f in fields {
+                            reads.push_str(&gen_field_read(name, f, "__inner"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{wire}\" => return Ok({name}::{vi} {{\n{reads}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __value.as_str() {{\n\
+                 match __s {{\n{str_arms}_ => return Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__s}}`\"))),\n}}\n\
+                 }}\n\
+                 if let Some((__tag, __inner)) = __value.as_single_entry() {{\n\
+                 match __tag {{\n{tagged_arms}_ => return Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__tag}}`\"))),\n}}\n\
+                 }}\n\
+                 Err(::serde::Error::unexpected(\"{name} (string or single-entry object)\", __value))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -103,7 +103,13 @@ mod tests {
     fn apply_variant_switch_and_core_moves() {
         let mut sim = sim();
         let mut act = Actuator::new();
-        assert!(act.apply(&mut sim, Action::SetVariant { app: 0, variant: Some(3) }));
+        assert!(act.apply(
+            &mut sim,
+            Action::SetVariant {
+                app: 0,
+                variant: Some(3)
+            }
+        ));
         assert!(act.apply(&mut sim, Action::ReclaimCore { app: 0 }));
         assert!(act.apply(&mut sim, Action::ReturnCore { app: 0 }));
         let stats = act.stats();
@@ -117,8 +123,20 @@ mod tests {
     fn redundant_switch_is_rejected() {
         let mut sim = sim();
         let mut act = Actuator::new();
-        assert!(act.apply(&mut sim, Action::SetVariant { app: 0, variant: Some(2) }));
-        assert!(!act.apply(&mut sim, Action::SetVariant { app: 0, variant: Some(2) }));
+        assert!(act.apply(
+            &mut sim,
+            Action::SetVariant {
+                app: 0,
+                variant: Some(2)
+            }
+        ));
+        assert!(!act.apply(
+            &mut sim,
+            Action::SetVariant {
+                app: 0,
+                variant: Some(2)
+            }
+        ));
         assert_eq!(act.stats().rejected, 1);
     }
 
@@ -138,8 +156,14 @@ mod tests {
         let n = act.apply_all(
             &mut sim,
             &[
-                Action::SetVariant { app: 0, variant: Some(1) },
-                Action::SetVariant { app: 0, variant: Some(1) },
+                Action::SetVariant {
+                    app: 0,
+                    variant: Some(1),
+                },
+                Action::SetVariant {
+                    app: 0,
+                    variant: Some(1),
+                },
                 Action::ReclaimCore { app: 0 },
             ],
         );

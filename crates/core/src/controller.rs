@@ -108,7 +108,10 @@ impl PliantController {
             match (self.variant, self.most_approximate()) {
                 (current, Some(most)) if current != Some(most) => {
                     self.variant = Some(most);
-                    vec![Action::SetVariant { app, variant: Some(most) }]
+                    vec![Action::SetVariant {
+                        app,
+                        variant: Some(most),
+                    }]
                 }
                 _ => {
                     self.cores_reclaimed += 1;
@@ -133,7 +136,10 @@ impl PliantController {
                     }
                     Some(i) => {
                         self.variant = Some(i - 1);
-                        vec![Action::SetVariant { app, variant: Some(i - 1) }]
+                        vec![Action::SetVariant {
+                            app,
+                            variant: Some(i - 1),
+                        }]
                     }
                     None => Vec::new(),
                 }
@@ -185,7 +191,13 @@ mod tests {
     fn first_violation_jumps_to_most_approximate() {
         let mut c = PliantController::new(ControllerConfig::default(), 4);
         let actions = c.decide(0, &violated());
-        assert_eq!(actions, vec![Action::SetVariant { app: 0, variant: Some(3) }]);
+        assert_eq!(
+            actions,
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(3)
+            }]
+        );
         assert_eq!(c.variant(), Some(3));
     }
 
@@ -198,7 +210,11 @@ mod tests {
         assert_eq!(a2, vec![Action::ReclaimCore { app: 0 }]);
         assert_eq!(a3, vec![Action::ReclaimCore { app: 0 }]);
         assert_eq!(c.cores_reclaimed(), 2);
-        assert_eq!(c.variant(), Some(3), "variant stays at most approximate while reclaiming");
+        assert_eq!(
+            c.variant(),
+            Some(3),
+            "variant stays at most approximate while reclaiming"
+        );
     }
 
     #[test]
@@ -208,7 +224,13 @@ mod tests {
         let _ = c.decide(0, &met(0.3)); //   -> relax to 2
         assert_eq!(c.variant(), Some(2));
         let actions = c.decide(0, &violated());
-        assert_eq!(actions, vec![Action::SetVariant { app: 0, variant: Some(3) }]);
+        assert_eq!(
+            actions,
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(3)
+            }]
+        );
     }
 
     #[test]
@@ -220,7 +242,13 @@ mod tests {
         assert_eq!(first_recovery, vec![Action::ReturnCore { app: 0 }]);
         assert_eq!(c.cores_reclaimed(), 0);
         let second_recovery = c.decide(0, &met(0.3));
-        assert_eq!(second_recovery, vec![Action::SetVariant { app: 0, variant: Some(2) }]);
+        assert_eq!(
+            second_recovery,
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(2)
+            }]
+        );
     }
 
     #[test]
@@ -229,7 +257,13 @@ mod tests {
         let _ = c.decide(0, &violated()); // -> variant 1 (most)
         let _ = c.decide(0, &met(0.5)); //   -> variant 0
         let last = c.decide(0, &met(0.5)); // -> precise
-        assert_eq!(last, vec![Action::SetVariant { app: 0, variant: None }]);
+        assert_eq!(
+            last,
+            vec![Action::SetVariant {
+                app: 0,
+                variant: None
+            }]
+        );
         assert_eq!(c.variant(), None);
         // Further slack with everything already precise does nothing.
         assert!(c.decide(0, &met(0.5)).is_empty());
@@ -239,14 +273,26 @@ mod tests {
     fn default_hysteresis_requires_consecutive_slack_intervals() {
         let mut c = PliantController::new(ControllerConfig::default(), 4);
         let _ = c.decide(0, &violated()); // -> most approximate
-        assert!(c.decide(0, &met(0.3)).is_empty(), "first high-slack interval only arms the streak");
+        assert!(
+            c.decide(0, &met(0.3)).is_empty(),
+            "first high-slack interval only arms the streak"
+        );
         let second = c.decide(0, &met(0.3));
-        assert_eq!(second, vec![Action::SetVariant { app: 0, variant: Some(2) }]);
+        assert_eq!(
+            second,
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(2)
+            }]
+        );
         // A violation or a low-slack interval resets the streak.
         let _ = c.decide(0, &violated());
         assert!(c.decide(0, &met(0.3)).is_empty());
         let _ = c.decide(0, &met(0.05));
-        assert!(c.decide(0, &met(0.3)).is_empty(), "streak restarts after a low-slack interval");
+        assert!(
+            c.decide(0, &met(0.3)).is_empty(),
+            "streak restarts after a low-slack interval"
+        );
     }
 
     #[test]
@@ -254,7 +300,10 @@ mod tests {
         let mut c = PliantController::new(ControllerConfig::default(), 4);
         let _ = c.decide(0, &violated());
         let hold = c.decide(0, &met(0.05));
-        assert!(hold.is_empty(), "5% slack is below the 10% threshold, state must hold");
+        assert!(
+            hold.is_empty(),
+            "5% slack is below the 10% threshold, state must hold"
+        );
         assert_eq!(c.variant(), Some(3));
     }
 

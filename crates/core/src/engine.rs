@@ -1,0 +1,504 @@
+//! Executes scenarios and suites, serially or in parallel.
+//!
+//! The [`Engine`] is the single place a [`Scenario`] is turned into a
+//! [`ColocationOutcome`]: it owns the application [`Catalog`] (built once and shared
+//! across every run) and an execution mode. Suites stream their results through a
+//! pluggable [`ResultSink`]; results are always delivered in cell-index order, so a sink
+//! observes the exact same sequence whether the engine runs serially or on a thread pool —
+//! parallelism changes wall-clock time, never output.
+//!
+//! Each scenario derives all of its randomness from its own seed, so the grid cells are
+//! embarrassingly parallel; the parallel mode fans cells out over `std::thread::scope`
+//! workers pulling from an atomic work queue.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use pliant_approx::catalog::Catalog;
+use pliant_sim::colocation::{ColocationConfig, ColocationSim};
+use pliant_telemetry::rng::derive_seed;
+use pliant_telemetry::series::{TimeSeries, TraceBundle};
+use pliant_telemetry::stats::OnlineStats;
+use pliant_workloads::service::ServiceProfile;
+
+use crate::actuator::Actuator;
+use crate::controller::ControllerConfig;
+use crate::experiment::{AppOutcome, ColocationOutcome};
+use crate::monitor::{MonitorConfig, PerformanceMonitor};
+use crate::scenario::Scenario;
+use crate::suite::Suite;
+
+/// How an [`Engine`] schedules the cells of a suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run cells one after another on the calling thread.
+    Serial,
+    /// Fan cells out over worker threads (`threads == 0` means one worker per available
+    /// core). Results are still delivered to the sink in cell-index order.
+    Parallel {
+        /// Worker-thread count; 0 = auto-detect.
+        threads: usize,
+    },
+}
+
+/// Receives suite results as they complete, in deterministic cell-index order.
+pub trait ResultSink {
+    /// Called once per cell with the cell index, the materialized scenario, and its
+    /// outcome.
+    fn on_result(&mut self, index: usize, scenario: &Scenario, outcome: &ColocationOutcome);
+
+    /// Called once after every cell has been delivered.
+    fn on_complete(&mut self, _total: usize) {}
+}
+
+/// One executed suite cell: the scenario that was run and what came out.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Cell index within the suite grid.
+    pub index: usize,
+    /// The fully-materialized scenario (including derived seed and label).
+    pub scenario: Scenario,
+    /// The experiment outcome.
+    pub outcome: ColocationOutcome,
+}
+
+/// In-memory [`ResultSink`] collecting every cell outcome.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// Collected results in cell-index order.
+    pub results: Vec<CellOutcome>,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ResultSink for Collector {
+    fn on_result(&mut self, index: usize, scenario: &Scenario, outcome: &ColocationOutcome) {
+        self.results.push(CellOutcome {
+            index,
+            scenario: scenario.clone(),
+            outcome: outcome.clone(),
+        });
+    }
+}
+
+/// Executes scenarios and suites; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    catalog: Catalog,
+    mode: ExecMode,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// A serial engine with the paper-default calibrated catalog.
+    pub fn new() -> Self {
+        Engine {
+            catalog: Catalog::default(),
+            mode: ExecMode::Serial,
+        }
+    }
+
+    /// Replaces the application catalog (e.g. with variants measured by a fresh
+    /// design-space exploration).
+    pub fn with_catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Switches to parallel execution with one worker per available core.
+    pub fn parallel(mut self) -> Self {
+        self.mode = ExecMode::Parallel { threads: 0 };
+        self
+    }
+
+    /// Switches to parallel execution with an explicit worker count.
+    pub fn parallel_threads(mut self, threads: usize) -> Self {
+        self.mode = ExecMode::Parallel { threads };
+        self
+    }
+
+    /// Switches back to serial execution.
+    pub fn serial(mut self) -> Self {
+        self.mode = ExecMode::Serial;
+        self
+    }
+
+    /// The current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The catalog scenarios run against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Runs one scenario to completion.
+    pub fn run_scenario(&self, scenario: &Scenario) -> ColocationOutcome {
+        execute_scenario(scenario, &self.catalog)
+    }
+
+    /// Runs every cell of a suite, streaming outcomes into `sink` in cell-index order.
+    pub fn run_suite(&self, suite: &Suite, sink: &mut dyn ResultSink) {
+        let scenarios = suite.scenarios();
+        match self.mode {
+            ExecMode::Serial => {
+                for (i, scenario) in scenarios.iter().enumerate() {
+                    let outcome = execute_scenario(scenario, &self.catalog);
+                    sink.on_result(i, scenario, &outcome);
+                }
+            }
+            ExecMode::Parallel { threads } => {
+                self.run_parallel(&scenarios, threads, sink);
+            }
+        }
+        sink.on_complete(scenarios.len());
+    }
+
+    /// Runs a suite and returns every cell outcome (convenience over a [`Collector`]).
+    pub fn run_collect(&self, suite: &Suite) -> Vec<CellOutcome> {
+        let mut collector = Collector::new();
+        self.run_suite(suite, &mut collector);
+        collector.results
+    }
+
+    fn run_parallel(&self, scenarios: &[Scenario], threads: usize, sink: &mut dyn ResultSink) {
+        let n = scenarios.len();
+        if n == 0 {
+            return;
+        }
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(n)
+        .max(1);
+
+        let next = AtomicUsize::new(0);
+        // Each slot holds the cell's outcome or the payload of a panicking worker; the
+        // delivery loop re-raises the first panic on the calling thread so a failing
+        // scenario behaves the same in parallel mode as in serial mode (it must not
+        // leave the delivery loop waiting on a slot that will never fill).
+        type Slot = std::thread::Result<ColocationOutcome>;
+        let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..n).map(|_| None).collect());
+        let ready = Condvar::new();
+        let catalog = &self.catalog;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        execute_scenario(&scenarios[i], catalog)
+                    }));
+                    let died = result.is_err();
+                    let mut slots = slots.lock().expect("engine result slots poisoned");
+                    slots[i] = Some(result);
+                    drop(slots);
+                    ready.notify_all();
+                    if died {
+                        break;
+                    }
+                });
+            }
+
+            // Deliver completed cells to the sink in index order as they become ready.
+            let mut delivered = 0;
+            let mut guard = slots.lock().expect("engine result slots poisoned");
+            while delivered < n {
+                match guard[delivered].take() {
+                    Some(Ok(outcome)) => {
+                        drop(guard);
+                        sink.on_result(delivered, &scenarios[delivered], &outcome);
+                        delivered += 1;
+                        guard = slots.lock().expect("engine result slots poisoned");
+                    }
+                    Some(Err(panic_payload)) => {
+                        drop(guard);
+                        // Stop handing out further cells, then re-raise once the
+                        // in-flight workers drain (thread::scope joins them).
+                        next.store(n, Ordering::Relaxed);
+                        std::panic::resume_unwind(panic_payload);
+                    }
+                    None => {
+                        guard = ready.wait(guard).expect("engine result slots poisoned");
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Runs one scenario against a catalog. This is the execution core every public entry
+/// point (engine, legacy free functions) funnels through.
+pub(crate) fn execute_scenario(scenario: &Scenario, catalog: &Catalog) -> ColocationOutcome {
+    // Scenarios normally come from the builder, but serde deserialization (archived
+    // suites, hand-edited replays) bypasses it — re-check here so a bad archive fails
+    // with a clear message instead of deep inside the simulator.
+    if let Err(e) = scenario.validate() {
+        panic!("invalid scenario `{}`: {e}", scenario.describe());
+    }
+    let mut config =
+        ColocationConfig::paper_default(scenario.service, &scenario.apps, scenario.seed)
+            .with_load(scenario.load_fraction);
+    config.instrumented = scenario.effective_instrumented();
+    if let Some(qos_s) = scenario.qos_target_s {
+        config.service.qos_target_s = qos_s;
+    }
+    if let Some(samples) = scenario.samples_per_interval {
+        config.samples_per_interval = samples;
+    }
+    execute_with_config(scenario, config, catalog)
+}
+
+/// Runs one scenario with an explicit simulator configuration (the scenario supplies the
+/// policy, controller knobs, horizon, and seed).
+pub(crate) fn execute_with_config(
+    scenario: &Scenario,
+    config: ColocationConfig,
+    catalog: &Catalog,
+) -> ColocationOutcome {
+    let service_id = config.service.id;
+    let service_profile: ServiceProfile = config.service.clone();
+    let app_ids = config.apps.clone();
+    let mut sim = ColocationSim::new(config, catalog);
+
+    let variant_counts: Vec<usize> = app_ids
+        .iter()
+        .map(|id| catalog.profile(*id).map_or(0, |p| p.variant_count()))
+        .collect();
+    let initial_cores: Vec<u32> = (0..app_ids.len()).map(|i| sim.app(i).cores()).collect();
+    let controller_config = ControllerConfig {
+        decision_interval_s: scenario.decision_interval_s,
+        slack_threshold: scenario.slack_threshold,
+        consecutive_slack_required: scenario.consecutive_slack_required,
+    };
+    let start_pointer = (derive_seed(scenario.seed, 7) % app_ids.len() as u64) as usize;
+    let mut policy = scenario.policy.build(
+        controller_config,
+        &variant_counts,
+        &initial_cores,
+        start_pointer,
+    );
+    let mut monitor = PerformanceMonitor::new(
+        MonitorConfig::for_qos(service_profile.qos_target_s),
+        derive_seed(scenario.seed, 8),
+    );
+    let mut actuator = Actuator::new();
+
+    let fair_service_cores = sim.service_cores();
+    let mut p99_stats = OnlineStats::new();
+    let mut violations = 0usize;
+    let mut intervals = 0usize;
+    let mut max_extra_cores = 0u32;
+    let mut max_reclaimed_per_app = vec![0u32; app_ids.len()];
+
+    let mut latency_series = TimeSeries::new("p99_latency_s");
+    let mut cores_series = TimeSeries::new("service_extra_cores");
+    let mut variant_series: Vec<TimeSeries> = app_ids
+        .iter()
+        .map(|id| TimeSeries::new(format!("variant_{}", id.name())))
+        .collect();
+    let mut reclaimed_series: Vec<TimeSeries> = app_ids
+        .iter()
+        .map(|id| TimeSeries::new(format!("reclaimed_{}", id.name())))
+        .collect();
+
+    let max_intervals = scenario.max_intervals();
+    for _ in 0..max_intervals {
+        let obs = sim.advance(scenario.decision_interval_s);
+        intervals += 1;
+        p99_stats.push(obs.p99_latency_s);
+        if obs.qos_violated() {
+            violations += 1;
+        }
+        let extra = sim.service_cores().saturating_sub(fair_service_cores);
+        max_extra_cores = max_extra_cores.max(extra);
+
+        latency_series.push(obs.time_s, obs.p99_latency_s);
+        cores_series.push(obs.time_s, extra as f64);
+        for (i, status) in obs.apps.iter().enumerate() {
+            // Variant index for plotting: 0 = precise, k = k-th approximate variant.
+            let v = status.variant.map_or(0.0, |x| (x + 1) as f64);
+            variant_series[i].push(obs.time_s, v);
+            reclaimed_series[i].push(obs.time_s, status.cores_reclaimed as f64);
+            max_reclaimed_per_app[i] = max_reclaimed_per_app[i].max(status.cores_reclaimed);
+        }
+
+        if scenario.stop_when_apps_finish && obs.all_apps_finished {
+            break;
+        }
+
+        // Monitor → policy → actuator, exactly once per decision interval.
+        let report = monitor.observe_interval(&obs.latency_samples_s);
+        let actions = policy.decide(&report);
+        actuator.apply_all(&mut sim, &actions);
+    }
+
+    let app_outcomes: Vec<AppOutcome> = (0..app_ids.len())
+        .map(|i| {
+            let state = sim.app(i);
+            AppOutcome {
+                app: app_ids[i],
+                finished: state.is_finished(),
+                relative_execution_time: state.relative_execution_time(),
+                inaccuracy_pct: state.inaccuracy_pct(),
+                max_cores_reclaimed: max_reclaimed_per_app[i],
+                instrumentation_overhead: state.profile().instrumentation_overhead,
+            }
+        })
+        .collect();
+
+    let mut trace = TraceBundle::new();
+    trace.insert(latency_series);
+    trace.insert(cores_series);
+    for s in variant_series {
+        trace.insert(s);
+    }
+    for s in reclaimed_series {
+        trace.insert(s);
+    }
+
+    let mean_p99_s = p99_stats.mean();
+    ColocationOutcome {
+        service: service_id,
+        policy: scenario.policy,
+        apps: app_ids,
+        intervals,
+        qos_target_s: service_profile.qos_target_s,
+        mean_p99_s,
+        max_p99_s: p99_stats.max(),
+        qos_violation_fraction: violations as f64 / intervals.max(1) as f64,
+        tail_latency_ratio: mean_p99_s / service_profile.qos_target_s,
+        max_extra_service_cores: max_extra_cores,
+        app_outcomes,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::suite::SeedMode;
+    use pliant_approx::catalog::AppId;
+    use pliant_workloads::service::ServiceId;
+
+    fn small_suite() -> Suite {
+        Suite::new(
+            Scenario::builder(ServiceId::Nginx)
+                .app(AppId::Canneal)
+                .horizon_intervals(20)
+                .seed(11)
+                .build(),
+        )
+        .named("engine-test")
+        .for_each_app([AppId::Canneal, AppId::Snp, AppId::Bayesian])
+        .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree() {
+        let suite = small_suite();
+        let serial = Engine::new().run_collect(&suite);
+        let parallel = Engine::new().parallel_threads(4).run_collect(&suite);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.outcome.mean_p99_s, b.outcome.mean_p99_s);
+            assert_eq!(
+                a.outcome.qos_violation_fraction,
+                b.outcome.qos_violation_fraction
+            );
+            assert_eq!(a.outcome.app_outcomes, b.outcome.app_outcomes);
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_cell_index_order() {
+        struct OrderCheck {
+            next: usize,
+            completed: Option<usize>,
+        }
+        impl ResultSink for OrderCheck {
+            fn on_result(&mut self, index: usize, _s: &Scenario, _o: &ColocationOutcome) {
+                assert_eq!(index, self.next, "results must stream in cell order");
+                self.next += 1;
+            }
+            fn on_complete(&mut self, total: usize) {
+                self.completed = Some(total);
+            }
+        }
+        let suite = small_suite();
+        let mut sink = OrderCheck {
+            next: 0,
+            completed: None,
+        };
+        Engine::new()
+            .parallel_threads(3)
+            .run_suite(&suite, &mut sink);
+        assert_eq!(sink.completed, Some(suite.len()));
+        assert_eq!(sink.next, suite.len());
+    }
+
+    #[test]
+    fn engine_matches_scenario_run() {
+        let scenario = Scenario::builder(ServiceId::Memcached)
+            .app(AppId::Plsa)
+            .horizon_intervals(25)
+            .seed(123)
+            .build();
+        let via_engine = Engine::new().run_scenario(&scenario);
+        let via_scenario = scenario.run();
+        assert_eq!(via_engine.mean_p99_s, via_scenario.mean_p99_s);
+        assert_eq!(via_engine.policy, PolicyKind::Pliant);
+    }
+
+    #[test]
+    fn parallel_worker_panic_propagates_instead_of_deadlocking() {
+        // An engine whose catalog is missing the scenario's app panics during execution;
+        // in parallel mode that panic must reach the caller (not hang the delivery loop).
+        let empty = Catalog::from_profiles(Vec::new());
+        let suite = small_suite();
+        let engine = Engine::new().with_catalog(empty).parallel_threads(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_collect(&suite);
+        }));
+        assert!(
+            result.is_err(),
+            "the worker panic must propagate to the caller"
+        );
+    }
+
+    #[test]
+    fn independent_mode_changes_cell_randomness() {
+        let crn = small_suite();
+        let ind = small_suite().seed_mode(SeedMode::Independent);
+        let crn_cells = crn.scenarios();
+        let ind_cells = ind.scenarios();
+        assert_eq!(crn_cells.len(), ind_cells.len());
+        assert!(crn_cells
+            .iter()
+            .zip(&ind_cells)
+            .any(|(a, b)| a.seed != b.seed));
+    }
+}

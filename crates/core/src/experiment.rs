@@ -1,26 +1,32 @@
-//! Experiment drivers.
+//! Experiment outcome types and legacy free-function drivers.
 //!
-//! These functions run complete co-location experiments — one interactive service, one or
-//! more approximate applications, one policy — and produce the summaries and time series
-//! the figure-regeneration binaries in `pliant-bench` print. They are also exercised
-//! directly by the integration tests, which assert the paper's headline results as shape
-//! properties.
+//! The outcome types ([`ColocationOutcome`], [`AppOutcome`], [`EffortClass`]) are produced
+//! by the [`crate::engine::Engine`] for every scenario it runs.
+//!
+//! The free functions in this module ([`run_colocation`], [`aggregate_comparison`],
+//! [`load_sweep`], [`interval_sweep`]) are the pre-scenario API, kept as thin wrappers
+//! over [`crate::scenario::Scenario`] / [`crate::suite::Suite`] so code importing them
+//! from this module path (and the equivalence tests below) can keep calling them; they
+//! are intentionally no longer re-exported from the `pliant` prelude. Two behavioral
+//! notes versus the pre-scenario implementations: options now pass through scenario
+//! validation, so degenerate inputs (zero `max_intervals`, non-positive loads or
+//! intervals) panic with a clear message instead of silently producing empty outcomes,
+//! and `interval_sweep` holds the wall clock constant (see its docs). New code should
+//! build scenarios directly — see the crate-level docs.
 
 use serde::{Deserialize, Serialize};
 
-use pliant_approx::catalog::{AppId, Catalog};
-use pliant_sim::colocation::{ColocationConfig, ColocationSim};
-use pliant_telemetry::rng::derive_seed;
-use pliant_telemetry::series::{TimeSeries, TraceBundle};
-use pliant_telemetry::stats::OnlineStats;
-use pliant_workloads::service::{ServiceId, ServiceProfile};
+use pliant_approx::catalog::AppId;
+use pliant_telemetry::series::TraceBundle;
+use pliant_workloads::service::ServiceId;
 
-use crate::actuator::Actuator;
-use crate::controller::ControllerConfig;
-use crate::monitor::{MonitorConfig, PerformanceMonitor};
+use crate::engine::Engine;
 use crate::policy::PolicyKind;
+use crate::scenario::Scenario;
+use crate::suite::Suite;
 
-/// Options controlling one co-location experiment.
+/// Options controlling one co-location experiment (legacy; superseded by
+/// [`crate::scenario::Scenario`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOptions {
     /// Offered load as a fraction of the service's saturation throughput.
@@ -50,6 +56,27 @@ impl Default for ExperimentOptions {
     }
 }
 
+impl ExperimentOptions {
+    /// The equivalent scenario for one (service, apps, policy) triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options describe an invalid scenario (no applications, zero
+    /// `max_intervals`, non-positive load or decision interval).
+    pub fn to_scenario(&self, service: ServiceId, apps: &[AppId], policy: PolicyKind) -> Scenario {
+        Scenario::builder(service)
+            .apps(apps.iter().copied())
+            .policy(policy)
+            .load(self.load_fraction)
+            .decision_interval_s(self.decision_interval_s)
+            .slack_threshold(self.slack_threshold)
+            .horizon_intervals(self.max_intervals)
+            .stop_when_apps_finish(self.stop_when_apps_finish)
+            .seed(self.seed)
+            .build()
+    }
+}
+
 /// Per-application outcome of one experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppOutcome {
@@ -73,7 +100,7 @@ pub struct ColocationOutcome {
     /// Interactive service.
     pub service: ServiceId,
     /// Policy used.
-    pub policy: &'static str,
+    pub policy: PolicyKind,
     /// Co-located applications.
     pub apps: Vec<AppId>,
     /// Number of decision intervals simulated.
@@ -108,7 +135,11 @@ impl ColocationOutcome {
         if self.app_outcomes.is_empty() {
             return 0.0;
         }
-        self.app_outcomes.iter().map(|a| a.inaccuracy_pct).sum::<f64>() / self.app_outcomes.len() as f64
+        self.app_outcomes
+            .iter()
+            .map(|a| a.inaccuracy_pct)
+            .sum::<f64>()
+            / self.app_outcomes.len() as f64
     }
 
     /// Whether approximation alone (no core reclamation) was sufficient for the whole run.
@@ -118,197 +149,95 @@ impl ColocationOutcome {
 }
 
 /// Runs one co-location experiment with the paper-default platform and calibration.
+///
+/// Legacy wrapper over [`Scenario`]; equivalent to
+/// `options.to_scenario(service, apps, policy).run()`.
 pub fn run_colocation(
     service: ServiceId,
     apps: &[AppId],
     policy: PolicyKind,
     options: &ExperimentOptions,
 ) -> ColocationOutcome {
-    let catalog = Catalog::default();
-    let mut config = ColocationConfig::paper_default(service, apps, options.seed)
-        .with_load(options.load_fraction);
-    if policy == PolicyKind::Precise {
-        config = config.without_instrumentation();
-    }
-    run_colocation_with_config(config, policy, options, &catalog)
-}
-
-/// Runs one co-location experiment with an explicit simulator configuration (used by the
-/// sensitivity sweeps and the benches).
-pub fn run_colocation_with_config(
-    config: ColocationConfig,
-    policy_kind: PolicyKind,
-    options: &ExperimentOptions,
-    catalog: &Catalog,
-) -> ColocationOutcome {
-    let service_id = config.service.id;
-    let service_profile: ServiceProfile = config.service.clone();
-    let app_ids = config.apps.clone();
-    let mut sim = ColocationSim::new(config, catalog);
-
-    let variant_counts: Vec<usize> = app_ids
-        .iter()
-        .map(|id| catalog.profile(*id).map_or(0, |p| p.variant_count()))
-        .collect();
-    let initial_cores: Vec<u32> = (0..app_ids.len()).map(|i| sim.app(i).cores()).collect();
-    let controller_config = ControllerConfig {
-        decision_interval_s: options.decision_interval_s,
-        slack_threshold: options.slack_threshold,
-        ..ControllerConfig::default()
-    };
-    let start_pointer = (derive_seed(options.seed, 7) % app_ids.len() as u64) as usize;
-    let mut policy = policy_kind.build(controller_config, &variant_counts, &initial_cores, start_pointer);
-    let mut monitor = PerformanceMonitor::new(
-        MonitorConfig::for_qos(service_profile.qos_target_s),
-        derive_seed(options.seed, 8),
-    );
-    let mut actuator = Actuator::new();
-
-    let fair_service_cores = sim.service_cores();
-    let mut p99_stats = OnlineStats::new();
-    let mut violations = 0usize;
-    let mut intervals = 0usize;
-    let mut max_extra_cores = 0u32;
-    let mut max_reclaimed_per_app = vec![0u32; app_ids.len()];
-
-    let mut latency_series = TimeSeries::new("p99_latency_s");
-    let mut cores_series = TimeSeries::new("service_extra_cores");
-    let mut variant_series: Vec<TimeSeries> = app_ids
-        .iter()
-        .map(|id| TimeSeries::new(format!("variant_{}", id.name())))
-        .collect();
-    let mut reclaimed_series: Vec<TimeSeries> = app_ids
-        .iter()
-        .map(|id| TimeSeries::new(format!("reclaimed_{}", id.name())))
-        .collect();
-
-    for _ in 0..options.max_intervals {
-        let obs = sim.advance(options.decision_interval_s);
-        intervals += 1;
-        p99_stats.push(obs.p99_latency_s);
-        if obs.qos_violated() {
-            violations += 1;
-        }
-        let extra = sim.service_cores().saturating_sub(fair_service_cores);
-        max_extra_cores = max_extra_cores.max(extra);
-
-        latency_series.push(obs.time_s, obs.p99_latency_s);
-        cores_series.push(obs.time_s, extra as f64);
-        for (i, status) in obs.apps.iter().enumerate() {
-            // Variant index for plotting: 0 = precise, k = k-th approximate variant.
-            let v = status.variant.map_or(0.0, |x| (x + 1) as f64);
-            variant_series[i].push(obs.time_s, v);
-            reclaimed_series[i].push(obs.time_s, status.cores_reclaimed as f64);
-            max_reclaimed_per_app[i] = max_reclaimed_per_app[i].max(status.cores_reclaimed);
-        }
-
-        if options.stop_when_apps_finish && obs.all_apps_finished {
-            break;
-        }
-
-        // Monitor → policy → actuator, exactly once per decision interval.
-        let report = monitor.observe_interval(&obs.latency_samples_s);
-        let actions = policy.decide(&report);
-        actuator.apply_all(&mut sim, &actions);
-    }
-
-    let app_outcomes: Vec<AppOutcome> = (0..app_ids.len())
-        .map(|i| {
-            let state = sim.app(i);
-            AppOutcome {
-                app: app_ids[i],
-                finished: state.is_finished(),
-                relative_execution_time: state.relative_execution_time(),
-                inaccuracy_pct: state.inaccuracy_pct(),
-                max_cores_reclaimed: max_reclaimed_per_app[i],
-                instrumentation_overhead: state.profile().instrumentation_overhead,
-            }
-        })
-        .collect();
-
-    let mut trace = TraceBundle::new();
-    trace.insert(latency_series);
-    trace.insert(cores_series);
-    for s in variant_series {
-        trace.insert(s);
-    }
-    for s in reclaimed_series {
-        trace.insert(s);
-    }
-
-    let mean_p99_s = p99_stats.mean();
-    ColocationOutcome {
-        service: service_id,
-        policy: policy_kind.name(),
-        apps: app_ids,
-        intervals,
-        qos_target_s: service_profile.qos_target_s,
-        mean_p99_s,
-        max_p99_s: p99_stats.max(),
-        qos_violation_fraction: violations as f64 / intervals.max(1) as f64,
-        tail_latency_ratio: mean_p99_s / service_profile.qos_target_s,
-        max_extra_service_cores: max_extra_cores,
-        app_outcomes,
-        trace,
-    }
+    options.to_scenario(service, apps, policy).run()
 }
 
 /// Runs the Fig. 5-style aggregate comparison (Precise vs Pliant) for one service across a
 /// set of applications, returning `(app, precise outcome, pliant outcome)` triples.
+///
+/// Legacy wrapper over a policy-sweep [`Suite`] with common random numbers, so each
+/// (precise, pliant) pair sees identical workload randomness.
 pub fn aggregate_comparison(
     service: ServiceId,
     apps: &[AppId],
     options: &ExperimentOptions,
 ) -> Vec<(AppId, ColocationOutcome, ColocationOutcome)> {
-    apps.iter()
-        .map(|&app| {
-            let precise = run_colocation(service, &[app], PolicyKind::Precise, options);
-            let pliant = run_colocation(service, &[app], PolicyKind::Pliant, options);
-            (app, precise, pliant)
-        })
+    if apps.is_empty() {
+        return Vec::new();
+    }
+    let suite = Suite::new(options.to_scenario(service, &[apps[0]], PolicyKind::Pliant))
+        .named("aggregate-comparison")
+        .for_each_app(apps.iter().copied())
+        .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+    let results = Engine::new().run_collect(&suite);
+    results
+        .chunks_exact(2)
+        .zip(apps)
+        .map(|(pair, &app)| (app, pair[0].outcome.clone(), pair[1].outcome.clone()))
         .collect()
 }
 
 /// Runs the Fig. 8 load sweep for one service/application pair, returning
 /// `(load_fraction, outcome)` pairs under the Pliant policy.
+///
+/// Legacy wrapper over a load-sweep [`Suite`].
 pub fn load_sweep(
     service: ServiceId,
     app: AppId,
     loads: &[f64],
     options: &ExperimentOptions,
 ) -> Vec<(f64, ColocationOutcome)> {
-    loads
-        .iter()
-        .map(|&load| {
-            let opts = ExperimentOptions {
-                load_fraction: load,
-                ..*options
-            };
-            (load, run_colocation(service, &[app], PolicyKind::Pliant, &opts))
-        })
+    let suite = Suite::new(options.to_scenario(service, &[app], PolicyKind::Pliant))
+        .named("load-sweep")
+        .sweep_loads(loads.iter().copied());
+    Engine::new()
+        .run_collect(&suite)
+        .into_iter()
+        .map(|cell| (cell.scenario.load_fraction, cell.outcome))
         .collect()
 }
 
 /// Runs the Fig. 9 decision-interval sweep for one service/application pair, returning
 /// `(interval_s, outcome)` pairs under the Pliant policy.
+///
+/// Legacy wrapper over an interval-sweep [`Suite`] with a wall-clock horizon: every cell
+/// simulates the same `options.max_intervals × options.decision_interval_s` seconds of
+/// service time. (The pre-scenario implementation clamped coarse cells to ≥25% of the
+/// fine cell's interval *count*, silently giving 8 s decisions several times the wall
+/// clock of 1 s decisions.)
 pub fn interval_sweep(
     service: ServiceId,
     app: AppId,
     intervals_s: &[f64],
     options: &ExperimentOptions,
 ) -> Vec<(f64, ColocationOutcome)> {
-    intervals_s
-        .iter()
-        .map(|&dt| {
-            let opts = ExperimentOptions {
-                decision_interval_s: dt,
-                // Keep the simulated wall-clock horizon comparable across intervals.
-                max_intervals: ((options.max_intervals as f64)
-                    * (options.decision_interval_s / dt).max(0.25)) as usize,
-                ..*options
-            };
-            (dt, run_colocation(service, &[app], PolicyKind::Pliant, &opts))
-        })
+    let wall_clock_s = options.max_intervals as f64 * options.decision_interval_s;
+    let base = Scenario::builder(service)
+        .app(app)
+        .policy(PolicyKind::Pliant)
+        .load(options.load_fraction)
+        .decision_interval_s(options.decision_interval_s)
+        .slack_threshold(options.slack_threshold)
+        .horizon_seconds(wall_clock_s)
+        .stop_when_apps_finish(options.stop_when_apps_finish)
+        .seed(options.seed)
+        .build();
+    let suite = Suite::new(base)
+        .named("interval-sweep")
+        .sweep_decision_intervals_s(intervals_s.iter().copied());
+    Engine::new()
+        .run_collect(&suite)
+        .into_iter()
+        .map(|cell| (cell.scenario.decision_interval_s, cell.outcome))
         .collect()
 }
 
@@ -367,9 +296,40 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_comparison_of_no_apps_is_empty() {
+        let options = quick_options(1);
+        assert!(aggregate_comparison(ServiceId::Nginx, &[], &options).is_empty());
+    }
+
+    #[test]
+    fn wrapper_equals_scenario_api() {
+        let options = quick_options(21);
+        let via_wrapper = run_colocation(
+            ServiceId::Nginx,
+            &[AppId::KMeans],
+            PolicyKind::Pliant,
+            &options,
+        );
+        let via_scenario = options
+            .to_scenario(ServiceId::Nginx, &[AppId::KMeans], PolicyKind::Pliant)
+            .run();
+        assert_eq!(via_wrapper.mean_p99_s, via_scenario.mean_p99_s);
+        assert_eq!(
+            via_wrapper.qos_violation_fraction,
+            via_scenario.qos_violation_fraction
+        );
+        assert_eq!(via_wrapper.app_outcomes, via_scenario.app_outcomes);
+    }
+
+    #[test]
     fn pliant_respects_the_quality_threshold() {
         let options = quick_options(7);
-        let outcome = run_colocation(ServiceId::Memcached, &[AppId::Canneal], PolicyKind::Pliant, &options);
+        let outcome = run_colocation(
+            ServiceId::Memcached,
+            &[AppId::Canneal],
+            PolicyKind::Pliant,
+            &options,
+        );
         for app in &outcome.app_outcomes {
             assert!(
                 app.inaccuracy_pct <= 5.5,
@@ -383,36 +343,57 @@ mod tests {
     #[test]
     fn precise_baseline_has_zero_inaccuracy() {
         let options = quick_options(9);
-        let outcome = run_colocation(ServiceId::Nginx, &[AppId::Bayesian], PolicyKind::Precise, &options);
+        let outcome = run_colocation(
+            ServiceId::Nginx,
+            &[AppId::Bayesian],
+            PolicyKind::Precise,
+            &options,
+        );
         assert_eq!(outcome.mean_inaccuracy_pct(), 0.0);
         assert_eq!(outcome.max_extra_service_cores, 0);
-        assert_eq!(outcome.policy, "precise");
+        assert_eq!(outcome.policy, PolicyKind::Precise);
     }
 
     #[test]
     fn trace_contains_expected_series() {
         let options = quick_options(11);
-        let outcome = run_colocation(ServiceId::Nginx, &[AppId::Snp], PolicyKind::Pliant, &options);
+        let outcome = run_colocation(
+            ServiceId::Nginx,
+            &[AppId::Snp],
+            PolicyKind::Pliant,
+            &options,
+        );
         assert!(outcome.trace.get("p99_latency_s").is_some());
         assert!(outcome.trace.get("service_extra_cores").is_some());
         assert!(outcome.trace.get("variant_snp").is_some());
         assert!(outcome.trace.get("reclaimed_snp").is_some());
-        assert_eq!(outcome.trace.get("p99_latency_s").unwrap().len(), outcome.intervals);
+        assert_eq!(
+            outcome.trace.get("p99_latency_s").unwrap().len(),
+            outcome.intervals
+        );
     }
 
     #[test]
     fn snp_with_memcached_uses_approximation_alone() {
         let options = quick_options(13);
-        let outcome = run_colocation(ServiceId::Memcached, &[AppId::Snp], PolicyKind::Pliant, &options);
+        let outcome = run_colocation(
+            ServiceId::Memcached,
+            &[AppId::Snp],
+            PolicyKind::Pliant,
+            &options,
+        );
         assert!(
             outcome.max_extra_service_cores <= 1,
             "SNP + memcached should need at most a brief single-core reclamation, got {}",
             outcome.max_extra_service_cores
         );
-        assert_eq!(classify_effort(&outcome), match outcome.max_extra_service_cores {
-            0 => EffortClass::ApproximationOnly,
-            n => EffortClass::Cores(n),
-        });
+        assert_eq!(
+            classify_effort(&outcome),
+            match outcome.max_extra_service_cores {
+                0 => EffortClass::ApproximationOnly,
+                n => EffortClass::Cores(n),
+            }
+        );
     }
 
     #[test]
@@ -425,9 +406,16 @@ mod tests {
             &options,
         );
         assert_eq!(outcome.app_outcomes.len(), 2);
-        let reclaimed: Vec<u32> = outcome.app_outcomes.iter().map(|a| a.max_cores_reclaimed).collect();
+        let reclaimed: Vec<u32> = outcome
+            .app_outcomes
+            .iter()
+            .map(|a| a.max_cores_reclaimed)
+            .collect();
         let spread = reclaimed.iter().max().unwrap() - reclaimed.iter().min().unwrap();
-        assert!(spread <= 2, "round-robin should not lopside core reclamation: {reclaimed:?}");
+        assert!(
+            spread <= 2,
+            "round-robin should not lopside core reclamation: {reclaimed:?}"
+        );
     }
 
     #[test]
@@ -461,9 +449,36 @@ mod tests {
     }
 
     #[test]
+    fn interval_sweep_holds_wall_clock_constant() {
+        let options = ExperimentOptions {
+            max_intervals: 40,
+            stop_when_apps_finish: false,
+            ..quick_options(27)
+        };
+        let sweep = interval_sweep(
+            ServiceId::Memcached,
+            AppId::Canneal,
+            &[1.0, 2.0, 8.0],
+            &options,
+        );
+        for (dt, outcome) in &sweep {
+            let simulated_s = *dt * outcome.intervals as f64;
+            assert!(
+                (simulated_s - 40.0).abs() <= *dt,
+                "dt={dt}: simulated {simulated_s}s, want ≈40s of wall clock"
+            );
+        }
+    }
+
+    #[test]
     fn effort_classification_bins_correctly() {
         let options = quick_options(29);
-        let outcome = run_colocation(ServiceId::MongoDb, &[AppId::Raytrace], PolicyKind::Pliant, &options);
+        let outcome = run_colocation(
+            ServiceId::MongoDb,
+            &[AppId::Raytrace],
+            PolicyKind::Pliant,
+            &options,
+        );
         let class = classify_effort(&outcome);
         match outcome.max_extra_service_cores {
             0 => assert_eq!(class, EffortClass::ApproximationOnly),

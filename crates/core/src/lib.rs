@@ -17,24 +17,41 @@
 //! * [`multi`] — the round-robin arbiter for multi-application co-locations (§4.4).
 //! * [`policy`] — the [`policy::Policy`] abstraction plus baselines (the paper's Precise
 //!   baseline and two ablations).
-//! * [`experiment`] — experiment drivers that run complete co-locations and produce the
-//!   summaries the figure-regeneration binaries print.
+//! * [`scenario`] — the declarative, serializable description of one experiment, built
+//!   with the fluent [`scenario::ScenarioBuilder`].
+//! * [`suite`] — composable sweeps (loads, intervals, policies, seeds, services,
+//!   application mixes) expanding into cartesian grids of scenarios with deterministic
+//!   per-cell seeds.
+//! * [`engine`] — executes scenarios and suites serially or on a thread pool, streaming
+//!   results through pluggable [`engine::ResultSink`]s in deterministic order.
+//! * [`experiment`] — the outcome types plus the legacy free-function drivers, kept as
+//!   thin wrappers over the scenario API.
 //!
 //! # Example
 //!
 //! ```
 //! use pliant_approx::catalog::AppId;
-//! use pliant_core::experiment::{run_colocation, ExperimentOptions};
+//! use pliant_core::engine::Engine;
 //! use pliant_core::policy::PolicyKind;
+//! use pliant_core::scenario::Scenario;
+//! use pliant_core::suite::Suite;
 //! use pliant_workloads::service::ServiceId;
 //!
-//! let outcome = run_colocation(
-//!     ServiceId::MongoDb,
-//!     &[AppId::Raytrace],
-//!     PolicyKind::Pliant,
-//!     &ExperimentOptions { max_intervals: 40, ..ExperimentOptions::default() },
-//! );
+//! // One run: describe it, then run it.
+//! let scenario = Scenario::builder(ServiceId::MongoDb)
+//!     .app(AppId::Raytrace)
+//!     .policy(PolicyKind::Pliant)
+//!     .horizon_intervals(40)
+//!     .build();
+//! let outcome = scenario.run();
 //! assert!(outcome.intervals > 0);
+//!
+//! // A grid: sweep policy × load, run every cell on one engine.
+//! let suite = Suite::new(scenario)
+//!     .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+//!     .sweep_loads([0.5, 0.9]);
+//! let results = Engine::new().run_collect(&suite);
+//! assert_eq!(results.len(), 4);
 //! ```
 
 #![warn(missing_docs)]
@@ -42,14 +59,20 @@
 
 pub mod actuator;
 pub mod controller;
+pub mod engine;
 pub mod experiment;
 pub mod monitor;
 pub mod multi;
 pub mod policy;
+pub mod scenario;
+pub mod suite;
 
 pub use actuator::{Action, Actuator};
 pub use controller::{ControllerConfig, PliantController};
-pub use experiment::{run_colocation, ColocationOutcome, ExperimentOptions};
+pub use engine::{CellOutcome, Collector, Engine, ExecMode, ResultSink};
+pub use experiment::{ColocationOutcome, ExperimentOptions};
 pub use monitor::{MonitorConfig, PerformanceMonitor};
 pub use multi::MultiAppController;
 pub use policy::{Policy, PolicyKind, PrecisePolicy};
+pub use scenario::{Horizon, Scenario, ScenarioBuilder, ScenarioError};
+pub use suite::{SeedMode, Suite, SweepAxis};

@@ -156,7 +156,9 @@ mod tests {
 
     fn synthetic_interval(median_s: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = seeded_rng(seed);
-        (0..n).map(|_| sample_lognormal(&mut rng, median_s, sigma)).collect()
+        (0..n)
+            .map(|_| sample_lognormal(&mut rng, median_s, sigma))
+            .collect()
     }
 
     #[test]
@@ -165,7 +167,11 @@ mod tests {
         // Healthy interval: median 2 ms.
         let healthy = synthetic_interval(0.002, 0.3, 5_000, 2);
         let report = monitor.observe_interval(&healthy);
-        assert!(!report.qos_violated, "p99 {} should be below 10 ms", report.p99_s);
+        assert!(
+            !report.qos_violated,
+            "p99 {} should be below 10 ms",
+            report.p99_s
+        );
         assert!(report.slack_fraction > 0.0);
         // Violating interval: median 8 ms → p99 well above 10 ms.
         let violating = synthetic_interval(0.008, 0.4, 5_000, 3);
@@ -195,10 +201,18 @@ mod tests {
         assert_eq!(monitor.sample_rate(), 0.05);
         let near_qos = synthetic_interval(0.0065, 0.3, 5_000, 7);
         let _ = monitor.observe_interval(&near_qos);
-        assert_eq!(monitor.sample_rate(), 0.25, "sampling should escalate near the QoS target");
+        assert_eq!(
+            monitor.sample_rate(),
+            0.25,
+            "sampling should escalate near the QoS target"
+        );
         let healthy = synthetic_interval(0.001, 0.3, 5_000, 8);
         let _ = monitor.observe_interval(&healthy);
-        assert_eq!(monitor.sample_rate(), 0.05, "sampling should relax when latency recovers");
+        assert_eq!(
+            monitor.sample_rate(),
+            0.05,
+            "sampling should relax when latency recovers"
+        );
     }
 
     #[test]

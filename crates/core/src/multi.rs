@@ -65,7 +65,10 @@ impl MultiAppController {
             initial_cores.len(),
             "one core allocation per application is required"
         );
-        assert!(!variant_counts.is_empty(), "at least one application is required");
+        assert!(
+            !variant_counts.is_empty(),
+            "at least one application is required"
+        );
         let apps = variant_counts
             .iter()
             .zip(initial_cores.iter())
@@ -124,7 +127,10 @@ impl MultiAppController {
                     let most = self.apps[idx].most_approximate();
                     self.apps[idx].variant = most;
                     self.pointer = (idx + 1) % n;
-                    return vec![Action::SetVariant { app: idx, variant: most }];
+                    return vec![Action::SetVariant {
+                        app: idx,
+                        variant: most,
+                    }];
                 }
             }
             // 2. Everyone is maximally approximate: reclaim one core, round-robin over the
@@ -161,12 +167,18 @@ impl MultiAppController {
                     Some(0) => {
                         self.apps[idx].variant = None;
                         self.pointer = (idx + 1) % n;
-                        return vec![Action::SetVariant { app: idx, variant: None }];
+                        return vec![Action::SetVariant {
+                            app: idx,
+                            variant: None,
+                        }];
                     }
                     Some(v) => {
                         self.apps[idx].variant = Some(v - 1);
                         self.pointer = (idx + 1) % n;
-                        return vec![Action::SetVariant { app: idx, variant: Some(v - 1) }];
+                        return vec![Action::SetVariant {
+                            app: idx,
+                            variant: Some(v - 1),
+                        }];
                     }
                     None => {}
                 }
@@ -218,9 +230,21 @@ mod tests {
     fn violations_escalate_apps_round_robin_before_cores() {
         let mut c = controller();
         let a1 = c.decide(&violated());
-        assert_eq!(a1, vec![Action::SetVariant { app: 0, variant: Some(3) }]);
+        assert_eq!(
+            a1,
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(3)
+            }]
+        );
         let a2 = c.decide(&violated());
-        assert_eq!(a2, vec![Action::SetVariant { app: 1, variant: Some(7) }]);
+        assert_eq!(
+            a2,
+            vec![Action::SetVariant {
+                app: 1,
+                variant: Some(7)
+            }]
+        );
         // Both at most approximate: cores come next, one app at a time.
         let a3 = c.decide(&violated());
         assert_eq!(a3, vec![Action::ReclaimCore { app: 0 }]);
@@ -242,7 +266,10 @@ mod tests {
         let reclaimed: Vec<u32> = (0..3).map(|i| c.cores_reclaimed(i)).collect();
         let max = *reclaimed.iter().max().unwrap();
         let min = *reclaimed.iter().min().unwrap();
-        assert!(max - min <= 1, "round-robin must balance core reclamation: {reclaimed:?}");
+        assert!(
+            max - min <= 1,
+            "round-robin must balance core reclamation: {reclaimed:?}"
+        );
     }
 
     #[test]
@@ -282,7 +309,13 @@ mod tests {
     fn start_pointer_rotates_first_victim() {
         let mut c = MultiAppController::new(ControllerConfig::default(), &[3, 3], &[4, 4], 1);
         let a = c.decide(&violated());
-        assert_eq!(a, vec![Action::SetVariant { app: 1, variant: Some(2) }]);
+        assert_eq!(
+            a,
+            vec![Action::SetVariant {
+                app: 1,
+                variant: Some(2)
+            }]
+        );
     }
 
     #[test]

@@ -16,29 +16,45 @@ use crate::monitor::MonitorReport;
 use crate::multi::MultiAppController;
 
 /// A runtime policy deciding, once per decision interval, how to actuate.
+///
+/// Policies are intentionally anonymous: the single source of a policy's display name is
+/// [`PolicyKind::name`], so result rows can never disagree with the selector that built
+/// the policy.
 pub trait Policy {
-    /// Human-readable policy name (used in result rows).
-    fn name(&self) -> &'static str;
-
     /// Decides the actions for the next interval from this interval's monitor report.
     fn decide(&mut self, report: &MonitorReport) -> Vec<Action>;
 }
 
-/// Selector for the built-in policies, used by the experiment drivers and harness
-/// binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Selector for the built-in policies, used by the scenario engine and harness binaries.
+///
+/// Serializes as its display name (the same string [`PolicyKind::name`] returns), so JSON
+/// result rows are tagged `"pliant"`, `"precise"`, etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PolicyKind {
     /// The Pliant runtime (incremental approximation + core reclamation).
+    #[serde(rename = "pliant")]
     Pliant,
     /// The paper's baseline: precise execution, static fair allocation.
+    #[serde(rename = "precise")]
     Precise,
     /// Ablation: every application statically pinned to its most approximate variant.
+    #[serde(rename = "static-most-approx")]
     StaticMostApproximate,
     /// Ablation: core reclamation only, no approximation.
+    #[serde(rename = "reclaim-only")]
     ReclaimOnly,
 }
 
 impl PolicyKind {
+    /// Every built-in policy, in comparison order (baseline last).
+    pub fn all() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Pliant,
+            PolicyKind::Precise,
+            PolicyKind::StaticMostApproximate,
+            PolicyKind::ReclaimOnly,
+        ]
+    }
     /// Instantiates the policy for a co-location with the given per-application variant
     /// counts and initial core allocations.
     pub fn build(
@@ -59,15 +75,13 @@ impl PolicyKind {
             PolicyKind::StaticMostApproximate => {
                 Box::new(StaticMostApproximatePolicy::new(variant_counts))
             }
-            PolicyKind::ReclaimOnly => Box::new(ReclaimOnlyPolicy::new(
-                config,
-                initial_cores,
-                start_pointer,
-            )),
+            PolicyKind::ReclaimOnly => {
+                Box::new(ReclaimOnlyPolicy::new(config, initial_cores, start_pointer))
+            }
         }
     }
 
-    /// Short name used in result rows.
+    /// Short name used in result rows (also the serialized representation).
     pub fn name(&self) -> &'static str {
         match self {
             PolicyKind::Pliant => "pliant",
@@ -75,6 +89,12 @@ impl PolicyKind {
             PolicyKind::StaticMostApproximate => "static-most-approx",
             PolicyKind::ReclaimOnly => "reclaim-only",
         }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -105,10 +125,6 @@ impl PliantPolicy {
 }
 
 impl Policy for PliantPolicy {
-    fn name(&self) -> &'static str {
-        "pliant"
-    }
-
     fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
         self.inner.decide(report)
     }
@@ -119,10 +135,6 @@ impl Policy for PliantPolicy {
 pub struct PrecisePolicy;
 
 impl Policy for PrecisePolicy {
-    fn name(&self) -> &'static str {
-        "precise"
-    }
-
     fn decide(&mut self, _report: &MonitorReport) -> Vec<Action> {
         Vec::new()
     }
@@ -152,10 +164,6 @@ impl StaticMostApproximatePolicy {
 }
 
 impl Policy for StaticMostApproximatePolicy {
-    fn name(&self) -> &'static str {
-        "static-most-approx"
-    }
-
     fn decide(&mut self, _report: &MonitorReport) -> Vec<Action> {
         std::mem::take(&mut self.pending)
     }
@@ -184,10 +192,6 @@ impl ReclaimOnlyPolicy {
 }
 
 impl Policy for ReclaimOnlyPolicy {
-    fn name(&self) -> &'static str {
-        "reclaim-only"
-    }
-
     fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
         let n = self.reclaimed.len();
         if report.qos_violated {
@@ -247,7 +251,6 @@ mod tests {
         let mut p = PrecisePolicy;
         assert!(p.decide(&violated()).is_empty());
         assert!(p.decide(&met(0.5)).is_empty());
-        assert_eq!(p.name(), "precise");
     }
 
     #[test]
@@ -257,8 +260,14 @@ mod tests {
         assert_eq!(
             first,
             vec![
-                Action::SetVariant { app: 0, variant: Some(3) },
-                Action::SetVariant { app: 2, variant: Some(1) },
+                Action::SetVariant {
+                    app: 0,
+                    variant: Some(3)
+                },
+                Action::SetVariant {
+                    app: 2,
+                    variant: Some(1)
+                },
             ]
         );
         assert!(p.decide(&violated()).is_empty());
@@ -269,22 +278,28 @@ mod tests {
         let mut p = ReclaimOnlyPolicy::new(ControllerConfig::default(), &[3], 0);
         assert_eq!(p.decide(&violated()), vec![Action::ReclaimCore { app: 0 }]);
         assert_eq!(p.decide(&violated()), vec![Action::ReclaimCore { app: 0 }]);
-        assert!(p.decide(&violated()).is_empty(), "only two cores are reclaimable from three");
+        assert!(
+            p.decide(&violated()).is_empty(),
+            "only two cores are reclaimable from three"
+        );
         assert_eq!(p.decide(&met(0.3)), vec![Action::ReturnCore { app: 0 }]);
     }
 
     #[test]
-    fn policy_kind_builds_the_right_policy() {
+    fn policy_kind_names_are_unique_and_stable() {
         for (kind, expected) in [
             (PolicyKind::Pliant, "pliant"),
             (PolicyKind::Precise, "precise"),
             (PolicyKind::StaticMostApproximate, "static-most-approx"),
             (PolicyKind::ReclaimOnly, "reclaim-only"),
         ] {
-            let policy = kind.build(ControllerConfig::default(), &[4], &[8], 0);
-            assert_eq!(policy.name(), expected);
+            let _policy = kind.build(ControllerConfig::default(), &[4], &[8], 0);
             assert_eq!(kind.name(), expected);
+            assert_eq!(kind.to_string(), expected);
         }
+        let names: std::collections::BTreeSet<&str> =
+            PolicyKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), PolicyKind::all().len());
     }
 
     #[test]

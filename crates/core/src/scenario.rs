@@ -1,0 +1,467 @@
+//! Declarative description of one co-location experiment.
+//!
+//! A [`Scenario`] is a complete, serializable description of a single run: which
+//! interactive service shares the node with which approximate applications, under which
+//! [`PolicyKind`], at what load, with which controller knobs, for how long, and from which
+//! seed. Scenarios are built with the fluent [`ScenarioBuilder`] and executed by the
+//! [`crate::engine::Engine`] (or [`Scenario::run`] for one-off runs); grids of scenarios
+//! are composed with [`crate::suite::Suite`].
+//!
+//! Scenarios are plain data — serde round-trippable — so suites can be archived next to
+//! their results and replayed bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_approx::catalog::AppId;
+use pliant_workloads::service::ServiceId;
+
+use crate::engine::Engine;
+use crate::experiment::ColocationOutcome;
+use crate::policy::PolicyKind;
+
+/// How long a scenario runs.
+///
+/// `Seconds` is the right choice for sweeps over the decision interval: it pins the
+/// simulated wall-clock horizon, so an 8 s-interval cell simulates the same amount of
+/// service time as a 1 s-interval cell instead of 8× more.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Horizon {
+    /// A fixed number of decision intervals (wall-clock horizon scales with the interval).
+    Intervals(usize),
+    /// A fixed amount of simulated wall-clock time (interval count scales inversely with
+    /// the decision interval).
+    Seconds(f64),
+}
+
+impl Horizon {
+    /// The number of decision intervals this horizon allows at interval length `dt_s`.
+    pub fn max_intervals(&self, dt_s: f64) -> usize {
+        match *self {
+            Horizon::Intervals(n) => n.max(1),
+            Horizon::Seconds(s) => ((s / dt_s).ceil() as usize).max(1),
+        }
+    }
+
+    /// The simulated wall-clock budget in seconds at interval length `dt_s`.
+    pub fn wall_clock_s(&self, dt_s: f64) -> f64 {
+        match *self {
+            Horizon::Intervals(n) => n.max(1) as f64 * dt_s,
+            Horizon::Seconds(s) => s,
+        }
+    }
+}
+
+/// A complete, serializable description of one co-location experiment.
+///
+/// Construct with [`Scenario::builder`]. All fields are public so sinks and analysis code
+/// can read them back from archived suites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Optional display label (suites set this to the cell's sweep coordinates).
+    pub label: Option<String>,
+    /// Interactive service sharing the node.
+    pub service: ServiceId,
+    /// Co-located approximate applications (at least one).
+    pub apps: Vec<AppId>,
+    /// Runtime policy managing the co-location.
+    pub policy: PolicyKind,
+    /// Offered load as a fraction of the service's saturation throughput.
+    pub load_fraction: f64,
+    /// Decision interval in seconds.
+    pub decision_interval_s: f64,
+    /// Latency-slack threshold for relaxing approximation / returning cores.
+    pub slack_threshold: f64,
+    /// Consecutive high-slack intervals required before the controller relaxes.
+    pub consecutive_slack_required: u32,
+    /// How long to simulate.
+    pub horizon: Horizon,
+    /// Whether to stop as soon as every batch application finishes.
+    pub stop_when_apps_finish: bool,
+    /// Overrides whether applications run under dynamic instrumentation. `None` picks the
+    /// policy default: instrumented for every policy except the precise baseline, which
+    /// needs no instrumentation.
+    pub instrumented: Option<bool>,
+    /// Overrides the service's QoS target in seconds (`None` = paper default).
+    pub qos_target_s: Option<f64>,
+    /// Overrides the number of latency samples delivered per decision interval.
+    pub samples_per_interval: Option<usize>,
+    /// Master seed for every stochastic component of the run.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Starts building a scenario for `service` with paper-default knobs.
+    pub fn builder(service: ServiceId) -> ScenarioBuilder {
+        ScenarioBuilder::new(service)
+    }
+
+    /// Whether the applications run instrumented (resolving the policy default).
+    pub fn effective_instrumented(&self) -> bool {
+        self.instrumented
+            .unwrap_or(self.policy != PolicyKind::Precise)
+    }
+
+    /// The number of decision intervals this scenario simulates at most.
+    pub fn max_intervals(&self) -> usize {
+        self.horizon.max_intervals(self.decision_interval_s)
+    }
+
+    /// Checks the same invariants [`ScenarioBuilder::try_build`] enforces.
+    ///
+    /// Scenarios are plain serde-able data, so a deserialized archive (or a hand-edited
+    /// one) can describe an impossible experiment; the engine re-checks this before
+    /// running.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.apps.is_empty() {
+            return Err(ScenarioError::NoApps);
+        }
+        if !(self.load_fraction > 0.0 && self.load_fraction <= 1.5) {
+            return Err(ScenarioError::InvalidLoad);
+        }
+        if !(self.decision_interval_s > 0.0 && self.decision_interval_s.is_finite()) {
+            return Err(ScenarioError::InvalidDecisionInterval);
+        }
+        let horizon_ok = match self.horizon {
+            Horizon::Intervals(n) => n > 0,
+            Horizon::Seconds(secs) => secs > 0.0 && secs.is_finite(),
+        };
+        if !horizon_ok {
+            return Err(ScenarioError::InvalidHorizon);
+        }
+        if !(self.slack_threshold >= 0.0 && self.slack_threshold.is_finite()) {
+            return Err(ScenarioError::InvalidSlackThreshold);
+        }
+        Ok(())
+    }
+
+    /// Runs this scenario on a fresh serial [`Engine`] with the paper-default catalog.
+    ///
+    /// For more than a handful of runs, build one [`Engine`] and reuse it — the engine
+    /// caches the catalog and can execute suites in parallel.
+    pub fn run(&self) -> ColocationOutcome {
+        Engine::new().run_scenario(self)
+    }
+
+    /// The label if set, otherwise a generated `service+apps/policy` description.
+    pub fn describe(&self) -> String {
+        match &self.label {
+            Some(l) => l.clone(),
+            None => {
+                let apps: Vec<&str> = self.apps.iter().map(|a| a.name()).collect();
+                format!("{}+{}/{}", self.service.name(), apps.join("+"), self.policy)
+            }
+        }
+    }
+}
+
+/// Why a [`ScenarioBuilder`] refused to produce a [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// No approximate application was added.
+    NoApps,
+    /// The load fraction is outside `(0, 1.5]`.
+    InvalidLoad,
+    /// The decision interval is not strictly positive.
+    InvalidDecisionInterval,
+    /// The horizon is empty or not finite.
+    InvalidHorizon,
+    /// The slack threshold is negative or not finite.
+    InvalidSlackThreshold,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ScenarioError::NoApps => "scenario needs at least one approximate application",
+            ScenarioError::InvalidLoad => "load fraction must be in (0, 1.5]",
+            ScenarioError::InvalidDecisionInterval => "decision interval must be positive",
+            ScenarioError::InvalidHorizon => "horizon must be positive and finite",
+            ScenarioError::InvalidSlackThreshold => "slack threshold must be non-negative",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Fluent builder for [`Scenario`] with paper-default knobs.
+///
+/// # Example
+///
+/// ```
+/// use pliant_approx::catalog::AppId;
+/// use pliant_core::policy::PolicyKind;
+/// use pliant_core::scenario::Scenario;
+/// use pliant_workloads::service::ServiceId;
+///
+/// let scenario = Scenario::builder(ServiceId::Memcached)
+///     .app(AppId::Canneal)
+///     .policy(PolicyKind::Pliant)
+///     .load(0.75)
+///     .horizon_intervals(40)
+///     .seed(7)
+///     .build();
+/// let outcome = scenario.run();
+/// assert!(outcome.intervals > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Starts from paper defaults: Pliant policy, 75% load, 1 s decisions, 10% slack
+    /// threshold, 120-interval horizon, stop when applications finish, seed 42.
+    pub fn new(service: ServiceId) -> Self {
+        ScenarioBuilder {
+            scenario: Scenario {
+                label: None,
+                service,
+                apps: Vec::new(),
+                policy: PolicyKind::Pliant,
+                load_fraction: 0.75,
+                decision_interval_s: 1.0,
+                slack_threshold: 0.10,
+                consecutive_slack_required: 2,
+                horizon: Horizon::Intervals(120),
+                stop_when_apps_finish: true,
+                instrumented: None,
+                qos_target_s: None,
+                samples_per_interval: None,
+                seed: 42,
+            },
+        }
+    }
+
+    /// Adds one co-located approximate application.
+    pub fn app(mut self, app: AppId) -> Self {
+        self.scenario.apps.push(app);
+        self
+    }
+
+    /// Adds several co-located approximate applications.
+    pub fn apps(mut self, apps: impl IntoIterator<Item = AppId>) -> Self {
+        self.scenario.apps.extend(apps);
+        self
+    }
+
+    /// Selects the runtime policy (default: [`PolicyKind::Pliant`]).
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.scenario.policy = policy;
+        self
+    }
+
+    /// Sets the offered load as a fraction of saturation throughput.
+    pub fn load(mut self, load_fraction: f64) -> Self {
+        self.scenario.load_fraction = load_fraction;
+        self
+    }
+
+    /// Sets the decision interval in seconds.
+    pub fn decision_interval_s(mut self, dt_s: f64) -> Self {
+        self.scenario.decision_interval_s = dt_s;
+        self
+    }
+
+    /// Sets the latency-slack threshold for relaxing.
+    pub fn slack_threshold(mut self, threshold: f64) -> Self {
+        self.scenario.slack_threshold = threshold;
+        self
+    }
+
+    /// Sets the relaxation hysteresis (consecutive high-slack intervals required).
+    pub fn consecutive_slack_required(mut self, intervals: u32) -> Self {
+        self.scenario.consecutive_slack_required = intervals;
+        self
+    }
+
+    /// Caps the run at a number of decision intervals.
+    pub fn horizon_intervals(mut self, intervals: usize) -> Self {
+        self.scenario.horizon = Horizon::Intervals(intervals);
+        self
+    }
+
+    /// Caps the run at a simulated wall-clock budget, independent of the decision
+    /// interval (the right horizon for decision-interval sweeps).
+    pub fn horizon_seconds(mut self, seconds: f64) -> Self {
+        self.scenario.horizon = Horizon::Seconds(seconds);
+        self
+    }
+
+    /// Sets whether the run stops as soon as every batch application finishes
+    /// (default: true).
+    pub fn stop_when_apps_finish(mut self, stop: bool) -> Self {
+        self.scenario.stop_when_apps_finish = stop;
+        self
+    }
+
+    /// Forces instrumentation on or off, overriding the policy default.
+    pub fn instrumented(mut self, instrumented: bool) -> Self {
+        self.scenario.instrumented = Some(instrumented);
+        self
+    }
+
+    /// Overrides the service's QoS target in seconds.
+    pub fn qos_target_s(mut self, qos_s: f64) -> Self {
+        self.scenario.qos_target_s = Some(qos_s);
+        self
+    }
+
+    /// Overrides the number of latency samples delivered per decision interval.
+    pub fn samples_per_interval(mut self, samples: usize) -> Self {
+        self.scenario.samples_per_interval = Some(samples);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Attaches a display label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.scenario.label = Some(label.into());
+        self
+    }
+
+    /// Validates and returns the scenario.
+    pub fn try_build(self) -> Result<Scenario, ScenarioError> {
+        self.scenario.validate()?;
+        Ok(self.scenario)
+    }
+
+    /// Validates and returns the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is invalid (no applications, non-positive load/interval/
+    /// horizon, or negative slack threshold); use [`Self::try_build`] to handle the error.
+    pub fn build(self) -> Scenario {
+        match self.try_build() {
+            Ok(s) => s,
+            Err(e) => panic!("invalid scenario: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_paper_defaults() {
+        let s = Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Canneal)
+            .build();
+        assert_eq!(s.policy, PolicyKind::Pliant);
+        assert_eq!(s.load_fraction, 0.75);
+        assert_eq!(s.decision_interval_s, 1.0);
+        assert_eq!(s.slack_threshold, 0.10);
+        assert_eq!(s.horizon, Horizon::Intervals(120));
+        assert!(s.stop_when_apps_finish);
+        assert_eq!(s.seed, 42);
+        assert!(s.effective_instrumented());
+    }
+
+    #[test]
+    fn precise_policy_defaults_to_uninstrumented() {
+        let s = Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Canneal)
+            .policy(PolicyKind::Precise)
+            .build();
+        assert!(!s.effective_instrumented());
+        let forced = Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Canneal)
+            .policy(PolicyKind::Precise)
+            .instrumented(true)
+            .build();
+        assert!(forced.effective_instrumented());
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            Scenario::builder(ServiceId::Nginx).try_build().unwrap_err(),
+            ScenarioError::NoApps
+        );
+        assert_eq!(
+            Scenario::builder(ServiceId::Nginx)
+                .app(AppId::Snp)
+                .load(0.0)
+                .try_build()
+                .unwrap_err(),
+            ScenarioError::InvalidLoad
+        );
+        assert_eq!(
+            Scenario::builder(ServiceId::Nginx)
+                .app(AppId::Snp)
+                .decision_interval_s(-1.0)
+                .try_build()
+                .unwrap_err(),
+            ScenarioError::InvalidDecisionInterval
+        );
+        assert_eq!(
+            Scenario::builder(ServiceId::Nginx)
+                .app(AppId::Snp)
+                .horizon_seconds(0.0)
+                .try_build()
+                .unwrap_err(),
+            ScenarioError::InvalidHorizon
+        );
+    }
+
+    #[test]
+    fn wall_clock_horizon_scales_interval_count() {
+        let h = Horizon::Seconds(60.0);
+        assert_eq!(h.max_intervals(1.0), 60);
+        assert_eq!(h.max_intervals(8.0), 8);
+        assert_eq!(h.max_intervals(0.2), 300);
+        assert_eq!(h.wall_clock_s(8.0), 60.0);
+        let fixed = Horizon::Intervals(60);
+        assert_eq!(fixed.max_intervals(8.0), 60);
+        assert_eq!(fixed.wall_clock_s(8.0), 480.0);
+    }
+
+    #[test]
+    fn deserialized_scenarios_are_revalidated_by_the_engine() {
+        let good = Scenario::builder(ServiceId::Nginx).app(AppId::Snp).build();
+        let mut json = serde_json::to_string(&good).expect("serializable");
+        json = json.replace("[\"Snp\"]", "[]");
+        let corrupted: Scenario = serde_json::from_str(&json).expect("structurally valid JSON");
+        assert_eq!(corrupted.validate(), Err(ScenarioError::NoApps));
+        let run = std::panic::catch_unwind(|| corrupted.run());
+        assert!(run.is_err(), "running a corrupted archive must fail loudly");
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let s = Scenario::builder(ServiceId::MongoDb)
+            .apps([AppId::Raytrace, AppId::Bayesian])
+            .policy(PolicyKind::ReclaimOnly)
+            .load(0.9)
+            .decision_interval_s(0.5)
+            .horizon_seconds(30.0)
+            .qos_target_s(0.012)
+            .samples_per_interval(500)
+            .seed(1234567890123456789)
+            .label("round-trip")
+            .build();
+        let json = serde_json::to_string_pretty(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn describe_summarizes_the_cell() {
+        let s = Scenario::builder(ServiceId::Memcached)
+            .apps([AppId::Canneal, AppId::Snp])
+            .build();
+        assert_eq!(s.describe(), "memcached+canneal+snp/pliant");
+        let labeled = Scenario::builder(ServiceId::Memcached)
+            .app(AppId::Canneal)
+            .label("cell-3")
+            .build();
+        assert_eq!(labeled.describe(), "cell-3");
+    }
+}

@@ -1,0 +1,400 @@
+//! Composable sweeps over scenario axes.
+//!
+//! A [`Suite`] is a base [`Scenario`] plus an ordered list of sweep axes (loads, decision
+//! intervals, policies, seeds, services, application sets). The suite expands into the
+//! cartesian grid of all axis values; each grid cell is a fully-specified scenario with a
+//! deterministic seed and a generated label, ready for the [`crate::engine::Engine`] to
+//! execute serially or in parallel.
+//!
+//! # Seed derivation
+//!
+//! Two modes, chosen with [`Suite::seed_mode`]:
+//!
+//! * [`SeedMode::CommonRandomNumbers`] (default): every cell shares the scenario seed
+//!   (or the seed-axis value, when a seed axis is present). Paired cells — e.g. Precise
+//!   vs Pliant at the same load — then see *identical* arrival and service-time
+//!   randomness, which is the classic variance-reduction technique for A/B comparisons
+//!   and matches how the legacy free-function drivers behaved.
+//! * [`SeedMode::Independent`]: every cell's seed is derived from the base seed and the
+//!   cell's sweep coordinates through the SplitMix64 finalizer chain, so no two cells
+//!   share an RNG stream — the right mode when aggregating across cells as if they were
+//!   independent experiments.
+//!
+//! Both modes are fully deterministic: the same suite always expands to the same
+//! scenarios with the same seeds.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_approx::catalog::AppId;
+use pliant_telemetry::rng::derive_seed;
+use pliant_workloads::service::ServiceId;
+
+use crate::policy::PolicyKind;
+use crate::scenario::Scenario;
+
+/// One sweep dimension of a [`Suite`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Vary the interactive service.
+    Services(Vec<ServiceId>),
+    /// Vary the set of co-located applications.
+    AppSets(Vec<Vec<AppId>>),
+    /// Vary the runtime policy.
+    Policies(Vec<PolicyKind>),
+    /// Vary the offered load fraction.
+    Loads(Vec<f64>),
+    /// Vary the decision interval in seconds. Combine with a wall-clock
+    /// [`crate::scenario::Horizon::Seconds`] horizon so every cell simulates the same
+    /// amount of service time.
+    DecisionIntervalsS(Vec<f64>),
+    /// Vary the base seed (replications).
+    Seeds(Vec<u64>),
+}
+
+impl SweepAxis {
+    fn len(&self) -> usize {
+        match self {
+            SweepAxis::Services(v) => v.len(),
+            SweepAxis::AppSets(v) => v.len(),
+            SweepAxis::Policies(v) => v.len(),
+            SweepAxis::Loads(v) => v.len(),
+            SweepAxis::DecisionIntervalsS(v) => v.len(),
+            SweepAxis::Seeds(v) => v.len(),
+        }
+    }
+
+    fn is_seeds(&self) -> bool {
+        matches!(self, SweepAxis::Seeds(_))
+    }
+
+    /// Applies coordinate `idx` of this axis to a scenario, returning the label fragment.
+    fn apply(&self, idx: usize, scenario: &mut Scenario) -> String {
+        match self {
+            SweepAxis::Services(v) => {
+                scenario.service = v[idx];
+                v[idx].name().to_string()
+            }
+            SweepAxis::AppSets(v) => {
+                scenario.apps = v[idx].clone();
+                let names: Vec<&str> = v[idx].iter().map(|a| a.name()).collect();
+                names.join("+")
+            }
+            SweepAxis::Policies(v) => {
+                scenario.policy = v[idx];
+                v[idx].name().to_string()
+            }
+            SweepAxis::Loads(v) => {
+                scenario.load_fraction = v[idx];
+                format!("load={:.2}", v[idx])
+            }
+            SweepAxis::DecisionIntervalsS(v) => {
+                scenario.decision_interval_s = v[idx];
+                format!("dt={}s", v[idx])
+            }
+            SweepAxis::Seeds(v) => {
+                scenario.seed = v[idx];
+                format!("seed={}", v[idx])
+            }
+        }
+    }
+}
+
+/// How a [`Suite`] assigns seeds to grid cells; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedMode {
+    /// Paired cells share randomness (the default; classic variance reduction for
+    /// Precise-vs-Pliant style comparisons).
+    CommonRandomNumbers,
+    /// Every cell gets a unique seed derived from its sweep coordinates.
+    Independent,
+}
+
+/// A base scenario plus sweep axes, expanding into a cartesian grid of scenarios.
+///
+/// # Example
+///
+/// ```
+/// use pliant_approx::catalog::AppId;
+/// use pliant_core::policy::PolicyKind;
+/// use pliant_core::scenario::Scenario;
+/// use pliant_core::suite::Suite;
+/// use pliant_workloads::service::ServiceId;
+///
+/// let suite = Suite::new(
+///     Scenario::builder(ServiceId::Nginx)
+///         .app(AppId::Canneal)
+///         .horizon_intervals(40)
+///         .build(),
+/// )
+/// .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+/// .sweep_loads([0.5, 0.75, 0.9]);
+///
+/// assert_eq!(suite.len(), 6);
+/// let cells = suite.scenarios();
+/// assert_eq!(cells[0].policy, PolicyKind::Precise);
+/// assert_eq!(cells[0].load_fraction, 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suite {
+    name: String,
+    base: Scenario,
+    seed_mode: SeedMode,
+    axes: Vec<SweepAxis>,
+}
+
+impl Suite {
+    /// Creates a suite with no sweep axes (a single-cell grid of `base`).
+    pub fn new(base: Scenario) -> Self {
+        Suite {
+            name: "suite".to_string(),
+            base,
+            seed_mode: SeedMode::CommonRandomNumbers,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Names the suite (used as the label prefix of every cell).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Selects how per-cell seeds are derived; see [`SeedMode`].
+    pub fn seed_mode(mut self, mode: SeedMode) -> Self {
+        self.seed_mode = mode;
+        self
+    }
+
+    /// Adds a sweep over interactive services.
+    pub fn for_each_service(self, services: impl IntoIterator<Item = ServiceId>) -> Self {
+        self.push_axis(SweepAxis::Services(services.into_iter().collect()))
+    }
+
+    /// Adds a sweep running each application on its own (singleton application sets).
+    pub fn for_each_app(self, apps: impl IntoIterator<Item = AppId>) -> Self {
+        self.push_axis(SweepAxis::AppSets(
+            apps.into_iter().map(|a| vec![a]).collect(),
+        ))
+    }
+
+    /// Adds a sweep over explicit application sets (multi-application mixes).
+    pub fn for_each_app_set(self, sets: impl IntoIterator<Item = Vec<AppId>>) -> Self {
+        self.push_axis(SweepAxis::AppSets(sets.into_iter().collect()))
+    }
+
+    /// Adds a sweep over policies.
+    pub fn sweep_policies(self, policies: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.push_axis(SweepAxis::Policies(policies.into_iter().collect()))
+    }
+
+    /// Adds a sweep over load fractions.
+    pub fn sweep_loads(self, loads: impl IntoIterator<Item = f64>) -> Self {
+        self.push_axis(SweepAxis::Loads(loads.into_iter().collect()))
+    }
+
+    /// Adds a sweep over decision intervals (seconds). Pair with a wall-clock horizon
+    /// ([`crate::scenario::ScenarioBuilder::horizon_seconds`]) so all cells simulate the
+    /// same amount of service time.
+    pub fn sweep_decision_intervals_s(self, intervals: impl IntoIterator<Item = f64>) -> Self {
+        self.push_axis(SweepAxis::DecisionIntervalsS(
+            intervals.into_iter().collect(),
+        ))
+    }
+
+    /// Adds a sweep over explicit base seeds (replications).
+    pub fn sweep_seeds(self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.push_axis(SweepAxis::Seeds(seeds.into_iter().collect()))
+    }
+
+    /// Adds a sweep over `count` replication seeds derived from the base scenario's seed.
+    pub fn sweep_seed_count(self, count: usize) -> Self {
+        let base = self.base.seed;
+        self.sweep_seeds((0..count as u64).map(move |i| derive_seed(base, 0x5EED_0000 + i)))
+    }
+
+    fn push_axis(mut self, axis: SweepAxis) -> Self {
+        assert!(axis.len() > 0, "sweep axes must not be empty");
+        self.axes.push(axis);
+        self
+    }
+
+    /// The suite's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base scenario the sweeps are applied to.
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// The sweep axes in application order (earlier axes vary slowest).
+    pub fn axes(&self) -> &[SweepAxis] {
+        &self.axes
+    }
+
+    /// Number of grid cells (product of axis lengths; 1 with no axes).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(SweepAxis::len).product()
+    }
+
+    /// Whether the grid is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mixed-radix coordinates of cell `index` (earlier axes vary slowest).
+    fn coords(&self, index: usize) -> Vec<usize> {
+        let mut coords = vec![0; self.axes.len()];
+        let mut rem = index;
+        for (i, axis) in self.axes.iter().enumerate().rev() {
+            coords[i] = rem % axis.len();
+            rem /= axis.len();
+        }
+        coords
+    }
+
+    /// Materializes the scenario of cell `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn scenario_at(&self, index: usize) -> Scenario {
+        assert!(index < self.len(), "cell index {index} out of range");
+        let coords = self.coords(index);
+        let mut scenario = self.base.clone();
+        let mut parts: Vec<String> = Vec::with_capacity(coords.len());
+        for (axis, &c) in self.axes.iter().zip(&coords) {
+            parts.push(axis.apply(c, &mut scenario));
+        }
+        scenario.seed = self.cell_seed(&scenario, &coords);
+        scenario.label = Some(if parts.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, parts.join("/"))
+        });
+        scenario
+    }
+
+    /// The seed of the cell at `coords` (after axis application set `scenario.seed` to
+    /// the seed-axis value, if any).
+    fn cell_seed(&self, scenario: &Scenario, coords: &[usize]) -> u64 {
+        match self.seed_mode {
+            SeedMode::CommonRandomNumbers => scenario.seed,
+            SeedMode::Independent => {
+                let mut seed = derive_seed(scenario.seed, 0x1D0_5EED);
+                for (i, (axis, &c)) in self.axes.iter().zip(coords).enumerate() {
+                    if !axis.is_seeds() {
+                        seed = derive_seed(seed, ((i as u64 + 1) << 32) | c as u64);
+                    }
+                }
+                seed
+            }
+        }
+    }
+
+    /// Materializes every cell in index order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        (0..self.len()).map(|i| self.scenario_at(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Horizon;
+
+    fn base() -> Scenario {
+        Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Canneal)
+            .horizon_intervals(30)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn cartesian_expansion_orders_cells_row_major() {
+        let suite = Suite::new(base())
+            .named("grid")
+            .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+            .sweep_loads([0.4, 0.6, 0.8]);
+        assert_eq!(suite.len(), 6);
+        let cells = suite.scenarios();
+        // First axis varies slowest.
+        assert_eq!(cells[0].policy, PolicyKind::Precise);
+        assert_eq!(cells[0].load_fraction, 0.4);
+        assert_eq!(cells[2].policy, PolicyKind::Precise);
+        assert_eq!(cells[2].load_fraction, 0.8);
+        assert_eq!(cells[3].policy, PolicyKind::Pliant);
+        assert_eq!(cells[3].load_fraction, 0.4);
+        assert_eq!(cells[5].label.as_deref(), Some("grid/pliant/load=0.80"));
+    }
+
+    #[test]
+    fn common_random_numbers_pair_cells() {
+        let suite = Suite::new(base()).sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+        let cells = suite.scenarios();
+        assert_eq!(cells[0].seed, 7);
+        assert_eq!(cells[1].seed, 7);
+    }
+
+    #[test]
+    fn independent_seeds_never_collide() {
+        let suite = Suite::new(base())
+            .seed_mode(SeedMode::Independent)
+            .for_each_service(ServiceId::all())
+            .sweep_loads([0.4, 0.6, 0.8, 1.0])
+            .sweep_seeds([7, 8, 9]);
+        let seeds: std::collections::BTreeSet<u64> =
+            suite.scenarios().iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), suite.len(), "per-cell seeds must be unique");
+    }
+
+    #[test]
+    fn seed_axis_controls_the_base_seed_under_crn() {
+        let suite = Suite::new(base())
+            .sweep_seeds([100, 200])
+            .sweep_loads([0.5, 0.9]);
+        let cells = suite.scenarios();
+        assert_eq!(cells[0].seed, 100);
+        assert_eq!(cells[1].seed, 100);
+        assert_eq!(cells[2].seed, 200);
+        assert_eq!(cells[3].seed, 200);
+    }
+
+    #[test]
+    fn interval_axis_with_wall_clock_horizon_keeps_equal_time() {
+        let base = Scenario::builder(ServiceId::Memcached)
+            .app(AppId::Canneal)
+            .horizon_seconds(60.0)
+            .build();
+        let suite = Suite::new(base).sweep_decision_intervals_s([1.0, 8.0]);
+        let cells = suite.scenarios();
+        assert_eq!(cells[0].max_intervals(), 60);
+        assert_eq!(cells[1].max_intervals(), 8);
+        assert_eq!(cells[0].horizon, Horizon::Seconds(60.0));
+        assert!((cells[1].max_intervals() as f64 * 8.0 - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_seed_replications_are_deterministic() {
+        let a = Suite::new(base()).sweep_seed_count(5).scenarios();
+        let b = Suite::new(base()).sweep_seed_count(5).scenarios();
+        assert_eq!(a, b);
+        let seeds: std::collections::BTreeSet<u64> = a.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 5);
+    }
+
+    #[test]
+    fn suite_round_trips_through_serde() {
+        let suite = Suite::new(base())
+            .named("rt")
+            .seed_mode(SeedMode::Independent)
+            .for_each_app([AppId::Canneal, AppId::Snp])
+            .sweep_loads([0.5]);
+        let json = serde_json::to_string(&suite).expect("serializable");
+        let back: Suite = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, suite);
+        assert_eq!(back.scenarios(), suite.scenarios());
+    }
+}

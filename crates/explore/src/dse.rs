@@ -132,7 +132,12 @@ pub fn explore_kernel<K: ApproxKernel + ?Sized>(
 
     let points: Vec<(f64, f64)> = admissible
         .iter()
-        .map(|&i| (measurements[i].inaccuracy_pct, measurements[i].relative_time))
+        .map(|&i| {
+            (
+                measurements[i].inaccuracy_pct,
+                measurements[i].relative_time,
+            )
+        })
         .collect();
     let near = near_pareto(&points, config.pareto_tolerance);
 
@@ -181,7 +186,10 @@ mod tests {
         let result = explore_kernel(kernel.as_ref(), &ExplorationConfig::default());
         assert_eq!(result.app, "kmeans");
         assert!(result.measurements.len() > 5);
-        assert!(result.selected_count() >= 1, "kmeans must have at least one admissible variant");
+        assert!(
+            result.selected_count() >= 1,
+            "kmeans must have at least one admissible variant"
+        );
         let variants = result.selected_variants();
         for w in variants.windows(2) {
             assert!(w[0].inaccuracy_pct <= w[1].inaccuracy_pct);
@@ -227,7 +235,13 @@ mod tests {
 
     #[test]
     fn several_representative_kernels_yield_admissible_variants() {
-        for app in [AppId::KMeans, AppId::Plsa, AppId::Hmmer, AppId::Fasta, AppId::Canneal] {
+        for app in [
+            AppId::KMeans,
+            AppId::Plsa,
+            AppId::Hmmer,
+            AppId::Fasta,
+            AppId::Canneal,
+        ] {
             let kernel = kernel_for(app, 11);
             let result = explore_kernel(kernel.as_ref(), &ExplorationConfig::default());
             assert!(

@@ -126,7 +126,10 @@ mod tests {
         for f in &frontier {
             assert!(near.contains(f), "frontier point {f} must be selected");
         }
-        assert!(near.contains(&2), "a point within 5% of the frontier should be kept");
+        assert!(
+            near.contains(&2),
+            "a point within 5% of the frontier should be kept"
+        );
     }
 
     proptest! {

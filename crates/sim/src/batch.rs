@@ -162,8 +162,8 @@ impl BatchAppState {
         };
         // Speed relative to the nominal (fair-share cores, precise, uninstrumented,
         // no interference) execution.
-        let core_speed = (self.cores as f64 / self.initial_cores as f64)
-            .powf(self.profile.parallel_efficiency);
+        let core_speed =
+            (self.cores as f64 / self.initial_cores as f64).powf(self.profile.parallel_efficiency);
         let rate = core_speed / (exec_factor * overhead * batch_slowdown.max(1.0));
         let d_progress = dt * rate / self.profile.nominal_exec_time_s;
         let d_progress = d_progress.min(1.0 - self.progress);
@@ -233,7 +233,10 @@ mod tests {
             s.advance(1.0, 1.0, t);
         }
         assert!(s.is_finished());
-        assert!(s.relative_execution_time() < 0.65, "most-approximate canneal should run much faster");
+        assert!(
+            s.relative_execution_time() < 0.65,
+            "most-approximate canneal should run much faster"
+        );
         assert!(s.inaccuracy_pct() > 3.0 && s.inaccuracy_pct() <= 5.0);
     }
 
@@ -289,7 +292,10 @@ mod tests {
             s.advance(1.0, 1.0, t);
         }
         let inacc = s.inaccuracy_pct();
-        assert!(inacc > 0.0 && inacc < most_inacc, "mixed run inaccuracy {inacc} must sit between 0 and {most_inacc}");
+        assert!(
+            inacc > 0.0 && inacc < most_inacc,
+            "mixed run inaccuracy {inacc} must sit between 0 and {most_inacc}"
+        );
     }
 
     #[test]

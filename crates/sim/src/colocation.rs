@@ -145,8 +145,12 @@ impl ColocationSim {
     ///
     /// Panics if `config.apps` is empty or names an application missing from the catalog.
     pub fn new(config: ColocationConfig, catalog: &Catalog) -> Self {
-        assert!(!config.apps.is_empty(), "at least one approximate application is required");
-        let (service_cores, per_app_cores) = config.server.fair_allocation(config.apps.len() as u32);
+        assert!(
+            !config.apps.is_empty(),
+            "at least one approximate application is required"
+        );
+        let (service_cores, per_app_cores) =
+            config.server.fair_allocation(config.apps.len() as u32);
         let apps: Vec<BatchAppState> = config
             .apps
             .iter()
@@ -201,7 +205,8 @@ impl ColocationSim {
     /// Changes the offered load mid-experiment (load sweeps).
     pub fn set_load_fraction(&mut self, load_fraction: f64) {
         self.config.load_fraction = load_fraction;
-        self.generator.set_qps(self.config.service.qps_at_load(load_fraction));
+        self.generator
+            .set_qps(self.config.service.qps_at_load(load_fraction));
     }
 
     /// Switches application `index` to the given variant (`None` = precise). Returns
@@ -246,10 +251,11 @@ impl ColocationSim {
 
         // Contention for this interval, from the live co-runners' current pressure.
         let pressures: Vec<_> = self.apps.iter().map(|a| a.current_pressure()).collect();
-        let contention =
-            self.config
-                .interference
-                .contention(&self.config.server, &self.config.service, &pressures);
+        let contention = self.config.interference.contention(
+            &self.config.server,
+            &self.config.service,
+            &pressures,
+        );
 
         // Interactive service latency for the interval.
         let arrivals = self.generator.arrivals_in(dt);
@@ -336,7 +342,10 @@ mod tests {
                 violations += 1;
             }
         }
-        (ratio_sum / intervals as f64, violations as f64 / intervals as f64)
+        (
+            ratio_sum / intervals as f64,
+            violations as f64 / intervals as f64,
+        )
     }
 
     #[test]
@@ -354,7 +363,10 @@ mod tests {
     #[test]
     fn mongodb_precise_colocation_is_borderline_or_violating() {
         let (ratio, _) = run_static(ServiceId::MongoDb, AppId::Canneal, None, 0, 20);
-        assert!(ratio > 0.95, "MongoDB + precise canneal should sit at or above QoS (ratio {ratio})");
+        assert!(
+            ratio > 0.95,
+            "MongoDB + precise canneal should sit at or above QoS (ratio {ratio})"
+        );
     }
 
     #[test]
@@ -372,8 +384,10 @@ mod tests {
     fn canneal_needs_cores_in_addition_to_approximation_for_memcached() {
         let catalog = catalog();
         let most = catalog.profile(AppId::Canneal).unwrap().most_approximate();
-        let (_, violations_without_cores) = run_static(ServiceId::Memcached, AppId::Canneal, most, 0, 20);
-        let (_, violations_with_cores) = run_static(ServiceId::Memcached, AppId::Canneal, most, 4, 20);
+        let (_, violations_without_cores) =
+            run_static(ServiceId::Memcached, AppId::Canneal, most, 0, 20);
+        let (_, violations_with_cores) =
+            run_static(ServiceId::Memcached, AppId::Canneal, most, 4, 20);
         assert!(
             violations_without_cores > 0.5,
             "approximation alone should not be enough for canneal + memcached"
@@ -397,8 +411,14 @@ mod tests {
             }
         }
         let t = finished_at.expect("raytrace should finish within 120 s");
-        let nominal = catalog().profile(AppId::Raytrace).unwrap().nominal_exec_time_s;
-        assert!(t >= nominal * 0.9 && t <= nominal * 1.6, "finish time {t} vs nominal {nominal}");
+        let nominal = catalog()
+            .profile(AppId::Raytrace)
+            .unwrap()
+            .nominal_exec_time_s;
+        assert!(
+            t >= nominal * 0.9 && t <= nominal * 1.6,
+            "finish time {t} vs nominal {nominal}"
+        );
     }
 
     #[test]
@@ -435,7 +455,11 @@ mod tests {
         assert_eq!(obs.latency_samples_s.len(), 1_000);
         assert!(obs.latency_samples_s.iter().all(|s| *s > 0.0));
         assert_eq!(obs.apps.len(), 1);
-        assert!((obs.slack_fraction() - (obs.qos_target_s - obs.p99_latency_s) / obs.qos_target_s).abs() < 1e-12);
+        assert!(
+            (obs.slack_fraction() - (obs.qos_target_s - obs.p99_latency_s) / obs.qos_target_s)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -451,7 +475,8 @@ mod tests {
 
     #[test]
     fn load_sweep_changes_utilization() {
-        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 13).with_load(0.4);
+        let cfg =
+            ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 13).with_load(0.4);
         let mut sim = ColocationSim::new(cfg, &catalog());
         let low = sim.advance(1.0).utilization;
         sim.set_load_fraction(0.95);

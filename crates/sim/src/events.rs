@@ -129,7 +129,10 @@ mod tests {
         let svc = ServiceProfile::paper_default(ServiceId::MongoDb);
         let low = simulate(&svc, &config(svc.qps_at_load(0.3), 8, 1.0, 2)).p99();
         let high = simulate(&svc, &config(svc.qps_at_load(0.95), 8, 1.0, 2)).p99();
-        assert!(high > low, "p99 at 95% load ({high}) must exceed p99 at 30% ({low})");
+        assert!(
+            high > low,
+            "p99 at 95% load ({high}) must exceed p99 at 30% ({low})"
+        );
     }
 
     #[test]

@@ -87,12 +87,14 @@ impl InterferenceModel {
         // cache they occupy; a super-linear exponent captures the fact that small
         // footprints mostly fit alongside the service while large ones thrash it.
         let llc_ratio = (corunner_llc_mb / server.llc_mb).clamp(0.0, 1.5);
-        let llc_penalty = service.llc_sensitivity * self.llc_coeff * llc_ratio.powf(self.llc_exponent);
+        let llc_penalty =
+            service.llc_sensitivity * self.llc_coeff * llc_ratio.powf(self.llc_exponent);
 
         // Memory bandwidth: penalty only once the node approaches saturation.
         let total_membw = corunner_membw + service.membw_gbps;
         let membw_utilization = total_membw / server.membw_gbps;
-        let membw_over = ((membw_utilization - self.membw_threshold) / (1.0 - self.membw_threshold))
+        let membw_over = ((membw_utilization - self.membw_threshold)
+            / (1.0 - self.membw_threshold))
             .clamp(0.0, 2.0);
         let membw_penalty = service.membw_sensitivity * self.membw_coeff * membw_over;
 
@@ -110,8 +112,7 @@ impl InterferenceModel {
         // Batch applications also suffer from the service's footprint and from each other.
         let batch_corunner_llc = corunner_llc_mb + service.llc_footprint_mb;
         let batch_slowdown = 1.0
-            + self.batch_sensitivity
-                * (batch_corunner_llc / server.llc_mb).clamp(0.0, 1.5)
+            + self.batch_sensitivity * (batch_corunner_llc / server.llc_mb).clamp(0.0, 1.5)
             + self.batch_sensitivity * 0.5 * membw_over;
 
         ContentionOutcome {

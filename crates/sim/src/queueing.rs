@@ -66,7 +66,8 @@ impl LatencyModel {
 
     /// Utilization implied by the inputs.
     pub fn utilization(service: &ServiceProfile, inputs: &LatencyInputs) -> f64 {
-        let capacity = service.per_core_rate() * inputs.cores as f64 / inputs.capacity_slowdown.max(1.0);
+        let capacity =
+            service.per_core_rate() * inputs.cores as f64 / inputs.capacity_slowdown.max(1.0);
         if capacity <= 0.0 {
             return f64::INFINITY;
         }
@@ -110,7 +111,9 @@ impl LatencyModel {
     ) -> Vec<f64> {
         let sigma = service.service_time_sigma.max(0.05);
         let median = p99_target / (sigma * Z99).exp();
-        (0..n).map(|_| sample_lognormal(rng, median, sigma)).collect()
+        (0..n)
+            .map(|_| sample_lognormal(rng, median, sigma))
+            .collect()
     }
 
     /// Convenience helper: p99 and monitor samples for one interval, deterministic in the
@@ -135,7 +138,13 @@ mod tests {
     use pliant_telemetry::stats::exact_quantile;
     use pliant_workloads::service::ServiceId;
 
-    fn inputs(service: &ServiceProfile, load: f64, cores: u32, cap: f64, direct: f64) -> LatencyInputs {
+    fn inputs(
+        service: &ServiceProfile,
+        load: f64,
+        cores: u32,
+        cap: f64,
+        direct: f64,
+    ) -> LatencyInputs {
         LatencyInputs {
             qps: service.qps_at_load(load),
             cores,
@@ -202,7 +211,10 @@ mod tests {
         let mut rng = seeded_rng(7);
         for _ in 0..200 {
             let noisy = model.p99_with_noise(&svc, &inputs(&svc, 0.75, 8, 1.0, 1.0), &mut rng);
-            assert!(noisy > det * 0.6 && noisy < det * 4.0, "noisy {noisy} vs det {det}");
+            assert!(
+                noisy > det * 0.6 && noisy < det * 4.0,
+                "noisy {noisy} vs det {det}"
+            );
         }
     }
 

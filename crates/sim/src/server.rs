@@ -95,15 +95,16 @@ impl ServerSpec {
     ///
     /// Panics if `n_apps` is zero.
     pub fn fair_allocation(&self, n_apps: u32) -> (u32, Vec<u32>) {
-        assert!(n_apps > 0, "at least one approximate application is required");
+        assert!(
+            n_apps > 0,
+            "at least one approximate application is required"
+        );
         let usable = self.usable_cores();
         let service = usable / 2;
         let batch_pool = usable - service;
         let base = batch_pool / n_apps;
         let extra = batch_pool % n_apps;
-        let per_app = (0..n_apps)
-            .map(|i| base + u32::from(i < extra))
-            .collect();
+        let per_app = (0..n_apps).map(|i| base + u32::from(i < extra)).collect();
         (service, per_app)
     }
 
@@ -113,13 +114,22 @@ impl ServerSpec {
             ("Model".to_string(), self.cpu_model.clone()),
             ("OS".to_string(), self.os.clone()),
             ("Sockets".to_string(), self.sockets.to_string()),
-            ("Cores/Socket".to_string(), self.cores_per_socket.to_string()),
-            ("Threads/Core".to_string(), self.threads_per_core.to_string()),
+            (
+                "Cores/Socket".to_string(),
+                self.cores_per_socket.to_string(),
+            ),
+            (
+                "Threads/Core".to_string(),
+                self.threads_per_core.to_string(),
+            ),
             (
                 "Base/Max Turbo Frequency".to_string(),
                 format!("{}GHz / {}GHz", self.base_freq_ghz, self.max_turbo_ghz),
             ),
-            ("L1 Inst/Data Cache".to_string(), format!("{} / {} KB", self.l1_kb, self.l1_kb)),
+            (
+                "L1 Inst/Data Cache".to_string(),
+                format!("{} / {} KB", self.l1_kb, self.l1_kb),
+            ),
             ("L2 Cache".to_string(), format!("{}KB", self.l2_kb)),
             (
                 "L3 (Last-Level) Cache".to_string(),
@@ -130,7 +140,10 @@ impl ServerSpec {
                 format!("{}GB total, {}MHz DDR4", self.memory_gib, self.memory_mhz),
             ),
             ("Disk".to_string(), self.disk.clone()),
-            ("Network Bandwidth".to_string(), format!("{}Gbps", self.network_gbps)),
+            (
+                "Network Bandwidth".to_string(),
+                format!("{}Gbps", self.network_gbps),
+            ),
         ]
     }
 }
@@ -187,7 +200,11 @@ mod tests {
     fn table1_rows_cover_every_field() {
         let rows = ServerSpec::paper_platform().table1_rows();
         assert_eq!(rows.len(), 12);
-        assert!(rows.iter().any(|(k, v)| k == "Model" && v.contains("E5-2699")));
-        assert!(rows.iter().any(|(k, v)| k.contains("L3") && v.contains("55")));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k == "Model" && v.contains("E5-2699")));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k.contains("L3") && v.contains("55")));
     }
 }

@@ -89,7 +89,11 @@ impl LatencyHistogram {
     ///
     /// Negative values are clamped to zero.
     pub fn record(&mut self, value: f64) {
-        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
         let idx = Self::bucket_index(v);
         self.buckets[idx] += 1;
         self.count += 1;
@@ -234,7 +238,10 @@ mod tests {
         assert_eq!(h.count(), 1);
         assert!((h.mean() - 42.0).abs() < 1e-9);
         let p = h.percentile(0.99);
-        assert!((p - 42.0).abs() / 42.0 < 0.05, "p99 {p} should be close to 42");
+        assert!(
+            (p - 42.0).abs() / 42.0 < 0.05,
+            "p99 {p} should be close to 42"
+        );
     }
 
     #[test]
@@ -321,6 +328,9 @@ mod tests {
             let rel = (rep - v).abs() / v;
             worst = worst.max(rel);
         }
-        assert!(worst < 2.0 / SUB_BUCKETS as f64 + 0.02, "worst relative error {worst}");
+        assert!(
+            worst < 2.0 / SUB_BUCKETS as f64 + 0.02,
+            "worst relative error {worst}"
+        );
     }
 }

@@ -150,7 +150,10 @@ mod tests {
         let mut rng = seeded_rng(7);
         let rate = 4.0;
         let n = 50_000;
-        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, rate))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
     }
 
@@ -159,8 +162,10 @@ mod tests {
         let mut rng = seeded_rng(11);
         for &lambda in &[0.5, 3.0, 20.0, 150.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| sample_poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!(
                 (mean - lambda).abs() / lambda.max(1.0) < 0.05,
                 "lambda {lambda} produced mean {mean}"
@@ -173,7 +178,9 @@ mod tests {
     #[test]
     fn lognormal_median_is_approximately_parameter() {
         let mut rng = seeded_rng(5);
-        let mut v: Vec<f64> = (0..20_001).map(|_| sample_lognormal(&mut rng, 10.0, 0.5)).collect();
+        let mut v: Vec<f64> = (0..20_001)
+            .map(|_| sample_lognormal(&mut rng, 10.0, 0.5))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         assert!((median - 10.0).abs() / 10.0 < 0.05, "median {median}");
@@ -192,7 +199,10 @@ mod tests {
         let mut rng = seeded_rng(9);
         for _ in 0..5_000 {
             let x = sample_bounded_pareto(&mut rng, 1.5, 1.0, 100.0);
-            assert!(x >= 1.0 - 1e-9 && x <= 100.0 + 1e-9, "out of bounds: {x}");
+            assert!(
+                (1.0 - 1e-9..=100.0 + 1e-9).contains(&x),
+                "out of bounds: {x}"
+            );
         }
     }
 

@@ -129,7 +129,10 @@ mod tests {
         gen.set_qps(100_000.0);
         assert_eq!(gen.qps(), 100_000.0);
         let arrivals = gen.arrivals_in(0.1);
-        assert!(arrivals > 5_000, "arrivals {arrivals} should reflect the new rate");
+        assert!(
+            arrivals > 5_000,
+            "arrivals {arrivals} should reflect the new rate"
+        );
     }
 
     #[test]

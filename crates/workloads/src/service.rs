@@ -146,7 +146,10 @@ impl ServiceProfile {
 
     /// All three paper-calibrated profiles.
     pub fn all_paper_defaults() -> Vec<ServiceProfile> {
-        ServiceId::all().into_iter().map(Self::paper_default).collect()
+        ServiceId::all()
+            .into_iter()
+            .map(Self::paper_default)
+            .collect()
     }
 
     /// Per-core service rate (requests per second per core) implied by the saturation
@@ -182,7 +185,10 @@ mod tests {
 
     #[test]
     fn paper_qos_targets() {
-        assert_eq!(ServiceProfile::paper_default(ServiceId::Nginx).qos_target_display(), 10.0);
+        assert_eq!(
+            ServiceProfile::paper_default(ServiceId::Nginx).qos_target_display(),
+            10.0
+        );
         assert_eq!(
             ServiceProfile::paper_default(ServiceId::Memcached).qos_target_display(),
             200.0

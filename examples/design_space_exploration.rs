@@ -10,11 +10,20 @@ use pliant::prelude::*;
 
 fn main() {
     let config = ExplorationConfig::default();
-    for app in [AppId::KMeans, AppId::Canneal, AppId::Raytrace, AppId::Plsa, AppId::Hmmer] {
+    for app in [
+        AppId::KMeans,
+        AppId::Canneal,
+        AppId::Raytrace,
+        AppId::Plsa,
+        AppId::Hmmer,
+    ] {
         let kernel = kernel_for(app, 2024);
         let result = explore_kernel(kernel.as_ref(), &config);
         println!("== {} ==", result.app);
-        println!("  examined configurations : {}", result.measurements.len() - 1);
+        println!(
+            "  examined configurations : {}",
+            result.measurements.len() - 1
+        );
         println!("  selected variants       : {}", result.selected_count());
         for (i, v) in result.selected_variants().iter().enumerate() {
             println!(

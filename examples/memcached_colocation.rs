@@ -56,7 +56,13 @@ fn main() {
 
     let final_state = sim.app(0);
     println!("\ncanneal finished: {}", final_state.is_finished());
-    println!("canneal execution time vs nominal: {:.2}x", final_state.relative_execution_time());
-    println!("canneal output-quality loss: {:.1}%", final_state.inaccuracy_pct());
+    println!(
+        "canneal execution time vs nominal: {:.2}x",
+        final_state.relative_execution_time()
+    );
+    println!(
+        "canneal output-quality loss: {:.1}%",
+        final_state.inaccuracy_pct()
+    );
     println!("actuator stats: {:?}", actuator.stats());
 }

@@ -7,20 +7,32 @@
 use pliant::prelude::*;
 
 fn main() {
-    let service = ServiceId::Nginx;
     let apps = [AppId::Canneal, AppId::Bayesian, AppId::Snp];
-    let options = ExperimentOptions {
-        max_intervals: 80,
-        seed: 33,
-        ..ExperimentOptions::default()
-    };
+    let suite = Suite::new(
+        Scenario::builder(ServiceId::Nginx)
+            .apps(apps)
+            .horizon_intervals(80)
+            .seed(33)
+            .build(),
+    )
+    .named("multi-tenant")
+    .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
 
-    println!("NGINX co-located with {} approximate applications\n", apps.len());
-    for policy in [PolicyKind::Precise, PolicyKind::Pliant] {
-        let outcome = run_colocation(service, &apps, policy, &options);
-        println!("policy = {}", policy.name());
-        println!("  p99 / QoS               : {:.2}x", outcome.tail_latency_ratio);
-        println!("  intervals violating QoS : {:.0}%", outcome.qos_violation_fraction * 100.0);
+    println!(
+        "NGINX co-located with {} approximate applications\n",
+        apps.len()
+    );
+    for cell in Engine::new().run_collect(&suite) {
+        let outcome = &cell.outcome;
+        println!("policy = {}", outcome.policy);
+        println!(
+            "  p99 / QoS               : {:.2}x",
+            outcome.tail_latency_ratio
+        );
+        println!(
+            "  intervals violating QoS : {:.0}%",
+            outcome.qos_violation_fraction * 100.0
+        );
         for app in &outcome.app_outcomes {
             println!(
                 "  {:<10} exec {:.2}x nominal, quality loss {:.1}%, max cores yielded {}",

@@ -1,6 +1,6 @@
-//! Quickstart: run one co-location under the Precise baseline and under Pliant, and
-//! compare the interactive service's tail latency and the approximate application's
-//! execution time / output quality.
+//! Quickstart: describe one co-location as a scenario, run it under the Precise baseline
+//! and under Pliant, and compare the interactive service's tail latency and the
+//! approximate application's execution time / output quality.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -9,28 +9,53 @@ use pliant::prelude::*;
 fn main() {
     let service = ServiceId::Memcached;
     let app = AppId::Canneal;
-    let options = ExperimentOptions {
-        max_intervals: 60,
-        seed: 7,
-        ..ExperimentOptions::default()
-    };
 
-    println!("Co-locating {} (QoS {} {}) with {}\n",
+    println!(
+        "Co-locating {} (QoS {} {}) with {}\n",
         service.name(),
         ServiceProfile::paper_default(service).qos_target_display(),
         service.display_unit(),
         app.name(),
     );
 
-    for policy in [PolicyKind::Precise, PolicyKind::Pliant] {
-        let outcome = run_colocation(service, &[app], policy, &options);
+    // One suite: the same scenario under both policies, sharing workload randomness so
+    // the comparison is paired.
+    let suite = Suite::new(
+        Scenario::builder(service)
+            .app(app)
+            .horizon_intervals(60)
+            .seed(7)
+            .build(),
+    )
+    .named("quickstart")
+    .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+
+    for cell in Engine::new().run_collect(&suite) {
+        let outcome = &cell.outcome;
         let batch = &outcome.app_outcomes[0];
-        println!("policy = {}", policy.name());
-        println!("  p99 / QoS               : {:.2}x", outcome.tail_latency_ratio);
-        println!("  intervals violating QoS : {:.0}%", outcome.qos_violation_fraction * 100.0);
-        println!("  max cores reclaimed     : {}", outcome.max_extra_service_cores);
-        println!("  {} execution time  : {:.2}x nominal", batch.app.name(), batch.relative_execution_time);
-        println!("  {} quality loss    : {:.1}%", batch.app.name(), batch.inaccuracy_pct);
+        println!("policy = {}", outcome.policy);
+        println!(
+            "  p99 / QoS               : {:.2}x",
+            outcome.tail_latency_ratio
+        );
+        println!(
+            "  intervals violating QoS : {:.0}%",
+            outcome.qos_violation_fraction * 100.0
+        );
+        println!(
+            "  max cores reclaimed     : {}",
+            outcome.max_extra_service_cores
+        );
+        println!(
+            "  {} execution time  : {:.2}x nominal",
+            batch.app.name(),
+            batch.relative_execution_time
+        );
+        println!(
+            "  {} quality loss    : {:.1}%",
+            batch.app.name(),
+            batch.inaccuracy_pct
+        );
         println!();
     }
 

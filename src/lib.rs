@@ -15,7 +15,7 @@
 //! * [`sim`] — the server, interference, queueing, and co-location simulation substrate.
 //! * [`explore`] — offline design-space exploration and pareto-frontier variant selection.
 //! * [`runtime`] — the Pliant runtime itself (monitor, actuator, controller, policies) and
-//!   the experiment drivers.
+//!   the scenario/suite/engine experiment API.
 //! * [`telemetry`] — histograms, summaries, and time-series recording.
 //!
 //! # Quickstart
@@ -23,10 +23,32 @@
 //! ```
 //! use pliant::prelude::*;
 //!
-//! let options = ExperimentOptions { max_intervals: 30, ..ExperimentOptions::default() };
-//! let outcome = run_colocation(ServiceId::MongoDb, &[AppId::Raytrace], PolicyKind::Pliant, &options);
+//! let scenario = Scenario::builder(ServiceId::MongoDb)
+//!     .app(AppId::Raytrace)
+//!     .policy(PolicyKind::Pliant)
+//!     .horizon_intervals(30)
+//!     .build();
+//! let outcome = scenario.run();
 //! println!("p99/QoS = {:.2}", outcome.tail_latency_ratio);
 //! assert!(outcome.intervals > 0);
+//! ```
+//!
+//! Grids of experiments are described with [`prelude::Suite`] and executed with
+//! [`prelude::Engine`], which can fan cells out over all cores while still streaming
+//! results in deterministic order:
+//!
+//! ```
+//! use pliant::prelude::*;
+//!
+//! let base = Scenario::builder(ServiceId::Nginx)
+//!     .app(AppId::Canneal)
+//!     .horizon_intervals(20)
+//!     .build();
+//! let suite = Suite::new(base)
+//!     .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+//!     .sweep_loads([0.5, 0.9]);
+//! let results = Engine::new().parallel().run_collect(&suite);
+//! assert_eq!(results.len(), 4);
 //! ```
 
 #![warn(missing_docs)]
@@ -43,11 +65,11 @@ pub use pliant_workloads as workloads;
 pub mod prelude {
     pub use pliant_approx::catalog::{AppId, AppProfile, Catalog};
     pub use pliant_approx::kernel::{ApproxConfig, ApproxKernel};
-    pub use pliant_core::experiment::{
-        aggregate_comparison, interval_sweep, load_sweep, run_colocation, ColocationOutcome,
-        ExperimentOptions,
-    };
+    pub use pliant_core::engine::{CellOutcome, Collector, Engine, ExecMode, ResultSink};
+    pub use pliant_core::experiment::{classify_effort, ColocationOutcome, EffortClass};
     pub use pliant_core::policy::PolicyKind;
+    pub use pliant_core::scenario::{Horizon, Scenario, ScenarioBuilder, ScenarioError};
+    pub use pliant_core::suite::{SeedMode, Suite, SweepAxis};
     pub use pliant_core::{ControllerConfig, MonitorConfig, PerformanceMonitor, PliantController};
     pub use pliant_explore::{explore_kernel, ExplorationConfig};
     pub use pliant_sim::colocation::{ColocationConfig, ColocationSim};

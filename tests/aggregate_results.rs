@@ -1,14 +1,16 @@
 //! Integration test: the paper's headline results (§6.2 / Fig. 5), asserted as shape
-//! properties on a representative subset of colocations.
+//! properties on a representative subset of colocations, driven through the
+//! Scenario/Suite/Engine API.
 
 use pliant::prelude::*;
 
-fn options(seed: u64) -> ExperimentOptions {
-    ExperimentOptions {
-        max_intervals: 60,
-        seed,
-        ..ExperimentOptions::default()
-    }
+fn scenario(service: ServiceId, app: AppId, policy: PolicyKind, seed: u64) -> Scenario {
+    Scenario::builder(service)
+        .app(app)
+        .policy(policy)
+        .horizon_intervals(60)
+        .seed(seed)
+        .build()
 }
 
 /// Representative subset spanning all four suites and the paper's named special cases.
@@ -27,57 +29,83 @@ fn representative_apps() -> [AppId; 8] {
 
 #[test]
 fn precise_baseline_violates_qos_for_cpu_bound_services() {
-    for service in [ServiceId::Nginx, ServiceId::Memcached] {
-        for app in representative_apps() {
-            let outcome = run_colocation(service, &[app], PolicyKind::Precise, &options(3));
-            assert!(
-                outcome.tail_latency_ratio > 1.0,
-                "{service} + precise {app} should violate QoS, got ratio {:.2}",
-                outcome.tail_latency_ratio
-            );
-        }
+    let engine = Engine::new().parallel();
+    let suite = Suite::new(scenario(
+        ServiceId::Nginx,
+        AppId::Canneal,
+        PolicyKind::Precise,
+        3,
+    ))
+    .named("precise-baseline")
+    .for_each_service([ServiceId::Nginx, ServiceId::Memcached])
+    .for_each_app(representative_apps());
+    for cell in engine.run_collect(&suite) {
+        assert!(
+            cell.outcome.tail_latency_ratio > 1.0,
+            "{}: precise baseline should violate QoS, got ratio {:.2}",
+            cell.scenario.describe(),
+            cell.outcome.tail_latency_ratio
+        );
     }
 }
 
 #[test]
 fn pliant_restores_qos_and_beats_the_baseline_everywhere() {
-    for service in ServiceId::all() {
-        for app in representative_apps() {
-            let precise = run_colocation(service, &[app], PolicyKind::Precise, &options(5));
-            let pliant = run_colocation(service, &[app], PolicyKind::Pliant, &options(5));
-            assert!(
-                pliant.tail_latency_ratio <= precise.tail_latency_ratio + 0.05,
-                "{service}+{app}: Pliant ({:.2}) must not exceed the precise baseline ({:.2})",
-                pliant.tail_latency_ratio,
-                precise.tail_latency_ratio
-            );
-            assert!(
-                pliant.tail_latency_ratio < 1.25,
-                "{service}+{app}: Pliant tail ratio {:.2} should be at or near QoS",
-                pliant.tail_latency_ratio
-            );
-            assert!(
-                pliant.qos_violation_fraction < 0.5,
-                "{service}+{app}: Pliant should not violate QoS in most intervals"
-            );
-        }
+    let engine = Engine::new().parallel();
+    let suite = Suite::new(scenario(
+        ServiceId::Nginx,
+        AppId::Canneal,
+        PolicyKind::Pliant,
+        5,
+    ))
+    .named("pliant-vs-precise")
+    .for_each_service(ServiceId::all())
+    .for_each_app(representative_apps())
+    .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+    let results = engine.run_collect(&suite);
+    for pair in results.chunks_exact(2) {
+        let (precise, pliant) = (&pair[0], &pair[1]);
+        let label = pliant.scenario.describe();
+        assert!(
+            pliant.outcome.tail_latency_ratio <= precise.outcome.tail_latency_ratio + 0.05,
+            "{label}: Pliant ({:.2}) must not exceed the precise baseline ({:.2})",
+            pliant.outcome.tail_latency_ratio,
+            precise.outcome.tail_latency_ratio
+        );
+        assert!(
+            pliant.outcome.tail_latency_ratio < 1.25,
+            "{label}: Pliant tail ratio {:.2} should be at or near QoS",
+            pliant.outcome.tail_latency_ratio
+        );
+        assert!(
+            pliant.outcome.qos_violation_fraction < 0.5,
+            "{label}: Pliant should not violate QoS in most intervals"
+        );
     }
 }
 
 #[test]
 fn quality_loss_stays_within_the_tolerance_band() {
+    let engine = Engine::new().parallel();
+    let suite = Suite::new(scenario(
+        ServiceId::Nginx,
+        AppId::Canneal,
+        PolicyKind::Pliant,
+        7,
+    ))
+    .named("quality-loss")
+    .for_each_service(ServiceId::all())
+    .for_each_app(representative_apps());
     let mut losses = Vec::new();
-    for service in ServiceId::all() {
-        for app in representative_apps() {
-            let pliant = run_colocation(service, &[app], PolicyKind::Pliant, &options(7));
-            for a in &pliant.app_outcomes {
-                assert!(
-                    a.inaccuracy_pct <= 5.5,
-                    "{service}+{app}: quality loss {:.1}% exceeds the ~5% threshold",
-                    a.inaccuracy_pct
-                );
-                losses.push(a.inaccuracy_pct);
-            }
+    for cell in engine.run_collect(&suite) {
+        for a in &cell.outcome.app_outcomes {
+            assert!(
+                a.inaccuracy_pct <= 5.5,
+                "{}: quality loss {:.1}% exceeds the ~5% threshold",
+                cell.scenario.describe(),
+                a.inaccuracy_pct
+            );
+            losses.push(a.inaccuracy_pct);
         }
     }
     let mean = losses.iter().sum::<f64>() / losses.len() as f64;
@@ -92,7 +120,7 @@ fn approximate_applications_keep_roughly_nominal_execution_time() {
     // The paper reports that all applications except water_spatial preserve (or improve)
     // their nominal execution time under Pliant.
     for app in [AppId::Canneal, AppId::Bayesian, AppId::Snp, AppId::Hmmer] {
-        let outcome = run_colocation(ServiceId::Nginx, &[app], PolicyKind::Pliant, &options(9));
+        let outcome = scenario(ServiceId::Nginx, app, PolicyKind::Pliant, 9).run();
         let a = &outcome.app_outcomes[0];
         assert!(
             a.relative_execution_time < 1.35,
@@ -106,9 +134,15 @@ fn approximate_applications_keep_roughly_nominal_execution_time() {
 fn water_spatial_is_the_pathological_case() {
     // water_spatial's variants barely shorten execution, so constraining its cores shows up
     // as a longer run — exactly the exception the paper calls out.
-    let outcome = run_colocation(ServiceId::Memcached, &[AppId::WaterSpatial], PolicyKind::Pliant, &options(11));
+    let outcome = scenario(
+        ServiceId::Memcached,
+        AppId::WaterSpatial,
+        PolicyKind::Pliant,
+        11,
+    )
+    .run();
     let ws = &outcome.app_outcomes[0];
-    let reference = run_colocation(ServiceId::Memcached, &[AppId::Snp], PolicyKind::Pliant, &options(11));
+    let reference = scenario(ServiceId::Memcached, AppId::Snp, PolicyKind::Pliant, 11).run();
     let snp = &reference.app_outcomes[0];
     assert!(
         ws.relative_execution_time > snp.relative_execution_time,
@@ -116,20 +150,27 @@ fn water_spatial_is_the_pathological_case() {
         ws.relative_execution_time,
         snp.relative_execution_time
     );
-    assert!(ws.instrumentation_overhead > 0.08, "water_spatial has the worst instrumentation overhead");
+    assert!(
+        ws.instrumentation_overhead > 0.08,
+        "water_spatial has the worst instrumentation overhead"
+    );
 }
 
 #[test]
 fn mongodb_is_the_most_amenable_co_runner() {
     // MongoDB rarely needs reclaimed cores; memcached almost always needs at least one.
-    let mut mongo_cores = 0u32;
-    let mut memcached_cores = 0u32;
-    for app in representative_apps() {
-        mongo_cores += run_colocation(ServiceId::MongoDb, &[app], PolicyKind::Pliant, &options(13))
-            .max_extra_service_cores;
-        memcached_cores += run_colocation(ServiceId::Memcached, &[app], PolicyKind::Pliant, &options(13))
-            .max_extra_service_cores;
-    }
+    let engine = Engine::new().parallel();
+    let cores_for = |service: ServiceId| -> u32 {
+        let suite = Suite::new(scenario(service, AppId::Canneal, PolicyKind::Pliant, 13))
+            .for_each_app(representative_apps());
+        engine
+            .run_collect(&suite)
+            .iter()
+            .map(|c| c.outcome.max_extra_service_cores)
+            .sum()
+    };
+    let mongo_cores = cores_for(ServiceId::MongoDb);
+    let memcached_cores = cores_for(ServiceId::Memcached);
     assert!(
         mongo_cores < memcached_cores,
         "MongoDB ({mongo_cores} total cores) should need fewer reclaimed cores than memcached ({memcached_cores})"

@@ -67,7 +67,7 @@ proptest! {
         let min = *reclaimed.iter().min().unwrap();
         prop_assert!(max - min <= 1, "unbalanced reclamation under pure violations: {:?}", reclaimed);
         for &r in &reclaimed {
-            prop_assert!(r <= cores - 1, "an application lost its last core");
+            prop_assert!(r < cores, "an application lost its last core");
         }
     }
 

@@ -1,25 +1,29 @@
 //! Integration tests: end-to-end determinism, load sensitivity (Fig. 8), decision-interval
-//! sensitivity (Fig. 9), and the effort breakdown (Fig. 10).
+//! sensitivity (Fig. 9), and the effort breakdown (Fig. 10), driven through the
+//! Scenario/Suite/Engine API.
 
 use pliant::prelude::*;
-use pliant::runtime::experiment::{classify_effort, EffortClass};
 
-fn options(seed: u64) -> ExperimentOptions {
-    ExperimentOptions {
-        max_intervals: 40,
-        seed,
-        ..ExperimentOptions::default()
-    }
+fn scenario(service: ServiceId, app: AppId, policy: PolicyKind, seed: u64) -> Scenario {
+    Scenario::builder(service)
+        .app(app)
+        .policy(policy)
+        .horizon_intervals(40)
+        .seed(seed)
+        .build()
 }
 
 #[test]
 fn identical_seeds_reproduce_identical_outcomes() {
-    let a = run_colocation(ServiceId::Memcached, &[AppId::Plsa], PolicyKind::Pliant, &options(123));
-    let b = run_colocation(ServiceId::Memcached, &[AppId::Plsa], PolicyKind::Pliant, &options(123));
+    let a = scenario(ServiceId::Memcached, AppId::Plsa, PolicyKind::Pliant, 123).run();
+    let b = scenario(ServiceId::Memcached, AppId::Plsa, PolicyKind::Pliant, 123).run();
     assert_eq!(a.mean_p99_s, b.mean_p99_s);
     assert_eq!(a.qos_violation_fraction, b.qos_violation_fraction);
-    assert_eq!(a.app_outcomes[0].inaccuracy_pct, b.app_outcomes[0].inaccuracy_pct);
-    let c = run_colocation(ServiceId::Memcached, &[AppId::Plsa], PolicyKind::Pliant, &options(124));
+    assert_eq!(
+        a.app_outcomes[0].inaccuracy_pct,
+        b.app_outcomes[0].inaccuracy_pct
+    );
+    let c = scenario(ServiceId::Memcached, AppId::Plsa, PolicyKind::Pliant, 124).run();
     assert_ne!(a.mean_p99_s, c.mean_p99_s, "different seeds should differ");
 }
 
@@ -27,11 +31,21 @@ fn identical_seeds_reproduce_identical_outcomes() {
 fn low_load_runs_mostly_precise_and_high_load_needs_intervention() {
     // Fig. 8: below ~60% load the approximate workload can stay (mostly) precise; at high
     // load approximation and core reclamation are required.
-    let low = load_sweep(ServiceId::Nginx, AppId::Canneal, &[0.4], &options(9));
-    let high = load_sweep(ServiceId::Nginx, AppId::Canneal, &[0.9], &options(9));
-    let (_, low_outcome) = &low[0];
-    let (_, high_outcome) = &high[0];
-    assert!(low_outcome.app_outcomes[0].inaccuracy_pct <= high_outcome.app_outcomes[0].inaccuracy_pct + 0.2);
+    let suite = Suite::new(scenario(
+        ServiceId::Nginx,
+        AppId::Canneal,
+        PolicyKind::Pliant,
+        9,
+    ))
+    .named("load-extremes")
+    .sweep_loads([0.4, 0.9]);
+    let results = Engine::new().run_collect(&suite);
+    let low_outcome = &results[0].outcome;
+    let high_outcome = &results[1].outcome;
+    assert!(
+        low_outcome.app_outcomes[0].inaccuracy_pct
+            <= high_outcome.app_outcomes[0].inaccuracy_pct + 0.2
+    );
     assert!(low_outcome.max_extra_service_cores <= high_outcome.max_extra_service_cores);
     assert!(low_outcome.tail_latency_ratio < high_outcome.tail_latency_ratio);
 }
@@ -39,10 +53,20 @@ fn low_load_runs_mostly_precise_and_high_load_needs_intervention() {
 #[test]
 fn coarse_decision_intervals_prolong_violations() {
     // Fig. 9: decision intervals above ~1 s leave the interactive service violating QoS for
-    // longer before Pliant reacts.
-    let sweep = interval_sweep(ServiceId::Memcached, AppId::Streamcluster, &[1.0, 8.0], &options(31));
-    let fine = &sweep[0].1;
-    let coarse = &sweep[1].1;
+    // longer before Pliant reacts. The wall-clock horizon is fixed so both cells simulate
+    // the same amount of service time.
+    let base = Scenario::builder(ServiceId::Memcached)
+        .app(AppId::Streamcluster)
+        .policy(PolicyKind::Pliant)
+        .horizon_seconds(40.0)
+        .seed(31)
+        .build();
+    let suite = Suite::new(base)
+        .named("interval-extremes")
+        .sweep_decision_intervals_s([1.0, 8.0]);
+    let results = Engine::new().run_collect(&suite);
+    let fine = &results[0].outcome;
+    let coarse = &results[1].outcome;
     assert!(
         fine.qos_violation_fraction <= coarse.qos_violation_fraction + 0.05,
         "1 s interval ({:.2}) should violate no more than an 8 s interval ({:.2})",
@@ -54,13 +78,22 @@ fn coarse_decision_intervals_prolong_violations() {
 #[test]
 fn effort_breakdown_matches_service_strictness() {
     // Fig. 10: memcached needs reclaimed cores more often than MongoDB.
-    let apps = [AppId::Canneal, AppId::Bayesian, AppId::Snp, AppId::Raytrace, AppId::Plsa, AppId::Hmmer];
+    let apps = [
+        AppId::Canneal,
+        AppId::Bayesian,
+        AppId::Snp,
+        AppId::Raytrace,
+        AppId::Plsa,
+        AppId::Hmmer,
+    ];
+    let engine = Engine::new().parallel();
     let needs_cores = |service: ServiceId| -> usize {
-        apps.iter()
-            .filter(|&&app| {
-                let o = run_colocation(service, &[app], PolicyKind::Pliant, &options(41));
-                classify_effort(&o) != EffortClass::ApproximationOnly
-            })
+        let suite = Suite::new(scenario(service, AppId::Canneal, PolicyKind::Pliant, 41))
+            .for_each_app(apps);
+        engine
+            .run_collect(&suite)
+            .iter()
+            .filter(|cell| classify_effort(&cell.outcome) != EffortClass::ApproximationOnly)
             .count()
     };
     let memcached = needs_cores(ServiceId::Memcached);
@@ -75,9 +108,17 @@ fn effort_breakdown_matches_service_strictness() {
 fn reclaim_only_ablation_sacrifices_more_batch_performance_than_pliant() {
     // Without approximation, restoring QoS requires taking more cores for longer, which
     // shows up as a longer batch execution time.
-    let pliant = run_colocation(ServiceId::Memcached, &[AppId::Bayesian], PolicyKind::Pliant, &options(51));
-    let reclaim_only =
-        run_colocation(ServiceId::Memcached, &[AppId::Bayesian], PolicyKind::ReclaimOnly, &options(51));
+    let suite = Suite::new(scenario(
+        ServiceId::Memcached,
+        AppId::Bayesian,
+        PolicyKind::Pliant,
+        51,
+    ))
+    .named("ablation")
+    .sweep_policies([PolicyKind::Pliant, PolicyKind::ReclaimOnly]);
+    let results = Engine::new().run_collect(&suite);
+    let pliant = &results[0].outcome;
+    let reclaim_only = &results[1].outcome;
     assert!(
         reclaim_only.max_extra_service_cores >= pliant.max_extra_service_cores,
         "reclaim-only should take at least as many cores as Pliant"

@@ -1,0 +1,130 @@
+//! Integration test: the engine's core guarantees.
+//!
+//! 1. A suite run serially and a suite run on the parallel engine must produce
+//!    byte-identical serialized outcomes, cell for cell — parallelism changes wall-clock
+//!    time, never output.
+//! 2. Per-cell seeds in `SeedMode::Independent` must never collide across sweep axes.
+//! 3. The wall-clock horizon must hold the simulated time constant across a
+//!    decision-interval sweep.
+
+use pliant::prelude::*;
+
+fn base() -> Scenario {
+    Scenario::builder(ServiceId::Memcached)
+        .app(AppId::Canneal)
+        .horizon_intervals(25)
+        .seed(2024)
+        .build()
+}
+
+fn grid() -> Suite {
+    Suite::new(base())
+        .named("determinism")
+        .for_each_service([ServiceId::Memcached, ServiceId::Nginx])
+        .for_each_app([AppId::Canneal, AppId::Snp, AppId::Bayesian])
+        .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+        .sweep_loads([0.6, 0.9])
+}
+
+#[test]
+fn parallel_engine_is_byte_identical_to_serial() {
+    let suite = grid();
+    let serial = Engine::new().run_collect(&suite);
+    let parallel = Engine::new().parallel().run_collect(&suite);
+    let two_workers = Engine::new().parallel_threads(2).run_collect(&suite);
+    assert_eq!(serial.len(), suite.len());
+    assert_eq!(parallel.len(), suite.len());
+    for ((s, p), w2) in serial.iter().zip(&parallel).zip(&two_workers) {
+        let s_json = serde_json::to_string(s).expect("serializable");
+        let p_json = serde_json::to_string(p).expect("serializable");
+        let w2_json = serde_json::to_string(w2).expect("serializable");
+        assert_eq!(
+            s_json, p_json,
+            "cell {} differs between serial and parallel",
+            s.index
+        );
+        assert_eq!(s_json, w2_json, "cell {} differs with 2 workers", s.index);
+    }
+}
+
+#[test]
+fn results_stream_in_cell_order_even_in_parallel() {
+    struct Ordered(Vec<usize>);
+    impl ResultSink for Ordered {
+        fn on_result(&mut self, index: usize, _s: &Scenario, _o: &ColocationOutcome) {
+            self.0.push(index);
+        }
+    }
+    let suite = grid();
+    let mut sink = Ordered(Vec::new());
+    Engine::new().parallel().run_suite(&suite, &mut sink);
+    let expected: Vec<usize> = (0..suite.len()).collect();
+    assert_eq!(sink.0, expected);
+}
+
+#[test]
+fn independent_seeds_do_not_collide_across_axes() {
+    let suite = grid()
+        .seed_mode(SeedMode::Independent)
+        .sweep_seeds([1, 2, 3]);
+    let scenarios = suite.scenarios();
+    let unique: std::collections::BTreeSet<u64> = scenarios.iter().map(|s| s.seed).collect();
+    assert_eq!(
+        unique.len(),
+        scenarios.len(),
+        "every cell must draw from its own RNG stream"
+    );
+}
+
+#[test]
+fn common_random_numbers_share_seeds_across_paired_cells() {
+    let suite = Suite::new(base()).sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+    let scenarios = suite.scenarios();
+    assert_eq!(scenarios[0].seed, scenarios[1].seed);
+    // And the paired cells really do see the same workload: their QoS targets and
+    // interval counts line up.
+    let results = Engine::new().run_collect(&suite);
+    assert_eq!(
+        results[0].outcome.qos_target_s,
+        results[1].outcome.qos_target_s
+    );
+}
+
+#[test]
+fn suite_expansion_is_deterministic() {
+    let a = grid().scenarios();
+    let b = grid().scenarios();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn wall_clock_horizon_is_constant_across_interval_sweep() {
+    let base = Scenario::builder(ServiceId::Memcached)
+        .app(AppId::Canneal)
+        .horizon_seconds(30.0)
+        .stop_when_apps_finish(false)
+        .build();
+    let suite = Suite::new(base)
+        .named("wall-clock")
+        .sweep_decision_intervals_s([0.5, 1.0, 3.0, 8.0]);
+    for cell in Engine::new().run_collect(&suite) {
+        let dt = cell.scenario.decision_interval_s;
+        let simulated_s = dt * cell.outcome.intervals as f64;
+        assert!(
+            (simulated_s - 30.0).abs() <= dt,
+            "dt={dt}: simulated {simulated_s:.1}s of a 30s horizon"
+        );
+    }
+}
+
+#[test]
+fn scenario_and_outcome_round_trip_through_json() {
+    let suite = Suite::new(base()).sweep_loads([0.5]);
+    let results = Engine::new().run_collect(&suite);
+    let json = serde_json::to_string(&results[0]).expect("serializable");
+    let back: CellOutcome = serde_json::from_str(&json).expect("deserializable");
+    assert_eq!(back.scenario, results[0].scenario);
+    assert_eq!(back.outcome.mean_p99_s, results[0].outcome.mean_p99_s);
+    assert_eq!(back.outcome.policy, results[0].outcome.policy);
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+}

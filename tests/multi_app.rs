@@ -1,48 +1,72 @@
-//! Integration test: multi-application colocations (§4.4, Fig. 6, Fig. 7).
+//! Integration test: multi-application colocations (§4.4, Fig. 6, Fig. 7), driven through
+//! the Scenario/Suite/Engine API.
 
 use pliant::prelude::*;
 
-fn options(seed: u64) -> ExperimentOptions {
-    ExperimentOptions {
-        max_intervals: 60,
-        seed,
-        ..ExperimentOptions::default()
-    }
+fn scenario(service: ServiceId, apps: &[AppId], seed: u64) -> Scenario {
+    Scenario::builder(service)
+        .apps(apps.iter().copied())
+        .policy(PolicyKind::Pliant)
+        .horizon_intervals(60)
+        .seed(seed)
+        .build()
 }
 
 #[test]
 fn two_way_colocation_keeps_qos_and_shares_the_burden() {
-    for service in ServiceId::all() {
-        let outcome = run_colocation(
-            service,
-            &[AppId::Canneal, AppId::Bayesian],
-            PolicyKind::Pliant,
-            &options(55),
-        );
+    let suite = Suite::new(scenario(
+        ServiceId::Nginx,
+        &[AppId::Canneal, AppId::Bayesian],
+        55,
+    ))
+    .named("two-way")
+    .for_each_service(ServiceId::all());
+    for cell in Engine::new().parallel().run_collect(&suite) {
+        let outcome = &cell.outcome;
+        let service = cell.scenario.service;
         assert!(
             outcome.tail_latency_ratio < 1.3,
             "{service}: 2-way Pliant colocation should hold the tail near QoS (got {:.2})",
             outcome.tail_latency_ratio
         );
-        let reclaimed: Vec<u32> = outcome.app_outcomes.iter().map(|a| a.max_cores_reclaimed).collect();
+        let reclaimed: Vec<u32> = outcome
+            .app_outcomes
+            .iter()
+            .map(|a| a.max_cores_reclaimed)
+            .collect();
         let spread = reclaimed.iter().max().unwrap() - reclaimed.iter().min().unwrap();
-        assert!(spread <= 2, "{service}: unbalanced core reclamation {reclaimed:?}");
-        let inaccs: Vec<f64> = outcome.app_outcomes.iter().map(|a| a.inaccuracy_pct).collect();
-        assert!(inaccs.iter().all(|&x| x <= 5.5), "{service}: inaccuracies {inaccs:?}");
+        assert!(
+            spread <= 2,
+            "{service}: unbalanced core reclamation {reclaimed:?}"
+        );
+        let inaccs: Vec<f64> = outcome
+            .app_outcomes
+            .iter()
+            .map(|a| a.inaccuracy_pct)
+            .collect();
+        assert!(
+            inaccs.iter().all(|&x| x <= 5.5),
+            "{service}: inaccuracies {inaccs:?}"
+        );
     }
 }
 
 #[test]
 fn three_way_colocation_still_meets_quality_threshold() {
-    let outcome = run_colocation(
+    let outcome = scenario(
         ServiceId::Nginx,
         &[AppId::KMeans, AppId::Snp, AppId::Hmmer],
-        PolicyKind::Pliant,
-        &options(66),
-    );
+        66,
+    )
+    .run();
     assert_eq!(outcome.app_outcomes.len(), 3);
     for a in &outcome.app_outcomes {
-        assert!(a.inaccuracy_pct <= 5.5, "{}: {:.1}%", a.app, a.inaccuracy_pct);
+        assert!(
+            a.inaccuracy_pct <= 5.5,
+            "{}: {:.1}%",
+            a.app,
+            a.inaccuracy_pct
+        );
     }
     assert!(outcome.tail_latency_ratio < 1.4);
 }
@@ -51,13 +75,15 @@ fn three_way_colocation_still_meets_quality_threshold() {
 fn more_corunners_centralize_inaccuracy_distribution() {
     // Fig. 7's observation: with more co-located applications, each sacrifices a more
     // moderate (similar) amount of quality than a lone co-runner might.
-    let single = run_colocation(ServiceId::Memcached, &[AppId::Canneal], PolicyKind::Pliant, &options(77));
-    let triple = run_colocation(
-        ServiceId::Memcached,
-        &[AppId::Canneal, AppId::Bayesian, AppId::Snp],
-        PolicyKind::Pliant,
-        &options(77),
-    );
+    let suite = Suite::new(scenario(ServiceId::Memcached, &[AppId::Canneal], 77))
+        .named("mix-size")
+        .for_each_app_set([
+            vec![AppId::Canneal],
+            vec![AppId::Canneal, AppId::Bayesian, AppId::Snp],
+        ]);
+    let results = Engine::new().run_collect(&suite);
+    let single = &results[0].outcome;
+    let triple = &results[1].outcome;
     let single_max = single
         .app_outcomes
         .iter()
@@ -78,18 +104,16 @@ fn more_corunners_centralize_inaccuracy_distribution() {
 
 #[test]
 fn precise_multi_app_baseline_is_worse_than_pliant() {
-    let precise = run_colocation(
+    let suite = Suite::new(scenario(
         ServiceId::Nginx,
         &[AppId::Canneal, AppId::Streamcluster],
-        PolicyKind::Precise,
-        &options(88),
-    );
-    let pliant = run_colocation(
-        ServiceId::Nginx,
-        &[AppId::Canneal, AppId::Streamcluster],
-        PolicyKind::Pliant,
-        &options(88),
-    );
+        88,
+    ))
+    .named("multi-baseline")
+    .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+    let results = Engine::new().run_collect(&suite);
+    let precise = &results[0].outcome;
+    let pliant = &results[1].outcome;
     assert!(precise.tail_latency_ratio > pliant.tail_latency_ratio);
     assert!(precise.qos_violation_fraction > pliant.qos_violation_fraction);
 }
