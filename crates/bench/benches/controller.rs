@@ -15,13 +15,16 @@ fn violation_report() -> MonitorReport {
         sampled: 500,
         qos_violated: true,
         slack_fraction: -1.0,
+        no_signal: false,
     }
 }
 
 fn bench_controller(c: &mut Criterion) {
     c.bench_function("single_app_controller_decision", |b| {
         b.iter(|| {
-            let mut ctrl = PliantController::new(ControllerConfig::default(), 8);
+            // Enough reclaimable cores that all 100 decisions exercise the full
+            // escalation path rather than the nothing-left-to-take early return.
+            let mut ctrl = PliantController::new(ControllerConfig::default(), 8, 128);
             for _ in 0..100 {
                 let _ = ctrl.decide(0, &violation_report());
             }

@@ -49,6 +49,9 @@ pub struct PliantController {
     variant: Option<usize>,
     /// Cores reclaimed from the application so far.
     cores_reclaimed: u32,
+    /// Cores that can still be reclaimed in total (the application keeps at least one
+    /// core, matching the simulator's one-core floor).
+    reclaimable: u32,
     /// Consecutive intervals with slack above the threshold.
     slack_streak: u32,
     /// Total decisions taken.
@@ -56,13 +59,19 @@ pub struct PliantController {
 }
 
 impl PliantController {
-    /// Creates a controller for an application with `variant_count` admissible variants.
-    pub fn new(config: ControllerConfig, variant_count: usize) -> Self {
+    /// Creates a controller for an application with `variant_count` admissible variants
+    /// holding `initial_cores` cores. The controller will reclaim at most
+    /// `initial_cores - 1` cores, mirroring the simulator's refusal to take an
+    /// application's last core — this keeps the controller's core ledger in lock-step
+    /// with the actuator instead of drifting past the floor and later emitting no-op
+    /// `ReturnCore` actions during recovery.
+    pub fn new(config: ControllerConfig, variant_count: usize, initial_cores: u32) -> Self {
         Self {
             config,
             variant_count,
             variant: None,
             cores_reclaimed: 0,
+            reclaimable: initial_cores.saturating_sub(1),
             slack_streak: 0,
             decisions: 0,
         }
@@ -102,9 +111,15 @@ impl PliantController {
     /// co-location (0 for single-application experiments).
     pub fn decide(&mut self, app: usize, report: &MonitorReport) -> Vec<Action> {
         self.decisions += 1;
+        if report.no_signal {
+            // An idle interval (no arrivals) carries no latency evidence: hold the
+            // current state and leave the slack streak as it is.
+            return Vec::new();
+        }
         if report.qos_violated {
             self.slack_streak = 0;
-            // Violation path: escalate approximation first, then cores.
+            // Violation path: escalate approximation first, then cores — but never past
+            // the one-core floor the simulator enforces.
             match (self.variant, self.most_approximate()) {
                 (current, Some(most)) if current != Some(most) => {
                     self.variant = Some(most);
@@ -113,10 +128,11 @@ impl PliantController {
                         variant: Some(most),
                     }]
                 }
-                _ => {
+                _ if self.cores_reclaimed < self.reclaimable => {
                     self.cores_reclaimed += 1;
                     vec![Action::ReclaimCore { app }]
                 }
+                _ => Vec::new(),
             }
         } else if report.slack_fraction > self.config.slack_threshold {
             self.slack_streak += 1;
@@ -164,6 +180,7 @@ mod tests {
             sampled: 100,
             qos_violated: true,
             slack_fraction: -1.0,
+            no_signal: false,
         }
     }
 
@@ -175,6 +192,7 @@ mod tests {
             sampled: 100,
             qos_violated: false,
             slack_fraction: slack,
+            no_signal: false,
         }
     }
 
@@ -189,7 +207,7 @@ mod tests {
 
     #[test]
     fn first_violation_jumps_to_most_approximate() {
-        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let mut c = PliantController::new(ControllerConfig::default(), 4, 8);
         let actions = c.decide(0, &violated());
         assert_eq!(
             actions,
@@ -203,7 +221,7 @@ mod tests {
 
     #[test]
     fn persistent_violation_reclaims_cores_incrementally() {
-        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let mut c = PliantController::new(ControllerConfig::default(), 4, 8);
         let _ = c.decide(0, &violated());
         let a2 = c.decide(0, &violated());
         let a3 = c.decide(0, &violated());
@@ -219,7 +237,7 @@ mod tests {
 
     #[test]
     fn violation_at_intermediate_variant_reverts_to_most_approximate() {
-        let mut c = PliantController::new(immediate(), 4);
+        let mut c = PliantController::new(immediate(), 4, 8);
         let _ = c.decide(0, &violated()); // -> most approximate (3)
         let _ = c.decide(0, &met(0.3)); //   -> relax to 2
         assert_eq!(c.variant(), Some(2));
@@ -235,7 +253,7 @@ mod tests {
 
     #[test]
     fn slack_returns_cores_before_relaxing_approximation() {
-        let mut c = PliantController::new(immediate(), 4);
+        let mut c = PliantController::new(immediate(), 4, 8);
         let _ = c.decide(0, &violated()); // most approx
         let _ = c.decide(0, &violated()); // reclaim core
         let first_recovery = c.decide(0, &met(0.3));
@@ -253,7 +271,7 @@ mod tests {
 
     #[test]
     fn relaxation_steps_all_the_way_back_to_precise() {
-        let mut c = PliantController::new(immediate(), 2);
+        let mut c = PliantController::new(immediate(), 2, 8);
         let _ = c.decide(0, &violated()); // -> variant 1 (most)
         let _ = c.decide(0, &met(0.5)); //   -> variant 0
         let last = c.decide(0, &met(0.5)); // -> precise
@@ -271,7 +289,7 @@ mod tests {
 
     #[test]
     fn default_hysteresis_requires_consecutive_slack_intervals() {
-        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let mut c = PliantController::new(ControllerConfig::default(), 4, 8);
         let _ = c.decide(0, &violated()); // -> most approximate
         assert!(
             c.decide(0, &met(0.3)).is_empty(),
@@ -297,7 +315,7 @@ mod tests {
 
     #[test]
     fn low_slack_holds_state() {
-        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let mut c = PliantController::new(ControllerConfig::default(), 4, 8);
         let _ = c.decide(0, &violated());
         let hold = c.decide(0, &met(0.05));
         assert!(
@@ -309,14 +327,71 @@ mod tests {
 
     #[test]
     fn application_without_variants_goes_straight_to_cores() {
-        let mut c = PliantController::new(ControllerConfig::default(), 0);
+        let mut c = PliantController::new(ControllerConfig::default(), 0, 8);
         let actions = c.decide(0, &violated());
         assert_eq!(actions, vec![Action::ReclaimCore { app: 0 }]);
     }
 
     #[test]
+    fn reclamation_ledger_caps_at_the_one_core_floor() {
+        // Regression: the ledger used to increment unconditionally, so once the
+        // application hit its one-core floor every further violation drifted the count,
+        // and recovery then burned high-slack intervals on no-op ReturnCore actions.
+        let mut c = PliantController::new(immediate(), 1, 3); // 2 reclaimable cores
+        let _ = c.decide(0, &violated()); // -> most approximate
+        assert_eq!(
+            c.decide(0, &violated()),
+            vec![Action::ReclaimCore { app: 0 }]
+        );
+        assert_eq!(
+            c.decide(0, &violated()),
+            vec![Action::ReclaimCore { app: 0 }]
+        );
+        for _ in 0..5 {
+            assert!(
+                c.decide(0, &violated()).is_empty(),
+                "nothing left to take at the floor"
+            );
+        }
+        assert_eq!(
+            c.cores_reclaimed(),
+            2,
+            "ledger must not drift past the floor"
+        );
+        // Recovery: exactly two real ReturnCore actions, then straight to relaxing the
+        // variant — no wasted intervals.
+        assert_eq!(c.decide(0, &met(0.3)), vec![Action::ReturnCore { app: 0 }]);
+        assert_eq!(c.decide(0, &met(0.3)), vec![Action::ReturnCore { app: 0 }]);
+        assert_eq!(
+            c.decide(0, &met(0.3)),
+            vec![Action::SetVariant {
+                app: 0,
+                variant: None
+            }]
+        );
+    }
+
+    #[test]
+    fn no_signal_reports_hold_state() {
+        let idle = MonitorReport {
+            p99_s: 0.005,
+            mean_s: 0.0,
+            smoothed_p99_s: 0.005,
+            sampled: 0,
+            qos_violated: false,
+            slack_fraction: 0.0,
+            no_signal: true,
+        };
+        let mut c = PliantController::new(immediate(), 4, 8);
+        let _ = c.decide(0, &violated()); // -> most approximate
+        assert!(c.decide(0, &idle).is_empty(), "idle gaps carry no evidence");
+        assert_eq!(c.variant(), Some(3));
+        assert_eq!(c.cores_reclaimed(), 0);
+    }
+
+    #[test]
     fn decision_counter_increments() {
-        let mut c = PliantController::new(ControllerConfig::default(), 4);
+        let mut c = PliantController::new(ControllerConfig::default(), 4, 8);
         let _ = c.decide(0, &met(0.0));
         let _ = c.decide(0, &met(0.0));
         assert_eq!(c.decisions(), 2);

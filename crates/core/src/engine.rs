@@ -21,11 +21,12 @@ use pliant_sim::colocation::{ColocationConfig, ColocationSim};
 use pliant_telemetry::rng::derive_seed;
 use pliant_telemetry::series::{TimeSeries, TraceBundle};
 use pliant_telemetry::stats::OnlineStats;
+use pliant_workloads::profile::LoadPhase;
 use pliant_workloads::service::ServiceProfile;
 
 use crate::actuator::Actuator;
 use crate::controller::ControllerConfig;
-use crate::experiment::{AppOutcome, ColocationOutcome};
+use crate::experiment::{AppOutcome, ColocationOutcome, PhaseQosStats};
 use crate::monitor::{MonitorConfig, PerformanceMonitor};
 use crate::scenario::Scenario;
 use crate::suite::Suite;
@@ -151,7 +152,16 @@ impl Engine {
     }
 
     /// Runs every cell of a suite, streaming outcomes into `sink` in cell-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suite violates its builder invariants (possible only for suites
+    /// deserialized from an archive; see [`Suite::validate`]) or a cell's scenario is
+    /// invalid.
     pub fn run_suite(&self, suite: &Suite, sink: &mut dyn ResultSink) {
+        if let Err(e) = suite.validate() {
+            panic!("invalid suite `{}`: {e}", suite.name());
+        }
         let scenarios = suite.scenarios();
         match self.mode {
             ExecMode::Serial => {
@@ -258,7 +268,7 @@ pub(crate) fn execute_scenario(scenario: &Scenario, catalog: &Catalog) -> Coloca
     }
     let mut config =
         ColocationConfig::paper_default(scenario.service, &scenario.apps, scenario.seed)
-            .with_load(scenario.load_fraction);
+            .with_load_profile(scenario.effective_load_profile());
     config.instrumented = scenario.effective_instrumented();
     if let Some(qos_s) = scenario.qos_target_s {
         config.service.qos_target_s = qos_s;
@@ -312,6 +322,7 @@ pub(crate) fn execute_with_config(
     let mut max_reclaimed_per_app = vec![0u32; app_ids.len()];
 
     let mut latency_series = TimeSeries::new("p99_latency_s");
+    let mut load_series = TimeSeries::new("offered_load");
     let mut cores_series = TimeSeries::new("service_extra_cores");
     let mut variant_series: Vec<TimeSeries> = app_ids
         .iter()
@@ -322,18 +333,42 @@ pub(crate) fn execute_with_config(
         .map(|id| TimeSeries::new(format!("reclaimed_{}", id.name())))
         .collect();
 
+    // Per-load-phase QoS accumulators, indexed in `LoadPhase::all()` order.
+    let mut phase_intervals = [0usize; 4];
+    let mut phase_violations = [0usize; 4];
+    let mut phase_p99_sum = [0.0f64; 4];
+    let mut phase_load_sum = [0.0f64; 4];
+
     let max_intervals = scenario.max_intervals();
+    let mut idle_intervals = 0usize;
     for _ in 0..max_intervals {
         let obs = sim.advance(scenario.decision_interval_s);
         intervals += 1;
-        p99_stats.push(obs.p99_latency_s);
-        if obs.qos_violated() {
-            violations += 1;
+        // An idle interval (zero arrivals, e.g. a load-profile trough) served no
+        // requests: there is no latency to report, so it contributes nothing to the
+        // latency/QoS statistics and shows up as 0 in the latency trace.
+        let idle = obs.arrivals == 0;
+        if idle {
+            idle_intervals += 1;
+        } else {
+            p99_stats.push(obs.p99_latency_s);
+            if obs.qos_violated() {
+                violations += 1;
+            }
+            let phase_idx = LoadPhase::all()
+                .iter()
+                .position(|p| *p == obs.load_phase)
+                .expect("every phase is enumerated");
+            phase_intervals[phase_idx] += 1;
+            phase_violations[phase_idx] += usize::from(obs.qos_violated());
+            phase_p99_sum[phase_idx] += obs.p99_latency_s;
+            phase_load_sum[phase_idx] += obs.offered_load;
         }
         let extra = sim.service_cores().saturating_sub(fair_service_cores);
         max_extra_cores = max_extra_cores.max(extra);
 
-        latency_series.push(obs.time_s, obs.p99_latency_s);
+        latency_series.push(obs.time_s, if idle { 0.0 } else { obs.p99_latency_s });
+        load_series.push(obs.time_s, obs.offered_load);
         cores_series.push(obs.time_s, extra as f64);
         for (i, status) in obs.apps.iter().enumerate() {
             // Variant index for plotting: 0 = precise, k = k-th approximate variant.
@@ -347,7 +382,11 @@ pub(crate) fn execute_with_config(
             break;
         }
 
-        // Monitor → policy → actuator, exactly once per decision interval.
+        // Monitor → policy → actuator, exactly once per decision interval. No-signal
+        // reports are passed through rather than filtered: policies that keep pending
+        // time-insensitive actions (e.g. the static-most-approximate ablation's initial
+        // pin) must still get their turn even when a run starts in an idle trough; the
+        // `Policy` contract requires treating no-signal as neither violation nor slack.
         let report = monitor.observe_interval(&obs.latency_samples_s);
         let actions = policy.decide(&report);
         actuator.apply_all(&mut sim, &actions);
@@ -367,8 +406,23 @@ pub(crate) fn execute_with_config(
         })
         .collect();
 
+    let phase_qos: Vec<PhaseQosStats> = LoadPhase::all()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| phase_intervals[*i] > 0)
+        .map(|(i, &phase)| PhaseQosStats {
+            phase,
+            intervals: phase_intervals[i],
+            qos_violations: phase_violations[i],
+            qos_violation_fraction: phase_violations[i] as f64 / phase_intervals[i] as f64,
+            mean_p99_s: phase_p99_sum[i] / phase_intervals[i] as f64,
+            mean_offered_load: phase_load_sum[i] / phase_intervals[i] as f64,
+        })
+        .collect();
+
     let mut trace = TraceBundle::new();
     trace.insert(latency_series);
+    trace.insert(load_series);
     trace.insert(cores_series);
     for s in variant_series {
         trace.insert(s);
@@ -377,18 +431,21 @@ pub(crate) fn execute_with_config(
         trace.insert(s);
     }
 
+    let busy_intervals = intervals - idle_intervals;
     let mean_p99_s = p99_stats.mean();
     ColocationOutcome {
         service: service_id,
         policy: scenario.policy,
         apps: app_ids,
         intervals,
+        idle_intervals,
         qos_target_s: service_profile.qos_target_s,
         mean_p99_s,
         max_p99_s: p99_stats.max(),
-        qos_violation_fraction: violations as f64 / intervals.max(1) as f64,
+        qos_violation_fraction: violations as f64 / busy_intervals.max(1) as f64,
         tail_latency_ratio: mean_p99_s / service_profile.qos_target_s,
         max_extra_service_cores: max_extra_cores,
+        phase_qos,
         app_outcomes,
         trace,
     }
@@ -400,6 +457,7 @@ mod tests {
     use crate::policy::PolicyKind;
     use crate::suite::SeedMode;
     use pliant_approx::catalog::AppId;
+    use pliant_workloads::profile::LoadPhase;
     use pliant_workloads::service::ServiceId;
 
     fn small_suite() -> Suite {
@@ -486,6 +544,165 @@ mod tests {
         assert!(
             result.is_err(),
             "the worker panic must propagate to the caller"
+        );
+    }
+
+    #[test]
+    fn constant_load_runs_report_a_single_steady_phase() {
+        let scenario = Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Snp)
+            .horizon_intervals(15)
+            .seed(3)
+            .build();
+        let outcome = Engine::new().run_scenario(&scenario);
+        assert_eq!(outcome.phase_qos.len(), 1);
+        let steady = &outcome.phase_qos[0];
+        assert_eq!(steady.phase, LoadPhase::Steady);
+        assert_eq!(steady.intervals, outcome.intervals);
+        assert_eq!(
+            steady.qos_violation_fraction,
+            outcome.qos_violation_fraction
+        );
+        assert!((steady.mean_offered_load - 0.75).abs() < 1e-12);
+        let load = outcome
+            .trace
+            .get("offered_load")
+            .expect("offered_load series");
+        assert_eq!(load.len(), outcome.intervals);
+        assert!(load.values().iter().all(|v| (*v - 0.75).abs() < 1e-12));
+    }
+
+    #[test]
+    fn flash_crowd_runs_split_qos_stats_by_phase() {
+        use pliant_workloads::profile::LoadProfile;
+        let scenario = Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Snp)
+            .load_profile(LoadProfile::FlashCrowd {
+                base: 0.4,
+                peak: 1.0,
+                start_s: 10.0,
+                ramp_s: 4.0,
+                hold_s: 8.0,
+                decay_s: 4.0,
+            })
+            .horizon_intervals(30)
+            .stop_when_apps_finish(false)
+            .seed(5)
+            .build();
+        let outcome = Engine::new().run_scenario(&scenario);
+        for phase in LoadPhase::all() {
+            assert!(
+                outcome.phase(phase).is_some(),
+                "a 30 s run over a 16 s transient must visit {phase}"
+            );
+        }
+        let total: usize = outcome.phase_qos.iter().map(|p| p.intervals).sum();
+        assert_eq!(total + outcome.idle_intervals, outcome.intervals);
+        let steady = outcome.phase(LoadPhase::Steady).unwrap();
+        let peak = outcome.phase(LoadPhase::Peak).unwrap();
+        assert!(peak.mean_offered_load > steady.mean_offered_load);
+    }
+
+    #[test]
+    fn idle_intervals_are_excluded_from_qos_statistics() {
+        use pliant_workloads::profile::LoadProfile;
+        let run = |to: f64| {
+            let scenario = Scenario::builder(ServiceId::Memcached)
+                .app(AppId::Canneal)
+                .policy(PolicyKind::Precise)
+                .load_profile(LoadProfile::Step {
+                    base: 0.9,
+                    to,
+                    at_s: 15.0,
+                })
+                .horizon_intervals(30)
+                .stop_when_apps_finish(false)
+                .seed(7)
+                .build();
+            Engine::new().run_scenario(&scenario)
+        };
+        let with_trough = run(0.0);
+        assert_eq!(with_trough.intervals, 30);
+        assert_eq!(with_trough.idle_intervals, 15);
+        // The busy half violates QoS under the precise baseline; the idle half must not
+        // dilute the fraction toward ~50%.
+        let busy_only = run(0.9);
+        assert_eq!(busy_only.idle_intervals, 0);
+        assert!(
+            (with_trough.qos_violation_fraction - busy_only.qos_violation_fraction).abs() < 0.15,
+            "idle intervals must not dilute the violation fraction ({} vs {})",
+            with_trough.qos_violation_fraction,
+            busy_only.qos_violation_fraction
+        );
+        let phase_total: usize = with_trough.phase_qos.iter().map(|p| p.intervals).sum();
+        assert_eq!(
+            phase_total + with_trough.idle_intervals,
+            with_trough.intervals
+        );
+        // Idle intervals report a 0 latency trace point (no requests, no tail).
+        let latency = with_trough.trace.get("p99_latency_s").unwrap().values();
+        assert!(latency[16..].iter().all(|l| *l == 0.0));
+        assert!(latency[..15].iter().all(|l| *l > 0.0));
+    }
+
+    #[test]
+    fn outcomes_from_pre_profile_archives_still_deserialize() {
+        // `phase_qos` / `idle_intervals` did not exist in earlier archives; stripping
+        // them must still yield a readable outcome (empty stats), mirroring the
+        // scenario-side legacy-archive guarantee.
+        let scenario = Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Snp)
+            .horizon_intervals(5)
+            .build();
+        let outcome = Engine::new().run_scenario(&scenario);
+        let json = serde_json::to_string(&outcome).expect("serializable");
+        let value: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let entries = match value {
+            serde::Value::Object(entries) => entries,
+            _ => panic!("outcomes serialize as objects"),
+        };
+        let legacy = serde_json::to_string(&serde::Value::Object(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "phase_qos" && k != "idle_intervals")
+                .collect(),
+        ))
+        .expect("serializable");
+        let back: ColocationOutcome =
+            serde_json::from_str(&legacy).expect("legacy outcome archives deserialize");
+        assert!(back.phase_qos.is_empty());
+        assert_eq!(back.idle_intervals, 0);
+        assert_eq!(back.intervals, outcome.intervals);
+    }
+
+    #[test]
+    fn idle_troughs_hold_controller_state() {
+        use pliant_workloads::profile::LoadProfile;
+        // Load drops to zero mid-run: the idle intervals deliver no samples, the monitor
+        // reports no-signal, and the controller must hold instead of relaxing on
+        // fabricated headroom.
+        let scenario = Scenario::builder(ServiceId::Memcached)
+            .app(AppId::Canneal)
+            .load_profile(LoadProfile::Step {
+                base: 0.9,
+                to: 0.0,
+                at_s: 15.0,
+            })
+            .horizon_intervals(30)
+            .stop_when_apps_finish(false)
+            .seed(7)
+            .build();
+        let outcome = Engine::new().run_scenario(&scenario);
+        let variants = outcome.trace.get("variant_canneal").unwrap().values();
+        let reclaimed = outcome.trace.get("reclaimed_canneal").unwrap().values();
+        assert!(
+            variants[14] > 0.0 || reclaimed[14] > 0.0,
+            "memcached at 90% load with canneal must have escalated before the drop"
+        );
+        assert!(
+            variants[16..].windows(2).all(|w| w[0] == w[1])
+                && reclaimed[16..].windows(2).all(|w| w[0] == w[1]),
+            "idle intervals carry no evidence, so the runtime must hold its state"
         );
     }
 

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use pliant_approx::catalog::AppId;
 use pliant_telemetry::series::TraceBundle;
+use pliant_workloads::profile::LoadPhase;
 use pliant_workloads::service::ServiceId;
 
 use crate::engine::Engine;
@@ -94,6 +95,27 @@ pub struct AppOutcome {
     pub instrumentation_overhead: f64,
 }
 
+/// QoS statistics aggregated over the intervals a run spent in one [`LoadPhase`].
+///
+/// Time-varying load profiles split a run into phases (steady, ramp-up, peak,
+/// ramp-down); comparing the violation rate during ramps against the steady state shows
+/// how quickly the runtime re-approximates into a transient and recovers out of it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseQosStats {
+    /// The load phase these statistics cover.
+    pub phase: LoadPhase,
+    /// Number of decision intervals spent in this phase.
+    pub intervals: usize,
+    /// Intervals in this phase that violated the QoS target.
+    pub qos_violations: usize,
+    /// `qos_violations / intervals`.
+    pub qos_violation_fraction: f64,
+    /// Mean of the per-interval p99 latencies in this phase, in seconds.
+    pub mean_p99_s: f64,
+    /// Mean offered load during this phase, as a fraction of saturation throughput.
+    pub mean_offered_load: f64,
+}
+
 /// Outcome of one co-location experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ColocationOutcome {
@@ -103,20 +125,33 @@ pub struct ColocationOutcome {
     pub policy: PolicyKind,
     /// Co-located applications.
     pub apps: Vec<AppId>,
-    /// Number of decision intervals simulated.
+    /// Number of decision intervals simulated (including idle ones).
     pub intervals: usize,
+    /// Intervals that served no requests at all (zero arrivals, e.g. the trough of a
+    /// load profile). Idle intervals carry no latency evidence, so they are excluded
+    /// from every latency/QoS statistic below. Absent in pre-profile archives
+    /// (deserializes as 0).
+    #[serde(default)]
+    pub idle_intervals: usize,
     /// QoS target in seconds.
     pub qos_target_s: f64,
-    /// Mean of the per-interval p99 latencies, in seconds.
+    /// Mean of the per-interval p99 latencies over intervals that served traffic, in
+    /// seconds.
     pub mean_p99_s: f64,
     /// Maximum per-interval p99 latency, in seconds.
     pub max_p99_s: f64,
-    /// Fraction of intervals that violated QoS.
+    /// Fraction of traffic-serving intervals that violated QoS.
     pub qos_violation_fraction: f64,
     /// `mean_p99_s / qos_target_s` — the headline tail-latency-to-QoS ratio.
     pub tail_latency_ratio: f64,
     /// Maximum number of cores the service held beyond its fair share at any point.
     pub max_extra_service_cores: u32,
+    /// QoS statistics per load phase over traffic-serving intervals, in
+    /// [`LoadPhase::all`] order, omitting phases the run never entered (constant-load
+    /// runs report a single `steady` entry). Absent in pre-profile archives
+    /// (deserializes as empty).
+    #[serde(default)]
+    pub phase_qos: Vec<PhaseQosStats>,
     /// Per-application outcomes.
     pub app_outcomes: Vec<AppOutcome>,
     /// Time series recorded during the run (tail latency, reclaimed cores, variants).
@@ -145,6 +180,11 @@ impl ColocationOutcome {
     /// Whether approximation alone (no core reclamation) was sufficient for the whole run.
     pub fn approximation_alone(&self) -> bool {
         self.max_extra_service_cores == 0
+    }
+
+    /// The QoS statistics of one load phase, if the run entered it.
+    pub fn phase(&self, phase: LoadPhase) -> Option<&PhaseQosStats> {
+        self.phase_qos.iter().find(|s| s.phase == phase)
     }
 }
 

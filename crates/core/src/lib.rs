@@ -70,9 +70,9 @@ pub mod suite;
 pub use actuator::{Action, Actuator};
 pub use controller::{ControllerConfig, PliantController};
 pub use engine::{CellOutcome, Collector, Engine, ExecMode, ResultSink};
-pub use experiment::{ColocationOutcome, ExperimentOptions};
+pub use experiment::{ColocationOutcome, ExperimentOptions, PhaseQosStats};
 pub use monitor::{MonitorConfig, PerformanceMonitor};
 pub use multi::MultiAppController;
 pub use policy::{Policy, PolicyKind, PrecisePolicy};
 pub use scenario::{Horizon, Scenario, ScenarioBuilder, ScenarioError};
-pub use suite::{SeedMode, Suite, SweepAxis};
+pub use suite::{SeedMode, Suite, SuiteError, SweepAxis};

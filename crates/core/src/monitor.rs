@@ -59,6 +59,11 @@ pub struct MonitorReport {
     pub qos_violated: bool,
     /// Latency slack relative to the QoS target (positive = headroom).
     pub slack_fraction: f64,
+    /// True when the interval delivered no latency samples at all (e.g. zero arrivals at
+    /// the trough of a diurnal profile). The report then carries the previous smoothed
+    /// estimate with zero slack, and controllers hold their state: an idle gap is not
+    /// evidence of headroom.
+    pub no_signal: bool,
 }
 
 /// The performance monitor.
@@ -106,6 +111,23 @@ impl PerformanceMonitor {
     /// the runtime acts on.
     pub fn observe_interval(&mut self, latencies_s: &[f64]) -> MonitorReport {
         self.intervals_observed += 1;
+        // An interval without a single request (idle gap / load trough) used to fall
+        // through the empty-histogram path as `p99 = 0, slack = 1.0` — maximal headroom
+        // out of thin air, driving the controller to relax exactly when it should hold.
+        // Report no-signal instead, holding the previous smoothed estimate and leaving
+        // the EWMA and the adaptive sampling state untouched.
+        if latencies_s.is_empty() {
+            let held = self.ewma.value().unwrap_or(0.0);
+            return MonitorReport {
+                p99_s: held,
+                mean_s: 0.0,
+                smoothed_p99_s: held,
+                sampled: 0,
+                qos_violated: false,
+                slack_fraction: 0.0,
+                no_signal: true,
+            };
+        }
         let rate = self.sample_rate();
         let mut hist = LatencyHistogram::new();
         let mut sum = 0.0;
@@ -124,11 +146,7 @@ impl PerformanceMonitor {
             for &l in latencies_s {
                 full.record(l * 1e6);
             }
-            let mean = if latencies_s.is_empty() {
-                0.0
-            } else {
-                latencies_s.iter().sum::<f64>() / latencies_s.len() as f64
-            };
+            let mean = latencies_s.iter().sum::<f64>() / latencies_s.len() as f64;
             (full.p99() / 1e6, mean, latencies_s.len() as u64)
         } else {
             (hist.p99() / 1e6, sum / sampled as f64, sampled)
@@ -145,6 +163,7 @@ impl PerformanceMonitor {
             sampled,
             qos_violated: p99_s > self.config.qos_target_s,
             slack_fraction: (self.config.qos_target_s - p99_s) / self.config.qos_target_s,
+            no_signal: false,
         }
     }
 }
@@ -225,11 +244,33 @@ mod tests {
     }
 
     #[test]
-    fn empty_interval_is_handled() {
+    fn empty_interval_without_history_reports_no_signal() {
         let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 9);
         let report = monitor.observe_interval(&[]);
+        assert!(report.no_signal);
         assert_eq!(report.p99_s, 0.0);
+        assert_eq!(report.sampled, 0);
         assert!(!report.qos_violated);
+        assert_eq!(
+            report.slack_fraction, 0.0,
+            "an idle gap must not read as maximal headroom"
+        );
+    }
+
+    #[test]
+    fn empty_interval_holds_the_previous_smoothed_estimate() {
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 9);
+        let busy = synthetic_interval(0.004, 0.3, 5_000, 14);
+        let before = monitor.observe_interval(&busy);
+        let idle = monitor.observe_interval(&[]);
+        assert!(idle.no_signal);
+        assert_eq!(idle.p99_s, before.smoothed_p99_s);
+        assert_eq!(idle.smoothed_p99_s, before.smoothed_p99_s);
+        assert_eq!(idle.slack_fraction, 0.0, "no fresh slack evidence");
+        // The EWMA and adaptive-sampling state are untouched by idle gaps.
+        let after = monitor.observe_interval(&busy);
+        assert_eq!(monitor.intervals_observed(), 3);
+        assert!(after.smoothed_p99_s > 0.0);
     }
 
     #[test]

@@ -117,6 +117,11 @@ impl MultiAppController {
     pub fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
         self.decisions += 1;
         let n = self.apps.len();
+        if report.no_signal {
+            // An idle interval (no arrivals) carries no latency evidence: hold every
+            // application's state and leave the slack streak as it is.
+            return Vec::new();
+        }
         if report.qos_violated {
             self.slack_streak = 0;
             // 1. Find the next application (round-robin) not yet at its most approximate
@@ -203,6 +208,7 @@ mod tests {
             sampled: 10,
             qos_violated: true,
             slack_fraction: -1.0,
+            no_signal: false,
         }
     }
 
@@ -214,6 +220,7 @@ mod tests {
             sampled: 10,
             qos_violated: false,
             slack_fraction: slack,
+            no_signal: false,
         }
     }
 
@@ -303,6 +310,27 @@ mod tests {
         let mut c = controller();
         let _ = c.decide(&violated());
         assert!(c.decide(&met(0.02)).is_empty());
+    }
+
+    #[test]
+    fn no_signal_holds_every_application() {
+        let idle = MonitorReport {
+            p99_s: 0.1,
+            mean_s: 0.0,
+            smoothed_p99_s: 0.1,
+            sampled: 0,
+            qos_violated: false,
+            slack_fraction: 0.0,
+            no_signal: true,
+        };
+        let mut c = controller();
+        let _ = c.decide(&violated());
+        let _ = c.decide(&violated());
+        let before: Vec<Option<usize>> = (0..c.app_count()).map(|i| c.variant(i)).collect();
+        assert!(c.decide(&idle).is_empty());
+        let after: Vec<Option<usize>> = (0..c.app_count()).map(|i| c.variant(i)).collect();
+        assert_eq!(before, after);
+        assert_eq!(c.total_cores_reclaimed(), 0);
     }
 
     #[test]

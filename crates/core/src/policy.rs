@@ -22,6 +22,11 @@ use crate::multi::MultiAppController;
 /// the policy.
 pub trait Policy {
     /// Decides the actions for the next interval from this interval's monitor report.
+    ///
+    /// Implementations must honour [`MonitorReport::no_signal`]: an idle interval (no
+    /// arrivals) is evidence of neither violation nor slack, so reactive state (variant
+    /// escalation/relaxation, core movement) must hold. Only pending time-insensitive
+    /// actions — like a static policy's one-shot initial pin — may still be emitted.
     fn decide(&mut self, report: &MonitorReport) -> Vec<Action>;
 }
 
@@ -194,6 +199,10 @@ impl ReclaimOnlyPolicy {
 impl Policy for ReclaimOnlyPolicy {
     fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
         let n = self.reclaimed.len();
+        if report.no_signal {
+            // No arrivals, no evidence — hold.
+            return Vec::new();
+        }
         if report.qos_violated {
             for offset in 0..n {
                 let idx = (self.pointer + offset) % n;
@@ -232,6 +241,7 @@ mod tests {
             sampled: 10,
             qos_violated: true,
             slack_fraction: -1.0,
+            no_signal: false,
         }
     }
 
@@ -243,6 +253,7 @@ mod tests {
             sampled: 10,
             qos_violated: false,
             slack_fraction: slack,
+            no_signal: false,
         }
     }
 
@@ -271,6 +282,29 @@ mod tests {
             ]
         );
         assert!(p.decide(&violated()).is_empty());
+    }
+
+    #[test]
+    fn static_policy_pins_even_through_an_idle_start() {
+        // The one-shot pin is time-insensitive: a run that begins in an idle trough
+        // (no-signal reports) must still start its applications approximated.
+        let idle = MonitorReport {
+            p99_s: 0.0,
+            mean_s: 0.0,
+            smoothed_p99_s: 0.0,
+            sampled: 0,
+            qos_violated: false,
+            slack_fraction: 0.0,
+            no_signal: true,
+        };
+        let mut p = StaticMostApproximatePolicy::new(&[4]);
+        assert_eq!(
+            p.decide(&idle),
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(3)
+            }]
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use serde::{Deserialize, Serialize};
 
 use pliant_approx::catalog::AppId;
+use pliant_workloads::profile::LoadProfile;
 use pliant_workloads::service::ServiceId;
 
 use crate::engine::Engine;
@@ -65,8 +66,13 @@ pub struct Scenario {
     pub apps: Vec<AppId>,
     /// Runtime policy managing the co-location.
     pub policy: PolicyKind,
-    /// Offered load as a fraction of the service's saturation throughput.
+    /// Offered load as a fraction of the service's saturation throughput. When
+    /// `load_profile` is set, this is only the fallback the profile overrides; see
+    /// [`Scenario::effective_load_profile`].
     pub load_fraction: f64,
+    /// Time-varying load profile (`None` = constant at `load_fraction`). Sampled by the
+    /// simulator at the start of every decision interval.
+    pub load_profile: Option<LoadProfile>,
     /// Decision interval in seconds.
     pub decision_interval_s: f64,
     /// Latency-slack threshold for relaxing approximation / returning cores.
@@ -101,6 +107,14 @@ impl Scenario {
             .unwrap_or(self.policy != PolicyKind::Precise)
     }
 
+    /// The load profile the simulator runs: the explicit `load_profile` if one is set,
+    /// otherwise constant at `load_fraction`.
+    pub fn effective_load_profile(&self) -> LoadProfile {
+        self.load_profile
+            .clone()
+            .unwrap_or_else(|| LoadProfile::constant(self.load_fraction))
+    }
+
     /// The number of decision intervals this scenario simulates at most.
     pub fn max_intervals(&self) -> usize {
         self.horizon.max_intervals(self.decision_interval_s)
@@ -130,6 +144,11 @@ impl Scenario {
         }
         if !(self.slack_threshold >= 0.0 && self.slack_threshold.is_finite()) {
             return Err(ScenarioError::InvalidSlackThreshold);
+        }
+        if let Some(profile) = &self.load_profile {
+            profile
+                .validate()
+                .map_err(ScenarioError::InvalidLoadProfile)?;
         }
         Ok(())
     }
@@ -167,18 +186,26 @@ pub enum ScenarioError {
     InvalidHorizon,
     /// The slack threshold is negative or not finite.
     InvalidSlackThreshold,
+    /// The load profile failed its own validation.
+    InvalidLoadProfile(pliant_workloads::profile::LoadProfileError),
 }
 
 impl std::fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let msg = match self {
-            ScenarioError::NoApps => "scenario needs at least one approximate application",
-            ScenarioError::InvalidLoad => "load fraction must be in (0, 1.5]",
-            ScenarioError::InvalidDecisionInterval => "decision interval must be positive",
-            ScenarioError::InvalidHorizon => "horizon must be positive and finite",
-            ScenarioError::InvalidSlackThreshold => "slack threshold must be non-negative",
-        };
-        f.write_str(msg)
+        match self {
+            ScenarioError::NoApps => {
+                f.write_str("scenario needs at least one approximate application")
+            }
+            ScenarioError::InvalidLoad => f.write_str("load fraction must be in (0, 1.5]"),
+            ScenarioError::InvalidDecisionInterval => {
+                f.write_str("decision interval must be positive")
+            }
+            ScenarioError::InvalidHorizon => f.write_str("horizon must be positive and finite"),
+            ScenarioError::InvalidSlackThreshold => {
+                f.write_str("slack threshold must be non-negative")
+            }
+            ScenarioError::InvalidLoadProfile(e) => write!(f, "invalid load profile: {e}"),
+        }
     }
 }
 
@@ -220,6 +247,7 @@ impl ScenarioBuilder {
                 apps: Vec::new(),
                 policy: PolicyKind::Pliant,
                 load_fraction: 0.75,
+                load_profile: None,
                 decision_interval_s: 1.0,
                 slack_threshold: 0.10,
                 consecutive_slack_required: 2,
@@ -251,9 +279,19 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the offered load as a fraction of saturation throughput.
+    /// Sets a constant offered load as a fraction of saturation throughput, clearing any
+    /// time-varying profile set earlier.
     pub fn load(mut self, load_fraction: f64) -> Self {
         self.scenario.load_fraction = load_fraction;
+        self.scenario.load_profile = None;
+        self
+    }
+
+    /// Sets a time-varying load profile (diurnal, flash crowd, trace, …). The profile
+    /// overrides the constant `load` for the simulator; `load_fraction` remains the
+    /// fallback if the profile is later cleared.
+    pub fn load_profile(mut self, profile: LoadProfile) -> Self {
+        self.scenario.load_profile = Some(profile);
         self
     }
 
@@ -409,6 +447,80 @@ mod tests {
                 .unwrap_err(),
             ScenarioError::InvalidHorizon
         );
+    }
+
+    #[test]
+    fn load_profile_overrides_the_constant_load() {
+        let flash = LoadProfile::FlashCrowd {
+            base: 0.4,
+            peak: 1.0,
+            start_s: 30.0,
+            ramp_s: 5.0,
+            hold_s: 10.0,
+            decay_s: 5.0,
+        };
+        let s = Scenario::builder(ServiceId::Memcached)
+            .app(AppId::Canneal)
+            .load_profile(flash.clone())
+            .build();
+        assert_eq!(s.effective_load_profile(), flash);
+        // Without a profile, the constant load is the effective profile.
+        let plain = Scenario::builder(ServiceId::Memcached)
+            .app(AppId::Canneal)
+            .load(0.6)
+            .build();
+        assert_eq!(plain.effective_load_profile(), LoadProfile::constant(0.6));
+        // `load()` clears a previously-set profile.
+        let cleared = Scenario::builder(ServiceId::Memcached)
+            .app(AppId::Canneal)
+            .load_profile(flash)
+            .load(0.5)
+            .build();
+        assert_eq!(cleared.load_profile, None);
+    }
+
+    #[test]
+    fn invalid_load_profiles_fail_validation() {
+        let err = Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Snp)
+            .load_profile(LoadProfile::Trace { points: vec![] })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidLoadProfile(_)));
+        assert!(err.to_string().contains("load profile"));
+    }
+
+    #[test]
+    fn profile_scenarios_round_trip_through_json() {
+        let s = Scenario::builder(ServiceId::Nginx)
+            .app(AppId::Canneal)
+            .load_profile(LoadProfile::Diurnal {
+                base: 0.6,
+                amplitude: 0.3,
+                period_s: 120.0,
+                phase_s: 0.0,
+            })
+            .horizon_seconds(60.0)
+            .build();
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, s);
+        // Archives written before load profiles existed (no `load_profile` key) still
+        // deserialize, defaulting to the constant load.
+        let value: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let entries = match value {
+            serde::Value::Object(entries) => entries,
+            _ => panic!("scenarios serialize as objects"),
+        };
+        let without_profile = serde::Value::Object(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "load_profile")
+                .collect(),
+        );
+        let legacy = serde_json::to_string(&without_profile).expect("serializable");
+        let old: Scenario = serde_json::from_str(&legacy).expect("legacy archives deserialize");
+        assert_eq!(old.load_profile, None);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use pliant_approx::catalog::AppId;
 use pliant_telemetry::rng::derive_seed;
+use pliant_workloads::profile::LoadProfile;
 use pliant_workloads::service::ServiceId;
 
 use crate::policy::PolicyKind;
@@ -41,8 +42,11 @@ pub enum SweepAxis {
     AppSets(Vec<Vec<AppId>>),
     /// Vary the runtime policy.
     Policies(Vec<PolicyKind>),
-    /// Vary the offered load fraction.
+    /// Vary the offered load fraction (constant over each run; clears any time-varying
+    /// profile the base scenario carries).
     Loads(Vec<f64>),
+    /// Vary the time-varying load profile (diurnal, flash crowd, trace, …).
+    LoadProfiles(Vec<LoadProfile>),
     /// Vary the decision interval in seconds. Combine with a wall-clock
     /// [`crate::scenario::Horizon::Seconds`] horizon so every cell simulates the same
     /// amount of service time.
@@ -58,6 +62,7 @@ impl SweepAxis {
             SweepAxis::AppSets(v) => v.len(),
             SweepAxis::Policies(v) => v.len(),
             SweepAxis::Loads(v) => v.len(),
+            SweepAxis::LoadProfiles(v) => v.len(),
             SweepAxis::DecisionIntervalsS(v) => v.len(),
             SweepAxis::Seeds(v) => v.len(),
         }
@@ -65,6 +70,19 @@ impl SweepAxis {
 
     fn is_seeds(&self) -> bool {
         matches!(self, SweepAxis::Seeds(_))
+    }
+
+    /// The scenario knob this axis writes. Axes writing the same knob cannot coexist in
+    /// one suite (the later one would silently overwrite the earlier in every cell).
+    fn knob(&self) -> &'static str {
+        match self {
+            SweepAxis::Services(_) => "service",
+            SweepAxis::AppSets(_) => "apps",
+            SweepAxis::Policies(_) => "policy",
+            SweepAxis::Loads(_) | SweepAxis::LoadProfiles(_) => "load",
+            SweepAxis::DecisionIntervalsS(_) => "decision-interval",
+            SweepAxis::Seeds(_) => "seed",
+        }
     }
 
     /// Applies coordinate `idx` of this axis to a scenario, returning the label fragment.
@@ -85,7 +103,12 @@ impl SweepAxis {
             }
             SweepAxis::Loads(v) => {
                 scenario.load_fraction = v[idx];
+                scenario.load_profile = None;
                 format!("load={:.2}", v[idx])
+            }
+            SweepAxis::LoadProfiles(v) => {
+                scenario.load_profile = Some(v[idx].clone());
+                format!("profile={}", v[idx].describe())
             }
             SweepAxis::DecisionIntervalsS(v) => {
                 scenario.decision_interval_s = v[idx];
@@ -98,6 +121,36 @@ impl SweepAxis {
         }
     }
 }
+
+/// Why a [`Suite`] failed [`Suite::validate`].
+///
+/// The builder methods enforce these invariants at construction, but suites are plain
+/// serde data: an archived or hand-edited suite can violate them, so the engine
+/// re-checks before executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteError {
+    /// An axis has no values (the grid would be empty).
+    EmptyAxis,
+    /// Two axes write the same scenario knob; the later one would silently overwrite
+    /// the earlier in every cell while labels still claim the full grid.
+    DuplicateKnob(&'static str),
+    /// A swept load profile fails its own validation.
+    InvalidLoadProfile(pliant_workloads::profile::LoadProfileError),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::EmptyAxis => f.write_str("sweep axes must not be empty"),
+            SuiteError::DuplicateKnob(knob) => {
+                write!(f, "two axes sweep the `{knob}` knob")
+            }
+            SuiteError::InvalidLoadProfile(e) => write!(f, "invalid load profile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
 
 /// How a [`Suite`] assigns seeds to grid cells; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -192,6 +245,28 @@ impl Suite {
         self.push_axis(SweepAxis::Loads(loads.into_iter().collect()))
     }
 
+    /// Adds a sweep over time-varying load profiles. Like every other axis this composes
+    /// with [`SeedMode`]: under common random numbers, paired cells (e.g. constant vs
+    /// flash crowd at the same seed) see identical arrival-sampling randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile fails [`LoadProfile::validate`] — the same check
+    /// [`crate::scenario::ScenarioBuilder::try_build`] applies to a directly-built
+    /// scenario, surfaced at sweep construction instead of mid-suite execution.
+    pub fn sweep_load_profiles(self, profiles: impl IntoIterator<Item = LoadProfile>) -> Self {
+        let profiles: Vec<LoadProfile> = profiles.into_iter().collect();
+        for profile in &profiles {
+            if let Err(e) = profile.validate() {
+                panic!(
+                    "invalid load profile `{}` in sweep: {e}",
+                    profile.describe()
+                );
+            }
+        }
+        self.push_axis(SweepAxis::LoadProfiles(profiles))
+    }
+
     /// Adds a sweep over decision intervals (seconds). Pair with a wall-clock horizon
     /// ([`crate::scenario::ScenarioBuilder::horizon_seconds`]) so all cells simulate the
     /// same amount of service time.
@@ -214,6 +289,19 @@ impl Suite {
 
     fn push_axis(mut self, axis: SweepAxis) -> Self {
         assert!(axis.len() > 0, "sweep axes must not be empty");
+        // Two axes writing the same scenario knob are not a cartesian product: whichever
+        // applies later silently overwrites the earlier one in every cell while the
+        // labels still claim the full grid. Reject the combination outright. (Constant
+        // loads and load profiles share one knob — fold constant loads into the profile
+        // axis as `LoadProfile::constant(...)` cells instead.)
+        assert!(
+            !self
+                .axes
+                .iter()
+                .any(|existing| existing.knob() == axis.knob()),
+            "a suite cannot sweep the `{}` knob twice; merge the values into one axis",
+            axis.knob()
+        );
         self.axes.push(axis);
         self
     }
@@ -231,6 +319,30 @@ impl Suite {
     /// The sweep axes in application order (earlier axes vary slowest).
     pub fn axes(&self) -> &[SweepAxis] {
         &self.axes
+    }
+
+    /// Re-checks the invariants the builder methods enforce (non-empty axes, one axis
+    /// per scenario knob, valid load profiles). Suites built through the fluent API
+    /// always pass; a suite deserialized from an archive may not, so
+    /// [`crate::engine::Engine::run_suite`] calls this before executing.
+    pub fn validate(&self) -> Result<(), SuiteError> {
+        let mut knobs: Vec<&'static str> = Vec::with_capacity(self.axes.len());
+        for axis in &self.axes {
+            if axis.len() == 0 {
+                return Err(SuiteError::EmptyAxis);
+            }
+            let knob = axis.knob();
+            if knobs.contains(&knob) {
+                return Err(SuiteError::DuplicateKnob(knob));
+            }
+            knobs.push(knob);
+            if let SweepAxis::LoadProfiles(profiles) = axis {
+                for profile in profiles {
+                    profile.validate().map_err(SuiteError::InvalidLoadProfile)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of grid cells (product of axis lengths; 1 with no axes).
@@ -377,12 +489,125 @@ mod tests {
     }
 
     #[test]
+    fn load_profile_axis_expands_and_labels_cells() {
+        let flash = LoadProfile::FlashCrowd {
+            base: 0.4,
+            peak: 1.0,
+            start_s: 10.0,
+            ramp_s: 2.0,
+            hold_s: 5.0,
+            decay_s: 2.0,
+        };
+        let suite = Suite::new(base())
+            .named("profiles")
+            .sweep_load_profiles([LoadProfile::constant(0.75), flash.clone()])
+            .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+        assert_eq!(suite.len(), 4);
+        let cells = suite.scenarios();
+        assert_eq!(cells[0].load_profile, Some(LoadProfile::constant(0.75)));
+        assert_eq!(cells[2].load_profile, Some(flash));
+        assert_eq!(
+            cells[3].label.as_deref(),
+            Some("profiles/profile=flash1.00@10s/pliant")
+        );
+        // CRN: paired profile cells share the base seed, exactly like any other axis.
+        assert!(cells.iter().all(|c| c.seed == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sweep the `load` knob twice")]
+    fn sweeping_loads_and_profiles_together_is_rejected() {
+        let _ = Suite::new(base())
+            .sweep_load_profiles([LoadProfile::constant(0.5)])
+            .sweep_loads([0.5, 0.9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sweep the `load` knob twice")]
+    fn sweeping_profiles_after_loads_is_rejected() {
+        let _ = Suite::new(base())
+            .sweep_loads([0.5, 0.9])
+            .sweep_load_profiles([LoadProfile::constant(0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sweep the `policy` knob twice")]
+    fn duplicate_axes_on_the_same_knob_are_rejected() {
+        let _ = Suite::new(base())
+            .sweep_policies([PolicyKind::Precise])
+            .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid load profile")]
+    fn invalid_profiles_are_rejected_at_sweep_construction() {
+        let _ = Suite::new(base()).sweep_load_profiles([LoadProfile::Trace { points: vec![] }]);
+    }
+
+    #[test]
+    fn loads_axis_clears_an_inherited_profile() {
+        let mut with_profile = base();
+        with_profile.load_profile = Some(LoadProfile::constant(0.3));
+        let suite = Suite::new(with_profile).sweep_loads([0.5, 0.9]);
+        for cell in suite.scenarios() {
+            assert_eq!(
+                cell.load_profile, None,
+                "a constant-load sweep must not be masked by the base profile"
+            );
+        }
+    }
+
+    #[test]
     fn derived_seed_replications_are_deterministic() {
         let a = Suite::new(base()).sweep_seed_count(5).scenarios();
         let b = Suite::new(base()).sweep_seed_count(5).scenarios();
         assert_eq!(a, b);
         let seeds: std::collections::BTreeSet<u64> = a.iter().map(|s| s.seed).collect();
         assert_eq!(seeds.len(), 5);
+    }
+
+    #[test]
+    fn deserialized_suites_are_revalidated_by_the_engine() {
+        // Serde bypasses the builder, so duplicate-knob archives must be caught by
+        // validate() before the engine runs a silently-masked grid.
+        let suite = Suite::new(base()).named("dup").sweep_loads([0.5, 0.9]);
+        assert_eq!(suite.validate(), Ok(()));
+        let json = serde_json::to_string(&suite).expect("serializable");
+        let value: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let entries = match value {
+            serde::Value::Object(entries) => entries,
+            _ => panic!("suites serialize as objects"),
+        };
+        let corrupted_entries: Vec<(String, serde::Value)> = entries
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "axes" {
+                    let axes = match v {
+                        serde::Value::Array(mut items) => {
+                            let dup = items[0].clone();
+                            items.push(dup);
+                            items
+                        }
+                        _ => panic!("axes serialize as an array"),
+                    };
+                    (k, serde::Value::Array(axes))
+                } else {
+                    (k, v)
+                }
+            })
+            .collect();
+        let corrupted_json =
+            serde_json::to_string(&serde::Value::Object(corrupted_entries)).expect("serializable");
+        let corrupted: Suite =
+            serde_json::from_str(&corrupted_json).expect("structurally valid JSON");
+        assert_eq!(corrupted.validate(), Err(SuiteError::DuplicateKnob("load")));
+        let run = std::panic::catch_unwind(|| {
+            crate::engine::Engine::new().run_collect(&corrupted);
+        });
+        assert!(
+            run.is_err(),
+            "running a masked-grid archive must fail loudly"
+        );
     }
 
     #[test]

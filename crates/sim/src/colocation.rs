@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use pliant_approx::catalog::{AppId, AppProfile, Catalog};
 use pliant_telemetry::rng::{derive_seed, seeded_rng};
 use pliant_workloads::generator::OpenLoopGenerator;
+use pliant_workloads::profile::{LoadPhase, LoadProfile};
 use pliant_workloads::service::{ServiceId, ServiceProfile};
 use rand::rngs::SmallRng;
 
@@ -20,14 +21,15 @@ use crate::queueing::{LatencyInputs, LatencyModel};
 use crate::server::ServerSpec;
 
 /// Configuration of one co-location experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ColocationConfig {
     /// Platform model.
     pub server: ServerSpec,
     /// Interactive service model.
     pub service: ServiceProfile,
-    /// Offered load as a fraction of the service's saturation throughput.
-    pub load_fraction: f64,
+    /// Offered load over simulated time, as a fraction of the service's saturation
+    /// throughput. Sampled at the start of every decision interval.
+    pub load: LoadProfile,
     /// Approximate applications co-scheduled with the service.
     pub apps: Vec<AppId>,
     /// Whether the approximate applications run under the dynamic-instrumentation tool
@@ -43,6 +45,39 @@ pub struct ColocationConfig {
     pub seed: u64,
 }
 
+// Hand-written to keep pre-profile archives readable: configurations serialized before
+// `load: LoadProfile` existed carry a scalar `load_fraction` field instead, which maps
+// onto a constant profile.
+impl serde::Deserialize for ColocationConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: serde::Deserialize>(
+            value: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            T::from_value(
+                value
+                    .get(name)
+                    .ok_or_else(|| serde::Error::missing_field("ColocationConfig", name))?,
+            )
+        }
+        let load = match value.get("load") {
+            Some(profile) => LoadProfile::from_value(profile)?,
+            None => LoadProfile::constant(field::<f64>(value, "load_fraction")?),
+        };
+        Ok(Self {
+            server: field(value, "server")?,
+            service: field(value, "service")?,
+            load,
+            apps: field(value, "apps")?,
+            instrumented: field(value, "instrumented")?,
+            interference: field(value, "interference")?,
+            latency: field(value, "latency")?,
+            samples_per_interval: field(value, "samples_per_interval")?,
+            seed: field(value, "seed")?,
+        })
+    }
+}
+
 impl ColocationConfig {
     /// Paper-default configuration: high load (75% of saturation), paper platform,
     /// instrumented applications.
@@ -50,7 +85,7 @@ impl ColocationConfig {
         Self {
             server: ServerSpec::paper_platform(),
             service: ServiceProfile::paper_default(service),
-            load_fraction: 0.75,
+            load: LoadProfile::constant(0.75),
             apps: apps.to_vec(),
             instrumented: true,
             interference: InterferenceModel::default(),
@@ -60,9 +95,16 @@ impl ColocationConfig {
         }
     }
 
-    /// Same as [`Self::paper_default`] but with a custom load fraction (for Fig. 8).
+    /// Same as [`Self::paper_default`] but with a custom constant load fraction (for
+    /// Fig. 8).
     pub fn with_load(mut self, load_fraction: f64) -> Self {
-        self.load_fraction = load_fraction;
+        self.load = LoadProfile::constant(load_fraction);
+        self
+    }
+
+    /// Same as [`Self::paper_default`] but with a time-varying load profile.
+    pub fn with_load_profile(mut self, profile: LoadProfile) -> Self {
+        self.load = profile;
         self
     }
 
@@ -78,6 +120,14 @@ impl ColocationConfig {
 pub struct IntervalObservation {
     /// Experiment time at the end of the interval, in seconds.
     pub time_s: f64,
+    /// Offered load during the interval (the profile sampled at the interval start), as a
+    /// fraction of saturation throughput.
+    pub offered_load: f64,
+    /// What the load profile was doing at the interval start (steady, ramping, peak).
+    pub load_phase: LoadPhase,
+    /// Requests that arrived during the interval. Zero marks an idle interval: no
+    /// latency samples are delivered and no latency evidence exists.
+    pub arrivals: u64,
     /// True 99th-percentile latency of the interval, in seconds.
     pub p99_latency_s: f64,
     /// The service's QoS target, in seconds.
@@ -163,7 +213,7 @@ impl ColocationSim {
                 BatchAppState::new(profile, cores, config.instrumented)
             })
             .collect();
-        let qps = config.service.qps_at_load(config.load_fraction);
+        let qps = config.service.qps_at_load(config.load.load_at(0.0));
         let generator = OpenLoopGenerator::new(qps, derive_seed(config.seed, 1));
         let rng = seeded_rng(derive_seed(config.seed, 2));
         Self {
@@ -202,11 +252,17 @@ impl ColocationSim {
         &self.apps[index]
     }
 
-    /// Changes the offered load mid-experiment (load sweeps).
+    /// Pins the offered load to a constant fraction mid-experiment (load sweeps),
+    /// replacing whatever profile was active.
     pub fn set_load_fraction(&mut self, load_fraction: f64) {
-        self.config.load_fraction = load_fraction;
-        self.generator
-            .set_qps(self.config.service.qps_at_load(load_fraction));
+        self.set_load_profile(LoadProfile::constant(load_fraction));
+    }
+
+    /// Replaces the load profile mid-experiment. The profile is evaluated against total
+    /// experiment time, not time since the swap; [`Self::advance`] samples it (and sets
+    /// the generator's rate) at the start of the next interval.
+    pub fn set_load_profile(&mut self, profile: LoadProfile) {
+        self.config.load = profile;
     }
 
     /// Switches application `index` to the given variant (`None` = precise). Returns
@@ -246,6 +302,20 @@ impl ColocationSim {
     /// interval's observation.
     pub fn advance(&mut self, dt: f64) -> IntervalObservation {
         assert!(dt > 0.0, "interval must be positive");
+        // Sample the load profile at the interval start: the generator's *rate* follows
+        // the profile while its RNG stream stays untouched, so constant profiles
+        // reproduce the exact pre-profile arrival sequences. The recorded load is
+        // clamped to what the generator actually runs at, so statistics never claim an
+        // operating point above the saturation model's ceiling.
+        let interval_start_s = self.time_s;
+        let offered_load = self
+            .config
+            .load
+            .load_at(interval_start_s)
+            .clamp(0.0, ServiceProfile::MAX_OFFERED_LOAD);
+        let load_phase = self.config.load.phase_at(interval_start_s);
+        self.generator
+            .set_qps(self.config.service.qps_at_load(offered_load));
         self.interval_counter += 1;
         self.time_s += dt;
 
@@ -270,12 +340,20 @@ impl ColocationSim {
             .config
             .latency
             .p99_with_noise(&self.config.service, &inputs, &mut self.rng);
-        let samples = self.config.latency.sample_latencies(
-            &self.config.service,
-            p99,
-            self.config.samples_per_interval,
-            &mut self.rng,
-        );
+        // An interval with zero arrivals serves no requests, so the client-side monitor
+        // receives no samples: deliver an empty set (the monitor reports no-signal and
+        // the runtime holds) instead of fabricating `samples_per_interval` synthetic
+        // low-latency samples that would read as maximal headroom at a load trough.
+        let samples = if arrivals == 0 {
+            Vec::new()
+        } else {
+            self.config.latency.sample_latencies(
+                &self.config.service,
+                p99,
+                self.config.samples_per_interval,
+                &mut self.rng,
+            )
+        };
         let utilization = LatencyModel::utilization(&self.config.service, &inputs);
 
         // Batch applications make progress under their own interference slowdown.
@@ -301,6 +379,9 @@ impl ColocationSim {
 
         IntervalObservation {
             time_s: self.time_s,
+            offered_load,
+            load_phase,
+            arrivals,
             p99_latency_s: p99,
             qos_target_s: self.config.service.qos_target_s,
             latency_samples_s: samples,
@@ -471,6 +552,113 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn flash_crowd_profile_shapes_arrivals_over_time() {
+        let profile = LoadProfile::FlashCrowd {
+            base: 0.4,
+            peak: 1.0,
+            start_s: 10.0,
+            ramp_s: 2.0,
+            hold_s: 8.0,
+            decay_s: 2.0,
+        };
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 17)
+            .with_load_profile(profile);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let mut by_phase: Vec<(LoadPhase, f64, f64)> = Vec::new();
+        for _ in 0..30 {
+            let obs = sim.advance(1.0);
+            by_phase.push((obs.load_phase, obs.offered_load, obs.utilization));
+        }
+        let mean_util = |phase: LoadPhase| {
+            let sel: Vec<f64> = by_phase
+                .iter()
+                .filter(|(p, _, _)| *p == phase)
+                .map(|(_, _, u)| *u)
+                .collect();
+            assert!(!sel.is_empty(), "phase {phase} must occur");
+            sel.iter().sum::<f64>() / sel.len() as f64
+        };
+        assert!(mean_util(LoadPhase::Peak) > mean_util(LoadPhase::Steady));
+        assert_eq!(by_phase[0].0, LoadPhase::Steady);
+        assert_eq!(by_phase[0].1, 0.4);
+        assert_eq!(by_phase[15].0, LoadPhase::Peak);
+        assert_eq!(by_phase[15].1, 1.0);
+    }
+
+    #[test]
+    fn pre_profile_config_archives_still_deserialize() {
+        // Configurations archived before `load` was a LoadProfile carry a scalar
+        // `load_fraction`; the hand-written deserializer maps it onto a constant profile.
+        let current = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 9);
+        let json = serde_json::to_string(&current).expect("serializable");
+        let round: ColocationConfig = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(round.load, current.load);
+        let legacy = json.replace(
+            &format!(
+                "\"load\":{}",
+                serde_json::to_string(&current.load).expect("serializable")
+            ),
+            "\"load_fraction\":0.6",
+        );
+        assert_ne!(legacy, json, "the load field must have been replaced");
+        let old: ColocationConfig =
+            serde_json::from_str(&legacy).expect("legacy config archives deserialize");
+        assert_eq!(old.load, LoadProfile::constant(0.6));
+    }
+
+    #[test]
+    fn recorded_load_is_clamped_to_what_the_generator_runs_at() {
+        // Profiles validate up to 1.5× saturation, but the generator caps at 1.2×; the
+        // observation must report the capped value, not the nominal one.
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 31)
+            .with_load_profile(LoadProfile::constant(1.4));
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let obs = sim.advance(1.0);
+        assert_eq!(obs.offered_load, ServiceProfile::MAX_OFFERED_LOAD);
+    }
+
+    #[test]
+    fn idle_intervals_deliver_no_latency_samples() {
+        // A load trough with zero arrivals serves no requests, so the monitor must see
+        // an empty sample set (and report no-signal) instead of fabricated headroom.
+        let profile = LoadProfile::Step {
+            base: 0.75,
+            to: 0.0,
+            at_s: 2.0,
+        };
+        let cfg = ColocationConfig::paper_default(ServiceId::MongoDb, &[AppId::Raytrace], 23)
+            .with_load_profile(profile);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let busy = sim.advance(1.0);
+        assert_eq!(busy.latency_samples_s.len(), 1_000);
+        let _ = sim.advance(1.0);
+        let idle = sim.advance(1.0);
+        assert_eq!(idle.offered_load, 0.0);
+        assert!(
+            idle.latency_samples_s.is_empty(),
+            "zero arrivals must not fabricate latency samples"
+        );
+    }
+
+    #[test]
+    fn profile_runs_are_deterministic_in_seed() {
+        let run = |seed: u64| -> Vec<f64> {
+            let profile = LoadProfile::Diurnal {
+                base: 0.6,
+                amplitude: 0.3,
+                period_s: 20.0,
+                phase_s: 0.0,
+            };
+            let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], seed)
+                .with_load_profile(profile);
+            let mut sim = ColocationSim::new(cfg, &catalog());
+            (0..15).map(|_| sim.advance(1.0).p99_latency_s).collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
     }
 
     #[test]

@@ -6,22 +6,42 @@
 //! [`OpenLoopGenerator`] produces Poisson arrival counts and exact arrival timestamps for
 //! the simulators.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use pliant_telemetry::rng::{sample_exponential, sample_poisson, seeded_rng};
 use rand::rngs::SmallRng;
 
 /// An open-loop (Poisson) request generator with a fixed target rate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct OpenLoopGenerator {
     qps: f64,
     seed: u64,
-    #[serde(skip, default = "default_rng")]
+    #[serde(skip)]
     rng: SmallRng,
 }
 
-fn default_rng() -> SmallRng {
-    seeded_rng(0)
+// Hand-written so a deserialized generator reconstructs its RNG from the archived `seed`
+// instead of falling back to a fixed default stream: a scenario replayed from a JSON
+// archive must produce the same arrival sequence as the original run.
+impl serde::Deserialize for OpenLoopGenerator {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let qps = <f64 as serde::Deserialize>::from_value(
+            value
+                .get("qps")
+                .ok_or_else(|| serde::Error::missing_field("OpenLoopGenerator", "qps"))?,
+        )?;
+        let seed = <u64 as serde::Deserialize>::from_value(
+            value
+                .get("seed")
+                .ok_or_else(|| serde::Error::missing_field("OpenLoopGenerator", "seed"))?,
+        )?;
+        if !(qps.is_finite() && qps >= 0.0) {
+            return Err(serde::Error::custom(
+                "OpenLoopGenerator qps must be non-negative and finite",
+            ));
+        }
+        Ok(Self::new(qps, seed))
+    }
 }
 
 impl OpenLoopGenerator {
@@ -139,6 +159,34 @@ mod tests {
     #[should_panic]
     fn negative_qps_rejected() {
         let _ = OpenLoopGenerator::new(-1.0, 0);
+    }
+
+    #[test]
+    fn deserialized_generator_replays_the_seeded_stream() {
+        // Regression: `#[serde(skip, default = ...)]` left a deserialized generator on
+        // `seeded_rng(0)` regardless of its stored seed, so an archived scenario replayed
+        // a different arrival stream. The seed here is deliberately non-zero.
+        let gen = OpenLoopGenerator::new(8_000.0, 1234);
+        let json = serde_json::to_string(&gen).expect("serializable");
+        let mut restored: OpenLoopGenerator = serde_json::from_str(&json).expect("deserializable");
+        let mut fresh = OpenLoopGenerator::new(8_000.0, 1234);
+        let restored_counts: Vec<u64> = (0..20).map(|_| restored.arrivals_in(0.05)).collect();
+        let fresh_counts: Vec<u64> = (0..20).map(|_| fresh.arrivals_in(0.05)).collect();
+        assert_eq!(restored_counts, fresh_counts);
+        let mut zero_seeded = OpenLoopGenerator::new(8_000.0, 0);
+        let zero_counts: Vec<u64> = (0..20).map(|_| zero_seeded.arrivals_in(0.05)).collect();
+        assert_ne!(
+            restored_counts, zero_counts,
+            "the restored stream must come from the archived seed, not seed 0"
+        );
+    }
+
+    #[test]
+    fn deserializing_invalid_qps_fails_instead_of_panicking() {
+        let bad = r#"{"qps": -5.0, "seed": 3}"#;
+        assert!(serde_json::from_str::<OpenLoopGenerator>(bad).is_err());
+        let missing = r#"{"qps": 100.0}"#;
+        assert!(serde_json::from_str::<OpenLoopGenerator>(missing).is_err());
     }
 
     proptest! {

@@ -14,7 +14,9 @@
 //! [`service::ServiceProfile`] capturing its QoS target, saturation throughput at a fair
 //! core allocation, request service-time distribution, and sensitivity to contention in
 //! shared resources. The [`generator::OpenLoopGenerator`] produces the open-loop Poisson
-//! arrival streams the paper's client machines generate.
+//! arrival streams the paper's client machines generate, and a
+//! [`profile::LoadProfile`] shapes the offered load over simulated time (constant
+//! operating points, steps, diurnal sinusoids, flash crowds, or replayed traces).
 //!
 //! # Example
 //!
@@ -31,7 +33,9 @@
 #![forbid(unsafe_code)]
 
 pub mod generator;
+pub mod profile;
 pub mod service;
 
 pub use generator::OpenLoopGenerator;
+pub use profile::{LoadPhase, LoadProfile};
 pub use service::{ServiceId, ServiceProfile};

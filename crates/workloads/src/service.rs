@@ -158,12 +158,18 @@ impl ServiceProfile {
         self.saturation_qps / self.fair_share_cores as f64
     }
 
+    /// The highest offered load the generator will actually run at, as a multiple of
+    /// saturation throughput: [`Self::qps_at_load`] clamps here, and the co-location
+    /// simulator records offered loads after the same clamp so archived statistics never
+    /// claim an operating point the simulation did not run at.
+    pub const MAX_OFFERED_LOAD: f64 = 1.2;
+
     /// Queries-per-second corresponding to a fraction of the saturation load.
     ///
     /// The paper runs interactive services at 75–80% of saturation unless a load sweep is
-    /// being performed.
+    /// being performed. Fractions are clamped to `[0, MAX_OFFERED_LOAD]`.
     pub fn qps_at_load(&self, load_fraction: f64) -> f64 {
-        self.saturation_qps * load_fraction.clamp(0.0, 1.2)
+        self.saturation_qps * load_fraction.clamp(0.0, Self::MAX_OFFERED_LOAD)
     }
 
     /// The high-load operating point used throughout the paper's evaluation (~77% of

@@ -1,0 +1,69 @@
+//! Time-varying load profiles: run the same co-location under a constant load, a diurnal
+//! day/night pattern, and a flash crowd, and compare how often QoS is violated in each
+//! load phase. All three cells share the same seed (common random numbers), so the only
+//! difference between them is the shape of the offered load.
+//!
+//! Run with: `cargo run --release --example load_profiles`
+
+use pliant::prelude::*;
+
+fn main() {
+    let diurnal = LoadProfile::Diurnal {
+        base: 0.6,
+        amplitude: 0.35,
+        period_s: 40.0,
+        phase_s: 0.0,
+    };
+    let flash = LoadProfile::FlashCrowd {
+        base: 0.35,
+        peak: 1.0,
+        start_s: 10.0,
+        ramp_s: 2.0,
+        hold_s: 8.0,
+        decay_s: 2.0,
+    };
+    // A trace profile interpolates linearly through (time, load) breakpoints — e.g.
+    // replayed from a production load log.
+    let trace = LoadProfile::Trace {
+        points: vec![(0.0, 0.4), (15.0, 0.9), (30.0, 0.5), (45.0, 0.7)],
+    };
+
+    let base = Scenario::builder(ServiceId::Memcached)
+        .app(AppId::Bayesian)
+        .policy(PolicyKind::Pliant)
+        .horizon_seconds(45.0)
+        .stop_when_apps_finish(false)
+        .seed(77)
+        .build();
+    let suite = Suite::new(base).named("profiles").sweep_load_profiles([
+        LoadProfile::constant(0.75),
+        diurnal,
+        flash,
+        trace,
+    ]);
+
+    for cell in Engine::new().parallel().run_collect(&suite) {
+        let profile = cell.scenario.effective_load_profile();
+        println!(
+            "\n{} (load {:.2}–{:.2})",
+            cell.scenario.describe(),
+            profile.min_load(),
+            profile.max_load()
+        );
+        println!("  phase      intervals  mean-load  violations");
+        for p in &cell.outcome.phase_qos {
+            println!(
+                "  {:<9}  {:>9}  {:>8.0}%  {:>9.0}%",
+                p.phase.name(),
+                p.intervals,
+                p.mean_offered_load * 100.0,
+                p.qos_violation_fraction * 100.0
+            );
+        }
+        let app = &cell.outcome.app_outcomes[0];
+        println!(
+            "  inaccuracy {:.1}%, relative execution time {:.2}x",
+            app.inaccuracy_pct, app.relative_execution_time
+        );
+    }
+}

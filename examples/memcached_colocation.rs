@@ -18,7 +18,11 @@ fn main() {
     let mut sim = ColocationSim::new(config, &catalog);
 
     let variant_count = catalog.profile(app).unwrap().variant_count();
-    let mut controller = PliantController::new(ControllerConfig::default(), variant_count);
+    let mut controller = PliantController::new(
+        ControllerConfig::default(),
+        variant_count,
+        sim.app(0).cores(),
+    );
     let mut monitor = PerformanceMonitor::new(
         MonitorConfig::for_qos(ServiceProfile::paper_default(service).qos_target_s),
         99,

@@ -66,13 +66,16 @@ pub mod prelude {
     pub use pliant_approx::catalog::{AppId, AppProfile, Catalog};
     pub use pliant_approx::kernel::{ApproxConfig, ApproxKernel};
     pub use pliant_core::engine::{CellOutcome, Collector, Engine, ExecMode, ResultSink};
-    pub use pliant_core::experiment::{classify_effort, ColocationOutcome, EffortClass};
+    pub use pliant_core::experiment::{
+        classify_effort, ColocationOutcome, EffortClass, PhaseQosStats,
+    };
     pub use pliant_core::policy::PolicyKind;
     pub use pliant_core::scenario::{Horizon, Scenario, ScenarioBuilder, ScenarioError};
-    pub use pliant_core::suite::{SeedMode, Suite, SweepAxis};
+    pub use pliant_core::suite::{SeedMode, Suite, SuiteError, SweepAxis};
     pub use pliant_core::{ControllerConfig, MonitorConfig, PerformanceMonitor, PliantController};
     pub use pliant_explore::{explore_kernel, ExplorationConfig};
     pub use pliant_sim::colocation::{ColocationConfig, ColocationSim};
     pub use pliant_sim::server::ServerSpec;
+    pub use pliant_workloads::profile::{LoadPhase, LoadProfile};
     pub use pliant_workloads::service::{ServiceId, ServiceProfile};
 }

@@ -15,6 +15,7 @@ fn report(violated: bool, slack: f64) -> MonitorReport {
         sampled: 100,
         qos_violated: violated,
         slack_fraction: if violated { -0.5 } else { slack },
+        no_signal: false,
     }
 }
 
@@ -25,9 +26,10 @@ proptest! {
     #[test]
     fn single_controller_invariants(
         variant_count in 0usize..9,
+        initial_cores in 1u32..10,
         steps in proptest::collection::vec((any::<bool>(), 0.0f64..0.5), 1..200),
     ) {
-        let mut controller = PliantController::new(ControllerConfig::default(), variant_count);
+        let mut controller = PliantController::new(ControllerConfig::default(), variant_count, initial_cores);
         let mut reclaimed: i64 = 0;
         for (violated, slack) in steps {
             let actions = controller.decide(0, &report(violated, slack));
@@ -43,6 +45,10 @@ proptest! {
                 }
             }
             prop_assert!(reclaimed >= 0, "returned a core that was never reclaimed");
+            prop_assert!(
+                reclaimed < i64::from(initial_cores.max(1)),
+                "reclaimed the application's last core"
+            );
             prop_assert_eq!(controller.cores_reclaimed() as i64, reclaimed);
         }
     }
@@ -76,9 +82,10 @@ proptest! {
     #[test]
     fn recovery_always_reaches_precise(
         variant_count in 1usize..9,
+        initial_cores in 1u32..10,
         violation_burst in 1usize..20,
     ) {
-        let mut controller = PliantController::new(ControllerConfig::default(), variant_count);
+        let mut controller = PliantController::new(ControllerConfig::default(), variant_count, initial_cores);
         for _ in 0..violation_burst {
             let _ = controller.decide(0, &report(true, 0.0));
         }

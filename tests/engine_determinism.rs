@@ -2,12 +2,17 @@
 //!
 //! 1. A suite run serially and a suite run on the parallel engine must produce
 //!    byte-identical serialized outcomes, cell for cell — parallelism changes wall-clock
-//!    time, never output.
+//!    time, never output. This includes suites that sweep time-varying load profiles.
 //! 2. Per-cell seeds in `SeedMode::Independent` must never collide across sweep axes.
 //! 3. The wall-clock horizon must hold the simulated time constant across a
 //!    decision-interval sweep.
+//! 4. The controller's core ledger stays in lock-step with the simulator through the
+//!    one-core floor, and Pliant re-approximates through a flash crowd then steps back
+//!    toward precise afterward.
 
 use pliant::prelude::*;
+use pliant::runtime::actuator::Actuator;
+use pliant::runtime::monitor::MonitorReport;
 
 fn base() -> Scenario {
     Scenario::builder(ServiceId::Memcached)
@@ -115,6 +120,227 @@ fn wall_clock_horizon_is_constant_across_interval_sweep() {
             "dt={dt}: simulated {simulated_s:.1}s of a 30s horizon"
         );
     }
+}
+
+fn flash_crowd() -> LoadProfile {
+    LoadProfile::FlashCrowd {
+        base: 0.35,
+        peak: 1.0,
+        start_s: 10.0,
+        ramp_s: 2.0,
+        hold_s: 8.0,
+        decay_s: 2.0,
+    }
+}
+
+fn profile_grid() -> Suite {
+    let base = Scenario::builder(ServiceId::Memcached)
+        .app(AppId::Bayesian)
+        .horizon_seconds(45.0)
+        .stop_when_apps_finish(false)
+        .seed(77)
+        .build();
+    Suite::new(base)
+        .named("profile-determinism")
+        .sweep_load_profiles([
+            LoadProfile::constant(0.75),
+            LoadProfile::Diurnal {
+                base: 0.6,
+                amplitude: 0.35,
+                period_s: 40.0,
+                phase_s: 0.0,
+            },
+            flash_crowd(),
+            LoadProfile::Trace {
+                points: vec![(0.0, 0.4), (15.0, 0.9), (30.0, 0.5)],
+            },
+        ])
+        .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+}
+
+#[test]
+fn load_profile_suites_stay_byte_identical_in_parallel() {
+    let suite = profile_grid();
+    let serial = Engine::new().run_collect(&suite);
+    let parallel = Engine::new().parallel().run_collect(&suite);
+    assert_eq!(serial.len(), suite.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        let s_json = serde_json::to_string(s).expect("serializable");
+        let p_json = serde_json::to_string(p).expect("serializable");
+        assert_eq!(
+            s_json, p_json,
+            "profile-sweep cell {} differs between serial and parallel",
+            s.index
+        );
+    }
+}
+
+#[test]
+fn load_profile_scenarios_replay_identically_from_json_archives() {
+    let scenario = Scenario::builder(ServiceId::Nginx)
+        .app(AppId::Canneal)
+        .load_profile(LoadProfile::Diurnal {
+            base: 0.6,
+            amplitude: 0.3,
+            period_s: 30.0,
+            phase_s: 5.0,
+        })
+        .horizon_seconds(40.0)
+        .stop_when_apps_finish(false)
+        .seed(90210)
+        .build();
+    let engine = Engine::new();
+    let original = engine.run_scenario(&scenario);
+    let archived = serde_json::to_string(&scenario).expect("serializable");
+    let restored: Scenario = serde_json::from_str(&archived).expect("deserializable");
+    assert_eq!(restored, scenario);
+    let replayed = engine.run_scenario(&restored);
+    assert_eq!(
+        serde_json::to_string(&original).unwrap(),
+        serde_json::to_string(&replayed).unwrap(),
+        "a replayed archive must reproduce the original run bit-for-bit"
+    );
+}
+
+#[test]
+fn controller_and_simulator_core_ledgers_stay_in_sync_at_the_floor() {
+    let catalog = Catalog::default();
+    let config = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Canneal], 3);
+    let mut sim = ColocationSim::new(config, &catalog);
+    let fair_service_cores = sim.service_cores();
+    let app_cores = sim.app(0).cores();
+    let variant_count = catalog.profile(AppId::Canneal).unwrap().variant_count();
+    let mut controller =
+        PliantController::new(ControllerConfig::default(), variant_count, app_cores);
+    let mut actuator = Actuator::new();
+
+    let violated = MonitorReport {
+        p99_s: 0.05,
+        mean_s: 0.02,
+        smoothed_p99_s: 0.05,
+        sampled: 500,
+        qos_violated: true,
+        slack_fraction: -1.0,
+        no_signal: false,
+    };
+    let relaxed = MonitorReport {
+        p99_s: 0.004,
+        mean_s: 0.002,
+        smoothed_p99_s: 0.004,
+        sampled: 500,
+        qos_violated: false,
+        slack_fraction: 0.4,
+        no_signal: false,
+    };
+
+    // Drive far past core exhaustion: the controller must stop at the one-core floor
+    // with its ledger exactly matching the cores the simulator actually moved.
+    for _ in 0..(2 * app_cores + 6) {
+        let actions = controller.decide(0, &violated);
+        actuator.apply_all(&mut sim, &actions);
+        assert_eq!(
+            controller.cores_reclaimed(),
+            sim.service_cores() - fair_service_cores,
+            "controller ledger drifted from the simulator during reclamation"
+        );
+    }
+    assert_eq!(controller.cores_reclaimed(), app_cores - 1);
+    assert_eq!(sim.app(0).cores(), 1, "the application keeps its last core");
+    assert_eq!(
+        actuator.stats().rejected,
+        0,
+        "a synced ledger never emits actions the simulator refuses"
+    );
+
+    // Recovery: every ReturnCore lands, the ledger unwinds to zero, and the run ends
+    // back at precise execution with the fair allocation restored.
+    for _ in 0..(4 * app_cores as usize + 4 * variant_count + 8) {
+        let actions = controller.decide(0, &relaxed);
+        actuator.apply_all(&mut sim, &actions);
+        assert_eq!(
+            controller.cores_reclaimed(),
+            sim.service_cores() - fair_service_cores,
+            "controller ledger drifted from the simulator during recovery"
+        );
+    }
+    assert_eq!(controller.cores_reclaimed(), 0);
+    assert_eq!(sim.service_cores(), fair_service_cores);
+    assert_eq!(controller.variant(), None, "fully relaxed back to precise");
+    assert_eq!(
+        actuator.stats().rejected,
+        0,
+        "recovery must not burn intervals on no-op ReturnCore actions"
+    );
+}
+
+#[test]
+fn flash_crowd_forces_reapproximation_then_stepwise_recovery() {
+    let scenario = Scenario::builder(ServiceId::Memcached)
+        .app(AppId::Bayesian)
+        .load_profile(flash_crowd())
+        .horizon_seconds(45.0)
+        .stop_when_apps_finish(false)
+        .seed(77)
+        .build();
+    let suite = Suite::new(scenario)
+        .named("flash")
+        .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant]);
+    let cells = Engine::new().run_collect(&suite);
+    let precise = &cells[0].outcome;
+    let pliant = &cells[1].outcome;
+
+    let variants = pliant
+        .trace
+        .get("variant_bayesian")
+        .expect("variant series")
+        .values();
+    let reclaimed = pliant
+        .trace
+        .get("reclaimed_bayesian")
+        .expect("reclaimed series")
+        .values();
+    let most_approx_plotted = 8.0; // bayesian has 8 variants; the trace plots v+1
+
+    // Before the crowd: fully precise, nothing reclaimed.
+    assert!(
+        variants[..10].iter().all(|v| *v == 0.0) && reclaimed[..10].iter().all(|r| *r == 0.0),
+        "the steady base load must not need approximation"
+    );
+    // During the crowd (t = 10..22): jump to the most approximate variant plus cores.
+    let spike_variant_max = variants[10..22].iter().cloned().fold(0.0f64, f64::max);
+    let spike_reclaimed_max = reclaimed[10..22].iter().cloned().fold(0.0f64, f64::max);
+    assert_eq!(
+        spike_variant_max, most_approx_plotted,
+        "the flash crowd must force re-approximation to the most aggressive variant"
+    );
+    assert!(
+        spike_reclaimed_max >= 1.0,
+        "approximation alone cannot absorb full saturation"
+    );
+    // After the crowd: cores all returned and the variant stepped back toward precise.
+    let final_variant = *variants.last().unwrap();
+    assert_eq!(
+        *reclaimed.last().unwrap(),
+        0.0,
+        "cores returned after the spike"
+    );
+    assert!(
+        final_variant < most_approx_plotted,
+        "the variant must relax stepwise toward precise after the crowd (got {final_variant})"
+    );
+
+    // Per-phase QoS: the steady base is clean under Pliant, and Pliant absorbs the peak
+    // the Precise baseline cannot.
+    let pliant_steady = pliant.phase(LoadPhase::Steady).expect("steady phase");
+    let pliant_peak = pliant.phase(LoadPhase::Peak).expect("peak phase");
+    let precise_peak = precise.phase(LoadPhase::Peak).expect("peak phase");
+    assert!(pliant_steady.qos_violation_fraction < 0.1);
+    assert!(
+        pliant_peak.qos_violation_fraction < precise_peak.qos_violation_fraction,
+        "Pliant must violate QoS less than Precise at the peak ({} vs {})",
+        pliant_peak.qos_violation_fraction,
+        precise_peak.qos_violation_fraction
+    );
 }
 
 #[test]
