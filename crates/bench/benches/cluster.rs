@@ -1,0 +1,52 @@
+//! Criterion bench: fleet-simulation throughput, serial vs node-parallel.
+//!
+//! The cluster engine advances independent nodes on worker threads within each decision
+//! interval; this bench tracks how much of that parallelism survives the per-interval
+//! coordination barrier (balancer + scheduler) as fleets grow. It is the hot path of
+//! every machines-needed sweep, so its trajectory matters for future scaling PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pliant_approx::catalog::AppId;
+use pliant_cluster::prelude::*;
+use pliant_core::engine::Engine;
+use pliant_workloads::service::ServiceId;
+
+fn bench_scenario(nodes: usize) -> ClusterScenario {
+    let mix = [AppId::Bayesian, AppId::Semphy, AppId::ClustalW, AppId::Snp];
+    ClusterScenario::builder(ServiceId::Memcached)
+        .nodes(nodes)
+        .jobs((0..nodes * 2).map(|i| mix[i % mix.len()]))
+        .avg_node_load(0.6)
+        .horizon_intervals(25)
+        .warmup_intervals(4)
+        .seed(7)
+        .build()
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_engine");
+    group.sample_size(10);
+    for nodes in [4usize, 12] {
+        let scenario = bench_scenario(nodes);
+        let serial = Engine::new();
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("{nodes}nodes")),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| serial.run_cluster(scenario));
+            },
+        );
+        let parallel = Engine::new().parallel();
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("{nodes}nodes")),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| parallel.run_cluster(scenario));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -42,6 +42,41 @@ pub fn interval_sensitivity_apps() -> [AppId; 6] {
     ]
 }
 
+/// The fleet scenario of the machines-needed study (`fig_cluster`), shared with the
+/// integration test that pins its headline result: `nodes` memcached machines serving
+/// `total_load` node-saturation units, each co-locating one long-running batch job
+/// (bayesian / semphy / clustalw — kernels whose precise execution clearly violates QoS
+/// at ~0.65 load per node while their approximate variants absorb the interference),
+/// balanced round-robin so the Precise/Pliant comparison is purely paired under common
+/// random numbers. Returns `None` when the fleet is too small to even describe the
+/// offered load (above the profile bound of 1.5x saturation per node) — such a fleet
+/// trivially cannot meet QoS, and capping the traffic instead would silently compare
+/// fleets serving different totals.
+pub fn cluster_machines_needed_scenario(
+    nodes: usize,
+    total_load: f64,
+    policy: pliant_core::policy::PolicyKind,
+    seed: u64,
+) -> Option<pliant_cluster::ClusterScenario> {
+    let avg_node_load = total_load / nodes as f64;
+    if avg_node_load > pliant_workloads::profile::MAX_LOAD_FRACTION {
+        return None;
+    }
+    let mix = [AppId::Bayesian, AppId::Semphy, AppId::ClustalW];
+    Some(
+        pliant_cluster::ClusterScenario::builder(ServiceId::Memcached)
+            .nodes(nodes)
+            .jobs((0..nodes).map(|i| mix[i % mix.len()]))
+            .avg_node_load(avg_node_load)
+            .policy(policy)
+            .balancer(pliant_cluster::BalancerKind::RoundRobin)
+            .horizon_seconds(45.0)
+            .warmup_intervals(8)
+            .seed(seed)
+            .build(),
+    )
+}
+
 /// Returns true when `--json` was passed to a harness binary.
 pub fn json_requested(args: &[String]) -> bool {
     args.iter().any(|a| a == "--json")

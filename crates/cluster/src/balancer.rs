@@ -1,0 +1,303 @@
+//! Cluster-wide load balancing: splitting offered load across fleet nodes.
+//!
+//! Once per decision interval the fleet receives a total offered load (expressed in
+//! node-saturation units — `1.0` is one node's saturation throughput) and the balancer
+//! splits it into per-node offered-load fractions. The split is modelled the way a
+//! front-end dispatcher works: the interval's load is divided into small *quanta* of
+//! requests and each quantum is routed to one node. All three policies are fully
+//! deterministic — [`BalancerKind::PowerOfTwoChoices`] draws its node pairs from a
+//! dedicated RNG seeded from the cluster scenario's seed — so serial and parallel
+//! cluster runs see the identical per-node load sequence.
+
+use serde::{Deserialize, Serialize};
+
+use pliant_telemetry::rng::seeded_rng;
+use pliant_workloads::service::ServiceProfile;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::node::NodeSnapshot;
+
+/// Per-node assignment level the greedy policies treat as a node's capacity: the
+/// saturation ceiling the workload generator enforces. Load a node cannot absorb is
+/// better spent on any node still under its ceiling.
+const MAX_OFFERED_LOAD: f64 = ServiceProfile::MAX_OFFERED_LOAD;
+
+/// Load quanta dispatched per node each interval. Higher values approximate a
+/// continuous split more closely; 8 per node keeps the greedy policies responsive while
+/// staying cheap.
+const QUANTA_PER_NODE: usize = 8;
+
+/// Selector for the built-in load-balancing policies.
+///
+/// Serializes as its display name (the same string [`BalancerKind::name`] returns), so
+/// JSON result rows are tagged `"round-robin"`, `"least-loaded"`, etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BalancerKind {
+    /// Deal requests over the nodes in rotation. For an interval's worth of uniform
+    /// traffic this is exactly an even split, blind to how the nodes are doing — the
+    /// oblivious baseline the adaptive policies are compared against.
+    #[serde(rename = "round-robin")]
+    RoundRobin,
+    /// Route every quantum to the node with the lowest effective load, where a node's
+    /// smoothed tail latency (relative to the QoS target) counts as extra load. Nodes
+    /// running hot receive less traffic until they recover.
+    #[serde(rename = "least-loaded")]
+    LeastLoaded,
+    /// Sample two nodes per quantum and route to the less loaded of the pair — the
+    /// classic O(1) approximation of least-loaded that avoids a full fleet scan.
+    #[serde(rename = "p2c")]
+    PowerOfTwoChoices,
+}
+
+impl BalancerKind {
+    /// Every built-in balancer, in reporting order.
+    pub fn all() -> [BalancerKind; 3] {
+        [
+            BalancerKind::RoundRobin,
+            BalancerKind::LeastLoaded,
+            BalancerKind::PowerOfTwoChoices,
+        ]
+    }
+
+    /// Short name used in result rows (also the serialized representation).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BalancerKind::RoundRobin => "round-robin",
+            BalancerKind::LeastLoaded => "least-loaded",
+            BalancerKind::PowerOfTwoChoices => "p2c",
+        }
+    }
+
+    /// Instantiates the balancer for a fleet of `nodes` nodes. `seed` feeds the
+    /// power-of-two-choices sampling stream (ignored by the deterministic policies).
+    pub fn build(&self, nodes: usize, seed: u64) -> LoadBalancer {
+        LoadBalancer {
+            kind: *self,
+            nodes,
+            rng: seeded_rng(seed),
+        }
+    }
+}
+
+impl std::fmt::Display for BalancerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A stateful load balancer built from a [`BalancerKind`]; see the module docs.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    kind: BalancerKind,
+    nodes: usize,
+    /// Sampling stream for power-of-two choices.
+    rng: SmallRng,
+}
+
+impl LoadBalancer {
+    /// The policy this balancer implements.
+    pub fn kind(&self) -> BalancerKind {
+        self.kind
+    }
+
+    /// Splits `total_load` (node-saturation units) into one offered-load fraction per
+    /// node for the coming interval.
+    ///
+    /// `snapshots` carries each node's state as of the end of the previous interval
+    /// (smoothed tail latency, QoS target); the greedy policies use it to bias quanta
+    /// away from struggling nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots.len()` differs from the fleet size the balancer was built
+    /// for.
+    pub fn split(&mut self, total_load: f64, snapshots: &[NodeSnapshot]) -> Vec<f64> {
+        assert_eq!(
+            snapshots.len(),
+            self.nodes,
+            "balancer built for {} nodes, got {} snapshots",
+            self.nodes,
+            snapshots.len()
+        );
+        let n = self.nodes;
+        let mut assigned = vec![0.0f64; n];
+        if total_load <= 0.0 {
+            return assigned;
+        }
+        // Rotating a full interval's worth of quanta over n nodes hands every node
+        // exactly quanta/n of them, so round-robin needs no quantum loop (and no
+        // rotation state): it is the even split, computed directly.
+        if self.kind == BalancerKind::RoundRobin {
+            return vec![total_load / n as f64; n];
+        }
+        let quanta = QUANTA_PER_NODE * n;
+        let quantum = total_load / quanta as f64;
+        // A node's tail-latency *excess* over its QoS target counts as load it is
+        // already carrying: a node at 1.5x its target must shed traffic even if the
+        // dispatcher just assigned it little. Two normalizations keep the feedback loop
+        // stable: latency below the target carries no penalty (differences between
+        // healthy nodes must not unbalance the split), and the penalty is relative to
+        // the least-stressed node — when the whole fleet is equally hot (e.g. the
+        // convergence transient, or an overload no split can fix) shedding from
+        // everyone to everyone would only slosh load around, so the split stays even.
+        let excess: Vec<f64> = snapshots
+            .iter()
+            .map(|s| {
+                if s.qos_target_s > 0.0 {
+                    (s.smoothed_p99_s / s.qos_target_s - 1.0).max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let floor = excess.iter().cloned().fold(f64::INFINITY, f64::min);
+        let penalty: Vec<f64> = excess.iter().map(|e| e - floor).collect();
+        match self.kind {
+            BalancerKind::RoundRobin => unreachable!("handled above"),
+            BalancerKind::LeastLoaded => {
+                for _ in 0..quanta {
+                    // Prefer nodes under the saturation cap; once every node is at
+                    // capacity the overload has nowhere better to go and spills onto
+                    // the globally least-loaded node.
+                    let target = (0..n)
+                        .filter(|&i| assigned[i] < MAX_OFFERED_LOAD)
+                        .min_by(|&a, &b| {
+                            (assigned[a] + penalty[a])
+                                .partial_cmp(&(assigned[b] + penalty[b]))
+                                .expect("loads are finite")
+                        })
+                        .or_else(|| {
+                            (0..n).min_by(|&a, &b| {
+                                assigned[a]
+                                    .partial_cmp(&assigned[b])
+                                    .expect("loads are finite")
+                            })
+                        })
+                        .expect("fleet is non-empty");
+                    assigned[target] += quantum;
+                }
+            }
+            BalancerKind::PowerOfTwoChoices => {
+                for _ in 0..quanta {
+                    let a = self.rng.gen_range(0..n);
+                    let b = self.rng.gen_range(0..n);
+                    // Same capacity rule as least-loaded, restricted to the sampled
+                    // pair: a saturated choice loses to an unsaturated one.
+                    let a_capped = assigned[a] >= MAX_OFFERED_LOAD;
+                    let b_capped = assigned[b] >= MAX_OFFERED_LOAD;
+                    let target = match (a_capped, b_capped) {
+                        (false, true) => a,
+                        (true, false) => b,
+                        _ => {
+                            if assigned[a] + penalty[a] <= assigned[b] + penalty[b] {
+                                a
+                            } else {
+                                b
+                            }
+                        }
+                    };
+                    assigned[target] += quantum;
+                }
+            }
+        }
+        assigned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshots(p99s: &[f64]) -> Vec<NodeSnapshot> {
+        p99s.iter()
+            .enumerate()
+            .map(|(i, &p99)| NodeSnapshot {
+                index: i,
+                smoothed_p99_s: p99,
+                utilization: 0.5,
+                free_slots: 0,
+                qos_target_s: 0.01,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_splits_evenly_regardless_of_latency() {
+        let mut b = BalancerKind::RoundRobin.build(4, 1);
+        let split = b.split(2.0, &snapshots(&[0.05, 0.0, 0.0, 0.0]));
+        for share in &split {
+            assert!(
+                (share - 0.5).abs() < 1e-12,
+                "even split expected: {split:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn least_loaded_shifts_load_away_from_hot_nodes() {
+        let mut b = BalancerKind::LeastLoaded.build(3, 1);
+        // Node 0 is at 3x its QoS target; nodes 1 and 2 are clean.
+        let split = b.split(1.5, &snapshots(&[0.03, 0.0, 0.0]));
+        assert!(split[0] < split[1]);
+        assert!(split[0] < split[2]);
+        assert!((split.iter().sum::<f64>() - 1.5).abs() < 1e-9);
+        // With a modest overload the hot node still gets *some* traffic once the others
+        // have caught up to its penalty.
+        let mild = b.split(9.0, &snapshots(&[0.011, 0.01, 0.01]));
+        assert!(mild[0] > 0.0);
+    }
+
+    #[test]
+    fn least_loaded_splits_a_healthy_fleet_evenly() {
+        // Latency differences *below* the QoS target carry no penalty: biasing on them
+        // would slosh load between healthy nodes and oscillate.
+        let mut b = BalancerKind::LeastLoaded.build(4, 1);
+        let split = b.split(2.0, &snapshots(&[0.009, 0.002, 0.005, 0.0]));
+        for share in &split {
+            assert!(
+                (share - 0.5).abs() < 1e-12,
+                "healthy nodes share load evenly: {split:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2c_is_deterministic_in_its_seed_and_balances() {
+        let split_a = BalancerKind::PowerOfTwoChoices
+            .build(4, 9)
+            .split(2.0, &snapshots(&[0.0; 4]));
+        let split_b = BalancerKind::PowerOfTwoChoices
+            .build(4, 9)
+            .split(2.0, &snapshots(&[0.0; 4]));
+        assert_eq!(split_a, split_b, "same seed, same split");
+        let split_c = BalancerKind::PowerOfTwoChoices
+            .build(4, 10)
+            .split(2.0, &snapshots(&[0.0; 4]));
+        assert_ne!(split_a, split_c, "different seed, different sampling");
+        assert!((split_a.iter().sum::<f64>() - 2.0).abs() < 1e-9);
+        // No node is starved or doubled-up under uniform conditions.
+        for share in &split_a {
+            assert!(*share > 0.0 && *share < 1.5);
+        }
+    }
+
+    #[test]
+    fn zero_load_assigns_nothing() {
+        for kind in BalancerKind::all() {
+            let mut b = kind.build(3, 5);
+            assert_eq!(b.split(0.0, &snapshots(&[0.0; 3])), vec![0.0; 3]);
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_serializable() {
+        for kind in BalancerKind::all() {
+            let json = serde_json::to_string(&kind).expect("serializable");
+            assert_eq!(json, format!("\"{}\"", kind.name()));
+            let back: BalancerKind = serde_json::from_str(&json).expect("deserializable");
+            assert_eq!(back, kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+}

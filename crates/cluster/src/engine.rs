@@ -1,0 +1,309 @@
+//! Executing cluster scenarios and suites on the core [`Engine`].
+//!
+//! [`ClusterEngineExt`] extends [`pliant_core::engine::Engine`] with fleet execution:
+//! the engine's catalog is shared with every node and its [`ExecMode`] decides how many
+//! worker threads the fleet's node updates fan out over. As everywhere else in this
+//! codebase, parallelism changes wall-clock time, never output — a serial and a parallel
+//! engine produce byte-identical [`ClusterOutcome`]s for the same scenario.
+
+use pliant_core::engine::{Engine, ExecMode};
+use pliant_telemetry::histogram::LatencyHistogram;
+use pliant_telemetry::series::{TimeSeries, TraceBundle};
+
+use crate::outcome::{ClusterOutcome, NodeOutcome};
+use crate::scenario::ClusterScenario;
+use crate::sim::ClusterSim;
+use crate::suite::{ClusterCellOutcome, ClusterSuite};
+
+/// Fleet execution on the core [`Engine`]; see the module docs.
+pub trait ClusterEngineExt {
+    /// Runs one cluster scenario to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`ClusterScenario::validate`] or names an
+    /// application missing from the engine's catalog.
+    fn run_cluster(&self, scenario: &ClusterScenario) -> ClusterOutcome;
+
+    /// Runs every cell of a cluster suite, returning the outcomes in cell-index order.
+    ///
+    /// Cells execute sequentially; a parallel engine parallelizes *within* each fleet
+    /// (across its nodes). For sweeps of small fleets on many-core machines that
+    /// leaves cores idle — cell-level fan-out across whole fleets is a possible future
+    /// extension, but per-fleet memory (N simulators plus histograms) makes the
+    /// sequential default the predictable choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suite fails [`ClusterSuite::validate`] or any cell's scenario is
+    /// invalid.
+    fn run_cluster_collect(&self, suite: &ClusterSuite) -> Vec<ClusterCellOutcome>;
+}
+
+impl ClusterEngineExt for Engine {
+    fn run_cluster(&self, scenario: &ClusterScenario) -> ClusterOutcome {
+        let threads = match self.mode() {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel { threads } => threads,
+        };
+        execute_cluster(scenario, self, threads)
+    }
+
+    fn run_cluster_collect(&self, suite: &ClusterSuite) -> Vec<ClusterCellOutcome> {
+        if let Err(e) = suite.validate() {
+            panic!("invalid cluster suite `{}`: {e}", suite.name());
+        }
+        suite
+            .scenarios()
+            .iter()
+            .enumerate()
+            .map(|(index, scenario)| ClusterCellOutcome {
+                index,
+                scenario: scenario.clone(),
+                outcome: self.run_cluster(scenario),
+            })
+            .collect()
+    }
+}
+
+/// Runs one cluster scenario against the engine's catalog with the given node-update
+/// worker count (`0` = one per available core, `1` = serial).
+fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) -> ClusterOutcome {
+    let mut sim = ClusterSim::new(scenario, engine.catalog());
+    let n = scenario.nodes;
+
+    // Per-node accumulators. Histograms record in microseconds (like the monitor) so
+    // sub-second latencies land in the log-bucketed range instead of the coarse first
+    // linear bucket.
+    let mut histograms: Vec<LatencyHistogram> = (0..n).map(|_| LatencyHistogram::new()).collect();
+    let mut busy = vec![0usize; n];
+    let mut idle = vec![0usize; n];
+    let mut violations = vec![0usize; n];
+    let mut assigned_sum = vec![0.0f64; n];
+    let mut max_extra = vec![0u32; n];
+    let mut jobs_completed = vec![0usize; n];
+
+    let mut total_load_sum = 0.0f64;
+    let mut max_total_extra = 0u32;
+    let mut load_series = TimeSeries::new("total_offered_load");
+    let mut cores_series = TimeSeries::new("total_extra_cores");
+    let mut violating_series = TimeSeries::new("violating_nodes");
+
+    let max_intervals = scenario.max_intervals();
+    for interval_index in 0..max_intervals {
+        let interval = sim.advance_threads(threads);
+        // The first `warmup_intervals` are excluded from every latency/QoS statistic:
+        // the fleet p99 is a quantile over all samples, so the per-node runtimes' one-off
+        // convergence transient would otherwise sit in the histogram forever. Traces and
+        // job/core accounting still cover the full run.
+        let measured = interval_index >= scenario.warmup_intervals;
+        total_load_sum += interval.total_offered_load;
+        let mut total_extra = 0u32;
+        let mut violating_nodes = 0usize;
+        for ni in &interval.nodes {
+            let i = ni.node;
+            let obs = &ni.observation;
+            if measured {
+                if obs.arrivals == 0 {
+                    idle[i] += 1;
+                } else {
+                    busy[i] += 1;
+                    if obs.qos_violated() {
+                        violations[i] += 1;
+                        violating_nodes += 1;
+                    }
+                    for &sample_s in &obs.latency_samples_s {
+                        histograms[i].record(sample_s * 1e6);
+                    }
+                }
+            } else if obs.arrivals > 0 && obs.qos_violated() {
+                violating_nodes += 1;
+            }
+            assigned_sum[i] += ni.assigned_load;
+            max_extra[i] = max_extra[i].max(ni.extra_service_cores);
+            jobs_completed[i] += ni.jobs_completed;
+            total_extra += ni.extra_service_cores;
+        }
+        max_total_extra = max_total_extra.max(total_extra);
+        load_series.push(interval.time_s, interval.total_offered_load);
+        cores_series.push(interval.time_s, total_extra as f64);
+        violating_series.push(interval.time_s, violating_nodes as f64);
+    }
+
+    // Fleet quantiles come from the exact merge of the per-node histograms.
+    let mut fleet = LatencyHistogram::new();
+    for hist in &histograms {
+        fleet
+            .try_merge(hist)
+            .expect("in-process histograms share one bucket configuration");
+    }
+    let qos_target_s = scenario.qos_target_s.unwrap_or_else(|| {
+        pliant_workloads::service::ServiceProfile::paper_default(scenario.service).qos_target_s
+    });
+
+    let node_outcomes: Vec<NodeOutcome> = (0..n)
+        .map(|i| {
+            let inaccuracies = sim.node_completed_inaccuracies(i);
+            NodeOutcome {
+                node: i,
+                busy_intervals: busy[i],
+                idle_intervals: idle[i],
+                p99_s: histograms[i].p99() / 1e6,
+                qos_violation_fraction: violations[i] as f64 / busy[i].max(1) as f64,
+                mean_assigned_load: assigned_sum[i] / max_intervals.max(1) as f64,
+                max_extra_service_cores: max_extra[i],
+                jobs_completed: jobs_completed[i],
+                mean_completed_inaccuracy_pct: if inaccuracies.is_empty() {
+                    0.0
+                } else {
+                    inaccuracies.iter().sum::<f64>() / inaccuracies.len() as f64
+                },
+            }
+        })
+        .collect();
+
+    let total_busy: usize = busy.iter().sum();
+    let total_violations: usize = violations.iter().sum();
+    let fleet_p99_s = fleet.p99() / 1e6;
+
+    let mut trace = TraceBundle::new();
+    trace.insert(load_series);
+    trace.insert(cores_series);
+    trace.insert(violating_series);
+
+    ClusterOutcome {
+        service: scenario.service,
+        policy: scenario.policy,
+        balancer: scenario.balancer,
+        scheduler: scenario.scheduler,
+        nodes: n,
+        intervals: sim.intervals(),
+        warmup_intervals: scenario.warmup_intervals,
+        qos_target_s,
+        mean_total_offered_load: total_load_sum / max_intervals.max(1) as f64,
+        fleet_p99_s,
+        fleet_mean_latency_s: fleet.mean() / 1e6,
+        fleet_samples: fleet.count(),
+        fleet_tail_latency_ratio: fleet_p99_s / qos_target_s,
+        fleet_qos_violation_fraction: total_violations as f64 / total_busy.max(1) as f64,
+        max_total_extra_cores: max_total_extra,
+        scheduler_stats: sim.scheduler_stats(),
+        node_outcomes,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pliant_approx::catalog::AppId;
+    use pliant_core::policy::PolicyKind;
+    use pliant_workloads::service::ServiceId;
+
+    fn small_scenario() -> ClusterScenario {
+        ClusterScenario::builder(ServiceId::Memcached)
+            .nodes(3)
+            .jobs([AppId::Canneal, AppId::Snp, AppId::Bayesian, AppId::KMeans])
+            .avg_node_load(0.6)
+            .horizon_intervals(20)
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn run_cluster_produces_consistent_fleet_statistics() {
+        let outcome = Engine::new().run_cluster(&small_scenario());
+        assert_eq!(outcome.nodes, 3);
+        assert_eq!(outcome.intervals, 20);
+        assert_eq!(outcome.node_outcomes.len(), 3);
+        assert!(outcome.fleet_samples > 0);
+        assert!(outcome.fleet_p99_s > 0.0);
+        assert!(outcome.fleet_mean_latency_s < outcome.fleet_p99_s);
+        // Offered load: 3 nodes at 0.6 average = 1.8 node-units.
+        assert!((outcome.mean_total_offered_load - 1.8).abs() < 1e-9);
+        // The balancer conserves load: per-node means sum to the fleet average.
+        let assigned: f64 = outcome
+            .node_outcomes
+            .iter()
+            .map(|node| node.mean_assigned_load)
+            .sum();
+        assert!((assigned - 1.8).abs() < 1e-9);
+        // Busy + idle account for every measured (post-warm-up) node-interval.
+        for node in &outcome.node_outcomes {
+            assert_eq!(
+                node.busy_intervals + node.idle_intervals,
+                20 - outcome.warmup_intervals
+            );
+        }
+        // The trace covers every interval.
+        assert_eq!(outcome.trace.get("total_offered_load").unwrap().len(), 20);
+        assert_eq!(outcome.trace.get("total_extra_cores").unwrap().len(), 20);
+        assert_eq!(outcome.trace.get("violating_nodes").unwrap().len(), 20);
+    }
+
+    #[test]
+    fn serial_and_parallel_cluster_runs_agree() {
+        let scenario = small_scenario();
+        let serial = Engine::new().run_cluster(&scenario);
+        let parallel = Engine::new().parallel_threads(3).run_cluster(&scenario);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "node-parallel execution must not change any fleet statistic"
+        );
+    }
+
+    #[test]
+    fn queued_jobs_flow_through_the_fleet() {
+        // 2 nodes, 6 jobs: 2 placed initially, 4 queued; a long horizon lets several
+        // complete and be replaced.
+        let scenario = ClusterScenario::builder(ServiceId::MongoDb)
+            .nodes(2)
+            .jobs([
+                AppId::Raytrace,
+                AppId::Snp,
+                AppId::KMeans,
+                AppId::Bayesian,
+                AppId::Snp,
+                AppId::KMeans,
+            ])
+            .avg_node_load(0.5)
+            .horizon_intervals(200)
+            .seed(3)
+            .build();
+        let outcome = Engine::new().run_cluster(&scenario);
+        assert_eq!(outcome.scheduler_stats.submitted, 6);
+        assert!(
+            outcome.scheduler_stats.completed >= 4,
+            "queued jobs must be placed and complete ({:?})",
+            outcome.scheduler_stats
+        );
+        assert!(
+            outcome.scheduler_stats.placed > 2 && outcome.scheduler_stats.placed <= 6,
+            "the queue must drain into freed slots ({:?})",
+            outcome.scheduler_stats
+        );
+        assert!(outcome.scheduler_stats.placed >= outcome.scheduler_stats.completed);
+        assert_eq!(outcome.jobs_completed(), outcome.scheduler_stats.completed);
+        let per_node: usize = outcome
+            .node_outcomes
+            .iter()
+            .map(|node| node.jobs_completed)
+            .sum();
+        assert_eq!(per_node, outcome.scheduler_stats.completed);
+    }
+
+    #[test]
+    fn precise_fleet_runs_uninstrumented_and_never_reclaims() {
+        let scenario = ClusterScenario::builder(ServiceId::Nginx)
+            .nodes(2)
+            .jobs([AppId::Canneal, AppId::Snp])
+            .policy(PolicyKind::Precise)
+            .avg_node_load(0.5)
+            .horizon_intervals(15)
+            .build();
+        let outcome = Engine::new().run_cluster(&scenario);
+        assert_eq!(outcome.max_total_extra_cores, 0);
+        assert_eq!(outcome.mean_completed_inaccuracy_pct(), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Multi-node fleet simulation: Pliant at cluster scale.
+//!
+//! The paper's headline result is fleet-level: approximation-aware co-location raises
+//! effective machine utilization, so the same tail-latency QoS is served with **fewer
+//! machines**. This crate lifts the single-node reproduction to an N-node fleet in
+//! which every node runs the exact single-node loop — a
+//! [`ColocationSim`](pliant_sim::colocation::ColocationSim) driven by its own
+//! monitor/policy/actuator — while three fleet-level components couple the nodes
+//! between decision intervals:
+//!
+//! * [`balancer`] — splits the cluster-wide offered load into per-node load each
+//!   interval ([`BalancerKind::RoundRobin`], [`BalancerKind::LeastLoaded`],
+//!   [`BalancerKind::PowerOfTwoChoices`]).
+//! * [`scheduler`] — admits queued batch jobs into node slots freed by completed jobs
+//!   ([`SchedulerKind::FirstFit`], [`SchedulerKind::UtilizationAware`], and the
+//!   approximation-aware [`SchedulerKind::QosSlackAware`]).
+//! * [`sim`] / [`engine`] — the fleet simulator and its integration with the core
+//!   [`Engine`](pliant_core::engine::Engine): [`ClusterEngineExt::run_cluster`] fans
+//!   the independent node updates out over the engine's worker threads and produces
+//!   byte-identical output to a serial run.
+//!
+//! Fleet metrics come from merging every node's latency histogram
+//! ([`LatencyHistogram::try_merge`](pliant_telemetry::histogram::LatencyHistogram::try_merge)),
+//! so the fleet p99 is the exact quantile over every request in the fleet — the number
+//! the machines-needed-at-QoS-target search ([`outcome::machines_needed`]) minimizes.
+//!
+//! # Example
+//!
+//! ```
+//! use pliant_approx::catalog::AppId;
+//! use pliant_cluster::prelude::*;
+//! use pliant_core::engine::Engine;
+//! use pliant_workloads::service::ServiceId;
+//!
+//! let scenario = ClusterScenario::builder(ServiceId::Memcached)
+//!     .nodes(3)
+//!     .jobs(vec![AppId::Canneal, AppId::Snp, AppId::Bayesian, AppId::KMeans])
+//!     .avg_node_load(0.6)
+//!     .horizon_intervals(20)
+//!     .build();
+//! let outcome = Engine::new().parallel().run_cluster(&scenario);
+//! assert_eq!(outcome.nodes, 3);
+//! println!("fleet p99/QoS = {:.2}", outcome.fleet_tail_latency_ratio);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod balancer;
+pub mod engine;
+pub mod node;
+pub mod outcome;
+pub mod scenario;
+pub mod scheduler;
+pub mod sim;
+pub mod suite;
+
+pub use balancer::{BalancerKind, LoadBalancer};
+pub use engine::ClusterEngineExt;
+pub use node::{ClusterNode, NodeInterval, NodeSnapshot};
+pub use outcome::{machines_needed, ClusterOutcome, NodeOutcome};
+pub use scenario::{ClusterScenario, ClusterScenarioBuilder, ClusterScenarioError};
+pub use scheduler::{BatchScheduler, SchedulerKind, SchedulerStats};
+pub use sim::{ClusterInterval, ClusterSim};
+pub use suite::{ClusterCellOutcome, ClusterSuite, ClusterSuiteError, ClusterSweepAxis};
+
+/// Commonly-used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::balancer::BalancerKind;
+    pub use crate::engine::ClusterEngineExt;
+    pub use crate::outcome::{machines_needed, ClusterOutcome, NodeOutcome};
+    pub use crate::scenario::{ClusterScenario, ClusterScenarioBuilder, ClusterScenarioError};
+    pub use crate::scheduler::SchedulerKind;
+    pub use crate::sim::{ClusterInterval, ClusterSim};
+    pub use crate::suite::{ClusterCellOutcome, ClusterSuite, ClusterSweepAxis};
+}

@@ -1,0 +1,271 @@
+//! One fleet node: a co-location simulator plus its own Pliant runtime.
+//!
+//! A [`ClusterNode`] wraps exactly what a single-node experiment runs — a
+//! [`ColocationSim`], a [`PerformanceMonitor`], a policy built from the scenario's
+//! [`PolicyKind`](pliant_core::policy::PolicyKind), and an [`Actuator`] — and advances it
+//! one decision interval at a time under whatever offered load the cluster's balancer
+//! assigns. Nodes are fully independent within an interval (each derives its own RNG
+//! streams from the cluster seed), which is what lets the cluster engine advance them in
+//! parallel without changing any result.
+
+use pliant_approx::catalog::{AppProfile, Catalog};
+use pliant_core::actuator::Actuator;
+use pliant_core::controller::ControllerConfig;
+use pliant_core::monitor::{MonitorConfig, PerformanceMonitor};
+use pliant_core::policy::Policy;
+use pliant_sim::colocation::{ColocationConfig, ColocationSim, IntervalObservation};
+use pliant_telemetry::rng::derive_seed;
+
+use crate::scenario::ClusterScenario;
+
+/// Per-idle-interval decay of the balancer-visible smoothed-latency estimate. The
+/// monitor's own EWMA is untouched (idle gaps are no evidence for the controller); this
+/// only ages the dispatcher's view so a shed node rejoins the rotation within a few
+/// intervals instead of being starved on a frozen reading.
+const IDLE_ESTIMATE_DECAY: f64 = 0.5;
+
+/// A node's externally visible state at an interval boundary, consumed by the load
+/// balancer and the batch scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSnapshot {
+    /// Index of the node within the fleet.
+    pub index: usize,
+    /// Smoothed (EWMA) tail-latency estimate of the node's interactive service, in
+    /// seconds; `0.0` until the first traffic-serving interval.
+    pub smoothed_p99_s: f64,
+    /// Utilization of the node's interactive service during the last interval.
+    pub utilization: f64,
+    /// Batch slots whose job has finished (free for a queued job).
+    pub free_slots: usize,
+    /// The node's QoS target in seconds.
+    pub qos_target_s: f64,
+}
+
+impl NodeSnapshot {
+    /// Tail-latency slack relative to the QoS target (positive = headroom), from the
+    /// smoothed estimate.
+    pub fn slack_fraction(&self) -> f64 {
+        if self.qos_target_s > 0.0 {
+            (self.qos_target_s - self.smoothed_p99_s) / self.qos_target_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What one node produced during one decision interval.
+#[derive(Debug, Clone)]
+pub struct NodeInterval {
+    /// Index of the node within the fleet.
+    pub node: usize,
+    /// Offered load the balancer *routed* to this node for the interval, as a fraction
+    /// of the node's saturation throughput. Routed, not served: the workload generator
+    /// caps at 1.2x saturation, so in overload this exceeds the load the node actually
+    /// ran — `observation.offered_load` reports the served (capped) value.
+    pub assigned_load: f64,
+    /// Cores the node's interactive service held beyond its fair share at the end of
+    /// the interval (cores reclaimed from the batch slots).
+    pub extra_service_cores: u32,
+    /// Jobs that ran to completion during the interval.
+    pub jobs_completed: usize,
+    /// The node's smoothed tail-latency estimate after the interval, in seconds.
+    pub smoothed_p99_s: f64,
+    /// The underlying single-node observation (latency samples, per-slot status, …).
+    pub observation: IntervalObservation,
+}
+
+/// One fleet node; see the module docs.
+pub struct ClusterNode {
+    index: usize,
+    sim: ColocationSim,
+    policy: Box<dyn Policy + Send>,
+    monitor: PerformanceMonitor,
+    actuator: Actuator,
+    fair_service_cores: u32,
+    /// Per-slot completion latch, used to report each job's completion exactly once.
+    slot_done: Vec<bool>,
+    /// Inaccuracy of every job completed on this node so far, in percent.
+    completed_inaccuracy_pct: Vec<f64>,
+    smoothed_p99_s: f64,
+    utilization: f64,
+    decision_interval_s: f64,
+}
+
+impl ClusterNode {
+    /// Builds node `index` of the fleet described by `scenario`, co-locating
+    /// `initial_jobs` (one per batch slot). All of the node's RNG streams derive from
+    /// the cluster seed and the node index, mirroring how suites derive per-cell seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_jobs` is empty or names an application missing from the
+    /// catalog.
+    pub fn new(
+        scenario: &ClusterScenario,
+        index: usize,
+        initial_jobs: &[pliant_approx::catalog::AppId],
+        catalog: &Catalog,
+    ) -> Self {
+        let node_seed = derive_seed(scenario.seed, 0xC1_0000 + index as u64);
+        let mut config = ColocationConfig::paper_default(scenario.service, initial_jobs, node_seed)
+            .with_load(scenario.avg_node_load);
+        config.instrumented = scenario.effective_instrumented();
+        if let Some(qos_s) = scenario.qos_target_s {
+            config.service.qos_target_s = qos_s;
+        }
+        let qos_target_s = config.service.qos_target_s;
+        let sim = ColocationSim::new(config, catalog);
+        let fair_service_cores = sim.service_cores();
+
+        let variant_counts: Vec<usize> = initial_jobs
+            .iter()
+            .map(|id| catalog.profile(*id).map_or(0, |p| p.variant_count()))
+            .collect();
+        let initial_cores: Vec<u32> = (0..initial_jobs.len())
+            .map(|i| sim.app(i).cores())
+            .collect();
+        let controller_config = ControllerConfig {
+            decision_interval_s: scenario.decision_interval_s,
+            slack_threshold: scenario.slack_threshold,
+            consecutive_slack_required: scenario.consecutive_slack_required,
+        };
+        let start_pointer = (derive_seed(node_seed, 7) % initial_jobs.len() as u64) as usize;
+        let policy = scenario.policy.build(
+            controller_config,
+            &variant_counts,
+            &initial_cores,
+            start_pointer,
+        );
+        let monitor = PerformanceMonitor::new(
+            MonitorConfig::for_qos(qos_target_s),
+            derive_seed(node_seed, 8),
+        );
+
+        Self {
+            index,
+            sim,
+            policy,
+            monitor,
+            actuator: Actuator::new(),
+            fair_service_cores,
+            slot_done: vec![false; initial_jobs.len()],
+            completed_inaccuracy_pct: Vec::new(),
+            smoothed_p99_s: 0.0,
+            utilization: 0.0,
+            decision_interval_s: scenario.decision_interval_s,
+        }
+    }
+
+    /// Index of the node within the fleet.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The node's state as the balancer and scheduler see it.
+    pub fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            index: self.index,
+            smoothed_p99_s: self.smoothed_p99_s,
+            utilization: self.utilization,
+            free_slots: self.free_slots(),
+            qos_target_s: self.sim.config().service.qos_target_s,
+        }
+    }
+
+    /// Batch slots whose job has finished.
+    pub fn free_slots(&self) -> usize {
+        (0..self.sim.app_count())
+            .filter(|&slot| self.sim.app(slot).is_finished())
+            .count()
+    }
+
+    /// Cores the interactive service holds beyond its fair share.
+    pub fn extra_service_cores(&self) -> u32 {
+        self.sim
+            .service_cores()
+            .saturating_sub(self.fair_service_cores)
+    }
+
+    /// Inaccuracy of every job completed on this node so far, in percent.
+    pub fn completed_inaccuracy_pct(&self) -> &[f64] {
+        &self.completed_inaccuracy_pct
+    }
+
+    /// Places a fresh job into the node's lowest free slot; the job inherits the slot's
+    /// core state (see
+    /// [`ColocationSim::replace_app`](pliant_sim::colocation::ColocationSim::replace_app))
+    /// and the node's policy is notified so per-slot variant state resets while the core
+    /// ledger persists. Returns the slot used, or `None` when no slot is free.
+    pub fn place_job(&mut self, profile: &AppProfile) -> Option<usize> {
+        let slot = (0..self.sim.app_count()).find(|&s| self.sim.app(s).is_finished())?;
+        let variant_count = profile.variant_count();
+        assert!(
+            self.sim.replace_app(slot, profile.clone()),
+            "a finished slot must accept a replacement job"
+        );
+        self.policy.on_app_replaced(slot, variant_count);
+        self.slot_done[slot] = false;
+        Some(slot)
+    }
+
+    /// Advances the node one decision interval at the balancer-assigned offered load:
+    /// the simulator runs the interval, the monitor reports on its latency samples, and
+    /// the policy's actions are applied before the next interval — exactly the
+    /// single-node loop, per node.
+    pub fn step(&mut self, assigned_load: f64) -> NodeInterval {
+        // A saturated-fleet spill can nudge an assignment slightly past the profile
+        // bound; clamp into the range the simulator accepts (it caps the generator at
+        // 1.2x saturation anyway).
+        self.sim.set_load_fraction(
+            assigned_load.clamp(0.0, pliant_workloads::profile::MAX_LOAD_FRACTION),
+        );
+        let observation = self.sim.advance(self.decision_interval_s);
+
+        // Latch completions so each job is counted exactly once.
+        let mut jobs_completed = 0usize;
+        for slot in 0..self.sim.app_count() {
+            if !self.slot_done[slot] && self.sim.app(slot).is_finished() {
+                self.slot_done[slot] = true;
+                jobs_completed += 1;
+                self.completed_inaccuracy_pct
+                    .push(self.sim.app(slot).inaccuracy_pct());
+            }
+        }
+
+        let report = self
+            .monitor
+            .observe_interval(&observation.latency_samples_s);
+        let actions = self.policy.decide(&report);
+        self.actuator.apply_all(&mut self.sim, &actions);
+        if report.no_signal {
+            // The monitor rightly holds its EWMA through idle intervals (no evidence —
+            // the *controller* must not relax), but the balancer-visible estimate must
+            // age out: an idle node has an empty queue, and freezing its last (possibly
+            // terrible) latency reading would starve it forever once the dispatcher
+            // sheds its traffic.
+            self.smoothed_p99_s *= IDLE_ESTIMATE_DECAY;
+        } else {
+            self.smoothed_p99_s = report.smoothed_p99_s;
+        }
+        self.utilization = observation.utilization;
+
+        NodeInterval {
+            node: self.index,
+            assigned_load,
+            extra_service_cores: self.extra_service_cores(),
+            jobs_completed,
+            smoothed_p99_s: self.smoothed_p99_s,
+            observation,
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterNode")
+            .field("index", &self.index)
+            .field("free_slots", &self.free_slots())
+            .field("smoothed_p99_s", &self.smoothed_p99_s)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,249 @@
+//! The fleet simulator: N nodes coupled by a load balancer and a batch scheduler.
+//!
+//! A [`ClusterSim`] advances the whole fleet one decision interval at a time:
+//!
+//! 1. the per-node-average load profile is sampled and scaled to the fleet's total
+//!    offered load;
+//! 2. the batch scheduler places queued jobs into slots freed by jobs that completed in
+//!    the previous interval;
+//! 3. the [`LoadBalancer`] splits the total load into
+//!    per-node assignments (using the previous interval's node snapshots);
+//! 4. every node advances independently — its simulator, monitor, policy, and actuator
+//!    run the exact single-node loop.
+//!
+//! Step 4 is embarrassingly parallel: nodes share no state within an interval, and all
+//! cross-node decisions (balancing, placement) happen between intervals on the
+//! coordinating thread. [`ClusterSim::advance_threads`] therefore produces results
+//! byte-identical to [`ClusterSim::advance`] for any worker count.
+
+use pliant_approx::catalog::Catalog;
+
+use crate::balancer::LoadBalancer;
+use crate::node::{ClusterNode, NodeInterval, NodeSnapshot};
+use crate::scenario::ClusterScenario;
+use crate::scheduler::{BatchScheduler, SchedulerStats};
+
+/// Everything the fleet produced during one decision interval.
+#[derive(Debug, Clone)]
+pub struct ClusterInterval {
+    /// Experiment time at the end of the interval, in seconds.
+    pub time_s: f64,
+    /// The sampled per-node-average offered load for the interval.
+    pub avg_offered_load: f64,
+    /// Total offered load for the interval, in node-saturation units
+    /// (`avg_offered_load × nodes`).
+    pub total_offered_load: f64,
+    /// Jobs placed onto nodes at the start of the interval.
+    pub jobs_placed: usize,
+    /// Per-node results, in node order.
+    pub nodes: Vec<NodeInterval>,
+}
+
+/// The fleet simulator; see the module docs.
+pub struct ClusterSim {
+    scenario: ClusterScenario,
+    catalog: Catalog,
+    nodes: Vec<ClusterNode>,
+    balancer: LoadBalancer,
+    scheduler: BatchScheduler,
+    time_s: f64,
+    intervals: usize,
+}
+
+impl ClusterSim {
+    /// Builds the fleet described by `scenario`, filling every node's slots with the
+    /// first `nodes × slots_per_node` jobs (node-major order) and queueing the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`ClusterScenario::validate`] or names an
+    /// application missing from the catalog.
+    pub fn new(scenario: &ClusterScenario, catalog: &Catalog) -> Self {
+        if let Err(e) = scenario.validate() {
+            panic!("invalid cluster scenario `{}`: {e}", scenario.describe());
+        }
+        let initial = scenario.initial_job_count();
+        let nodes: Vec<ClusterNode> = (0..scenario.nodes)
+            .map(|i| {
+                let slice =
+                    &scenario.jobs[i * scenario.slots_per_node..(i + 1) * scenario.slots_per_node];
+                ClusterNode::new(scenario, i, slice, catalog)
+            })
+            .collect();
+        let balancer = scenario.balancer.build(
+            scenario.nodes,
+            pliant_telemetry::rng::derive_seed(scenario.seed, 0xBA_1A_4C_E0),
+        );
+        let scheduler = BatchScheduler::new(
+            scenario.scheduler,
+            scenario.jobs[initial..].iter().copied(),
+            initial,
+        );
+        Self {
+            scenario: scenario.clone(),
+            catalog: catalog.clone(),
+            nodes,
+            balancer,
+            scheduler,
+            time_s: 0.0,
+            intervals: 0,
+        }
+    }
+
+    /// The scenario the fleet was built from.
+    pub fn scenario(&self) -> &ClusterScenario {
+        &self.scenario
+    }
+
+    /// Fleet size.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current experiment time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Decision intervals advanced so far.
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
+    /// Job-queue statistics so far.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// Jobs still waiting in the queue.
+    pub fn pending_jobs(&self) -> usize {
+        self.scheduler.pending()
+    }
+
+    /// The current snapshots of every node, in node order.
+    pub fn snapshots(&self) -> Vec<NodeSnapshot> {
+        self.nodes.iter().map(ClusterNode::snapshot).collect()
+    }
+
+    /// Inaccuracies of every job completed on node `index` so far, in percent.
+    pub fn node_completed_inaccuracies(&self, index: usize) -> &[f64] {
+        self.nodes[index].completed_inaccuracy_pct()
+    }
+
+    /// Advances the fleet one decision interval on the calling thread.
+    pub fn advance(&mut self) -> ClusterInterval {
+        self.advance_threads(1)
+    }
+
+    /// Advances the fleet one decision interval, fanning the independent node updates
+    /// out over up to `threads` scoped worker threads (`0` = one per available core).
+    /// The result is byte-identical to [`Self::advance`]: parallelism changes
+    /// wall-clock time, never output.
+    pub fn advance_threads(&mut self, threads: usize) -> ClusterInterval {
+        let n = self.nodes.len();
+        let dt = self.scenario.decision_interval_s;
+
+        // 1. Sample the fleet's load for this interval.
+        let avg_offered_load = self.scenario.effective_load_profile().load_at(self.time_s);
+        let total_offered_load = avg_offered_load * n as f64;
+
+        // 2. Place queued jobs into slots freed by the previous interval. Snapshots are
+        //    refreshed after every placement so one node does not soak up the whole
+        //    queue just because it was chosen first.
+        let mut jobs_placed = 0usize;
+        loop {
+            let snapshots = self.snapshots();
+            let Some((node, app)) = self.scheduler.pop_placement(&snapshots) else {
+                break;
+            };
+            let profile = self
+                .catalog
+                .profile(app)
+                .unwrap_or_else(|| panic!("{app} missing from catalog"))
+                .clone();
+            self.nodes[node]
+                .place_job(&profile)
+                .expect("scheduler only places onto nodes with free slots");
+            jobs_placed += 1;
+        }
+
+        // 3. Split the offered load across nodes.
+        let snapshots = self.snapshots();
+        let assigned = self.balancer.split(total_offered_load, &snapshots);
+
+        // 4. Advance every node independently.
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .clamp(1, n);
+        let node_intervals: Vec<NodeInterval> = if workers == 1 {
+            self.nodes
+                .iter_mut()
+                .zip(&assigned)
+                .map(|(node, &load)| node.step(load))
+                .collect()
+        } else {
+            // The first chunk runs on the calling thread (one fewer spawn per
+            // interval); the rest fan out over scoped workers. Results are stitched
+            // back together in node order, so the output is independent of the worker
+            // count.
+            let chunk = n.div_ceil(workers);
+            let mut out: Vec<NodeInterval> = Vec::with_capacity(n);
+            std::thread::scope(|scope| {
+                let mut chunks = self.nodes.chunks_mut(chunk).zip(assigned.chunks(chunk));
+                let first = chunks.next().expect("fleet is non-empty");
+                let mut handles = Vec::with_capacity(workers - 1);
+                for (node_chunk, load_chunk) in chunks {
+                    handles.push(scope.spawn(move || {
+                        node_chunk
+                            .iter_mut()
+                            .zip(load_chunk)
+                            .map(|(node, &load)| node.step(load))
+                            .collect::<Vec<NodeInterval>>()
+                    }));
+                }
+                out.extend(
+                    first
+                        .0
+                        .iter_mut()
+                        .zip(first.1)
+                        .map(|(node, &load)| node.step(load)),
+                );
+                for handle in handles {
+                    match handle.join() {
+                        Ok(chunk_results) => out.extend(chunk_results),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            out
+        };
+
+        let completions: usize = node_intervals.iter().map(|ni| ni.jobs_completed).sum();
+        self.scheduler.record_completions(completions);
+        self.time_s += dt;
+        self.intervals += 1;
+
+        ClusterInterval {
+            time_s: self.time_s,
+            avg_offered_load,
+            total_offered_load,
+            jobs_placed,
+            nodes: node_intervals,
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("nodes", &self.nodes.len())
+            .field("time_s", &self.time_s)
+            .field("pending_jobs", &self.scheduler.pending())
+            .finish_non_exhaustive()
+    }
+}

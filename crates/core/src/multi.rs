@@ -113,6 +113,19 @@ impl MultiAppController {
         self.decisions
     }
 
+    /// Re-binds slot `app` to a new application with `variant_count` admissible variants
+    /// (batch-job scheduling: a finished job's slot is handed the next queued job).
+    ///
+    /// The new occupant starts precise, so the slot's variant resets; the core ledger
+    /// (`cores_reclaimed` / the reclaimable budget) deliberately persists — the cores the
+    /// service reclaimed from the slot are still held by the service, and recovery must
+    /// return them to whichever job now occupies the slot.
+    pub fn reset_app(&mut self, app: usize, variant_count: usize) {
+        let state = &mut self.apps[app];
+        state.variant_count = variant_count;
+        state.variant = None;
+    }
+
     /// Takes one decision from the monitor's report.
     pub fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
         self.decisions += 1;
@@ -331,6 +344,41 @@ mod tests {
         let after: Vec<Option<usize>> = (0..c.app_count()).map(|i| c.variant(i)).collect();
         assert_eq!(before, after);
         assert_eq!(c.total_cores_reclaimed(), 0);
+    }
+
+    #[test]
+    fn reset_app_clears_the_variant_but_keeps_the_core_ledger() {
+        let mut c = controller();
+        // Escalate both apps, then reclaim one core from app 0.
+        for _ in 0..3 {
+            let _ = c.decide(&violated());
+        }
+        assert_eq!(c.variant(0), Some(3));
+        assert_eq!(c.cores_reclaimed(0), 1);
+        // Slot 0's job finished; a new job with 6 variants takes the slot.
+        c.reset_app(0, 6);
+        assert_eq!(c.variant(0), None, "the new job starts precise");
+        assert_eq!(
+            c.cores_reclaimed(0),
+            1,
+            "the service still holds the slot's reclaimed core"
+        );
+        // The next violation escalates the new occupant to *its* most approximate
+        // variant; recovery later returns the outstanding core to it.
+        let a = c.decide(&violated());
+        assert_eq!(
+            a,
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(5)
+            }]
+        );
+        let r = c.decide(&met(0.3));
+        assert_eq!(
+            r,
+            vec![Action::ReturnCore { app: 0 }],
+            "recovery returns the outstanding core to the slot's new occupant"
+        );
     }
 
     #[test]

@@ -28,6 +28,18 @@ pub trait Policy {
     /// escalation/relaxation, core movement) must hold. Only pending time-insensitive
     /// actions — like a static policy's one-shot initial pin — may still be emitted.
     fn decide(&mut self, report: &MonitorReport) -> Vec<Action>;
+
+    /// Notifies the policy that slot `app` now runs a different application with
+    /// `variant_count` admissible variants (batch-job scheduling placed a fresh job into
+    /// a finished slot).
+    ///
+    /// The new job starts precise, so any per-slot variant state must reset, while the
+    /// slot's core ledger must persist — cores the service reclaimed from the slot are
+    /// still reclaimed and must be returned to the new occupant during recovery. The
+    /// default is a no-op, which is correct for stateless policies.
+    fn on_app_replaced(&mut self, app: usize, variant_count: usize) {
+        let _ = (app, variant_count);
+    }
 }
 
 /// Selector for the built-in policies, used by the scenario engine and harness binaries.
@@ -61,14 +73,15 @@ impl PolicyKind {
         ]
     }
     /// Instantiates the policy for a co-location with the given per-application variant
-    /// counts and initial core allocations.
+    /// counts and initial core allocations. The returned policy is `Send` so callers
+    /// (e.g. the cluster engine) can drive per-node policies from worker threads.
     pub fn build(
         &self,
         config: ControllerConfig,
         variant_counts: &[usize],
         initial_cores: &[u32],
         start_pointer: usize,
-    ) -> Box<dyn Policy> {
+    ) -> Box<dyn Policy + Send> {
         match self {
             PolicyKind::Pliant => Box::new(PliantPolicy::new(
                 config,
@@ -133,6 +146,10 @@ impl Policy for PliantPolicy {
     fn decide(&mut self, report: &MonitorReport) -> Vec<Action> {
         self.inner.decide(report)
     }
+
+    fn on_app_replaced(&mut self, app: usize, variant_count: usize) {
+        self.inner.reset_app(app, variant_count);
+    }
 }
 
 /// The paper's baseline: never adapts anything.
@@ -171,6 +188,19 @@ impl StaticMostApproximatePolicy {
 impl Policy for StaticMostApproximatePolicy {
     fn decide(&mut self, _report: &MonitorReport) -> Vec<Action> {
         std::mem::take(&mut self.pending)
+    }
+
+    fn on_app_replaced(&mut self, app: usize, variant_count: usize) {
+        // The replacement job starts precise; queue the same one-shot pin for it.
+        self.pending.retain(
+            |a| !matches!(a, Action::SetVariant { app: pending_app, .. } if *pending_app == app),
+        );
+        if variant_count > 0 {
+            self.pending.push(Action::SetVariant {
+                app,
+                variant: Some(variant_count - 1),
+            });
+        }
     }
 }
 
@@ -334,6 +364,47 @@ mod tests {
         let names: std::collections::BTreeSet<&str> =
             PolicyKind::all().iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), PolicyKind::all().len());
+    }
+
+    #[test]
+    fn static_policy_repins_a_replaced_app() {
+        let mut p = StaticMostApproximatePolicy::new(&[3]);
+        let _ = p.decide(&met(0.0)); // initial pin delivered
+        p.on_app_replaced(0, 5);
+        assert_eq!(
+            p.decide(&met(0.0)),
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(4)
+            }],
+            "the replacement job must be pinned to its own most approximate variant"
+        );
+        // A replacement by a variant-less job cancels any stale pending pin.
+        p.on_app_replaced(0, 4);
+        p.on_app_replaced(0, 0);
+        assert!(p.decide(&met(0.0)).is_empty());
+    }
+
+    #[test]
+    fn pliant_policy_resets_a_replaced_apps_variant_but_not_its_ledger() {
+        let mut p = PliantPolicy::new(ControllerConfig::default(), &[2], &[8], 0);
+        let _ = p.decide(&violated()); // escalate
+        let _ = p.decide(&violated()); // reclaim a core
+        assert_eq!(p.total_cores_reclaimed(), 1);
+        p.on_app_replaced(0, 4);
+        assert_eq!(
+            p.total_cores_reclaimed(),
+            1,
+            "the core ledger survives job replacement"
+        );
+        assert_eq!(
+            p.decide(&violated()),
+            vec![Action::SetVariant {
+                app: 0,
+                variant: Some(3)
+            }],
+            "the new job escalates from precise to its own most approximate variant"
+        );
     }
 
     #[test]

@@ -145,6 +145,11 @@ impl Scenario {
         if !(self.slack_threshold >= 0.0 && self.slack_threshold.is_finite()) {
             return Err(ScenarioError::InvalidSlackThreshold);
         }
+        if let Some(qos_s) = self.qos_target_s {
+            if !(qos_s > 0.0 && qos_s.is_finite()) {
+                return Err(ScenarioError::InvalidQosTarget);
+            }
+        }
         if let Some(profile) = &self.load_profile {
             profile
                 .validate()
@@ -186,6 +191,9 @@ pub enum ScenarioError {
     InvalidHorizon,
     /// The slack threshold is negative or not finite.
     InvalidSlackThreshold,
+    /// The QoS-target override is zero, negative, or not finite (every latency ratio
+    /// and slack fraction divides by it).
+    InvalidQosTarget,
     /// The load profile failed its own validation.
     InvalidLoadProfile(pliant_workloads::profile::LoadProfileError),
 }
@@ -203,6 +211,9 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::InvalidHorizon => f.write_str("horizon must be positive and finite"),
             ScenarioError::InvalidSlackThreshold => {
                 f.write_str("slack threshold must be non-negative")
+            }
+            ScenarioError::InvalidQosTarget => {
+                f.write_str("QoS-target override must be positive and finite")
             }
             ScenarioError::InvalidLoadProfile(e) => write!(f, "invalid load profile: {e}"),
         }
@@ -446,6 +457,14 @@ mod tests {
                 .try_build()
                 .unwrap_err(),
             ScenarioError::InvalidHorizon
+        );
+        assert_eq!(
+            Scenario::builder(ServiceId::Nginx)
+                .app(AppId::Snp)
+                .qos_target_s(f64::NAN)
+                .try_build()
+                .unwrap_err(),
+            ScenarioError::InvalidQosTarget
         );
     }
 

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use pliant_approx::catalog::{AppId, AppProfile, Catalog};
 use pliant_telemetry::rng::{derive_seed, seeded_rng};
 use pliant_workloads::generator::OpenLoopGenerator;
-use pliant_workloads::profile::{LoadPhase, LoadProfile};
+use pliant_workloads::profile::{LoadPhase, LoadProfile, LoadProfileError};
 use pliant_workloads::service::{ServiceId, ServiceProfile};
 use rand::rngs::SmallRng;
 
@@ -97,13 +97,27 @@ impl ColocationConfig {
 
     /// Same as [`Self::paper_default`] but with a custom constant load fraction (for
     /// Fig. 8).
-    pub fn with_load(mut self, load_fraction: f64) -> Self {
-        self.load = LoadProfile::constant(load_fraction);
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constant profile at `load_fraction` fails
+    /// [`LoadProfile::validate`] (non-finite, out of range, or never positive) — the
+    /// same check a [`pliant_workloads::profile::LoadProfile`] swept through a suite
+    /// gets, applied at the config boundary so a directly-built simulator rejects it
+    /// too.
+    pub fn with_load(self, load_fraction: f64) -> Self {
+        self.with_load_profile(LoadProfile::constant(load_fraction))
     }
 
     /// Same as [`Self::paper_default`] but with a time-varying load profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`LoadProfile::validate`]; see [`Self::with_load`].
     pub fn with_load_profile(mut self, profile: LoadProfile) -> Self {
+        if let Err(e) = profile.validate() {
+            panic!("invalid load profile `{}`: {e}", profile.describe());
+        }
         self.load = profile;
         self
     }
@@ -193,12 +207,21 @@ impl ColocationSim {
     ///
     /// # Panics
     ///
-    /// Panics if `config.apps` is empty or names an application missing from the catalog.
+    /// Panics if `config.apps` is empty, names an application missing from the catalog,
+    /// or `config.load` fails [`LoadProfile::validate`] (a deserialized or hand-built
+    /// configuration bypasses the `with_load*` builders, so the boundary check is
+    /// repeated here).
     pub fn new(config: ColocationConfig, catalog: &Catalog) -> Self {
         assert!(
             !config.apps.is_empty(),
             "at least one approximate application is required"
         );
+        if let Err(e) = config.load.validate() {
+            panic!(
+                "invalid load profile `{}` in colocation config: {e}",
+                config.load.describe()
+            );
+        }
         let (service_cores, per_app_cores) =
             config.server.fair_allocation(config.apps.len() as u32);
         let apps: Vec<BatchAppState> = config
@@ -261,8 +284,49 @@ impl ColocationSim {
     /// Replaces the load profile mid-experiment. The profile is evaluated against total
     /// experiment time, not time since the swap; [`Self::advance`] samples it (and sets
     /// the generator's rate) at the start of the next interval.
+    ///
+    /// Unlike the config-boundary builders this deliberately accepts profiles that fail
+    /// [`LoadProfile::validate`]'s never-positive check: an external dispatcher (e.g. a
+    /// cluster load balancer) may legitimately assign a node zero load for a while, which
+    /// simply yields idle intervals. Every *other* validation failure (non-finite or
+    /// out-of-range loads, malformed traces) is still rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation for any reason other than
+    /// [`LoadProfileError::NeverPositive`].
     pub fn set_load_profile(&mut self, profile: LoadProfile) {
+        match profile.validate() {
+            Ok(()) | Err(LoadProfileError::NeverPositive) => {}
+            Err(e) => panic!("invalid load profile `{}`: {e}", profile.describe()),
+        }
         self.config.load = profile;
+    }
+
+    /// Replaces the **finished** application in slot `index` with a fresh job.
+    ///
+    /// This is the substrate for batch-job scheduling across a fleet: a slot whose job
+    /// has completed is handed the next queued job without disturbing anything else on
+    /// the node. The incoming job inherits the slot's core state exactly — it starts
+    /// with the cores the outgoing job currently holds (any cores the service reclaimed
+    /// from the slot stay with the service), and its full allocation remains the slot's
+    /// original fair share, so a later [`Self::return_core`] can give the reclaimed
+    /// cores back to the new occupant. The new job starts in precise mode.
+    ///
+    /// Returns `false` (and changes nothing) if the slot's current job has not finished.
+    pub fn replace_app(&mut self, index: usize, profile: AppProfile) -> bool {
+        if !self.apps[index].is_finished() {
+            return false;
+        }
+        let slot_share = self.apps[index].initial_cores();
+        let current = self.apps[index].cores();
+        let mut fresh = BatchAppState::new(profile, slot_share, self.config.instrumented);
+        for _ in current..slot_share {
+            fresh.reclaim_core();
+        }
+        self.config.apps[index] = fresh.profile().id;
+        self.apps[index] = fresh;
+        true
     }
 
     /// Switches application `index` to the given variant (`None` = precise). Returns
@@ -659,6 +723,90 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid load profile")]
+    fn with_load_rejects_out_of_range_fractions() {
+        let _ = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 1).with_load(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid load profile")]
+    fn with_load_profile_rejects_invalid_profiles() {
+        let _ = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 1)
+            .with_load_profile(LoadProfile::Trace { points: vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid load profile")]
+    fn simulator_construction_rejects_hand_built_invalid_loads() {
+        // Serde or struct-literal construction bypasses the `with_load*` builders; the
+        // simulator boundary must reject the profile anyway.
+        let mut cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 1);
+        cfg.load = LoadProfile::constant(f64::NAN);
+        let _ = ColocationSim::new(cfg, &catalog());
+    }
+
+    #[test]
+    fn mid_run_load_swaps_allow_zero_but_reject_malformed_profiles() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 1);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        // A dispatcher may assign zero load (idle node) — accepted.
+        sim.set_load_fraction(0.0);
+        assert_eq!(sim.advance(1.0).arrivals, 0);
+        // Anything else invalid is still rejected at the swap.
+        let nan = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.set_load_fraction(f64::NAN);
+        }));
+        assert!(nan.is_err(), "NaN loads must not enter the simulator");
+        let over = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.set_load_fraction(7.0);
+        }));
+        assert!(
+            over.is_err(),
+            "out-of-range loads must not enter the simulator"
+        );
+    }
+
+    #[test]
+    fn replace_app_swaps_a_finished_slot_and_keeps_core_state() {
+        let catalog = catalog();
+        let cfg = ColocationConfig::paper_default(ServiceId::MongoDb, &[AppId::Raytrace], 3);
+        let mut sim = ColocationSim::new(cfg, &catalog);
+        let slot_share = sim.app(0).initial_cores();
+        // Reclaim two cores, then run the job to completion.
+        assert!(sim.reclaim_core(0));
+        assert!(sim.reclaim_core(0));
+        let service_cores = sim.service_cores();
+        let snp = catalog.profile(AppId::Snp).unwrap().clone();
+        assert!(
+            !sim.replace_app(0, snp.clone()),
+            "a running job must not be evicted"
+        );
+        for _ in 0..120 {
+            if sim.advance(1.0).all_apps_finished {
+                break;
+            }
+        }
+        assert!(sim.app(0).is_finished(), "raytrace finishes within 120 s");
+        assert!(sim.replace_app(0, snp));
+        // The new job inherits the slot exactly: same current cores, same full share,
+        // precise execution, zero progress; the service keeps its reclaimed cores.
+        assert_eq!(sim.app(0).profile().id, AppId::Snp);
+        assert_eq!(sim.config().apps[0], AppId::Snp);
+        assert_eq!(sim.app(0).cores(), slot_share - 2);
+        assert_eq!(sim.app(0).initial_cores(), slot_share);
+        assert_eq!(sim.app(0).cores_reclaimed(), 2);
+        assert_eq!(sim.app(0).variant(), None);
+        assert_eq!(sim.app(0).progress(), 0.0);
+        assert!(!sim.app(0).is_finished());
+        assert_eq!(sim.service_cores(), service_cores);
+        // Returning the reclaimed cores now benefits the new occupant.
+        assert!(sim.return_core(0));
+        assert!(sim.return_core(0));
+        assert_eq!(sim.app(0).cores(), slot_share);
+        assert!(!sim.return_core(0), "cannot exceed the slot's fair share");
     }
 
     #[test]

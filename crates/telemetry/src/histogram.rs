@@ -16,6 +16,30 @@ const SUB_BUCKETS: usize = 32;
 /// latency expressed in microseconds that the simulators produce.
 const EXP_BUCKETS: usize = 40;
 
+/// Why two histograms could not be merged: their bucket configurations differ, so their
+/// bucket arrays do not describe the same value ranges and summing them would produce
+/// silently wrong quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramMergeError {
+    /// Bucket count of the histogram being merged into.
+    pub own_buckets: usize,
+    /// Bucket count of the histogram being merged from.
+    pub other_buckets: usize,
+}
+
+impl std::fmt::Display for HistogramMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bucket configurations differ ({} vs {} buckets); \
+             merging them would misalign value ranges",
+            self.own_buckets, self.other_buckets
+        )
+    }
+}
+
+impl std::error::Error for HistogramMergeError {}
+
 /// A log-bucketed histogram of non-negative `f64` values (latencies, in any unit).
 ///
 /// Values are bucketed into `EXP_BUCKETS` powers of two, each split into `SUB_BUCKETS`
@@ -114,7 +138,42 @@ impl LatencyHistogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Merging is exact: the merged histogram reports the same counts, mean, and
+    /// percentiles as one histogram that recorded every value directly, which is what
+    /// makes per-node histograms safe to aggregate into fleet-level quantiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket configurations (see
+    /// [`Self::try_merge`]); use `try_merge` to handle that case without panicking.
     pub fn merge(&mut self, other: &LatencyHistogram) {
+        if let Err(e) = self.try_merge(other) {
+            panic!("cannot merge latency histograms: {e}");
+        }
+    }
+
+    /// Merges another histogram into this one, failing if the bucket configurations
+    /// differ.
+    ///
+    /// Histograms built in-process always share the compile-time bucket layout, but a
+    /// histogram deserialized from an archive (possibly written by a build with different
+    /// constants, or hand-edited) may not. Summing misaligned buckets would silently
+    /// produce wrong quantiles — exactly the failure mode fleet-level aggregation cannot
+    /// afford — so mismatched configurations are reported as an error and `self` is left
+    /// untouched.
+    ///
+    /// The check compares total bucket counts, which distinguishes builds whose
+    /// `SUB_BUCKETS × EXP_BUCKETS` products differ. Two geometries with equal products
+    /// (e.g. the factors swapped) would still pass; serialized histograms do not carry
+    /// their geometry, so that residual case is documented rather than detected.
+    pub fn try_merge(&mut self, other: &LatencyHistogram) -> Result<(), HistogramMergeError> {
+        if self.buckets.len() != other.buckets.len() {
+            return Err(HistogramMergeError {
+                own_buckets: self.buckets.len(),
+                other_buckets: other.buckets.len(),
+            });
+        }
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *b += o;
         }
@@ -122,6 +181,7 @@ impl LatencyHistogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 
     /// Number of recorded values.
@@ -289,6 +349,83 @@ mod tests {
         assert_eq!(a.count(), all.count());
         assert!((a.percentile(0.99) - all.percentile(0.99)).abs() < 1e-9);
         assert!((a.mean() - all.mean()).abs() < 1e-9);
+    }
+
+    /// Builds a histogram whose serialized bucket array was truncated — the shape a
+    /// foreign or hand-edited archive would have.
+    fn tampered_histogram() -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        h.record_many(&[1.0, 2.0, 3.0]);
+        let json = serde::Serialize::to_value(&h);
+        let entries = match json {
+            serde::Value::Object(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "buckets" {
+                        let buckets = match v {
+                            serde::Value::Array(mut items) => {
+                                items.truncate(64);
+                                items
+                            }
+                            _ => panic!("buckets serialize as an array"),
+                        };
+                        (k, serde::Value::Array(buckets))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect::<Vec<_>>(),
+            _ => panic!("histograms serialize as objects"),
+        };
+        serde::Deserialize::from_value(&serde::Value::Object(entries))
+            .expect("structurally valid JSON")
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatched_bucket_configurations() {
+        let foreign = tampered_histogram();
+        let mut h = LatencyHistogram::new();
+        h.record_many(&[5.0, 6.0]);
+        let before_count = h.count();
+        let before_p99 = h.percentile(0.99);
+        let err = h.try_merge(&foreign).unwrap_err();
+        assert_eq!(err.other_buckets, 64);
+        assert!(err.own_buckets > err.other_buckets);
+        assert!(err.to_string().contains("bucket configurations differ"));
+        // The failed merge must leave the receiver untouched.
+        assert_eq!(h.count(), before_count);
+        assert_eq!(h.percentile(0.99), before_p99);
+    }
+
+    #[test]
+    fn merge_panics_on_mismatched_bucket_configurations() {
+        let foreign = tampered_histogram();
+        let mut h = LatencyHistogram::new();
+        h.record(1.0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.merge(&foreign);
+        }));
+        assert!(result.is_err(), "misaligned merges must fail loudly");
+    }
+
+    #[test]
+    fn try_merge_of_matching_configurations_is_exact() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..500 {
+            let v = (i * 13 % 97) as f64 + 0.5;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.try_merge(&b).expect("same-config merge succeeds");
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.percentile(0.99), all.percentile(0.99));
+        assert_eq!(a.mean(), all.mean());
     }
 
     #[test]

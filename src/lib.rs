@@ -16,6 +16,8 @@
 //! * [`explore`] — offline design-space exploration and pareto-frontier variant selection.
 //! * [`runtime`] — the Pliant runtime itself (monitor, actuator, controller, policies) and
 //!   the scenario/suite/engine experiment API.
+//! * [`cluster`] — the multi-node fleet layer: load balancing, batch-job scheduling, and
+//!   fleet-level QoS aggregation on top of per-node co-location simulators.
 //! * [`telemetry`] — histograms, summaries, and time-series recording.
 //!
 //! # Quickstart
@@ -55,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub use pliant_approx as approx;
+pub use pliant_cluster as cluster;
 pub use pliant_core as runtime;
 pub use pliant_explore as explore;
 pub use pliant_sim as sim;
@@ -65,6 +68,7 @@ pub use pliant_workloads as workloads;
 pub mod prelude {
     pub use pliant_approx::catalog::{AppId, AppProfile, Catalog};
     pub use pliant_approx::kernel::{ApproxConfig, ApproxKernel};
+    pub use pliant_cluster::prelude::*;
     pub use pliant_core::engine::{CellOutcome, Collector, Engine, ExecMode, ResultSink};
     pub use pliant_core::experiment::{
         classify_effort, ColocationOutcome, EffortClass, PhaseQosStats,
