@@ -1,0 +1,318 @@
+//! Performance-report harness: measures the simulator's hot-path throughput and emits a
+//! machine-readable `BENCH_PERF.json`, the repo's perf trajectory record.
+//!
+//! Three throughput metrics cover the three execution layers:
+//!
+//! * `single_node_intervals_per_sec` — decision intervals simulated per second by a
+//!   *serial* engine running the `fig5_aggregate` experiment grid (the paper's headline
+//!   sweep: every service × every application × {Precise, Pliant}). This is the purest
+//!   measure of the per-interval hot path (sample generation → monitor → policy →
+//!   actuation).
+//! * `suite_cells_per_sec` — suite cells completed per second by a *parallel* engine on
+//!   the same grid (scheduling + sink-delivery overhead on top of the hot path).
+//! * `fleet_node_intervals_per_sec` — node-intervals advanced per second by a parallel
+//!   cluster run of the `fig_cluster` operating point (adds balancer/scheduler
+//!   coordination and the node worker pool).
+//!
+//! Each metric is measured `--runs` times (default 3) by repeating its workload until a
+//! minimum wall-clock window has elapsed; the best run is reported, which is the standard
+//! way to suppress scheduler noise on shared CI runners.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_report [--quick] [--runs N] [--json] [--out FILE]
+//!             [--check BASELINE [--tolerance FRAC]]
+//! ```
+//!
+//! `--check` compares the fresh measurement against a baseline report (normally the
+//! checked-in `BENCH_PERF.json`) and exits non-zero if any metric regressed by more than
+//! `--tolerance` (default 0.25, i.e. ±25%). The CI `perf-gate` job is exactly
+//! `perf_report --out perf_current.json --check BENCH_PERF.json`; see the README's
+//! "Performance" section for the baseline-refresh procedure.
+
+use std::time::Instant;
+
+use pliant_approx::catalog::AppId;
+use pliant_cluster::ClusterEngineExt;
+use pliant_core::engine::Engine;
+use pliant_core::policy::PolicyKind;
+use pliant_core::scenario::Scenario;
+use pliant_core::suite::Suite;
+use pliant_workloads::service::ServiceId;
+
+/// Schema tag embedded in every report so future shape changes are detectable.
+const SCHEMA: &str = "pliant-perf-report/v1";
+
+/// One measured metric: a rate plus the raw counters it was derived from.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct Metric {
+    /// Work units completed per second (higher is better).
+    per_sec: f64,
+    /// Work units completed during the best run.
+    units: u64,
+    /// Wall-clock seconds of the best run.
+    elapsed_s: f64,
+}
+
+/// The full perf report; serialized as `BENCH_PERF.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct PerfReport {
+    /// Report-format identifier (`pliant-perf-report/v1`).
+    schema: String,
+    /// Logical cores available when the report was taken.
+    cores: usize,
+    /// Measurement repetitions per metric (best run is reported).
+    runs: usize,
+    /// Whether the reduced `--quick` grid was used (quick reports are not comparable
+    /// to full ones and are rejected by `--check`).
+    quick: bool,
+    /// Decision intervals per second, serial engine, fig5 grid.
+    single_node_intervals_per_sec: Metric,
+    /// Suite cells per second, parallel engine, fig5 grid.
+    suite_cells_per_sec: Metric,
+    /// Cluster node-intervals per second, parallel engine, fig_cluster operating point.
+    fleet_node_intervals_per_sec: Metric,
+}
+
+impl PerfReport {
+    fn metrics(&self) -> [(&'static str, &Metric); 3] {
+        [
+            (
+                "single_node_intervals_per_sec",
+                &self.single_node_intervals_per_sec,
+            ),
+            ("suite_cells_per_sec", &self.suite_cells_per_sec),
+            (
+                "fleet_node_intervals_per_sec",
+                &self.fleet_node_intervals_per_sec,
+            ),
+        ]
+    }
+}
+
+/// The fig5_aggregate experiment grid (optionally reduced for `--quick`).
+fn fig5_suite(quick: bool) -> Suite {
+    let apps: Vec<AppId> = if quick {
+        AppId::all().into_iter().take(6).collect()
+    } else {
+        AppId::all().to_vec()
+    };
+    let services: Vec<ServiceId> = if quick {
+        vec![ServiceId::Nginx]
+    } else {
+        ServiceId::all().to_vec()
+    };
+    Suite::new(
+        Scenario::builder(services[0])
+            .app(apps[0])
+            .horizon_intervals(70)
+            .build(),
+    )
+    .named("perf-fig5")
+    .for_each_service(services)
+    .for_each_app(apps)
+    .sweep_policies([PolicyKind::Precise, PolicyKind::Pliant])
+}
+
+/// Repeats `work` until at least `min_elapsed_s` of wall clock has passed, returning the
+/// total unit count and elapsed time. `work` returns the units it completed.
+fn measure(min_elapsed_s: f64, mut work: impl FnMut() -> u64) -> Metric {
+    let start = Instant::now();
+    let mut units = 0u64;
+    loop {
+        units += work();
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_elapsed_s {
+            return Metric {
+                per_sec: units as f64 / elapsed,
+                units,
+                elapsed_s: elapsed,
+            };
+        }
+    }
+}
+
+/// Best (highest-rate) of `runs` measurements.
+fn best_of(runs: usize, min_elapsed_s: f64, mut work: impl FnMut() -> u64) -> Metric {
+    let mut best: Option<Metric> = None;
+    for _ in 0..runs.max(1) {
+        let m = measure(min_elapsed_s, &mut work);
+        if best.as_ref().is_none_or(|b| m.per_sec > b.per_sec) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one measurement run")
+}
+
+fn take_report(quick: bool, runs: usize) -> PerfReport {
+    let min_window = if quick { 0.05 } else { 0.25 };
+    let suite = fig5_suite(quick);
+    let serial = Engine::new();
+    let parallel = Engine::new().parallel();
+
+    let single_node = best_of(runs, min_window, || {
+        serial
+            .run_collect(&suite)
+            .iter()
+            .map(|cell| cell.outcome.intervals as u64)
+            .sum()
+    });
+    let cells = best_of(runs, min_window, || {
+        parallel.run_collect(&suite).len() as u64
+    });
+    let fleet_scenario =
+        pliant_bench::cluster_machines_needed_scenario(4, 2.6, PolicyKind::Pliant, 7)
+            .expect("the fig_cluster operating point fits a 4-node fleet");
+    let fleet = best_of(runs, min_window, || {
+        let outcome = parallel.run_cluster(&fleet_scenario);
+        (outcome.nodes * outcome.intervals) as u64
+    });
+
+    PerfReport {
+        schema: SCHEMA.to_string(),
+        cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        runs,
+        quick,
+        single_node_intervals_per_sec: single_node,
+        suite_cells_per_sec: cells,
+        fleet_node_intervals_per_sec: fleet,
+    }
+}
+
+/// Compares `current` against `baseline`; returns the list of human-readable failures.
+fn check(current: &PerfReport, baseline: &PerfReport, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    if baseline.schema != SCHEMA {
+        failures.push(format!(
+            "baseline schema `{}` is not `{SCHEMA}`; refresh the baseline",
+            baseline.schema
+        ));
+        return failures;
+    }
+    if baseline.quick != current.quick {
+        failures.push(
+            "baseline and current report disagree on --quick; measurements are not \
+             comparable"
+                .to_string(),
+        );
+        return failures;
+    }
+    if baseline.cores != current.cores {
+        // A different machine class invalidates absolute-throughput comparison (the
+        // parallel metrics scale with cores); warn loudly rather than fail so the
+        // bootstrap baseline and runner-class migrations are workable, but the fix is
+        // always the same: refresh the baseline on the current runner class.
+        eprintln!(
+            "warning: baseline was measured on {} core(s) but this machine has {}; \
+             absolute comparison is unreliable — refresh the baseline on this runner \
+             class (see README \"Performance\")",
+            baseline.cores, current.cores
+        );
+    }
+    for ((name, cur), (_, base)) in current.metrics().into_iter().zip(baseline.metrics()) {
+        let floor = base.per_sec * (1.0 - tolerance);
+        if cur.per_sec < floor {
+            failures.push(format!(
+                "{name}: {:.0}/s is below the baseline floor {:.0}/s \
+                 (baseline {:.0}/s - {:.0}% tolerance)",
+                cur.per_sec,
+                floor,
+                base.per_sec,
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+fn print_human(report: &PerfReport) {
+    println!(
+        "perf report ({} cores, best of {} runs{})",
+        report.cores,
+        report.runs,
+        if report.quick { ", --quick grid" } else { "" }
+    );
+    for (name, m) in report.metrics() {
+        println!(
+            "  {name:<32} {:>12.0}/s   ({} units in {:.3} s)",
+            m.per_sec, m.units, m.elapsed_s
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let quick = flag("--quick");
+    let runs: usize = value_of("--runs")
+        .map(|v| v.parse().expect("--runs takes an integer"))
+        .unwrap_or(3);
+    let tolerance: f64 = value_of("--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a fraction"))
+        .unwrap_or(0.25);
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "--tolerance must be a fraction in [0, 1)"
+    );
+
+    let report = take_report(quick, runs);
+    if flag("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable report")
+        );
+    } else {
+        print_human(&report);
+    }
+    if let Some(path) = value_of("--out") {
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n",
+                serde_json::to_string_pretty(&report).expect("serializable report")
+            ),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(baseline_path) = value_of("--check") {
+        let raw = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline: PerfReport = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("malformed baseline {baseline_path}: {e}"));
+        let failures = check(&report, &baseline, tolerance);
+        if failures.is_empty() {
+            println!(
+                "perf gate: OK (all metrics within {:.0}% of {baseline_path})",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("perf gate: FAILED against {baseline_path}");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            eprintln!(
+                "If this slowdown is intentional, refresh the baseline (see README \
+                 \"Performance\") or apply the `perf-override` label to the PR."
+            );
+            std::process::exit(1);
+        }
+        for ((name, cur), (_, base)) in report.metrics().into_iter().zip(baseline.metrics()) {
+            if cur.per_sec > base.per_sec * (1.0 + tolerance) {
+                println!(
+                    "note: {name} improved {:.0}/s -> {:.0}/s; consider refreshing the \
+                     baseline to lock in the gain",
+                    base.per_sec, cur.per_sec
+                );
+            }
+        }
+    }
+}

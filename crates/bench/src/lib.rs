@@ -70,7 +70,7 @@ pub fn cluster_machines_needed_scenario(
             .avg_node_load(avg_node_load)
             .policy(policy)
             .balancer(pliant_cluster::BalancerKind::RoundRobin)
-            .horizon_seconds(45.0)
+            .horizon_seconds(90.0)
             .warmup_intervals(8)
             .seed(seed)
             .build(),

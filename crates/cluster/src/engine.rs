@@ -72,51 +72,30 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
     let mut sim = ClusterSim::new(scenario, engine.catalog());
     let n = scenario.nodes;
 
-    // Per-node accumulators. Histograms record in microseconds (like the monitor) so
-    // sub-second latencies land in the log-bucketed range instead of the coarse first
-    // linear bucket.
-    let mut histograms: Vec<LatencyHistogram> = (0..n).map(|_| LatencyHistogram::new()).collect();
-    let mut busy = vec![0usize; n];
-    let mut idle = vec![0usize; n];
-    let mut violations = vec![0usize; n];
+    // QoS accounting (busy/idle/violation counters and the per-node latency
+    // histograms, microsecond-scaled, warm-up excluded) lives inside each
+    // [`crate::node::ClusterNode`], where it runs on the worker thread advancing the
+    // node; this loop only aggregates per-interval scalars for the traces.
     let mut assigned_sum = vec![0.0f64; n];
     let mut max_extra = vec![0u32; n];
     let mut jobs_completed = vec![0usize; n];
 
     let mut total_load_sum = 0.0f64;
     let mut max_total_extra = 0u32;
-    let mut load_series = TimeSeries::new("total_offered_load");
-    let mut cores_series = TimeSeries::new("total_extra_cores");
-    let mut violating_series = TimeSeries::new("violating_nodes");
-
     let max_intervals = scenario.max_intervals();
-    for interval_index in 0..max_intervals {
+    let mut load_series = TimeSeries::with_capacity("total_offered_load", max_intervals);
+    let mut cores_series = TimeSeries::with_capacity("total_extra_cores", max_intervals);
+    let mut violating_series = TimeSeries::with_capacity("violating_nodes", max_intervals);
+
+    for _ in 0..max_intervals {
         let interval = sim.advance_threads(threads);
-        // The first `warmup_intervals` are excluded from every latency/QoS statistic:
-        // the fleet p99 is a quantile over all samples, so the per-node runtimes' one-off
-        // convergence transient would otherwise sit in the histogram forever. Traces and
-        // job/core accounting still cover the full run.
-        let measured = interval_index >= scenario.warmup_intervals;
         total_load_sum += interval.total_offered_load;
         let mut total_extra = 0u32;
         let mut violating_nodes = 0usize;
         for ni in &interval.nodes {
             let i = ni.node;
             let obs = &ni.observation;
-            if measured {
-                if obs.arrivals == 0 {
-                    idle[i] += 1;
-                } else {
-                    busy[i] += 1;
-                    if obs.qos_violated() {
-                        violations[i] += 1;
-                        violating_nodes += 1;
-                    }
-                    for &sample_s in &obs.latency_samples_s {
-                        histograms[i].record(sample_s * 1e6);
-                    }
-                }
-            } else if obs.arrivals > 0 && obs.qos_violated() {
+            if obs.arrivals > 0 && obs.qos_violated() {
                 violating_nodes += 1;
             }
             assigned_sum[i] += ni.assigned_load;
@@ -128,13 +107,16 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
         load_series.push(interval.time_s, interval.total_offered_load);
         cores_series.push(interval.time_s, total_extra as f64);
         violating_series.push(interval.time_s, violating_nodes as f64);
+        // The interval is fully consumed: recycle its observation buffers into the
+        // nodes so the fleet, like the single-node loop, allocates once per run.
+        sim.recycle_interval(interval);
     }
 
     // Fleet quantiles come from the exact merge of the per-node histograms.
     let mut fleet = LatencyHistogram::new();
-    for hist in &histograms {
+    for i in 0..n {
         fleet
-            .try_merge(hist)
+            .try_merge(sim.node(i).latency_histogram())
             .expect("in-process histograms share one bucket configuration");
     }
     let qos_target_s = scenario.qos_target_s.unwrap_or_else(|| {
@@ -143,13 +125,15 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
 
     let node_outcomes: Vec<NodeOutcome> = (0..n)
         .map(|i| {
-            let inaccuracies = sim.node_completed_inaccuracies(i);
+            let node = sim.node(i);
+            let inaccuracies = node.completed_inaccuracy_pct();
             NodeOutcome {
                 node: i,
-                busy_intervals: busy[i],
-                idle_intervals: idle[i],
-                p99_s: histograms[i].p99() / 1e6,
-                qos_violation_fraction: violations[i] as f64 / busy[i].max(1) as f64,
+                busy_intervals: node.busy_intervals(),
+                idle_intervals: node.idle_intervals(),
+                p99_s: node.latency_histogram().p99() / 1e6,
+                qos_violation_fraction: node.qos_violations() as f64
+                    / node.busy_intervals().max(1) as f64,
                 mean_assigned_load: assigned_sum[i] / max_intervals.max(1) as f64,
                 max_extra_service_cores: max_extra[i],
                 jobs_completed: jobs_completed[i],
@@ -162,8 +146,8 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
         })
         .collect();
 
-    let total_busy: usize = busy.iter().sum();
-    let total_violations: usize = violations.iter().sum();
+    let total_busy: usize = (0..n).map(|i| sim.node(i).busy_intervals()).sum();
+    let total_violations: usize = (0..n).map(|i| sim.node(i).qos_violations()).sum();
     let fleet_p99_s = fleet.p99() / 1e6;
 
     let mut trace = TraceBundle::new();

@@ -50,6 +50,7 @@ pub mod balancer;
 pub mod engine;
 pub mod node;
 pub mod outcome;
+mod pool;
 pub mod scenario;
 pub mod scheduler;
 pub mod sim;

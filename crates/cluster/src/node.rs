@@ -14,6 +14,7 @@ use pliant_core::controller::ControllerConfig;
 use pliant_core::monitor::{MonitorConfig, PerformanceMonitor};
 use pliant_core::policy::Policy;
 use pliant_sim::colocation::{ColocationConfig, ColocationSim, IntervalObservation};
+use pliant_telemetry::histogram::LatencyHistogram;
 use pliant_telemetry::rng::derive_seed;
 
 use crate::scenario::ClusterScenario;
@@ -89,6 +90,25 @@ pub struct ClusterNode {
     smoothed_p99_s: f64,
     utilization: f64,
     decision_interval_s: f64,
+    /// Intervals excluded from the node's QoS statistics (the fleet's convergence
+    /// transient).
+    warmup_intervals: usize,
+    /// Intervals stepped so far, for the warm-up cutoff.
+    intervals_stepped: usize,
+    /// Cumulative histogram of every post-warm-up latency sample, in microseconds.
+    /// Recorded node-side (inside [`Self::step`], i.e. on the worker thread that
+    /// advances the node) so the cluster engine aggregates fleet quantiles by merging
+    /// N histograms instead of re-iterating every sample on the coordinating thread.
+    hist: LatencyHistogram,
+    /// Post-warm-up intervals that served traffic.
+    busy_intervals: usize,
+    /// Post-warm-up intervals with zero arrivals.
+    idle_intervals: usize,
+    /// Post-warm-up traffic-serving intervals that violated the QoS target.
+    qos_violations: usize,
+    /// A consumed observation handed back via [`Self::recycle_observation`], whose
+    /// buffers the next step reuses.
+    recycle: Option<IntervalObservation>,
 }
 
 impl ClusterNode {
@@ -153,6 +173,13 @@ impl ClusterNode {
             smoothed_p99_s: 0.0,
             utilization: 0.0,
             decision_interval_s: scenario.decision_interval_s,
+            warmup_intervals: scenario.warmup_intervals,
+            intervals_stepped: 0,
+            hist: LatencyHistogram::new(),
+            busy_intervals: 0,
+            idle_intervals: 0,
+            qos_violations: 0,
+            recycle: None,
         }
     }
 
@@ -191,6 +218,37 @@ impl ClusterNode {
         &self.completed_inaccuracy_pct
     }
 
+    /// Cumulative histogram of every post-warm-up latency sample the node served, in
+    /// microseconds. Per-node histograms share one bucket layout, so the fleet's p99 is
+    /// their exact merge (see
+    /// [`LatencyHistogram::try_merge`]).
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// Post-warm-up intervals that served traffic.
+    pub fn busy_intervals(&self) -> usize {
+        self.busy_intervals
+    }
+
+    /// Post-warm-up intervals with zero arrivals.
+    pub fn idle_intervals(&self) -> usize {
+        self.idle_intervals
+    }
+
+    /// Post-warm-up traffic-serving intervals that violated the QoS target.
+    pub fn qos_violations(&self) -> usize {
+        self.qos_violations
+    }
+
+    /// Hands a consumed interval observation back to the node so its heap buffers are
+    /// recycled into the next [`Self::step`] (see
+    /// [`ColocationSim::advance_reusing`]). Purely an allocation optimization: the
+    /// observation's contents are discarded, only its capacity is reused.
+    pub fn recycle_observation(&mut self, observation: IntervalObservation) {
+        self.recycle = Some(observation);
+    }
+
     /// Places a fresh job into the node's lowest free slot; the job inherits the slot's
     /// core state (see
     /// [`ColocationSim::replace_app`](pliant_sim::colocation::ColocationSim::replace_app))
@@ -219,7 +277,30 @@ impl ClusterNode {
         self.sim.set_load_fraction(
             assigned_load.clamp(0.0, pliant_workloads::profile::MAX_LOAD_FRACTION),
         );
-        let observation = self.sim.advance(self.decision_interval_s);
+        let observation = self
+            .sim
+            .advance_reusing(self.decision_interval_s, self.recycle.take());
+
+        // QoS accounting and fleet-histogram recording happen here, on whichever worker
+        // thread is advancing the node, so the coordinating thread never touches
+        // individual latency samples. The first `warmup_intervals` are excluded: the
+        // fleet p99 is a quantile over all samples, and the runtimes' one-off
+        // convergence transient would otherwise sit in the histogram forever.
+        let measured = self.intervals_stepped >= self.warmup_intervals;
+        self.intervals_stepped += 1;
+        if measured {
+            if observation.arrivals == 0 {
+                self.idle_intervals += 1;
+            } else {
+                self.busy_intervals += 1;
+                if observation.qos_violated() {
+                    self.qos_violations += 1;
+                }
+                for &sample_s in &observation.latency_samples_s {
+                    self.hist.record(sample_s * 1e6);
+                }
+            }
+        }
 
         // Latch completions so each job is counted exactly once.
         let mut jobs_completed = 0usize;

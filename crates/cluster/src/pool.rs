@@ -1,0 +1,141 @@
+//! Persistent worker pool for parallel node updates.
+//!
+//! The fleet simulator advances its nodes once per decision interval. The original
+//! implementation spawned fresh scoped threads *every interval*, paying thread creation
+//! and teardown (tens of microseconds) hundreds of times per run. This pool spawns its
+//! workers once and keeps them alive for the simulator's lifetime; each interval, nodes
+//! are moved to their worker over a channel, stepped, and moved back.
+//!
+//! Determinism: a node's [`step`](crate::node::ClusterNode::step) depends only on the
+//! node's own state and its assigned load — never on which thread runs it or in what
+//! order — and results are stitched back together in node order, so pooled execution is
+//! byte-identical to serial execution (the same guarantee the scoped-spawn version had,
+//! pinned by `tests/cluster_determinism.rs`).
+//!
+//! Nodes are *sticky*: node `i` is always dispatched to worker `i % workers`, which keeps
+//! each node's working set warm in one worker's cache and makes the per-interval
+//! assignment deterministic without coordination.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::node::{ClusterNode, NodeInterval};
+
+/// A unit of work: the node (moved to the worker), its index, and its assigned load.
+type Task = (usize, ClusterNode, f64);
+/// A completed unit: the node moved back, plus its interval result — or the panic
+/// payload if stepping the node panicked.
+type TaskResult = (usize, std::thread::Result<(ClusterNode, NodeInterval)>);
+
+/// Persistent worker pool; see the module docs.
+pub(crate) struct NodeWorkerPool {
+    task_txs: Vec<Sender<Task>>,
+    result_rx: Receiver<TaskResult>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl NodeWorkerPool {
+    /// Spawns `workers` persistent worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a worker pool needs at least one worker");
+        let (result_tx, result_rx) = channel::<TaskResult>();
+        let mut task_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (task_tx, task_rx) = channel::<Task>();
+            let result_tx = result_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok((index, mut node, load)) = task_rx.recv() {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let interval = node.step(load);
+                        (node, interval)
+                    }));
+                    if result_tx.send((index, result)).is_err() {
+                        // The coordinator is gone; exit quietly.
+                        break;
+                    }
+                }
+            }));
+            task_txs.push(task_tx);
+        }
+        Self {
+            task_txs,
+            result_rx,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.task_txs.len()
+    }
+
+    /// Steps every node at its assigned load, in parallel, and writes each node's
+    /// interval into `out` at its node index. Nodes are taken from and returned to
+    /// `nodes` (every slot must be occupied on entry, and is occupied again on normal
+    /// return).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first node panic on the calling thread after all other nodes have
+    /// been collected (the panicking node's slot is left empty — the simulator is
+    /// poisoned, exactly as the scoped-spawn implementation left it).
+    pub fn step_all(
+        &self,
+        nodes: &mut [Option<ClusterNode>],
+        loads: &[f64],
+        out: &mut Vec<Option<NodeInterval>>,
+    ) {
+        let n = nodes.len();
+        assert_eq!(loads.len(), n, "one assigned load per node");
+        let workers = self.task_txs.len();
+        out.clear();
+        out.resize_with(n, || None);
+        for (i, (slot, &load)) in nodes.iter_mut().zip(loads).enumerate() {
+            let node = slot.take().expect("every node slot is occupied");
+            self.task_txs[i % workers]
+                .send((i, node, load))
+                .expect("pool workers outlive the coordinator");
+        }
+        let mut first_panic = None;
+        for _ in 0..n {
+            let (i, result) = self
+                .result_rx
+                .recv()
+                .expect("pool workers outlive the coordinator");
+            match result {
+                Ok((node, interval)) => {
+                    nodes[i] = Some(node);
+                    out[i] = Some(interval);
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for NodeWorkerPool {
+    fn drop(&mut self) {
+        // Closing the task channels ends each worker's recv loop; joining bounds the
+        // teardown so no thread outlives the simulator.
+        self.task_txs.clear();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked outside catch_unwind (impossible today) would
+            // surface here; ignore the payload — the step that caused it already
+            // re-raised on the coordinator.
+            let _ = handle.join();
+        }
+    }
+}

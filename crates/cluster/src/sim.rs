@@ -20,6 +20,7 @@ use pliant_approx::catalog::Catalog;
 
 use crate::balancer::LoadBalancer;
 use crate::node::{ClusterNode, NodeInterval, NodeSnapshot};
+use crate::pool::NodeWorkerPool;
 use crate::scenario::ClusterScenario;
 use crate::scheduler::{BatchScheduler, SchedulerStats};
 
@@ -43,11 +44,21 @@ pub struct ClusterInterval {
 pub struct ClusterSim {
     scenario: ClusterScenario,
     catalog: Catalog,
-    nodes: Vec<ClusterNode>,
+    /// Fleet nodes; a slot is `None` only transiently while its node is out on a
+    /// worker thread (or permanently after that worker panicked mid-step, in which
+    /// case the panic has already been re-raised and the simulator is poisoned).
+    nodes: Vec<Option<ClusterNode>>,
     balancer: LoadBalancer,
     scheduler: BatchScheduler,
     time_s: f64,
     intervals: usize,
+    /// Persistent worker pool for parallel node updates, created on first parallel
+    /// advance and kept for the simulator's lifetime (see [`NodeWorkerPool`]).
+    pool: Option<NodeWorkerPool>,
+    /// Scratch buffer of node snapshots, reused across placement/balancing rounds.
+    snapshot_scratch: Vec<NodeSnapshot>,
+    /// Scratch buffer of pooled step results, reused across intervals.
+    result_scratch: Vec<Option<NodeInterval>>,
 }
 
 impl ClusterSim {
@@ -63,11 +74,11 @@ impl ClusterSim {
             panic!("invalid cluster scenario `{}`: {e}", scenario.describe());
         }
         let initial = scenario.initial_job_count();
-        let nodes: Vec<ClusterNode> = (0..scenario.nodes)
+        let nodes: Vec<Option<ClusterNode>> = (0..scenario.nodes)
             .map(|i| {
                 let slice =
                     &scenario.jobs[i * scenario.slots_per_node..(i + 1) * scenario.slots_per_node];
-                ClusterNode::new(scenario, i, slice, catalog)
+                Some(ClusterNode::new(scenario, i, slice, catalog))
             })
             .collect();
         let balancer = scenario.balancer.build(
@@ -87,6 +98,9 @@ impl ClusterSim {
             scheduler,
             time_s: 0.0,
             intervals: 0,
+            pool: None,
+            snapshot_scratch: Vec::new(),
+            result_scratch: Vec::new(),
         }
     }
 
@@ -122,12 +136,25 @@ impl ClusterSim {
 
     /// The current snapshots of every node, in node order.
     pub fn snapshots(&self) -> Vec<NodeSnapshot> {
-        self.nodes.iter().map(ClusterNode::snapshot).collect()
+        self.nodes
+            .iter()
+            .map(|n| Self::expect_node(n).snapshot())
+            .collect()
+    }
+
+    /// Immutable access to node `index`.
+    pub fn node(&self, index: usize) -> &ClusterNode {
+        Self::expect_node(&self.nodes[index])
     }
 
     /// Inaccuracies of every job completed on node `index` so far, in percent.
     pub fn node_completed_inaccuracies(&self, index: usize) -> &[f64] {
-        self.nodes[index].completed_inaccuracy_pct()
+        self.node(index).completed_inaccuracy_pct()
+    }
+
+    fn expect_node(slot: &Option<ClusterNode>) -> &ClusterNode {
+        slot.as_ref()
+            .expect("node slots are only empty while a step is in flight")
     }
 
     /// Advances the fleet one decision interval on the calling thread.
@@ -135,10 +162,26 @@ impl ClusterSim {
         self.advance_threads(1)
     }
 
+    /// Hands a fully consumed interval back to the fleet so each node recycles its
+    /// observation's heap buffers into the next step (the fleet analogue of
+    /// [`pliant_sim::colocation::ColocationSim::advance_reusing`]). Drivers that read
+    /// an interval and move on — like the cluster engine's aggregation loop — call this
+    /// to run the whole fleet without per-node-interval allocations; callers that keep
+    /// the interval (archival, external analysis) simply never recycle it.
+    pub fn recycle_interval(&mut self, interval: ClusterInterval) {
+        for node_interval in interval.nodes {
+            if let Some(node) = self.nodes[node_interval.node].as_mut() {
+                node.recycle_observation(node_interval.observation);
+            }
+        }
+    }
+
     /// Advances the fleet one decision interval, fanning the independent node updates
-    /// out over up to `threads` scoped worker threads (`0` = one per available core).
-    /// The result is byte-identical to [`Self::advance`]: parallelism changes
-    /// wall-clock time, never output.
+    /// out over a persistent pool of up to `threads` worker threads (`0` = one per
+    /// available core). The pool is created on the first parallel call and reused for
+    /// every subsequent interval — per-interval scoped spawns cost thread creation
+    /// hundreds of times per run. The result is byte-identical to [`Self::advance`]:
+    /// parallelism changes wall-clock time, never output.
     pub fn advance_threads(&mut self, threads: usize) -> ClusterInterval {
         let n = self.nodes.len();
         let dt = self.scenario.decision_interval_s;
@@ -152,8 +195,12 @@ impl ClusterSim {
         //    queue just because it was chosen first.
         let mut jobs_placed = 0usize;
         loop {
-            let snapshots = self.snapshots();
-            let Some((node, app)) = self.scheduler.pop_placement(&snapshots) else {
+            let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
+            snapshots.clear();
+            snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
+            let placement = self.scheduler.pop_placement(&snapshots);
+            self.snapshot_scratch = snapshots;
+            let Some((node, app)) = placement else {
                 break;
             };
             let profile = self
@@ -162,14 +209,19 @@ impl ClusterSim {
                 .unwrap_or_else(|| panic!("{app} missing from catalog"))
                 .clone();
             self.nodes[node]
+                .as_mut()
+                .expect("node slots are only empty while a step is in flight")
                 .place_job(&profile)
                 .expect("scheduler only places onto nodes with free slots");
             jobs_placed += 1;
         }
 
         // 3. Split the offered load across nodes.
-        let snapshots = self.snapshots();
+        let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
+        snapshots.clear();
+        snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
         let assigned = self.balancer.split(total_offered_load, &snapshots);
+        self.snapshot_scratch = snapshots;
 
         // 4. Advance every node independently.
         let workers = if threads == 0 {
@@ -184,43 +236,31 @@ impl ClusterSim {
             self.nodes
                 .iter_mut()
                 .zip(&assigned)
-                .map(|(node, &load)| node.step(load))
+                .map(|(slot, &load)| {
+                    slot.as_mut()
+                        .expect("node slots are only empty while a step is in flight")
+                        .step(load)
+                })
                 .collect()
         } else {
-            // The first chunk runs on the calling thread (one fewer spawn per
-            // interval); the rest fan out over scoped workers. Results are stitched
-            // back together in node order, so the output is independent of the worker
-            // count.
-            let chunk = n.div_ceil(workers);
-            let mut out: Vec<NodeInterval> = Vec::with_capacity(n);
-            std::thread::scope(|scope| {
-                let mut chunks = self.nodes.chunks_mut(chunk).zip(assigned.chunks(chunk));
-                let first = chunks.next().expect("fleet is non-empty");
-                let mut handles = Vec::with_capacity(workers - 1);
-                for (node_chunk, load_chunk) in chunks {
-                    handles.push(scope.spawn(move || {
-                        node_chunk
-                            .iter_mut()
-                            .zip(load_chunk)
-                            .map(|(node, &load)| node.step(load))
-                            .collect::<Vec<NodeInterval>>()
-                    }));
-                }
-                out.extend(
-                    first
-                        .0
-                        .iter_mut()
-                        .zip(first.1)
-                        .map(|(node, &load)| node.step(load)),
-                );
-                for handle in handles {
-                    match handle.join() {
-                        Ok(chunk_results) => out.extend(chunk_results),
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    }
-                }
-            });
-            out
+            // Lazily create (or resize) the persistent pool, then ship each node to its
+            // sticky worker and stitch the results back in node order.
+            if self
+                .pool
+                .as_ref()
+                .is_none_or(|p| p.worker_count() != workers)
+            {
+                self.pool = Some(NodeWorkerPool::new(workers));
+            }
+            let pool = self.pool.as_ref().expect("pool was just ensured");
+            let mut results = std::mem::take(&mut self.result_scratch);
+            pool.step_all(&mut self.nodes, &assigned, &mut results);
+            let intervals = results
+                .iter_mut()
+                .map(|r| r.take().expect("step_all fills every slot or panics"))
+                .collect();
+            self.result_scratch = results;
+            intervals
         };
 
         let completions: usize = node_intervals.iter().map(|ni| ni.jobs_completed).sum();

@@ -321,16 +321,17 @@ pub(crate) fn execute_with_config(
     let mut max_extra_cores = 0u32;
     let mut max_reclaimed_per_app = vec![0u32; app_ids.len()];
 
-    let mut latency_series = TimeSeries::new("p99_latency_s");
-    let mut load_series = TimeSeries::new("offered_load");
-    let mut cores_series = TimeSeries::new("service_extra_cores");
+    let horizon = scenario.max_intervals();
+    let mut latency_series = TimeSeries::with_capacity("p99_latency_s", horizon);
+    let mut load_series = TimeSeries::with_capacity("offered_load", horizon);
+    let mut cores_series = TimeSeries::with_capacity("service_extra_cores", horizon);
     let mut variant_series: Vec<TimeSeries> = app_ids
         .iter()
-        .map(|id| TimeSeries::new(format!("variant_{}", id.name())))
+        .map(|id| TimeSeries::with_capacity(format!("variant_{}", id.name()), horizon))
         .collect();
     let mut reclaimed_series: Vec<TimeSeries> = app_ids
         .iter()
-        .map(|id| TimeSeries::new(format!("reclaimed_{}", id.name())))
+        .map(|id| TimeSeries::with_capacity(format!("reclaimed_{}", id.name()), horizon))
         .collect();
 
     // Per-load-phase QoS accumulators, indexed in `LoadPhase::all()` order.
@@ -341,8 +342,11 @@ pub(crate) fn execute_with_config(
 
     let max_intervals = scenario.max_intervals();
     let mut idle_intervals = 0usize;
+    // The previous interval's observation is recycled into the next advance so the
+    // sample and status buffers are allocated once per run, not once per interval.
+    let mut recycled = None;
     for _ in 0..max_intervals {
-        let obs = sim.advance(scenario.decision_interval_s);
+        let obs = sim.advance_reusing(scenario.decision_interval_s, recycled.take());
         intervals += 1;
         // An idle interval (zero arrivals, e.g. a load-profile trough) served no
         // requests: there is no latency to report, so it contributes nothing to the
@@ -390,6 +394,7 @@ pub(crate) fn execute_with_config(
         let report = monitor.observe_interval(&obs.latency_samples_s);
         let actions = policy.decide(&report);
         actuator.apply_all(&mut sim, &actions);
+        recycled = Some(obs);
     }
 
     let app_outcomes: Vec<AppOutcome> = (0..app_ids.len())

@@ -5,9 +5,22 @@
 //! service, and notifies the runtime when the tail exceeds the QoS target. Here it ingests
 //! the per-interval latency samples produced by the co-location substrate, subsamples
 //! them, and estimates the interval's p99 with a log-bucketed histogram.
+//!
+//! The estimator is streaming and allocation-free: the interval histogram is owned by the
+//! monitor and reset between intervals (never reallocated), the subsample is chosen by
+//! geometric skip-sampling (one logarithm per *selected* request instead of one uniform
+//! draw per request), and recording a sample is O(1) bit manipulation. Because the
+//! histogram is the same [`LatencyHistogram`] (same bucket layout, same microsecond
+//! scale) the cluster layer merges for fleet-level quantiles, per-interval monitor
+//! histograms are exact-merge-compatible with fleet aggregation. The price of the
+//! histogram estimator is quantization: the reported p99 can differ from the exact
+//! sorted-order statistic of the ingested samples by at most one bucket width (~3%
+//! relative; see [`LatencyHistogram::bucket_bounds`]), a bound the integration tests
+//! pin across every service profile.
 
 use serde::{Deserialize, Serialize};
 
+use pliant_telemetry::fastmath::fast_ln;
 use pliant_telemetry::histogram::LatencyHistogram;
 use pliant_telemetry::rng::seeded_rng;
 use pliant_telemetry::window::EwmaTracker;
@@ -74,6 +87,12 @@ pub struct PerformanceMonitor {
     ewma: EwmaTracker,
     currently_elevated: bool,
     intervals_observed: u64,
+    /// Interval histogram, reset (not reallocated) every interval.
+    hist: LatencyHistogram,
+    /// `ln(1 - base_sample_rate)`, precomputed for geometric skip-sampling.
+    base_skip_ln: f64,
+    /// `ln(1 - elevated_sample_rate)`, precomputed for geometric skip-sampling.
+    elevated_skip_ln: f64,
 }
 
 impl PerformanceMonitor {
@@ -85,6 +104,9 @@ impl PerformanceMonitor {
             ewma: EwmaTracker::new(config.ewma_alpha),
             currently_elevated: false,
             intervals_observed: 0,
+            hist: LatencyHistogram::new(),
+            base_skip_ln: (1.0 - config.base_sample_rate).ln(),
+            elevated_skip_ln: (1.0 - config.elevated_sample_rate).ln(),
         }
     }
 
@@ -117,6 +139,10 @@ impl PerformanceMonitor {
         // Report no-signal instead, holding the previous smoothed estimate and leaving
         // the EWMA and the adaptive sampling state untouched.
         if latencies_s.is_empty() {
+            // The interval histogram describes *this* interval: an idle interval ingested
+            // nothing, so it must read empty (a stale busy-interval histogram would be
+            // double-counted by per-interval fleet merging).
+            self.hist.reset();
             let held = self.ewma.value().unwrap_or(0.0);
             return MonitorReport {
                 p99_s: held,
@@ -129,27 +155,54 @@ impl PerformanceMonitor {
             };
         }
         let rate = self.sample_rate();
-        let mut hist = LatencyHistogram::new();
+        self.hist.reset();
         let mut sum = 0.0;
         let mut sampled = 0u64;
-        for &l in latencies_s {
-            if self.rng.gen_range(0.0f64..1.0) < rate {
-                hist.record(l * 1e6); // record in microseconds for histogram resolution
+        if rate >= 1.0 {
+            for &l in latencies_s {
+                let l = if l.is_finite() { l } else { 0.0 };
+                self.hist.record(l * 1e6); // microseconds for histogram resolution
                 sum += l;
                 sampled += 1;
+            }
+        } else if rate > 0.0 {
+            // Geometric skip-sampling: instead of one Bernoulli draw per request, jump
+            // straight to the next selected request. The gap before each selection is
+            // geometric with success probability `rate`, i.e.
+            // `floor(ln(U) / ln(1 - rate))` — one uniform and one (polynomial) log per
+            // *selected* request, ~1/rate times fewer draws than per-request thinning.
+            // Statistically identical selection; non-finite samples are clamped to zero
+            // exactly as `LatencyHistogram::record` does, so the ingest boundary is
+            // NaN-free by construction.
+            let ln_one_minus_rate = if self.currently_elevated {
+                self.elevated_skip_ln
+            } else {
+                self.base_skip_ln
+            };
+            let mut index = self.skip(ln_one_minus_rate);
+            while index < latencies_s.len() {
+                let l = latencies_s[index];
+                let l = if l.is_finite() { l } else { 0.0 };
+                self.hist.record(l * 1e6);
+                sum += l;
+                sampled += 1;
+                index += 1 + self.skip(ln_one_minus_rate);
             }
         }
         // Guard against an empty sample (tiny intervals at low load): fall back to the full
         // set, which the real monitor would also do by forcing a minimum sample count.
         let (p99_s, mean_s, sampled) = if sampled < 20 {
-            let mut full = LatencyHistogram::new();
+            self.hist.reset();
+            let mut full_sum = 0.0;
             for &l in latencies_s {
-                full.record(l * 1e6);
+                let l = if l.is_finite() { l } else { 0.0 };
+                self.hist.record(l * 1e6);
+                full_sum += l;
             }
-            let mean = latencies_s.iter().sum::<f64>() / latencies_s.len() as f64;
-            (full.p99() / 1e6, mean, latencies_s.len() as u64)
+            let mean = full_sum / latencies_s.len() as f64;
+            (self.hist.p99() / 1e6, mean, latencies_s.len() as u64)
         } else {
-            (hist.p99() / 1e6, sum / sampled as f64, sampled)
+            (self.hist.p99() / 1e6, sum / sampled as f64, sampled)
         };
 
         self.ewma.observe(p99_s);
@@ -165,6 +218,26 @@ impl PerformanceMonitor {
             slack_fraction: (self.config.qos_target_s - p99_s) / self.config.qos_target_s,
             no_signal: false,
         }
+    }
+
+    /// The histogram of the most recently observed interval's subsample, in
+    /// microseconds.
+    ///
+    /// Shares bucket layout and unit with the cluster layer's fleet histograms, so
+    /// per-interval monitor histograms can be merged exactly into fleet-level quantiles
+    /// (see [`LatencyHistogram::try_merge`]).
+    pub fn interval_histogram(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// Number of unselected requests to jump over before the next monitored one
+    /// (geometric with the current sampling rate).
+    fn skip(&mut self, ln_one_minus_rate: f64) -> usize {
+        // 1 - unit uniform lies in (0, 1], so the logarithm is finite and <= 0; the
+        // ratio of two non-positive finite numbers is non-negative, and the cast
+        // saturates on the (bounded) maximum.
+        let u = 1.0 - self.rng.gen_range(0.0f64..1.0);
+        (fast_ln(u) / ln_one_minus_rate) as usize
     }
 }
 
@@ -204,7 +277,7 @@ mod tests {
         let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 4);
         let samples = synthetic_interval(0.003, 0.3, 20_000, 5);
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_unstable_by(f64::total_cmp);
         let true_p99 = sorted[(0.99 * sorted.len() as f64) as usize];
         let report = monitor.observe_interval(&samples);
         assert!(
@@ -271,6 +344,52 @@ mod tests {
         let after = monitor.observe_interval(&busy);
         assert_eq!(monitor.intervals_observed(), 3);
         assert!(after.smoothed_p99_s > 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_cannot_panic_or_poison_the_estimate() {
+        // The NaN-free contract at the sample-ingest boundary: the quantile path is
+        // histogram-based (no partial_cmp), and non-finite samples clamp to zero like
+        // `LatencyHistogram::record`, so a corrupted sample can neither panic the
+        // monitor nor drag the mean or tail to NaN.
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 3);
+        let mut samples = synthetic_interval(0.004, 0.3, 5_000, 8);
+        samples[7] = f64::NAN;
+        samples[19] = f64::INFINITY;
+        samples[23] = f64::NEG_INFINITY;
+        let report = monitor.observe_interval(&samples);
+        assert!(report.p99_s.is_finite());
+        assert!(report.mean_s.is_finite());
+        assert!(report.smoothed_p99_s.is_finite());
+        assert!(report.slack_fraction.is_finite());
+        // The tiny-interval full-ingest fallback must hold the same contract.
+        let report = monitor.observe_interval(&[f64::NAN, 0.002, f64::INFINITY, 0.003]);
+        assert!(report.p99_s.is_finite());
+        assert!(report.mean_s.is_finite());
+    }
+
+    #[test]
+    fn interval_histogram_is_reused_and_merge_compatible() {
+        use pliant_telemetry::histogram::LatencyHistogram;
+        let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(0.010), 4);
+        let busy = synthetic_interval(0.003, 0.3, 5_000, 9);
+        let r1 = monitor.observe_interval(&busy);
+        assert_eq!(monitor.interval_histogram().count(), r1.sampled);
+        // The same (reset, not reallocated) histogram serves the next interval.
+        let r2 = monitor.observe_interval(&busy);
+        assert_eq!(monitor.interval_histogram().count(), r2.sampled);
+        // Exact-merge compatibility with fleet aggregation: same layout, same unit.
+        let mut fleet = LatencyHistogram::new();
+        fleet
+            .try_merge(monitor.interval_histogram())
+            .expect("monitor histograms must merge into fleet histograms");
+        assert_eq!(fleet.count(), r2.sampled);
+        assert_eq!(fleet.p99() / 1e6, r2.p99_s);
+        // A no-signal interval ingested nothing, so the interval histogram must read
+        // empty — per-interval merging must not double-count the last busy interval.
+        let idle = monitor.observe_interval(&[]);
+        assert!(idle.no_signal);
+        assert!(monitor.interval_histogram().is_empty());
     }
 
     #[test]

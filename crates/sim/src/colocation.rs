@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use pliant_approx::catalog::{AppId, AppProfile, Catalog};
+use pliant_approx::catalog::{AppId, AppProfile, Catalog, ResourcePressure};
 use pliant_telemetry::rng::{derive_seed, seeded_rng};
 use pliant_workloads::generator::OpenLoopGenerator;
 use pliant_workloads::profile::{LoadPhase, LoadProfile, LoadProfileError};
@@ -197,8 +197,14 @@ pub struct ColocationSim {
     service_cores: u32,
     generator: OpenLoopGenerator,
     rng: SmallRng,
+    /// Dedicated stream for per-interval latency-sample generation, so the volume of
+    /// monitor samples (the dominant draw count by three orders of magnitude) never
+    /// perturbs the model-noise stream that decides each interval's true p99.
+    sample_rng: SmallRng,
     time_s: f64,
     interval_counter: u64,
+    /// Scratch buffer for per-app interference pressures, reused across intervals.
+    pressure_scratch: Vec<ResourcePressure>,
 }
 
 impl ColocationSim {
@@ -239,14 +245,17 @@ impl ColocationSim {
         let qps = config.service.qps_at_load(config.load.load_at(0.0));
         let generator = OpenLoopGenerator::new(qps, derive_seed(config.seed, 1));
         let rng = seeded_rng(derive_seed(config.seed, 2));
+        let sample_rng = seeded_rng(derive_seed(config.seed, 3));
         Self {
             config,
             apps,
             service_cores,
             generator,
             rng,
+            sample_rng,
             time_s: 0.0,
             interval_counter: 0,
+            pressure_scratch: Vec::new(),
         }
     }
 
@@ -364,8 +373,33 @@ impl ColocationSim {
 
     /// Advances the simulation by one decision interval of `dt` seconds and returns the
     /// interval's observation.
+    ///
+    /// Allocates fresh observation buffers; drivers that advance many intervals should
+    /// hand the previous observation back through [`Self::advance_reusing`] instead.
     pub fn advance(&mut self, dt: f64) -> IntervalObservation {
+        self.advance_reusing(dt, None)
+    }
+
+    /// Advances one decision interval, recycling the heap buffers (latency samples,
+    /// per-app statuses) of a previous interval's observation.
+    ///
+    /// This is the hot-path entry point: a driver loop that feeds each observation back
+    /// in (`obs = sim.advance_reusing(dt, Some(obs))`) runs every interval without any
+    /// per-interval allocation. The recycled observation's contents are discarded —
+    /// only its capacity is reused — so idle intervals still deliver an *empty* sample
+    /// set, never a stale one.
+    pub fn advance_reusing(
+        &mut self,
+        dt: f64,
+        recycle: Option<IntervalObservation>,
+    ) -> IntervalObservation {
         assert!(dt > 0.0, "interval must be positive");
+        let (mut samples, mut app_statuses) = match recycle {
+            Some(obs) => (obs.latency_samples_s, obs.apps),
+            None => (Vec::new(), Vec::new()),
+        };
+        samples.clear();
+        app_statuses.clear();
         // Sample the load profile at the interval start: the generator's *rate* follows
         // the profile while its RNG stream stays untouched, so constant profiles
         // reproduce the exact pre-profile arrival sequences. The recorded load is
@@ -384,11 +418,13 @@ impl ColocationSim {
         self.time_s += dt;
 
         // Contention for this interval, from the live co-runners' current pressure.
-        let pressures: Vec<_> = self.apps.iter().map(|a| a.current_pressure()).collect();
+        self.pressure_scratch.clear();
+        self.pressure_scratch
+            .extend(self.apps.iter().map(|a| a.current_pressure()));
         let contention = self.config.interference.contention(
             &self.config.server,
             &self.config.service,
-            &pressures,
+            &self.pressure_scratch,
         );
 
         // Interactive service latency for the interval.
@@ -408,16 +444,15 @@ impl ColocationSim {
         // receives no samples: deliver an empty set (the monitor reports no-signal and
         // the runtime holds) instead of fabricating `samples_per_interval` synthetic
         // low-latency samples that would read as maximal headroom at a load trough.
-        let samples = if arrivals == 0 {
-            Vec::new()
-        } else {
-            self.config.latency.sample_latencies(
+        if arrivals > 0 {
+            self.config.latency.sample_latencies_into(
                 &self.config.service,
                 p99,
                 self.config.samples_per_interval,
-                &mut self.rng,
-            )
-        };
+                &mut self.sample_rng,
+                &mut samples,
+            );
+        }
         let utilization = LatencyModel::utilization(&self.config.service, &inputs);
 
         // Batch applications make progress under their own interference slowdown.
@@ -425,20 +460,16 @@ impl ColocationSim {
             app.advance(dt, contention.batch_slowdown, self.time_s);
         }
 
-        let apps: Vec<AppIntervalStatus> = self
-            .apps
-            .iter()
-            .map(|a| AppIntervalStatus {
-                app: a.profile().id,
-                variant: a.variant(),
-                cores: a.cores(),
-                cores_reclaimed: a.cores_reclaimed(),
-                progress: a.progress(),
-                finished: a.is_finished(),
-                inaccuracy_pct: a.inaccuracy_pct(),
-                relative_execution_time: a.relative_execution_time(),
-            })
-            .collect();
+        app_statuses.extend(self.apps.iter().map(|a| AppIntervalStatus {
+            app: a.profile().id,
+            variant: a.variant(),
+            cores: a.cores(),
+            cores_reclaimed: a.cores_reclaimed(),
+            progress: a.progress(),
+            finished: a.is_finished(),
+            inaccuracy_pct: a.inaccuracy_pct(),
+            relative_execution_time: a.relative_execution_time(),
+        }));
         let all_apps_finished = self.apps.iter().all(|a| a.is_finished());
 
         IntervalObservation {
@@ -450,7 +481,7 @@ impl ColocationSim {
             qos_target_s: self.config.service.qos_target_s,
             latency_samples_s: samples,
             utilization,
-            apps,
+            apps: app_statuses,
             all_apps_finished,
         }
     }
@@ -705,6 +736,65 @@ mod tests {
             idle.latency_samples_s.is_empty(),
             "zero arrivals must not fabricate latency samples"
         );
+    }
+
+    #[test]
+    fn recycled_buffers_never_leak_samples_into_idle_intervals() {
+        // Regression for the buffer-reuse hot path: an idle interval that recycles a
+        // busy interval's observation must deliver an *empty* sample set, not the stale
+        // samples whose capacity it inherited, and a later busy interval must refill
+        // the same allocation.
+        let profile = LoadProfile::Trace {
+            points: vec![(0.0, 0.75), (1.0, 0.0), (2.0, 0.0), (3.0, 0.75)],
+        };
+        let cfg = ColocationConfig::paper_default(ServiceId::MongoDb, &[AppId::Raytrace], 23)
+            .with_load_profile(profile);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let busy = sim.advance_reusing(1.0, None);
+        assert_eq!(busy.latency_samples_s.len(), 1_000);
+        let busy_capacity = busy.latency_samples_s.capacity();
+        let idle = sim.advance_reusing(1.0, Some(busy));
+        assert_eq!(idle.offered_load, 0.0);
+        assert_eq!(idle.arrivals, 0);
+        assert!(
+            idle.latency_samples_s.is_empty(),
+            "a recycled buffer must not leak the previous interval's samples"
+        );
+        let _ = sim.advance_reusing(1.0, None);
+        let busy_again = sim.advance_reusing(1.0, Some(idle));
+        assert_eq!(busy_again.latency_samples_s.len(), 1_000);
+        assert_eq!(
+            busy_again.latency_samples_s.capacity(),
+            busy_capacity,
+            "the busy interval must reuse the recycled allocation"
+        );
+        assert!(busy_again.latency_samples_s.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn advance_reusing_matches_advance() {
+        // Buffer recycling is a pure allocation optimization: the observations of a
+        // recycling run must be identical to a fresh-allocation run.
+        let run = |reuse: bool| -> Vec<String> {
+            let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], 7);
+            let mut sim = ColocationSim::new(cfg, &catalog());
+            let mut recycled: Option<IntervalObservation> = None;
+            (0..12)
+                .map(|_| {
+                    let obs = if reuse {
+                        sim.advance_reusing(1.0, recycled.take())
+                    } else {
+                        sim.advance(1.0)
+                    };
+                    let json = serde_json::to_string(&obs).expect("serializable");
+                    if reuse {
+                        recycled = Some(obs);
+                    }
+                    json
+                })
+                .collect()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -83,17 +83,27 @@ impl LatencyHistogram {
     }
 
     /// Index of the bucket a value falls into.
+    ///
+    /// Recording is on the monitor's per-sample hot path, so the power-of-two bucket and
+    /// the linear sub-bucket are read straight out of the IEEE-754 exponent and mantissa
+    /// bits instead of calling `log2`: for `v` in `[2^e, 2^(e+1))` the exponent field is
+    /// exactly `e + 1023` and the top `log2(SUB_BUCKETS)` mantissa bits are exactly
+    /// `floor((v - 2^e) / 2^e * SUB_BUCKETS)`.
     fn bucket_index(value: f64) -> usize {
-        let v = value.max(0.0);
+        let v = value.max(0.0); // NaN also lands here: NaN.max(0.0) == 0.0
         if v < 1.0 {
             // Values in [0, 1) map linearly onto the first power-of-two bucket.
             return (v * SUB_BUCKETS as f64) as usize % SUB_BUCKETS;
         }
-        let exp = v.log2().floor() as usize;
-        let exp = exp.min(EXP_BUCKETS - 1);
-        let base = 2f64.powi(exp as i32);
-        let frac = ((v - base) / base * SUB_BUCKETS as f64) as usize;
-        exp * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)
+        const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as usize - 1023;
+        if exp >= EXP_BUCKETS {
+            // Beyond the covered range: clamp into the last (open-ended) bucket.
+            return EXP_BUCKETS * SUB_BUCKETS - 1;
+        }
+        let frac = ((bits >> (52 - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        exp * SUB_BUCKETS + frac
     }
 
     /// Representative (upper-edge midpoint) value of a bucket, used when reporting
@@ -107,6 +117,43 @@ impl LatencyHistogram {
         }
         let base = 2f64.powi(exp as i32);
         base + base * (sub as f64 + 0.5) / SUB_BUCKETS as f64
+    }
+
+    /// The `[lower, upper)` edges of the bucket `value` is recorded into, in the same
+    /// units as `value`.
+    ///
+    /// `upper - lower` is the histogram's quantization granularity at `value` — the
+    /// bound within which a histogram-backed percentile can differ from the exact
+    /// order-statistic of the recorded values (see [`Self::percentile`]). Exposed so
+    /// callers replacing an exact sorted quantile with this histogram can assert the
+    /// documented one-bucket-width equivalence. Non-finite and negative values clamp to
+    /// zero first, exactly as [`Self::record`] does.
+    ///
+    /// Note the first power-of-two bucket is shared by the linear `[0, 1)` mapping and
+    /// the logarithmic `[1, 2)` range; for sub-unit values the returned bounds describe
+    /// the linear containment range. The very last bucket absorbs everything beyond the
+    /// covered range, so its upper edge is `f64::INFINITY` (no width bound exists
+    /// there).
+    pub fn bucket_bounds(value: f64) -> (f64, f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        let index = Self::bucket_index(v);
+        let sub = index % SUB_BUCKETS;
+        if v < 1.0 {
+            let w = 1.0 / SUB_BUCKETS as f64;
+            return (sub as f64 * w, (sub + 1) as f64 * w);
+        }
+        let base = 2f64.powi((index / SUB_BUCKETS) as i32);
+        let lower = base + base * sub as f64 / SUB_BUCKETS as f64;
+        if index == EXP_BUCKETS * SUB_BUCKETS - 1 {
+            // The clamp bucket is open-ended: it contains every value past the covered
+            // range, so no finite upper edge would contain them all.
+            return (lower, f64::INFINITY);
+        }
+        (lower, base + base * (sub + 1) as f64 / SUB_BUCKETS as f64)
     }
 
     /// Records a single value.
@@ -452,6 +499,88 @@ mod tests {
     fn out_of_range_quantile_panics() {
         let h = LatencyHistogram::new();
         let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn bit_extracted_bucket_index_matches_the_log2_reference() {
+        // The production bucket_index reads the exponent/mantissa bits directly; this
+        // pins it against the straightforward log2-based formulation it replaced.
+        fn reference(value: f64) -> usize {
+            let v = value.max(0.0);
+            if v < 1.0 {
+                return (v * SUB_BUCKETS as f64) as usize % SUB_BUCKETS;
+            }
+            let exp = (v.log2().floor() as usize).min(EXP_BUCKETS - 1);
+            let base = 2f64.powi(exp as i32);
+            let frac = ((v - base) / base * SUB_BUCKETS as f64) as usize;
+            exp * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)
+        }
+        let mut v = 1e-3;
+        while v < 1e13 {
+            assert_eq!(
+                LatencyHistogram::bucket_index(v),
+                reference(v),
+                "bucket mismatch at {v}"
+            );
+            v *= 1.000_37;
+        }
+        // Exact powers of two and their upper neighbors are edge cases of the exponent
+        // extraction.
+        for e in 0..45i32 {
+            let p = 2f64.powi(e);
+            for x in [p, p * (1.0 + f64::EPSILON)] {
+                assert_eq!(
+                    LatencyHistogram::bucket_index(x),
+                    reference(x),
+                    "bucket mismatch at 2^{e} neighbor {x}"
+                );
+            }
+            // The value immediately *below* a power of two is where the bit extraction
+            // is strictly more correct than the log2 formulation: libm's log2 rounds
+            // 2^e·(1 - 2^-53) to exactly e, so the reference misfiled it one full
+            // power-of-two bucket high; the exponent field cannot.
+            if (1..EXP_BUCKETS as i32).contains(&e) {
+                let just_below = p * (1.0 - f64::EPSILON / 2.0);
+                assert_eq!(
+                    LatencyHistogram::bucket_index(just_below),
+                    (e as usize - 1) * SUB_BUCKETS + (SUB_BUCKETS - 1),
+                    "just-below-2^{e} must land in the top sub-bucket below"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_the_value_and_match_the_representative() {
+        let mut v = 1e-2;
+        while v < 1e9 {
+            let (lo, hi) = LatencyHistogram::bucket_bounds(v);
+            assert!(lo <= v && v < hi, "bounds ({lo}, {hi}) must contain {v}");
+            if v >= 1.0 {
+                let rep = LatencyHistogram::bucket_value(LatencyHistogram::bucket_index(v));
+                assert!(
+                    lo <= rep && rep <= hi,
+                    "representative {rep} outside ({lo}, {hi}) at {v}"
+                );
+                // The quantization granularity is bounded by 2/SUB_BUCKETS relative.
+                assert!((hi - lo) / v <= 2.0 / SUB_BUCKETS as f64 + 1e-12);
+            }
+            v *= 1.07;
+        }
+        // Non-finite values clamp to the zero bucket, like record().
+        assert_eq!(LatencyHistogram::bucket_bounds(f64::NAN).0, 0.0);
+        assert_eq!(LatencyHistogram::bucket_bounds(-3.0).0, 0.0);
+        // The clamp bucket is open-ended: values beyond the covered range must still be
+        // contained by their reported bounds.
+        for v in [2f64.powi(41), 1e15, 1e300] {
+            let (lo, hi) = LatencyHistogram::bucket_bounds(v);
+            assert!(lo <= v, "clamp-bucket lower edge {lo} must not exceed {v}");
+            assert_eq!(
+                hi,
+                f64::INFINITY,
+                "the clamp bucket has no finite upper edge"
+            );
+        }
     }
 
     #[test]

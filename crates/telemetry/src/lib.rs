@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fastmath;
 pub mod histogram;
 pub mod rng;
 pub mod series;

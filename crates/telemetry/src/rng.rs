@@ -4,8 +4,12 @@
 //! kernel input generation) draws from a seeded [`rand::rngs::SmallRng`] created through
 //! this module, so experiment results are reproducible run-to-run.
 
+use std::sync::OnceLock;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::fastmath::{fast_exp, fast_ln};
 
 /// Creates a deterministic RNG from an explicit seed.
 ///
@@ -103,6 +107,116 @@ pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -
     median * (sigma * n).exp()
 }
 
+/// Number of ziggurat layers (one base strip including the tail plus 255 stacked
+/// rectangles of equal area).
+const ZIG_LAYERS: usize = 256;
+/// Right edge of the base strip of the 256-layer normal ziggurat.
+const ZIG_R: f64 = 3.654_152_885_361_009;
+/// Common area of every ziggurat region (rectangle or base strip plus tail).
+const ZIG_V: f64 = 4.928_673_233_974_655e-3;
+
+/// Precomputed ziggurat edges `x[i]` and densities `f[i] = exp(-x[i]^2 / 2)`.
+struct ZigTables {
+    x: [f64; ZIG_LAYERS + 1],
+    f: [f64; ZIG_LAYERS + 1],
+}
+
+/// Builds the ziggurat tables once per process via the standard downward recurrence
+/// `x[i] = f^-1(V / x[i-1] + f(x[i-1]))`; `x[0]` is the base strip's pseudo-edge
+/// `V / f(R)` (> R) so one uniform draw covers both the strip and the tail branch.
+fn zig_tables() -> &'static ZigTables {
+    static TABLES: OnceLock<ZigTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let pdf = |v: f64| (-0.5 * v * v).exp();
+        let mut x = [0.0; ZIG_LAYERS + 1];
+        x[0] = ZIG_V / pdf(ZIG_R);
+        x[1] = ZIG_R;
+        for i in 2..ZIG_LAYERS {
+            x[i] = (-2.0 * (ZIG_V / x[i - 1] + pdf(x[i - 1])).ln()).sqrt();
+        }
+        x[ZIG_LAYERS] = 0.0;
+        let mut f = [0.0; ZIG_LAYERS + 1];
+        for i in 0..=ZIG_LAYERS {
+            f[i] = pdf(x[i]);
+        }
+        ZigTables { x, f }
+    })
+}
+
+/// Samples a standard normal variate with the 256-layer ziggurat algorithm
+/// (Marsaglia–Tsang).
+///
+/// This is the hot-path normal sampler: the common case costs one 64-bit RNG draw, one
+/// table lookup, one multiply, and one compare (~98% of draws), versus a logarithm, a
+/// square root, and a cosine for the Box–Muller sampler in
+/// [`sample_standard_normal`]. The two samplers produce the same distribution but
+/// different streams; Box–Muller is kept for the calibrated kernel and noise streams
+/// whose historical sequences tests pin, while batch sample generation uses this one.
+pub fn sample_normal_ziggurat<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let t = zig_tables();
+    loop {
+        // One draw provides the layer (low 8 bits), the sign (bit 8), and a 53-bit
+        // uniform (bits 11..64) — all independent.
+        let bits: u64 = rng.gen();
+        let i = (bits & 0xff) as usize;
+        let sign = if bits & 0x100 == 0 { 1.0 } else { -1.0 };
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = u * t.x[i];
+        // Wholly inside the layer's inner rectangle: accept immediately.
+        if x < t.x[i + 1] {
+            return sign * x;
+        }
+        if i == 0 {
+            // Base strip: x in [R, x[0]) selects the tail (Marsaglia's exponential
+            // rejection; a zero uniform yields an infinite candidate and is rejected).
+            loop {
+                let u1: f64 = rng.gen();
+                let u2: f64 = rng.gen();
+                let xt = -fast_ln(u1) / ZIG_R;
+                let yt = -fast_ln(u2);
+                if xt.is_finite() && 2.0 * yt >= xt * xt {
+                    return sign * (ZIG_R + xt);
+                }
+            }
+        }
+        // Wedge: x in [x[i+1], x[i]); accept with probability proportional to the
+        // density overhang above the layer's flat top.
+        let y = t.f[i] + (t.f[i + 1] - t.f[i]) * rng.gen::<f64>();
+        if y < fast_exp(-0.5 * x * x) {
+            return sign * x;
+        }
+    }
+}
+
+/// Clears `out` and fills it with `n` lognormal samples parameterized like
+/// [`sample_lognormal`] (median and shape `sigma`).
+///
+/// This is the batch sampler the co-location hot path uses for per-interval latency
+/// sample generation: ziggurat normals plus the polynomial
+/// [`fast_exp`], roughly 3x faster per sample than
+/// [`sample_lognormal`]'s Box–Muller + `libm` pipeline. Identical distribution,
+/// different stream.
+///
+/// # Panics
+///
+/// Panics if `median` is not strictly positive or `sigma` is negative.
+pub fn fill_lognormals<R: Rng + ?Sized>(
+    rng: &mut R,
+    median: f64,
+    sigma: f64,
+    n: usize,
+    out: &mut Vec<f64>,
+) {
+    assert!(median > 0.0, "lognormal median must be positive");
+    assert!(sigma >= 0.0, "lognormal sigma must be non-negative");
+    out.clear();
+    out.reserve(n);
+    for _ in 0..n {
+        let z = sample_normal_ziggurat(rng);
+        out.push(median * fast_exp(sigma * z));
+    }
+}
+
 /// Samples a bounded Pareto variate with shape `alpha` on `[min, max]`.
 ///
 /// Used to inject occasional very slow requests (e.g. MongoDB disk stalls) into the
@@ -181,7 +295,7 @@ mod tests {
         let mut v: Vec<f64> = (0..20_001)
             .map(|_| sample_lognormal(&mut rng, 10.0, 0.5))
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_unstable_by(f64::total_cmp);
         let median = v[v.len() / 2];
         assert!((median - 10.0).abs() / 10.0 < 0.05, "median {median}");
     }
@@ -204,6 +318,79 @@ mod tests {
                 "out of bounds: {x}"
             );
         }
+    }
+
+    #[test]
+    fn ziggurat_layers_have_equal_area() {
+        // Every region of the ziggurat must have area V: the base strip plus tail, and
+        // each stacked rectangle x[i] * (f(x[i+1]) - f(x[i])).
+        let t = zig_tables();
+        for i in 1..ZIG_LAYERS {
+            let area = t.x[i] * (t.f[i + 1] - t.f[i]);
+            assert!(
+                (area - ZIG_V).abs() / ZIG_V < 1e-7,
+                "layer {i} area {area} != {ZIG_V}"
+            );
+        }
+        // Edges must descend strictly from the pseudo-edge to zero.
+        assert!(t.x[0] > t.x[1]);
+        for i in 1..ZIG_LAYERS {
+            assert!(t.x[i] > t.x[i + 1], "edges must strictly decrease at {i}");
+        }
+        assert_eq!(t.x[ZIG_LAYERS], 0.0);
+        assert_eq!(t.f[ZIG_LAYERS], 1.0);
+    }
+
+    #[test]
+    fn ziggurat_matches_the_standard_normal_distribution() {
+        let mut rng = seeded_rng(314);
+        let n = 400_000;
+        let mut v: Vec<f64> = (0..n).map(|_| sample_normal_ziggurat(&mut rng)).collect();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+        v.sort_unstable_by(f64::total_cmp);
+        // Quantiles of the standard normal: median 0, p90 1.2816, p99 2.3263,
+        // p999 3.0902 (exercises the wedge and tail branches).
+        let q = |p: f64| v[(p * n as f64) as usize];
+        assert!(q(0.5).abs() < 0.02, "median {}", q(0.5));
+        assert!((q(0.9) - 1.2816).abs() < 0.03, "p90 {}", q(0.9));
+        assert!((q(0.99) - 2.3263).abs() < 0.06, "p99 {}", q(0.99));
+        assert!((q(0.999) - 3.0902).abs() < 0.15, "p999 {}", q(0.999));
+        // Symmetry.
+        assert!((q(0.1) + q(0.9)).abs() < 0.05);
+    }
+
+    #[test]
+    fn ziggurat_is_deterministic_in_seed() {
+        let draw = |seed: u64| -> Vec<f64> {
+            let mut rng = seeded_rng(seed);
+            (0..100).map(|_| sample_normal_ziggurat(&mut rng)).collect()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn fill_lognormals_matches_the_scalar_sampler_distribution() {
+        let mut rng = seeded_rng(77);
+        let mut batch = Vec::new();
+        fill_lognormals(&mut rng, 10.0, 0.5, 50_001, &mut batch);
+        assert_eq!(batch.len(), 50_001);
+        assert!(batch.iter().all(|x| x.is_finite() && *x > 0.0));
+        batch.sort_unstable_by(f64::total_cmp);
+        let median = batch[batch.len() / 2];
+        assert!((median - 10.0).abs() / 10.0 < 0.03, "median {median}");
+        // p99 of lognormal(median 10, sigma 0.5): 10 * exp(0.5 * 2.3263) = 32.0.
+        let p99 = batch[(0.99 * batch.len() as f64) as usize];
+        assert!((p99 - 32.0).abs() / 32.0 < 0.07, "p99 {p99}");
+        // Refilling reuses the buffer and replaces its contents.
+        let cap_before = batch.capacity();
+        fill_lognormals(&mut rng, 1.0, 0.0, 10, &mut batch);
+        assert_eq!(batch.len(), 10);
+        assert!(batch.iter().all(|x| (*x - 1.0).abs() < 1e-12));
+        assert_eq!(batch.capacity(), cap_before, "the buffer must be reused");
     }
 
     #[test]

@@ -44,6 +44,15 @@ impl TimeSeries {
         }
     }
 
+    /// Creates an empty series pre-sized for `capacity` points, for recording loops
+    /// whose length is known up front (e.g. one point per decision interval).
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Name of the series.
     pub fn name(&self) -> &str {
         &self.name

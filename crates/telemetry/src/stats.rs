@@ -177,7 +177,10 @@ impl std::fmt::Display for Summary {
 /// order statistics). Intended for offline analysis in the experiment harness, not for the
 /// hot path.
 ///
-/// Returns `None` for an empty slice.
+/// Returns `None` for an empty slice. Values are ordered with [`f64::total_cmp`], so the
+/// function is total on any input: NaNs sort after `+inf` (an input containing NaN
+/// therefore reports NaN for quantiles that land on one) instead of the previous
+/// `partial_cmp` formulation's unspecified ordering.
 ///
 /// # Example
 ///
@@ -192,7 +195,7 @@ pub fn exact_quantile(values: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_unstable_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -263,6 +266,19 @@ mod tests {
         assert!((exact_quantile(&v, 0.99).unwrap() - 99.01).abs() < 1e-9);
         assert!((exact_quantile(&v, 0.0).unwrap() - 1.0).abs() < 1e-9);
         assert!((exact_quantile(&v, 1.0).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_quantile_is_total_on_nan_inputs() {
+        // Regression for the NaN-panicking partial_cmp formulation: a NaN in the input
+        // must not panic, must not disturb quantiles below its (last) sort position, and
+        // must surface as NaN only at the top.
+        let v = vec![3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(exact_quantile(&v, 0.0), Some(1.0));
+        // NaN sorts last, so the finite order statistics are [1, 2, 3, NaN] and the
+        // median interpolates between 2 and 3.
+        assert!((exact_quantile(&v, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!(exact_quantile(&v, 1.0).unwrap().is_nan());
     }
 
     #[test]

@@ -8,8 +8,10 @@
 
 use serde::Serialize;
 
-use pliant_telemetry::rng::{sample_exponential, sample_poisson, seeded_rng};
+use pliant_telemetry::fastmath::fast_ln;
+use pliant_telemetry::rng::{sample_poisson, seeded_rng};
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 /// An open-loop (Poisson) request generator with a fixed target rate.
 #[derive(Debug, Clone, Serialize)]
@@ -81,20 +83,40 @@ impl OpenLoopGenerator {
     /// Samples explicit arrival timestamps (seconds, relative to the window start) for a
     /// window of `window_s` seconds. Used by the discrete-event simulator; the count
     /// follows the same Poisson process as [`Self::arrivals_in`].
+    ///
+    /// Convenience wrapper over [`Self::arrival_times_into`] that allocates a fresh
+    /// vector per call.
     pub fn arrival_times_in(&mut self, window_s: f64) -> Vec<f64> {
         let mut times = Vec::new();
+        self.arrival_times_into(window_s, &mut times);
+        times
+    }
+
+    /// Clears `out` and fills it with the window's arrival timestamps (see
+    /// [`Self::arrival_times_in`]).
+    ///
+    /// This is the batch entry point for drivers that generate arrivals every window:
+    /// the caller's buffer is reused across windows, the expected arrival count is
+    /// reserved up front, and the exponential gaps are sampled with the polynomial
+    /// [`fast_ln`] instead of one `libm` call per request — an arrival-stream analogue
+    /// of the latency sampler's batch path.
+    pub fn arrival_times_into(&mut self, window_s: f64, out: &mut Vec<f64>) {
+        out.clear();
         if self.qps <= 0.0 || window_s <= 0.0 {
-            return times;
+            return;
         }
+        out.reserve((self.qps * window_s) as usize + 1);
         let mut t = 0.0;
         loop {
-            t += sample_exponential(&mut self.rng, self.qps);
+            // Inverse-CDF exponential gap; the uniform is drawn on the same half-open
+            // range as `sample_exponential` so a zero can never reach the logarithm.
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -fast_ln(u) / self.qps;
             if t >= window_s {
                 break;
             }
-            times.push(t);
+            out.push(t);
         }
-        times
     }
 
     /// Resets the generator to its initial seed, replaying the identical arrival stream.

@@ -1,0 +1,137 @@
+//! Integration tests for the hot-path overhaul's two documented contracts.
+//!
+//! 1. **Bucket-resolution bound.** The monitor's streaming histogram estimator may
+//!    differ from the exact sorted-order p99 of the samples it ingested by at most one
+//!    bucket width (~3% relative, see `LatencyHistogram::bucket_bounds`). This is the
+//!    precise sense in which the interval p99 "moved from exact to histogram", and it
+//!    must hold at every operating point — so it is swept across every service profile
+//!    and every load-profile shape.
+//! 2. **Buffer reuse never leaks.** `ColocationSim::advance_reusing` recycles the
+//!    previous interval's sample buffer; an idle interval must still deliver an empty
+//!    sample set and drive the monitor to a `no_signal` report, never a stale one.
+
+use pliant::prelude::*;
+use pliant::telemetry::histogram::LatencyHistogram;
+
+/// A monitor that ingests every sample (no subsampling), so its report is exactly the
+/// histogram estimate over the full interval.
+fn full_ingest_monitor(qos_target_s: f64) -> PerformanceMonitor {
+    PerformanceMonitor::new(
+        MonitorConfig {
+            base_sample_rate: 1.0,
+            elevated_sample_rate: 1.0,
+            ..MonitorConfig::for_qos(qos_target_s)
+        },
+        42,
+    )
+}
+
+/// The exact p99 under the histogram's rank definition: the smallest sample with
+/// cumulative count >= ceil(0.99 n).
+fn exact_rank_p99(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let target = ((0.99 * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+    sorted[target - 1]
+}
+
+fn load_profile_zoo() -> Vec<LoadProfile> {
+    vec![
+        LoadProfile::constant(0.75),
+        LoadProfile::Step {
+            base: 0.85,
+            to: 0.45,
+            at_s: 6.0,
+        },
+        LoadProfile::Diurnal {
+            base: 0.6,
+            amplitude: 0.3,
+            period_s: 12.0,
+            phase_s: 0.0,
+        },
+        LoadProfile::FlashCrowd {
+            base: 0.4,
+            peak: 1.0,
+            start_s: 4.0,
+            ramp_s: 2.0,
+            hold_s: 4.0,
+            decay_s: 2.0,
+        },
+    ]
+}
+
+#[test]
+fn histogram_p99_stays_within_one_bucket_width_of_the_exact_p99() {
+    let catalog = Catalog::default();
+    for service in ServiceId::all() {
+        for profile in load_profile_zoo() {
+            let cfg = ColocationConfig::paper_default(service, &[AppId::Canneal], 11)
+                .with_load_profile(profile.clone());
+            let qos = cfg.service.qos_target_s;
+            let mut sim = ColocationSim::new(cfg, &catalog);
+            let mut monitor = full_ingest_monitor(qos);
+            let mut recycled = None;
+            for _ in 0..15 {
+                let obs = sim.advance_reusing(1.0, recycled.take());
+                let report = monitor.observe_interval(&obs.latency_samples_s);
+                if !report.no_signal {
+                    // Compare in the histogram's microsecond domain: the estimate and
+                    // the exact rank statistic must land within one bucket width.
+                    let exact_us = exact_rank_p99(&obs.latency_samples_s) * 1e6;
+                    let (lo, hi) = LatencyHistogram::bucket_bounds(exact_us);
+                    let width = hi - lo;
+                    let estimate_us = report.p99_s * 1e6;
+                    assert!(
+                        (estimate_us - exact_us).abs() <= width,
+                        "{service} under {}: histogram p99 {estimate_us:.2}us deviates \
+                         from exact {exact_us:.2}us by more than one bucket width \
+                         ({width:.2}us)",
+                        profile.describe(),
+                    );
+                }
+                recycled = Some(obs);
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_buffers_report_no_signal_on_idle_intervals_after_busy_ones() {
+    // The monitor-facing half of the buffer-reuse contract: drive the exact engine
+    // pattern (recycled observations feeding the monitor) through a busy -> idle ->
+    // busy load profile and pin that the idle interval is a true no-signal, with the
+    // EWMA held from the busy interval, and that traffic recovers afterwards.
+    let catalog = Catalog::default();
+    let profile = LoadProfile::Trace {
+        points: vec![(0.0, 0.8), (1.0, 0.0), (2.0, 0.0), (3.0, 0.8)],
+    };
+    let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], 19)
+        .with_load_profile(profile);
+    let qos = cfg.service.qos_target_s;
+    let mut sim = ColocationSim::new(cfg, &catalog);
+    let mut monitor = PerformanceMonitor::new(MonitorConfig::for_qos(qos), 7);
+
+    let busy_obs = sim.advance_reusing(1.0, None);
+    assert_eq!(busy_obs.latency_samples_s.len(), 1_000);
+    let busy_report = monitor.observe_interval(&busy_obs.latency_samples_s);
+    assert!(!busy_report.no_signal);
+    assert!(busy_report.sampled > 0);
+
+    let idle_obs = sim.advance_reusing(1.0, Some(busy_obs));
+    assert_eq!(idle_obs.arrivals, 0);
+    assert!(
+        idle_obs.latency_samples_s.is_empty(),
+        "the recycled buffer must not leak the busy interval's samples"
+    );
+    let idle_report = monitor.observe_interval(&idle_obs.latency_samples_s);
+    assert!(idle_report.no_signal, "an idle interval is a no-signal");
+    assert_eq!(idle_report.sampled, 0);
+    assert_eq!(idle_report.smoothed_p99_s, busy_report.smoothed_p99_s);
+    assert_eq!(idle_report.slack_fraction, 0.0);
+
+    let _ = sim.advance_reusing(1.0, Some(idle_obs));
+    let busy_again = sim.advance_reusing(1.0, None);
+    assert_eq!(busy_again.latency_samples_s.len(), 1_000);
+    let report = monitor.observe_interval(&busy_again.latency_samples_s);
+    assert!(!report.no_signal, "traffic must be observed again");
+}
