@@ -77,6 +77,71 @@ pub fn cluster_machines_needed_scenario(
     )
 }
 
+/// The fleet scenario of the energy study (`fig_energy`), shared with the integration
+/// test that pins its headline result: a 6-machine memcached fleet under one day/night
+/// load cycle — a day plateau at exactly the fig_cluster operating point (2.6
+/// node-units), an evening decline, and a night valley at 1.26 node-units — serving a
+/// fixed batch of 12 jobs, with the energy-aware autoscaler sizing the active set.
+/// Round-robin balancing and slack-aware job placement keep the Precise/Pliant
+/// comparison purely paired under common random numbers.
+///
+/// The autoscaler's drain boundary (0.66 per node) sits at the load Pliant serves
+/// within QoS in `fig_cluster` but Precise does not: the Pliant fleet consolidates to
+/// 4 machines at 0.65 load each by day and 2 at night, while the Precise fleet's drain
+/// into the same operating point triggers QoS pressure, burns the learned capacity
+/// ceiling, and settles on 5 by day and 3 at night. Both fleets serve the identical
+/// interactive load and complete the identical batch within QoS — the Pliant fleet
+/// simply does it with more machines parked at the suspend draw, which is the
+/// machines-needed headline expressed in joules.
+pub fn cluster_energy_scenario(
+    policy: pliant_core::policy::PolicyKind,
+    seed: u64,
+) -> pliant_cluster::ClusterScenario {
+    use pliant_workloads::profile::LoadProfile;
+    let mix = [AppId::Bayesian, AppId::Semphy, AppId::ClustalW];
+    let nodes = 6;
+    // A fixed batch of 12 jobs (6 initial + 6 queued): both fleets complete the whole
+    // batch well inside the horizon, so the energy comparison covers identical
+    // interactive load *and* identical batch work. Pliant's approximated jobs finish
+    // earlier, so its drained nodes reach the park state sooner.
+    pliant_cluster::ClusterScenario::builder(ServiceId::Memcached)
+        .nodes(nodes)
+        .jobs((0..12).map(|i| mix[i % mix.len()]))
+        .policy(policy)
+        .balancer(pliant_cluster::BalancerKind::RoundRobin)
+        .scheduler(pliant_cluster::SchedulerKind::QosSlackAware)
+        // One day/night cycle, expressed per provisioned node (×6 for node-units): a
+        // day plateau at exactly the fig_cluster operating point (2.6 node-units),
+        // an evening decline, a night valley at 1.26 node-units, and the next
+        // morning's rise. During the day the autoscaler rediscovers the
+        // machines-needed headline online — Pliant consolidates to 4 machines at
+        // 0.65 load each while Precise burns that ceiling and settles on 5 — and at
+        // night Pliant serves the valley on 2 machines where Precise needs 3.
+        .load_profile(LoadProfile::Trace {
+            points: vec![
+                (0.0, 2.6 / 6.0),
+                (120.0, 2.6 / 6.0),
+                (180.0, 1.26 / 6.0),
+                (330.0, 1.26 / 6.0),
+                (360.0, 1.8 / 6.0),
+            ],
+        })
+        .autoscaler(pliant_cluster::AutoscalerConfig {
+            min_active: 2,
+            scale_out_load: 0.74,
+            scale_out_violation_fraction: 0.6,
+            scale_out_sustain_intervals: 2,
+            scale_in_max_load: 0.66,
+            scale_in_max_p99_fraction: 0.95,
+            scale_in_sustain_intervals: 4,
+            cooldown_intervals: 5,
+        })
+        .horizon_seconds(360.0)
+        .warmup_intervals(8)
+        .seed(seed)
+        .build()
+}
+
 /// Returns true when `--json` was passed to a harness binary.
 pub fn json_requested(args: &[String]) -> bool {
     args.iter().any(|a| a == "--json")

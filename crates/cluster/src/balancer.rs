@@ -113,6 +113,40 @@ impl LoadBalancer {
     /// Panics if `snapshots.len()` differs from the fleet size the balancer was built
     /// for.
     pub fn split(&mut self, total_load: f64, snapshots: &[NodeSnapshot]) -> Vec<f64> {
+        self.split_inner(total_load, snapshots, None)
+    }
+
+    /// Like [`Self::split`], but restricted to the nodes marked `true` in `active`:
+    /// inactive nodes (drained or parked by an autoscaler) are assigned exactly zero
+    /// load and the quanta budget scales with the active count. With every node active
+    /// this is identical to [`Self::split`] draw-for-draw, so enabling an autoscaler
+    /// that never acts does not perturb any stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots.len()` or `active.len()` differs from the fleet size.
+    pub fn split_active(
+        &mut self,
+        total_load: f64,
+        snapshots: &[NodeSnapshot],
+        active: &[bool],
+    ) -> Vec<f64> {
+        assert_eq!(
+            active.len(),
+            self.nodes,
+            "balancer built for {} nodes, got {} active flags",
+            self.nodes,
+            active.len()
+        );
+        self.split_inner(total_load, snapshots, Some(active))
+    }
+
+    fn split_inner(
+        &mut self,
+        total_load: f64,
+        snapshots: &[NodeSnapshot],
+        active: Option<&[bool]>,
+    ) -> Vec<f64> {
         assert_eq!(
             snapshots.len(),
             self.nodes,
@@ -121,25 +155,33 @@ impl LoadBalancer {
             snapshots.len()
         );
         let n = self.nodes;
+        let is_active = |i: usize| active.is_none_or(|m| m[i]);
+        let active_count = active.map_or(n, |m| m.iter().filter(|a| **a).count());
         let mut assigned = vec![0.0f64; n];
-        if total_load <= 0.0 {
+        if total_load <= 0.0 || active_count == 0 {
             return assigned;
         }
-        // Rotating a full interval's worth of quanta over n nodes hands every node
-        // exactly quanta/n of them, so round-robin needs no quantum loop (and no
-        // rotation state): it is the even split, computed directly.
+        // Rotating a full interval's worth of quanta over the serving nodes hands each
+        // exactly quanta/active_count of them, so round-robin needs no quantum loop
+        // (and no rotation state): it is the even split, computed directly.
         if self.kind == BalancerKind::RoundRobin {
-            return vec![total_load / n as f64; n];
+            let share = total_load / active_count as f64;
+            for (i, slot) in assigned.iter_mut().enumerate() {
+                if is_active(i) {
+                    *slot = share;
+                }
+            }
+            return assigned;
         }
-        let quanta = QUANTA_PER_NODE * n;
+        let quanta = QUANTA_PER_NODE * active_count;
         let quantum = total_load / quanta as f64;
         // A node's tail-latency *excess* over its QoS target counts as load it is
         // already carrying: a node at 1.5x its target must shed traffic even if the
         // dispatcher just assigned it little. Two normalizations keep the feedback loop
         // stable: latency below the target carries no penalty (differences between
         // healthy nodes must not unbalance the split), and the penalty is relative to
-        // the least-stressed node — when the whole fleet is equally hot (e.g. the
-        // convergence transient, or an overload no split can fix) shedding from
+        // the least-stressed *serving* node — when the whole fleet is equally hot (e.g.
+        // the convergence transient, or an overload no split can fix) shedding from
         // everyone to everyone would only slosh load around, so the split stays even.
         let excess: Vec<f64> = snapshots
             .iter()
@@ -151,37 +193,57 @@ impl LoadBalancer {
                 }
             })
             .collect();
-        let floor = excess.iter().cloned().fold(f64::INFINITY, f64::min);
+        let floor = excess
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| is_active(*i))
+            .map(|(_, e)| *e)
+            .fold(f64::INFINITY, f64::min);
         let penalty: Vec<f64> = excess.iter().map(|e| e - floor).collect();
         match self.kind {
             BalancerKind::RoundRobin => unreachable!("handled above"),
             BalancerKind::LeastLoaded => {
                 for _ in 0..quanta {
-                    // Prefer nodes under the saturation cap; once every node is at
-                    // capacity the overload has nowhere better to go and spills onto
-                    // the globally least-loaded node.
+                    // Prefer serving nodes under the saturation cap; once every one is
+                    // at capacity the overload has nowhere better to go and spills onto
+                    // the least-loaded serving node.
                     let target = (0..n)
-                        .filter(|&i| assigned[i] < MAX_OFFERED_LOAD)
+                        .filter(|&i| is_active(i) && assigned[i] < MAX_OFFERED_LOAD)
                         .min_by(|&a, &b| {
                             (assigned[a] + penalty[a])
                                 .partial_cmp(&(assigned[b] + penalty[b]))
                                 .expect("loads are finite")
                         })
                         .or_else(|| {
-                            (0..n).min_by(|&a, &b| {
+                            (0..n).filter(|&i| is_active(i)).min_by(|&a, &b| {
                                 assigned[a]
                                     .partial_cmp(&assigned[b])
                                     .expect("loads are finite")
                             })
                         })
-                        .expect("fleet is non-empty");
+                        .expect("at least one serving node");
                     assigned[target] += quantum;
                 }
             }
             BalancerKind::PowerOfTwoChoices => {
+                // With no mask the pair is drawn over node indices directly; with one,
+                // over positions in the active set. For an all-active mask the two are
+                // the same draws, keeping pre-autoscaler streams intact.
+                let pick = |rng: &mut SmallRng, active: Option<&[bool]>| match active {
+                    None => rng.gen_range(0..n),
+                    Some(mask) => {
+                        let pos = rng.gen_range(0..active_count);
+                        mask.iter()
+                            .enumerate()
+                            .filter(|(_, a)| **a)
+                            .nth(pos)
+                            .expect("position is within the active count")
+                            .0
+                    }
+                };
                 for _ in 0..quanta {
-                    let a = self.rng.gen_range(0..n);
-                    let b = self.rng.gen_range(0..n);
+                    let a = pick(&mut self.rng, active);
+                    let b = pick(&mut self.rng, active);
                     // Same capacity rule as least-loaded, restricted to the sampled
                     // pair: a saturated choice loses to an unsaturated one.
                     let a_capped = assigned[a] >= MAX_OFFERED_LOAD;
@@ -279,6 +341,34 @@ mod tests {
         // No node is starved or doubled-up under uniform conditions.
         for share in &split_a {
             assert!(*share > 0.0 && *share < 1.5);
+        }
+    }
+
+    #[test]
+    fn masked_split_starves_inactive_nodes_and_conserves_load() {
+        for kind in BalancerKind::all() {
+            let mut b = kind.build(4, 3);
+            let split = b.split_active(1.5, &snapshots(&[0.0; 4]), &[true, false, true, false]);
+            assert_eq!(split[1], 0.0, "{kind}: drained nodes get no traffic");
+            assert_eq!(split[3], 0.0, "{kind}: parked nodes get no traffic");
+            assert!(split[0] > 0.0 && split[2] > 0.0, "{kind}");
+            assert!(
+                (split.iter().sum::<f64>() - 1.5).abs() < 1e-9,
+                "{kind}: masked splits conserve load"
+            );
+        }
+    }
+
+    #[test]
+    fn all_active_mask_matches_the_unmasked_split_draw_for_draw() {
+        for kind in BalancerKind::all() {
+            let snaps = snapshots(&[0.012, 0.0, 0.03, 0.0]);
+            let unmasked = kind.build(4, 11).split(2.2, &snaps);
+            let masked = kind.build(4, 11).split_active(2.2, &snaps, &[true; 4]);
+            assert_eq!(
+                unmasked, masked,
+                "{kind}: enabling an idle autoscaler must not perturb the split"
+            );
         }
     }
 

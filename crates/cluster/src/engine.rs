@@ -82,16 +82,21 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
 
     let mut total_load_sum = 0.0f64;
     let mut max_total_extra = 0u32;
+    let mut active_sum = 0usize;
+    let mut min_active = scenario.nodes;
     let max_intervals = scenario.max_intervals();
     let mut load_series = TimeSeries::with_capacity("total_offered_load", max_intervals);
     let mut cores_series = TimeSeries::with_capacity("total_extra_cores", max_intervals);
     let mut violating_series = TimeSeries::with_capacity("violating_nodes", max_intervals);
+    let mut power_series = TimeSeries::with_capacity("fleet_power_w", max_intervals);
+    let mut active_series = TimeSeries::with_capacity("active_nodes", max_intervals);
 
     for _ in 0..max_intervals {
         let interval = sim.advance_threads(threads);
         total_load_sum += interval.total_offered_load;
         let mut total_extra = 0u32;
         let mut violating_nodes = 0usize;
+        let mut fleet_power_w = 0.0f64;
         for ni in &interval.nodes {
             let i = ni.node;
             let obs = &ni.observation;
@@ -102,11 +107,16 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
             max_extra[i] = max_extra[i].max(ni.extra_service_cores);
             jobs_completed[i] += ni.jobs_completed;
             total_extra += ni.extra_service_cores;
+            fleet_power_w += obs.power_w;
         }
         max_total_extra = max_total_extra.max(total_extra);
+        active_sum += interval.active_nodes;
+        min_active = min_active.min(interval.active_nodes);
         load_series.push(interval.time_s, interval.total_offered_load);
         cores_series.push(interval.time_s, total_extra as f64);
         violating_series.push(interval.time_s, violating_nodes as f64);
+        power_series.push(interval.time_s, fleet_power_w);
+        active_series.push(interval.time_s, interval.active_nodes as f64);
         // The interval is fully consumed: recycle its observation buffers into the
         // nodes so the fleet, like the single-node loop, allocates once per run.
         sim.recycle_interval(interval);
@@ -142,6 +152,7 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
                 } else {
                     inaccuracies.iter().sum::<f64>() / inaccuracies.len() as f64
                 },
+                energy_j: node.energy_j(),
             }
         })
         .collect();
@@ -149,11 +160,18 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
     let total_busy: usize = (0..n).map(|i| sim.node(i).busy_intervals()).sum();
     let total_violations: usize = (0..n).map(|i| sim.node(i).qos_violations()).sum();
     let fleet_p99_s = fleet.p99() / 1e6;
+    // Fleet energy is the exact sum of the per-node accounting, mirroring how the
+    // fleet p99 is the exact merge of the per-node histograms.
+    let fleet_energy_j: f64 = node_outcomes.iter().map(|node| node.energy_j).sum();
+    let simulated_s = max_intervals as f64 * scenario.decision_interval_s;
+    let completed = sim.scheduler_stats().completed;
 
     let mut trace = TraceBundle::new();
     trace.insert(load_series);
     trace.insert(cores_series);
     trace.insert(violating_series);
+    trace.insert(power_series);
+    trace.insert(active_series);
 
     ClusterOutcome {
         service: scenario.service,
@@ -171,6 +189,19 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
         fleet_tail_latency_ratio: fleet_p99_s / qos_target_s,
         fleet_qos_violation_fraction: total_violations as f64 / total_busy.max(1) as f64,
         max_total_extra_cores: max_total_extra,
+        fleet_energy_j,
+        mean_fleet_power_w: if simulated_s > 0.0 {
+            fleet_energy_j / simulated_s
+        } else {
+            0.0
+        },
+        energy_per_completed_job_j: if completed > 0 {
+            fleet_energy_j / completed as f64
+        } else {
+            0.0
+        },
+        mean_active_nodes: active_sum as f64 / max_intervals.max(1) as f64,
+        min_active_nodes: min_active,
         scheduler_stats: sim.scheduler_stats(),
         node_outcomes,
         trace,

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod autoscaler;
 pub mod balancer;
 pub mod engine;
 pub mod node;
@@ -56,6 +57,7 @@ pub mod scheduler;
 pub mod sim;
 pub mod suite;
 
+pub use autoscaler::{Autoscaler, AutoscalerAction, AutoscalerConfig, NodePowerState};
 pub use balancer::{BalancerKind, LoadBalancer};
 pub use engine::ClusterEngineExt;
 pub use node::{ClusterNode, NodeInterval, NodeSnapshot};
@@ -67,6 +69,7 @@ pub use suite::{ClusterCellOutcome, ClusterSuite, ClusterSuiteError, ClusterSwee
 
 /// Commonly-used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::autoscaler::{AutoscalerConfig, NodePowerState};
     pub use crate::balancer::BalancerKind;
     pub use crate::engine::ClusterEngineExt;
     pub use crate::outcome::{machines_needed, ClusterOutcome, NodeOutcome};

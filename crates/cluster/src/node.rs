@@ -106,6 +106,10 @@ pub struct ClusterNode {
     idle_intervals: usize,
     /// Post-warm-up traffic-serving intervals that violated the QoS target.
     qos_violations: usize,
+    /// Total electrical energy the node has consumed, in joules. Unlike the QoS
+    /// counters this covers the *whole* run (warm-up included) — energy is billed
+    /// whenever the machine is on, regardless of measurement windows.
+    energy_j: f64,
     /// A consumed observation handed back via [`Self::recycle_observation`], whose
     /// buffers the next step reuses.
     recycle: Option<IntervalObservation>,
@@ -179,6 +183,7 @@ impl ClusterNode {
             busy_intervals: 0,
             idle_intervals: 0,
             qos_violations: 0,
+            energy_j: 0.0,
             recycle: None,
         }
     }
@@ -241,6 +246,20 @@ impl ClusterNode {
         self.qos_violations
     }
 
+    /// Total electrical energy the node has consumed over the whole run, in joules.
+    /// Recorded node-side (on the worker thread advancing the node, like the latency
+    /// histogram), so fleet energy is the exact sum of these.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Suspends the node (autoscaler park) or powers it back on; forwarded to
+    /// [`ColocationSim::set_parked`]. While parked the node bills the suspend draw —
+    /// the autoscaler guarantees it is assigned zero load and holds no running jobs.
+    pub fn set_parked(&mut self, parked: bool) {
+        self.sim.set_parked(parked);
+    }
+
     /// Hands a consumed interval observation back to the node so its heap buffers are
     /// recycled into the next [`Self::step`] (see
     /// [`ColocationSim::advance_reusing`]). Purely an allocation optimization: the
@@ -288,6 +307,7 @@ impl ClusterNode {
         // convergence transient would otherwise sit in the histogram forever.
         let measured = self.intervals_stepped >= self.warmup_intervals;
         self.intervals_stepped += 1;
+        self.energy_j += observation.energy_j;
         if measured {
             if observation.arrivals == 0 {
                 self.idle_intervals += 1;

@@ -43,6 +43,10 @@ pub struct NodeOutcome {
     /// Mean output-quality loss of the jobs completed on this node, in percent
     /// (`0.0` when the node completed no jobs).
     pub mean_completed_inaccuracy_pct: f64,
+    /// Total electrical energy this node consumed over the whole run (warm-up
+    /// included), in joules. Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub energy_j: f64,
 }
 
 /// Outcome of one fleet experiment.
@@ -83,6 +87,27 @@ pub struct ClusterOutcome {
     /// Peak number of cores the fleet's services held beyond their fair share at any
     /// single interval (cores reclaimed from batch work, summed over nodes).
     pub max_total_extra_cores: u32,
+    /// Total electrical energy the fleet consumed over the whole run, in joules — the
+    /// exact sum of every node's own accounting (like the fleet p99 is the exact merge
+    /// of per-node histograms). Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub fleet_energy_j: f64,
+    /// Mean fleet power over the run, in watts (`fleet_energy_j` over the simulated
+    /// wall clock). Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub mean_fleet_power_w: f64,
+    /// Fleet energy per completed batch job, in joules (`0.0` when no job completed).
+    /// Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub energy_per_completed_job_j: f64,
+    /// Mean number of traffic-serving nodes over the run (equals `nodes` without an
+    /// autoscaler). Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub mean_active_nodes: f64,
+    /// Smallest active set at any interval (equals `nodes` without an autoscaler).
+    /// Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub min_active_nodes: usize,
     /// Job-queue statistics (submitted / placed / completed).
     pub scheduler_stats: SchedulerStats,
     /// Per-node outcomes, in node order.
@@ -166,6 +191,11 @@ mod tests {
             fleet_tail_latency_ratio: ratio,
             fleet_qos_violation_fraction: violations,
             max_total_extra_cores: 0,
+            fleet_energy_j: 1500.0 * nodes as f64,
+            mean_fleet_power_w: 150.0 * nodes as f64,
+            energy_per_completed_job_j: 1500.0,
+            mean_active_nodes: nodes as f64,
+            min_active_nodes: nodes,
             scheduler_stats: SchedulerStats {
                 submitted: nodes,
                 placed: nodes,
@@ -181,6 +211,7 @@ mod tests {
                 max_extra_service_cores: 0,
                 jobs_completed: nodes,
                 mean_completed_inaccuracy_pct: 2.0,
+                energy_j: 1500.0,
             }],
             trace: TraceBundle::new(),
         }
@@ -221,6 +252,7 @@ mod tests {
             max_extra_service_cores: 0,
             jobs_completed: 6,
             mean_completed_inaccuracy_pct: 4.0,
+            energy_j: 1200.0,
         });
         // Node 0 completed 2 jobs at 2%, node 1 completed 6 jobs at 4%.
         let expected = (2.0 * 2.0 + 4.0 * 6.0) / 8.0;

@@ -25,6 +25,7 @@ use pliant_core::scenario::Horizon;
 use pliant_workloads::profile::{LoadProfile, LoadProfileError, MAX_LOAD_FRACTION};
 use pliant_workloads::service::ServiceId;
 
+use crate::autoscaler::{AutoscalerConfig, AutoscalerConfigError};
 use crate::balancer::BalancerKind;
 use crate::scheduler::SchedulerKind;
 
@@ -76,6 +77,10 @@ pub struct ClusterScenario {
     pub warmup_intervals: usize,
     /// Overrides the service's QoS target in seconds (`None` = paper default).
     pub qos_target_s: Option<f64>,
+    /// Energy-aware autoscaling of the active node set (`None` = every node serves for
+    /// the whole run). Absent in pre-energy archives (deserializes as `None`).
+    #[serde(default)]
+    pub autoscaler: Option<AutoscalerConfig>,
     /// Master seed; every node, the balancer, and the monitor sampling streams derive
     /// from it.
     pub seed: u64,
@@ -160,6 +165,17 @@ impl ClusterScenario {
                 .validate()
                 .map_err(ClusterScenarioError::InvalidLoadProfile)?;
         }
+        if let Some(autoscaler) = &self.autoscaler {
+            autoscaler
+                .validate()
+                .map_err(ClusterScenarioError::InvalidAutoscaler)?;
+            if autoscaler.min_active > self.nodes {
+                return Err(ClusterScenarioError::AutoscalerMinimumExceedsFleet {
+                    min_active: autoscaler.min_active,
+                    nodes: self.nodes,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -213,6 +229,15 @@ pub enum ClusterScenarioError {
     },
     /// The load profile failed its own validation.
     InvalidLoadProfile(LoadProfileError),
+    /// The autoscaler configuration failed its own validation.
+    InvalidAutoscaler(AutoscalerConfigError),
+    /// The autoscaler's active-set floor exceeds the fleet size.
+    AutoscalerMinimumExceedsFleet {
+        /// Requested minimum active nodes.
+        min_active: usize,
+        /// Provisioned fleet size.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for ClusterScenarioError {
@@ -249,6 +274,13 @@ impl std::fmt::Display for ClusterScenarioError {
             ClusterScenarioError::InvalidLoadProfile(e) => {
                 write!(f, "invalid load profile: {e}")
             }
+            ClusterScenarioError::InvalidAutoscaler(e) => {
+                write!(f, "invalid autoscaler config: {e}")
+            }
+            ClusterScenarioError::AutoscalerMinimumExceedsFleet { min_active, nodes } => write!(
+                f,
+                "autoscaler min_active of {min_active} exceeds the {nodes}-node fleet"
+            ),
         }
     }
 }
@@ -302,6 +334,7 @@ impl ClusterScenarioBuilder {
                 horizon: Horizon::Intervals(120),
                 warmup_intervals: 5,
                 qos_target_s: None,
+                autoscaler: None,
                 seed: 42,
             },
         }
@@ -404,6 +437,13 @@ impl ClusterScenarioBuilder {
     /// Overrides every node's QoS target in seconds.
     pub fn qos_target_s(mut self, qos_s: f64) -> Self {
         self.scenario.qos_target_s = Some(qos_s);
+        self
+    }
+
+    /// Enables energy-aware autoscaling of the active node set (see
+    /// [`crate::autoscaler`]).
+    pub fn autoscaler(mut self, config: AutoscalerConfig) -> Self {
+        self.scenario.autoscaler = Some(config);
         self
     }
 
@@ -538,6 +578,7 @@ mod tests {
                 period_s: 60.0,
                 phase_s: 0.0,
             })
+            .autoscaler(AutoscalerConfig::default())
             .horizon_seconds(30.0)
             .qos_target_s(0.012)
             .seed(1234)
@@ -547,6 +588,52 @@ mod tests {
         let back: ClusterScenario = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, s);
         assert!(!back.effective_instrumented());
+        assert_eq!(back.autoscaler, Some(AutoscalerConfig::default()));
+        // Pre-energy archives carry no autoscaler field and deserialize as None.
+        let value: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let legacy = serde_json::to_string(&serde::Value::Object(
+            value
+                .as_object()
+                .expect("scenarios serialize as objects")
+                .iter()
+                .filter(|(k, _)| k != "autoscaler")
+                .cloned()
+                .collect(),
+        ))
+        .expect("serializable");
+        let old: ClusterScenario =
+            serde_json::from_str(&legacy).expect("legacy archives deserialize");
+        assert_eq!(old.autoscaler, None);
+    }
+
+    #[test]
+    fn validation_catches_bad_autoscaler_configs() {
+        let err = ClusterScenario::builder(ServiceId::Nginx)
+            .nodes(2)
+            .jobs(jobs(2))
+            .autoscaler(AutoscalerConfig {
+                min_active: 0,
+                ..AutoscalerConfig::default()
+            })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, ClusterScenarioError::InvalidAutoscaler(_)));
+        assert!(err.to_string().contains("autoscaler"));
+        assert_eq!(
+            ClusterScenario::builder(ServiceId::Nginx)
+                .nodes(2)
+                .jobs(jobs(2))
+                .autoscaler(AutoscalerConfig {
+                    min_active: 5,
+                    ..AutoscalerConfig::default()
+                })
+                .try_build()
+                .unwrap_err(),
+            ClusterScenarioError::AutoscalerMinimumExceedsFleet {
+                min_active: 5,
+                nodes: 2
+            }
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use pliant_approx::catalog::Catalog;
 
+use crate::autoscaler::{Autoscaler, NodePowerState};
 use crate::balancer::LoadBalancer;
 use crate::node::{ClusterNode, NodeInterval, NodeSnapshot};
 use crate::pool::NodeWorkerPool;
@@ -34,6 +35,9 @@ pub struct ClusterInterval {
     /// Total offered load for the interval, in node-saturation units
     /// (`avg_offered_load × nodes`).
     pub total_offered_load: f64,
+    /// Nodes that served traffic this interval (the autoscaler's active set; the full
+    /// fleet when no autoscaler is configured).
+    pub active_nodes: usize,
     /// Jobs placed onto nodes at the start of the interval.
     pub jobs_placed: usize,
     /// Per-node results, in node order.
@@ -50,6 +54,8 @@ pub struct ClusterSim {
     nodes: Vec<Option<ClusterNode>>,
     balancer: LoadBalancer,
     scheduler: BatchScheduler,
+    /// Energy-aware sizing of the active node set (`None` = every node always serves).
+    autoscaler: Option<Autoscaler>,
     time_s: f64,
     intervals: usize,
     /// Persistent worker pool for parallel node updates, created on first parallel
@@ -90,12 +96,16 @@ impl ClusterSim {
             scenario.jobs[initial..].iter().copied(),
             initial,
         );
+        let autoscaler = scenario
+            .autoscaler
+            .map(|config| Autoscaler::new(config, scenario.nodes));
         Self {
             scenario: scenario.clone(),
             catalog: catalog.clone(),
             nodes,
             balancer,
             scheduler,
+            autoscaler,
             time_s: 0.0,
             intervals: 0,
             pool: None,
@@ -132,6 +142,18 @@ impl ClusterSim {
     /// Jobs still waiting in the queue.
     pub fn pending_jobs(&self) -> usize {
         self.scheduler.pending()
+    }
+
+    /// Per-node power states, when an autoscaler is configured.
+    pub fn node_power_states(&self) -> Option<&[NodePowerState]> {
+        self.autoscaler.as_ref().map(|a| a.states())
+    }
+
+    /// Nodes currently serving traffic (the whole fleet without an autoscaler).
+    pub fn active_nodes(&self) -> usize {
+        self.autoscaler
+            .as_ref()
+            .map_or(self.nodes.len(), |a| a.active_count())
     }
 
     /// The current snapshots of every node, in node order.
@@ -190,14 +212,40 @@ impl ClusterSim {
         let avg_offered_load = self.scenario.effective_load_profile().load_at(self.time_s);
         let total_offered_load = avg_offered_load * n as f64;
 
+        // 1b. Size the active set for the interval: the autoscaler plans from the
+        //     previous interval's snapshots (park fully-drained nodes, then at most one
+        //     membership change), and parked nodes are switched to suspend billing
+        //     before they are stepped.
+        if let Some(scaler) = &mut self.autoscaler {
+            let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
+            snapshots.clear();
+            snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
+            scaler.plan(total_offered_load, &snapshots, self.scenario.slots_per_node);
+            self.snapshot_scratch = snapshots;
+            for (slot, state) in self.nodes.iter_mut().zip(scaler.states()) {
+                slot.as_mut()
+                    .expect("node slots are only empty while a step is in flight")
+                    .set_parked(*state == NodePowerState::Parked);
+            }
+        }
+
         // 2. Place queued jobs into slots freed by the previous interval. Snapshots are
         //    refreshed after every placement so one node does not soak up the whole
-        //    queue just because it was chosen first.
+        //    queue just because it was chosen first. Nodes outside the active set
+        //    (draining or parked) advertise zero free slots: the autoscaler is draining
+        //    them, so handing them fresh jobs would keep them from ever parking.
         let mut jobs_placed = 0usize;
         loop {
             let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
             snapshots.clear();
             snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
+            if let Some(scaler) = &self.autoscaler {
+                for (snap, state) in snapshots.iter_mut().zip(scaler.states()) {
+                    if *state != NodePowerState::Active {
+                        snap.free_slots = 0;
+                    }
+                }
+            }
             let placement = self.scheduler.pop_placement(&snapshots);
             self.snapshot_scratch = snapshots;
             let Some((node, app)) = placement else {
@@ -216,11 +264,25 @@ impl ClusterSim {
             jobs_placed += 1;
         }
 
-        // 3. Split the offered load across nodes.
+        // 3. Split the offered load across the serving nodes.
         let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
         snapshots.clear();
         snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
-        let assigned = self.balancer.split(total_offered_load, &snapshots);
+        let (assigned, active_nodes) = match &mut self.autoscaler {
+            Some(scaler) => {
+                let active: Vec<bool> = scaler
+                    .states()
+                    .iter()
+                    .map(|s| *s == NodePowerState::Active)
+                    .collect();
+                (
+                    self.balancer
+                        .split_active(total_offered_load, &snapshots, &active),
+                    scaler.active_count(),
+                )
+            }
+            None => (self.balancer.split(total_offered_load, &snapshots), n),
+        };
         self.snapshot_scratch = snapshots;
 
         // 4. Advance every node independently.
@@ -272,6 +334,7 @@ impl ClusterSim {
             time_s: self.time_s,
             avg_offered_load,
             total_offered_load,
+            active_nodes,
             jobs_placed,
             nodes: node_intervals,
         }

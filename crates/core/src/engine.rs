@@ -325,6 +325,9 @@ pub(crate) fn execute_with_config(
     let mut latency_series = TimeSeries::with_capacity("p99_latency_s", horizon);
     let mut load_series = TimeSeries::with_capacity("offered_load", horizon);
     let mut cores_series = TimeSeries::with_capacity("service_extra_cores", horizon);
+    let mut power_series = TimeSeries::with_capacity("power_w", horizon);
+    let mut total_energy_j = 0.0f64;
+    let mut simulated_s = 0.0f64;
     let mut variant_series: Vec<TimeSeries> = app_ids
         .iter()
         .map(|id| TimeSeries::with_capacity(format!("variant_{}", id.name()), horizon))
@@ -374,6 +377,9 @@ pub(crate) fn execute_with_config(
         latency_series.push(obs.time_s, if idle { 0.0 } else { obs.p99_latency_s });
         load_series.push(obs.time_s, obs.offered_load);
         cores_series.push(obs.time_s, extra as f64);
+        power_series.push(obs.time_s, obs.power_w);
+        total_energy_j += obs.energy_j;
+        simulated_s += scenario.decision_interval_s;
         for (i, status) in obs.apps.iter().enumerate() {
             // Variant index for plotting: 0 = precise, k = k-th approximate variant.
             let v = status.variant.map_or(0.0, |x| (x + 1) as f64);
@@ -429,6 +435,7 @@ pub(crate) fn execute_with_config(
     trace.insert(latency_series);
     trace.insert(load_series);
     trace.insert(cores_series);
+    trace.insert(power_series);
     for s in variant_series {
         trace.insert(s);
     }
@@ -436,6 +443,7 @@ pub(crate) fn execute_with_config(
         trace.insert(s);
     }
 
+    let finished_jobs = app_outcomes.iter().filter(|a| a.finished).count();
     let busy_intervals = intervals - idle_intervals;
     let mean_p99_s = p99_stats.mean();
     ColocationOutcome {
@@ -450,6 +458,17 @@ pub(crate) fn execute_with_config(
         qos_violation_fraction: violations as f64 / busy_intervals.max(1) as f64,
         tail_latency_ratio: mean_p99_s / service_profile.qos_target_s,
         max_extra_service_cores: max_extra_cores,
+        total_energy_j,
+        mean_power_w: if simulated_s > 0.0 {
+            total_energy_j / simulated_s
+        } else {
+            0.0
+        },
+        energy_per_completed_job_j: if finished_jobs > 0 {
+            total_energy_j / finished_jobs as f64
+        } else {
+            0.0
+        },
         phase_qos,
         app_outcomes,
         trace,
@@ -708,6 +727,63 @@ mod tests {
             variants[16..].windows(2).all(|w| w[0] == w[1])
                 && reclaimed[16..].windows(2).all(|w| w[0] == w[1]),
             "idle intervals carry no evidence, so the runtime must hold its state"
+        );
+    }
+
+    #[test]
+    fn energy_accounting_is_consistent_with_the_power_trace() {
+        let scenario = Scenario::builder(ServiceId::MongoDb)
+            .app(AppId::Raytrace)
+            .horizon_intervals(80)
+            .stop_when_apps_finish(false)
+            .seed(13)
+            .build();
+        let outcome = Engine::new().run_scenario(&scenario);
+        let power = outcome.trace.get("power_w").expect("power_w series");
+        assert_eq!(power.len(), outcome.intervals);
+        assert!(power.values().iter().all(|w| *w > 0.0));
+        // Total energy is the integral of the power trace (1 s intervals).
+        let integral: f64 = power.values().iter().sum();
+        assert!(
+            (outcome.total_energy_j - integral).abs() < 1e-9 * integral.max(1.0),
+            "total energy {} must integrate the power trace {integral}",
+            outcome.total_energy_j
+        );
+        assert!(
+            (outcome.mean_power_w - integral / outcome.intervals as f64).abs() < 1e-9,
+            "mean power must be energy over simulated time"
+        );
+        // Raytrace finishes well within 80 s, so energy-per-job is defined.
+        assert_eq!(
+            outcome.energy_per_completed_job_j, outcome.total_energy_j,
+            "one finished job means energy-per-job equals the total"
+        );
+    }
+
+    #[test]
+    fn precise_and_pliant_energy_differ_through_core_activity() {
+        // Pliant reclaims cores and approximates jobs (less work, earlier finish), so
+        // under common random numbers its energy must not exceed the precise run's by
+        // more than noise — and the jobs-finish-early effect typically makes it lower.
+        let build = |policy: PolicyKind| {
+            Scenario::builder(ServiceId::Memcached)
+                .app(AppId::Canneal)
+                .policy(policy)
+                .horizon_intervals(60)
+                .stop_when_apps_finish(false)
+                .seed(29)
+                .build()
+        };
+        let engine = Engine::new();
+        let precise = engine.run_scenario(&build(PolicyKind::Precise));
+        let pliant = engine.run_scenario(&build(PolicyKind::Pliant));
+        assert!(precise.total_energy_j > 0.0 && pliant.total_energy_j > 0.0);
+        assert!(
+            pliant.total_energy_j < precise.total_energy_j,
+            "approximated jobs finish earlier, so the Pliant node idles sooner \
+             ({} vs {} J)",
+            pliant.total_energy_j,
+            precise.total_energy_j
         );
     }
 

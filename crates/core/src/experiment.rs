@@ -146,6 +146,20 @@ pub struct ColocationOutcome {
     pub tail_latency_ratio: f64,
     /// Maximum number of cores the service held beyond its fair share at any point.
     pub max_extra_service_cores: u32,
+    /// Total electrical energy the node consumed over the run, in joules (idle and
+    /// parked intervals included — energy is billed whenever the machine is on).
+    /// Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub total_energy_j: f64,
+    /// Mean electrical power over the run, in watts (`total_energy_j` divided by the
+    /// simulated wall clock). Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub mean_power_w: f64,
+    /// Energy per completed batch job, in joules (`total_energy_j` divided by the
+    /// number of applications that finished; `0.0` when none finished). Absent in
+    /// pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub energy_per_completed_job_j: f64,
     /// QoS statistics per load phase over traffic-serving intervals, in
     /// [`LoadPhase::all`] order, omitting phases the run never entered (constant-load
     /// runs report a single `steady` entry). Absent in pre-profile archives

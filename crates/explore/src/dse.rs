@@ -143,25 +143,36 @@ pub fn explore_kernel<K: ApproxKernel + ?Sized>(
 
     let mut selected: Vec<usize> = near.iter().map(|&k| admissible[k]).collect();
     // Order from closest-to-precise (lowest inaccuracy) to most aggressive, deduplicating
-    // points with nearly identical trade-offs, and cap the list length.
+    // points with nearly identical trade-offs, and cap the list length. `total_cmp`
+    // keeps the sort total even if a kernel's inaccuracy metric degenerates to NaN.
     selected.sort_by(|&a, &b| {
         measurements[a]
             .inaccuracy_pct
-            .partial_cmp(&measurements[b].inaccuracy_pct)
-            .unwrap()
+            .total_cmp(&measurements[b].inaccuracy_pct)
     });
     selected.dedup_by(|&mut a, &mut b| {
         (measurements[a].inaccuracy_pct - measurements[b].inaccuracy_pct).abs() < 0.05
             && (measurements[a].relative_time - measurements[b].relative_time).abs() < 0.02
     });
-    if selected.len() > config.max_selected {
-        // Keep an evenly-spread subset including the extremes.
-        let n = selected.len();
-        let keep: Vec<usize> = (0..config.max_selected)
-            .map(|k| selected[k * (n - 1) / (config.max_selected - 1)])
-            .collect();
-        selected = keep;
-        selected.dedup();
+    if config.max_selected == 0 {
+        // A zero cap means "select nothing": the caller only wants the measurement
+        // scatter (every point stays `Examined`).
+        selected.clear();
+    } else if selected.len() > config.max_selected {
+        if config.max_selected == 1 {
+            // A single slot cannot span both extremes; keep the most aggressive
+            // admissible variant — the one a single-knob runtime saves the most work
+            // with. (The even-spread formula below divides by `max_selected - 1`.)
+            selected = vec![*selected.last().expect("selected is non-empty here")];
+        } else {
+            // Keep an evenly-spread subset including the extremes.
+            let n = selected.len();
+            let keep: Vec<usize> = (0..config.max_selected)
+                .map(|k| selected[k * (n - 1) / (config.max_selected - 1)])
+                .collect();
+            selected = keep;
+            selected.dedup();
+        }
     }
     for &i in &selected {
         measurements[i].kind = PointKind::Selected;
@@ -231,6 +242,52 @@ mod tests {
         let kernel = kernel_for(AppId::Bayesian, 5);
         let result = explore_kernel(kernel.as_ref(), &capped);
         assert!(result.selected_count() <= 3);
+    }
+
+    #[test]
+    fn max_selected_of_one_keeps_the_most_aggressive_variant() {
+        // Regression: `k * (n - 1) / (max_selected - 1)` divided by zero here.
+        let one = ExplorationConfig {
+            max_selected: 1,
+            ..ExplorationConfig::default()
+        };
+        for app in [AppId::KMeans, AppId::Canneal, AppId::Bayesian] {
+            let kernel = kernel_for(app, 5);
+            let result = explore_kernel(kernel.as_ref(), &one);
+            assert_eq!(result.selected_count(), 1, "{app}");
+            let unlimited = explore_kernel(kernel.as_ref(), &ExplorationConfig::default());
+            if unlimited.selected_count() > 1 {
+                // The surviving variant is the most aggressive admissible one.
+                let kept = &result.measurements[result.selected[0]];
+                let max_inacc = unlimited
+                    .selected
+                    .iter()
+                    .map(|&i| unlimited.measurements[i].inaccuracy_pct)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert!(
+                    (kept.inaccuracy_pct - max_inacc).abs() < 1e-12,
+                    "{app}: kept {} vs most aggressive {max_inacc}",
+                    kept.inaccuracy_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_selected_of_zero_selects_nothing() {
+        let none = ExplorationConfig {
+            max_selected: 0,
+            ..ExplorationConfig::default()
+        };
+        let kernel = kernel_for(AppId::KMeans, 5);
+        let result = explore_kernel(kernel.as_ref(), &none);
+        assert_eq!(result.selected_count(), 0);
+        assert!(result.selected_variants().is_empty());
+        // Every examined point stays unmarked.
+        assert!(result
+            .measurements
+            .iter()
+            .all(|m| m.kind != PointKind::Selected));
     }
 
     #[test]

@@ -34,18 +34,19 @@ pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
     if points.is_empty() {
         return Vec::new();
     }
-    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Degenerate (non-finite) measurements cannot sit on a minimization frontier and
+    // are excluded up front. Relying on the sort order alone would not be enough:
+    // `total_cmp` places *negative* NaN — the bit pattern x86-64 actually produces for
+    // `0.0/0.0` — before every real number, so a (-NaN, fast) point would otherwise
+    // enter the frontier first and shadow every real point.
+    let mut order: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].0.is_finite() && points[i].1.is_finite())
+        .collect();
     order.sort_by(|&a, &b| {
         points[a]
             .0
-            .partial_cmp(&points[b].0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                points[a]
-                    .1
-                    .partial_cmp(&points[b].1)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
     });
     let mut frontier = Vec::new();
     let mut best_time = f64::INFINITY;
@@ -81,7 +82,9 @@ pub fn near_pareto(points: &[(f64, f64)], tolerance: f64) -> Vec<usize> {
             selected.push(i);
         }
     }
-    selected.sort_by(|&a, &b| points[a].0.partial_cmp(&points[b].0).unwrap());
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN inaccuracy must not panic the
+    // whole exploration (it simply sorts last and is never within tolerance anyway).
+    selected.sort_by(|&a, &b| points[a].0.total_cmp(&points[b].0));
     selected
 }
 
@@ -130,6 +133,43 @@ mod tests {
             near.contains(&2),
             "a point within 5% of the frontier should be kept"
         );
+    }
+
+    #[test]
+    fn nan_inputs_do_not_panic_and_never_shadow_real_points() {
+        // Regression: both sorts used `partial_cmp(..).unwrap()` and panicked on NaN.
+        // Both NaN signs are exercised — runtime arithmetic (`0.0/0.0`) yields
+        // *negative* NaN on x86-64, which `total_cmp` orders before every real
+        // number, so an unfiltered sort would let a (-NaN, fast) point shadow the
+        // whole frontier.
+        // `f64::NAN` carries the positive bit pattern; negation flips the sign bit,
+        // giving the negative NaN that `0.0 / 0.0` produces at runtime on x86-64.
+        let runtime_nan = -f64::NAN;
+        let points = vec![
+            (f64::NAN, 0.9),
+            (0.0, 1.0),
+            (1.0, 0.8),
+            (2.0, runtime_nan),
+            (3.0, 0.5),
+            (runtime_nan, 0.1),
+        ];
+        let frontier = pareto_frontier(&points);
+        assert_eq!(
+            frontier,
+            vec![1, 2, 4],
+            "exactly the real frontier points must survive NaN neighbours"
+        );
+        let near = near_pareto(&points, 0.05);
+        for f in &frontier {
+            assert!(near.contains(f), "frontier point {f} must be selected");
+        }
+        // NaN coordinates fail every `<=` tolerance comparison, so those points are
+        // simply not selected.
+        assert!(!near.contains(&0) && !near.contains(&3) && !near.contains(&5));
+        // All-NaN input degenerates gracefully too.
+        let all_nan = vec![(f64::NAN, f64::NAN); 3];
+        assert!(pareto_frontier(&all_nan).is_empty());
+        assert!(near_pareto(&all_nan, 0.05).is_empty());
     }
 
     proptest! {

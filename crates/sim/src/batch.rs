@@ -165,13 +165,27 @@ impl BatchAppState {
         let core_speed =
             (self.cores as f64 / self.initial_cores as f64).powf(self.profile.parallel_efficiency);
         let rate = core_speed / (exec_factor * overhead * batch_slowdown.max(1.0));
-        let d_progress = dt * rate / self.profile.nominal_exec_time_s;
-        let d_progress = d_progress.min(1.0 - self.progress);
-        self.weighted_inaccuracy += d_progress * self.profile.inaccuracy_at(self.variant);
-        self.progress += d_progress;
-        self.elapsed_s += dt;
-        if self.progress >= 1.0 - 1e-12 {
-            self.finished_at_s = Some(now_s);
+        let full_step = dt * rate / self.profile.nominal_exec_time_s;
+        let remaining = 1.0 - self.progress;
+        if full_step >= remaining && full_step > 0.0 {
+            // Finishing step: the job only needs `remaining / full_step` of the
+            // interval. Charging the whole `dt` (and stamping completion at the
+            // interval end) overstated execution time by up to one decision interval.
+            let used_dt = dt * (remaining / full_step);
+            self.weighted_inaccuracy += remaining * self.profile.inaccuracy_at(self.variant);
+            self.progress = 1.0;
+            self.elapsed_s += used_dt;
+            self.finished_at_s = Some(now_s - dt + used_dt);
+        } else {
+            self.weighted_inaccuracy += full_step * self.profile.inaccuracy_at(self.variant);
+            self.progress += full_step;
+            self.elapsed_s += dt;
+            if self.progress >= 1.0 - 1e-12 {
+                // Floating-point accumulation can land a hair under `remaining` above;
+                // treat within-epsilon as complete at the interval boundary.
+                self.progress = 1.0;
+                self.finished_at_s = Some(now_s);
+            }
         }
     }
 
@@ -217,8 +231,19 @@ mod tests {
         }
         assert!(s.is_finished());
         let rel = s.relative_execution_time();
-        // Instrumentation overhead (~4%) plus the 1 s step granularity.
-        assert!(rel > 1.0 && rel < 1.12, "relative execution time {rel}");
+        // The final partial step is pro-rated, so the only overhead left is the
+        // instrumentation tool's (~4%) — the pre-fix 1.12 allowance covered up to a
+        // full decision interval of completion-time inflation.
+        let overhead = s.profile().instrumentation_overhead;
+        assert!(
+            (rel - (1.0 + overhead)).abs() < 1e-9,
+            "relative execution time {rel} must equal 1 + instrumentation overhead {overhead}"
+        );
+        let finished_at = s.finished_at_s().expect("finished");
+        assert!(
+            (finished_at - nominal * (1.0 + overhead)).abs() < 1e-9,
+            "completion must be stamped at the pro-rated instant, not the interval end"
+        );
         assert_eq!(s.inaccuracy_pct(), 0.0);
     }
 

@@ -142,6 +142,15 @@ pub struct IntervalObservation {
     /// Requests that arrived during the interval. Zero marks an idle interval: no
     /// latency samples are delivered and no latency evidence exists.
     pub arrivals: u64,
+    /// Average electrical power the node drew during the interval, in watts (see
+    /// [`PowerModel`](crate::server::PowerModel)). Absent in pre-energy archives
+    /// (deserializes as 0).
+    #[serde(default)]
+    pub power_w: f64,
+    /// Energy the node consumed during the interval, in joules (`power_w × dt`).
+    /// Absent in pre-energy archives (deserializes as 0).
+    #[serde(default)]
+    pub energy_j: f64,
     /// True 99th-percentile latency of the interval, in seconds.
     pub p99_latency_s: f64,
     /// The service's QoS target, in seconds.
@@ -203,6 +212,10 @@ pub struct ColocationSim {
     sample_rng: SmallRng,
     time_s: f64,
     interval_counter: u64,
+    /// Whether the node is parked (drained and suspended by a fleet autoscaler): a
+    /// parked node bills [`PowerModel::parked_w`](crate::server::PowerModel::parked_w)
+    /// instead of allocation-based power. Runtime state, not serialized.
+    parked: bool,
     /// Scratch buffer for per-app interference pressures, reused across intervals.
     pressure_scratch: Vec<ResourcePressure>,
 }
@@ -227,6 +240,14 @@ impl ColocationSim {
                 "invalid load profile `{}` in colocation config: {e}",
                 config.load.describe()
             );
+        }
+        // Serde construction validates these at the deserialization boundary, but a
+        // hand-built configuration bypasses it — repeat the checks here.
+        if let Err(e) = config.server.power.validate() {
+            panic!("invalid power model in colocation config: {e}");
+        }
+        if let Err(e) = config.interference.validate() {
+            panic!("invalid interference model in colocation config: {e}");
         }
         let (service_cores, per_app_cores) =
             config.server.fair_allocation(config.apps.len() as u32);
@@ -255,6 +276,7 @@ impl ColocationSim {
             sample_rng,
             time_s: 0.0,
             interval_counter: 0,
+            parked: false,
             pressure_scratch: Vec::new(),
         }
     }
@@ -310,6 +332,23 @@ impl ColocationSim {
             Err(e) => panic!("invalid load profile `{}`: {e}", profile.describe()),
         }
         self.config.load = profile;
+    }
+
+    /// Marks the node as parked (suspended) or powered back on.
+    ///
+    /// A fleet autoscaler that has drained a node — no interactive traffic, every batch
+    /// slot finished — suspends the machine; while parked, every interval bills
+    /// [`PowerModel::parked_w`](crate::server::PowerModel::parked_w) instead of
+    /// allocation-based power. Parking affects *only* the power accounting: the caller
+    /// is responsible for assigning zero load while parked (the cluster autoscaler
+    /// guarantees this), and un-parking restores normal billing from the next interval.
+    pub fn set_parked(&mut self, parked: bool) {
+        self.parked = parked;
+    }
+
+    /// Whether the node is currently parked (see [`Self::set_parked`]).
+    pub fn is_parked(&self) -> bool {
+        self.parked
     }
 
     /// Replaces the **finished** application in slot `index` with a fresh job.
@@ -455,6 +494,28 @@ impl ColocationSim {
         }
         let utilization = LatencyModel::utilization(&self.config.service, &inputs);
 
+        // Electrical power for the interval, from the start-of-interval allocation and
+        // activity (the same convention the contention model uses): every allocated
+        // core draws static power, the service's cores draw dynamic power weighted by
+        // its utilization, and each batch slot's cores draw dynamic power weighted by
+        // its variant's CPU intensity (zero once the job finishes). Pure arithmetic —
+        // no allocation on the hot path. A parked node bills the suspend draw instead.
+        let power_w = if self.parked {
+            self.config.server.power.parked_w
+        } else {
+            let mut allocated = self.service_cores;
+            let mut busy = self.service_cores as f64 * utilization.clamp(0.0, 1.0);
+            for (app, pressure) in self.apps.iter().zip(&self.pressure_scratch) {
+                allocated += app.cores();
+                busy += app.cores() as f64 * pressure.cpu_intensity.clamp(0.0, 1.0);
+            }
+            self.config
+                .server
+                .power
+                .power_w(allocated, busy, self.config.server.base_freq_ghz)
+        };
+        let energy_j = power_w * dt;
+
         // Batch applications make progress under their own interference slowdown.
         for app in &mut self.apps {
             app.advance(dt, contention.batch_slowdown, self.time_s);
@@ -477,6 +538,8 @@ impl ColocationSim {
             offered_load,
             load_phase,
             arrivals,
+            power_w,
+            energy_j,
             p99_latency_s: p99,
             qos_target_s: self.config.service.qos_target_s,
             latency_samples_s: samples,
@@ -897,6 +960,94 @@ mod tests {
         assert!(sim.return_core(0));
         assert_eq!(sim.app(0).cores(), slot_share);
         assert!(!sim.return_core(0), "cannot exceed the slot's fair share");
+    }
+
+    #[test]
+    fn interval_power_reflects_allocation_and_activity() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::Canneal], 7);
+        let power = cfg.server.power.clone();
+        let freq = cfg.server.base_freq_ghz;
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let obs = sim.advance(1.0);
+        // A busy interval draws more than the fully-idle allocation and less than
+        // every core pegged at 100%.
+        let allocated = sim.service_cores() + sim.app(0).cores();
+        assert!(obs.power_w > power.idle_node_power_w(allocated, freq));
+        assert!(obs.power_w < power.power_w(allocated, allocated as f64, freq));
+        assert_eq!(obs.energy_j, obs.power_w * 1.0);
+        // Energy scales with the interval length.
+        let obs2 = sim.advance(2.0);
+        assert_eq!(obs2.energy_j, obs2.power_w * 2.0);
+    }
+
+    #[test]
+    fn zero_load_idle_intervals_bill_exactly_idle_power() {
+        // Run the batch job to completion, then drop the load to zero: with no traffic
+        // and no batch activity the node must bill exactly the allocated-core idle
+        // power, nothing more.
+        let cfg = ColocationConfig::paper_default(ServiceId::MongoDb, &[AppId::Raytrace], 3);
+        let power = cfg.server.power.clone();
+        let freq = cfg.server.base_freq_ghz;
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        for _ in 0..120 {
+            if sim.advance(1.0).all_apps_finished {
+                break;
+            }
+        }
+        assert!(sim.app(0).is_finished());
+        sim.set_load_fraction(0.0);
+        let idle = sim.advance(1.0);
+        assert_eq!(idle.arrivals, 0);
+        let allocated = sim.service_cores() + sim.app(0).cores();
+        assert_eq!(idle.power_w, power.idle_node_power_w(allocated, freq));
+        assert_eq!(idle.energy_j, idle.power_w);
+    }
+
+    #[test]
+    fn parked_nodes_bill_the_suspend_draw() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 5);
+        let parked_w = cfg.server.power.parked_w;
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let on = sim.advance(1.0);
+        assert!(on.power_w > parked_w);
+        sim.set_load_fraction(0.0);
+        sim.set_parked(true);
+        assert!(sim.is_parked());
+        let parked = sim.advance(1.0);
+        assert_eq!(parked.power_w, parked_w);
+        assert_eq!(parked.energy_j, parked_w);
+        sim.set_parked(false);
+        let back = sim.advance(1.0);
+        assert!(
+            back.power_w > parked_w,
+            "un-parking restores normal billing"
+        );
+    }
+
+    #[test]
+    fn finished_jobs_stop_drawing_dynamic_power() {
+        let cfg = ColocationConfig::paper_default(ServiceId::MongoDb, &[AppId::Raytrace], 3);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        let busy = sim.advance(1.0).power_w;
+        for _ in 0..120 {
+            if sim.advance(1.0).all_apps_finished {
+                break;
+            }
+        }
+        assert!(sim.app(0).is_finished());
+        let after = sim.advance(1.0).power_w;
+        assert!(
+            after < busy,
+            "a finished batch slot must fall back to static core draw ({after} vs {busy})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid power model")]
+    fn simulator_construction_rejects_hand_built_invalid_power_models() {
+        let mut cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 1);
+        cfg.server.power.idle_w = f64::NAN;
+        let _ = ColocationSim::new(cfg, &catalog());
     }
 
     #[test]

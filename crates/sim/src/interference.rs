@@ -19,7 +19,7 @@ use pliant_workloads::service::ServiceProfile;
 use crate::server::ServerSpec;
 
 /// Tunable constants of the interference model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct InterferenceModel {
     /// Coefficient of the LLC-occupancy penalty.
     pub llc_coeff: f64,
@@ -52,6 +52,74 @@ impl Default for InterferenceModel {
     }
 }
 
+// Hand-written so the constants validate at the deserialization boundary: the bandwidth
+// hinge divides by `1 - membw_threshold` (a threshold at or above 1.0 is a guaranteed
+// divide-by-zero or sign flip), and negative coefficients yield sub-1.0 "slowdowns"
+// that would let contention *speed services up*.
+impl serde::Deserialize for InterferenceModel {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn field(value: &serde::Value, name: &str) -> Result<f64, serde::Error> {
+            f64::from_value(
+                value
+                    .get(name)
+                    .ok_or_else(|| serde::Error::missing_field("InterferenceModel", name))?,
+            )
+        }
+        let model = Self {
+            llc_coeff: field(value, "llc_coeff")?,
+            llc_exponent: field(value, "llc_exponent")?,
+            cpu_coeff: field(value, "cpu_coeff")?,
+            membw_threshold: field(value, "membw_threshold")?,
+            membw_coeff: field(value, "membw_coeff")?,
+            direct_exponent: field(value, "direct_exponent")?,
+            batch_sensitivity: field(value, "batch_sensitivity")?,
+        };
+        model
+            .validate()
+            .map_err(|e| serde::Error::custom(format!("invalid interference model: {e}")))?;
+        Ok(model)
+    }
+}
+
+/// Why an [`InterferenceModel`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterferenceModelError {
+    /// A coefficient is negative or not finite (a negative coefficient produces
+    /// slowdowns below 1.0, i.e. contention that speeds the service up).
+    InvalidCoefficient(&'static str),
+    /// The LLC exponent is non-positive or not finite.
+    InvalidLlcExponent,
+    /// The bandwidth-saturation threshold is outside `[0, 1)` — the hinge normalizes
+    /// by `1 - membw_threshold`, so a threshold at or above 1.0 divides by zero (or
+    /// flips the penalty's sign).
+    InvalidMembwThreshold,
+    /// The direct-latency exponent is outside `[0, 1]` (interactive services queue
+    /// more than they slow down, so the direct inflation must not exceed the capacity
+    /// slowdown).
+    InvalidDirectExponent,
+}
+
+impl std::fmt::Display for InterferenceModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterferenceModelError::InvalidCoefficient(name) => {
+                write!(f, "`{name}` must be finite and non-negative")
+            }
+            InterferenceModelError::InvalidLlcExponent => {
+                f.write_str("`llc_exponent` must be positive and finite")
+            }
+            InterferenceModelError::InvalidMembwThreshold => {
+                f.write_str("`membw_threshold` must lie in [0, 1)")
+            }
+            InterferenceModelError::InvalidDirectExponent => {
+                f.write_str("`direct_exponent` must lie in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterferenceModelError {}
+
 /// Contention outcome for one decision interval.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ContentionOutcome {
@@ -68,6 +136,32 @@ pub struct ContentionOutcome {
 }
 
 impl InterferenceModel {
+    /// Checks the model's invariants (see [`InterferenceModelError`]). Construction
+    /// from serde runs this automatically; hand-built models are re-checked at the
+    /// simulator boundary ([`ColocationSim::new`](crate::colocation::ColocationSim::new)).
+    pub fn validate(&self) -> Result<(), InterferenceModelError> {
+        for (name, value) in [
+            ("llc_coeff", self.llc_coeff),
+            ("cpu_coeff", self.cpu_coeff),
+            ("membw_coeff", self.membw_coeff),
+            ("batch_sensitivity", self.batch_sensitivity),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(InterferenceModelError::InvalidCoefficient(name));
+            }
+        }
+        if !(self.llc_exponent > 0.0 && self.llc_exponent.is_finite()) {
+            return Err(InterferenceModelError::InvalidLlcExponent);
+        }
+        if !(self.membw_threshold >= 0.0 && self.membw_threshold < 1.0) {
+            return Err(InterferenceModelError::InvalidMembwThreshold);
+        }
+        if !(self.direct_exponent >= 0.0 && self.direct_exponent <= 1.0) {
+            return Err(InterferenceModelError::InvalidDirectExponent);
+        }
+        Ok(())
+    }
+
     /// Computes the contention outcome for an interactive service co-located with batch
     /// applications exerting the given pressures.
     pub fn contention(
@@ -196,6 +290,71 @@ mod tests {
         assert!(out.service_capacity_slowdown > 1.0);
         assert!(out.service_direct_slowdown > 1.0);
         assert!(out.service_direct_slowdown < out.service_capacity_slowdown);
+    }
+
+    #[test]
+    fn validation_rejects_divide_by_zero_thresholds_and_negative_coefficients() {
+        assert!(InterferenceModel::default().validate().is_ok());
+        let broken = |m: InterferenceModel| m.validate().unwrap_err();
+        assert_eq!(
+            broken(InterferenceModel {
+                membw_threshold: 1.0,
+                ..InterferenceModel::default()
+            }),
+            InterferenceModelError::InvalidMembwThreshold,
+            "membw_threshold == 1.0 makes the bandwidth hinge divide by zero"
+        );
+        assert_eq!(
+            broken(InterferenceModel {
+                membw_threshold: 1.3,
+                ..InterferenceModel::default()
+            }),
+            InterferenceModelError::InvalidMembwThreshold
+        );
+        assert_eq!(
+            broken(InterferenceModel {
+                llc_coeff: -0.5,
+                ..InterferenceModel::default()
+            }),
+            InterferenceModelError::InvalidCoefficient("llc_coeff")
+        );
+        assert_eq!(
+            broken(InterferenceModel {
+                batch_sensitivity: f64::NAN,
+                ..InterferenceModel::default()
+            }),
+            InterferenceModelError::InvalidCoefficient("batch_sensitivity")
+        );
+        assert_eq!(
+            broken(InterferenceModel {
+                llc_exponent: 0.0,
+                ..InterferenceModel::default()
+            }),
+            InterferenceModelError::InvalidLlcExponent
+        );
+        assert_eq!(
+            broken(InterferenceModel {
+                direct_exponent: 1.5,
+                ..InterferenceModel::default()
+            }),
+            InterferenceModelError::InvalidDirectExponent
+        );
+    }
+
+    #[test]
+    fn deserialization_rejects_invalid_constants() {
+        let json = serde_json::to_string(&InterferenceModel::default()).expect("serializable");
+        let back: InterferenceModel = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, InterferenceModel::default());
+        // A corrupted archive with a saturated threshold must fail to deserialize
+        // instead of dividing by zero on first use.
+        let corrupted = json.replace("\"membw_threshold\":0.5", "\"membw_threshold\":1.0");
+        assert_ne!(corrupted, json);
+        let err = serde_json::from_str::<InterferenceModel>(&corrupted).unwrap_err();
+        assert!(err.to_string().contains("interference model"), "{err}");
+        let negative = json.replace("\"membw_coeff\":0.6", "\"membw_coeff\":-0.6");
+        assert_ne!(negative, json);
+        assert!(serde_json::from_str::<InterferenceModel>(&negative).is_err());
     }
 
     #[test]

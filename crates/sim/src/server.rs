@@ -1,6 +1,164 @@
-//! Platform specification (the paper's Table 1) and core-allocation accounting.
+//! Platform specification (the paper's Table 1), core-allocation accounting, and the
+//! node power model.
 
 use serde::{Deserialize, Serialize};
+
+/// Node power model: idle platform draw plus per-core static and utilization-weighted
+/// dynamic draw, with polynomial frequency scaling and a deep-sleep ("parked") state.
+///
+/// The average electrical power a node draws over a decision interval is
+///
+/// ```text
+/// P = idle_w + (f / reference_freq_ghz)^freq_exponent
+///             × (allocated × core_idle_w  +  busy × core_active_w)
+/// ```
+///
+/// where `allocated` is the number of powered (allocated) cores, `busy` is the
+/// utilization-weighted number of busy core-equivalents (a core at 60% utilization
+/// contributes 0.6), and `f` is the operating frequency in GHz. A node that has been
+/// drained and suspended by a fleet autoscaler draws [`PowerModel::parked_w`] instead —
+/// the S3/suspend draw of the whole machine, not a per-core quantity.
+///
+/// The paper-platform default is calibrated for the dual-socket Xeon E5-2699 v4 of
+/// Table 1 (145 W TDP per 22-core socket): the experiment socket plus its share of the
+/// platform (DRAM, fans, PSU losses) idles near 100 W and peaks near 170 W with the
+/// 16 usable cores busy.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PowerModel {
+    /// Platform idle draw in watts (uncore, DRAM, fans, PSU losses) — billed whenever
+    /// the node is powered on, regardless of allocation.
+    pub idle_w: f64,
+    /// Static draw per allocated core in watts (leakage + clock tree at idle).
+    pub core_idle_w: f64,
+    /// Additional dynamic draw per fully-busy core in watts, at the reference
+    /// frequency; scaled by per-core utilization.
+    pub core_active_w: f64,
+    /// Frequency the per-core draws are calibrated at, in GHz.
+    pub reference_freq_ghz: f64,
+    /// Exponent of the polynomial frequency scaling applied to the per-core draws
+    /// (dynamic power grows superlinearly with frequency: `P ∝ f·V² ≈ f^2..3`).
+    pub freq_exponent: f64,
+    /// Whole-node draw while suspended (drained by an autoscaler and parked), in watts.
+    pub parked_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::paper_platform()
+    }
+}
+
+// Hand-written so the model validates at the deserialization boundary: a corrupted or
+// hand-edited archive (negative watts, zero reference frequency) is rejected with a
+// clear message instead of producing NaN/negative energies deep inside a run.
+impl serde::Deserialize for PowerModel {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn field(value: &serde::Value, name: &str) -> Result<f64, serde::Error> {
+            f64::from_value(
+                value
+                    .get(name)
+                    .ok_or_else(|| serde::Error::missing_field("PowerModel", name))?,
+            )
+        }
+        let model = Self {
+            idle_w: field(value, "idle_w")?,
+            core_idle_w: field(value, "core_idle_w")?,
+            core_active_w: field(value, "core_active_w")?,
+            reference_freq_ghz: field(value, "reference_freq_ghz")?,
+            freq_exponent: field(value, "freq_exponent")?,
+            parked_w: field(value, "parked_w")?,
+        };
+        model
+            .validate()
+            .map_err(|e| serde::Error::custom(format!("invalid power model: {e}")))?;
+        Ok(model)
+    }
+}
+
+impl PowerModel {
+    /// Power constants calibrated for the platform of Table 1; see the type docs.
+    pub fn paper_platform() -> Self {
+        Self {
+            idle_w: 96.0,
+            core_idle_w: 1.4,
+            core_active_w: 4.6,
+            reference_freq_ghz: 2.2,
+            freq_exponent: 2.4,
+            parked_w: 9.0,
+        }
+    }
+
+    /// Checks the model's invariants: every draw is finite and non-negative, the
+    /// reference frequency is positive, and the frequency exponent is finite and
+    /// non-negative. Construction from serde runs this automatically; hand-built
+    /// models are re-checked at the simulator boundary.
+    pub fn validate(&self) -> Result<(), PowerModelError> {
+        for (name, value) in [
+            ("idle_w", self.idle_w),
+            ("core_idle_w", self.core_idle_w),
+            ("core_active_w", self.core_active_w),
+            ("parked_w", self.parked_w),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(PowerModelError::InvalidDraw(name));
+            }
+        }
+        if !(self.reference_freq_ghz > 0.0 && self.reference_freq_ghz.is_finite()) {
+            return Err(PowerModelError::InvalidReferenceFrequency);
+        }
+        if !(self.freq_exponent >= 0.0 && self.freq_exponent.is_finite()) {
+            return Err(PowerModelError::InvalidFrequencyExponent);
+        }
+        Ok(())
+    }
+
+    /// Average power in watts for a powered-on node with `allocated_cores` allocated
+    /// cores of which `busy_core_equivalents` (utilization-weighted) are busy, running
+    /// at `freq_ghz`. Pure arithmetic — safe for the per-interval hot path.
+    pub fn power_w(&self, allocated_cores: u32, busy_core_equivalents: f64, freq_ghz: f64) -> f64 {
+        let freq_scale = (freq_ghz / self.reference_freq_ghz).powf(self.freq_exponent);
+        self.idle_w
+            + freq_scale
+                * (allocated_cores as f64 * self.core_idle_w
+                    + busy_core_equivalents.max(0.0) * self.core_active_w)
+    }
+
+    /// Power of an idle (zero-utilization) node with `allocated_cores` allocated cores
+    /// at `freq_ghz` — what a drained-but-not-yet-parked node bills once its batch
+    /// jobs have finished.
+    pub fn idle_node_power_w(&self, allocated_cores: u32, freq_ghz: f64) -> f64 {
+        self.power_w(allocated_cores, 0.0, freq_ghz)
+    }
+}
+
+/// Why a [`PowerModel`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerModelError {
+    /// A power draw is negative or not finite.
+    InvalidDraw(&'static str),
+    /// The reference frequency is zero, negative, or not finite.
+    InvalidReferenceFrequency,
+    /// The frequency exponent is negative or not finite.
+    InvalidFrequencyExponent,
+}
+
+impl std::fmt::Display for PowerModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerModelError::InvalidDraw(field) => {
+                write!(f, "`{field}` must be a finite, non-negative wattage")
+            }
+            PowerModelError::InvalidReferenceFrequency => {
+                f.write_str("`reference_freq_ghz` must be positive and finite")
+            }
+            PowerModelError::InvalidFrequencyExponent => {
+                f.write_str("`freq_exponent` must be non-negative and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerModelError {}
 
 /// Hardware platform model.
 ///
@@ -46,6 +204,10 @@ pub struct ServerSpec {
     pub network_gbps: u32,
     /// Physical cores per socket reserved for network-interrupt handling (soft IRQ).
     pub irq_cores: u32,
+    /// Electrical power model of the node. Absent in archives recorded before energy
+    /// accounting existed; deserializes as the paper-platform default.
+    #[serde(default)]
+    pub power: PowerModel,
 }
 
 impl Default for ServerSpec {
@@ -75,6 +237,7 @@ impl ServerSpec {
             disk: "1TB, 7200RPM HDD".to_string(),
             network_gbps: 10,
             irq_cores: 6,
+            power: PowerModel::paper_platform(),
         }
     }
 
@@ -194,6 +357,85 @@ mod tests {
     #[should_panic]
     fn fair_allocation_requires_at_least_one_app() {
         ServerSpec::paper_platform().fair_allocation(0);
+    }
+
+    #[test]
+    fn power_grows_with_allocation_utilization_and_frequency() {
+        let p = PowerModel::paper_platform();
+        assert!(p.validate().is_ok());
+        let idle = p.power_w(0, 0.0, 2.2);
+        assert_eq!(idle, p.idle_w);
+        let allocated = p.power_w(16, 0.0, 2.2);
+        assert!(allocated > idle);
+        assert_eq!(allocated, p.idle_node_power_w(16, 2.2));
+        let busy = p.power_w(16, 10.0, 2.2);
+        assert!(busy > allocated);
+        let turbo = p.power_w(16, 10.0, 3.6);
+        assert!(turbo > busy, "dynamic draw must grow with frequency");
+        // At the reference frequency the formula is exactly linear in its terms.
+        assert!((busy - (p.idle_w + 16.0 * p.core_idle_w + 10.0 * p.core_active_w)).abs() < 1e-9);
+        assert!(
+            p.parked_w < idle,
+            "suspend must draw less than powered idle"
+        );
+    }
+
+    #[test]
+    fn power_model_validation_rejects_degenerate_constants() {
+        let good = PowerModel::paper_platform();
+        let mut bad = good.clone();
+        bad.idle_w = -1.0;
+        assert_eq!(bad.validate(), Err(PowerModelError::InvalidDraw("idle_w")));
+        let mut bad = good.clone();
+        bad.core_active_w = f64::NAN;
+        assert_eq!(
+            bad.validate(),
+            Err(PowerModelError::InvalidDraw("core_active_w"))
+        );
+        let mut bad = good.clone();
+        bad.reference_freq_ghz = 0.0;
+        assert_eq!(
+            bad.validate(),
+            Err(PowerModelError::InvalidReferenceFrequency)
+        );
+        let mut bad = good.clone();
+        bad.freq_exponent = -2.0;
+        assert_eq!(
+            bad.validate(),
+            Err(PowerModelError::InvalidFrequencyExponent)
+        );
+    }
+
+    #[test]
+    fn power_model_deserialization_validates() {
+        let json = serde_json::to_string(&PowerModel::paper_platform()).expect("serializable");
+        let back: PowerModel = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, PowerModel::paper_platform());
+        let corrupted = json.replace("\"idle_w\":96", "\"idle_w\":-96");
+        assert_ne!(corrupted, json);
+        let err = serde_json::from_str::<PowerModel>(&corrupted).unwrap_err();
+        assert!(err.to_string().contains("power model"), "{err}");
+    }
+
+    #[test]
+    fn pre_energy_server_archives_deserialize_with_the_default_power_model() {
+        let spec = ServerSpec::paper_platform();
+        let json = serde_json::to_string(&spec).expect("serializable");
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let legacy = serde_json::to_string(&serde::Value::Object(
+            value
+                .as_object()
+                .expect("specs serialize as objects")
+                .iter()
+                .filter(|(k, _)| k != "power")
+                .cloned()
+                .collect(),
+        ))
+        .expect("serializable");
+        assert_ne!(legacy, json, "the power field must have been stripped");
+        let back: ServerSpec = serde_json::from_str(&legacy).expect("legacy archives deserialize");
+        assert_eq!(back.power, PowerModel::paper_platform());
+        assert_eq!(back, spec);
     }
 
     #[test]

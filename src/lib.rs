@@ -79,7 +79,7 @@ pub mod prelude {
     pub use pliant_core::{ControllerConfig, MonitorConfig, PerformanceMonitor, PliantController};
     pub use pliant_explore::{explore_kernel, ExplorationConfig};
     pub use pliant_sim::colocation::{ColocationConfig, ColocationSim};
-    pub use pliant_sim::server::ServerSpec;
+    pub use pliant_sim::server::{PowerModel, ServerSpec};
     pub use pliant_workloads::profile::{LoadPhase, LoadProfile};
     pub use pliant_workloads::service::{ServiceId, ServiceProfile};
 }
