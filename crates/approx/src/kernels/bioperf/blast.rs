@@ -5,7 +5,7 @@
 //! perforate the seed-extension loop (site 1, extending only a subset of seeds), sample the
 //! database, reduce precision (extension score arithmetic).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::data::{random_sequence, related_sequences, DNA_ALPHABET};
 use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
@@ -23,7 +23,7 @@ const KMER: usize = 6;
 pub struct BlastKernel {
     query: Vec<u8>,
     database: Vec<Vec<u8>>,
-    query_index: HashMap<Vec<u8>, Vec<usize>>,
+    query_index: BTreeMap<Vec<u8>, Vec<usize>>,
 }
 
 impl BlastKernel {
@@ -44,7 +44,10 @@ impl BlastKernel {
                 &DNA_ALPHABET,
             ));
         }
-        let mut query_index: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        // `BTreeMap`, not `HashMap`: lookups are order-independent today, but the
+        // deterministic-output invariant bans hash containers in kernel code outright
+        // so a future iteration can't silently reintroduce run-to-run jitter.
+        let mut query_index: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
         if query.len() >= KMER {
             for i in 0..=(query.len() - KMER) {
                 query_index

@@ -5,7 +5,7 @@
 //! TruncateBy), perforate the candidate-ORF loop (site 1), sample the training region,
 //! reduce floating-point precision.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::data::{random_sequence, DNA_ALPHABET};
 use crate::kernel::{ApproxConfig, ApproxKernel, Cost, KernelOutput, KernelRun, Suite};
@@ -67,10 +67,12 @@ impl GlimmerKernel {
         order: usize,
         train_fraction: f64,
         cost: &mut Cost,
-    ) -> HashMap<Vec<u8>, f64> {
-        // Count (context, next-base) frequencies over the coding regions.
-        let mut counts: HashMap<Vec<u8>, f64> = HashMap::new();
-        let mut context_totals: HashMap<Vec<u8>, f64> = HashMap::new();
+    ) -> BTreeMap<Vec<u8>, f64> {
+        // Count (context, next-base) frequencies over the coding regions. `BTreeMap`,
+        // not `HashMap`: the smoothing loop below iterates `counts`, and kernel outputs
+        // must be bit-identical across runs and platforms.
+        let mut counts: BTreeMap<Vec<u8>, f64> = BTreeMap::new();
+        let mut context_totals: BTreeMap<Vec<u8>, f64> = BTreeMap::new();
         for &(start, end) in &self.coding_regions {
             let span = ((end - start) as f64 * train_fraction) as usize;
             let end = start + span;
@@ -85,7 +87,7 @@ impl GlimmerKernel {
             }
         }
         // Convert to log-probabilities with add-one smoothing.
-        let mut model = HashMap::new();
+        let mut model = BTreeMap::new();
         for (key, c) in counts {
             let context = key[..key.len() - 1].to_vec();
             let total = context_totals.get(&context).copied().unwrap_or(1.0);
@@ -98,7 +100,7 @@ impl GlimmerKernel {
         &self,
         window: (usize, usize),
         order: usize,
-        model: &HashMap<Vec<u8>, f64>,
+        model: &BTreeMap<Vec<u8>, f64>,
         precision: Precision,
         cost: &mut Cost,
     ) -> f64 {

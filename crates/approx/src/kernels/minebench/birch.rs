@@ -136,7 +136,9 @@ impl BirchKernel {
             .iter()
             .map(|f| f.centroid().iter().map(|x| x * x).sum::<f64>().sqrt())
             .collect();
-        norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // `total_cmp`: a NaN centroid norm (degenerate feature from NaN input data) must
+        // sort deterministically instead of panicking the whole run.
+        norms.sort_by(|a, b| a.total_cmp(b));
         (norms, cost)
     }
 }
@@ -231,5 +233,46 @@ mod tests {
     fn determinism() {
         let k = BirchKernel::small(4);
         assert_eq!(k.run_precise().output, k.run_precise().output);
+    }
+
+    #[test]
+    fn nan_input_points_do_not_panic_the_centroid_sort() {
+        let mut k = BirchKernel::small(4);
+        // Runtime NaN (e.g. 0.0/0.0 on x86-64) carries the sign bit; exercise that
+        // exact bit pattern, not just the +NaN constant.
+        let runtime_nan = -f64::NAN;
+        let dims = k.points.dims;
+        for d in 0..dims {
+            k.points.data[d] = runtime_nan; // poison the first point entirely
+        }
+        k.points.data[5 * dims] = f64::NAN; // and one coordinate of another
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(norms) => {
+                assert!(!norms.is_empty());
+                // Real norms stay sorted ascending; NaN norms collect at the ends
+                // (total_cmp orders -NaN before and +NaN after every real) instead
+                // of panicking the sort (the pre-total_cmp behaviour).
+                let real: Vec<f64> = norms.iter().copied().filter(|n| !n.is_nan()).collect();
+                assert!(!real.is_empty(), "real clusters survive the poisoning");
+                assert!(real.windows(2).all(|w| w[0] <= w[1]));
+                let first = norms.iter().position(|n| !n.is_nan()).unwrap();
+                let last = norms.iter().rposition(|n| !n.is_nan()).unwrap();
+                assert!(
+                    norms[first..=last].iter().all(|n| !n.is_nan()),
+                    "NaNs are confined to the ends of the sorted norms"
+                );
+            }
+            _ => panic!("unexpected output"),
+        }
+        // Still deterministic with NaN in play (bitwise — NaN != NaN under PartialEq).
+        let again = k.run_precise();
+        match (&run.output, &again.output) {
+            (KernelOutput::Vector(a), KernelOutput::Vector(b)) => {
+                assert_eq!(a.len(), b.len());
+                assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+            _ => panic!("unexpected output"),
+        }
     }
 }

@@ -89,7 +89,17 @@ impl GeneNetKernel {
 
         // Keep the strongest edges; output is a per-gene degree vector of the resulting
         // network, a stable structural summary.
-        scores.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap());
+        // NaN-safe descending sort: a NaN correlation (all-constant expression rows
+        // yield 0/0) must sort deterministically instead of panicking. `|corr|` carries
+        // the positive NaN bit pattern, which a plain reversed `total_cmp` would order
+        // *first* — letting a degenerate pair claim an edge ahead of every real
+        // correlation — so NaN is demoted explicitly.
+        scores.sort_by(|x, y| match (x.2.is_nan(), y.2.is_nan()) {
+            (false, false) => y.2.total_cmp(&x.2),
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+        });
         let mut degrees = vec![0.0f64; genes];
         for &(a, b, _) in scores.iter().take(self.edges_to_keep) {
             degrees[a] += 1.0;
@@ -186,6 +196,36 @@ mod tests {
     #[test]
     fn determinism() {
         let k = GeneNetKernel::small(7);
+        assert_eq!(k.run_precise().output, k.run_precise().output);
+    }
+
+    #[test]
+    fn nan_expression_data_does_not_panic_or_claim_edges() {
+        let mut k = GeneNetKernel::small(7);
+        // Poison one gene's whole expression profile with a runtime-style NaN: every
+        // pair involving it then scores NaN. Pre-total_cmp this panicked the sort;
+        // a naive reversed total_cmp would instead sort |NaN| *first* and hand the
+        // degenerate gene the top edges.
+        let poisoned = 13;
+        let genes = k.expression.cols;
+        for s in 0..k.expression.rows {
+            k.expression.counts[s * genes + poisoned] = -f64::NAN;
+        }
+        let run = k.run_precise();
+        match &run.output {
+            KernelOutput::Vector(degrees) => {
+                assert_eq!(degrees.len(), genes);
+                // 59 NaN pairs vs 1711 real ones for 120 edge slots: the poisoned
+                // gene must win nothing.
+                assert_eq!(
+                    degrees[poisoned], 0.0,
+                    "NaN-scored pairs must never out-rank real correlations"
+                );
+                let total: f64 = degrees.iter().sum();
+                assert!((total - 2.0 * k.edges_to_keep as f64).abs() < 1e-9);
+            }
+            _ => panic!("unexpected output"),
+        }
         assert_eq!(k.run_precise().output, k.run_precise().output);
     }
 }

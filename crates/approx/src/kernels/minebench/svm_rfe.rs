@@ -110,7 +110,11 @@ impl SvmRfeKernel {
             round += 1;
             // Eliminate the features with the smallest |weight|.
             let mut order: Vec<usize> = (0..active.len()).collect();
-            order.sort_by(|&a, &b| weights[a].abs().partial_cmp(&weights[b].abs()).unwrap());
+            // `total_cmp`: a NaN weight must sort deterministically instead of
+            // panicking mid-elimination; `|NaN|` keeps the positive sign bit, which
+            // `total_cmp` orders after every finite weight, so a NaN feature is the
+            // *last* candidate for elimination rather than a spurious first.
+            order.sort_by(|&a, &b| weights[a].abs().total_cmp(&weights[b].abs()));
             let to_remove: Vec<usize> = order
                 .iter()
                 .take(
@@ -212,6 +216,30 @@ mod tests {
         let precise = k.run_precise();
         let approx = k.run(&ApproxConfig::precise().with_input_sampling(0.4));
         assert!(approx.cost.bytes_touched < precise.cost.bytes_touched);
+    }
+
+    #[test]
+    fn nan_feature_data_does_not_panic_the_elimination_sort() {
+        let mut k = SvmRfeKernel::small(2);
+        // Poison one feature column with a runtime-style NaN. The variance-fallback
+        // elimination rounds (taken under elimination perforation) then rank a NaN
+        // weight, which panicked the pre-total_cmp sort.
+        let poisoned = 7;
+        let cols = k.data.cols;
+        for r in 0..k.data.rows {
+            k.data.counts[r * cols + poisoned] = -f64::NAN;
+        }
+        let config = ApproxConfig::precise()
+            .with_perforation(SITE_ELIMINATION, Perforation::KeepEveryNth(2));
+        let run = k.run(&config);
+        match &run.output {
+            KernelOutput::Labels(survivors) => {
+                assert_eq!(survivors.len(), 15);
+                assert!(survivors.windows(2).all(|w| w[0] < w[1]));
+            }
+            _ => panic!("unexpected output"),
+        }
+        assert_eq!(k.run(&config).output, k.run(&config).output);
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub enum AutoscalerAction {
 /// Configuration of the fleet autoscaler; attach to a
 /// [`ClusterScenario`](crate::scenario::ClusterScenario) via
 /// [`ClusterScenarioBuilder::autoscaler`](crate::scenario::ClusterScenarioBuilder::autoscaler).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct AutoscalerConfig {
     /// Lower bound on the active set; the autoscaler never drains below this.
     pub min_active: usize,
@@ -132,6 +132,41 @@ impl Default for AutoscalerConfig {
             scale_in_sustain_intervals: 4,
             cooldown_intervals: 5,
         }
+    }
+}
+
+// Hand-written (not derived) so the invariants — in particular the hysteresis band
+// between the scale-in and scale-out ceilings — are enforced at the archive boundary: a
+// hand-edited config that would flap the fleet membership is rejected here instead of
+// deserializing and misbehaving mid-run. The mirror struct keeps the derived plumbing.
+impl serde::Deserialize for AutoscalerConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        #[derive(Deserialize)]
+        struct AutoscalerConfigWire {
+            min_active: usize,
+            scale_out_load: f64,
+            scale_out_violation_fraction: f64,
+            scale_out_sustain_intervals: u32,
+            scale_in_max_load: f64,
+            scale_in_max_p99_fraction: f64,
+            scale_in_sustain_intervals: u32,
+            cooldown_intervals: u32,
+        }
+        let w = AutoscalerConfigWire::from_value(value)?;
+        let config = AutoscalerConfig {
+            min_active: w.min_active,
+            scale_out_load: w.scale_out_load,
+            scale_out_violation_fraction: w.scale_out_violation_fraction,
+            scale_out_sustain_intervals: w.scale_out_sustain_intervals,
+            scale_in_max_load: w.scale_in_max_load,
+            scale_in_max_p99_fraction: w.scale_in_max_p99_fraction,
+            scale_in_sustain_intervals: w.scale_in_sustain_intervals,
+            cooldown_intervals: w.cooldown_intervals,
+        };
+        config
+            .validate()
+            .map_err(|e| serde::Error::custom(format!("invalid autoscaler config: {e}")))?;
+        Ok(config)
     }
 }
 
@@ -425,6 +460,8 @@ impl Autoscaler {
                         .total_cmp(&b.utilization)
                         .then(b.index.cmp(&a.index))
                 })
+                // pliant-lint: allow(panic-hygiene): scale-in is only considered while
+                // the active count exceeds `min_active >= 1` (checked just above).
                 .expect("an active node exists")
                 .index;
             self.states[target] = NodePowerState::Draining;
@@ -448,6 +485,8 @@ impl Autoscaler {
                     .iter()
                     .position(|s| *s == NodePowerState::Parked)
             })
+            // pliant-lint: allow(panic-hygiene): both scale-out paths check
+            // `active_count < n` before calling, so a non-active node exists.
             .expect("scale-out requires an inactive node")
     }
 }

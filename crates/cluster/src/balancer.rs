@@ -207,20 +207,21 @@ impl LoadBalancer {
                     // Prefer serving nodes under the saturation cap; once every one is
                     // at capacity the overload has nowhere better to go and spills onto
                     // the least-loaded serving node.
+                    // `total_cmp`, not `partial_cmp(..).expect(..)`: loads are finite by
+                    // construction, but a NaN estimate must degrade to a deterministic
+                    // pick (NaN sorts last in a min_by), not panic the dispatch loop.
                     let target = (0..n)
                         .filter(|&i| is_active(i) && assigned[i] < MAX_OFFERED_LOAD)
                         .min_by(|&a, &b| {
-                            (assigned[a] + penalty[a])
-                                .partial_cmp(&(assigned[b] + penalty[b]))
-                                .expect("loads are finite")
+                            (assigned[a] + penalty[a]).total_cmp(&(assigned[b] + penalty[b]))
                         })
                         .or_else(|| {
-                            (0..n).filter(|&i| is_active(i)).min_by(|&a, &b| {
-                                assigned[a]
-                                    .partial_cmp(&assigned[b])
-                                    .expect("loads are finite")
-                            })
+                            (0..n)
+                                .filter(|&i| is_active(i))
+                                .min_by(|&a, &b| assigned[a].total_cmp(&assigned[b]))
                         })
+                        // pliant-lint: allow(panic-hygiene): split() rejects an empty
+                        // active set before dispatch, so a serving node always exists.
                         .expect("at least one serving node");
                     assigned[target] += quantum;
                 }
@@ -237,6 +238,8 @@ impl LoadBalancer {
                             .enumerate()
                             .filter(|(_, a)| **a)
                             .nth(pos)
+                            // pliant-lint: allow(panic-hygiene): `pos` is drawn from
+                            // `0..active_count` and the mask has that many set bits.
                             .expect("position is within the active count")
                             .0
                     }

@@ -127,6 +127,8 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
     for i in 0..n {
         fleet
             .try_merge(sim.node(i).latency_histogram())
+            // pliant-lint: allow(panic-hygiene): every node histogram was built by this
+            // engine with the same bucket configuration, so the merge cannot fail.
             .expect("in-process histograms share one bucket configuration");
     }
     let qos_target_s = scenario.qos_target_s.unwrap_or_else(|| {

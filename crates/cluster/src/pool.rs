@@ -97,9 +97,13 @@ impl NodeWorkerPool {
         out.clear();
         out.resize_with(n, || None);
         for (i, (slot, &load)) in nodes.iter_mut().zip(loads).enumerate() {
+            // pliant-lint: allow(panic-hygiene): slots are refilled before step_all
+            // returns; they are only empty between take() and the stitch-back below.
             let node = slot.take().expect("every node slot is occupied");
             self.task_txs[i % workers]
                 .send((i, node, load))
+                // pliant-lint: allow(panic-hygiene): workers hold their receiver for
+                // the pool's lifetime and forward panics as results instead of dying.
                 .expect("pool workers outlive the coordinator");
         }
         let mut first_panic = None;
@@ -107,6 +111,8 @@ impl NodeWorkerPool {
             let (i, result) = self
                 .result_rx
                 .recv()
+                // pliant-lint: allow(panic-hygiene): every worker owns a sender clone
+                // for the pool's lifetime, so the channel cannot disconnect mid-step.
                 .expect("pool workers outlive the coordinator");
             match result {
                 Ok((node, interval)) => {

@@ -33,7 +33,7 @@ use crate::scheduler::SchedulerKind;
 ///
 /// Construct with [`ClusterScenario::builder`]. All fields are public so sinks and
 /// analysis code can read them back from archived runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ClusterScenario {
     /// Optional display label (cluster suites set this to the cell's sweep coordinates).
     pub label: Option<String>,
@@ -191,6 +191,63 @@ impl ClusterScenario {
                 self.balancer
             ),
         }
+    }
+}
+
+// Hand-written (not derived) so the fleet invariants are enforced at the archive
+// boundary: a hand-edited or corrupted archive is rejected here with a descriptive
+// error instead of deserializing into an impossible fleet that fails mid-run. The
+// mirror struct keeps the derived field plumbing (including the `#[serde(default)]`
+// that lets pre-energy archives without an `autoscaler` field deserialize).
+impl serde::Deserialize for ClusterScenario {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        #[derive(Deserialize)]
+        struct ClusterScenarioWire {
+            label: Option<String>,
+            nodes: usize,
+            service: ServiceId,
+            policy: PolicyKind,
+            balancer: BalancerKind,
+            scheduler: SchedulerKind,
+            jobs: Vec<AppId>,
+            slots_per_node: usize,
+            avg_node_load: f64,
+            load_profile: Option<LoadProfile>,
+            decision_interval_s: f64,
+            slack_threshold: f64,
+            consecutive_slack_required: u32,
+            horizon: Horizon,
+            warmup_intervals: usize,
+            qos_target_s: Option<f64>,
+            #[serde(default)]
+            autoscaler: Option<AutoscalerConfig>,
+            seed: u64,
+        }
+        let w = ClusterScenarioWire::from_value(value)?;
+        let scenario = ClusterScenario {
+            label: w.label,
+            nodes: w.nodes,
+            service: w.service,
+            policy: w.policy,
+            balancer: w.balancer,
+            scheduler: w.scheduler,
+            jobs: w.jobs,
+            slots_per_node: w.slots_per_node,
+            avg_node_load: w.avg_node_load,
+            load_profile: w.load_profile,
+            decision_interval_s: w.decision_interval_s,
+            slack_threshold: w.slack_threshold,
+            consecutive_slack_required: w.consecutive_slack_required,
+            horizon: w.horizon,
+            warmup_intervals: w.warmup_intervals,
+            qos_target_s: w.qos_target_s,
+            autoscaler: w.autoscaler,
+            seed: w.seed,
+        };
+        scenario
+            .validate()
+            .map_err(|e| serde::Error::custom(format!("invalid cluster scenario: {e}")))?;
+        Ok(scenario)
     }
 }
 
@@ -651,18 +708,19 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_archives_fail_validation() {
+    fn corrupted_archives_are_rejected_at_the_deserialization_boundary() {
         let good = ClusterScenario::builder(ServiceId::Nginx)
             .nodes(2)
             .jobs(jobs(2))
             .build();
         let json = serde_json::to_string(&good).expect("serializable");
         let corrupted = json.replace("\"nodes\":2", "\"nodes\":9");
-        let bad: ClusterScenario =
-            serde_json::from_str(&corrupted).expect("structurally valid JSON");
-        assert_eq!(
-            bad.validate(),
-            Err(ClusterScenarioError::NotEnoughJobs { needed: 9, got: 2 })
+        let err = serde_json::from_str::<ClusterScenario>(&corrupted)
+            .expect_err("a fleet violating its invariants must not deserialize");
+        assert!(
+            err.to_string()
+                .contains("needs at least 9 jobs to fill every node slot, got 2"),
+            "error should carry the validation message, got: {err}"
         );
     }
 }

@@ -63,19 +63,21 @@ impl SchedulerKind {
         let candidates = snapshots.iter().filter(|s| s.free_slots > 0);
         match self {
             SchedulerKind::FirstFit => candidates.map(|s| s.index).min(),
+            // `total_cmp`, not `partial_cmp(..).expect(..)`: utilizations and slack
+            // fractions are finite by construction today, but a NaN introduced by a
+            // future model change must degrade to a deterministic placement (NaN sorts
+            // as the largest value), not panic the whole fleet step.
             SchedulerKind::UtilizationAware => candidates
                 .min_by(|a, b| {
                     a.utilization
-                        .partial_cmp(&b.utilization)
-                        .expect("utilizations are finite")
+                        .total_cmp(&b.utilization)
                         .then(a.index.cmp(&b.index))
                 })
                 .map(|s| s.index),
             SchedulerKind::QosSlackAware => candidates
                 .max_by(|a, b| {
                     a.slack_fraction()
-                        .partial_cmp(&b.slack_fraction())
-                        .expect("slack fractions are finite")
+                        .total_cmp(&b.slack_fraction())
                         // On equal slack prefer the *lower* index, so reverse the
                         // index order inside a max_by.
                         .then(b.index.cmp(&a.index))
@@ -160,6 +162,7 @@ impl BatchScheduler {
             return None;
         }
         let node = self.kind.choose(snapshots)?;
+        // pliant-lint: allow(panic-hygiene): guarded by the is_empty() early return.
         let app = self.queue.pop_front().expect("queue checked non-empty");
         self.stats.placed += 1;
         Some((node, app))

@@ -176,6 +176,8 @@ impl ClusterSim {
 
     fn expect_node(slot: &Option<ClusterNode>) -> &ClusterNode {
         slot.as_ref()
+            // pliant-lint: allow(panic-hygiene): the worker pool refills every slot
+            // before step() returns; observers never run while a step is in flight.
             .expect("node slots are only empty while a step is in flight")
     }
 
@@ -224,6 +226,8 @@ impl ClusterSim {
             self.snapshot_scratch = snapshots;
             for (slot, state) in self.nodes.iter_mut().zip(scaler.states()) {
                 slot.as_mut()
+                    // pliant-lint: allow(panic-hygiene): slots are full here — the
+                    // pool hands every node back before the previous step returns.
                     .expect("node slots are only empty while a step is in flight")
                     .set_parked(*state == NodePowerState::Parked);
             }
@@ -258,8 +262,12 @@ impl ClusterSim {
                 .clone();
             self.nodes[node]
                 .as_mut()
+                // pliant-lint: allow(panic-hygiene): slots are full here — the pool
+                // hands every node back before the previous step returns.
                 .expect("node slots are only empty while a step is in flight")
                 .place_job(&profile)
+                // pliant-lint: allow(panic-hygiene): the scheduler chose this node
+                // from snapshots with `free_slots > 0` taken this same interval.
                 .expect("scheduler only places onto nodes with free slots");
             jobs_placed += 1;
         }
@@ -300,6 +308,8 @@ impl ClusterSim {
                 .zip(&assigned)
                 .map(|(slot, &load)| {
                     slot.as_mut()
+                        // pliant-lint: allow(panic-hygiene): single-worker path never
+                        // vacates slots; they are full on entry to every step.
                         .expect("node slots are only empty while a step is in flight")
                         .step(load)
                 })
@@ -314,11 +324,14 @@ impl ClusterSim {
             {
                 self.pool = Some(NodeWorkerPool::new(workers));
             }
+            // pliant-lint: allow(panic-hygiene): assigned Some() two lines up.
             let pool = self.pool.as_ref().expect("pool was just ensured");
             let mut results = std::mem::take(&mut self.result_scratch);
             pool.step_all(&mut self.nodes, &assigned, &mut results);
             let intervals = results
                 .iter_mut()
+                // pliant-lint: allow(panic-hygiene): step_all resizes `results` to one
+                // entry per node and fills each, or re-raises the worker panic.
                 .map(|r| r.take().expect("step_all fills every slot or panics"))
                 .collect();
             self.result_scratch = results;

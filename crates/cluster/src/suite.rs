@@ -164,12 +164,38 @@ pub struct ClusterCellOutcome {
 ///     .sweep_node_counts([2, 3, 4]);
 /// assert_eq!(suite.len(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ClusterSuite {
     name: String,
     base: ClusterScenario,
     seed_mode: SeedMode,
     axes: Vec<ClusterSweepAxis>,
+}
+
+// Hand-written (not derived) so duplicate-knob, empty-axis, or invalid-cell archives
+// are rejected at the archive boundary with a descriptive error, not when the engine
+// finally expands the grid. The mirror struct keeps the derived field plumbing.
+impl serde::Deserialize for ClusterSuite {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        #[derive(Deserialize)]
+        struct ClusterSuiteWire {
+            name: String,
+            base: ClusterScenario,
+            seed_mode: SeedMode,
+            axes: Vec<ClusterSweepAxis>,
+        }
+        let w = ClusterSuiteWire::from_value(value)?;
+        let suite = ClusterSuite {
+            name: w.name,
+            base: w.base,
+            seed_mode: w.seed_mode,
+            axes: w.axes,
+        };
+        suite
+            .validate()
+            .map_err(|e| serde::Error::custom(format!("invalid cluster suite: {e}")))?;
+        Ok(suite)
+    }
 }
 
 impl ClusterSuite {

@@ -220,6 +220,9 @@ impl Engine {
                         execute_scenario(&scenarios[i], catalog)
                     }));
                     let died = result.is_err();
+                    // pliant-lint: allow(panic-hygiene): cell panics are captured by
+                    // catch_unwind above and the lock only guards plain assignments,
+                    // so the mutex cannot be poisoned.
                     let mut slots = slots.lock().expect("engine result slots poisoned");
                     slots[i] = Some(result);
                     drop(slots);
@@ -232,6 +235,7 @@ impl Engine {
 
             // Deliver completed cells to the sink in index order as they become ready.
             let mut delivered = 0;
+            // pliant-lint: allow(panic-hygiene): see above — workers cannot poison it.
             let mut guard = slots.lock().expect("engine result slots poisoned");
             while delivered < n {
                 match guard[delivered].take() {
@@ -239,6 +243,7 @@ impl Engine {
                         drop(guard);
                         sink.on_result(delivered, &scenarios[delivered], &outcome);
                         delivered += 1;
+                        // pliant-lint: allow(panic-hygiene): see above — unpoisonable.
                         guard = slots.lock().expect("engine result slots poisoned");
                     }
                     Some(Err(panic_payload)) => {
@@ -249,6 +254,7 @@ impl Engine {
                         std::panic::resume_unwind(panic_payload);
                     }
                     None => {
+                        // pliant-lint: allow(panic-hygiene): see above — unpoisonable.
                         guard = ready.wait(guard).expect("engine result slots poisoned");
                     }
                 }
@@ -365,6 +371,8 @@ pub(crate) fn execute_with_config(
             let phase_idx = LoadPhase::all()
                 .iter()
                 .position(|p| *p == obs.load_phase)
+                // pliant-lint: allow(panic-hygiene): LoadPhase::all() enumerates every
+                // variant; a new phase without an `all()` entry fails tests first.
                 .expect("every phase is enumerated");
             phase_intervals[phase_idx] += 1;
             phase_violations[phase_idx] += usize::from(obs.qos_violated());

@@ -187,12 +187,38 @@ pub enum SeedMode {
 /// assert_eq!(cells[0].policy, PolicyKind::Precise);
 /// assert_eq!(cells[0].load_fraction, 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Suite {
     name: String,
     base: Scenario,
     seed_mode: SeedMode,
     axes: Vec<SweepAxis>,
+}
+
+// Hand-written (not derived) so duplicate-knob or empty-axis archives are rejected at
+// the archive boundary with a descriptive error, not when the engine finally runs the
+// silently-masked grid. The mirror struct keeps the derived field plumbing.
+impl serde::Deserialize for Suite {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        #[derive(Deserialize)]
+        struct SuiteWire {
+            name: String,
+            base: Scenario,
+            seed_mode: SeedMode,
+            axes: Vec<SweepAxis>,
+        }
+        let w = SuiteWire::from_value(value)?;
+        let suite = Suite {
+            name: w.name,
+            base: w.base,
+            seed_mode: w.seed_mode,
+            axes: w.axes,
+        };
+        suite
+            .validate()
+            .map_err(|e| serde::Error::custom(format!("invalid suite: {e}")))?;
+        Ok(suite)
+    }
 }
 
 impl Suite {
@@ -567,9 +593,9 @@ mod tests {
     }
 
     #[test]
-    fn deserialized_suites_are_revalidated_by_the_engine() {
-        // Serde bypasses the builder, so duplicate-knob archives must be caught by
-        // validate() before the engine runs a silently-masked grid.
+    fn corrupted_suites_are_rejected_at_the_deserialization_boundary() {
+        // Serde bypasses the builder, so duplicate-knob archives must be caught by the
+        // validate() call inside Deserialize before anything runs a silently-masked grid.
         let suite = Suite::new(base()).named("dup").sweep_loads([0.5, 0.9]);
         assert_eq!(suite.validate(), Ok(()));
         let json = serde_json::to_string(&suite).expect("serializable");
@@ -598,15 +624,11 @@ mod tests {
             .collect();
         let corrupted_json =
             serde_json::to_string(&serde::Value::Object(corrupted_entries)).expect("serializable");
-        let corrupted: Suite =
-            serde_json::from_str(&corrupted_json).expect("structurally valid JSON");
-        assert_eq!(corrupted.validate(), Err(SuiteError::DuplicateKnob("load")));
-        let run = std::panic::catch_unwind(|| {
-            crate::engine::Engine::new().run_collect(&corrupted);
-        });
+        let err = serde_json::from_str::<Suite>(&corrupted_json)
+            .expect_err("a masked-grid archive must not deserialize");
         assert!(
-            run.is_err(),
-            "running a masked-grid archive must fail loudly"
+            err.to_string().contains("two axes sweep the `load` knob"),
+            "error should carry the validation message, got: {err}"
         );
     }
 

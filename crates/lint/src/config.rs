@@ -1,0 +1,96 @@
+//! Lint configuration: which functions are hot paths and which paths each
+//! path-scoped rule covers.
+//!
+//! Paths are matched against the diagnostic path (the path relative to the scan root,
+//! with `/` separators), so the tool expects to be invoked from — or pointed at — the
+//! workspace root, which is how CI and the self-hosting tests run it.
+
+/// Configuration shared by every rule.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Functions whose bodies must stay allocation-free. Entries are either bare names
+    /// (`fast_exp`, matching any function of that name) or qualified as `Type::name`
+    /// (`ClusterNode::step`, matching only inside `impl ClusterNode`).
+    pub hot_path_fns: Vec<String>,
+    /// Path prefixes where wall-clock reads (`Instant::now`, `SystemTime`) are allowed:
+    /// the bench harness and the criterion compat shim measure real time by design.
+    pub wallclock_allowed: Vec<String>,
+    /// Path prefixes of determinism-sensitive code where `HashMap`/`HashSet` are denied
+    /// (iteration order reaches archives, statistics, or RNG consumption order).
+    pub hash_container_scoped: Vec<String>,
+    /// Path prefixes where `unwrap()`/`expect()` in non-test code are denied.
+    pub panic_hygiene_scoped: Vec<String>,
+    /// Path prefixes exempt from the `validate-bypass` rule (the serde compat shim
+    /// itself).
+    pub validate_bypass_exempt: Vec<String>,
+    /// Directory names skipped entirely while walking (build output, VCS metadata, and
+    /// the lint crate's own seeded-violation fixtures).
+    pub skip_dirs: Vec<String>,
+}
+
+impl LintConfig {
+    /// The workspace's committed configuration: hot-path list and path scopes matching
+    /// the repository layout.
+    pub fn repo_default() -> Self {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        LintConfig {
+            hot_path_fns: s(&[
+                // The allocation-free per-interval loop (PR 4) and everything it calls
+                // per sample.
+                "ColocationSim::advance_reusing",
+                "PerformanceMonitor::observe_interval",
+                "ClusterNode::step",
+                "fast_exp",
+                "fast_ln",
+                "poly_exp",
+                "sample_normal_ziggurat",
+                "fill_lognormals",
+            ]),
+            wallclock_allowed: s(&["crates/bench/", "crates/compat/criterion/"]),
+            hash_container_scoped: s(&[
+                "crates/sim/",
+                "crates/core/",
+                "crates/cluster/",
+                "crates/telemetry/",
+                "crates/workloads/",
+                "crates/explore/",
+                "crates/approx/",
+                "src/",
+            ]),
+            panic_hygiene_scoped: s(&[
+                "crates/sim/src/",
+                "crates/core/src/",
+                "crates/cluster/src/",
+                "crates/telemetry/src/",
+            ]),
+            validate_bypass_exempt: s(&["crates/compat/"]),
+            skip_dirs: s(&["target", ".git", "fixtures"]),
+        }
+    }
+
+    /// A configuration whose path-scoped rules apply to *every* file: used by the
+    /// fixture tests, where the seeded violations do not live under the repository's
+    /// crate paths.
+    pub fn all_paths() -> Self {
+        LintConfig {
+            wallclock_allowed: Vec::new(),
+            hash_container_scoped: vec![String::new()],
+            panic_hygiene_scoped: vec![String::new()],
+            validate_bypass_exempt: Vec::new(),
+            ..Self::repo_default()
+        }
+    }
+}
+
+/// Whether `rel_path` (diagnostic form, `/` separators) starts with any of `prefixes`.
+pub fn path_in(rel_path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel_path.starts_with(p.as_str()))
+}
+
+/// Whether the file is test-only by location: under a `tests/`, `benches/`, or
+/// `examples/` directory.
+pub fn path_is_test_code(rel_path: &str) -> bool {
+    ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|dir| rel_path.starts_with(dir) || rel_path.contains(&format!("/{dir}")))
+}

@@ -1,0 +1,202 @@
+//! Integration tests: exact (rule, line) assertions over the seeded-violation fixture,
+//! pragma suppression, the self-hosting workspace scan, and the CLI contract (exit
+//! codes, `--json`, `--only`/`--skip`, `--list-rules`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use pliant_lint::config::LintConfig;
+use pliant_lint::findings::ALL_RULES;
+use pliant_lint::{lint_path, lint_source};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Reads a fixture, returning the diagnostic path the findings should carry plus the
+/// source text.
+fn fixture(name: &str) -> (String, String) {
+    let source = std::fs::read_to_string(fixtures_dir().join(name)).unwrap();
+    (format!("fixtures/{name}"), source)
+}
+
+/// Runs the built `pliant-lint` binary, returning (exit code, stdout, stderr).
+fn run_cli(current_dir: &Path, args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pliant-lint"))
+        .current_dir(current_dir)
+        .args(args)
+        .output()
+        .unwrap();
+    (
+        out.status.code().unwrap(),
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+    )
+}
+
+#[test]
+fn violations_fixture_findings_are_exact() {
+    let (rel, src) = fixture("violations.rs");
+    let findings = lint_source(&rel, &src, &LintConfig::all_paths());
+    let got: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    let want = vec![
+        ("nan-unsafe-cmp", 6),
+        ("panic-hygiene", 6),
+        ("nan-unsafe-cmp", 12),
+        ("panic-hygiene", 12),
+        ("panic-hygiene", 13),
+        ("hot-path-alloc", 17),
+        ("hot-path-alloc", 18),
+        ("hot-path-alloc", 19),
+        ("hot-path-alloc", 20),
+        ("nondeterminism", 26),
+        ("nondeterminism", 27),
+        ("nondeterminism", 32),
+        ("nondeterminism", 36),
+        ("validate-bypass", 40),
+    ];
+    assert_eq!(got, want);
+    // Diagnostics carry the scan-relative path and an actionable message.
+    assert!(findings.iter().all(|f| f.path == "fixtures/violations.rs"));
+    assert!(findings[0].message.contains("total_cmp"));
+}
+
+#[test]
+fn suppressed_fixture_produces_zero_findings() {
+    let (rel, src) = fixture("suppressed.rs");
+    let findings = lint_source(&rel, &src, &LintConfig::all_paths());
+    assert!(
+        findings.is_empty(),
+        "every violation carries a pragma, but got:\n{}",
+        render(&findings)
+    );
+}
+
+#[test]
+fn clean_fixture_produces_zero_findings() {
+    let (rel, src) = fixture("clean.rs");
+    let findings = lint_source(&rel, &src, &LintConfig::all_paths());
+    assert!(
+        findings.is_empty(),
+        "clean fixture flagged:\n{}",
+        render(&findings)
+    );
+}
+
+/// The self-hosting gate: the workspace itself must be lint-clean under the committed
+/// configuration. This is the library-level twin of the CI `--check` step.
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = lint_path(&workspace_root(), &LintConfig::repo_default()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        render(&findings)
+    );
+}
+
+#[test]
+fn cli_check_fails_on_the_violations_fixture() {
+    let (code, stdout, stderr) = run_cli(&fixtures_dir(), &["--check", "violations.rs"]);
+    assert_eq!(
+        code, 1,
+        "--check must exit nonzero on findings; stderr: {stderr}"
+    );
+    for rule in [
+        "nan-unsafe-cmp",
+        "hot-path-alloc",
+        "nondeterminism",
+        "validate-bypass",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+    assert!(stderr.contains("finding(s)"));
+}
+
+#[test]
+fn cli_check_passes_on_clean_and_suppressed_fixtures() {
+    for name in ["clean.rs", "suppressed.rs"] {
+        let (code, stdout, stderr) = run_cli(&fixtures_dir(), &["--check", name]);
+        assert_eq!(code, 0, "{name} must be clean; stdout:\n{stdout}");
+        assert!(stderr.contains("no findings"));
+    }
+}
+
+#[test]
+fn cli_json_output_is_wellformed() {
+    let (code, stdout, _) = run_cli(&fixtures_dir(), &["--json", "violations.rs"]);
+    assert_eq!(code, 0, "without --check the exit code stays 0");
+    let trimmed = stdout.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'));
+    assert!(trimmed.contains(r#""rule": "nan-unsafe-cmp""#));
+    assert!(trimmed.contains(r#""line": 6"#));
+}
+
+#[test]
+fn cli_only_and_skip_filter_rules() {
+    let (code, stdout, _) = run_cli(
+        &fixtures_dir(),
+        &["--only", "nondeterminism", "--check", "violations.rs"],
+    );
+    assert_eq!(code, 1);
+    assert!(stdout.contains("nondeterminism"));
+    assert!(!stdout.contains("hot-path-alloc"));
+
+    let (code, stdout, _) = run_cli(
+        &fixtures_dir(),
+        &[
+            "--skip",
+            "nan-unsafe-cmp,hot-path-alloc,nondeterminism,validate-bypass,panic-hygiene",
+            "--check",
+            "violations.rs",
+        ],
+    );
+    assert_eq!(
+        code, 0,
+        "skipping every rule must pass --check; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_rejects_unknown_rules_and_options() {
+    let (code, _, stderr) = run_cli(&fixtures_dir(), &["--only", "bogus-rule"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown rule"));
+
+    let (code, _, stderr) = run_cli(&fixtures_dir(), &["--frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown option"));
+}
+
+#[test]
+fn cli_lists_every_rule() {
+    let (code, stdout, _) = run_cli(&fixtures_dir(), &["--list-rules"]);
+    assert_eq!(code, 0);
+    for rule in ALL_RULES {
+        assert!(
+            stdout.contains(rule.id),
+            "missing {} in:\n{stdout}",
+            rule.id
+        );
+    }
+}
+
+/// The CI invocation: `pliant-lint --check .` from the workspace root must pass.
+#[test]
+fn cli_check_passes_on_the_workspace() {
+    let (code, stdout, stderr) = run_cli(&workspace_root(), &["--check", "."]);
+    assert_eq!(code, 0, "workspace --check failed:\n{stdout}\n{stderr}");
+    assert!(stderr.contains("no findings"));
+}
+
+fn render(findings: &[pliant_lint::findings::Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}

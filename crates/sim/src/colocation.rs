@@ -435,6 +435,8 @@ impl ColocationSim {
         assert!(dt > 0.0, "interval must be positive");
         let (mut samples, mut app_statuses) = match recycle {
             Some(obs) => (obs.latency_samples_s, obs.apps),
+            // pliant-lint: allow(hot-path-alloc): cold-start fallback only — callers
+            // on the steady-state path always recycle the previous observation.
             None => (Vec::new(), Vec::new()),
         };
         samples.clear();

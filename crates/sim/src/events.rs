@@ -78,6 +78,8 @@ pub fn simulate(service: &ServiceProfile, config: &EventSimConfig) -> EventSimRe
     let median_service_s = mean_service_s / (sigma * sigma / 2.0).exp();
 
     for &arrival in &arrivals {
+        // pliant-lint: allow(panic-hygiene): the heap is seeded with `cores >= 1`
+        // entries and every pop is paired with a push below, so it is never empty.
         let std::cmp::Reverse(free_at) = workers.pop().expect("at least one worker");
         let start = from_ns(free_at).max(arrival);
         let service_time = sample_lognormal(&mut rng, median_service_s, sigma);

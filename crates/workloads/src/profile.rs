@@ -91,7 +91,7 @@ impl std::fmt::Display for LoadPhase {
 ///
 /// All variants are deterministic functions of time: the only randomness in a run with a
 /// time-varying profile is the arrival-sampling RNG, which is seeded exactly as before.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum LoadProfile {
     /// The classic fixed operating point (what every experiment used before profiles).
     Constant {
@@ -142,6 +142,79 @@ pub enum LoadProfile {
         /// Breakpoints as `(time_s, load_fraction)` pairs, strictly increasing in time.
         points: Vec<(f64, f64)>,
     },
+}
+
+// Hand-written (not derived) so profile invariants — finite loads in range, sane
+// durations, strictly-increasing trace breakpoints — are enforced at the archive
+// boundary: a corrupted profile is rejected here with a descriptive error instead of
+// driving the simulator with NaN or never-positive load. The mirror enum keeps the
+// derived variant plumbing and the same externally-tagged wire names.
+impl serde::Deserialize for LoadProfile {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        #[derive(Deserialize)]
+        enum LoadProfileWire {
+            Constant {
+                load: f64,
+            },
+            Step {
+                base: f64,
+                to: f64,
+                at_s: f64,
+            },
+            Diurnal {
+                base: f64,
+                amplitude: f64,
+                period_s: f64,
+                phase_s: f64,
+            },
+            FlashCrowd {
+                base: f64,
+                peak: f64,
+                start_s: f64,
+                ramp_s: f64,
+                hold_s: f64,
+                decay_s: f64,
+            },
+            Trace {
+                points: Vec<(f64, f64)>,
+            },
+        }
+        let profile = match LoadProfileWire::from_value(value)? {
+            LoadProfileWire::Constant { load } => LoadProfile::Constant { load },
+            LoadProfileWire::Step { base, to, at_s } => LoadProfile::Step { base, to, at_s },
+            LoadProfileWire::Diurnal {
+                base,
+                amplitude,
+                period_s,
+                phase_s,
+            } => LoadProfile::Diurnal {
+                base,
+                amplitude,
+                period_s,
+                phase_s,
+            },
+            LoadProfileWire::FlashCrowd {
+                base,
+                peak,
+                start_s,
+                ramp_s,
+                hold_s,
+                decay_s,
+            } => LoadProfile::FlashCrowd {
+                base,
+                peak,
+                start_s,
+                ramp_s,
+                hold_s,
+                decay_s,
+            },
+            LoadProfileWire::Trace { points } => LoadProfile::Trace { points },
+        };
+        profile
+            .validate()
+            .map_err(|e| serde::Error::custom(format!("invalid load profile: {e}")))?;
+        Ok(profile)
+    }
 }
 
 /// Why a [`LoadProfile`] failed validation.
