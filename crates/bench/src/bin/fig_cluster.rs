@@ -8,9 +8,17 @@
 //! co-location absorbs the batch interference at a higher per-node load, so it serves
 //! the same traffic with fewer machines.
 //!
-//! Usage: `fig_cluster [--json] [--seed N] [--total-load X]`
+//! Usage: `fig_cluster [--json] [--seed N] [--total-load X] [--nodes N] [--approx K]`
+//!
+//! `--nodes N` replaces the default fleet-size sweep with the single given size (pair
+//! it with a matching `--total-load`); `--approx K` simulates each fleet through the
+//! clustered approximation with `K` representatives per node group (`0` or absent =
+//! exact simulation of every node).
 
-use pliant_bench::{cluster_machines_needed_scenario, format_latency, print_table};
+use pliant_bench::{
+    approximation_from_args, cluster_machines_needed_scenario, flag_value, format_latency,
+    print_table,
+};
 use pliant_cluster::prelude::*;
 use pliant_core::engine::Engine;
 use pliant_core::policy::PolicyKind;
@@ -64,17 +72,26 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let approximation = approximation_from_args(&args);
+    let node_counts: Vec<usize> = match flag_value(&args, "--nodes") {
+        Some(v) => vec![v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --nodes expects an integer");
+            std::process::exit(2);
+        })],
+        None => NODE_COUNTS.to_vec(),
+    };
 
     let service = ServiceId::Memcached;
     let engine = Engine::new().parallel();
     let mut curve = Vec::new();
     let mut sweeps: [Vec<(usize, ClusterOutcome)>; 2] = [Vec::new(), Vec::new()];
-    for &nodes in &NODE_COUNTS {
+    for &nodes in &node_counts {
         for (pi, policy) in [PolicyKind::Precise, PolicyKind::Pliant]
             .into_iter()
             .enumerate()
         {
-            let Some(s) = cluster_machines_needed_scenario(nodes, total_load, policy, seed) else {
+            let Some(mut s) = cluster_machines_needed_scenario(nodes, total_load, policy, seed)
+            else {
                 // A fleet this small cannot even be offered the requested load (above
                 // 1.5x saturation per node); it trivially fails and is skipped rather
                 // than silently served less traffic than the larger fleets.
@@ -84,6 +101,7 @@ fn main() {
                 );
                 continue;
             };
+            s.approximation = approximation;
             let outcome = engine.run_cluster(&s);
             curve.push(CurvePoint {
                 nodes,
@@ -162,7 +180,7 @@ fn main() {
     println!();
     let describe = |m: Option<usize>| match m {
         Some(n) => n.to_string(),
-        None => format!(">{}", NODE_COUNTS[NODE_COUNTS.len() - 1]),
+        None => format!(">{}", node_counts[node_counts.len() - 1]),
     };
     println!(
         "machines needed: precise = {}, pliant = {}",

@@ -10,9 +10,17 @@
 //! cycle (surplus machines park at the suspend draw), so the Pliant fleet serves the
 //! same load within QoS at measurably lower joules.
 //!
-//! Usage: `fig_energy [--json] [--seed N]`
+//! Usage: `fig_energy [--json] [--seed N] [--nodes N] [--approx K]`
+//!
+//! `--nodes N` scales the fleet (same day/night cycle per provisioned node, see
+//! [`cluster_energy_scenario_at_scale`]); `--approx K` simulates it through the
+//! clustered approximation with `K` representatives per node group (`0` or absent =
+//! exact simulation of every node).
 
-use pliant_bench::{cluster_energy_scenario, format_latency, print_table};
+use pliant_bench::{
+    approximation_from_args, cluster_energy_scenario_at_scale, flag_value, format_latency,
+    print_table,
+};
 use pliant_cluster::prelude::*;
 use pliant_core::engine::Engine;
 use pliant_core::policy::PolicyKind;
@@ -67,16 +75,19 @@ struct EnergyFigure {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = pliant_bench::json_requested(&args);
-    let seed: u64 = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .map_or(7, |v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("error: --seed expects an integer");
-                std::process::exit(2);
-            })
-        });
+    let seed: u64 = flag_value(&args, "--seed").map_or(7, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --seed expects an integer");
+            std::process::exit(2);
+        })
+    });
+    let fleet_nodes: usize = flag_value(&args, "--nodes").map_or(6, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --nodes expects an integer");
+            std::process::exit(2);
+        })
+    });
+    let approximation = approximation_from_args(&args);
 
     let service = ServiceId::Memcached;
     let engine = Engine::new().parallel();
@@ -87,7 +98,8 @@ fn main() {
         .into_iter()
         .enumerate()
     {
-        let scenario = cluster_energy_scenario(policy, seed);
+        let mut scenario = cluster_energy_scenario_at_scale(fleet_nodes, policy, seed);
+        scenario.approximation = approximation;
         nodes = scenario.nodes;
         let outcome = engine.run_cluster(&scenario);
         energies[pi] = outcome.fleet_energy_j;

@@ -1,7 +1,7 @@
 //! Performance-report harness: measures the simulator's hot-path throughput and emits a
 //! machine-readable `BENCH_PERF.json`, the repo's perf trajectory record.
 //!
-//! Three throughput metrics cover the three execution layers:
+//! Four throughput metrics cover the execution layers:
 //!
 //! * `single_node_intervals_per_sec` — decision intervals simulated per second by a
 //!   *serial* engine running the `fig5_aggregate` experiment grid (the paper's headline
@@ -13,6 +13,13 @@
 //! * `fleet_node_intervals_per_sec` — node-intervals advanced per second by a parallel
 //!   cluster run of the `fig_cluster` operating point (adds balancer/scheduler
 //!   coordination and the node worker pool).
+//! * `hyperscale_node_intervals_per_sec` — *logical* node-intervals covered per second
+//!   by a clustered 10k-node day/night run (the `fig_energy` scenario at scale with 4
+//!   representatives per node group). Units are logical fleet size × intervals, so the
+//!   rate credits the replication the approximation buys; `--check` additionally
+//!   enforces the structural claim that this rate is at least 10× the exact
+//!   `fleet_node_intervals_per_sec` — the approximation must stay an order of
+//!   magnitude ahead of exact simulation, whatever the runner class.
 //!
 //! Each metric is measured `--runs` times (default 3) by repeating its workload until a
 //! minimum wall-clock window has elapsed; the best run is reported, which is the standard
@@ -42,7 +49,13 @@ use pliant_core::suite::Suite;
 use pliant_workloads::service::ServiceId;
 
 /// Schema tag embedded in every report so future shape changes are detectable.
-const SCHEMA: &str = "pliant-perf-report/v1";
+/// v2 added `hyperscale_node_intervals_per_sec`; v1 baselines are rejected by
+/// `--check` with a refresh instruction (see README "Performance" for the procedure).
+const SCHEMA: &str = "pliant-perf-report/v2";
+
+/// How many times faster the clustered hyperscale run must cover logical
+/// node-intervals than the exact fleet run, enforced structurally by `--check`.
+const HYPERSCALE_MIN_SPEEDUP: f64 = 10.0;
 
 /// One measured metric: a rate plus the raw counters it was derived from.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -58,7 +71,7 @@ struct Metric {
 /// The full perf report; serialized as `BENCH_PERF.json`.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 struct PerfReport {
-    /// Report-format identifier (`pliant-perf-report/v1`).
+    /// Report-format identifier (`pliant-perf-report/v2`).
     schema: String,
     /// Logical cores available when the report was taken.
     cores: usize,
@@ -73,10 +86,12 @@ struct PerfReport {
     suite_cells_per_sec: Metric,
     /// Cluster node-intervals per second, parallel engine, fig_cluster operating point.
     fleet_node_intervals_per_sec: Metric,
+    /// Logical node-intervals per second, clustered 10k-node day/night run.
+    hyperscale_node_intervals_per_sec: Metric,
 }
 
 impl PerfReport {
-    fn metrics(&self) -> [(&'static str, &Metric); 3] {
+    fn metrics(&self) -> [(&'static str, &Metric); 4] {
         [
             (
                 "single_node_intervals_per_sec",
@@ -86,6 +101,10 @@ impl PerfReport {
             (
                 "fleet_node_intervals_per_sec",
                 &self.fleet_node_intervals_per_sec,
+            ),
+            (
+                "hyperscale_node_intervals_per_sec",
+                &self.hyperscale_node_intervals_per_sec,
             ),
         ]
     }
@@ -168,6 +187,18 @@ fn take_report(quick: bool, runs: usize) -> PerfReport {
         let outcome = parallel.run_cluster(&fleet_scenario);
         (outcome.nodes * outcome.intervals) as u64
     });
+    // The hyperscale metric counts *logical* node-intervals: a clustered 10k-node
+    // day/night run simulates a handful of instances but stands for the whole fleet,
+    // which is exactly the speedup the approximation is for.
+    let mut hyperscale_scenario =
+        pliant_bench::cluster_energy_scenario_at_scale(10_000, PolicyKind::Pliant, 7);
+    hyperscale_scenario.approximation = pliant_cluster::FleetApproximation::Clustered {
+        representatives_per_group: 4,
+    };
+    let hyperscale = best_of(runs, min_window, || {
+        let outcome = parallel.run_cluster(&hyperscale_scenario);
+        (outcome.nodes * outcome.intervals) as u64
+    });
 
     PerfReport {
         schema: SCHEMA.to_string(),
@@ -177,6 +208,7 @@ fn take_report(quick: bool, runs: usize) -> PerfReport {
         single_node_intervals_per_sec: single_node,
         suite_cells_per_sec: cells,
         fleet_node_intervals_per_sec: fleet,
+        hyperscale_node_intervals_per_sec: hyperscale,
     }
 }
 
@@ -222,6 +254,19 @@ fn check(current: &PerfReport, baseline: &PerfReport, tolerance: f64) -> Vec<Str
                 tolerance * 100.0
             ));
         }
+    }
+    // Structural gate, independent of the baseline's absolute numbers: the clustered
+    // hyperscale run must cover logical node-intervals at least an order of magnitude
+    // faster than exact fleet simulation, or the approximation has lost its point.
+    let exact = current.fleet_node_intervals_per_sec.per_sec;
+    let clustered = current.hyperscale_node_intervals_per_sec.per_sec;
+    if clustered < exact * HYPERSCALE_MIN_SPEEDUP {
+        failures.push(format!(
+            "hyperscale_node_intervals_per_sec: {clustered:.0}/s is less than \
+             {HYPERSCALE_MIN_SPEEDUP}x the exact fleet rate {exact:.0}/s \
+             (speedup {:.1}x)",
+            clustered / exact
+        ));
     }
     failures
 }

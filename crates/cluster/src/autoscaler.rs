@@ -281,6 +281,11 @@ pub struct Autoscaler {
     /// into a machine count, without rediscovering the limit through repeated failed
     /// drains.
     burned_per_node_load: f64,
+    /// Logical nodes each instance stands for. All-ones on an exact fleet; a clustered
+    /// fleet's replica weights make every membership decision instance-atomic (a whole
+    /// replica block drains or reactivates together) while the load and violation
+    /// arithmetic stays in logical-node units.
+    weights: Vec<usize>,
 }
 
 impl Autoscaler {
@@ -290,22 +295,41 @@ impl Autoscaler {
     ///
     /// Panics if the configuration is invalid or `min_active` exceeds the fleet size.
     pub fn new(config: AutoscalerConfig, nodes: usize) -> Self {
+        Self::for_instances(config, vec![1; nodes])
+    }
+
+    /// Creates an autoscaler over `weights.len()` simulated instances, where instance
+    /// `i` stands for `weights[i]` logical nodes (see [`crate::population`]). All
+    /// instances start active. `min_active` is interpreted in *logical* nodes, exactly
+    /// as on an exact fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, any weight is zero, or `min_active`
+    /// exceeds the summed logical fleet size.
+    pub fn for_instances(config: AutoscalerConfig, weights: Vec<usize>) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid autoscaler config: {e}");
         }
         assert!(
-            config.min_active <= nodes,
-            "min_active ({}) exceeds the fleet size ({nodes})",
+            weights.iter().all(|w| *w > 0),
+            "instance weights must be positive"
+        );
+        let logical: usize = weights.iter().sum();
+        assert!(
+            config.min_active <= logical,
+            "min_active ({}) exceeds the fleet size ({logical})",
             config.min_active
         );
         Self {
             config,
-            states: vec![NodePowerState::Active; nodes],
+            states: vec![NodePowerState::Active; weights.len()],
             cooldown: 0,
             out_streak: 0,
             streak_peak_load: 0.0,
             in_streak: 0,
             burned_per_node_load: f64::INFINITY,
+            weights,
         }
     }
 
@@ -325,6 +349,22 @@ impl Autoscaler {
             .iter()
             .filter(|s| **s == NodePowerState::Active)
             .count()
+    }
+
+    /// *Logical* nodes currently serving traffic: the replica-weighted active count.
+    /// Equal to [`Self::active_count`] on an exact (all-ones) fleet.
+    pub fn active_replicas(&self) -> usize {
+        self.states
+            .iter()
+            .zip(&self.weights)
+            .filter(|(s, _)| **s == NodePowerState::Active)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// Logical nodes each instance stands for, in instance order.
+    pub fn weights(&self) -> &[usize] {
+        &self.weights
     }
 
     /// The learned capacity ceiling: the smallest per-active-node load at which QoS
@@ -463,6 +503,140 @@ impl Autoscaler {
                 // pliant-lint: allow(panic-hygiene): scale-in is only considered while
                 // the active count exceeds `min_active >= 1` (checked just above).
                 .expect("an active node exists")
+                .index;
+            self.states[target] = NodePowerState::Draining;
+            self.cooldown = self.config.cooldown_intervals;
+            self.out_streak = 0;
+            self.in_streak = 0;
+            return AutoscalerAction::ScaleIn(target);
+        }
+
+        AutoscalerAction::Hold
+    }
+
+    /// Clustered-fleet variant of [`Self::plan`]: membership changes are
+    /// instance-atomic (a representative and all the logical nodes it stands for drain
+    /// or reactivate as one block — which is what keeps replica weights constant over a
+    /// run, so node-side weighted accounting stays exact), while every trigger is
+    /// evaluated in logical-node units: per-node load divides by the replica-weighted
+    /// active count, the violation fraction weighs each violating instance by its
+    /// replicas, `min_active` bounds logical nodes, and a drain's load projection
+    /// removes the candidate's whole weight. With unit weights every quantity
+    /// coincides with [`Self::plan`]'s and the two make identical decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots.len()` differs from the instance count.
+    pub fn plan_grouped(
+        &mut self,
+        total_load: f64,
+        snapshots: &[NodeSnapshot],
+        slots_per_node: usize,
+    ) -> AutoscalerAction {
+        assert_eq!(
+            snapshots.len(),
+            self.states.len(),
+            "autoscaler built for {} instances, got {} snapshots",
+            self.states.len(),
+            snapshots.len()
+        );
+
+        // Park fully-drained instances (suspending costs nothing to decide; no
+        // cooldown).
+        for (state, snap) in self.states.iter_mut().zip(snapshots) {
+            if *state == NodePowerState::Draining && snap.free_slots == slots_per_node {
+                *state = NodePowerState::Parked;
+            }
+        }
+
+        let active_replicas = self.active_replicas();
+        let per_node_load = total_load / active_replicas.max(1) as f64;
+        let violating: usize = self
+            .states
+            .iter()
+            .zip(snapshots)
+            .zip(&self.weights)
+            .filter(|((state, snap), _)| {
+                **state == NodePowerState::Active && snap.smoothed_p99_s > snap.qos_target_s
+            })
+            .map(|(_, w)| *w)
+            .sum();
+        let pressure = violating > 0
+            && violating as f64
+                >= self.config.scale_out_violation_fraction * active_replicas as f64;
+        let can_grow = self.states.iter().any(|s| *s != NodePowerState::Active);
+        let headroom = self.states.iter().zip(snapshots).all(|(state, snap)| {
+            *state != NodePowerState::Active
+                || snap.smoothed_p99_s <= self.config.scale_in_max_p99_fraction * snap.qos_target_s
+        });
+        let drain_ceiling = self
+            .config
+            .scale_in_max_load
+            .min(BURN_MARGIN * self.burned_per_node_load);
+        // A drain candidate must leave at least `min_active` logical nodes serving and
+        // keep the survivors' per-node load at or below the ceiling *after losing the
+        // candidate's whole replica block*.
+        let drain_eligible = |scaler: &Self, i: usize| {
+            scaler.states[i] == NodePowerState::Active && {
+                let remaining = active_replicas - scaler.weights[i];
+                remaining >= scaler.config.min_active
+                    && total_load / remaining as f64 <= drain_ceiling
+            }
+        };
+        let can_shrink =
+            violating == 0 && headroom && (0..self.states.len()).any(|i| drain_eligible(self, i));
+
+        self.out_streak = if pressure && can_grow {
+            self.streak_peak_load = if self.out_streak == 0 {
+                per_node_load
+            } else {
+                self.streak_peak_load.max(per_node_load)
+            };
+            self.out_streak + 1
+        } else {
+            0
+        };
+        self.in_streak = if can_shrink { self.in_streak + 1 } else { 0 };
+
+        let overload_ceiling = self.config.scale_out_load.min(self.burned_per_node_load);
+        if can_grow && per_node_load > overload_ceiling {
+            let target = self.reactivation_target();
+            self.states[target] = NodePowerState::Active;
+            self.cooldown = self.config.cooldown_intervals;
+            self.out_streak = 0;
+            self.in_streak = 0;
+            return AutoscalerAction::ScaleOut(target);
+        }
+
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return AutoscalerAction::Hold;
+        }
+
+        if self.out_streak >= self.config.scale_out_sustain_intervals {
+            self.burned_per_node_load = self.burned_per_node_load.min(self.streak_peak_load);
+            let target = self.reactivation_target();
+            self.states[target] = NodePowerState::Active;
+            self.cooldown = self.config.cooldown_intervals;
+            self.out_streak = 0;
+            self.in_streak = 0;
+            return AutoscalerAction::ScaleOut(target);
+        }
+
+        if self.in_streak >= self.config.scale_in_sustain_intervals {
+            // Drain the least-utilized *eligible* instance, ties toward the highest
+            // index, mirroring the exact policy.
+            let target = snapshots
+                .iter()
+                .filter(|s| drain_eligible(self, s.index))
+                .min_by(|a, b| {
+                    a.utilization
+                        .total_cmp(&b.utilization)
+                        .then(b.index.cmp(&a.index))
+                })
+                // pliant-lint: allow(panic-hygiene): the in-streak only accrues while
+                // a drain-eligible instance exists (see `can_shrink` above).
+                .expect("an eligible instance exists")
                 .index;
             self.states[target] = NodePowerState::Draining;
             self.cooldown = self.config.cooldown_intervals;
@@ -773,6 +947,78 @@ mod tests {
             0.9,
             "the ceiling must be the streak's peak load, not the completion load (0.5)"
         );
+    }
+
+    #[test]
+    fn grouped_planning_with_unit_weights_matches_the_exact_planner() {
+        // Replay a load trace that exercises scale-in, park, feed-forward scale-out,
+        // and pressure through both planners; decisions and states must agree.
+        let loads = [
+            0.8, 0.8, 0.8, 0.8, 0.8, 0.8, 0.8, 0.8, 2.2, 2.2, 0.8, 0.8, 0.8, 0.8,
+        ];
+        let mut exact = Autoscaler::new(config(), 4);
+        let mut grouped = Autoscaler::for_instances(config(), vec![1; 4]);
+        let mut snaps = healthy(4);
+        snaps[2].utilization = 0.2;
+        for (t, &load) in loads.iter().enumerate() {
+            if t == 6 {
+                // Whatever drained by now reports free slots so it can park.
+                for (i, s) in exact.states().iter().enumerate() {
+                    if *s != NodePowerState::Active {
+                        snaps[i].free_slots = 1;
+                    }
+                }
+            }
+            let a = exact.plan(load, &snaps, 1);
+            let b = grouped.plan_grouped(load, &snaps, 1);
+            assert_eq!(a, b, "interval {t}: planners diverged");
+            assert_eq!(exact.states(), grouped.states(), "interval {t}");
+        }
+        assert_eq!(exact.active_count(), grouped.active_replicas());
+    }
+
+    #[test]
+    fn grouped_planning_is_instance_atomic_and_counts_logical_nodes() {
+        // Two instances of 5 replicas each, min_active = 6: draining either block
+        // would leave 5 < 6 logical nodes, so no drain is ever eligible even at a
+        // trivial load.
+        let cfg = AutoscalerConfig {
+            min_active: 6,
+            scale_in_sustain_intervals: 1,
+            cooldown_intervals: 0,
+            ..config()
+        };
+        let mut scaler = Autoscaler::for_instances(cfg, vec![5, 5]);
+        let snaps = healthy(2);
+        for _ in 0..4 {
+            assert_eq!(scaler.plan_grouped(0.5, &snaps, 1), AutoscalerAction::Hold);
+        }
+        assert_eq!(scaler.active_replicas(), 10);
+
+        // With min_active = 5 one block may drain; the projection divides by the
+        // surviving 5 logical nodes (3.0 / 5 = 0.6 ≤ 0.7 → eligible).
+        let cfg = AutoscalerConfig {
+            min_active: 5,
+            scale_in_sustain_intervals: 1,
+            cooldown_intervals: 0,
+            ..config()
+        };
+        let mut scaler = Autoscaler::for_instances(cfg, vec![5, 5]);
+        let mut snaps = healthy(2);
+        snaps[0].utilization = 0.2;
+        assert_eq!(
+            scaler.plan_grouped(3.0, &snaps, 1),
+            AutoscalerAction::ScaleIn(0)
+        );
+        assert_eq!(scaler.active_replicas(), 5);
+        assert_eq!(scaler.active_count(), 1);
+        // Feed-forward overload measures per *logical* node: 5.5 / 5 = 1.1 > 1.0.
+        snaps[0].free_slots = 1;
+        assert_eq!(
+            scaler.plan_grouped(5.5, &snaps, 1),
+            AutoscalerAction::ScaleOut(0)
+        );
+        assert_eq!(scaler.active_replicas(), 10);
     }
 
     #[test]

@@ -141,6 +141,132 @@ impl LoadBalancer {
         self.split_inner(total_load, snapshots, Some(active))
     }
 
+    /// Splits `total_load` across a *clustered* fleet of representative instances,
+    /// writing each instance's **per-replica** offered-load fraction into `out`
+    /// (`out[i] × weights[i]` summed over active instances equals `total_load`).
+    ///
+    /// `weights[i]` is the number of logical nodes instance `i` stands for, and
+    /// `active[i]` marks instances currently serving (autoscaling is instance-atomic in
+    /// clustered mode, so a whole replica block drains together). The policies mirror
+    /// [`Self::split`] at the logical-node level: round-robin hands every active
+    /// logical node an even share; the greedy policies dispatch
+    /// `QUANTA_PER_NODE × active instances` quanta (instances, not logical nodes, so
+    /// dispatch cost scales with what is actually simulated), each quantum routed by
+    /// per-replica assigned load plus the tail-latency penalty; power-of-two-choices
+    /// samples its pairs weighted by replica count, exactly as if it sampled logical
+    /// nodes. With unit weights and the same mask this reproduces
+    /// [`Self::split_active`] draw-for-draw.
+    ///
+    /// `out` is a caller-owned scratch buffer (cleared and refilled) so the
+    /// per-interval loop stays allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots`, `weights`, or `active` differ in length from the instance
+    /// count the balancer was built for, or if any weight is zero.
+    pub fn split_grouped(
+        &mut self,
+        total_load: f64,
+        snapshots: &[NodeSnapshot],
+        weights: &[usize],
+        active: &[bool],
+        out: &mut Vec<f64>,
+    ) {
+        let n = self.nodes;
+        assert_eq!(snapshots.len(), n, "snapshot count must match instances");
+        assert_eq!(weights.len(), n, "weight count must match instances");
+        assert_eq!(active.len(), n, "active-flag count must match instances");
+        out.clear();
+        out.resize(n, 0.0);
+        let mut active_instances = 0usize;
+        let mut active_weight = 0usize;
+        for i in 0..n {
+            assert!(weights[i] > 0, "instance weights must be positive");
+            if active[i] {
+                active_instances += 1;
+                active_weight += weights[i];
+            }
+        }
+        if total_load <= 0.0 || active_instances == 0 {
+            return;
+        }
+        if self.kind == BalancerKind::RoundRobin {
+            let share = total_load / active_weight as f64;
+            for i in 0..n {
+                if active[i] {
+                    out[i] = share;
+                }
+            }
+            return;
+        }
+        let quanta = QUANTA_PER_NODE * active_instances;
+        let quantum = total_load / quanta as f64;
+        // Same tail-latency penalty as the exact split (see split_inner), computed on
+        // the fly to keep this scratch-buffer path allocation-free.
+        let excess = |s: &NodeSnapshot| {
+            if s.qos_target_s > 0.0 {
+                (s.smoothed_p99_s / s.qos_target_s - 1.0).max(0.0)
+            } else {
+                0.0
+            }
+        };
+        let mut floor = f64::INFINITY;
+        for i in 0..n {
+            if active[i] {
+                floor = floor.min(excess(&snapshots[i]));
+            }
+        }
+        match self.kind {
+            BalancerKind::RoundRobin => unreachable!("handled above"),
+            BalancerKind::LeastLoaded => {
+                for _ in 0..quanta {
+                    let target = (0..n)
+                        .filter(|&i| active[i] && out[i] < MAX_OFFERED_LOAD)
+                        .min_by(|&a, &b| {
+                            // Parenthesized as `assigned + (excess - floor)` to match
+                            // split_inner's precomputed penalty bit-for-bit.
+                            (out[a] + (excess(&snapshots[a]) - floor))
+                                .total_cmp(&(out[b] + (excess(&snapshots[b]) - floor)))
+                        })
+                        .or_else(|| {
+                            (0..n)
+                                .filter(|&i| active[i])
+                                .min_by(|&a, &b| out[a].total_cmp(&out[b]))
+                        })
+                        // pliant-lint: allow(panic-hygiene): the empty-active case
+                        // returned above, so a serving instance always exists.
+                        .expect("at least one serving instance");
+                    // One quantum of logical load raises the representative's
+                    // per-replica load by its replica-diluted share, so the weighted
+                    // sum over instances still conserves `total_load`.
+                    out[target] += quantum / weights[target] as f64;
+                }
+            }
+            BalancerKind::PowerOfTwoChoices => {
+                for _ in 0..quanta {
+                    let a = pick_weighted(&mut self.rng, weights, active, active_weight);
+                    let b = pick_weighted(&mut self.rng, weights, active, active_weight);
+                    let a_capped = out[a] >= MAX_OFFERED_LOAD;
+                    let b_capped = out[b] >= MAX_OFFERED_LOAD;
+                    let target = match (a_capped, b_capped) {
+                        (false, true) => a,
+                        (true, false) => b,
+                        _ => {
+                            let pa = out[a] + (excess(&snapshots[a]) - floor);
+                            let pb = out[b] + (excess(&snapshots[b]) - floor);
+                            if pa <= pb {
+                                a
+                            } else {
+                                b
+                            }
+                        }
+                    };
+                    out[target] += quantum / weights[target] as f64;
+                }
+            }
+        }
+    }
+
     fn split_inner(
         &mut self,
         total_load: f64,
@@ -270,6 +396,29 @@ impl LoadBalancer {
     }
 }
 
+/// Draws one logical node uniformly from the active population (positions
+/// `0..active_weight`) and returns the representative instance that owns it: instance
+/// `i` owns a contiguous run of `weights[i]` positions. With unit weights this is
+/// exactly the masked nth-set-bit pick of [`LoadBalancer::split_active`].
+fn pick_weighted(
+    rng: &mut SmallRng,
+    weights: &[usize],
+    active: &[bool],
+    active_weight: usize,
+) -> usize {
+    let mut pos = rng.gen_range(0..active_weight);
+    for (i, (&w, &a)) in weights.iter().zip(active).enumerate() {
+        if !a {
+            continue;
+        }
+        if pos < w {
+            return i;
+        }
+        pos -= w;
+    }
+    unreachable!("position {pos} is drawn from the summed active weight")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +521,51 @@ mod tests {
                 unmasked, masked,
                 "{kind}: enabling an idle autoscaler must not perturb the split"
             );
+        }
+    }
+
+    #[test]
+    fn grouped_split_with_unit_weights_matches_the_masked_split() {
+        for kind in BalancerKind::all() {
+            let snaps = snapshots(&[0.012, 0.0, 0.03, 0.0]);
+            let mask = [true, false, true, true];
+            let masked = kind.build(4, 11).split_active(2.2, &snaps, &mask);
+            let mut grouped = Vec::new();
+            kind.build(4, 11)
+                .split_grouped(2.2, &snaps, &[1; 4], &mask, &mut grouped);
+            assert_eq!(
+                masked, grouped,
+                "{kind}: unit-weight grouped dispatch must reproduce the exact split"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_split_conserves_replica_weighted_load() {
+        for kind in BalancerKind::all() {
+            let snaps = snapshots(&[0.012, 0.0, 0.03]);
+            let weights = [5usize, 3, 2];
+            let mut out = Vec::new();
+            let mut b = kind.build(3, 11);
+            b.split_grouped(6.0, &snaps, &weights, &[true; 3], &mut out);
+            let logical: f64 = out
+                .iter()
+                .zip(&weights)
+                .map(|(load, &w)| load * w as f64)
+                .sum();
+            assert!(
+                (logical - 6.0).abs() < 1e-9,
+                "{kind}: weighted sum {logical} must equal the offered total"
+            );
+            // Draining an instance starves its whole replica block.
+            b.split_grouped(6.0, &snaps, &weights, &[true, false, true], &mut out);
+            assert_eq!(out[1], 0.0, "{kind}");
+            let logical: f64 = out
+                .iter()
+                .zip(&weights)
+                .map(|(load, &w)| load * w as f64)
+                .sum();
+            assert!((logical - 6.0).abs() < 1e-9, "{kind}");
         }
     }
 

@@ -70,7 +70,10 @@ impl ClusterEngineExt for Engine {
 /// worker count (`0` = one per available core, `1` = serial).
 fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) -> ClusterOutcome {
     let mut sim = ClusterSim::new(scenario, engine.catalog());
-    let n = scenario.nodes;
+    // Per-instance accumulators: one slot per *simulated* node. In exact mode that is
+    // the whole fleet; under the clustered approximation each instance already carries
+    // its replica weight in everything it reports.
+    let n = sim.instance_count();
 
     // QoS accounting (busy/idle/violation counters and the per-node latency
     // histograms, microsecond-scaled, warm-up excluded) lives inside each
@@ -100,14 +103,18 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
         for ni in &interval.nodes {
             let i = ni.node;
             let obs = &ni.observation;
+            // Replica weighting: every logical node an instance stands for would have
+            // shown the same per-node observation under CRN, so extensive fleet
+            // quantities scale by `replicas` (which is 1 on every exactly-simulated
+            // node, leaving the historical arithmetic bit-identical).
             if obs.arrivals > 0 && obs.qos_violated() {
-                violating_nodes += 1;
+                violating_nodes += ni.replicas;
             }
             assigned_sum[i] += ni.assigned_load;
             max_extra[i] = max_extra[i].max(ni.extra_service_cores);
             jobs_completed[i] += ni.jobs_completed;
-            total_extra += ni.extra_service_cores;
-            fleet_power_w += obs.power_w;
+            total_extra += ni.extra_service_cores * ni.replicas as u32;
+            fleet_power_w += obs.power_w * ni.replicas as f64;
         }
         max_total_extra = max_total_extra.max(total_extra);
         active_sum += interval.active_nodes;
@@ -139,8 +146,14 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
         .map(|i| {
             let node = sim.node(i);
             let inaccuracies = node.completed_inaccuracy_pct();
+            // Replica-weighted mean: a job completed at weight `w` stood for `w`
+            // logical completions. With all-ones weights (exact mode) this reduces
+            // bit-for-bit to the plain arithmetic mean the engine always computed.
+            let weights = node.completed_weights();
+            let weight_total: usize = weights.iter().sum();
             NodeOutcome {
                 node: i,
+                replicas: node.replicas(),
                 busy_intervals: node.busy_intervals(),
                 idle_intervals: node.idle_intervals(),
                 p99_s: node.latency_histogram().p99() / 1e6,
@@ -152,7 +165,12 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
                 mean_completed_inaccuracy_pct: if inaccuracies.is_empty() {
                     0.0
                 } else {
-                    inaccuracies.iter().sum::<f64>() / inaccuracies.len() as f64
+                    inaccuracies
+                        .iter()
+                        .zip(weights)
+                        .map(|(v, &w)| v * w as f64)
+                        .sum::<f64>()
+                        / weight_total as f64
                 },
                 energy_j: node.energy_j(),
             }
@@ -180,7 +198,9 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
         policy: scenario.policy,
         balancer: scenario.balancer,
         scheduler: scenario.scheduler,
-        nodes: n,
+        nodes: sim.node_count(),
+        approximation: scenario.approximation,
+        simulated_instances: n,
         intervals: sim.intervals(),
         warmup_intervals: scenario.warmup_intervals,
         qos_target_s,

@@ -18,6 +18,12 @@
 //!   [`Engine`](pliant_core::engine::Engine): [`ClusterEngineExt::run_cluster`] fans
 //!   the independent node updates out over the engine's worker threads and produces
 //!   byte-identical output to a serial run.
+//! * [`population`] — the population/instance split behind hyperscale fleets: the
+//!   logical fleet is grouped into clusters of interchangeable nodes, and
+//!   [`FleetApproximation::Clustered`] simulates one representative per cluster under
+//!   common random numbers, replicating its histogram/QoS/energy contributions per
+//!   replica. [`FleetApproximation::Exact`] (the default) simulates every node and is
+//!   byte-identical to the pre-population simulator.
 //!
 //! Fleet metrics come from merging every node's latency histogram
 //! ([`LatencyHistogram::try_merge`](pliant_telemetry::histogram::LatencyHistogram::try_merge)),
@@ -52,6 +58,7 @@ pub mod engine;
 pub mod node;
 pub mod outcome;
 mod pool;
+pub mod population;
 pub mod scenario;
 pub mod scheduler;
 pub mod sim;
@@ -62,7 +69,10 @@ pub use balancer::{BalancerKind, LoadBalancer};
 pub use engine::ClusterEngineExt;
 pub use node::{ClusterNode, NodeInterval, NodeSnapshot};
 pub use outcome::{machines_needed, ClusterOutcome, NodeOutcome};
-pub use scenario::{ClusterScenario, ClusterScenarioBuilder, ClusterScenarioError};
+pub use population::{InstancePlan, NodeGroup, NodePopulation};
+pub use scenario::{
+    ClusterScenario, ClusterScenarioBuilder, ClusterScenarioError, FleetApproximation,
+};
 pub use scheduler::{BatchScheduler, SchedulerKind, SchedulerStats};
 pub use sim::{ClusterInterval, ClusterSim};
 pub use suite::{ClusterCellOutcome, ClusterSuite, ClusterSuiteError, ClusterSweepAxis};
@@ -73,7 +83,10 @@ pub mod prelude {
     pub use crate::balancer::BalancerKind;
     pub use crate::engine::ClusterEngineExt;
     pub use crate::outcome::{machines_needed, ClusterOutcome, NodeOutcome};
-    pub use crate::scenario::{ClusterScenario, ClusterScenarioBuilder, ClusterScenarioError};
+    pub use crate::population::NodePopulation;
+    pub use crate::scenario::{
+        ClusterScenario, ClusterScenarioBuilder, ClusterScenarioError, FleetApproximation,
+    };
     pub use crate::scheduler::SchedulerKind;
     pub use crate::sim::{ClusterInterval, ClusterSim};
     pub use crate::suite::{ClusterCellOutcome, ClusterSuite, ClusterSweepAxis};

@@ -67,15 +67,27 @@ pub struct NodeInterval {
     /// Cores the node's interactive service held beyond its fair share at the end of
     /// the interval (cores reclaimed from the batch slots).
     pub extra_service_cores: u32,
-    /// Jobs that ran to completion during the interval.
+    /// Jobs that ran to completion during the interval, weighted by the replica count
+    /// of the slot they occupied (equal to the plain completion count on an exact,
+    /// weight-1 node).
     pub jobs_completed: usize,
     /// The node's smoothed tail-latency estimate after the interval, in seconds.
     pub smoothed_p99_s: f64,
+    /// Logical nodes this instance stands for (1 on an exact node; the replica weight
+    /// of its population chunk on a clustered representative).
+    pub replicas: usize,
     /// The underlying single-node observation (latency samples, per-slot status, …).
     pub observation: IntervalObservation,
 }
 
 /// One fleet node; see the module docs.
+///
+/// A node is either *exact* (stands for one logical node, the default) or a clustered
+/// *representative* (stands for `replicas` interchangeable logical nodes of one
+/// population group; see [`crate::population`]). A representative runs exactly one
+/// simulated co-location — the weighting only multiplies what its samples contribute to
+/// the fleet's histogram, QoS counters, energy, and job accounting, which keeps the
+/// per-interval hot path identical in both modes.
 pub struct ClusterNode {
     index: usize,
     sim: ColocationSim,
@@ -113,6 +125,14 @@ pub struct ClusterNode {
     /// A consumed observation handed back via [`Self::recycle_observation`], whose
     /// buffers the next step reuses.
     recycle: Option<IntervalObservation>,
+    /// Logical nodes this instance stands for (1 = exact).
+    replicas: usize,
+    /// Per-slot replica weight of the job currently in the slot: initial jobs stand for
+    /// `replicas` copies (every member of the chunk starts the same job); jobs placed
+    /// later carry the batch weight the scheduler popped for them.
+    slot_weight: Vec<usize>,
+    /// Replica weight of every completed job, parallel to `completed_inaccuracy_pct`.
+    completed_weights: Vec<usize>,
 }
 
 impl ClusterNode {
@@ -130,7 +150,31 @@ impl ClusterNode {
         initial_jobs: &[pliant_approx::catalog::AppId],
         catalog: &Catalog,
     ) -> Self {
-        let node_seed = derive_seed(scenario.seed, 0xC1_0000 + index as u64);
+        Self::representative(scenario, index, index, 1, initial_jobs, catalog)
+    }
+
+    /// Builds a clustered representative standing for `replicas` logical nodes of one
+    /// population group. `index` is the instance's position in the simulated fleet (the
+    /// index snapshots and intervals report); `seed_member` is the *logical* node whose
+    /// derived RNG streams the representative consumes, which is what gives different
+    /// representatives of one group independent randomness (per-replica seed jitter)
+    /// and makes `replicas == 1, seed_member == index` coincide exactly with
+    /// [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero, `initial_jobs` is empty, or a job is missing from
+    /// the catalog.
+    pub fn representative(
+        scenario: &ClusterScenario,
+        index: usize,
+        seed_member: usize,
+        replicas: usize,
+        initial_jobs: &[pliant_approx::catalog::AppId],
+        catalog: &Catalog,
+    ) -> Self {
+        assert!(replicas > 0, "a node must stand for at least one replica");
+        let node_seed = derive_seed(scenario.seed, 0xC1_0000 + seed_member as u64);
         let mut config = ColocationConfig::paper_default(scenario.service, initial_jobs, node_seed)
             .with_load(scenario.avg_node_load);
         config.instrumented = scenario.effective_instrumented();
@@ -185,12 +229,26 @@ impl ClusterNode {
             qos_violations: 0,
             energy_j: 0.0,
             recycle: None,
+            replicas,
+            slot_weight: vec![replicas; initial_jobs.len()],
+            completed_weights: Vec::new(),
         }
     }
 
     /// Index of the node within the fleet.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// Logical nodes this instance stands for (1 = exact node).
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Replica weight of every completed job, parallel to
+    /// [`Self::completed_inaccuracy_pct`].
+    pub fn completed_weights(&self) -> &[usize] {
+        &self.completed_weights
     }
 
     /// The node's state as the balancer and scheduler see it.
@@ -274,6 +332,14 @@ impl ClusterNode {
     /// and the node's policy is notified so per-slot variant state resets while the core
     /// ledger persists. Returns the slot used, or `None` when no slot is free.
     pub fn place_job(&mut self, profile: &AppProfile) -> Option<usize> {
+        self.place_job_weighted(profile, 1)
+    }
+
+    /// Like [`Self::place_job`], but the placed job stands for `weight` logical jobs
+    /// (the grouped scheduler pops a batch of identical queued jobs and runs one copy
+    /// on the representative). Completion accounting reports the job at this weight.
+    pub fn place_job_weighted(&mut self, profile: &AppProfile, weight: usize) -> Option<usize> {
+        assert!(weight > 0, "a placed job must stand for at least one job");
         let slot = (0..self.sim.app_count()).find(|&s| self.sim.app(s).is_finished())?;
         let variant_count = profile.variant_count();
         assert!(
@@ -282,6 +348,7 @@ impl ClusterNode {
         );
         self.policy.on_app_replaced(slot, variant_count);
         self.slot_done[slot] = false;
+        self.slot_weight[slot] = weight;
         Some(slot)
     }
 
@@ -305,31 +372,39 @@ impl ClusterNode {
         // individual latency samples. The first `warmup_intervals` are excluded: the
         // fleet p99 is a quantile over all samples, and the runtimes' one-off
         // convergence transient would otherwise sit in the histogram forever.
+        // Every contribution below is scaled by the instance's replica weight: a
+        // clustered representative's interval stands for `replicas` identical logical
+        // node-intervals. On an exact node `replicas == 1` and the arithmetic is
+        // bit-identical to unweighted accounting (`x * 1.0 == x` in IEEE-754;
+        // `record_n(v, 1)` matches `record(v)` exactly).
         let measured = self.intervals_stepped >= self.warmup_intervals;
         self.intervals_stepped += 1;
-        self.energy_j += observation.energy_j;
+        self.energy_j += observation.energy_j * self.replicas as f64;
         if measured {
             if observation.arrivals == 0 {
-                self.idle_intervals += 1;
+                self.idle_intervals += self.replicas;
             } else {
-                self.busy_intervals += 1;
+                self.busy_intervals += self.replicas;
                 if observation.qos_violated() {
-                    self.qos_violations += 1;
+                    self.qos_violations += self.replicas;
                 }
+                let weight = self.replicas as u64;
                 for &sample_s in &observation.latency_samples_s {
-                    self.hist.record(sample_s * 1e6);
+                    self.hist.record_n(sample_s * 1e6, weight);
                 }
             }
         }
 
-        // Latch completions so each job is counted exactly once.
+        // Latch completions so each job is counted exactly once, at the replica weight
+        // the job was placed with.
         let mut jobs_completed = 0usize;
         for slot in 0..self.sim.app_count() {
             if !self.slot_done[slot] && self.sim.app(slot).is_finished() {
                 self.slot_done[slot] = true;
-                jobs_completed += 1;
+                jobs_completed += self.slot_weight[slot];
                 self.completed_inaccuracy_pct
                     .push(self.sim.app(slot).inaccuracy_pct());
+                self.completed_weights.push(self.slot_weight[slot]);
             }
         }
 
@@ -356,6 +431,7 @@ impl ClusterNode {
             extra_service_cores: self.extra_service_cores(),
             jobs_completed,
             smoothed_p99_s: self.smoothed_p99_s,
+            replicas: self.replicas,
             observation,
         }
     }

@@ -15,13 +15,28 @@ use pliant_telemetry::series::TraceBundle;
 use pliant_workloads::service::ServiceId;
 
 use crate::balancer::BalancerKind;
+use crate::scenario::FleetApproximation;
 use crate::scheduler::{SchedulerKind, SchedulerStats};
 
+fn one_replica() -> usize {
+    1
+}
+
 /// Per-node outcome of one fleet run.
+///
+/// Under [`FleetApproximation::Clustered`] each entry describes one simulated
+/// *instance* standing for [`Self::replicas`] logical nodes; the per-node statistics
+/// (p99, violation fraction, assigned load) are per logical node in that block, while
+/// extensive totals ([`Self::jobs_completed`], [`Self::energy_j`]) already include the
+/// replication.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeOutcome {
     /// Index of the node within the fleet.
     pub node: usize,
+    /// Logical nodes this entry stands for (`1` for an exactly-simulated node; absent
+    /// in pre-hyperscale archives, which deserialize as 1).
+    #[serde(default = "one_replica")]
+    pub replicas: usize,
     /// Measured (post-warm-up) decision intervals in which the node served traffic.
     pub busy_intervals: usize,
     /// Measured intervals with zero arrivals (the balancer assigned ~no load).
@@ -60,8 +75,18 @@ pub struct ClusterOutcome {
     pub balancer: BalancerKind,
     /// Job-placement policy.
     pub scheduler: SchedulerKind,
-    /// Fleet size.
+    /// Logical fleet size (the number of nodes the scenario describes).
     pub nodes: usize,
+    /// Fleet approximation the run used ([`FleetApproximation::Exact`] unless the
+    /// scenario opted into clustering; absent in pre-hyperscale archives, which
+    /// deserialize as exact).
+    #[serde(default)]
+    pub approximation: FleetApproximation,
+    /// Node instances actually simulated (`nodes` in exact mode, the number of cluster
+    /// representatives under [`FleetApproximation::Clustered`]; absent in
+    /// pre-hyperscale archives, which deserialize as 0).
+    #[serde(default)]
+    pub simulated_instances: usize,
     /// Decision intervals simulated.
     pub intervals: usize,
     /// Initial intervals excluded from the latency/QoS statistics while the per-node
@@ -181,6 +206,8 @@ mod tests {
             balancer: BalancerKind::LeastLoaded,
             scheduler: SchedulerKind::FirstFit,
             nodes,
+            approximation: FleetApproximation::Exact,
+            simulated_instances: nodes,
             intervals: 10,
             warmup_intervals: 2,
             qos_target_s: 0.01,
@@ -203,6 +230,7 @@ mod tests {
             },
             node_outcomes: vec![NodeOutcome {
                 node: 0,
+                replicas: 1,
                 busy_intervals: 10,
                 idle_intervals: 0,
                 p99_s: 0.01 * ratio,
@@ -244,6 +272,7 @@ mod tests {
         let mut o = outcome(2, 0.9, 0.0);
         o.node_outcomes.push(NodeOutcome {
             node: 1,
+            replicas: 1,
             busy_intervals: 10,
             idle_intervals: 0,
             p99_s: 0.005,
@@ -258,6 +287,24 @@ mod tests {
         let expected = (2.0 * 2.0 + 4.0 * 6.0) / 8.0;
         assert!((o.mean_completed_inaccuracy_pct() - expected).abs() < 1e-12);
         assert_eq!(o.node(1).unwrap().jobs_completed, 6);
+    }
+
+    #[test]
+    fn pre_hyperscale_archives_deserialize_with_exact_defaults() {
+        let o = outcome(2, 0.9, 0.01);
+        let json = serde_json::to_string(&o).expect("serializable");
+        // An archive written before the population/instance split has none of the
+        // approximation fields; it must read back as an exactly-simulated fleet.
+        let legacy = json
+            .replace("\"approximation\":\"Exact\",", "")
+            .replace("\"simulated_instances\":2,", "")
+            .replace("\"replicas\":1,", "");
+        assert!(!legacy.contains("approximation"), "{legacy}");
+        let back: ClusterOutcome =
+            serde_json::from_str(&legacy).expect("legacy archives deserialize");
+        assert_eq!(back.approximation, FleetApproximation::Exact);
+        assert_eq!(back.simulated_instances, 0);
+        assert_eq!(back.node_outcomes[0].replicas, 1);
     }
 
     #[test]

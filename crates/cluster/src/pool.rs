@@ -70,6 +70,15 @@ impl NodeWorkerPool {
         }
     }
 
+    /// Spawns `requested` workers capped at the number of *simulated instances*: a
+    /// worker per stepped node is the maximum useful parallelism, and under the
+    /// clustered fleet approximation the instance count can be far below the logical
+    /// fleet size — a 100k-node fleet simulated through a handful of representatives
+    /// must not spin up a machine's worth of idle threads.
+    pub fn sized_for(requested: usize, instances: usize) -> Self {
+        Self::new(requested.clamp(1, instances.max(1)))
+    }
+
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.task_txs.len()

@@ -29,6 +29,44 @@ use crate::autoscaler::{AutoscalerConfig, AutoscalerConfigError};
 use crate::balancer::BalancerKind;
 use crate::scheduler::SchedulerKind;
 
+/// How the engine turns the scenario's node *population* into simulated node
+/// *instances*.
+///
+/// The fleet description is a population: `nodes` logical nodes partitioned into groups
+/// that share every per-node input (service, policy, QoS target, load share, and the
+/// initial batch-job slice — the only axis that varies per node today). `Exact`
+/// materializes one [`ClusterNode`](crate::node::ClusterNode) per logical node, exactly
+/// as before this knob existed. `Clustered` simulates at most
+/// `representatives_per_group` representative instances per group under common random
+/// numbers and replicates each representative's histogram/QoS/energy contributions
+/// across its replica weight (Parsimon-style clustering, applied to nodes instead of
+/// links). Each representative inherits the true seed of the first logical node it
+/// stands for, so raising `representatives_per_group` converges monotonically onto the
+/// exact fleet — at `representatives_per_group >= group size` the two modes coincide.
+///
+/// There is deliberately no `validate()` on this type: the only invariant
+/// (`representatives_per_group > 0`) is checked by [`ClusterScenario::validate`], which
+/// runs at the archive boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FleetApproximation {
+    /// One simulated instance per logical node (today's behavior, byte-identical).
+    #[default]
+    Exact,
+    /// Simulate representatives and weight their contributions by replica count.
+    Clustered {
+        /// Upper bound on simulated instances per population group (must be positive).
+        /// Larger values trade speed for fidelity; group size caps the effective value.
+        representatives_per_group: usize,
+    },
+}
+
+impl FleetApproximation {
+    /// Whether this mode can simulate fewer instances than logical nodes.
+    pub fn is_clustered(&self) -> bool {
+        matches!(self, FleetApproximation::Clustered { .. })
+    }
+}
+
 /// A complete, serializable description of one fleet experiment.
 ///
 /// Construct with [`ClusterScenario::builder`]. All fields are public so sinks and
@@ -81,6 +119,11 @@ pub struct ClusterScenario {
     /// the whole run). Absent in pre-energy archives (deserializes as `None`).
     #[serde(default)]
     pub autoscaler: Option<AutoscalerConfig>,
+    /// How the node population is materialized into simulated instances (`Exact` = one
+    /// instance per logical node). Absent in pre-hyperscale archives (deserializes as
+    /// `Exact`).
+    #[serde(default)]
+    pub approximation: FleetApproximation,
     /// Master seed; every node, the balancer, and the monitor sampling streams derive
     /// from it.
     pub seed: u64,
@@ -176,6 +219,14 @@ impl ClusterScenario {
                 });
             }
         }
+        if let FleetApproximation::Clustered {
+            representatives_per_group,
+        } = self.approximation
+        {
+            if representatives_per_group == 0 {
+                return Err(ClusterScenarioError::InvalidApproximation);
+            }
+        }
         Ok(())
     }
 
@@ -221,6 +272,8 @@ impl serde::Deserialize for ClusterScenario {
             qos_target_s: Option<f64>,
             #[serde(default)]
             autoscaler: Option<AutoscalerConfig>,
+            #[serde(default)]
+            approximation: FleetApproximation,
             seed: u64,
         }
         let w = ClusterScenarioWire::from_value(value)?;
@@ -242,6 +295,7 @@ impl serde::Deserialize for ClusterScenario {
             warmup_intervals: w.warmup_intervals,
             qos_target_s: w.qos_target_s,
             autoscaler: w.autoscaler,
+            approximation: w.approximation,
             seed: w.seed,
         };
         scenario
@@ -295,6 +349,9 @@ pub enum ClusterScenarioError {
         /// Provisioned fleet size.
         nodes: usize,
     },
+    /// The clustered approximation allows zero representatives per group, which would
+    /// leave population groups with no simulated instance at all.
+    InvalidApproximation,
 }
 
 impl std::fmt::Display for ClusterScenarioError {
@@ -337,6 +394,9 @@ impl std::fmt::Display for ClusterScenarioError {
             ClusterScenarioError::AutoscalerMinimumExceedsFleet { min_active, nodes } => write!(
                 f,
                 "autoscaler min_active of {min_active} exceeds the {nodes}-node fleet"
+            ),
+            ClusterScenarioError::InvalidApproximation => f.write_str(
+                "clustered approximation needs at least one representative per group",
             ),
         }
     }
@@ -392,6 +452,7 @@ impl ClusterScenarioBuilder {
                 warmup_intervals: 5,
                 qos_target_s: None,
                 autoscaler: None,
+                approximation: FleetApproximation::Exact,
                 seed: 42,
             },
         }
@@ -501,6 +562,13 @@ impl ClusterScenarioBuilder {
     /// [`crate::autoscaler`]).
     pub fn autoscaler(mut self, config: AutoscalerConfig) -> Self {
         self.scenario.autoscaler = Some(config);
+        self
+    }
+
+    /// Selects how the node population is materialized into simulated instances
+    /// (default: [`FleetApproximation::Exact`]).
+    pub fn approximation(mut self, approximation: FleetApproximation) -> Self {
+        self.scenario.approximation = approximation;
         self
     }
 
@@ -691,6 +759,80 @@ mod tests {
                 nodes: 2
             }
         );
+    }
+
+    #[test]
+    fn approximation_round_trips_and_legacy_archives_default_to_exact() {
+        let clustered = ClusterScenario::builder(ServiceId::Memcached)
+            .nodes(6)
+            .jobs(jobs(6))
+            .approximation(FleetApproximation::Clustered {
+                representatives_per_group: 2,
+            })
+            .build();
+        let json = serde_json::to_string(&clustered).expect("serializable");
+        assert!(json.contains("representatives_per_group"));
+        let back: ClusterScenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, clustered);
+        assert!(back.approximation.is_clustered());
+
+        // Exact serializes, round-trips, and is the builder default.
+        let exact = ClusterScenario::builder(ServiceId::Memcached)
+            .jobs(jobs(4))
+            .build();
+        assert_eq!(exact.approximation, FleetApproximation::Exact);
+        let json = serde_json::to_string(&exact).expect("serializable");
+        let back: ClusterScenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.approximation, FleetApproximation::Exact);
+
+        // Pre-hyperscale archives carry no approximation field: strip it and the
+        // scenario still deserializes, as Exact.
+        let value: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let legacy = serde_json::to_string(&serde::Value::Object(
+            value
+                .as_object()
+                .expect("scenarios serialize as objects")
+                .iter()
+                .filter(|(k, _)| k != "approximation")
+                .cloned()
+                .collect(),
+        ))
+        .expect("serializable");
+        assert!(!legacy.contains("approximation"));
+        let old: ClusterScenario =
+            serde_json::from_str(&legacy).expect("legacy archives deserialize");
+        assert_eq!(old.approximation, FleetApproximation::Exact);
+    }
+
+    #[test]
+    fn zero_representative_approximations_are_rejected() {
+        assert_eq!(
+            ClusterScenario::builder(ServiceId::Nginx)
+                .nodes(2)
+                .jobs(jobs(2))
+                .approximation(FleetApproximation::Clustered {
+                    representatives_per_group: 0,
+                })
+                .try_build()
+                .unwrap_err(),
+            ClusterScenarioError::InvalidApproximation
+        );
+        // The same invariant holds at the archive boundary.
+        let good = ClusterScenario::builder(ServiceId::Nginx)
+            .nodes(2)
+            .jobs(jobs(2))
+            .approximation(FleetApproximation::Clustered {
+                representatives_per_group: 2,
+            })
+            .build();
+        let json = serde_json::to_string(&good).expect("serializable");
+        let corrupted = json.replace(
+            "\"representatives_per_group\":2",
+            "\"representatives_per_group\":0",
+        );
+        let err = serde_json::from_str::<ClusterScenario>(&corrupted)
+            .expect_err("zero representatives must not deserialize");
+        assert!(err.to_string().contains("at least one representative"));
     }
 
     #[test]

@@ -167,6 +167,39 @@ impl BatchScheduler {
         self.stats.placed += 1;
         Some((node, app))
     }
+
+    /// Clustered-fleet variant of [`Self::pop_placement`]: the chosen instance stands
+    /// for `weights[instance]` logical nodes, each of which would have absorbed one
+    /// queued job this round, so up to that many jobs are popped as one batch and the
+    /// returned `(instance, app, batch)` places the *first* popped job on the
+    /// representative at replica weight `batch`. The jobs a batch collapses need not be
+    /// identical — running the front job as the batch's representative is part of the
+    /// clustered approximation (under common random numbers the queue is a
+    /// statistically homogeneous mix), and with unit weights the batch is always one
+    /// job, identical to the exact path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chosen instance's weight is zero.
+    pub fn pop_placement_grouped(
+        &mut self,
+        snapshots: &[NodeSnapshot],
+        weights: &[usize],
+    ) -> Option<(usize, AppId, usize)> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let node = self.kind.choose(snapshots)?;
+        assert!(weights[node] > 0, "instance weights must be positive");
+        let batch = weights[node].min(self.queue.len());
+        // pliant-lint: allow(panic-hygiene): guarded by the is_empty() early return.
+        let app = self.queue.pop_front().expect("queue checked non-empty");
+        for _ in 1..batch {
+            self.queue.pop_front();
+        }
+        self.stats.placed += batch;
+        Some((node, app, batch))
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +275,34 @@ mod tests {
         s.record_completions(3);
         assert_eq!(s.stats().placed, 6);
         assert_eq!(s.stats().completed, 3);
+    }
+
+    #[test]
+    fn grouped_placement_pops_replica_sized_batches() {
+        let mut s = BatchScheduler::new(
+            SchedulerKind::FirstFit,
+            [AppId::Canneal, AppId::Snp, AppId::Raytrace, AppId::Canneal],
+            0,
+        );
+        let snaps = [snapshot(0, 1, 0.5, 0.001), snapshot(1, 1, 0.5, 0.001)];
+        // Instance 0 stands for 3 logical nodes: one batch of 3 collapses onto it.
+        assert_eq!(
+            s.pop_placement_grouped(&snaps, &[3, 2]),
+            Some((0, AppId::Canneal, 3))
+        );
+        assert_eq!(s.stats().placed, 3);
+        // The tail batch is clipped to the remaining queue.
+        assert_eq!(
+            s.pop_placement_grouped(&snaps, &[3, 2]),
+            Some((0, AppId::Canneal, 1))
+        );
+        assert_eq!(s.pop_placement_grouped(&snaps, &[3, 2]), None);
+        // Unit weights behave exactly like pop_placement.
+        let mut unit = BatchScheduler::new(SchedulerKind::FirstFit, [AppId::Snp], 0);
+        assert_eq!(
+            unit.pop_placement_grouped(&snaps, &[1, 1]),
+            Some((0, AppId::Snp, 1))
+        );
     }
 
     #[test]

@@ -15,6 +15,22 @@
 //! cross-node decisions (balancing, placement) happen between intervals on the
 //! coordinating thread. [`ClusterSim::advance_threads`] therefore produces results
 //! byte-identical to [`ClusterSim::advance`] for any worker count.
+//!
+//! # Population vs instances
+//!
+//! The scenario describes a *population* of logical nodes
+//! (see [`NodePopulation`]); what the simulator steps are *instances*. Under
+//! [`FleetApproximation::Exact`](crate::scenario::FleetApproximation::Exact) the two
+//! coincide — one instance per logical node, byte-identical to the pre-population
+//! simulator. Under
+//! [`FleetApproximation::Clustered`](crate::scenario::FleetApproximation::Clustered)
+//! each instance is a representative standing for
+//! `replicas` interchangeable logical nodes: the balancer splits the *logical* total
+//! load over representatives (weighted, per-replica), the scheduler pops replica-sized
+//! job batches, the autoscaler parks and drains whole replica blocks, and every
+//! per-node statistic a representative produces is replicated by its weight
+//! node-side. Interval cost then scales with the number of instances while the
+//! reported fleet stays at its logical size.
 
 use pliant_approx::catalog::Catalog;
 
@@ -22,6 +38,7 @@ use crate::autoscaler::{Autoscaler, NodePowerState};
 use crate::balancer::LoadBalancer;
 use crate::node::{ClusterNode, NodeInterval, NodeSnapshot};
 use crate::pool::NodeWorkerPool;
+use crate::population::NodePopulation;
 use crate::scenario::ClusterScenario;
 use crate::scheduler::{BatchScheduler, SchedulerStats};
 
@@ -33,14 +50,16 @@ pub struct ClusterInterval {
     /// The sampled per-node-average offered load for the interval.
     pub avg_offered_load: f64,
     /// Total offered load for the interval, in node-saturation units
-    /// (`avg_offered_load × nodes`).
+    /// (`avg_offered_load × logical nodes`).
     pub total_offered_load: f64,
-    /// Nodes that served traffic this interval (the autoscaler's active set; the full
-    /// fleet when no autoscaler is configured).
+    /// Logical nodes that served traffic this interval (the autoscaler's active set;
+    /// the full fleet when no autoscaler is configured).
     pub active_nodes: usize,
-    /// Jobs placed onto nodes at the start of the interval.
+    /// Jobs placed onto nodes at the start of the interval (logical count: a clustered
+    /// batch of `w` jobs collapsed onto one representative counts `w`).
     pub jobs_placed: usize,
-    /// Per-node results, in node order.
+    /// Per-instance results, in instance order (one entry per logical node in exact
+    /// mode; each entry carries its replica weight).
     pub nodes: Vec<NodeInterval>,
 }
 
@@ -48,10 +67,16 @@ pub struct ClusterInterval {
 pub struct ClusterSim {
     scenario: ClusterScenario,
     catalog: Catalog,
-    /// Fleet nodes; a slot is `None` only transiently while its node is out on a
-    /// worker thread (or permanently after that worker panicked mid-step, in which
+    /// The logical fleet the instances below stand for.
+    population: NodePopulation,
+    /// Simulated instances; a slot is `None` only transiently while its node is out on
+    /// a worker thread (or permanently after that worker panicked mid-step, in which
     /// case the panic has already been re-raised and the simulator is poisoned).
     nodes: Vec<Option<ClusterNode>>,
+    /// Logical nodes each instance stands for (all ones in exact mode).
+    replica_weights: Vec<usize>,
+    /// Whether the clustered approximation is active (instances ≠ logical nodes).
+    clustered: bool,
     balancer: LoadBalancer,
     scheduler: BatchScheduler,
     /// Energy-aware sizing of the active node set (`None` = every node always serves).
@@ -65,6 +90,11 @@ pub struct ClusterSim {
     snapshot_scratch: Vec<NodeSnapshot>,
     /// Scratch buffer of pooled step results, reused across intervals.
     result_scratch: Vec<Option<NodeInterval>>,
+    /// Scratch buffer of per-instance load assignments (clustered mode only; the exact
+    /// path keeps the historical allocating balancer calls for byte-identity).
+    assigned_scratch: Vec<f64>,
+    /// Scratch buffer of per-instance active flags (clustered mode only).
+    active_scratch: Vec<bool>,
 }
 
 impl ClusterSim {
@@ -80,15 +110,30 @@ impl ClusterSim {
             panic!("invalid cluster scenario `{}`: {e}", scenario.describe());
         }
         let initial = scenario.initial_job_count();
-        let nodes: Vec<Option<ClusterNode>> = (0..scenario.nodes)
-            .map(|i| {
-                let slice =
-                    &scenario.jobs[i * scenario.slots_per_node..(i + 1) * scenario.slots_per_node];
-                Some(ClusterNode::new(scenario, i, slice, catalog))
+        let population = NodePopulation::from_scenario(scenario);
+        let plans = population.plan_instances(&scenario.approximation);
+        let clustered = scenario.approximation.is_clustered();
+        // In exact mode the plans are one weight-1 instance per logical node in node
+        // order, so this loop is the historical per-node construction verbatim.
+        let nodes: Vec<Option<ClusterNode>> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                let slice = &scenario.jobs[plan.seed_member * scenario.slots_per_node
+                    ..(plan.seed_member + 1) * scenario.slots_per_node];
+                Some(ClusterNode::representative(
+                    scenario,
+                    i,
+                    plan.seed_member,
+                    plan.replicas,
+                    slice,
+                    catalog,
+                ))
             })
             .collect();
+        let replica_weights: Vec<usize> = plans.iter().map(|p| p.replicas).collect();
         let balancer = scenario.balancer.build(
-            scenario.nodes,
+            nodes.len(),
             pliant_telemetry::rng::derive_seed(scenario.seed, 0xBA_1A_4C_E0),
         );
         let scheduler = BatchScheduler::new(
@@ -98,11 +143,14 @@ impl ClusterSim {
         );
         let autoscaler = scenario
             .autoscaler
-            .map(|config| Autoscaler::new(config, scenario.nodes));
+            .map(|config| Autoscaler::for_instances(config, replica_weights.clone()));
         Self {
             scenario: scenario.clone(),
             catalog: catalog.clone(),
+            population,
             nodes,
+            replica_weights,
+            clustered,
             balancer,
             scheduler,
             autoscaler,
@@ -111,6 +159,8 @@ impl ClusterSim {
             pool: None,
             snapshot_scratch: Vec::new(),
             result_scratch: Vec::new(),
+            assigned_scratch: Vec::new(),
+            active_scratch: Vec::new(),
         }
     }
 
@@ -119,9 +169,28 @@ impl ClusterSim {
         &self.scenario
     }
 
-    /// Fleet size.
+    /// Logical fleet size (the number of nodes the scenario describes, regardless of
+    /// how many instances the approximation simulates).
     pub fn node_count(&self) -> usize {
+        self.population.total_nodes()
+    }
+
+    /// Simulated instances (equals [`Self::node_count`] in exact mode; the number of
+    /// cluster representatives under
+    /// [`FleetApproximation::Clustered`](crate::scenario::FleetApproximation::Clustered)).
+    pub fn instance_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The logical node population the fleet was grouped from.
+    pub fn population(&self) -> &NodePopulation {
+        &self.population
+    }
+
+    /// Logical nodes each instance stands for, in instance order (all ones in exact
+    /// mode).
+    pub fn replica_weights(&self) -> &[usize] {
+        &self.replica_weights
     }
 
     /// Current experiment time in seconds.
@@ -149,14 +218,16 @@ impl ClusterSim {
         self.autoscaler.as_ref().map(|a| a.states())
     }
 
-    /// Nodes currently serving traffic (the whole fleet without an autoscaler).
+    /// Logical nodes currently serving traffic (the whole fleet without an
+    /// autoscaler). In clustered mode a whole replica block counts at once, since the
+    /// autoscaler parks and drains instances atomically.
     pub fn active_nodes(&self) -> usize {
         self.autoscaler
             .as_ref()
-            .map_or(self.nodes.len(), |a| a.active_count())
+            .map_or(self.population.total_nodes(), |a| a.active_replicas())
     }
 
-    /// The current snapshots of every node, in node order.
+    /// The current snapshots of every instance, in instance order.
     pub fn snapshots(&self) -> Vec<NodeSnapshot> {
         self.nodes
             .iter()
@@ -164,7 +235,7 @@ impl ClusterSim {
             .collect()
     }
 
-    /// Immutable access to node `index`.
+    /// Immutable access to instance `index`.
     pub fn node(&self, index: usize) -> &ClusterNode {
         Self::expect_node(&self.nodes[index])
     }
@@ -210,9 +281,11 @@ impl ClusterSim {
         let n = self.nodes.len();
         let dt = self.scenario.decision_interval_s;
 
-        // 1. Sample the fleet's load for this interval.
+        // 1. Sample the fleet's load for this interval. The total scales with the
+        //    *logical* fleet: approximating with fewer instances must not shrink the
+        //    offered load (in exact mode the two counts coincide).
         let avg_offered_load = self.scenario.effective_load_profile().load_at(self.time_s);
-        let total_offered_load = avg_offered_load * n as f64;
+        let total_offered_load = avg_offered_load * self.population.total_nodes() as f64;
 
         // 1b. Size the active set for the interval: the autoscaler plans from the
         //     previous interval's snapshots (park fully-drained nodes, then at most one
@@ -222,7 +295,11 @@ impl ClusterSim {
             let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
             snapshots.clear();
             snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
-            scaler.plan(total_offered_load, &snapshots, self.scenario.slots_per_node);
+            if self.clustered {
+                scaler.plan_grouped(total_offered_load, &snapshots, self.scenario.slots_per_node);
+            } else {
+                scaler.plan(total_offered_load, &snapshots, self.scenario.slots_per_node);
+            }
             self.snapshot_scratch = snapshots;
             for (slot, state) in self.nodes.iter_mut().zip(scaler.states()) {
                 slot.as_mut()
@@ -250,9 +327,16 @@ impl ClusterSim {
                     }
                 }
             }
-            let placement = self.scheduler.pop_placement(&snapshots);
+            let placement = if self.clustered {
+                self.scheduler
+                    .pop_placement_grouped(&snapshots, &self.replica_weights)
+            } else {
+                self.scheduler
+                    .pop_placement(&snapshots)
+                    .map(|(node, app)| (node, app, 1))
+            };
             self.snapshot_scratch = snapshots;
-            let Some((node, app)) = placement else {
+            let Some((node, app, weight)) = placement else {
                 break;
             };
             let profile = self
@@ -265,31 +349,59 @@ impl ClusterSim {
                 // pliant-lint: allow(panic-hygiene): slots are full here — the pool
                 // hands every node back before the previous step returns.
                 .expect("node slots are only empty while a step is in flight")
-                .place_job(&profile)
+                .place_job_weighted(&profile, weight)
                 // pliant-lint: allow(panic-hygiene): the scheduler chose this node
                 // from snapshots with `free_slots > 0` taken this same interval.
                 .expect("scheduler only places onto nodes with free slots");
-            jobs_placed += 1;
+            jobs_placed += weight;
         }
 
-        // 3. Split the offered load across the serving nodes.
+        // 3. Split the offered load across the serving nodes. The clustered path hands
+        //    out *per-replica* loads over the weighted instances through reused scratch
+        //    buffers; the exact path keeps the historical allocating calls verbatim so
+        //    its output stays byte-identical.
         let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
         snapshots.clear();
         snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
-        let (assigned, active_nodes) = match &mut self.autoscaler {
-            Some(scaler) => {
-                let active: Vec<bool> = scaler
-                    .states()
-                    .iter()
-                    .map(|s| *s == NodePowerState::Active)
-                    .collect();
-                (
-                    self.balancer
-                        .split_active(total_offered_load, &snapshots, &active),
-                    scaler.active_count(),
-                )
+        let (assigned, active_nodes) = if self.clustered {
+            let mut active = std::mem::take(&mut self.active_scratch);
+            active.clear();
+            match &self.autoscaler {
+                Some(scaler) => {
+                    active.extend(scaler.states().iter().map(|s| *s == NodePowerState::Active));
+                }
+                None => active.resize(n, true),
             }
-            None => (self.balancer.split(total_offered_load, &snapshots), n),
+            let mut out = std::mem::take(&mut self.assigned_scratch);
+            self.balancer.split_grouped(
+                total_offered_load,
+                &snapshots,
+                &self.replica_weights,
+                &active,
+                &mut out,
+            );
+            let serving = self
+                .autoscaler
+                .as_ref()
+                .map_or(self.population.total_nodes(), |a| a.active_replicas());
+            self.active_scratch = active;
+            (out, serving)
+        } else {
+            match &mut self.autoscaler {
+                Some(scaler) => {
+                    let active: Vec<bool> = scaler
+                        .states()
+                        .iter()
+                        .map(|s| *s == NodePowerState::Active)
+                        .collect();
+                    (
+                        self.balancer
+                            .split_active(total_offered_load, &snapshots, &active),
+                        scaler.active_count(),
+                    )
+                }
+                None => (self.balancer.split(total_offered_load, &snapshots), n),
+            }
         };
         self.snapshot_scratch = snapshots;
 
@@ -322,7 +434,7 @@ impl ClusterSim {
                 .as_ref()
                 .is_none_or(|p| p.worker_count() != workers)
             {
-                self.pool = Some(NodeWorkerPool::new(workers));
+                self.pool = Some(NodeWorkerPool::sized_for(workers, n));
             }
             // pliant-lint: allow(panic-hygiene): assigned Some() two lines up.
             let pool = self.pool.as_ref().expect("pool was just ensured");
@@ -340,6 +452,9 @@ impl ClusterSim {
 
         let completions: usize = node_intervals.iter().map(|ni| ni.jobs_completed).sum();
         self.scheduler.record_completions(completions);
+        if self.clustered {
+            self.assigned_scratch = assigned;
+        }
         self.time_s += dt;
         self.intervals += 1;
 

@@ -458,4 +458,71 @@ mod tests {
         assert_eq!(back, suite);
         assert_eq!(back.scenarios(), suite.scenarios());
     }
+
+    #[test]
+    fn approximation_config_round_trips_through_the_suite_archive() {
+        use crate::scenario::FleetApproximation;
+
+        let clustered_base = ClusterScenario::builder(ServiceId::Nginx)
+            .nodes(2)
+            .jobs(vec![AppId::Canneal; 6])
+            .approximation(FleetApproximation::Clustered {
+                representatives_per_group: 3,
+            })
+            .horizon_intervals(15)
+            .seed(7)
+            .build();
+        let suite = ClusterSuite::new(clustered_base)
+            .named("approx-rt")
+            .sweep_node_counts([2, 3]);
+        let json = serde_json::to_string(&suite).expect("serializable");
+        let back: ClusterSuite = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, suite);
+        // The approximation knob is part of the base scenario, so every expanded cell
+        // inherits it.
+        for cell in back.scenarios() {
+            assert_eq!(
+                cell.approximation,
+                FleetApproximation::Clustered {
+                    representatives_per_group: 3
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn pre_hyperscale_suite_archives_deserialize_as_exact() {
+        use crate::scenario::FleetApproximation;
+
+        // A suite archived before the approximation knob existed has no
+        // `approximation` field in its base scenario; it must deserialize as an exact
+        // fleet, so replaying old archives reproduces old results.
+        let json = serde_json::to_string(&ClusterSuite::new(base()).named("legacy"))
+            .expect("serializable");
+        let legacy = json.replace("\"approximation\":\"Exact\",", "");
+        assert!(!legacy.contains("approximation"));
+        let back: ClusterSuite = serde_json::from_str(&legacy).expect("deserializable");
+        assert_eq!(back.base().approximation, FleetApproximation::Exact);
+    }
+
+    #[test]
+    fn suites_with_invalid_approximation_are_rejected_at_the_archive_boundary() {
+        // A zero-representative clustered config can never be built through the
+        // builder (validate panics), so forge it in the archive: the suite must be
+        // rejected on deserialize, not when the engine expands the grid.
+        let suite = ClusterSuite::new(base()).named("forged");
+        let json = serde_json::to_string(&suite).expect("serializable");
+        let forged = json.replace(
+            "\"approximation\":\"Exact\"",
+            "\"approximation\":{\"Clustered\":{\"representatives_per_group\":0}}",
+        );
+        assert_ne!(forged, json, "the forgery must have taken effect");
+        let err = serde_json::from_str::<ClusterSuite>(&forged)
+            .expect_err("zero representatives must be rejected");
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("at least one representative"),
+            "unexpected error message: {msg}"
+        );
+    }
 }

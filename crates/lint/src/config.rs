@@ -45,6 +45,12 @@ impl LintConfig {
                 "poly_exp",
                 "sample_normal_ziggurat",
                 "fill_lognormals",
+                // The hyperscale grouped-dispatch path (PR 7): runs once per interval
+                // on clustered fleets whose logical size can reach 100k nodes, and the
+                // per-sample replication inside ClusterNode::step.
+                "LoadBalancer::split_grouped",
+                "Autoscaler::plan_grouped",
+                "LatencyHistogram::record_n",
             ]),
             wallclock_allowed: s(&["crates/bench/", "crates/compat/criterion/"]),
             hash_container_scoped: s(&[

@@ -177,6 +177,34 @@ impl LatencyHistogram {
         }
     }
 
+    /// Records the same value `n` times in one bucket update.
+    ///
+    /// Used by the clustered-fleet approximation to replicate a representative node's
+    /// latency samples across its replica weight. The merge is exact: counts, sum, and
+    /// every quantile come out identical to calling [`Self::record`] `n` times, and
+    /// `record_n(v, 1)` is bit-identical to `record(v)` (same clamp, same bucket, and
+    /// `v * 1.0 == v` exactly in IEEE-754). `n == 0` is a no-op.
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        let idx = Self::bucket_index(v);
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += v * n as f64;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
     /// Records every value in `values`.
     pub fn record_many(&mut self, values: &[f64]) {
         for &v in values {
@@ -336,6 +364,35 @@ mod tests {
         assert_eq!(h.percentile(0.99), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn record_n_is_exactly_n_repeated_records() {
+        let values = [0.4, 1.0, 42.5, 1e7, f64::NAN, -3.0];
+        let weights = [1u64, 3, 7, 2, 4, 5];
+        let mut weighted = LatencyHistogram::new();
+        let mut repeated = LatencyHistogram::new();
+        for (&v, &n) in values.iter().zip(&weights) {
+            weighted.record_n(v, n);
+            for _ in 0..n {
+                repeated.record(v);
+            }
+        }
+        assert_eq!(weighted.count(), repeated.count());
+        assert_eq!(weighted.mean().to_bits(), repeated.mean().to_bits());
+        assert_eq!(weighted.min(), repeated.min());
+        assert_eq!(weighted.max(), repeated.max());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(weighted.percentile(q), repeated.percentile(q));
+        }
+        // Weight 1 is bit-identical to a plain record; weight 0 is a no-op.
+        let mut one = LatencyHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        one.record_n(42.5, 1);
+        plain.record(42.5);
+        assert_eq!(one.mean().to_bits(), plain.mean().to_bits());
+        one.record_n(9.0, 0);
+        assert_eq!(one.count(), 1);
     }
 
     #[test]
