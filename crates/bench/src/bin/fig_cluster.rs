@@ -8,16 +8,19 @@
 //! co-location absorbs the batch interference at a higher per-node load, so it serves
 //! the same traffic with fewer machines.
 //!
-//! Usage: `fig_cluster [--json] [--seed N] [--total-load X] [--nodes N] [--approx K]`
+//! Usage: `fig_cluster [--json] [--seed N] [--total-load X] [--nodes N] [--approx K]
+//!                     [--trace PATH] [--trace-level off|decisions|full]`
 //!
 //! `--nodes N` replaces the default fleet-size sweep with the single given size (pair
 //! it with a matching `--total-load`); `--approx K` simulates each fleet through the
 //! clustered approximation with `K` representatives per node group (`0` or absent =
-//! exact simulation of every node).
+//! exact simulation of every node); `--trace PATH` exports each run's decision-event
+//! stream to `PATH` tagged `{nodes}n-{policy}` (`.json` = Chrome trace-event JSON
+//! loadable in Perfetto, otherwise JSON Lines readable by `pliant-trace`).
 
 use pliant_bench::{
-    approximation_from_args, cluster_machines_needed_scenario, flag_value, format_latency,
-    print_table,
+    approximation_from_args, cluster_machines_needed_scenario, export_trace, flag_value,
+    format_latency, print_table, trace_opts, TraceRunSummary,
 };
 use pliant_cluster::prelude::*;
 use pliant_core::engine::Engine;
@@ -50,6 +53,8 @@ struct ClusterFigure {
     curve: Vec<CurvePoint>,
     machines_needed_precise: Option<usize>,
     machines_needed_pliant: Option<usize>,
+    /// Per-run observability rollups (empty when the figure ran untraced).
+    obs: Vec<TraceRunSummary>,
 }
 
 fn main() {
@@ -81,9 +86,12 @@ fn main() {
         None => NODE_COUNTS.to_vec(),
     };
 
+    let trace = trace_opts(&args);
+
     let service = ServiceId::Memcached;
     let engine = Engine::new().parallel();
     let mut curve = Vec::new();
+    let mut obs = Vec::new();
     let mut sweeps: [Vec<(usize, ClusterOutcome)>; 2] = [Vec::new(), Vec::new()];
     for &nodes in &node_counts {
         for (pi, policy) in [PolicyKind::Precise, PolicyKind::Pliant]
@@ -102,7 +110,10 @@ fn main() {
                 continue;
             };
             s.approximation = approximation;
-            let outcome = engine.run_cluster(&s);
+            let (outcome, log) = engine.run_cluster_traced(&s, trace.level);
+            if trace.enabled() {
+                obs.push(export_trace(&trace, &format!("{nodes}n-{policy}"), &log));
+            }
             curve.push(CurvePoint {
                 nodes,
                 avg_node_load: s.avg_node_load,
@@ -128,6 +139,7 @@ fn main() {
         curve,
         machines_needed_precise: machines_precise,
         machines_needed_pliant: machines_pliant,
+        obs,
     };
 
     if json {
@@ -196,6 +208,14 @@ fn main() {
             );
         } else {
             println!("no machines saved at this operating point");
+        }
+    }
+    for t in &figure.obs {
+        if let Some(file) = &t.trace_file {
+            println!(
+                "trace ({}): {} events -> {file}",
+                t.run, t.summary.events_recorded
+            );
         }
     }
 }

@@ -10,16 +10,19 @@
 //! cycle (surplus machines park at the suspend draw), so the Pliant fleet serves the
 //! same load within QoS at measurably lower joules.
 //!
-//! Usage: `fig_energy [--json] [--seed N] [--nodes N] [--approx K]`
+//! Usage: `fig_energy [--json] [--seed N] [--nodes N] [--approx K]
+//!                    [--trace PATH] [--trace-level off|decisions|full]`
 //!
 //! `--nodes N` scales the fleet (same day/night cycle per provisioned node, see
 //! [`cluster_energy_scenario_at_scale`]); `--approx K` simulates it through the
 //! clustered approximation with `K` representatives per node group (`0` or absent =
-//! exact simulation of every node).
+//! exact simulation of every node); `--trace PATH` exports each policy run's
+//! decision-event stream to `PATH` tagged by policy (`.json` = Chrome trace-event
+//! JSON loadable in Perfetto, otherwise JSON Lines readable by `pliant-trace`).
 
 use pliant_bench::{
-    approximation_from_args, cluster_energy_scenario_at_scale, flag_value, format_latency,
-    print_table,
+    approximation_from_args, cluster_energy_scenario_at_scale, export_trace, flag_value,
+    format_latency, print_table, trace_opts, TraceRunSummary,
 };
 use pliant_cluster::prelude::*;
 use pliant_core::engine::Engine;
@@ -70,6 +73,8 @@ struct EnergyFigure {
     policies: Vec<PolicyEnergy>,
     /// Pliant fleet joules divided by Precise fleet joules — the headline.
     pliant_to_precise_energy_ratio: f64,
+    /// Per-run observability rollups (empty when the figure ran untraced).
+    obs: Vec<TraceRunSummary>,
 }
 
 fn main() {
@@ -88,12 +93,14 @@ fn main() {
         })
     });
     let approximation = approximation_from_args(&args);
+    let trace = trace_opts(&args);
 
     let service = ServiceId::Memcached;
     let engine = Engine::new().parallel();
     let mut policies = Vec::new();
     let mut energies = [0.0f64; 2];
     let mut nodes = 0usize;
+    let mut obs = Vec::new();
     for (pi, policy) in [PolicyKind::Precise, PolicyKind::Pliant]
         .into_iter()
         .enumerate()
@@ -101,9 +108,12 @@ fn main() {
         let mut scenario = cluster_energy_scenario_at_scale(fleet_nodes, policy, seed);
         scenario.approximation = approximation;
         nodes = scenario.nodes;
-        let outcome = engine.run_cluster(&scenario);
+        let (outcome, log) = engine.run_cluster_traced(&scenario, trace.level);
         energies[pi] = outcome.fleet_energy_j;
         policies.push(PolicyEnergy::from_outcome(policy, &outcome));
+        if trace.enabled() {
+            obs.push(export_trace(&trace, &policy.to_string(), &log));
+        }
     }
     let ratio = energies[1] / energies[0];
 
@@ -113,6 +123,7 @@ fn main() {
         seed,
         policies,
         pliant_to_precise_energy_ratio: ratio,
+        obs,
     };
 
     if json {
@@ -171,4 +182,12 @@ fn main() {
         ratio,
         ratio * 100.0
     );
+    for t in &figure.obs {
+        if let Some(file) = &t.trace_file {
+            println!(
+                "trace ({}): {} events -> {file}",
+                t.run, t.summary.events_recorded
+            );
+        }
+    }
 }

@@ -17,16 +17,21 @@
 //! * **Energy** — the fig_energy day/night cycle scaled to the requested fleet, with
 //!   the autoscaler sizing the active set and the Pliant/Precise joule ratio.
 //!
-//! Usage: `fig_hyperscale [--json] [--seed N] [--nodes N] [--approx K]`
+//! Usage: `fig_hyperscale [--json] [--seed N] [--nodes N] [--approx K]
+//!                        [--trace PATH] [--trace-level off|decisions|full]`
 //!
 //! Defaults: 10k nodes, 4 representatives per group, seed 7. `--approx 0` forces
 //! exact simulation (every logical node stepped) — only interactive on small fleets.
+//! `--trace PATH` exports the two day/night energy runs' decision-event streams to
+//! `PATH` tagged `energy-{policy}` (`.json` = Chrome trace-event JSON loadable in
+//! Perfetto, otherwise JSON Lines readable by `pliant-trace`); the machines sweep is
+//! left untraced so the interactivity headline stays a pure simulation timing.
 
 use std::time::Instant;
 
 use pliant_bench::{
     approximation_from_args, cluster_energy_scenario_at_scale, cluster_machines_needed_scenario,
-    flag_value, format_latency, print_table,
+    export_trace, flag_value, format_latency, print_table, trace_opts, TraceRunSummary,
 };
 use pliant_cluster::prelude::*;
 use pliant_core::engine::Engine;
@@ -79,6 +84,8 @@ struct HyperscaleFigure {
     /// per interval; the approximation covers the same logical work with a handful).
     effective_node_intervals_per_sec: f64,
     energy_run_elapsed_s: f64,
+    /// Per-run observability rollups for the energy runs (empty when untraced).
+    obs: Vec<TraceRunSummary>,
 }
 
 fn main() {
@@ -113,6 +120,8 @@ fn main() {
             representatives_per_group,
         } => representatives_per_group,
     };
+
+    let trace = trace_opts(&args);
 
     let service = ServiceId::Memcached;
     let engine = Engine::new().parallel();
@@ -155,6 +164,7 @@ fn main() {
     let mut energy = Vec::new();
     let mut energies = [0.0f64; 2];
     let mut node_intervals = 0u64;
+    let mut energy_logs = Vec::new();
     let started = Instant::now();
     for (pi, policy) in [PolicyKind::Precise, PolicyKind::Pliant]
         .into_iter()
@@ -162,7 +172,10 @@ fn main() {
     {
         let mut scenario = cluster_energy_scenario_at_scale(fleet_nodes, policy, seed);
         scenario.approximation = approximation;
-        let outcome = engine.run_cluster(&scenario);
+        let (outcome, log) = engine.run_cluster_traced(&scenario, trace.level);
+        if trace.enabled() {
+            energy_logs.push((format!("energy-{policy}"), log));
+        }
         energies[pi] = outcome.fleet_energy_j;
         node_intervals += (outcome.nodes * outcome.intervals) as u64;
         energy.push(EnergyPoint {
@@ -179,6 +192,12 @@ fn main() {
     }
     let energy_run_elapsed_s = started.elapsed().as_secs_f64();
     let ratio = energies[1] / energies[0];
+    // File export happens after the clock stops, so the interactivity headline times
+    // the simulation (including in-memory event recording), not disk I/O.
+    let obs: Vec<TraceRunSummary> = energy_logs
+        .iter()
+        .map(|(run, log)| export_trace(&trace, run, log))
+        .collect();
 
     let figure = HyperscaleFigure {
         service: service.name().to_string(),
@@ -192,6 +211,7 @@ fn main() {
         pliant_to_precise_energy_ratio: ratio,
         effective_node_intervals_per_sec: node_intervals as f64 / energy_run_elapsed_s,
         energy_run_elapsed_s,
+        obs,
     };
 
     if json {
@@ -305,4 +325,12 @@ fn main() {
         energy_run_elapsed_s,
         figure.effective_node_intervals_per_sec / 1e6
     );
+    for t in &figure.obs {
+        if let Some(file) = &t.trace_file {
+            println!(
+                "trace ({}): {} events -> {file}",
+                t.run, t.summary.events_recorded
+            );
+        }
+    }
 }

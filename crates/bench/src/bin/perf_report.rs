@@ -41,7 +41,7 @@
 use std::time::Instant;
 
 use pliant_approx::catalog::AppId;
-use pliant_cluster::ClusterEngineExt;
+use pliant_cluster::{ClusterEngineExt, ClusterScenario, ClusterSim};
 use pliant_core::engine::Engine;
 use pliant_core::policy::PolicyKind;
 use pliant_core::scenario::Scenario;
@@ -68,6 +68,49 @@ struct Metric {
     elapsed_s: f64,
 }
 
+/// Wall-clock seconds one hyperscale day/night run spends in each pipeline stage.
+///
+/// Informational only: the stage split explains *where* a throughput regression
+/// lives, but `--check` gates on the throughput metrics, not on the split (stage
+/// timings on shared runners are too noisy to gate individually). Absent in
+/// pre-breakdown baselines; deserializes as zeros.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+struct StageBreakdown {
+    /// Building the fleet: population grouping, node construction, RNG seeding.
+    construct_s: f64,
+    /// Advancing every interval (balancer split, node stepping, autoscaler planning).
+    simulate_s: f64,
+    /// Everything `run_cluster` adds on top: per-interval scalar aggregation,
+    /// histogram merging, and outcome assembly. Estimated as a full engine run minus
+    /// the two directly-timed stages, floored at zero.
+    aggregate_s: f64,
+    /// Wall clock of the full engine run the estimate is taken against.
+    total_s: f64,
+}
+
+/// Times the stages of one run of `scenario` (see [`StageBreakdown`]).
+fn stage_breakdown(scenario: &ClusterScenario, engine: &Engine) -> StageBreakdown {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let started = Instant::now();
+    let mut sim = ClusterSim::new(scenario, engine.catalog());
+    let construct_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    for _ in 0..scenario.max_intervals() {
+        let interval = sim.advance_threads(threads);
+        sim.recycle_interval(interval);
+    }
+    let simulate_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let _ = engine.run_cluster(scenario);
+    let total_s = started.elapsed().as_secs_f64();
+    StageBreakdown {
+        construct_s,
+        simulate_s,
+        aggregate_s: (total_s - construct_s - simulate_s).max(0.0),
+        total_s,
+    }
+}
+
 /// The full perf report; serialized as `BENCH_PERF.json`.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 struct PerfReport {
@@ -88,6 +131,9 @@ struct PerfReport {
     fleet_node_intervals_per_sec: Metric,
     /// Logical node-intervals per second, clustered 10k-node day/night run.
     hyperscale_node_intervals_per_sec: Metric,
+    /// Stage-level wall-clock split of one hyperscale run (informational; not gated).
+    #[serde(default)]
+    stages: StageBreakdown,
 }
 
 impl PerfReport {
@@ -199,6 +245,7 @@ fn take_report(quick: bool, runs: usize) -> PerfReport {
         let outcome = parallel.run_cluster(&hyperscale_scenario);
         (outcome.nodes * outcome.intervals) as u64
     });
+    let stages = stage_breakdown(&hyperscale_scenario, &parallel);
 
     PerfReport {
         schema: SCHEMA.to_string(),
@@ -209,6 +256,7 @@ fn take_report(quick: bool, runs: usize) -> PerfReport {
         suite_cells_per_sec: cells,
         fleet_node_intervals_per_sec: fleet,
         hyperscale_node_intervals_per_sec: hyperscale,
+        stages,
     }
 }
 
@@ -282,6 +330,20 @@ fn print_human(report: &PerfReport) {
         println!(
             "  {name:<32} {:>12.0}/s   ({} units in {:.3} s)",
             m.per_sec, m.units, m.elapsed_s
+        );
+    }
+    let stages = &report.stages;
+    if stages.total_s > 0.0 {
+        let pct = |s: f64| 100.0 * s / stages.total_s.max(f64::MIN_POSITIVE);
+        println!(
+            "  hyperscale stage split: construct {:.3} s ({:.0}%), simulate {:.3} s \
+             ({:.0}%), aggregate {:.3} s ({:.0}%)",
+            stages.construct_s,
+            pct(stages.construct_s),
+            stages.simulate_s,
+            pct(stages.simulate_s),
+            stages.aggregate_s,
+            pct(stages.aggregate_s),
         );
     }
 }

@@ -1,0 +1,398 @@
+//! `pliant-trace`: inspect the JSONL decision-event streams the `--trace` flags of
+//! the fleet figure binaries export (see `pliant_telemetry::obs`).
+//!
+//! Subcommands:
+//!
+//! * `summary FILE` — per-kind event counts (raw and replica-weighted), interval
+//!   coverage, and the run's shape from its `FleetStart` record.
+//! * `filter FILE [--kind K] [--node N] [--from-interval A] [--to-interval B]` —
+//!   re-emit matching records as JSONL (composable with itself and other tools).
+//! * `diff A B` — compare two streams' per-kind counters; exits 1 when the weighted
+//!   counters differ (0 when the two runs recorded the same logical decision counts).
+//! * `explain FILE --violation N [--node M] [--window W]` — the causal window query:
+//!   show everything that happened to the violating node (and the fleet) around the
+//!   `N`-th QoS violation (on node `M`, when given), `W` intervals to each side.
+//! * `narrative FILE...` — reconstruct the machines-needed narrative from the logs
+//!   alone: per file, the fleet size and QoS verdict from `FleetStart` +
+//!   `IntervalSummary` records; across files, the smallest passing fleet.
+//!
+//! Input must be JSON Lines (one `EventRecord` per line). Chrome trace-event `.json`
+//! exports are for Perfetto; re-export with a non-`.json` extension to inspect here.
+
+use std::io::{BufRead, BufReader};
+
+use pliant_bench::print_table;
+use pliant_telemetry::obs::{Event, EventKind, EventRecord, EVENT_KINDS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pliant-trace <summary|filter|diff|explain|narrative> [options] FILE...\n\
+         \n\
+         summary FILE                         per-kind counts and run shape\n\
+         filter FILE [--kind K] [--node N]\n\
+         \x20      [--from-interval A] [--to-interval B]   re-emit matching JSONL\n\
+         diff A B                             compare per-kind counters (exit 1 on drift)\n\
+         explain FILE --violation N\n\
+         \x20      [--node M] [--window W]    events around the N-th QoS violation\n\
+         narrative FILE...                    machines-needed story from the logs alone"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    flag_value(args, name).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects a number");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Positional (non-flag) arguments: everything not starting with `--` and not
+/// consumed as a flag value.
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Every flag of this tool takes a value.
+            skip = args.get(i + 1).is_some();
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn load(path: &str) -> Vec<EventRecord> {
+    if path.ends_with(".json") {
+        eprintln!(
+            "error: {path} looks like a Chrome trace-event export (for Perfetto); \
+             pliant-trace reads the JSONL format — re-export with a non-.json extension"
+        );
+        std::process::exit(2);
+    }
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut records = Vec::new();
+    for (ln, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: EventRecord = serde_json::from_str(&line).unwrap_or_else(|e| {
+            eprintln!("error: {path}:{}: not an event record: {e}", ln + 1);
+            std::process::exit(1);
+        });
+        records.push(record);
+    }
+    records
+}
+
+/// Per-kind (raw, weighted) counters over a record slice — the offline analogue of
+/// the run's `MetricsRegistry` (restricted to retained records).
+fn count_kinds(records: &[EventRecord]) -> ([u64; EVENT_KINDS], [u64; EVENT_KINDS]) {
+    let mut counts = [0u64; EVENT_KINDS];
+    let mut weighted = [0u64; EVENT_KINDS];
+    for r in records {
+        let i = r.event.kind() as usize;
+        counts[i] += 1;
+        weighted[i] += r.weight as u64;
+    }
+    (counts, weighted)
+}
+
+fn describe(r: &EventRecord) -> String {
+    let who = match r.source {
+        0 => "fleet".to_string(),
+        s => format!("node {}", s - 1),
+    };
+    format!(
+        "[{:>5}] t={:>8.2}s  {:<8} {:?}",
+        r.interval, r.time_s, who, r.event
+    )
+}
+
+fn cmd_summary(records: &[EventRecord], path: &str) {
+    println!("{path}: {} records", records.len());
+    if let Some(r) = records
+        .iter()
+        .find(|r| r.event.kind() == EventKind::FleetStart)
+    {
+        if let Event::FleetStart {
+            nodes,
+            instances,
+            slots_per_node,
+            qos_target_s,
+        } = r.event
+        {
+            println!(
+                "fleet: {nodes} logical nodes on {instances} simulated instances, \
+                 {slots_per_node} batch slots/node, QoS target {:.1} ms",
+                qos_target_s * 1e3
+            );
+        }
+    }
+    if let (Some(first), Some(last)) = (records.first(), records.last()) {
+        println!(
+            "intervals {}..{} ({:.1}s..{:.1}s of sim time)",
+            first.interval, last.interval, first.time_s, last.time_s
+        );
+    }
+    println!();
+    let (counts, weighted) = count_kinds(records);
+    let rows: Vec<Vec<String>> = EventKind::ALL
+        .iter()
+        .filter(|k| counts[**k as usize] > 0)
+        .map(|k| {
+            vec![
+                k.name().to_string(),
+                counts[*k as usize].to_string(),
+                weighted[*k as usize].to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["event", "records", "weighted"], &rows);
+}
+
+fn cmd_filter(records: &[EventRecord], args: &[String]) {
+    let kind = flag_value(args, "--kind").map(|v| {
+        EventKind::parse(v).unwrap_or_else(|| {
+            eprintln!(
+                "error: unknown event kind {v} (expected one of: {})",
+                EventKind::ALL.map(|k| k.name()).join(", ")
+            );
+            std::process::exit(2);
+        })
+    });
+    let node: Option<u32> = parse_flag(args, "--node");
+    let from: u32 = parse_flag(args, "--from-interval").unwrap_or(0);
+    let to: u32 = parse_flag(args, "--to-interval").unwrap_or(u32::MAX);
+    for r in records {
+        if r.interval < from || r.interval > to {
+            continue;
+        }
+        if let Some(k) = kind {
+            if r.event.kind() != k {
+                continue;
+            }
+        }
+        if let Some(n) = node {
+            if r.event.node() != Some(n) {
+                continue;
+            }
+        }
+        println!("{}", serde_json::to_string(r).expect("records serialize"));
+    }
+}
+
+fn cmd_diff(a_path: &str, b_path: &str) {
+    let a = load(a_path);
+    let b = load(b_path);
+    let (a_counts, a_weighted) = count_kinds(&a);
+    let (b_counts, b_weighted) = count_kinds(&b);
+    let mut drifted = false;
+    let rows: Vec<Vec<String>> = EventKind::ALL
+        .iter()
+        .filter(|k| a_counts[**k as usize] > 0 || b_counts[**k as usize] > 0)
+        .map(|k| {
+            let i = *k as usize;
+            let delta = b_weighted[i] as i64 - a_weighted[i] as i64;
+            if delta != 0 {
+                drifted = true;
+            }
+            vec![
+                k.name().to_string(),
+                format!("{} ({}w)", a_counts[i], a_weighted[i]),
+                format!("{} ({}w)", b_counts[i], b_weighted[i]),
+                format!("{delta:+}"),
+            ]
+        })
+        .collect();
+    print_table(&["event", a_path, b_path, "weighted delta"], &rows);
+    if drifted {
+        println!("\nstreams differ (weighted logical event counts drifted)");
+        std::process::exit(1);
+    }
+    println!("\nstreams agree on every weighted logical event count");
+}
+
+fn cmd_explain(records: &[EventRecord], args: &[String]) {
+    let ordinal: usize = parse_flag(args, "--violation").unwrap_or_else(|| {
+        eprintln!("error: explain requires --violation N (1-based)");
+        std::process::exit(2);
+    });
+    let node: Option<u32> = parse_flag(args, "--node");
+    let window: u32 = parse_flag(args, "--window").unwrap_or(3);
+    if ordinal == 0 {
+        eprintln!("error: --violation is 1-based");
+        std::process::exit(2);
+    }
+    let target = records
+        .iter()
+        .filter(|r| r.event.kind() == EventKind::QosViolation)
+        .filter(|r| node.is_none() || r.event.node() == node)
+        .nth(ordinal - 1)
+        .unwrap_or_else(|| {
+            let scope = node.map_or(String::new(), |n| format!(" on node {n}"));
+            eprintln!("error: the log holds no {ordinal}-th QoS violation{scope}");
+            std::process::exit(1);
+        });
+    let violating_node = target.event.node();
+    let lo = target.interval.saturating_sub(window);
+    let hi = target.interval.saturating_add(window);
+    println!(
+        "QoS violation #{ordinal}{}: interval {}, t={:.2}s",
+        violating_node.map_or(String::new(), |n| format!(" (node {n})")),
+        target.interval,
+        target.time_s
+    );
+    println!("causal window: intervals {lo}..{hi}, the node's events plus fleet events\n");
+    for r in records {
+        if r.interval < lo || r.interval > hi {
+            continue;
+        }
+        // Keep the violating node's own chain and every fleet-scope event (interval
+        // rollups, placements onto the node are node-scoped and already kept).
+        let keep = match r.event.node() {
+            Some(n) => Some(n) == violating_node,
+            None => true,
+        };
+        if !keep {
+            continue;
+        }
+        let marker = if std::ptr::eq(r, target) {
+            " <-- here"
+        } else {
+            ""
+        };
+        println!("{}{marker}", describe(r));
+    }
+}
+
+/// One run's machines-needed verdict, reconstructed purely from its event stream.
+struct RunVerdict {
+    path: String,
+    nodes: u32,
+    busy: u64,
+    violating: u64,
+    qos_met: bool,
+}
+
+fn verdict(path: &str) -> RunVerdict {
+    let records = load(path);
+    let nodes = records
+        .iter()
+        .find_map(|r| match r.event {
+            Event::FleetStart { nodes, .. } => Some(nodes),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            eprintln!("error: {path} has no FleetStart record; was it traced from the start?");
+            std::process::exit(1);
+        });
+    let mut busy = 0u64;
+    let mut violating = 0u64;
+    for r in &records {
+        if let Event::IntervalSummary {
+            busy: b,
+            violating: v,
+            ..
+        } = r.event
+        {
+            busy += b as u64;
+            violating += v as u64;
+        }
+    }
+    // The same 5%-of-busy-node-intervals allowance ClusterOutcome::qos_met applies.
+    let qos_met = violating as f64 <= 0.05 * busy as f64 && busy > 0;
+    RunVerdict {
+        path: path.to_string(),
+        nodes,
+        busy,
+        violating,
+        qos_met,
+    }
+}
+
+fn cmd_narrative(paths: &[&String]) {
+    let verdicts: Vec<RunVerdict> = paths.iter().map(|p| verdict(p)).collect();
+    let rows: Vec<Vec<String>> = verdicts
+        .iter()
+        .map(|v| {
+            vec![
+                v.path.clone(),
+                v.nodes.to_string(),
+                v.busy.to_string(),
+                v.violating.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * v.violating as f64 / (v.busy.max(1)) as f64
+                ),
+                if v.qos_met { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "log",
+            "machines",
+            "busy node-intervals",
+            "violating",
+            "violation rate",
+            "QoS met",
+        ],
+        &rows,
+    );
+    match verdicts.iter().filter(|v| v.qos_met).map(|v| v.nodes).min() {
+        Some(n) => println!("\nmachines needed (smallest passing fleet in these logs): {n}"),
+        None => println!("\nno fleet in these logs met the 5% QoS allowance"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let rest = &args[1..];
+    let files = positional(rest);
+    match cmd.as_str() {
+        "summary" => {
+            let [path] = files[..] else { usage() };
+            cmd_summary(&load(path), path);
+        }
+        "filter" => {
+            let [path] = files[..] else { usage() };
+            cmd_filter(&load(path), rest);
+        }
+        "diff" => {
+            let [a, b] = files[..] else { usage() };
+            cmd_diff(a, b);
+        }
+        "explain" => {
+            let [path] = files[..] else { usage() };
+            cmd_explain(&load(path), rest);
+        }
+        "narrative" => {
+            if files.is_empty() {
+                usage();
+            }
+            cmd_narrative(&files);
+        }
+        _ => usage(),
+    }
+}

@@ -163,6 +163,68 @@ pub fn json_requested(args: &[String]) -> bool {
     args.iter().any(|a| a == "--json")
 }
 
+/// Trace-export options parsed from the shared `--trace <path>` / `--trace-level
+/// <off|decisions|full>` flags of the fleet figure binaries. Without `--trace` the run
+/// is untraced (`ObsLevel::Off`, no file); with `--trace` the level defaults to
+/// `decisions`. The path's extension picks the sink format (`.json` = Chrome
+/// trace-event JSON loadable in Perfetto, anything else = JSON Lines).
+#[derive(Debug, Clone)]
+pub struct TraceOpts {
+    /// Base output path (`None` = tracing off).
+    pub path: Option<String>,
+    /// Recording level for the run.
+    pub level: pliant_telemetry::obs::ObsLevel,
+}
+
+impl TraceOpts {
+    /// Whether the run should record events.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some() && self.level != pliant_telemetry::obs::ObsLevel::Off
+    }
+}
+
+/// Parses the shared `--trace` / `--trace-level` flags. Exits with status 2 on an
+/// unknown level name.
+pub fn trace_opts(args: &[String]) -> TraceOpts {
+    let path = flag_value(args, "--trace").cloned();
+    let level = match flag_value(args, "--trace-level") {
+        Some(v) => pliant_telemetry::obs::ObsLevel::parse(v).unwrap_or_else(|| {
+            eprintln!("error: --trace-level expects off, decisions, or full");
+            std::process::exit(2);
+        }),
+        None if path.is_some() => pliant_telemetry::obs::ObsLevel::Decisions,
+        None => pliant_telemetry::obs::ObsLevel::Off,
+    };
+    TraceOpts { path, level }
+}
+
+/// Writes one run's event log to the trace `base` path, tagged so a multi-run figure
+/// emits one file per run: `traces/fig.json` + tag `pliant` → `traces/fig-pliant.json`
+/// (the tag is inserted before the extension; an empty tag writes `base` itself).
+/// Returns the path written. The sink format follows the final path's extension
+/// (see [`TraceOpts`]).
+pub fn write_trace_log(
+    base: &str,
+    tag: &str,
+    log: &pliant_telemetry::obs::EventLog,
+) -> std::io::Result<String> {
+    let path = if tag.is_empty() {
+        base.to_string()
+    } else {
+        match base.rfind('.') {
+            // A dot inside the last path segment separates the extension.
+            Some(dot) if !base[dot..].contains('/') => {
+                format!("{}-{}{}", &base[..dot], tag, &base[dot..])
+            }
+            _ => format!("{base}-{tag}"),
+        }
+    };
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    pliant_telemetry::obs::SinkFormat::for_path(&path).write(log, &mut file)?;
+    file.flush()?;
+    Ok(path)
+}
+
 /// Returns the value following `name` in a harness binary's argument list, if any.
 pub fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
     args.iter()
@@ -188,6 +250,39 @@ pub fn approximation_from_args(args: &[String]) -> pliant_cluster::FleetApproxim
         pliant_cluster::FleetApproximation::Clustered {
             representatives_per_group: k,
         }
+    }
+}
+
+/// One traced run's export record, attached to figure `--json` outputs as the `obs`
+/// summary block (empty list when the figure ran untraced).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TraceRunSummary {
+    /// Which run of the figure the trace covers (e.g. `pliant`, `5n-precise`).
+    pub run: String,
+    /// File the event stream was written to (`None` when no `--trace` path was given).
+    pub trace_file: Option<String>,
+    /// The run's event rollup.
+    pub summary: pliant_telemetry::obs::ObsSummary,
+}
+
+/// Exports one traced run: writes the event log to the `--trace` path (tagged with
+/// `run`) when one was given and returns the JSON-attachable record. Exits with
+/// status 1 when the trace file cannot be written.
+pub fn export_trace(
+    opts: &TraceOpts,
+    run: &str,
+    log: &pliant_telemetry::obs::EventLog,
+) -> TraceRunSummary {
+    let trace_file = opts.path.as_ref().map(|base| {
+        write_trace_log(base, run, log).unwrap_or_else(|e| {
+            eprintln!("error: cannot write trace file: {e}");
+            std::process::exit(1);
+        })
+    });
+    TraceRunSummary {
+        run: run.to_string(),
+        trace_file,
+        summary: log.summary(),
     }
 }
 

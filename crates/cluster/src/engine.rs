@@ -8,6 +8,7 @@
 
 use pliant_core::engine::{Engine, ExecMode};
 use pliant_telemetry::histogram::LatencyHistogram;
+use pliant_telemetry::obs::{EventLog, ObsLevel};
 use pliant_telemetry::series::{TimeSeries, TraceBundle};
 
 use crate::outcome::{ClusterOutcome, NodeOutcome};
@@ -24,6 +25,22 @@ pub trait ClusterEngineExt {
     /// Panics if the scenario fails [`ClusterScenario::validate`] or names an
     /// application missing from the engine's catalog.
     fn run_cluster(&self, scenario: &ClusterScenario) -> ClusterOutcome;
+
+    /// Runs one cluster scenario with observability enabled at `level`, returning the
+    /// outcome plus the merged fleet-wide decision-event stream (see
+    /// [`pliant_telemetry::obs`]). With [`ObsLevel::Off`] this is exactly
+    /// [`Self::run_cluster`] plus an empty log; the simulation is byte-identical at
+    /// every level — tracing observes decisions, it never alters them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`ClusterScenario::validate`] or names an
+    /// application missing from the engine's catalog.
+    fn run_cluster_traced(
+        &self,
+        scenario: &ClusterScenario,
+        level: ObsLevel,
+    ) -> (ClusterOutcome, EventLog);
 
     /// Runs every cell of a cluster suite, returning the outcomes in cell-index order.
     ///
@@ -46,7 +63,19 @@ impl ClusterEngineExt for Engine {
             ExecMode::Serial => 1,
             ExecMode::Parallel { threads } => threads,
         };
-        execute_cluster(scenario, self, threads)
+        execute_cluster(scenario, self, threads, ObsLevel::Off).0
+    }
+
+    fn run_cluster_traced(
+        &self,
+        scenario: &ClusterScenario,
+        level: ObsLevel,
+    ) -> (ClusterOutcome, EventLog) {
+        let threads = match self.mode() {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel { threads } => threads,
+        };
+        execute_cluster(scenario, self, threads, level)
     }
 
     fn run_cluster_collect(&self, suite: &ClusterSuite) -> Vec<ClusterCellOutcome> {
@@ -68,8 +97,13 @@ impl ClusterEngineExt for Engine {
 
 /// Runs one cluster scenario against the engine's catalog with the given node-update
 /// worker count (`0` = one per available core, `1` = serial).
-fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) -> ClusterOutcome {
-    let mut sim = ClusterSim::new(scenario, engine.catalog());
+fn execute_cluster(
+    scenario: &ClusterScenario,
+    engine: &Engine,
+    threads: usize,
+    level: ObsLevel,
+) -> (ClusterOutcome, EventLog) {
+    let mut sim = ClusterSim::with_obs(scenario, engine.catalog(), level);
     // Per-instance accumulators: one slot per *simulated* node. In exact mode that is
     // the whole fleet; under the clustered approximation each instance already carries
     // its replica weight in everything it reports.
@@ -193,7 +227,8 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
     trace.insert(power_series);
     trace.insert(active_series);
 
-    ClusterOutcome {
+    let log = sim.take_event_log();
+    let outcome = ClusterOutcome {
         service: scenario.service,
         policy: scenario.policy,
         balancer: scenario.balancer,
@@ -226,8 +261,10 @@ fn execute_cluster(scenario: &ClusterScenario, engine: &Engine, threads: usize) 
         min_active_nodes: min_active,
         scheduler_stats: sim.scheduler_stats(),
         node_outcomes,
+        obs: log.summary(),
         trace,
-    }
+    };
+    (outcome, log)
 }
 
 #[cfg(test)]

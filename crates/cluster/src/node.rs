@@ -9,12 +9,13 @@
 //! parallel without changing any result.
 
 use pliant_approx::catalog::{AppProfile, Catalog};
-use pliant_core::actuator::Actuator;
+use pliant_core::actuator::{Action, Actuator};
 use pliant_core::controller::ControllerConfig;
 use pliant_core::monitor::{MonitorConfig, PerformanceMonitor};
 use pliant_core::policy::Policy;
 use pliant_sim::colocation::{ColocationConfig, ColocationSim, IntervalObservation};
 use pliant_telemetry::histogram::LatencyHistogram;
+use pliant_telemetry::obs::{Event, ObsAction, ObsBuffer, ObsLevel, DEFAULT_NODE_CAPACITY};
 use pliant_telemetry::rng::derive_seed;
 
 use crate::scenario::ClusterScenario;
@@ -133,6 +134,11 @@ pub struct ClusterNode {
     slot_weight: Vec<usize>,
     /// Replica weight of every completed job, parallel to `completed_inaccuracy_pct`.
     completed_weights: Vec<usize>,
+    /// Decision-event ring for this node (disabled — the allocation-free null sink —
+    /// unless the cluster engine calls [`Self::enable_obs`]). Filled on whichever
+    /// worker thread advances the node; the engine merges rings in node order, so the
+    /// stream is identical under serial and parallel execution.
+    obs: ObsBuffer,
 }
 
 impl ClusterNode {
@@ -232,7 +238,26 @@ impl ClusterNode {
             replicas,
             slot_weight: vec![replicas; initial_jobs.len()],
             completed_weights: Vec::new(),
+            obs: ObsBuffer::disabled(),
         }
+    }
+
+    /// Switches the node's event ring on at `level` (source `index + 1`, replica
+    /// weight carried through to every record). Called once at construction time by
+    /// a traced cluster run; the default is the disabled null sink.
+    pub fn enable_obs(&mut self, level: ObsLevel) {
+        self.obs = ObsBuffer::new(
+            level,
+            self.index as u32 + 1,
+            self.replicas as u32,
+            DEFAULT_NODE_CAPACITY,
+        );
+    }
+
+    /// Takes the node's event ring, leaving the disabled null sink behind. The cluster
+    /// engine calls this once, after the run, to merge per-node streams.
+    pub fn take_obs_buffer(&mut self) -> ObsBuffer {
+        std::mem::replace(&mut self.obs, ObsBuffer::disabled())
     }
 
     /// Index of the node within the fleet.
@@ -349,6 +374,15 @@ impl ClusterNode {
         self.policy.on_app_replaced(slot, variant_count);
         self.slot_done[slot] = false;
         self.slot_weight[slot] = weight;
+        self.obs.emit(
+            self.intervals_stepped as u32,
+            self.intervals_stepped as f64 * self.decision_interval_s,
+            Event::JobReplaced {
+                node: self.index as u32,
+                slot: slot as u32,
+                weight: weight as u32,
+            },
+        );
         Some(slot)
     }
 
@@ -378,6 +412,7 @@ impl ClusterNode {
         // bit-identical to unweighted accounting (`x * 1.0 == x` in IEEE-754;
         // `record_n(v, 1)` matches `record(v)` exactly).
         let measured = self.intervals_stepped >= self.warmup_intervals;
+        let interval = self.intervals_stepped as u32;
         self.intervals_stepped += 1;
         self.energy_j += observation.energy_j * self.replicas as f64;
         if measured {
@@ -387,6 +422,15 @@ impl ClusterNode {
                 self.busy_intervals += self.replicas;
                 if observation.qos_violated() {
                     self.qos_violations += self.replicas;
+                    self.obs.emit(
+                        interval,
+                        observation.time_s,
+                        Event::QosViolation {
+                            node: self.index as u32,
+                            p99_s: observation.p99_latency_s,
+                            qos_target_s: self.sim.config().service.qos_target_s,
+                        },
+                    );
                 }
                 let weight = self.replicas as u64;
                 for &sample_s in &observation.latency_samples_s {
@@ -402,9 +446,19 @@ impl ClusterNode {
             if !self.slot_done[slot] && self.sim.app(slot).is_finished() {
                 self.slot_done[slot] = true;
                 jobs_completed += self.slot_weight[slot];
-                self.completed_inaccuracy_pct
-                    .push(self.sim.app(slot).inaccuracy_pct());
+                let inaccuracy_pct = self.sim.app(slot).inaccuracy_pct();
+                self.completed_inaccuracy_pct.push(inaccuracy_pct);
                 self.completed_weights.push(self.slot_weight[slot]);
+                self.obs.emit(
+                    interval,
+                    observation.time_s,
+                    Event::JobCompleted {
+                        node: self.index as u32,
+                        slot: slot as u32,
+                        weight: self.slot_weight[slot] as u32,
+                        inaccuracy_pct,
+                    },
+                );
             }
         }
 
@@ -412,7 +466,51 @@ impl ClusterNode {
             .monitor
             .observe_interval(&observation.latency_samples_s);
         let actions = self.policy.decide(&report);
-        self.actuator.apply_all(&mut self.sim, &actions);
+        if self.obs.enabled() {
+            // Traced path: one ControllerDecision per action, plus the state-change
+            // event for each action the actuator accepts. Applying actions one at a
+            // time is semantically identical to `apply_all`; the untraced hot path
+            // below stays untouched.
+            let node = self.index as u32;
+            for action in &actions {
+                let (app, obs_action) = match *action {
+                    Action::SetVariant { app, .. } => (app, ObsAction::SetVariant),
+                    Action::ReclaimCore { app } => (app, ObsAction::ReclaimCore),
+                    Action::ReturnCore { app } => (app, ObsAction::ReturnCore),
+                };
+                self.obs.emit(
+                    interval,
+                    observation.time_s,
+                    Event::ControllerDecision {
+                        node,
+                        app: app as u32,
+                        signal_p99_s: report.smoothed_p99_s,
+                        slack: report.slack_fraction,
+                        action: obs_action,
+                    },
+                );
+                if self.actuator.apply(&mut self.sim, *action) {
+                    let applied = match *action {
+                        Action::SetVariant { app, variant } => Event::VariantSwitch {
+                            node,
+                            app: app as u32,
+                            variant: variant.map_or(-1, |v| v as i64),
+                        },
+                        Action::ReclaimCore { app } => Event::CoreReclaimed {
+                            node,
+                            app: app as u32,
+                        },
+                        Action::ReturnCore { app } => Event::CoreReturned {
+                            node,
+                            app: app as u32,
+                        },
+                    };
+                    self.obs.emit(interval, observation.time_s, applied);
+                }
+            }
+        } else {
+            self.actuator.apply_all(&mut self.sim, &actions);
+        }
         if report.no_signal {
             // The monitor rightly holds its EWMA through idle intervals (no evidence —
             // the *controller* must not relax), but the balancer-visible estimate must

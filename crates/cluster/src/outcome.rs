@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use pliant_core::policy::PolicyKind;
+use pliant_telemetry::obs::ObsSummary;
 use pliant_telemetry::series::TraceBundle;
 use pliant_workloads::service::ServiceId;
 
@@ -137,6 +138,11 @@ pub struct ClusterOutcome {
     pub scheduler_stats: SchedulerStats,
     /// Per-node outcomes, in node order.
     pub node_outcomes: Vec<NodeOutcome>,
+    /// Observability rollup: what the run emitted, per event kind (empty at the
+    /// default [`pliant_telemetry::obs::ObsLevel::Off`]). Absent in pre-observability
+    /// archives (deserializes as the empty summary).
+    #[serde(default)]
+    pub obs: ObsSummary,
     /// Fleet time series: total offered load, total extra cores, violating-node count.
     pub trace: TraceBundle,
 }
@@ -241,6 +247,7 @@ mod tests {
                 mean_completed_inaccuracy_pct: 2.0,
                 energy_j: 1500.0,
             }],
+            obs: ObsSummary::default(),
             trace: TraceBundle::new(),
         }
     }

@@ -32,7 +32,10 @@
 //! node-side. Interval cost then scales with the number of instances while the
 //! reported fleet stays at its logical size.
 
-use pliant_approx::catalog::Catalog;
+use pliant_approx::catalog::{AppId, Catalog};
+use pliant_telemetry::obs::{
+    Event, EventLog, ObsBuffer, ObsLevel, PowerStateKind, ScaleTrigger, DEFAULT_FLEET_CAPACITY,
+};
 
 use crate::autoscaler::{Autoscaler, NodePowerState};
 use crate::balancer::LoadBalancer;
@@ -95,6 +98,22 @@ pub struct ClusterSim {
     assigned_scratch: Vec<f64>,
     /// Scratch buffer of per-instance active flags (clustered mode only).
     active_scratch: Vec<bool>,
+    /// Coordinator-side event ring (source 0): fleet shape, placements, dispatch,
+    /// autoscaler transitions, and per-interval rollups. Disabled — the null sink —
+    /// unless the fleet was built with [`Self::with_obs`].
+    fleet_obs: ObsBuffer,
+    /// Autoscaler power states at the start of the previous plan, used to diff out
+    /// [`Event::AutoscalerTransition`]s (traced runs only).
+    power_state_scratch: Vec<NodePowerState>,
+}
+
+/// Converts an autoscaler power state into its telemetry mirror.
+fn power_state_kind(state: NodePowerState) -> PowerStateKind {
+    match state {
+        NodePowerState::Active => PowerStateKind::Active,
+        NodePowerState::Draining => PowerStateKind::Draining,
+        NodePowerState::Parked => PowerStateKind::Parked,
+    }
 }
 
 impl ClusterSim {
@@ -106,6 +125,21 @@ impl ClusterSim {
     /// Panics if the scenario fails [`ClusterScenario::validate`] or names an
     /// application missing from the catalog.
     pub fn new(scenario: &ClusterScenario, catalog: &Catalog) -> Self {
+        Self::with_obs(scenario, catalog, ObsLevel::Off)
+    }
+
+    /// Like [`Self::new`], but with the tracing subsystem switched on at `level`:
+    /// every node records its decision events and the coordinator records fleet-level
+    /// events (placements, dispatch, autoscaler transitions, interval rollups).
+    /// Retrieve the merged stream with [`Self::take_event_log`] after the run.
+    /// Tracing observes decisions without altering them — the simulation is
+    /// byte-identical at every level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`ClusterScenario::validate`] or names an
+    /// application missing from the catalog.
+    pub fn with_obs(scenario: &ClusterScenario, catalog: &Catalog, level: ObsLevel) -> Self {
         if let Err(e) = scenario.validate() {
             panic!("invalid cluster scenario `{}`: {e}", scenario.describe());
         }
@@ -121,16 +155,53 @@ impl ClusterSim {
             .map(|(i, plan)| {
                 let slice = &scenario.jobs[plan.seed_member * scenario.slots_per_node
                     ..(plan.seed_member + 1) * scenario.slots_per_node];
-                Some(ClusterNode::representative(
+                let mut node = ClusterNode::representative(
                     scenario,
                     i,
                     plan.seed_member,
                     plan.replicas,
                     slice,
                     catalog,
-                ))
+                );
+                if level != ObsLevel::Off {
+                    node.enable_obs(level);
+                }
+                Some(node)
             })
             .collect();
+        let mut fleet_obs = ObsBuffer::new(level, 0, 1, DEFAULT_FLEET_CAPACITY);
+        if fleet_obs.enabled() {
+            let qos_target_s = nodes[0].as_ref().map_or(0.0, |n| n.snapshot().qos_target_s);
+            fleet_obs.emit(
+                0,
+                0.0,
+                Event::FleetStart {
+                    nodes: population.total_nodes() as u32,
+                    instances: plans.len() as u32,
+                    slots_per_node: scenario.slots_per_node as u32,
+                    qos_target_s,
+                },
+            );
+            if clustered {
+                for group in 0..population.groups().len() {
+                    let representatives = plans.iter().filter(|p| p.group == group).count() as u32;
+                    let replicas: usize = plans
+                        .iter()
+                        .filter(|p| p.group == group)
+                        .map(|p| p.replicas)
+                        .sum();
+                    fleet_obs.emit(
+                        0,
+                        0.0,
+                        Event::ApproximationPlan {
+                            group: group as u32,
+                            representatives,
+                            replicas: replicas as u32,
+                        },
+                    );
+                }
+            }
+        }
         let replica_weights: Vec<usize> = plans.iter().map(|p| p.replicas).collect();
         let balancer = scenario.balancer.build(
             nodes.len(),
@@ -161,7 +232,26 @@ impl ClusterSim {
             result_scratch: Vec::new(),
             assigned_scratch: Vec::new(),
             active_scratch: Vec::new(),
+            fleet_obs,
+            power_state_scratch: Vec::new(),
         }
+    }
+
+    /// Takes the merged decision-event stream of the run so far: the coordinator's
+    /// events followed by every node's, interleaved chronologically (stable per-interval
+    /// order: fleet first, then nodes in instance order). Buffers are drained, so this
+    /// is called once, after the run. Returns an empty log on an untraced fleet.
+    pub fn take_event_log(&mut self) -> EventLog {
+        let level = self.fleet_obs.level();
+        let fleet = std::mem::replace(&mut self.fleet_obs, ObsBuffer::disabled());
+        let buffers = std::iter::once(fleet).chain(self.nodes.iter_mut().map(|slot| {
+            slot.as_mut()
+                // pliant-lint: allow(panic-hygiene): slots are full between intervals;
+                // the log is taken after the run, never mid-step.
+                .expect("node slots are only empty while a step is in flight")
+                .take_obs_buffer()
+        }));
+        EventLog::merge(level, buffers)
     }
 
     /// The scenario the fleet was built from.
@@ -295,10 +385,45 @@ impl ClusterSim {
             let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
             snapshots.clear();
             snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
+            if self.fleet_obs.enabled() {
+                self.power_state_scratch.clear();
+                self.power_state_scratch.extend_from_slice(scaler.states());
+            }
             if self.clustered {
                 scaler.plan_grouped(total_offered_load, &snapshots, self.scenario.slots_per_node);
             } else {
                 scaler.plan(total_offered_load, &snapshots, self.scenario.slots_per_node);
+            }
+            if self.fleet_obs.enabled() {
+                // Diff the plan's state changes into transition events. The trigger is
+                // recovered from the edge itself: reactivation = scale-out, a fresh
+                // drain = scale-in, draining → parked = the drain completing.
+                let interval = self.intervals as u32;
+                for (i, (&before, &after)) in self
+                    .power_state_scratch
+                    .iter()
+                    .zip(scaler.states())
+                    .enumerate()
+                {
+                    if before == after {
+                        continue;
+                    }
+                    let trigger = match after {
+                        NodePowerState::Active => ScaleTrigger::ScaleOut,
+                        NodePowerState::Draining => ScaleTrigger::ScaleIn,
+                        NodePowerState::Parked => ScaleTrigger::DrainComplete,
+                    };
+                    self.fleet_obs.emit(
+                        interval,
+                        self.time_s,
+                        Event::AutoscalerTransition {
+                            node: i as u32,
+                            from: power_state_kind(before),
+                            to: power_state_kind(after),
+                            trigger,
+                        },
+                    );
+                }
             }
             self.snapshot_scratch = snapshots;
             for (slot, state) in self.nodes.iter_mut().zip(scaler.states()) {
@@ -354,6 +479,21 @@ impl ClusterSim {
                 // from snapshots with `free_slots > 0` taken this same interval.
                 .expect("scheduler only places onto nodes with free slots");
             jobs_placed += weight;
+            if self.fleet_obs.enabled() {
+                let job_code = AppId::all()
+                    .iter()
+                    .position(|a| *a == app)
+                    .map_or(u32::MAX, |p| p as u32);
+                self.fleet_obs.emit(
+                    self.intervals as u32,
+                    self.time_s,
+                    Event::JobPlaced {
+                        node: node as u32,
+                        job_code,
+                        weight: weight as u32,
+                    },
+                );
+            }
         }
 
         // 3. Split the offered load across the serving nodes. The clustered path hands
@@ -404,6 +544,35 @@ impl ClusterSim {
             }
         };
         self.snapshot_scratch = snapshots;
+
+        if self.fleet_obs.enabled() && total_offered_load > 0.0 {
+            // Dispatch audit: at Full level every routed assignment is recorded; at
+            // Decisions level only sheds are (an active node squeezed out of the
+            // rotation is a balancer decision worth auditing, per-node routing isn't).
+            let interval = self.intervals as u32;
+            for (i, &load) in assigned.iter().enumerate() {
+                let active = self
+                    .autoscaler
+                    .as_ref()
+                    .is_none_or(|a| a.states()[i] == NodePowerState::Active);
+                if load > 0.0 {
+                    self.fleet_obs.emit(
+                        interval,
+                        self.time_s,
+                        Event::BalancerDispatch {
+                            node: i as u32,
+                            assigned_load: load,
+                        },
+                    );
+                } else if active {
+                    self.fleet_obs.emit(
+                        interval,
+                        self.time_s,
+                        Event::BalancerShed { node: i as u32 },
+                    );
+                }
+            }
+        }
 
         // 4. Advance every node independently.
         let workers = if threads == 0 {
@@ -456,6 +625,29 @@ impl ClusterSim {
             self.assigned_scratch = assigned;
         }
         self.time_s += dt;
+        if self.fleet_obs.enabled() {
+            let mut busy = 0usize;
+            let mut violating = 0usize;
+            for ni in &node_intervals {
+                if ni.observation.arrivals > 0 {
+                    busy += ni.replicas;
+                    if ni.observation.qos_violated() {
+                        violating += ni.replicas;
+                    }
+                }
+            }
+            self.fleet_obs.emit(
+                self.intervals as u32,
+                self.time_s,
+                Event::IntervalSummary {
+                    active_nodes: active_nodes as u32,
+                    total_load: total_offered_load,
+                    busy: busy as u32,
+                    violating: violating as u32,
+                    jobs_placed: jobs_placed as u32,
+                },
+            );
+        }
         self.intervals += 1;
 
         ClusterInterval {

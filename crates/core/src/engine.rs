@@ -18,13 +18,14 @@ use serde::{Deserialize, Serialize};
 
 use pliant_approx::catalog::Catalog;
 use pliant_sim::colocation::{ColocationConfig, ColocationSim};
+use pliant_telemetry::obs::{Event, EventLog, ObsAction, ObsBuffer, ObsLevel};
 use pliant_telemetry::rng::derive_seed;
 use pliant_telemetry::series::{TimeSeries, TraceBundle};
 use pliant_telemetry::stats::OnlineStats;
 use pliant_workloads::profile::LoadPhase;
 use pliant_workloads::service::ServiceProfile;
 
-use crate::actuator::Actuator;
+use crate::actuator::{Action, Actuator};
 use crate::controller::ControllerConfig;
 use crate::experiment::{AppOutcome, ColocationOutcome, PhaseQosStats};
 use crate::monitor::{MonitorConfig, PerformanceMonitor};
@@ -151,6 +152,19 @@ impl Engine {
         execute_scenario(scenario, &self.catalog)
     }
 
+    /// Runs one scenario with observability enabled at `level`, returning the outcome
+    /// plus the merged decision-event stream (see [`pliant_telemetry::obs`]). With
+    /// [`ObsLevel::Off`] this is exactly [`Self::run_scenario`] plus an empty log; the
+    /// simulation itself is identical at every level — tracing observes decisions, it
+    /// never alters them.
+    pub fn run_scenario_traced(
+        &self,
+        scenario: &Scenario,
+        level: ObsLevel,
+    ) -> (ColocationOutcome, EventLog) {
+        execute_scenario_traced(scenario, &self.catalog, level)
+    }
+
     /// Runs every cell of a suite, streaming outcomes into `sink` in cell-index order.
     ///
     /// # Panics
@@ -266,6 +280,15 @@ impl Engine {
 /// Runs one scenario against a catalog. This is the execution core every public entry
 /// point (engine, legacy free functions) funnels through.
 pub(crate) fn execute_scenario(scenario: &Scenario, catalog: &Catalog) -> ColocationOutcome {
+    execute_scenario_traced(scenario, catalog, ObsLevel::Off).0
+}
+
+/// Runs one scenario against a catalog with observability at `level`.
+pub(crate) fn execute_scenario_traced(
+    scenario: &Scenario,
+    catalog: &Catalog,
+    level: ObsLevel,
+) -> (ColocationOutcome, EventLog) {
     // Scenarios normally come from the builder, but serde deserialization (archived
     // suites, hand-edited replays) bypasses it — re-check here so a bad archive fails
     // with a clear message instead of deep inside the simulator.
@@ -282,7 +305,7 @@ pub(crate) fn execute_scenario(scenario: &Scenario, catalog: &Catalog) -> Coloca
     if let Some(samples) = scenario.samples_per_interval {
         config.samples_per_interval = samples;
     }
-    execute_with_config(scenario, config, catalog)
+    execute_with_config(scenario, config, catalog, level)
 }
 
 /// Runs one scenario with an explicit simulator configuration (the scenario supplies the
@@ -291,7 +314,8 @@ pub(crate) fn execute_with_config(
     scenario: &Scenario,
     config: ColocationConfig,
     catalog: &Catalog,
-) -> ColocationOutcome {
+    level: ObsLevel,
+) -> (ColocationOutcome, EventLog) {
     let service_id = config.service.id;
     let service_profile: ServiceProfile = config.service.clone();
     let app_ids = config.apps.clone();
@@ -351,10 +375,14 @@ pub(crate) fn execute_with_config(
 
     let max_intervals = scenario.max_intervals();
     let mut idle_intervals = 0usize;
+    // Decision-event buffer for the run (source 1 = the node, matching the cluster
+    // convention where source 0 is the fleet coordinator). At the default
+    // `ObsLevel::Off` every emit below is a single-branch no-op.
+    let mut obs_buf = ObsBuffer::new(level, 1, 1, pliant_telemetry::obs::DEFAULT_FLEET_CAPACITY);
     // The previous interval's observation is recycled into the next advance so the
     // sample and status buffers are allocated once per run, not once per interval.
     let mut recycled = None;
-    for _ in 0..max_intervals {
+    for k in 0..max_intervals {
         let obs = sim.advance_reusing(scenario.decision_interval_s, recycled.take());
         intervals += 1;
         // An idle interval (zero arrivals, e.g. a load-profile trough) served no
@@ -367,6 +395,15 @@ pub(crate) fn execute_with_config(
             p99_stats.push(obs.p99_latency_s);
             if obs.qos_violated() {
                 violations += 1;
+                obs_buf.emit(
+                    k as u32,
+                    obs.time_s,
+                    Event::QosViolation {
+                        node: 0,
+                        p99_s: obs.p99_latency_s,
+                        qos_target_s: service_profile.qos_target_s,
+                    },
+                );
             }
             let phase_idx = LoadPhase::all()
                 .iter()
@@ -407,7 +444,49 @@ pub(crate) fn execute_with_config(
         // `Policy` contract requires treating no-signal as neither violation nor slack.
         let report = monitor.observe_interval(&obs.latency_samples_s);
         let actions = policy.decide(&report);
-        actuator.apply_all(&mut sim, &actions);
+        if obs_buf.enabled() {
+            // Traced path: record each controller decision and, when the actuator
+            // accepts it, the resulting state change. Applying actions one at a time
+            // is semantically identical to `apply_all`.
+            for action in &actions {
+                let (app, obs_action) = match *action {
+                    Action::SetVariant { app, .. } => (app, ObsAction::SetVariant),
+                    Action::ReclaimCore { app } => (app, ObsAction::ReclaimCore),
+                    Action::ReturnCore { app } => (app, ObsAction::ReturnCore),
+                };
+                obs_buf.emit(
+                    k as u32,
+                    obs.time_s,
+                    Event::ControllerDecision {
+                        node: 0,
+                        app: app as u32,
+                        signal_p99_s: report.smoothed_p99_s,
+                        slack: report.slack_fraction,
+                        action: obs_action,
+                    },
+                );
+                if actuator.apply(&mut sim, *action) {
+                    let applied = match *action {
+                        Action::SetVariant { app, variant } => Event::VariantSwitch {
+                            node: 0,
+                            app: app as u32,
+                            variant: variant.map_or(-1, |v| v as i64),
+                        },
+                        Action::ReclaimCore { app } => Event::CoreReclaimed {
+                            node: 0,
+                            app: app as u32,
+                        },
+                        Action::ReturnCore { app } => Event::CoreReturned {
+                            node: 0,
+                            app: app as u32,
+                        },
+                    };
+                    obs_buf.emit(k as u32, obs.time_s, applied);
+                }
+            }
+        } else {
+            actuator.apply_all(&mut sim, &actions);
+        }
         recycled = Some(obs);
     }
 
@@ -454,7 +533,8 @@ pub(crate) fn execute_with_config(
     let finished_jobs = app_outcomes.iter().filter(|a| a.finished).count();
     let busy_intervals = intervals - idle_intervals;
     let mean_p99_s = p99_stats.mean();
-    ColocationOutcome {
+    let log = EventLog::merge(level, [obs_buf]);
+    let outcome = ColocationOutcome {
         service: service_id,
         policy: scenario.policy,
         apps: app_ids,
@@ -479,8 +559,10 @@ pub(crate) fn execute_with_config(
         },
         phase_qos,
         app_outcomes,
+        obs: log.summary(),
         trace,
-    }
+    };
+    (outcome, log)
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use pliant_approx::catalog::AppId;
+use pliant_telemetry::obs::ObsSummary;
 use pliant_telemetry::series::TraceBundle;
 use pliant_workloads::profile::LoadPhase;
 use pliant_workloads::service::ServiceId;
@@ -170,6 +171,11 @@ pub struct ColocationOutcome {
     pub app_outcomes: Vec<AppOutcome>,
     /// Time series recorded during the run (tail latency, reclaimed cores, variants).
     pub trace: TraceBundle,
+    /// Observability rollup: what the run emitted, per event kind (empty at the
+    /// default [`pliant_telemetry::obs::ObsLevel::Off`]). Absent in pre-observability
+    /// archives (deserializes as the empty summary).
+    #[serde(default)]
+    pub obs: ObsSummary,
 }
 
 impl ColocationOutcome {

@@ -51,6 +51,12 @@ impl LintConfig {
                 "LoadBalancer::split_grouped",
                 "Autoscaler::plan_grouped",
                 "LatencyHistogram::record_n",
+                // The observability emit path (PR 8): called at every decision point
+                // of every per-interval loop above; the Null sink (Off) and the
+                // preallocated ring must both stay allocation-free (the contract is
+                // also pinned dynamically in tests/hot_path.rs).
+                "ObsBuffer::emit",
+                "MetricsRegistry::record",
             ]),
             wallclock_allowed: s(&["crates/bench/", "crates/compat/criterion/"]),
             hash_container_scoped: s(&[

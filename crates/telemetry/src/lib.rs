@@ -14,6 +14,9 @@
 //!   plots of Fig. 7.
 //! * [`rng`] — deterministic random-number helpers and the samplers (exponential, Poisson,
 //!   lognormal, Pareto) the workload generators and queueing models rely on.
+//! * [`obs`] — the deterministic tracing subsystem: typed sim-time [`obs::Event`]s,
+//!   per-source ring buffers, counter registries, and the JSONL / Chrome-trace sinks
+//!   behind the `--trace` flags and the `pliant-trace` CLI.
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 
 pub mod fastmath;
 pub mod histogram;
+pub mod obs;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -193,3 +193,65 @@ fn ten_thousand_node_fleet_collapses_to_a_handful_of_instances() {
         "active-node statistics are in logical-node units"
     );
 }
+
+/// Regression (observability PR audit): every fleet trace series recorded from
+/// clustered representatives must be replica-weighted exactly like the outcome
+/// aggregates it sits next to. A mixed convention — say, per-instance power under a
+/// logical-fleet energy total — would make the exported traces contradict the
+/// headline numbers they are supposed to explain.
+#[test]
+fn clustered_trace_series_stay_consistent_with_outcome_aggregates() {
+    let scenario = diurnal(
+        24,
+        FleetApproximation::Clustered {
+            representatives_per_group: 2,
+        },
+    );
+    let outcome = Engine::new().parallel().run_cluster(&scenario);
+    assert!(
+        outcome.simulated_instances < outcome.nodes,
+        "the approximation must actually collapse the fleet"
+    );
+
+    // fleet_power_w integrates to the fleet energy total (same replica weighting,
+    // different summation order — hence the tolerance).
+    let power = outcome.trace.get("fleet_power_w").expect("power series");
+    let integrated: f64 = power.values().iter().sum::<f64>() * scenario.decision_interval_s;
+    let rel = (integrated - outcome.fleet_energy_j).abs() / outcome.fleet_energy_j;
+    assert!(
+        rel < 1e-9,
+        "sum(fleet_power_w)*dt = {integrated} vs fleet_energy_j = {} (rel {rel:.2e})",
+        outcome.fleet_energy_j
+    );
+
+    // total_extra_cores peaks at the outcome's replica-weighted maximum.
+    let cores = outcome
+        .trace
+        .get("total_extra_cores")
+        .expect("cores series");
+    assert_eq!(
+        cores.max_value().expect("non-empty"),
+        outcome.max_total_extra_cores as f64
+    );
+
+    // active_nodes averages to the outcome's logical mean and never exceeds the
+    // logical fleet.
+    let active = outcome.trace.get("active_nodes").expect("active series");
+    assert_eq!(
+        active.mean_value().expect("non-empty"),
+        outcome.mean_active_nodes
+    );
+    assert!(active.max_value().expect("non-empty") <= outcome.nodes as f64);
+    assert_eq!(
+        active.min_value().expect("non-empty"),
+        outcome.min_active_nodes as f64
+    );
+
+    // violating_nodes is in logical-node units too: no interval can report more
+    // violating nodes than the fleet holds.
+    let violating = outcome
+        .trace
+        .get("violating_nodes")
+        .expect("violating series");
+    assert!(violating.max_value().expect("non-empty") <= outcome.nodes as f64);
+}
