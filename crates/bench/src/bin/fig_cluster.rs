@@ -9,7 +9,8 @@
 //! the same traffic with fewer machines.
 //!
 //! Usage: `fig_cluster [--json] [--seed N] [--total-load X] [--nodes N] [--approx K]
-//!                     [--trace PATH] [--trace-level off|decisions|full]`
+//!                     [--trace PATH] [--trace-level off|decisions|full]
+//!                     [--checkpoint-at K --checkpoint-dir DIR] [--resume-dir DIR]`
 //!
 //! `--nodes N` replaces the default fleet-size sweep with the single given size (pair
 //! it with a matching `--total-load`); `--approx K` simulates each fleet through the
@@ -17,6 +18,13 @@
 //! exact simulation of every node); `--trace PATH` exports each run's decision-event
 //! stream to `PATH` tagged `{nodes}n-{policy}` (`.json` = Chrome trace-event JSON
 //! loadable in Perfetto, otherwise JSON Lines readable by `pliant-trace`).
+//!
+//! `--checkpoint-at K --checkpoint-dir DIR` snapshots every sweep cell at decision
+//! interval `K` to `DIR/{nodes}n-{policy}.json` (the run then continues to completion
+//! as usual); `--resume-dir DIR` restores each cell from such a snapshot before
+//! running the remainder. Resuming an untraced run is byte-identical to never having
+//! stopped — the `--json` output of checkpoint-then-resume equals the uninterrupted
+//! run's byte for byte, which CI enforces.
 
 use pliant_bench::{
     approximation_from_args, cluster_machines_needed_scenario, export_trace, flag_value,
@@ -88,6 +96,19 @@ fn main() {
 
     let trace = trace_opts(&args);
 
+    let checkpoint_at: Option<usize> = flag("--checkpoint-at").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --checkpoint-at expects an interval count");
+            std::process::exit(2);
+        })
+    });
+    let checkpoint_dir = flag("--checkpoint-dir").cloned();
+    if checkpoint_at.is_some() != checkpoint_dir.is_some() {
+        eprintln!("error: --checkpoint-at and --checkpoint-dir must be given together");
+        std::process::exit(2);
+    }
+    let resume_dir = flag("--resume-dir").cloned();
+
     let service = ServiceId::Memcached;
     let engine = Engine::new().parallel();
     let mut curve = Vec::new();
@@ -110,7 +131,40 @@ fn main() {
                 continue;
             };
             s.approximation = approximation;
-            let (outcome, log) = engine.run_cluster_traced(&s, trace.level);
+            let cell = format!("{nodes}n-{policy}");
+            let mut run = ClusterRun::with_obs(&s, &engine, trace.level);
+            if let Some(dir) = &resume_dir {
+                let path = format!("{dir}/{cell}.json");
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("error: cannot read checkpoint {path}: {e}");
+                    std::process::exit(1);
+                });
+                let checkpoint: ClusterRunCheckpoint =
+                    serde_json::from_str(&text).unwrap_or_else(|e| {
+                        eprintln!("error: cannot parse checkpoint {path}: {e}");
+                        std::process::exit(1);
+                    });
+                run.restore(&checkpoint).unwrap_or_else(|e| {
+                    eprintln!("error: cannot restore checkpoint {path}: {e}");
+                    std::process::exit(1);
+                });
+            }
+            if let (Some(at), Some(dir)) = (checkpoint_at, &checkpoint_dir) {
+                while run.intervals() < at && run.step() {}
+                std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                    eprintln!("error: cannot create checkpoint dir {dir}: {e}");
+                    std::process::exit(1);
+                });
+                let path = format!("{dir}/{cell}.json");
+                let text =
+                    serde_json::to_string(&run.checkpoint()).expect("checkpoints are serializable");
+                std::fs::write(&path, text).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write checkpoint {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("checkpoint: {path} at interval {}", run.intervals());
+            }
+            let (outcome, log) = run.finish();
             if trace.enabled() {
                 obs.push(export_trace(&trace, &format!("{nodes}n-{policy}"), &log));
             }

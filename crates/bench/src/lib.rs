@@ -77,6 +77,48 @@ pub fn cluster_machines_needed_scenario(
     )
 }
 
+/// The fixed failure trace of the availability study (`fig_failure`), shared with the
+/// integration test that pins its headline result: one node crash mid-run (node 1 goes
+/// down at interval 30 for 20 intervals, its batch job re-queued onto the survivors)
+/// followed by a degraded-frequency straggler (node 2 at 60% speed from interval 60
+/// for 15 intervals). Both faults target nodes present in every fleet size the study
+/// sweeps, so the Precise/Pliant comparison stays paired under common random numbers
+/// *and* a common fault trace.
+pub fn cluster_failure_trace() -> pliant_cluster::FaultProfile {
+    pliant_cluster::FaultProfile {
+        scheduled: vec![
+            pliant_cluster::ScheduledFault {
+                node: 1,
+                at_interval: 30,
+                duration_intervals: 20,
+                kind: pliant_cluster::FaultKind::Crash,
+            },
+            pliant_cluster::ScheduledFault {
+                node: 2,
+                at_interval: 60,
+                duration_intervals: 15,
+                kind: pliant_cluster::FaultKind::Degrade { factor: 0.6 },
+            },
+        ],
+        ..pliant_cluster::FaultProfile::new()
+    }
+}
+
+/// The fleet scenario of the availability study (`fig_failure`): the machines-needed
+/// fleet of [`cluster_machines_needed_scenario`] with [`cluster_failure_trace`]
+/// injected. Same `None` contract as the base scenario when the fleet cannot carry the
+/// offered load.
+pub fn cluster_failure_scenario(
+    nodes: usize,
+    total_load: f64,
+    policy: pliant_core::policy::PolicyKind,
+    seed: u64,
+) -> Option<pliant_cluster::ClusterScenario> {
+    let mut scenario = cluster_machines_needed_scenario(nodes, total_load, policy, seed)?;
+    scenario.fault_profile = Some(cluster_failure_trace());
+    Some(scenario)
+}
+
 /// The fleet scenario of the energy study (`fig_energy`), shared with the integration
 /// test that pins its headline result: a 6-machine memcached fleet under one day/night
 /// load cycle — a day plateau at exactly the fig_cluster operating point (2.6

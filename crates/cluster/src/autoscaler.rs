@@ -255,6 +255,25 @@ impl std::error::Error for AutoscalerConfigError {}
 /// per-node load stays below `BURN_MARGIN × L`.
 const BURN_MARGIN: f64 = 0.95;
 
+/// Serializable snapshot of an [`Autoscaler`]'s mutable state, for checkpointing (the
+/// configuration and instance weights are rebuilt from the scenario).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoscalerSnapshot {
+    /// Per-instance power states.
+    pub states: Vec<NodePowerState>,
+    /// Remaining enforced-hold intervals.
+    pub cooldown: u32,
+    /// Consecutive intervals of fleet QoS pressure.
+    pub out_streak: u32,
+    /// Peak per-node load over the current pressure streak.
+    pub streak_peak_load: f64,
+    /// Consecutive intervals of scale-in eligibility.
+    pub in_streak: u32,
+    /// Learned capacity ceiling; `None` encodes "not yet learned" (infinity), which
+    /// JSON cannot carry as a number.
+    pub burned_per_node_load: Option<f64>,
+}
+
 /// Runtime state of the fleet autoscaler; see the module docs.
 #[derive(Debug, Clone)]
 pub struct Autoscaler {
@@ -374,6 +393,45 @@ impl Autoscaler {
     /// caused the violations, not the healthy level the fleet had already fallen to.
     pub fn burned_per_node_load(&self) -> f64 {
         self.burned_per_node_load
+    }
+
+    /// Captures the autoscaler's mutable state for checkpointing.
+    pub fn snapshot(&self) -> AutoscalerSnapshot {
+        AutoscalerSnapshot {
+            states: self.states.clone(),
+            cooldown: self.cooldown,
+            out_streak: self.out_streak,
+            streak_peak_load: self.streak_peak_load,
+            in_streak: self.in_streak,
+            burned_per_node_load: if self.burned_per_node_load.is_finite() {
+                Some(self.burned_per_node_load)
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Restores state captured by [`Self::snapshot`] onto an autoscaler built with the
+    /// same configuration and instance weights.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a snapshot whose instance count disagrees with this autoscaler's.
+    pub fn restore(&mut self, snapshot: &AutoscalerSnapshot) -> Result<(), String> {
+        if snapshot.states.len() != self.states.len() {
+            return Err(format!(
+                "snapshot carries {} instances, autoscaler has {}",
+                snapshot.states.len(),
+                self.states.len()
+            ));
+        }
+        self.states = snapshot.states.clone();
+        self.cooldown = snapshot.cooldown;
+        self.out_streak = snapshot.out_streak;
+        self.streak_peak_load = snapshot.streak_peak_load;
+        self.in_streak = snapshot.in_streak;
+        self.burned_per_node_load = snapshot.burned_per_node_load.unwrap_or(f64::INFINITY);
+        Ok(())
     }
 
     /// Plans one interval: transitions fully-drained nodes to parked, updates the

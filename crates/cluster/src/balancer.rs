@@ -101,6 +101,22 @@ impl LoadBalancer {
         self.kind
     }
 
+    /// The sampling RNG's state, for checkpointing (the kind and fleet size are rebuilt
+    /// from the scenario; only the power-of-two-choices stream is mutable state).
+    pub fn rng_state(&self) -> Vec<u64> {
+        pliant_telemetry::rng::rng_state_words(&self.rng)
+    }
+
+    /// Restores the sampling RNG to a state captured by [`Self::rng_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed wire states (wrong width or all-zero).
+    pub fn restore_rng_state(&mut self, words: &[u64]) -> Result<(), String> {
+        self.rng = pliant_telemetry::rng::rng_from_state_words(words)?;
+        Ok(())
+    }
+
     /// Splits `total_load` (node-saturation units) into one offered-load fraction per
     /// node for the coming interval.
     ///

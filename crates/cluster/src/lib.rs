@@ -55,6 +55,7 @@
 pub mod autoscaler;
 pub mod balancer;
 pub mod engine;
+pub mod faults;
 pub mod node;
 pub mod outcome;
 mod pool;
@@ -64,24 +65,31 @@ pub mod scheduler;
 pub mod sim;
 pub mod suite;
 
-pub use autoscaler::{Autoscaler, AutoscalerAction, AutoscalerConfig, NodePowerState};
+pub use autoscaler::{
+    Autoscaler, AutoscalerAction, AutoscalerConfig, AutoscalerSnapshot, NodePowerState,
+};
 pub use balancer::{BalancerKind, LoadBalancer};
-pub use engine::ClusterEngineExt;
-pub use node::{ClusterNode, NodeInterval, NodeSnapshot};
+pub use engine::{ClusterEngineExt, ClusterRun, ClusterRunCheckpoint};
+pub use faults::{
+    FaultKind, FaultProfile, FaultProfileError, FaultStateSnapshot, FaultStats, GroupOutage,
+    NodeHealth, ScheduledFault,
+};
+pub use node::{ClusterNode, NodeCheckpoint, NodeInterval, NodeSnapshot};
 pub use outcome::{machines_needed, ClusterOutcome, NodeOutcome};
 pub use population::{InstancePlan, NodeGroup, NodePopulation};
 pub use scenario::{
     ClusterScenario, ClusterScenarioBuilder, ClusterScenarioError, FleetApproximation,
 };
 pub use scheduler::{BatchScheduler, SchedulerKind, SchedulerStats};
-pub use sim::{ClusterInterval, ClusterSim};
+pub use sim::{ClusterCheckpoint, ClusterInterval, ClusterSim, CLUSTER_CHECKPOINT_VERSION};
 pub use suite::{ClusterCellOutcome, ClusterSuite, ClusterSuiteError, ClusterSweepAxis};
 
 /// Commonly-used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::autoscaler::{AutoscalerConfig, NodePowerState};
     pub use crate::balancer::BalancerKind;
-    pub use crate::engine::ClusterEngineExt;
+    pub use crate::engine::{ClusterEngineExt, ClusterRun, ClusterRunCheckpoint};
+    pub use crate::faults::{FaultKind, FaultProfile, FaultStats, GroupOutage, ScheduledFault};
     pub use crate::outcome::{machines_needed, ClusterOutcome, NodeOutcome};
     pub use crate::population::NodePopulation;
     pub use crate::scenario::{

@@ -8,12 +8,16 @@
 //! streams from the cluster seed), which is what lets the cluster engine advance them in
 //! parallel without changing any result.
 
-use pliant_approx::catalog::{AppProfile, Catalog};
-use pliant_core::actuator::{Action, Actuator};
+use serde::{Deserialize, Serialize};
+
+use pliant_approx::catalog::{AppId, AppProfile, Catalog};
+use pliant_core::actuator::{Action, Actuator, ActuatorStats};
 use pliant_core::controller::ControllerConfig;
-use pliant_core::monitor::{MonitorConfig, PerformanceMonitor};
+use pliant_core::monitor::{MonitorConfig, MonitorSnapshot, PerformanceMonitor};
 use pliant_core::policy::Policy;
-use pliant_sim::colocation::{ColocationConfig, ColocationSim, IntervalObservation};
+use pliant_sim::colocation::{
+    ColocationConfig, ColocationSim, ColocationSimSnapshot, IntervalObservation,
+};
 use pliant_telemetry::histogram::LatencyHistogram;
 use pliant_telemetry::obs::{Event, ObsAction, ObsBuffer, ObsLevel, DEFAULT_NODE_CAPACITY};
 use pliant_telemetry::rng::derive_seed;
@@ -343,6 +347,93 @@ impl ClusterNode {
         self.sim.set_parked(parked);
     }
 
+    /// Sets the node's effective speed to `factor` of nominal (`1.0` = healthy);
+    /// forwarded to [`ColocationSim::set_degrade`]. Fault injection uses this to model
+    /// degraded-frequency stragglers.
+    pub fn set_degrade(&mut self, factor: f64) {
+        self.sim.set_degrade(factor);
+    }
+
+    /// Abandons every batch job still running on the node (a crash): each unfinished
+    /// slot's job is latched done *without* being counted as completed, and its
+    /// `(app, weight)` is appended to `lost` so the cluster's scheduler can re-queue
+    /// it. The in-slot computation itself is not rewound — the slot stays occupied
+    /// until the abandoned work runs out, modelling the post-reboot cleanup window —
+    /// but its completion, inaccuracy, and weight will never be reported.
+    pub fn abort_unfinished_jobs(&mut self, lost: &mut Vec<(AppId, usize)>) {
+        for slot in 0..self.sim.app_count() {
+            if !self.slot_done[slot] && !self.sim.app(slot).is_finished() {
+                self.slot_done[slot] = true;
+                lost.push((self.sim.app(slot).profile().id, self.slot_weight[slot]));
+            }
+        }
+    }
+
+    /// Captures the node's complete mutable state. Restoring the checkpoint into a
+    /// freshly built node for the same scenario slot resumes the run bit-identically
+    /// (see [`ClusterSim::checkpoint`](crate::sim::ClusterSim::checkpoint)).
+    pub fn checkpoint(&self) -> NodeCheckpoint {
+        NodeCheckpoint {
+            sim: self.sim.snapshot(),
+            policy: self.policy.snapshot_state(),
+            monitor: self.monitor.snapshot(),
+            actuator_stats: self.actuator.stats(),
+            slot_done: self.slot_done.clone(),
+            slot_weight: self.slot_weight.clone(),
+            completed_inaccuracy_pct: self.completed_inaccuracy_pct.clone(),
+            completed_weights: self.completed_weights.clone(),
+            smoothed_p99_s: self.smoothed_p99_s,
+            utilization: self.utilization,
+            intervals_stepped: self.intervals_stepped,
+            hist: self.hist.clone(),
+            busy_intervals: self.busy_intervals,
+            idle_intervals: self.idle_intervals,
+            qos_violations: self.qos_violations,
+            energy_j: self.energy_j,
+        }
+    }
+
+    /// Restores a checkpoint captured by [`Self::checkpoint`] into this node, which
+    /// must have been built for the same scenario slot (same seed, jobs, and slot
+    /// count — violations are rejected). The observation-recycling buffer is dropped
+    /// (a capacity-only optimization with no observable effect).
+    pub fn restore(&mut self, checkpoint: &NodeCheckpoint) -> Result<(), String> {
+        if checkpoint.slot_done.len() != self.slot_done.len() {
+            return Err(format!(
+                "node {} checkpoint covers {} slots, node has {}",
+                self.index,
+                checkpoint.slot_done.len(),
+                self.slot_done.len()
+            ));
+        }
+        self.sim
+            .restore(&checkpoint.sim)
+            .map_err(|e| format!("node {} simulator: {e}", self.index))?;
+        self.policy
+            .restore_state(&checkpoint.policy)
+            .map_err(|e| format!("node {} policy state: {e}", self.index))?;
+        self.monitor
+            .restore(&checkpoint.monitor)
+            .map_err(|e| format!("node {} monitor: {e}", self.index))?;
+        self.actuator.restore_stats(checkpoint.actuator_stats);
+        self.slot_done.clone_from(&checkpoint.slot_done);
+        self.slot_weight.clone_from(&checkpoint.slot_weight);
+        self.completed_inaccuracy_pct
+            .clone_from(&checkpoint.completed_inaccuracy_pct);
+        self.completed_weights
+            .clone_from(&checkpoint.completed_weights);
+        self.smoothed_p99_s = checkpoint.smoothed_p99_s;
+        self.utilization = checkpoint.utilization;
+        self.intervals_stepped = checkpoint.intervals_stepped;
+        self.hist = checkpoint.hist.clone();
+        self.busy_intervals = checkpoint.busy_intervals;
+        self.idle_intervals = checkpoint.idle_intervals;
+        self.qos_violations = checkpoint.qos_violations;
+        self.energy_j = checkpoint.energy_j;
+        self.recycle = None;
+        Ok(())
+    }
+
     /// Hands a consumed interval observation back to the node so its heap buffers are
     /// recycled into the next [`Self::step`] (see
     /// [`ColocationSim::advance_reusing`]). Purely an allocation optimization: the
@@ -533,6 +624,49 @@ impl ClusterNode {
             observation,
         }
     }
+}
+
+/// One node's complete mutable state inside a
+/// [`ClusterCheckpoint`](crate::sim::ClusterCheckpoint): the co-location snapshot
+/// (simulators, RNG streams, degradation), the runtime (policy state, monitor,
+/// actuator counters), and every accumulator the outcome is assembled from. The
+/// node's configuration (seed, jobs, QoS target) is *not* captured — it is rebuilt
+/// from the scenario on restore and checked for consistency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeCheckpoint {
+    /// Full co-location simulator state.
+    pub sim: ColocationSimSnapshot,
+    /// Opaque policy-specific controller state
+    /// (see [`Policy::snapshot_state`]).
+    pub policy: serde::Value,
+    /// Performance-monitor state (EWMA, sampling RNG, hysteresis).
+    pub monitor: MonitorSnapshot,
+    /// Actuator counters.
+    pub actuator_stats: ActuatorStats,
+    /// Per-slot completion latch.
+    pub slot_done: Vec<bool>,
+    /// Per-slot replica weight of the job currently in the slot.
+    pub slot_weight: Vec<usize>,
+    /// Inaccuracy of every job completed so far, in percent.
+    pub completed_inaccuracy_pct: Vec<f64>,
+    /// Replica weight of every completed job.
+    pub completed_weights: Vec<usize>,
+    /// Balancer-visible smoothed tail-latency estimate, in seconds.
+    pub smoothed_p99_s: f64,
+    /// Interactive-service utilization over the last interval.
+    pub utilization: f64,
+    /// Intervals stepped so far.
+    pub intervals_stepped: usize,
+    /// Cumulative post-warm-up latency histogram, in microseconds.
+    pub hist: LatencyHistogram,
+    /// Post-warm-up intervals that served traffic.
+    pub busy_intervals: usize,
+    /// Post-warm-up intervals with zero arrivals.
+    pub idle_intervals: usize,
+    /// Post-warm-up traffic-serving intervals that violated QoS.
+    pub qos_violations: usize,
+    /// Total energy consumed, in joules.
+    pub energy_j: f64,
 }
 
 impl std::fmt::Debug for ClusterNode {

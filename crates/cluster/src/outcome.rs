@@ -16,6 +16,7 @@ use pliant_telemetry::series::TraceBundle;
 use pliant_workloads::service::ServiceId;
 
 use crate::balancer::BalancerKind;
+use crate::faults::FaultStats;
 use crate::scenario::FleetApproximation;
 use crate::scheduler::{SchedulerKind, SchedulerStats};
 
@@ -134,6 +135,11 @@ pub struct ClusterOutcome {
     /// Absent in pre-energy archives (deserializes as 0).
     #[serde(default)]
     pub min_active_nodes: usize,
+    /// Fault-injection counters and availability; `None` for runs whose scenario has
+    /// no fault profile (and omitted from their JSON, so fault-free archives are
+    /// byte-identical to pre-fault ones).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultStats>,
     /// Job-queue statistics (submitted / placed / completed).
     pub scheduler_stats: SchedulerStats,
     /// Per-node outcomes, in node order.
@@ -229,6 +235,7 @@ mod tests {
             energy_per_completed_job_j: 1500.0,
             mean_active_nodes: nodes as f64,
             min_active_nodes: nodes,
+            faults: None,
             scheduler_stats: SchedulerStats {
                 submitted: nodes,
                 placed: nodes,
@@ -312,6 +319,29 @@ mod tests {
         assert_eq!(back.approximation, FleetApproximation::Exact);
         assert_eq!(back.simulated_instances, 0);
         assert_eq!(back.node_outcomes[0].replicas, 1);
+    }
+
+    #[test]
+    fn fault_free_outcomes_omit_the_faults_block() {
+        let o = outcome(2, 0.9, 0.01);
+        let json = serde_json::to_string(&o).expect("serializable");
+        assert!(
+            !json.contains("\"faults\""),
+            "fault-free archives must stay byte-identical to pre-fault ones: {json}"
+        );
+        let mut with = o.clone();
+        with.faults = Some(FaultStats {
+            crashes: 1,
+            degradations: 2,
+            jobs_requeued: 3,
+            down_node_intervals: 20,
+            degraded_node_intervals: 15,
+            availability: 0.95,
+        });
+        let json = serde_json::to_string(&with).expect("serializable");
+        assert!(json.contains("\"faults\""));
+        let back: ClusterOutcome = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.faults, with.faults);
     }
 
     #[test]

@@ -136,24 +136,82 @@ impl NodePopulation {
                 let k = (*representatives_per_group).max(1);
                 let mut plans = Vec::new();
                 for (gi, group) in self.groups.iter().enumerate() {
-                    let len = group.members.len();
-                    let chunks = k.min(len);
-                    let base = len / chunks;
-                    let extra = len % chunks;
-                    let mut start = 0usize;
-                    for c in 0..chunks {
-                        let size = base + usize::from(c < extra);
+                    chunk_group(gi, &group.members, k, &mut plans);
+                }
+                plans
+            }
+        }
+    }
+
+    /// Like [`Self::plan_instances`], but carves the `isolated` logical nodes out of
+    /// their replica groups so each is simulated exactly (a weight-1 instance), while
+    /// the remaining members keep the clustered chunking. Fault injection uses this:
+    /// a node that crashes or degrades stops being interchangeable with its group, so
+    /// folding it into a replica block would multiply its failure by the block weight.
+    ///
+    /// Under [`FleetApproximation::Exact`] this is identical to
+    /// [`Self::plan_instances`] (every node is already simulated exactly). Within each
+    /// group the non-isolated chunks come first, then the isolated members in
+    /// ascending logical order; replica weights still sum to [`Self::total_nodes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isolated` is not exactly [`Self::total_nodes`] long.
+    pub fn plan_instances_isolating(
+        &self,
+        approximation: &FleetApproximation,
+        isolated: &[bool],
+    ) -> Vec<InstancePlan> {
+        assert_eq!(
+            isolated.len(),
+            self.total_nodes,
+            "isolation mask must cover every logical node"
+        );
+        match approximation {
+            FleetApproximation::Exact => self.plan_instances(approximation),
+            FleetApproximation::Clustered {
+                representatives_per_group,
+            } => {
+                let k = (*representatives_per_group).max(1);
+                let mut plans = Vec::new();
+                let mut pooled: Vec<usize> = Vec::new();
+                for (gi, group) in self.groups.iter().enumerate() {
+                    pooled.clear();
+                    pooled.extend(group.members.iter().copied().filter(|&m| !isolated[m]));
+                    chunk_group(gi, &pooled, k, &mut plans);
+                    for &member in group.members.iter().filter(|&&m| isolated[m]) {
                         plans.push(InstancePlan {
                             group: gi,
-                            seed_member: group.members[start],
-                            replicas: size,
+                            seed_member: member,
+                            replicas: 1,
                         });
-                        start += size;
                     }
                 }
                 plans
             }
         }
+    }
+}
+
+/// Splits one group's (remaining) members into at most `k` near-even contiguous chunks
+/// and appends one representative plan per chunk. No-op for an empty member list.
+fn chunk_group(group: usize, members: &[usize], k: usize, plans: &mut Vec<InstancePlan>) {
+    let len = members.len();
+    if len == 0 {
+        return;
+    }
+    let chunks = k.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut start = 0usize;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        plans.push(InstancePlan {
+            group,
+            seed_member: members[start],
+            replicas: size,
+        });
+        start += size;
     }
 }
 
@@ -215,6 +273,46 @@ mod tests {
         assert_eq!(plans[0].replicas, 2); // group 0 has 3 members → 2 + 1
         assert_eq!(plans[1].replicas, 1);
         assert_eq!(plans[1].seed_member, 6);
+    }
+
+    #[test]
+    fn isolating_plans_split_faulted_members_out_of_their_groups() {
+        let pop = NodePopulation::from_scenario(&scenario(12));
+        // Isolate nodes 3 (group 0) and 4 (group 1).
+        let mut isolated = vec![false; 12];
+        isolated[3] = true;
+        isolated[4] = true;
+        let approx = FleetApproximation::Clustered {
+            representatives_per_group: 2,
+        };
+        let plans = pop.plan_instances_isolating(&approx, &isolated);
+        // Weight is conserved and the isolated nodes are weight-1 seeds.
+        assert_eq!(plans.iter().map(|p| p.replicas).sum::<usize>(), 12);
+        for &node in &[3usize, 4] {
+            assert!(
+                plans
+                    .iter()
+                    .any(|p| p.seed_member == node && p.replicas == 1),
+                "node {node} must be simulated exactly: {plans:?}"
+            );
+        }
+        // Group 0 = [0,3,6,9]: pooled [0,6,9] chunks into 2+1, then isolated 3.
+        let g0: Vec<_> = plans.iter().filter(|p| p.group == 0).collect();
+        assert_eq!(g0.len(), 3);
+        assert_eq!((g0[0].seed_member, g0[0].replicas), (0, 2));
+        assert_eq!((g0[1].seed_member, g0[1].replicas), (9, 1));
+        assert_eq!((g0[2].seed_member, g0[2].replicas), (3, 1));
+        // With nothing isolated the plan is exactly the plain clustered plan.
+        let none = vec![false; 12];
+        assert_eq!(
+            pop.plan_instances_isolating(&approx, &none),
+            pop.plan_instances(&approx)
+        );
+        // Exact mode ignores the mask entirely.
+        assert_eq!(
+            pop.plan_instances_isolating(&FleetApproximation::Exact, &isolated),
+            pop.plan_instances(&FleetApproximation::Exact)
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use pliant_workloads::service::ServiceId;
 
 use crate::autoscaler::{AutoscalerConfig, AutoscalerConfigError};
 use crate::balancer::BalancerKind;
+use crate::faults::{FaultProfile, FaultProfileError};
 use crate::scheduler::SchedulerKind;
 
 /// How the engine turns the scenario's node *population* into simulated node
@@ -124,8 +125,13 @@ pub struct ClusterScenario {
     /// `Exact`).
     #[serde(default)]
     pub approximation: FleetApproximation,
-    /// Master seed; every node, the balancer, and the monitor sampling streams derive
-    /// from it.
+    /// Deterministic fault injection — node crashes, stragglers, correlated group
+    /// outages (`None` = nothing ever fails). Absent in pre-fault archives
+    /// (deserializes as `None`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fault_profile: Option<FaultProfile>,
+    /// Master seed; every node, the balancer, the monitor sampling streams, and the
+    /// fault schedule derive from it.
     pub seed: u64,
 }
 
@@ -227,6 +233,16 @@ impl ClusterScenario {
                 return Err(ClusterScenarioError::InvalidApproximation);
             }
         }
+        if let Some(profile) = &self.fault_profile {
+            // Group-outage targets are indices into the node population, which (after
+            // the job-count check above) is well-defined and cheap to derive here.
+            let groups = crate::population::NodePopulation::from_scenario(self)
+                .groups()
+                .len();
+            profile
+                .validate(self.nodes, groups)
+                .map_err(ClusterScenarioError::InvalidFaultProfile)?;
+        }
         Ok(())
     }
 
@@ -274,6 +290,8 @@ impl serde::Deserialize for ClusterScenario {
             autoscaler: Option<AutoscalerConfig>,
             #[serde(default)]
             approximation: FleetApproximation,
+            #[serde(default)]
+            fault_profile: Option<FaultProfile>,
             seed: u64,
         }
         let w = ClusterScenarioWire::from_value(value)?;
@@ -296,6 +314,7 @@ impl serde::Deserialize for ClusterScenario {
             qos_target_s: w.qos_target_s,
             autoscaler: w.autoscaler,
             approximation: w.approximation,
+            fault_profile: w.fault_profile,
             seed: w.seed,
         };
         scenario
@@ -352,6 +371,8 @@ pub enum ClusterScenarioError {
     /// The clustered approximation allows zero representatives per group, which would
     /// leave population groups with no simulated instance at all.
     InvalidApproximation,
+    /// The fault profile failed its own validation.
+    InvalidFaultProfile(FaultProfileError),
 }
 
 impl std::fmt::Display for ClusterScenarioError {
@@ -398,6 +419,9 @@ impl std::fmt::Display for ClusterScenarioError {
             ClusterScenarioError::InvalidApproximation => f.write_str(
                 "clustered approximation needs at least one representative per group",
             ),
+            ClusterScenarioError::InvalidFaultProfile(e) => {
+                write!(f, "invalid fault profile: {e}")
+            }
         }
     }
 }
@@ -453,6 +477,7 @@ impl ClusterScenarioBuilder {
                 qos_target_s: None,
                 autoscaler: None,
                 approximation: FleetApproximation::Exact,
+                fault_profile: None,
                 seed: 42,
             },
         }
@@ -569,6 +594,14 @@ impl ClusterScenarioBuilder {
     /// (default: [`FleetApproximation::Exact`]).
     pub fn approximation(mut self, approximation: FleetApproximation) -> Self {
         self.scenario.approximation = approximation;
+        self
+    }
+
+    /// Attaches a fault profile: deterministic, seed-derived node crashes,
+    /// degraded-frequency stragglers, and correlated group outages (see
+    /// [`crate::faults`]).
+    pub fn faults(mut self, profile: FaultProfile) -> Self {
+        self.scenario.fault_profile = Some(profile);
         self
     }
 
@@ -833,6 +866,86 @@ mod tests {
         let err = serde_json::from_str::<ClusterScenario>(&corrupted)
             .expect_err("zero representatives must not deserialize");
         assert!(err.to_string().contains("at least one representative"));
+    }
+
+    #[test]
+    fn fault_profiles_round_trip_and_are_validated_at_both_boundaries() {
+        use crate::faults::{FaultKind, GroupOutage, ScheduledFault};
+        let profile = FaultProfile {
+            crash_probability: 0.01,
+            outage_intervals: 10,
+            scheduled: vec![ScheduledFault {
+                node: 1,
+                at_interval: 20,
+                duration_intervals: 5,
+                kind: FaultKind::Crash,
+            }],
+            ..FaultProfile::new()
+        };
+        let s = ClusterScenario::builder(ServiceId::Memcached)
+            .nodes(3)
+            .jobs(jobs(3))
+            .faults(profile.clone())
+            .build();
+        let json = serde_json::to_string(&s).expect("serializable");
+        assert!(json.contains("fault_profile"));
+        let back: ClusterScenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.fault_profile, Some(profile));
+
+        // Fault-free scenarios omit the field entirely, and archives without it
+        // (everything written before fault injection existed) deserialize as None.
+        let plain = ClusterScenario::builder(ServiceId::Memcached)
+            .jobs(jobs(4))
+            .build();
+        let json = serde_json::to_string(&plain).expect("serializable");
+        assert!(!json.contains("fault_profile"));
+        let back: ClusterScenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.fault_profile, None);
+
+        // Builder-side validation: a scheduled fault must target a real node.
+        let err = ClusterScenario::builder(ServiceId::Memcached)
+            .nodes(2)
+            .jobs(jobs(2))
+            .faults(FaultProfile {
+                scheduled: vec![ScheduledFault {
+                    node: 9,
+                    at_interval: 0,
+                    duration_intervals: 1,
+                    kind: FaultKind::Crash,
+                }],
+                ..FaultProfile::new()
+            })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, ClusterScenarioError::InvalidFaultProfile(_)));
+        assert!(err.to_string().contains("fault"));
+
+        // Group outages are checked against the actual population (jobs(4)
+        // alternates two apps, so 4 nodes form 2 groups).
+        let err = ClusterScenario::builder(ServiceId::Memcached)
+            .jobs(jobs(4))
+            .faults(FaultProfile {
+                group_outages: vec![GroupOutage {
+                    group: 2,
+                    at_interval: 0,
+                    duration_intervals: 1,
+                }],
+                ..FaultProfile::new()
+            })
+            .try_build()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("group"),
+            "out-of-range group outage must be rejected: {err}"
+        );
+
+        // The same invariants hold at the archive boundary.
+        let corrupted = serde_json::to_string(&s)
+            .expect("serializable")
+            .replace("\"node\":1", "\"node\":7");
+        let err = serde_json::from_str::<ClusterScenario>(&corrupted)
+            .expect_err("out-of-range scheduled fault must not deserialize");
+        assert!(err.to_string().contains("fault"));
     }
 
     #[test]

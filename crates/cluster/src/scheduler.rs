@@ -153,6 +153,31 @@ impl BatchScheduler {
         self.stats.completed += count;
     }
 
+    /// Returns `weight` logical copies of a job lost on a crashed node to the back of
+    /// the queue. The lost placement is uncounted (`placed` decreases by `weight`), so
+    /// the stats keep the invariant `submitted = placed + pending` and a later
+    /// re-placement counts the job again.
+    pub fn requeue(&mut self, app: AppId, weight: usize) {
+        for _ in 0..weight {
+            self.queue.push_back(app);
+        }
+        self.stats.placed = self.stats.placed.saturating_sub(weight);
+    }
+
+    /// The queued jobs in submission order, for checkpointing.
+    pub fn queue_snapshot(&self) -> Vec<AppId> {
+        self.queue.iter().copied().collect()
+    }
+
+    /// Rebuilds a scheduler from checkpointed queue contents and statistics.
+    pub fn restore(kind: SchedulerKind, queue: Vec<AppId>, stats: SchedulerStats) -> Self {
+        Self {
+            kind,
+            queue: queue.into(),
+            stats,
+        }
+    }
+
     /// The next job to place, if the policy finds a node with capacity: returns
     /// `(node_index, app)` and pops the job from the queue. `snapshots` must reflect
     /// current free-slot counts; the caller performs the actual placement and calls this

@@ -36,10 +36,12 @@ use pliant_approx::catalog::{AppId, Catalog};
 use pliant_telemetry::obs::{
     Event, EventLog, ObsBuffer, ObsLevel, PowerStateKind, ScaleTrigger, DEFAULT_FLEET_CAPACITY,
 };
+use serde::{Deserialize, Serialize};
 
-use crate::autoscaler::{Autoscaler, NodePowerState};
+use crate::autoscaler::{Autoscaler, AutoscalerSnapshot, NodePowerState};
 use crate::balancer::LoadBalancer;
-use crate::node::{ClusterNode, NodeInterval, NodeSnapshot};
+use crate::faults::{self, FaultKind, FaultState, FaultStateSnapshot, FaultStats, NodeHealth};
+use crate::node::{ClusterNode, NodeCheckpoint, NodeInterval, NodeSnapshot};
 use crate::pool::NodeWorkerPool;
 use crate::population::NodePopulation;
 use crate::scenario::ClusterScenario;
@@ -84,6 +86,10 @@ pub struct ClusterSim {
     scheduler: BatchScheduler,
     /// Energy-aware sizing of the active node set (`None` = every node always serves).
     autoscaler: Option<Autoscaler>,
+    /// Fault injection: the compiled schedule and per-instance health (`None` when the
+    /// scenario carries no fault profile — fault-free runs take exactly the historical
+    /// code paths, byte-for-byte).
+    faults: Option<FaultState>,
     time_s: f64,
     intervals: usize,
     /// Persistent worker pool for parallel node updates, created on first parallel
@@ -96,8 +102,12 @@ pub struct ClusterSim {
     /// Scratch buffer of per-instance load assignments (clustered mode only; the exact
     /// path keeps the historical allocating balancer calls for byte-identity).
     assigned_scratch: Vec<f64>,
-    /// Scratch buffer of per-instance active flags (clustered mode only).
+    /// Scratch buffer of per-instance active flags (clustered mode and fault-aware
+    /// exact mode).
     active_scratch: Vec<bool>,
+    /// Scratch buffer of `(app, weight)` jobs aborted off a crashed node, reused
+    /// across crash events.
+    requeue_scratch: Vec<(AppId, usize)>,
     /// Coordinator-side event ring (source 0): fleet shape, placements, dispatch,
     /// autoscaler transitions, and per-interval rollups. Disabled — the null sink —
     /// unless the fleet was built with [`Self::with_obs`].
@@ -145,8 +155,28 @@ impl ClusterSim {
         }
         let initial = scenario.initial_job_count();
         let population = NodePopulation::from_scenario(scenario);
-        let plans = population.plan_instances(&scenario.approximation);
         let clustered = scenario.approximation.is_clustered();
+        let fault_schedule = scenario
+            .fault_profile
+            .as_ref()
+            .filter(|profile| !profile.is_empty())
+            .map(|profile| {
+                faults::compile_schedule(
+                    profile,
+                    scenario.seed,
+                    &population,
+                    scenario.max_intervals(),
+                )
+            });
+        // Faulted logical nodes must be simulated exactly: carve them out of their
+        // replica groups so a crash takes down one node, not every node it stood for.
+        let plans = match &fault_schedule {
+            Some(schedule) if clustered => population.plan_instances_isolating(
+                &scenario.approximation,
+                &faults::faulted_logical_nodes(schedule, population.total_nodes()),
+            ),
+            _ => population.plan_instances(&scenario.approximation),
+        };
         // In exact mode the plans are one weight-1 instance per logical node in node
         // order, so this loop is the historical per-node construction verbatim.
         let nodes: Vec<Option<ClusterNode>> = plans
@@ -215,6 +245,8 @@ impl ClusterSim {
         let autoscaler = scenario
             .autoscaler
             .map(|config| Autoscaler::for_instances(config, replica_weights.clone()));
+        let faults = fault_schedule
+            .map(|schedule| FaultState::new(schedule, population.total_nodes(), &plans));
         Self {
             scenario: scenario.clone(),
             catalog: catalog.clone(),
@@ -225,6 +257,7 @@ impl ClusterSim {
             balancer,
             scheduler,
             autoscaler,
+            faults,
             time_s: 0.0,
             intervals: 0,
             pool: None,
@@ -232,6 +265,7 @@ impl ClusterSim {
             result_scratch: Vec::new(),
             assigned_scratch: Vec::new(),
             active_scratch: Vec::new(),
+            requeue_scratch: Vec::new(),
             fleet_obs,
             power_state_scratch: Vec::new(),
         }
@@ -308,6 +342,21 @@ impl ClusterSim {
         self.autoscaler.as_ref().map(|a| a.states())
     }
 
+    /// Per-instance fault health, when the scenario carries a (non-empty) fault
+    /// profile.
+    pub fn node_health(&self) -> Option<&[NodeHealth]> {
+        self.faults.as_ref().map(|f| f.health.as_slice())
+    }
+
+    /// Fault-injection outcome counters so far, when the scenario carries a
+    /// (non-empty) fault profile. Availability is computed over the logical fleet and
+    /// the intervals advanced so far.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults
+            .as_ref()
+            .map(|f| f.stats(self.population.total_nodes(), self.intervals))
+    }
+
     /// Logical nodes currently serving traffic (the whole fleet without an
     /// autoscaler). In clustered mode a whole replica block counts at once, since the
     /// autoscaler parks and drains instances atomically.
@@ -370,6 +419,155 @@ impl ClusterSim {
     pub fn advance_threads(&mut self, threads: usize) -> ClusterInterval {
         let n = self.nodes.len();
         let dt = self.scenario.decision_interval_s;
+
+        // 0. Fault injection: recover nodes whose outage/degradation expired, then
+        //    apply every fault scheduled for this interval (a zero-allocation cursor
+        //    walk over the pre-compiled schedule; see [`crate::faults`]). Runs before
+        //    anything else so placement, balancing, and the autoscaler all see this
+        //    interval's health.
+        if let Some(faults) = self.faults.as_mut() {
+            let interval = self.intervals as u64;
+            let obs_interval = self.intervals as u32;
+            // Recoveries first, so a node can be struck again the interval it returns.
+            for (i, health) in faults.health.iter_mut().enumerate() {
+                match *health {
+                    NodeHealth::Down { until } if until <= interval => {
+                        *health = NodeHealth::Up;
+                        self.nodes[i]
+                            .as_mut()
+                            // pliant-lint: allow(panic-hygiene): slots are full here —
+                            // the pool hands every node back before a step returns.
+                            .expect("node slots are only empty while a step is in flight")
+                            // The autoscaler pass below re-parks it if it planned so.
+                            .set_parked(false);
+                        if self.fleet_obs.enabled() {
+                            self.fleet_obs.emit(
+                                obs_interval,
+                                self.time_s,
+                                Event::NodeRecovered { node: i as u32 },
+                            );
+                        }
+                    }
+                    NodeHealth::Degraded { until, .. } if until <= interval => {
+                        *health = NodeHealth::Up;
+                        self.nodes[i]
+                            .as_mut()
+                            // pliant-lint: allow(panic-hygiene): slots are full here —
+                            // the pool hands every node back before a step returns.
+                            .expect("node slots are only empty while a step is in flight")
+                            .set_degrade(1.0);
+                        if self.fleet_obs.enabled() {
+                            self.fleet_obs.emit(
+                                obs_interval,
+                                self.time_s,
+                                Event::NodeRecovered { node: i as u32 },
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Apply the events scheduled for this interval. Events addressing a
+            // logical node with no exact instance (impossible by construction — the
+            // isolating planner carves every faulted node out) or a node that is not
+            // healthy (a crash cannot crash an already-down node) are dropped.
+            while faults.cursor < faults.schedule.len()
+                && faults.schedule[faults.cursor].interval == interval
+            {
+                let event = faults.schedule[faults.cursor];
+                faults.cursor += 1;
+                let Some(instance) = faults.instance_of[event.node] else {
+                    continue;
+                };
+                if faults.health[instance] != NodeHealth::Up {
+                    continue;
+                }
+                match event.kind {
+                    FaultKind::Crash => {
+                        faults.health[instance] = NodeHealth::Down {
+                            until: interval + event.duration,
+                        };
+                        faults.crashes += 1;
+                        if self.fleet_obs.enabled() {
+                            self.fleet_obs.emit(
+                                obs_interval,
+                                self.time_s,
+                                Event::NodeFailed {
+                                    node: instance as u32,
+                                    outage_intervals: event.duration as u32,
+                                },
+                            );
+                        }
+                        // Unfinished batch jobs die with the node; hand them back to
+                        // the scheduler queue. (The node's slots keep simulating the
+                        // abandoned work and free up when it would have finished —
+                        // the requeued copy may complete elsewhere first.)
+                        self.requeue_scratch.clear();
+                        self.nodes[instance]
+                            .as_mut()
+                            // pliant-lint: allow(panic-hygiene): slots are full here —
+                            // the pool hands every node back before a step returns.
+                            .expect("node slots are only empty while a step is in flight")
+                            .abort_unfinished_jobs(&mut self.requeue_scratch);
+                        for &(app, weight) in &self.requeue_scratch {
+                            self.scheduler.requeue(app, weight);
+                            faults.jobs_requeued += weight as u64;
+                            if self.fleet_obs.enabled() {
+                                let job_code = AppId::all()
+                                    .iter()
+                                    .position(|a| *a == app)
+                                    .map_or(u32::MAX, |p| p as u32);
+                                self.fleet_obs.emit(
+                                    obs_interval,
+                                    self.time_s,
+                                    Event::JobRequeued {
+                                        node: instance as u32,
+                                        job_code,
+                                        weight: weight as u32,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    FaultKind::Degrade { factor } => {
+                        faults.health[instance] = NodeHealth::Degraded {
+                            until: interval + event.duration,
+                            factor,
+                        };
+                        faults.degradations += 1;
+                        self.nodes[instance]
+                            .as_mut()
+                            // pliant-lint: allow(panic-hygiene): slots are full here —
+                            // the pool hands every node back before a step returns.
+                            .expect("node slots are only empty while a step is in flight")
+                            .set_degrade(factor);
+                        if self.fleet_obs.enabled() {
+                            self.fleet_obs.emit(
+                                obs_interval,
+                                self.time_s,
+                                Event::NodeDegraded {
+                                    node: instance as u32,
+                                    factor,
+                                    intervals: event.duration as u32,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            // Replica-weighted availability accounting for the interval about to run.
+            for (i, health) in faults.health.iter().enumerate() {
+                match health {
+                    NodeHealth::Down { .. } => {
+                        faults.down_node_intervals += self.replica_weights[i] as u64;
+                    }
+                    NodeHealth::Degraded { .. } => {
+                        faults.degraded_node_intervals += self.replica_weights[i] as u64;
+                    }
+                    NodeHealth::Up => {}
+                }
+            }
+        }
 
         // 1. Sample the fleet's load for this interval. The total scales with the
         //    *logical* fleet: approximating with fewer instances must not shrink the
@@ -435,6 +633,22 @@ impl ClusterSim {
             }
         }
 
+        // 1c. Crashed nodes stay suspended no matter what the autoscaler planned: a
+        //     down node bills the parked draw until it recovers (the recovery pass
+        //     above un-parks it before this runs). Modelling simplification: an outage
+        //     is billed like a park, not as zero draw.
+        if let Some(faults) = &self.faults {
+            for (slot, health) in self.nodes.iter_mut().zip(&faults.health) {
+                if !health.is_serving() {
+                    slot.as_mut()
+                        // pliant-lint: allow(panic-hygiene): slots are full here — the
+                        // pool hands every node back before the previous step returns.
+                        .expect("node slots are only empty while a step is in flight")
+                        .set_parked(true);
+                }
+            }
+        }
+
         // 2. Place queued jobs into slots freed by the previous interval. Snapshots are
         //    refreshed after every placement so one node does not soak up the whole
         //    queue just because it was chosen first. Nodes outside the active set
@@ -448,6 +662,15 @@ impl ClusterSim {
             if let Some(scaler) = &self.autoscaler {
                 for (snap, state) in snapshots.iter_mut().zip(scaler.states()) {
                     if *state != NodePowerState::Active {
+                        snap.free_slots = 0;
+                    }
+                }
+            }
+            if let Some(faults) = &self.faults {
+                // Crashed nodes advertise no free slots: the scheduler must not hand
+                // fresh jobs to a node that cannot run them.
+                for (snap, health) in snapshots.iter_mut().zip(&faults.health) {
+                    if !health.is_serving() {
                         snap.free_slots = 0;
                     }
                 }
@@ -512,6 +735,15 @@ impl ClusterSim {
                 }
                 None => active.resize(n, true),
             }
+            if let Some(faults) = &self.faults {
+                // The balancer sheds dead nodes: traffic is split over the serving
+                // set only (health ANDed into the autoscaler's active set).
+                for (flag, health) in active.iter_mut().zip(&faults.health) {
+                    if !health.is_serving() {
+                        *flag = false;
+                    }
+                }
+            }
             let mut out = std::mem::take(&mut self.assigned_scratch);
             self.balancer.split_grouped(
                 total_offered_load,
@@ -520,12 +752,42 @@ impl ClusterSim {
                 &active,
                 &mut out,
             );
-            let serving = self
-                .autoscaler
-                .as_ref()
-                .map_or(self.population.total_nodes(), |a| a.active_replicas());
+            let serving = if self.faults.is_some() {
+                active
+                    .iter()
+                    .zip(&self.replica_weights)
+                    .filter(|(flag, _)| **flag)
+                    .map(|(_, &weight)| weight)
+                    .sum()
+            } else {
+                self.autoscaler
+                    .as_ref()
+                    .map_or(self.population.total_nodes(), |a| a.active_replicas())
+            };
             self.active_scratch = active;
             (out, serving)
+        } else if let Some(faults) = &self.faults {
+            // Fault-aware exact path: always split over an explicit serving mask
+            // (health ANDed into the autoscaler's active set when one is configured).
+            let mut active = std::mem::take(&mut self.active_scratch);
+            active.clear();
+            match &self.autoscaler {
+                Some(scaler) => {
+                    active.extend(scaler.states().iter().map(|s| *s == NodePowerState::Active));
+                }
+                None => active.resize(n, true),
+            }
+            for (flag, health) in active.iter_mut().zip(&faults.health) {
+                if !health.is_serving() {
+                    *flag = false;
+                }
+            }
+            let serving = active.iter().filter(|&&flag| flag).count();
+            let split = self
+                .balancer
+                .split_active(total_offered_load, &snapshots, &active);
+            self.active_scratch = active;
+            (split, serving)
         } else {
             match &mut self.autoscaler {
                 Some(scaler) => {
@@ -554,7 +816,11 @@ impl ClusterSim {
                 let active = self
                     .autoscaler
                     .as_ref()
-                    .is_none_or(|a| a.states()[i] == NodePowerState::Active);
+                    .is_none_or(|a| a.states()[i] == NodePowerState::Active)
+                    && self
+                        .faults
+                        .as_ref()
+                        .is_none_or(|f| f.health[i].is_serving());
                 if load > 0.0 {
                     self.fleet_obs.emit(
                         interval,
@@ -659,6 +925,156 @@ impl ClusterSim {
             nodes: node_intervals,
         }
     }
+
+    /// Captures the full mutable state of the fleet between intervals: every node's
+    /// simulator/monitor/policy/actuator, the scheduler queue, the balancer RNG, and
+    /// the autoscaler and fault state if configured. Restoring the checkpoint into a
+    /// fleet freshly built from the same scenario ([`Self::restore`]) and advancing it
+    /// produces output byte-identical to the uninterrupted run (for untraced fleets;
+    /// the observability ring is not part of the snapshot, so a resumed traced run
+    /// replays only post-resume events).
+    pub fn checkpoint(&self) -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            version: CLUSTER_CHECKPOINT_VERSION,
+            scenario_seed: self.scenario.seed,
+            nodes: self.population.total_nodes(),
+            instances: self.nodes.len(),
+            time_s: self.time_s,
+            intervals: self.intervals,
+            balancer_rng: self.balancer.rng_state(),
+            scheduler_queue: self.scheduler.queue_snapshot(),
+            scheduler_stats: self.scheduler.stats(),
+            autoscaler: self.autoscaler.as_ref().map(|a| a.snapshot()),
+            faults: self.faults.as_ref().map(|f| f.snapshot()),
+            node_checkpoints: self
+                .nodes
+                .iter()
+                .map(|slot| Self::expect_node(slot).checkpoint())
+                .collect(),
+        }
+    }
+
+    /// Restores a checkpoint taken by [`Self::checkpoint`] into this fleet, which must
+    /// have been built from the same scenario (same seed, fleet shape, approximation,
+    /// and fault profile — the schedule and instance plan are recompiled from the
+    /// scenario, only mutable state travels in the checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Rejects checkpoints from a different format version, a different fleet shape,
+    /// or with component states that fail their own validation; the fleet may be left
+    /// partially restored on error and must not be advanced further.
+    pub fn restore(&mut self, checkpoint: &ClusterCheckpoint) -> Result<(), String> {
+        if checkpoint.version != CLUSTER_CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint format version {} (supported: {CLUSTER_CHECKPOINT_VERSION})",
+                checkpoint.version
+            ));
+        }
+        if checkpoint.scenario_seed != self.scenario.seed {
+            return Err(format!(
+                "checkpoint was taken at seed {}, scenario has seed {}",
+                checkpoint.scenario_seed, self.scenario.seed
+            ));
+        }
+        if checkpoint.nodes != self.population.total_nodes()
+            || checkpoint.instances != self.nodes.len()
+            || checkpoint.node_checkpoints.len() != self.nodes.len()
+        {
+            return Err(format!(
+                "checkpoint covers {} nodes / {} instances, fleet has {} / {}",
+                checkpoint.nodes,
+                checkpoint.node_checkpoints.len(),
+                self.population.total_nodes(),
+                self.nodes.len()
+            ));
+        }
+        match (&mut self.faults, &checkpoint.faults) {
+            (Some(state), Some(snapshot)) => state
+                .restore(snapshot)
+                .map_err(|e| format!("fault state: {e}"))?,
+            (None, None) => {}
+            _ => {
+                return Err(
+                    "checkpoint fault state does not match the scenario's fault profile".into(),
+                )
+            }
+        }
+        match (&mut self.autoscaler, &checkpoint.autoscaler) {
+            (Some(scaler), Some(snapshot)) => scaler
+                .restore(snapshot)
+                .map_err(|e| format!("autoscaler: {e}"))?,
+            (None, None) => {}
+            _ => {
+                return Err(
+                    "checkpoint autoscaler state does not match the scenario's config".into(),
+                )
+            }
+        }
+        self.balancer
+            .restore_rng_state(&checkpoint.balancer_rng)
+            .map_err(|e| format!("balancer: {e}"))?;
+        self.scheduler = BatchScheduler::restore(
+            self.scenario.scheduler,
+            checkpoint.scheduler_queue.clone(),
+            checkpoint.scheduler_stats,
+        );
+        for (index, (slot, node_checkpoint)) in self
+            .nodes
+            .iter_mut()
+            .zip(&checkpoint.node_checkpoints)
+            .enumerate()
+        {
+            slot.as_mut()
+                // pliant-lint: allow(panic-hygiene): slots are full between intervals;
+                // checkpoints are only restored outside of advance calls.
+                .expect("node slots are only empty while a step is in flight")
+                .restore(node_checkpoint)
+                .map_err(|e| format!("node {index}: {e}"))?;
+        }
+        self.time_s = checkpoint.time_s;
+        self.intervals = checkpoint.intervals;
+        Ok(())
+    }
+}
+
+/// Format version written into [`ClusterCheckpoint::version`]; bump on any
+/// breaking change to the snapshot layout.
+pub const CLUSTER_CHECKPOINT_VERSION: u32 = 1;
+
+/// A serializable snapshot of the full mutable state of a [`ClusterSim`] between
+/// intervals; see [`ClusterSim::checkpoint`]. Everything derivable from the scenario
+/// (the fault schedule, the instance plan, node profiles) is recompiled on restore —
+/// the checkpoint carries only mutable state plus shape identifiers used to reject
+/// mismatched restores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterCheckpoint {
+    /// Snapshot format version ([`CLUSTER_CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Seed of the scenario the checkpoint was taken from.
+    pub scenario_seed: u64,
+    /// Logical fleet size at capture.
+    pub nodes: usize,
+    /// Simulated instance count at capture.
+    pub instances: usize,
+    /// Experiment time at capture, in seconds.
+    pub time_s: f64,
+    /// Decision intervals advanced at capture.
+    pub intervals: usize,
+    /// Load-balancer RNG state (xoshiro256++ words).
+    pub balancer_rng: Vec<u64>,
+    /// Queued batch jobs, in submission order.
+    pub scheduler_queue: Vec<AppId>,
+    /// Scheduler counters at capture.
+    pub scheduler_stats: SchedulerStats,
+    /// Autoscaler state, when the scenario configures one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub autoscaler: Option<AutoscalerSnapshot>,
+    /// Fault-injection state, when the scenario carries a non-empty fault profile.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultStateSnapshot>,
+    /// Per-instance node state, in instance order.
+    pub node_checkpoints: Vec<NodeCheckpoint>,
 }
 
 impl std::fmt::Debug for ClusterSim {

@@ -7,7 +7,8 @@
 //!
 //! Supported shapes: non-generic structs with named fields and non-generic enums with
 //! unit, tuple, or struct variants. Supported attributes: `#[serde(skip)]`,
-//! `#[serde(default)]`, `#[serde(default = "path")]`, `#[serde(rename = "name")]`.
+//! `#[serde(default)]`, `#[serde(default = "path")]`, `#[serde(rename = "name")]`,
+//! `#[serde(skip_serializing_if = "path")]`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -17,6 +18,7 @@ struct FieldAttrs {
     default: bool,
     default_path: Option<String>,
     rename: Option<String>,
+    skip_serializing_if: Option<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -207,6 +209,9 @@ fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
                     attrs.default_path = Some(path);
                 }
                 ("rename", Some(name)) => attrs.rename = Some(name),
+                ("skip_serializing_if", Some(path)) => {
+                    attrs.skip_serializing_if = Some(path);
+                }
                 (other, _) => {
                     panic!("serde derive shim: unsupported serde attribute `{other}`")
                 }
@@ -362,11 +367,17 @@ fn gen_serialize(item: &Item) -> String {
                 if f.attrs.skip {
                     continue;
                 }
-                pushes.push_str(&format!(
+                let push = format!(
                     "__fields.push((\"{}\".to_string(), ::serde::Serialize::to_value(&self.{})));\n",
                     f.wire_name(),
                     f.ident
-                ));
+                );
+                match &f.attrs.skip_serializing_if {
+                    Some(path) => {
+                        pushes.push_str(&format!("if !{path}(&self.{}) {{\n{push}}}\n", f.ident))
+                    }
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\

@@ -65,6 +65,11 @@ impl Actuator {
         self.stats
     }
 
+    /// Overwrites the accumulated statistics (checkpoint restore).
+    pub fn restore_stats(&mut self, stats: ActuatorStats) {
+        self.stats = stats;
+    }
+
     /// Applies one action to the simulator. Returns `true` if the action had an effect.
     pub fn apply(&mut self, sim: &mut ColocationSim, action: Action) -> bool {
         let applied = match action {

@@ -79,6 +79,23 @@ pub struct MonitorReport {
     pub no_signal: bool,
 }
 
+/// Serializable snapshot of a monitor's mutable state, for checkpointing.
+///
+/// The interval histogram is deliberately absent: it describes exactly one interval and
+/// is reset at the start of every [`PerformanceMonitor::observe_interval`], so a restored
+/// monitor reproduces the uninterrupted run bit-for-bit from its next interval onward.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    /// Sampling-RNG state (wire form; see [`pliant_telemetry::rng::rng_state_words`]).
+    pub rng: Vec<u64>,
+    /// The EWMA over interval tail estimates.
+    pub ewma: EwmaTracker,
+    /// Whether adaptive sampling is currently escalated.
+    pub currently_elevated: bool,
+    /// Intervals observed so far.
+    pub intervals_observed: u64,
+}
+
 /// The performance monitor.
 #[derive(Debug, Clone)]
 pub struct PerformanceMonitor {
@@ -127,6 +144,32 @@ impl PerformanceMonitor {
     /// Number of intervals observed so far.
     pub fn intervals_observed(&self) -> u64 {
         self.intervals_observed
+    }
+
+    /// Captures the monitor's mutable state for checkpointing (the configuration is
+    /// rebuilt from the scenario, the interval histogram from the next interval).
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            rng: pliant_telemetry::rng::rng_state_words(&self.rng),
+            ewma: self.ewma.clone(),
+            currently_elevated: self.currently_elevated,
+            intervals_observed: self.intervals_observed,
+        }
+    }
+
+    /// Restores state captured by [`Self::snapshot`] onto a monitor built with the same
+    /// configuration and seed, continuing every stream where the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed RNG wire states (wrong width or all-zero).
+    pub fn restore(&mut self, snapshot: &MonitorSnapshot) -> Result<(), String> {
+        self.rng = pliant_telemetry::rng::rng_from_state_words(&snapshot.rng)?;
+        self.ewma = snapshot.ewma.clone();
+        self.currently_elevated = snapshot.currently_elevated;
+        self.intervals_observed = snapshot.intervals_observed;
+        self.hist.reset();
+        Ok(())
     }
 
     /// Ingests one decision interval's end-to-end latency samples and produces the report

@@ -40,6 +40,24 @@ pub trait Policy {
     fn on_app_replaced(&mut self, app: usize, variant_count: usize) {
         let _ = (app, variant_count);
     }
+
+    /// Captures the policy's mutable state for checkpointing. Stateless policies return
+    /// [`serde::Value::Null`] (the default); stateful policies serialize whatever
+    /// [`Self::restore_state`] needs to continue the decision stream exactly.
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores state captured by [`Self::snapshot_state`] onto a freshly built policy of
+    /// the same kind and shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not decode as this policy's state.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// Selector for the built-in policies, used by the scenario engine and harness binaries.
@@ -150,6 +168,15 @@ impl Policy for PliantPolicy {
     fn on_app_replaced(&mut self, app: usize, variant_count: usize) {
         self.inner.reset_app(app, variant_count);
     }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.inner.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.inner = MultiAppController::from_value(state)?;
+        Ok(())
+    }
 }
 
 /// The paper's baseline: never adapts anything.
@@ -202,6 +229,15 @@ impl Policy for StaticMostApproximatePolicy {
             });
         }
     }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.pending.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.pending = <Vec<Action> as Deserialize>::from_value(state)?;
+        Ok(())
+    }
 }
 
 /// Ablation: react to QoS violations by reclaiming cores only (no approximation), and
@@ -209,6 +245,15 @@ impl Policy for StaticMostApproximatePolicy {
 #[derive(Debug, Clone)]
 pub struct ReclaimOnlyPolicy {
     config: ControllerConfig,
+    reclaimed: Vec<u32>,
+    reclaimable: Vec<u32>,
+    pointer: usize,
+}
+
+/// Checkpoint wire form of [`ReclaimOnlyPolicy`]'s mutable state (the configuration is
+/// rebuilt from the scenario).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ReclaimOnlyState {
     reclaimed: Vec<u32>,
     reclaimable: Vec<u32>,
     pointer: usize,
@@ -256,6 +301,23 @@ impl Policy for ReclaimOnlyPolicy {
         } else {
             Vec::new()
         }
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        ReclaimOnlyState {
+            reclaimed: self.reclaimed.clone(),
+            reclaimable: self.reclaimable.clone(),
+            pointer: self.pointer,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let state = ReclaimOnlyState::from_value(state)?;
+        self.reclaimed = state.reclaimed;
+        self.reclaimable = state.reclaimable;
+        self.pointer = state.pointer;
+        Ok(())
     }
 }
 

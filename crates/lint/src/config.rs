@@ -16,7 +16,12 @@ pub struct LintConfig {
     /// the bench harness and the criterion compat shim measure real time by design.
     pub wallclock_allowed: Vec<String>,
     /// Path prefixes of determinism-sensitive code where `HashMap`/`HashSet` are denied
-    /// (iteration order reaches archives, statistics, or RNG consumption order).
+    /// (iteration order reaches archives, statistics, or RNG consumption order). The
+    /// `crates/cluster/` prefix deliberately covers the fault-injection and
+    /// checkpoint/restore modules (`faults.rs`, the checkpoint halves of `sim.rs`,
+    /// `node.rs`, and `engine.rs`): resume-byte-identity is a determinism guarantee,
+    /// so those files face the same wall-clock and hash-order denials as the
+    /// simulation core (pinned in the lint integration tests).
     pub hash_container_scoped: Vec<String>,
     /// Path prefixes where `unwrap()`/`expect()` in non-test code are denied.
     pub panic_hygiene_scoped: Vec<String>,
@@ -57,6 +62,12 @@ impl LintConfig {
                 // also pinned dynamically in tests/hot_path.rs).
                 "ObsBuffer::emit",
                 "MetricsRegistry::record",
+                // The fault-injection per-interval path (PR 9): node-health masking
+                // runs for every instance of every interval whenever a fleet carries
+                // a fault profile, and the fault-aware balancer split sits on the
+                // same dispatch path as split/split_grouped above.
+                "NodeHealth::is_serving",
+                "LoadBalancer::split_active",
             ]),
             wallclock_allowed: s(&["crates/bench/", "crates/compat/criterion/"]),
             hash_container_scoped: s(&[

@@ -99,6 +99,48 @@ fn workspace_is_lint_clean() {
     );
 }
 
+/// Regression (fault-injection PR): resume-byte-identity makes the fault and
+/// checkpoint modules determinism-sensitive, so the committed configuration must keep
+/// them inside the `nondeterminism` scope and the per-interval fault masking on the
+/// hot-path allocation denylist.
+#[test]
+fn fault_and_checkpoint_modules_stay_in_the_determinism_scopes() {
+    let cfg = LintConfig::repo_default();
+    for path in [
+        "crates/cluster/src/faults.rs",
+        "crates/cluster/src/sim.rs",
+        "crates/cluster/src/node.rs",
+        "crates/cluster/src/engine.rs",
+    ] {
+        assert!(
+            pliant_lint::config::path_in(path, &cfg.hash_container_scoped),
+            "{path} must sit inside the nondeterminism hash-container scope"
+        );
+        assert!(
+            !pliant_lint::config::path_in(path, &cfg.wallclock_allowed),
+            "{path} must not be allowed to read the wall clock"
+        );
+        // A hash-ordered container in any of these files is a finding: iteration
+        // order would reach checkpoint archives and break resume byte-identity.
+        let findings = lint_source(
+            path,
+            "fn restore() { let m: HashMap<u32, u64> = HashMap::new(); }",
+            &cfg,
+        );
+        assert!(
+            findings.iter().any(|f| f.rule == "nondeterminism"),
+            "a HashMap in {path} must be flagged, got:\n{}",
+            render(&findings)
+        );
+    }
+    for hot in ["NodeHealth::is_serving", "LoadBalancer::split_active"] {
+        assert!(
+            cfg.hot_path_fns.iter().any(|f| f == hot),
+            "{hot} must stay on the hot-path-alloc denylist"
+        );
+    }
+}
+
 #[test]
 fn cli_check_fails_on_the_violations_fixture() {
     let (code, stdout, stderr) = run_cli(&fixtures_dir(), &["--check", "violations.rs"]);

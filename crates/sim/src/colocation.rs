@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use pliant_approx::catalog::{AppId, AppProfile, Catalog, ResourcePressure};
-use pliant_telemetry::rng::{derive_seed, seeded_rng};
+use pliant_telemetry::rng::{derive_seed, rng_from_state_words, rng_state_words, seeded_rng};
 use pliant_workloads::generator::OpenLoopGenerator;
 use pliant_workloads::profile::{LoadPhase, LoadProfile, LoadProfileError};
 use pliant_workloads::service::{ServiceId, ServiceProfile};
@@ -216,8 +216,49 @@ pub struct ColocationSim {
     /// parked node bills [`PowerModel::parked_w`](crate::server::PowerModel::parked_w)
     /// instead of allocation-based power. Runtime state, not serialized.
     parked: bool,
+    /// Effective-frequency factor of a degraded (straggler) node: `1.0` is healthy,
+    /// `0.6` means the machine delivers 60% of its nominal service capacity. Applied to
+    /// the interactive service's latency inputs only (see [`Self::set_degrade`]).
+    degrade: f64,
     /// Scratch buffer for per-app interference pressures, reused across intervals.
     pressure_scratch: Vec<ResourcePressure>,
+}
+
+/// Serializable snapshot of a [`ColocationSim`]'s full mutable state, for checkpointing.
+///
+/// The immutable parts of the configuration (server, service, models, seed) are *not*
+/// archived: a restore target is built from the same configuration and the snapshot
+/// overwrites only what a run mutates — load profile, per-slot applications, core
+/// allocation, RNG streams, clocks, and park/degrade flags. The `generator_seed` field
+/// guards against restoring onto a simulator built from a different configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColocationSimSnapshot {
+    /// The load profile active at the snapshot (mid-run swaps overwrite the config's).
+    pub load: LoadProfile,
+    /// Per-slot application identities (batch scheduling replaces finished slots).
+    pub config_apps: Vec<AppId>,
+    /// Full per-slot batch-application state.
+    pub apps: Vec<BatchAppState>,
+    /// Cores currently allocated to the interactive service.
+    pub service_cores: u32,
+    /// The arrival generator's current target rate.
+    pub generator_qps: f64,
+    /// The arrival generator's seed (identity check only; must match the target).
+    pub generator_seed: u64,
+    /// Arrival-RNG state (wire form; see [`pliant_telemetry::rng::rng_state_words`]).
+    pub generator_rng: Vec<u64>,
+    /// Model-noise RNG state.
+    pub rng: Vec<u64>,
+    /// Latency-sample RNG state.
+    pub sample_rng: Vec<u64>,
+    /// Experiment clock, in seconds.
+    pub time_s: f64,
+    /// Intervals elapsed.
+    pub interval_counter: u64,
+    /// Whether the node is parked.
+    pub parked: bool,
+    /// Straggler degrade factor (`1.0` = healthy).
+    pub degrade: f64,
 }
 
 impl ColocationSim {
@@ -277,6 +318,7 @@ impl ColocationSim {
             time_s: 0.0,
             interval_counter: 0,
             parked: false,
+            degrade: 1.0,
             pressure_scratch: Vec::new(),
         }
     }
@@ -351,6 +393,32 @@ impl ColocationSim {
         self.parked
     }
 
+    /// Marks the node as a degraded straggler delivering `factor` of its nominal service
+    /// capacity (`1.0` restores full health).
+    ///
+    /// Fault injection uses this to model a machine stuck at a reduced effective
+    /// frequency (thermal throttling, failing DIMM, noisy neighbour below the
+    /// hypervisor): the interactive service's capacity and direct slowdowns are scaled
+    /// by `1/factor`, inflating tail latency exactly as a slower clock would, while
+    /// batch progress and the power model deliberately stay at their nominal rates —
+    /// the straggler's damage is QoS, which is the axis the paper's runtime defends.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn set_degrade(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "degrade factor must be in (0, 1], got {factor}"
+        );
+        self.degrade = factor;
+    }
+
+    /// Current straggler degrade factor (`1.0` = healthy; see [`Self::set_degrade`]).
+    pub fn degrade(&self) -> f64 {
+        self.degrade
+    }
+
     /// Replaces the **finished** application in slot `index` with a fresh job.
     ///
     /// This is the substrate for batch-job scheduling across a fleet: a slot whose job
@@ -408,6 +476,64 @@ impl ColocationSim {
         } else {
             false
         }
+    }
+
+    /// Captures the simulator's full mutable state (see [`ColocationSimSnapshot`]).
+    pub fn snapshot(&self) -> ColocationSimSnapshot {
+        ColocationSimSnapshot {
+            load: self.config.load.clone(),
+            config_apps: self.config.apps.clone(),
+            apps: self.apps.clone(),
+            service_cores: self.service_cores,
+            generator_qps: self.generator.qps(),
+            generator_seed: self.generator.seed(),
+            generator_rng: self.generator.rng_state(),
+            rng: rng_state_words(&self.rng),
+            sample_rng: rng_state_words(&self.sample_rng),
+            time_s: self.time_s,
+            interval_counter: self.interval_counter,
+            parked: self.parked,
+            degrade: self.degrade,
+        }
+    }
+
+    /// Restores state captured by [`Self::snapshot`] onto a simulator built from the
+    /// same configuration, after which every subsequent interval is bit-identical to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a snapshot whose generator seed disagrees with this simulator's (the
+    /// snapshot was taken from a different configuration), a slot-count mismatch, or
+    /// malformed RNG wire states.
+    pub fn restore(&mut self, snapshot: &ColocationSimSnapshot) -> Result<(), String> {
+        if snapshot.generator_seed != self.generator.seed() {
+            return Err(format!(
+                "snapshot generator seed {} does not match simulator seed {}",
+                snapshot.generator_seed,
+                self.generator.seed()
+            ));
+        }
+        if snapshot.apps.len() != self.apps.len() || snapshot.config_apps.len() != self.apps.len() {
+            return Err(format!(
+                "snapshot carries {} batch slots, simulator has {}",
+                snapshot.apps.len(),
+                self.apps.len()
+            ));
+        }
+        self.config.load = snapshot.load.clone();
+        self.config.apps = snapshot.config_apps.clone();
+        self.apps = snapshot.apps.clone();
+        self.service_cores = snapshot.service_cores;
+        self.generator.set_qps(snapshot.generator_qps);
+        self.generator.restore_rng_state(&snapshot.generator_rng)?;
+        self.rng = rng_from_state_words(&snapshot.rng)?;
+        self.sample_rng = rng_from_state_words(&snapshot.sample_rng)?;
+        self.time_s = snapshot.time_s;
+        self.interval_counter = snapshot.interval_counter;
+        self.parked = snapshot.parked;
+        self.degrade = snapshot.degrade;
+        Ok(())
     }
 
     /// Advances the simulation by one decision interval of `dt` seconds and returns the
@@ -471,12 +597,19 @@ impl ColocationSim {
         // Interactive service latency for the interval.
         let arrivals = self.generator.arrivals_in(dt);
         let qps = arrivals as f64 / dt;
-        let inputs = LatencyInputs {
+        let mut inputs = LatencyInputs {
             qps,
             cores: self.service_cores,
             capacity_slowdown: contention.service_capacity_slowdown,
             direct_slowdown: contention.service_direct_slowdown,
         };
+        // A degraded straggler delivers `degrade` of its nominal capacity: both slowdown
+        // channels scale by the lost frequency. Healthy nodes skip the branch entirely so
+        // fault-free runs stay bit-identical to pre-fault builds.
+        if self.degrade < 1.0 {
+            inputs.capacity_slowdown /= self.degrade;
+            inputs.direct_slowdown /= self.degrade;
+        }
         let p99 = self
             .config
             .latency
@@ -1050,6 +1183,96 @@ mod tests {
         let mut cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 1);
         cfg.server.power.idle_w = f64::NAN;
         let _ = ColocationSim::new(cfg, &catalog());
+    }
+
+    #[test]
+    fn degraded_straggler_inflates_tail_latency_and_recovers() {
+        let run = |factor: Option<f64>| -> Vec<f64> {
+            let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], 19);
+            let mut sim = ColocationSim::new(cfg, &catalog());
+            if let Some(f) = factor {
+                sim.set_degrade(f);
+            }
+            (0..15).map(|_| sim.advance(1.0).p99_latency_s).collect()
+        };
+        let healthy = run(None);
+        let unit = run(Some(1.0));
+        let degraded = run(Some(0.5));
+        assert_eq!(
+            healthy, unit,
+            "factor 1.0 must be bit-identical to never touching the degrade knob"
+        );
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&degraded) > mean(&healthy) * 1.2,
+            "a half-speed straggler must visibly inflate p99 ({} vs {})",
+            mean(&degraded),
+            mean(&healthy)
+        );
+        // Recovery restores the healthy latency distribution going forward.
+        let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], 19);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        sim.set_degrade(0.5);
+        sim.set_degrade(1.0);
+        let recovered: Vec<f64> = (0..15).map(|_| sim.advance(1.0).p99_latency_s).collect();
+        assert_eq!(recovered, healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor")]
+    fn degrade_factor_must_be_a_positive_fraction() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Nginx, &[AppId::Snp], 1);
+        let mut sim = ColocationSim::new(cfg, &catalog());
+        sim.set_degrade(0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], 29)
+            .with_load_profile(LoadProfile::Diurnal {
+                base: 0.6,
+                amplitude: 0.3,
+                period_s: 20.0,
+                phase_s: 0.0,
+            });
+        let mut reference = ColocationSim::new(cfg.clone(), &catalog());
+        let mut interrupted = ColocationSim::new(cfg.clone(), &catalog());
+        for _ in 0..7 {
+            let _ = reference.advance(1.0);
+            let _ = interrupted.advance(1.0);
+        }
+        // Checkpoint through the JSON wire form, restore into a *fresh* simulator.
+        let snapshot = interrupted.snapshot();
+        let json = serde_json::to_string(&snapshot).expect("serializable");
+        let restored_snapshot: ColocationSimSnapshot =
+            serde_json::from_str(&json).expect("deserializable");
+        let mut resumed = ColocationSim::new(cfg, &catalog());
+        resumed.restore(&restored_snapshot).expect("restores");
+        for _ in 0..10 {
+            let a = serde_json::to_string(&reference.advance(1.0)).expect("serializable");
+            let b = serde_json::to_string(&resumed.advance(1.0)).expect("serializable");
+            assert_eq!(a, b, "resumed run must be byte-identical to uninterrupted");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_targets() {
+        let cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], 29);
+        let snapshot = ColocationSim::new(cfg, &catalog()).snapshot();
+        let other_seed =
+            ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::KMeans], 30);
+        let mut target = ColocationSim::new(other_seed, &catalog());
+        assert!(target.restore(&snapshot).is_err(), "seed mismatch rejected");
+        let other_shape = ColocationConfig::paper_default(
+            ServiceId::Memcached,
+            &[AppId::KMeans, AppId::Canneal],
+            29,
+        );
+        let mut target = ColocationSim::new(other_shape, &catalog());
+        assert!(
+            target.restore(&snapshot).is_err(),
+            "slot-count mismatch rejected"
+        );
     }
 
     #[test]

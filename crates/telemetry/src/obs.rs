@@ -237,6 +237,38 @@ pub enum Event {
         /// Output-quality loss of the completed job, in percent.
         inaccuracy_pct: f64,
     },
+    /// Fault injection crashed a node: it stops serving traffic and running batch
+    /// work until it recovers.
+    NodeFailed {
+        /// Instance index of the crashed node.
+        node: u32,
+        /// Length of the outage, in decision intervals.
+        outage_intervals: u32,
+    },
+    /// A crashed node came back after its outage and rejoined the fleet.
+    NodeRecovered {
+        /// Instance index of the recovered node.
+        node: u32,
+    },
+    /// Fault injection degraded a node's effective frequency (a straggler): it keeps
+    /// serving, but its capacity is scaled by `factor` until the episode ends.
+    NodeDegraded {
+        /// Instance index of the degraded node.
+        node: u32,
+        /// Capacity multiplier while degraded (`0 < factor < 1`).
+        factor: f64,
+        /// Length of the degradation episode, in decision intervals.
+        intervals: u32,
+    },
+    /// A batch job lost on a crashed node was returned to the scheduler queue.
+    JobRequeued {
+        /// Instance index of the crashed node the job was running on.
+        node: u32,
+        /// Job identity: index into `AppId::all()`.
+        job_code: u32,
+        /// Logical jobs the requeue stands for (replica-weighted).
+        weight: u32,
+    },
     /// The autoscaler moved a node between power states.
     AutoscalerTransition {
         /// Instance index.
@@ -293,6 +325,14 @@ pub enum EventKind {
     JobReplaced,
     /// [`Event::JobCompleted`].
     JobCompleted,
+    /// [`Event::NodeFailed`].
+    NodeFailed,
+    /// [`Event::NodeRecovered`].
+    NodeRecovered,
+    /// [`Event::NodeDegraded`].
+    NodeDegraded,
+    /// [`Event::JobRequeued`].
+    JobRequeued,
     /// [`Event::AutoscalerTransition`].
     AutoscalerTransition,
     /// [`Event::IntervalSummary`].
@@ -300,7 +340,7 @@ pub enum EventKind {
 }
 
 /// Number of event kinds (length of [`EventKind::ALL`]).
-pub const EVENT_KINDS: usize = 14;
+pub const EVENT_KINDS: usize = 18;
 
 impl EventKind {
     /// Every kind, in counter order.
@@ -317,6 +357,10 @@ impl EventKind {
         EventKind::JobPlaced,
         EventKind::JobReplaced,
         EventKind::JobCompleted,
+        EventKind::NodeFailed,
+        EventKind::NodeRecovered,
+        EventKind::NodeDegraded,
+        EventKind::JobRequeued,
         EventKind::AutoscalerTransition,
         EventKind::IntervalSummary,
     ];
@@ -336,6 +380,10 @@ impl EventKind {
             EventKind::JobPlaced => "JobPlaced",
             EventKind::JobReplaced => "JobReplaced",
             EventKind::JobCompleted => "JobCompleted",
+            EventKind::NodeFailed => "NodeFailed",
+            EventKind::NodeRecovered => "NodeRecovered",
+            EventKind::NodeDegraded => "NodeDegraded",
+            EventKind::JobRequeued => "JobRequeued",
             EventKind::AutoscalerTransition => "AutoscalerTransition",
             EventKind::IntervalSummary => "IntervalSummary",
         }
@@ -363,6 +411,10 @@ impl Event {
             Event::JobPlaced { .. } => EventKind::JobPlaced,
             Event::JobReplaced { .. } => EventKind::JobReplaced,
             Event::JobCompleted { .. } => EventKind::JobCompleted,
+            Event::NodeFailed { .. } => EventKind::NodeFailed,
+            Event::NodeRecovered { .. } => EventKind::NodeRecovered,
+            Event::NodeDegraded { .. } => EventKind::NodeDegraded,
+            Event::JobRequeued { .. } => EventKind::JobRequeued,
             Event::AutoscalerTransition { .. } => EventKind::AutoscalerTransition,
             Event::IntervalSummary { .. } => EventKind::IntervalSummary,
         }
@@ -390,6 +442,10 @@ impl Event {
             | Event::JobPlaced { node, .. }
             | Event::JobReplaced { node, .. }
             | Event::JobCompleted { node, .. }
+            | Event::NodeFailed { node, .. }
+            | Event::NodeRecovered { node }
+            | Event::NodeDegraded { node, .. }
+            | Event::JobRequeued { node, .. }
             | Event::AutoscalerTransition { node, .. } => Some(node),
             Event::FleetStart { .. }
             | Event::ApproximationPlan { .. }

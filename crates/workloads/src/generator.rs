@@ -123,6 +123,28 @@ impl OpenLoopGenerator {
     pub fn reset(&mut self) {
         self.rng = seeded_rng(self.seed);
     }
+
+    /// The seed the generator was built with (the stream [`Self::reset`] replays).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The arrival RNG's internal state, for checkpointing (see
+    /// [`pliant_telemetry::rng::rng_state_words`]).
+    pub fn rng_state(&self) -> Vec<u64> {
+        pliant_telemetry::rng::rng_state_words(&self.rng)
+    }
+
+    /// Restores the arrival RNG to a state captured by [`Self::rng_state`], so the
+    /// generator continues the stream exactly where the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed wire states (wrong width or all-zero).
+    pub fn restore_rng_state(&mut self, words: &[u64]) -> Result<(), String> {
+        self.rng = pliant_telemetry::rng::rng_from_state_words(words)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

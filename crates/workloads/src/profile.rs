@@ -147,8 +147,13 @@ pub enum LoadProfile {
 // Hand-written (not derived) so profile invariants — finite loads in range, sane
 // durations, strictly-increasing trace breakpoints — are enforced at the archive
 // boundary: a corrupted profile is rejected here with a descriptive error instead of
-// driving the simulator with NaN or never-positive load. The mirror enum keeps the
-// derived variant plumbing and the same externally-tagged wire names.
+// driving the simulator with NaN. The mirror enum keeps the derived variant plumbing
+// and the same externally-tagged wire names. The never-positive check is deliberately
+// NOT applied here: a checkpointed simulator legitimately holds a zero-load profile
+// mid-run (a balancer assigns a down or parked node no traffic — see
+// `ColocationSim::set_load_profile`), so the wire layer is structural and the
+// "offers load at some point" rule stays at the configuration boundaries
+// (`Scenario::validate`, `ClusterScenario::validate`, `ColocationSim::new`).
 impl serde::Deserialize for LoadProfile {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         #[derive(Deserialize)]
@@ -210,10 +215,10 @@ impl serde::Deserialize for LoadProfile {
             },
             LoadProfileWire::Trace { points } => LoadProfile::Trace { points },
         };
-        profile
-            .validate()
-            .map_err(|e| serde::Error::custom(format!("invalid load profile: {e}")))?;
-        Ok(profile)
+        match profile.validate() {
+            Ok(()) | Err(LoadProfileError::NeverPositive) => Ok(profile),
+            Err(e) => Err(serde::Error::custom(format!("invalid load profile: {e}"))),
+        }
     }
 }
 
