@@ -9,13 +9,17 @@
 //! the same traffic with fewer machines.
 //!
 //! Usage: `fig_cluster [--json] [--seed N] [--total-load X] [--nodes N] [--approx K]
+//!                     [--topology <racks>x<nodes-per-rack>] [--rack-power-w W]
 //!                     [--trace PATH] [--trace-level off|decisions|full]
 //!                     [--checkpoint-at K --checkpoint-dir DIR] [--resume-dir DIR]`
 //!
 //! `--nodes N` replaces the default fleet-size sweep with the single given size (pair
 //! it with a matching `--total-load`); `--approx K` simulates each fleet through the
 //! clustered approximation with `K` representatives per node group (`0` or absent =
-//! exact simulation of every node); `--trace PATH` exports each run's decision-event
+//! exact simulation of every node); `--topology` lays each fleet out in racked power
+//! domains (sizes the rack shape cannot tile stay flat — see
+//! [`pliant_bench::TopologySpec`]), `--rack-power-w` adds a per-rack admission budget;
+//! `--trace PATH` exports each run's decision-event
 //! stream to `PATH` tagged `{nodes}n-{policy}` (`.json` = Chrome trace-event JSON
 //! loadable in Perfetto, otherwise JSON Lines readable by `pliant-trace`).
 //!
@@ -28,7 +32,7 @@
 
 use pliant_bench::{
     approximation_from_args, cluster_machines_needed_scenario, export_trace, flag_value,
-    format_latency, print_table, trace_opts, TraceRunSummary,
+    format_latency, print_table, topology_spec_from_args, trace_opts, TraceRunSummary,
 };
 use pliant_cluster::prelude::*;
 use pliant_core::engine::Engine;
@@ -86,6 +90,7 @@ fn main() {
         })
     });
     let approximation = approximation_from_args(&args);
+    let topology_spec = topology_spec_from_args(&args);
     let node_counts: Vec<usize> = match flag_value(&args, "--nodes") {
         Some(v) => vec![v.parse().unwrap_or_else(|_| {
             eprintln!("error: --nodes expects an integer");
@@ -131,6 +136,13 @@ fn main() {
                 continue;
             };
             s.approximation = approximation;
+            if let Some(spec) = &topology_spec {
+                s.topology = spec.config_for(s.nodes);
+            }
+            if let Err(e) = s.validate() {
+                eprintln!("error: topology override does not fit the {nodes}-machine fleet: {e}");
+                std::process::exit(2);
+            }
             let cell = format!("{nodes}n-{policy}");
             let mut run = ClusterRun::with_obs(&s, &engine, trace.level);
             if let Some(dir) = &resume_dir {

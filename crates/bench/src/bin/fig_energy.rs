@@ -11,18 +11,21 @@
 //! same load within QoS at measurably lower joules.
 //!
 //! Usage: `fig_energy [--json] [--seed N] [--nodes N] [--approx K]
+//!                    [--topology <racks>x<nodes-per-rack>] [--rack-power-w W]
 //!                    [--trace PATH] [--trace-level off|decisions|full]`
 //!
 //! `--nodes N` scales the fleet (same day/night cycle per provisioned node, see
 //! [`cluster_energy_scenario_at_scale`]); `--approx K` simulates it through the
 //! clustered approximation with `K` representatives per node group (`0` or absent =
-//! exact simulation of every node); `--trace PATH` exports each policy run's
+//! exact simulation of every node); `--topology` lays the fleet out in racked power
+//! domains, `--rack-power-w` adds a per-rack admission budget (both default to the
+//! flat, rack-free fleet); `--trace PATH` exports each policy run's
 //! decision-event stream to `PATH` tagged by policy (`.json` = Chrome trace-event
 //! JSON loadable in Perfetto, otherwise JSON Lines readable by `pliant-trace`).
 
 use pliant_bench::{
     approximation_from_args, cluster_energy_scenario_at_scale, export_trace, flag_value,
-    format_latency, print_table, trace_opts, TraceRunSummary,
+    format_latency, print_table, topology_spec_from_args, trace_opts, TraceRunSummary,
 };
 use pliant_cluster::prelude::*;
 use pliant_core::engine::Engine;
@@ -93,6 +96,7 @@ fn main() {
         })
     });
     let approximation = approximation_from_args(&args);
+    let topology_spec = topology_spec_from_args(&args);
     let trace = trace_opts(&args);
 
     let service = ServiceId::Memcached;
@@ -107,6 +111,13 @@ fn main() {
     {
         let mut scenario = cluster_energy_scenario_at_scale(fleet_nodes, policy, seed);
         scenario.approximation = approximation;
+        if let Some(spec) = &topology_spec {
+            scenario.topology = spec.config_for(scenario.nodes);
+        }
+        if let Err(e) = scenario.validate() {
+            eprintln!("error: topology override does not fit the fleet: {e}");
+            std::process::exit(2);
+        }
         nodes = scenario.nodes;
         let (outcome, log) = engine.run_cluster_traced(&scenario, trace.level);
         energies[pi] = outcome.fleet_energy_j;

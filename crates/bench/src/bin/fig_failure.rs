@@ -10,7 +10,12 @@
 //! where the Precise baseline violates QoS.
 //!
 //! Usage: `fig_failure [--json] [--seed N] [--total-load X] [--nodes N]
+//!                     [--topology <racks>x<nodes-per-rack>] [--rack-power-w W]
 //!                     [--trace PATH] [--trace-level off|decisions|full]`
+//!
+//! `--topology` lays each fleet out in racked power domains (sizes the rack shape
+//! cannot tile stay flat — see [`pliant_bench::TopologySpec`]) and `--rack-power-w`
+//! adds a per-rack admission budget; both default to the flat, rack-free fleet.
 //!
 //! Runs always record decision events (tracing never perturbs the simulation), so the
 //! `--json` output's `obs` block carries the fault-event rollup — `NodeFailed`,
@@ -19,7 +24,7 @@
 
 use pliant_bench::{
     cluster_failure_scenario, cluster_failure_trace, export_trace, flag_value, format_latency,
-    print_table, trace_opts, TraceRunSummary,
+    print_table, topology_spec_from_args, trace_opts, TraceRunSummary,
 };
 use pliant_cluster::prelude::*;
 use pliant_core::engine::Engine;
@@ -84,6 +89,7 @@ fn main() {
         })],
         None => NODE_COUNTS.to_vec(),
     };
+    let topology_spec = topology_spec_from_args(&args);
     let trace = trace_opts(&args);
     // The figure's JSON contract includes the fault-event rollup, so runs record
     // decision events even without `--trace` (tracing observes, never perturbs).
@@ -103,13 +109,21 @@ fn main() {
             .into_iter()
             .enumerate()
         {
-            let Some(scenario) = cluster_failure_scenario(nodes, total_load, policy, seed) else {
+            let Some(mut scenario) = cluster_failure_scenario(nodes, total_load, policy, seed)
+            else {
                 eprintln!(
                     "note: skipping {nodes}-machine fleet — {total_load} node-units \
                      exceeds 1.5x saturation per node"
                 );
                 continue;
             };
+            if let Some(spec) = &topology_spec {
+                scenario.topology = spec.config_for(scenario.nodes);
+            }
+            if let Err(e) = scenario.validate() {
+                eprintln!("error: topology override does not fit the {nodes}-machine fleet: {e}");
+                std::process::exit(2);
+            }
             let (outcome, log) = engine.run_cluster_traced(&scenario, level);
             obs.push(if trace.enabled() {
                 export_trace(&trace, &format!("{nodes}n-{policy}"), &log)

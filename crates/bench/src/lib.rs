@@ -193,11 +193,126 @@ pub fn cluster_energy_scenario_at_scale(
             scale_in_max_p99_fraction: 0.95,
             scale_in_sustain_intervals: 4,
             cooldown_intervals: 5,
+            consolidate: false,
         })
         .horizon_seconds(360.0)
         .warmup_intervals(8)
         .seed(seed)
         .build()
+}
+
+/// The fleet scenario of the topology figure (`fig_topology`): the 8-node energy
+/// fleet of [`cluster_energy_scenario_at_scale`] laid out as four 2-node racks, with
+/// one whole-rack power-domain outage striking rack 0 mid-day (both of its nodes
+/// crash at interval 40 for 25 intervals, their batch jobs re-queued onto the
+/// survivors) and the autoscaler's active-consolidation knob exposed. With
+/// `consolidate` off a draining node waits for its batch jobs to complete before
+/// parking (the historical behaviour); with it on, in-flight jobs are live-migrated
+/// onto active nodes and the drained machine parks the same interval — the
+/// figure's headline is how much earlier that first park lands, at equal QoS.
+pub fn cluster_topology_scenario(
+    policy: pliant_core::policy::PolicyKind,
+    consolidate: bool,
+    seed: u64,
+) -> pliant_cluster::ClusterScenario {
+    let mut scenario = cluster_energy_scenario_at_scale(8, policy, seed);
+    scenario.topology = pliant_cluster::TopologyConfig::Racks {
+        racks: 4,
+        nodes_per_rack: 2,
+        rack_power_w: None,
+    };
+    if let Some(config) = &mut scenario.autoscaler {
+        config.consolidate = consolidate;
+    }
+    scenario.fault_profile = Some(pliant_cluster::FaultProfile {
+        rack_outages: vec![pliant_cluster::RackOutage {
+            rack: 0,
+            at_interval: 40,
+            duration_intervals: 25,
+        }],
+        ..pliant_cluster::FaultProfile::new()
+    });
+    scenario
+}
+
+/// The rack shape parsed from the shared `--topology <racks>x<nodes-per-rack>` /
+/// `--rack-power-w <watts>` flags of the cluster figure binaries; see
+/// [`topology_spec_from_args`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologySpec {
+    /// Racks in the grid as written on the command line.
+    pub racks: usize,
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Shared per-rack power budget in watts, when `--rack-power-w` was given.
+    pub rack_power_w: Option<f64>,
+}
+
+impl TopologySpec {
+    /// Resolves the spec against a concrete fleet size. The written grid is used
+    /// verbatim when it multiplies out to `nodes`; when it does not but the fleet
+    /// divides evenly into racks of `nodes_per_rack`, the rack *shape* is kept and
+    /// the rack count scales with the fleet (so one `--topology` flag follows a
+    /// machines-needed sweep across fleet sizes). A fleet that cannot be cut into
+    /// whole racks falls back to the flat topology.
+    pub fn config_for(&self, nodes: usize) -> pliant_cluster::TopologyConfig {
+        if self.racks * self.nodes_per_rack == nodes {
+            pliant_cluster::TopologyConfig::Racks {
+                racks: self.racks,
+                nodes_per_rack: self.nodes_per_rack,
+                rack_power_w: self.rack_power_w,
+            }
+        } else if self.nodes_per_rack > 0 && nodes.is_multiple_of(self.nodes_per_rack) {
+            pliant_cluster::TopologyConfig::Racks {
+                racks: nodes / self.nodes_per_rack,
+                nodes_per_rack: self.nodes_per_rack,
+                rack_power_w: self.rack_power_w,
+            }
+        } else {
+            pliant_cluster::TopologyConfig::Flat
+        }
+    }
+}
+
+/// Parses the shared `--topology <racks>x<nodes-per-rack>` (plus `--rack-power-w
+/// <watts>`) flags of the cluster figure binaries. Absent means the flat
+/// (historical) topology — `None`. Exits with status 2 on a malformed grid, a
+/// non-positive dimension or wattage, or `--rack-power-w` without `--topology`.
+pub fn topology_spec_from_args(args: &[String]) -> Option<TopologySpec> {
+    let Some(spec) = flag_value(args, "--topology") else {
+        if flag_value(args, "--rack-power-w").is_some() {
+            eprintln!("error: --rack-power-w requires --topology");
+            std::process::exit(2);
+        }
+        return None;
+    };
+    let parsed = spec
+        .split_once('x')
+        .and_then(|(r, n)| Some((r.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+    let Some((racks, nodes_per_rack)) = parsed else {
+        eprintln!("error: --topology expects <racks>x<nodes-per-rack>, e.g. 4x2");
+        std::process::exit(2);
+    };
+    if racks == 0 || nodes_per_rack == 0 {
+        eprintln!("error: --topology dimensions must be positive");
+        std::process::exit(2);
+    }
+    let rack_power_w = flag_value(args, "--rack-power-w").map(|v| {
+        let watts: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --rack-power-w expects a wattage");
+            std::process::exit(2);
+        });
+        if !watts.is_finite() || watts <= 0.0 {
+            eprintln!("error: --rack-power-w must be positive");
+            std::process::exit(2);
+        }
+        watts
+    });
+    Some(TopologySpec {
+        racks,
+        nodes_per_rack,
+        rack_power_w,
+    })
 }
 
 /// Returns true when `--json` was passed to a harness binary.

@@ -118,6 +118,19 @@ pub struct AutoscalerConfig {
     /// Intervals of enforced holding after a membership change (the feed-forward
     /// overload path exempts itself; see [`Self::scale_out_load`]).
     pub cooldown_intervals: u32,
+    /// Active consolidation: when set, a draining node does not wait for its batch
+    /// jobs to run to completion — the fleet migrates its in-flight jobs onto active
+    /// nodes with free slots each interval, so the drain (and the park that follows)
+    /// completes as soon as destinations exist instead of when the slowest job
+    /// finishes. Off by default; absent in pre-topology archives.
+    #[serde(skip_serializing_if = "is_false")]
+    pub consolidate: bool,
+}
+
+/// `skip_serializing_if` helper: keeps `consolidate: false` out of archives so
+/// pre-topology configs round-trip byte-identically.
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 impl Default for AutoscalerConfig {
@@ -131,6 +144,7 @@ impl Default for AutoscalerConfig {
             scale_in_max_p99_fraction: 0.9,
             scale_in_sustain_intervals: 4,
             cooldown_intervals: 5,
+            consolidate: false,
         }
     }
 }
@@ -151,6 +165,8 @@ impl serde::Deserialize for AutoscalerConfig {
             scale_in_max_p99_fraction: f64,
             scale_in_sustain_intervals: u32,
             cooldown_intervals: u32,
+            #[serde(default)]
+            consolidate: bool,
         }
         let w = AutoscalerConfigWire::from_value(value)?;
         let config = AutoscalerConfig {
@@ -162,6 +178,7 @@ impl serde::Deserialize for AutoscalerConfig {
             scale_in_max_p99_fraction: w.scale_in_max_p99_fraction,
             scale_in_sustain_intervals: w.scale_in_sustain_intervals,
             cooldown_intervals: w.cooldown_intervals,
+            consolidate: w.consolidate,
         };
         config
             .validate()
@@ -706,6 +723,39 @@ impl Autoscaler {
         AutoscalerAction::Hold
     }
 
+    /// Re-checks the park transition *outside* the planning step: a drain that
+    /// completes mid-interval — because a migration emptied the node's last busy slot
+    /// — parks before the node step, so the interval bills the park draw and the
+    /// `active_nodes` trace series stops counting the drained node that same interval
+    /// instead of one interval late. Appends the indices of newly-parked instances to
+    /// `parked` (a caller-owned scratch buffer; the per-interval hot path reuses it
+    /// instead of allocating). No cooldown, exactly as the park path in
+    /// [`Self::plan`]: suspending costs nothing to decide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots.len()` differs from the instance count.
+    pub fn park_fully_drained(
+        &mut self,
+        snapshots: &[NodeSnapshot],
+        slots_per_node: usize,
+        parked: &mut Vec<usize>,
+    ) {
+        assert_eq!(
+            snapshots.len(),
+            self.states.len(),
+            "autoscaler built for {} instances, got {} snapshots",
+            self.states.len(),
+            snapshots.len()
+        );
+        for (i, (state, snap)) in self.states.iter_mut().zip(snapshots).enumerate() {
+            if *state == NodePowerState::Draining && snap.free_slots == slots_per_node {
+                *state = NodePowerState::Parked;
+                parked.push(i);
+            }
+        }
+    }
+
     /// The node a scale-out reactivates: a draining node first (still warm, its jobs
     /// are still on it), else the lowest-index parked node.
     fn reactivation_target(&self) -> usize {
@@ -751,6 +801,7 @@ mod tests {
             scale_in_max_p99_fraction: 0.8,
             scale_in_sustain_intervals: 2,
             cooldown_intervals: 3,
+            consolidate: false,
         }
     }
 
@@ -1085,5 +1136,49 @@ mod tests {
         let json = serde_json::to_string(&cfg).expect("serializable");
         let back: AutoscalerConfig = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn consolidate_defaults_off_and_is_omitted_from_archives() {
+        // Pre-topology archives carry no `consolidate` key; the wire default keeps
+        // them deserializing, and an off flag round-trips to the same bytes.
+        let cfg = AutoscalerConfig::default();
+        assert!(!cfg.consolidate);
+        let json = serde_json::to_string(&cfg).expect("serializable");
+        assert!(
+            !json.contains("consolidate"),
+            "off flag must be omitted: {json}"
+        );
+        let back: AutoscalerConfig = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, cfg);
+
+        let on = AutoscalerConfig {
+            consolidate: true,
+            ..AutoscalerConfig::default()
+        };
+        let json = serde_json::to_string(&on).expect("serializable");
+        assert!(json.contains("consolidate"), "{json}");
+        let back: AutoscalerConfig = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, on);
+    }
+
+    #[test]
+    fn mid_interval_park_pass_retires_drains_completed_by_migration() {
+        let mut scaler = Autoscaler::new(config(), 3);
+        let mut snaps = healthy(3);
+        snaps[2].utilization = 0.1;
+        scaler.plan(0.8, &snaps, 1);
+        assert_eq!(scaler.plan(0.8, &snaps, 1), AutoscalerAction::ScaleIn(2));
+        // The planning step saw the node still busy; nothing to park yet.
+        let mut parked = Vec::new();
+        scaler.park_fully_drained(&snaps, 1, &mut parked);
+        assert!(parked.is_empty());
+        assert_eq!(scaler.states()[2], NodePowerState::Draining);
+        // A migration empties its last slot mid-interval: the park pass retires it
+        // in the same interval instead of waiting for the next plan.
+        snaps[2].free_slots = 1;
+        scaler.park_fully_drained(&snaps, 1, &mut parked);
+        assert_eq!(parked, vec![2]);
+        assert_eq!(scaler.states()[2], NodePowerState::Parked);
     }
 }

@@ -30,6 +30,7 @@ use pliant_telemetry::rng::{derive_seed, seeded_rng};
 use rand::Rng;
 
 use crate::population::{InstancePlan, NodePopulation};
+use crate::topology::Topology;
 
 /// RNG stream label for the stochastic fault schedule (derived from the scenario seed;
 /// disjoint from every node/balancer/monitor stream, so enabling faults never perturbs
@@ -78,6 +79,23 @@ pub struct GroupOutage {
     pub duration_intervals: u64,
 }
 
+/// A correlated outage taking down every node of one topology rack at once — a power-
+/// domain failure (the rack's power feed or busbar trips), addressed by *physical*
+/// rack rather than population group. Racks come from the scenario's
+/// [`TopologyConfig`](crate::topology::TopologyConfig); on a flat topology the single
+/// implicit rack covers the whole fleet, so a rack outage there is a full-fleet
+/// blackout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackOutage {
+    /// Index of the [`Rack`](crate::topology::Rack) that loses power, in topology
+    /// order.
+    pub rack: usize,
+    /// Decision interval at which the outage begins (0-based).
+    pub at_interval: u64,
+    /// How many decision intervals the outage lasts (≥ 1).
+    pub duration_intervals: u64,
+}
+
 /// The failure-side input of a cluster scenario; see the module docs.
 ///
 /// All axes compose: stochastic hazards, scheduled faults, and group outages are merged
@@ -110,6 +128,9 @@ pub struct FaultProfile {
     /// Correlated group outages, on top of everything else.
     #[serde(default)]
     pub group_outages: Vec<GroupOutage>,
+    /// Correlated rack power-domain outages, addressed by topology rack.
+    #[serde(default)]
+    pub rack_outages: Vec<RackOutage>,
 }
 
 impl Default for FaultProfile {
@@ -122,6 +143,7 @@ impl Default for FaultProfile {
             degrade_intervals: 0,
             scheduled: Vec::new(),
             group_outages: Vec::new(),
+            rack_outages: Vec::new(),
         }
     }
 }
@@ -138,6 +160,7 @@ impl FaultProfile {
             && self.degrade_probability <= 0.0
             && self.scheduled.is_empty()
             && self.group_outages.is_empty()
+            && self.rack_outages.is_empty()
     }
 
     /// The fleet-independent half of validation: probabilities in range, every enabled
@@ -177,12 +200,22 @@ impl FaultProfile {
                 return Err(FaultProfileError::GroupZeroDuration { index });
             }
         }
+        for (index, outage) in self.rack_outages.iter().enumerate() {
+            if outage.duration_intervals == 0 {
+                return Err(FaultProfileError::RackZeroDuration { index });
+            }
+        }
         Ok(())
     }
 
     /// Validates the profile against a fleet of `nodes` logical nodes partitioned into
-    /// `groups` population groups.
-    pub fn validate(&self, nodes: usize, groups: usize) -> Result<(), FaultProfileError> {
+    /// `groups` population groups and `racks` topology racks.
+    pub fn validate(
+        &self,
+        nodes: usize,
+        groups: usize,
+        racks: usize,
+    ) -> Result<(), FaultProfileError> {
         self.validate_shape()?;
         for (index, fault) in self.scheduled.iter().enumerate() {
             if fault.node >= nodes {
@@ -199,6 +232,15 @@ impl FaultProfile {
                     index,
                     group: outage.group,
                     groups,
+                });
+            }
+        }
+        for (index, outage) in self.rack_outages.iter().enumerate() {
+            if outage.rack >= racks {
+                return Err(FaultProfileError::RackOutOfRange {
+                    index,
+                    rack: outage.rack,
+                    racks,
                 });
             }
         }
@@ -230,6 +272,7 @@ impl Deserialize for FaultProfile {
             degrade_intervals: field(value, "degrade_intervals")?,
             scheduled: field(value, "scheduled")?,
             group_outages: field(value, "group_outages")?,
+            rack_outages: field(value, "rack_outages")?,
         };
         profile
             .validate_shape()
@@ -285,6 +328,20 @@ pub enum FaultProfileError {
         /// Position in [`FaultProfile::group_outages`].
         index: usize,
     },
+    /// A rack outage names a rack outside the topology.
+    RackOutOfRange {
+        /// Position in [`FaultProfile::rack_outages`].
+        index: usize,
+        /// The out-of-range rack.
+        rack: usize,
+        /// Number of topology racks.
+        racks: usize,
+    },
+    /// A rack outage lasts zero intervals.
+    RackZeroDuration {
+        /// Position in [`FaultProfile::rack_outages`].
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for FaultProfileError {
@@ -327,6 +384,13 @@ impl std::fmt::Display for FaultProfileError {
             FaultProfileError::GroupZeroDuration { index } => {
                 write!(f, "group outage {index} must last at least one interval")
             }
+            FaultProfileError::RackOutOfRange { index, rack, racks } => write!(
+                f,
+                "rack outage {index} targets rack {rack} but the topology has {racks} racks"
+            ),
+            FaultProfileError::RackZeroDuration { index } => {
+                write!(f, "rack outage {index} must last at least one interval")
+            }
         }
     }
 }
@@ -350,11 +414,15 @@ pub(crate) struct FaultEvent {
 /// seed-derived stream, interval-major then node-minor, one draw per enabled hazard per
 /// node-interval regardless of hits — so the schedule is a pure function of profile,
 /// seed, fleet size, and horizon), merged with the scheduled faults and the expanded
-/// group outages, sorted by `(interval, node)`.
+/// group and rack outages, sorted by `(interval, node)`. Rack outages expand over the
+/// topology's member lists exactly as group outages expand over the population's, so
+/// every downstream consumer — stats, availability, the isolating instance planner —
+/// sees plain per-node crashes and composes for free.
 pub(crate) fn compile_schedule(
     profile: &FaultProfile,
     seed: u64,
     population: &NodePopulation,
+    topology: &Topology,
     max_intervals: usize,
 ) -> Vec<FaultEvent> {
     let nodes = population.total_nodes();
@@ -394,6 +462,16 @@ pub(crate) fn compile_schedule(
     }
     for outage in &profile.group_outages {
         for &member in &population.groups()[outage.group].members {
+            schedule.push(FaultEvent {
+                interval: outage.at_interval,
+                node: member,
+                kind: FaultKind::Crash,
+                duration: outage.duration_intervals,
+            });
+        }
+    }
+    for outage in &profile.rack_outages {
+        for &member in &topology.racks()[outage.rack].members {
             schedule.push(FaultEvent {
                 interval: outage.at_interval,
                 node: member,
@@ -602,6 +680,10 @@ mod tests {
     use pliant_approx::catalog::AppId;
     use pliant_workloads::service::ServiceId;
 
+    fn flat(nodes: usize) -> Topology {
+        Topology::resolve(&crate::topology::TopologyConfig::Flat, nodes)
+    }
+
     fn population(nodes: usize) -> NodePopulation {
         let mix = [AppId::Canneal, AppId::Snp, AppId::Raytrace];
         let scenario = ClusterScenario::builder(ServiceId::Memcached)
@@ -616,7 +698,7 @@ mod tests {
     fn empty_profile_compiles_to_an_empty_schedule() {
         let profile = FaultProfile::new();
         assert!(profile.is_empty());
-        let schedule = compile_schedule(&profile, 42, &population(6), 40);
+        let schedule = compile_schedule(&profile, 42, &population(6), &flat(6), 40);
         assert!(schedule.is_empty());
     }
 
@@ -631,14 +713,14 @@ mod tests {
             ..FaultProfile::new()
         };
         let pop = population(6);
-        let a = compile_schedule(&profile, 42, &pop, 200);
-        let b = compile_schedule(&profile, 42, &pop, 200);
+        let a = compile_schedule(&profile, 42, &pop, &flat(6), 200);
+        let b = compile_schedule(&profile, 42, &pop, &flat(6), 200);
         assert_eq!(a, b, "same seed must reproduce the same schedule");
         assert!(
             !a.is_empty(),
             "200x6 node-intervals at 2%+3% must draw hits"
         );
-        let c = compile_schedule(&profile, 43, &pop, 200);
+        let c = compile_schedule(&profile, 43, &pop, &flat(6), 200);
         assert_ne!(a, c, "different seeds must draw different schedules");
         // Sorted by (interval, node): a cursor walk consumes it in one pass.
         assert!(a
@@ -657,7 +739,7 @@ mod tests {
             ..FaultProfile::new()
         };
         let pop = population(7); // group 0 = members [0, 3, 6]
-        let schedule = compile_schedule(&profile, 42, &pop, 40);
+        let schedule = compile_schedule(&profile, 42, &pop, &flat(7), 40);
         assert_eq!(schedule.len(), 3);
         let nodes: Vec<usize> = schedule.iter().map(|e| e.node).collect();
         assert_eq!(nodes, vec![0, 3, 6]);
@@ -672,7 +754,8 @@ mod tests {
     fn validate_rejects_malformed_profiles() {
         let nodes = 4;
         let groups = 2;
-        let ok = |p: &FaultProfile| p.validate(nodes, groups);
+        let racks = 2;
+        let ok = |p: &FaultProfile| p.validate(nodes, groups, racks);
         assert!(ok(&FaultProfile::new()).is_ok());
         let mut p = FaultProfile::new();
         p.crash_probability = 1.5;
@@ -704,6 +787,65 @@ mod tests {
             duration_intervals: 1,
         });
         assert!(ok(&p).is_err(), "group out of range");
+        let mut p = FaultProfile::new();
+        p.rack_outages.push(RackOutage {
+            rack: racks,
+            at_interval: 0,
+            duration_intervals: 1,
+        });
+        assert_eq!(
+            ok(&p),
+            Err(FaultProfileError::RackOutOfRange {
+                index: 0,
+                rack: racks,
+                racks,
+            }),
+            "rack out of range"
+        );
+        let mut p = FaultProfile::new();
+        p.rack_outages.push(RackOutage {
+            rack: 0,
+            at_interval: 0,
+            duration_intervals: 0,
+        });
+        assert_eq!(
+            p.validate_shape(),
+            Err(FaultProfileError::RackZeroDuration { index: 0 }),
+            "zero-duration rack outage is caught at the archive boundary"
+        );
+    }
+
+    #[test]
+    fn rack_outages_expand_over_power_domains() {
+        let profile = FaultProfile {
+            rack_outages: vec![RackOutage {
+                rack: 1,
+                at_interval: 5,
+                duration_intervals: 4,
+            }],
+            ..FaultProfile::new()
+        };
+        let pop = population(6);
+        let topo = Topology::resolve(
+            &crate::topology::TopologyConfig::Racks {
+                racks: 2,
+                nodes_per_rack: 3,
+                rack_power_w: None,
+            },
+            6,
+        );
+        let schedule = compile_schedule(&profile, 42, &pop, &topo, 40);
+        // Rack 1 holds the contiguous back half of the fleet; every member crashes.
+        let nodes: Vec<usize> = schedule.iter().map(|e| e.node).collect();
+        assert_eq!(nodes, vec![3, 4, 5]);
+        assert!(schedule
+            .iter()
+            .all(|e| e.interval == 5 && e.duration == 4 && e.kind == FaultKind::Crash));
+        // On a flat topology the single implicit rack is the whole fleet.
+        let mut blackout = profile.clone();
+        blackout.rack_outages[0].rack = 0;
+        let schedule = compile_schedule(&blackout, 42, &pop, &flat(6), 40);
+        assert_eq!(schedule.len(), 6);
     }
 
     #[test]
@@ -718,7 +860,7 @@ mod tests {
             ..FaultProfile::new()
         };
         let pop = population(4);
-        let schedule = compile_schedule(&profile, 42, &pop, 20);
+        let schedule = compile_schedule(&profile, 42, &pop, &flat(4), 20);
         let plans = pop.plan_instances(&crate::scenario::FleetApproximation::Exact);
         let mut state = FaultState::new(schedule, 4, &plans);
         assert_eq!(state.instance_of, vec![Some(0), Some(1), Some(2), Some(3)]);
@@ -730,7 +872,7 @@ mod tests {
         let json = serde_json::to_string(&snap).expect("serializable");
         let back: FaultStateSnapshot = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, snap);
-        let schedule = compile_schedule(&profile, 42, &pop, 20);
+        let schedule = compile_schedule(&profile, 42, &pop, &flat(4), 20);
         let mut fresh = FaultState::new(schedule, 4, &plans);
         fresh.restore(&back).expect("restorable");
         assert_eq!(fresh.cursor, 1);
@@ -765,9 +907,28 @@ mod tests {
                 at_interval: 10,
                 duration_intervals: 8,
             }],
+            rack_outages: vec![RackOutage {
+                rack: 1,
+                at_interval: 15,
+                duration_intervals: 5,
+            }],
         };
         let json = serde_json::to_string(&profile).expect("serializable");
         let back: FaultProfile = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, profile);
+        // A pre-topology archive carries no `rack_outages` key; the field defaults.
+        let value: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let legacy = serde_json::to_string(&serde::Value::Object(
+            value
+                .as_object()
+                .expect("profiles serialize as objects")
+                .iter()
+                .filter(|(k, _)| k != "rack_outages")
+                .cloned()
+                .collect(),
+        ))
+        .expect("serializable");
+        let back: FaultProfile = serde_json::from_str(&legacy).expect("deserializable");
+        assert!(back.rack_outages.is_empty());
     }
 }

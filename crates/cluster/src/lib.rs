@@ -64,6 +64,7 @@ pub mod scenario;
 pub mod scheduler;
 pub mod sim;
 pub mod suite;
+pub mod topology;
 
 pub use autoscaler::{
     Autoscaler, AutoscalerAction, AutoscalerConfig, AutoscalerSnapshot, NodePowerState,
@@ -72,7 +73,7 @@ pub use balancer::{BalancerKind, LoadBalancer};
 pub use engine::{ClusterEngineExt, ClusterRun, ClusterRunCheckpoint};
 pub use faults::{
     FaultKind, FaultProfile, FaultProfileError, FaultStateSnapshot, FaultStats, GroupOutage,
-    NodeHealth, ScheduledFault,
+    NodeHealth, RackOutage, ScheduledFault,
 };
 pub use node::{ClusterNode, NodeCheckpoint, NodeInterval, NodeSnapshot};
 pub use outcome::{machines_needed, ClusterOutcome, NodeOutcome};
@@ -83,13 +84,16 @@ pub use scenario::{
 pub use scheduler::{BatchScheduler, SchedulerKind, SchedulerStats};
 pub use sim::{ClusterCheckpoint, ClusterInterval, ClusterSim, CLUSTER_CHECKPOINT_VERSION};
 pub use suite::{ClusterCellOutcome, ClusterSuite, ClusterSuiteError, ClusterSweepAxis};
+pub use topology::{Rack, Topology, TopologyConfig, TopologyConfigError};
 
 /// Commonly-used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::autoscaler::{AutoscalerConfig, NodePowerState};
     pub use crate::balancer::BalancerKind;
     pub use crate::engine::{ClusterEngineExt, ClusterRun, ClusterRunCheckpoint};
-    pub use crate::faults::{FaultKind, FaultProfile, FaultStats, GroupOutage, ScheduledFault};
+    pub use crate::faults::{
+        FaultKind, FaultProfile, FaultStats, GroupOutage, RackOutage, ScheduledFault,
+    };
     pub use crate::outcome::{machines_needed, ClusterOutcome, NodeOutcome};
     pub use crate::population::NodePopulation;
     pub use crate::scenario::{
@@ -98,4 +102,5 @@ pub mod prelude {
     pub use crate::scheduler::SchedulerKind;
     pub use crate::sim::{ClusterInterval, ClusterSim};
     pub use crate::suite::{ClusterCellOutcome, ClusterSuite, ClusterSweepAxis};
+    pub use crate::topology::{Topology, TopologyConfig};
 }

@@ -369,6 +369,61 @@ impl ClusterNode {
         }
     }
 
+    /// Extracts the in-flight job from the node's lowest still-running batch slot for
+    /// live migration to another node (see
+    /// [`ColocationSim::extract_app`](pliant_sim::colocation::ColocationSim::extract_app)).
+    ///
+    /// Returns the job's full execution state and the replica weight it was placed
+    /// with, or `None` when no slot holds a live job. The vacated slot is latched done
+    /// — like [`Self::abort_unfinished_jobs`] — so the placeholder left behind is
+    /// never reported as a completion; unlike an abort, the job is not lost: the
+    /// caller implants the state into another node, where it completes and is counted
+    /// exactly once. Slots already latched (post-crash cleanup of abandoned work) are
+    /// skipped — their jobs were re-queued at the crash and must not also migrate.
+    pub fn extract_job(&mut self) -> Option<(pliant_sim::batch::BatchAppState, usize)> {
+        let slot = (0..self.sim.app_count())
+            .find(|&s| !self.slot_done[s] && !self.sim.app(s).is_finished())?;
+        let state = self
+            .sim
+            .extract_app(slot)
+            // pliant-lint: allow(panic-hygiene): the slot was selected as
+            // `!is_finished()` above, and `extract_app` only refuses finished slots.
+            .expect("an unfinished slot must extract");
+        self.slot_done[slot] = true;
+        Some((state, self.slot_weight[slot]))
+    }
+
+    /// Implants a live-migrated job into the node's lowest free batch slot, continuing
+    /// it exactly where the source node stopped (see
+    /// [`ColocationSim::implant_app`](pliant_sim::colocation::ColocationSim::implant_app)).
+    ///
+    /// Mirrors [`Self::place_job_weighted`]: the job is rebased onto the slot's core
+    /// state, the completion latch re-arms so the migrated job's eventual completion
+    /// is reported (at its original weight), and the node's policy is notified so its
+    /// per-slot variant ledger restarts — the destination controller re-learns the
+    /// job's operating point from its own signal, a deliberate modelling
+    /// simplification (the migrated job keeps executing whatever variant it ran on the
+    /// source until the controller decides otherwise). Returns the slot used, or
+    /// `None` when no slot is free.
+    pub fn implant_job(
+        &mut self,
+        state: pliant_sim::batch::BatchAppState,
+        weight: usize,
+    ) -> Option<usize> {
+        assert!(weight > 0, "a migrated job must stand for at least one job");
+        let slot = (0..self.sim.app_count())
+            .find(|&s| self.slot_done[s] && self.sim.app(s).is_finished())?;
+        let variant_count = state.profile().variant_count();
+        assert!(
+            self.sim.implant_app(slot, state),
+            "a finished slot must accept a migrated job"
+        );
+        self.policy.on_app_replaced(slot, variant_count);
+        self.slot_done[slot] = false;
+        self.slot_weight[slot] = weight;
+        Some(slot)
+    }
+
     /// Captures the node's complete mutable state. Restoring the checkpoint into a
     /// freshly built node for the same scenario slot resumes the run bit-identically
     /// (see [`ClusterSim::checkpoint`](crate::sim::ClusterSim::checkpoint)).

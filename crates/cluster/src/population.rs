@@ -26,6 +26,7 @@
 //! weights (see README "Hyperscale").
 
 use crate::scenario::{ClusterScenario, FleetApproximation};
+use crate::topology::Topology;
 use pliant_approx::catalog::AppId;
 
 /// One population group: logical nodes sharing every per-node input.
@@ -33,6 +34,12 @@ use pliant_approx::catalog::AppId;
 pub struct NodeGroup {
     /// The initial batch-job slice shared by every member (`slots_per_node` jobs).
     pub jobs: Vec<AppId>,
+    /// Topology rack every member lives in. Rack identity is part of the group key:
+    /// nodes in different power domains are never interchangeable (a rack outage or a
+    /// power cap strikes one domain, not the other), so a clustered replica block
+    /// never spans racks. On a flat topology every node is in the implicit rack 0 and
+    /// the grouping is identical to the pre-topology one.
+    pub rack: usize,
     /// Logical-node indices of the members, in ascending order.
     pub members: Vec<usize>,
 }
@@ -70,18 +77,25 @@ pub struct NodePopulation {
 
 impl NodePopulation {
     /// Partitions the scenario's logical nodes into groups keyed by their initial
-    /// batch-job slice (the only per-node axis of today's scenarios). Groups appear in
-    /// order of their first member, and members within a group ascend, so the grouping
-    /// is deterministic in the scenario alone.
+    /// batch-job slice *and* their topology rack (two nodes are interchangeable only
+    /// when they start the same jobs in the same power domain; see
+    /// [`NodeGroup::rack`]). Groups appear in order of their first member, and members
+    /// within a group ascend, so the grouping is deterministic in the scenario alone.
     pub fn from_scenario(scenario: &ClusterScenario) -> Self {
+        let topology = Topology::resolve(&scenario.topology, scenario.nodes);
         let spn = scenario.slots_per_node;
         let mut groups: Vec<NodeGroup> = Vec::new();
         for index in 0..scenario.nodes {
             let slice = &scenario.jobs[index * spn..(index + 1) * spn];
-            match groups.iter_mut().find(|g| g.jobs == slice) {
+            let rack = topology.rack_of(index);
+            match groups
+                .iter_mut()
+                .find(|g| g.jobs == slice && g.rack == rack)
+            {
                 Some(group) => group.members.push(index),
                 None => groups.push(NodeGroup {
                     jobs: slice.to_vec(),
+                    rack,
                     members: vec![index],
                 }),
             }
@@ -239,6 +253,40 @@ mod tests {
         assert_eq!(pop.groups()[1].members, vec![1, 4]);
         assert_eq!(pop.groups()[2].members, vec![2, 5]);
         assert_eq!(pop.groups()[0].jobs, vec![AppId::Canneal]);
+        assert!(pop.groups().iter().all(|g| g.rack == 0), "flat = one rack");
+    }
+
+    #[test]
+    fn grouping_never_pools_nodes_across_power_domains() {
+        // Same cyclic job mix, but a 2x3 rack grid: nodes 0..3 and 3..6 live in
+        // different power domains, so e.g. nodes 0 and 3 (same job slice) must land in
+        // different groups — a replica block must never span racks.
+        let mix = [AppId::Canneal, AppId::Snp, AppId::Raytrace];
+        let racked = ClusterScenario::builder(ServiceId::Memcached)
+            .nodes(6)
+            .jobs((0..6).map(|i| mix[i % 3]))
+            .topology(crate::topology::TopologyConfig::Racks {
+                racks: 2,
+                nodes_per_rack: 3,
+                rack_power_w: None,
+            })
+            .horizon_intervals(20)
+            .build();
+        let pop = NodePopulation::from_scenario(&racked);
+        assert_eq!(pop.groups().len(), 6, "3 job keys x 2 racks");
+        for group in pop.groups() {
+            let topology = Topology::resolve(&racked.topology, racked.nodes);
+            assert!(group
+                .members
+                .iter()
+                .all(|&m| topology.rack_of(m) == group.rack));
+        }
+        // Replica weights still conserve the fleet, and every clustered instance
+        // inherits its group's single rack.
+        let plans = pop.plan_instances(&FleetApproximation::Clustered {
+            representatives_per_group: 2,
+        });
+        assert_eq!(plans.iter().map(|p| p.replicas).sum::<usize>(), 6);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::autoscaler::{AutoscalerConfig, AutoscalerConfigError};
 use crate::balancer::BalancerKind;
 use crate::faults::{FaultProfile, FaultProfileError};
 use crate::scheduler::SchedulerKind;
+use crate::topology::{TopologyConfig, TopologyConfigError};
 
 /// How the engine turns the scenario's node *population* into simulated node
 /// *instances*.
@@ -130,6 +131,12 @@ pub struct ClusterScenario {
     /// (deserializes as `None`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub fault_profile: Option<FaultProfile>,
+    /// Rack/power-domain structure of the fleet (`Flat` = no structure, today's flat
+    /// node list). Absent in pre-topology archives (deserializes as `Flat`) and
+    /// omitted from flat archives, so pre-topology archives round-trip
+    /// byte-identically.
+    #[serde(default, skip_serializing_if = "TopologyConfig::is_flat")]
+    pub topology: TopologyConfig,
     /// Master seed; every node, the balancer, the monitor sampling streams, and the
     /// fault schedule derive from it.
     pub seed: u64,
@@ -233,6 +240,9 @@ impl ClusterScenario {
                 return Err(ClusterScenarioError::InvalidApproximation);
             }
         }
+        self.topology
+            .validate(self.nodes)
+            .map_err(ClusterScenarioError::InvalidTopology)?;
         if let Some(profile) = &self.fault_profile {
             // Group-outage targets are indices into the node population, which (after
             // the job-count check above) is well-defined and cheap to derive here.
@@ -240,7 +250,7 @@ impl ClusterScenario {
                 .groups()
                 .len();
             profile
-                .validate(self.nodes, groups)
+                .validate(self.nodes, groups, self.topology.rack_count())
                 .map_err(ClusterScenarioError::InvalidFaultProfile)?;
         }
         Ok(())
@@ -292,6 +302,8 @@ impl serde::Deserialize for ClusterScenario {
             approximation: FleetApproximation,
             #[serde(default)]
             fault_profile: Option<FaultProfile>,
+            #[serde(default)]
+            topology: TopologyConfig,
             seed: u64,
         }
         let w = ClusterScenarioWire::from_value(value)?;
@@ -315,6 +327,7 @@ impl serde::Deserialize for ClusterScenario {
             autoscaler: w.autoscaler,
             approximation: w.approximation,
             fault_profile: w.fault_profile,
+            topology: w.topology,
             seed: w.seed,
         };
         scenario
@@ -373,6 +386,8 @@ pub enum ClusterScenarioError {
     InvalidApproximation,
     /// The fault profile failed its own validation.
     InvalidFaultProfile(FaultProfileError),
+    /// The rack topology failed its own validation or does not cover the fleet.
+    InvalidTopology(TopologyConfigError),
 }
 
 impl std::fmt::Display for ClusterScenarioError {
@@ -421,6 +436,9 @@ impl std::fmt::Display for ClusterScenarioError {
             ),
             ClusterScenarioError::InvalidFaultProfile(e) => {
                 write!(f, "invalid fault profile: {e}")
+            }
+            ClusterScenarioError::InvalidTopology(e) => {
+                write!(f, "invalid topology: {e}")
             }
         }
     }
@@ -478,6 +496,7 @@ impl ClusterScenarioBuilder {
                 autoscaler: None,
                 approximation: FleetApproximation::Exact,
                 fault_profile: None,
+                topology: TopologyConfig::Flat,
                 seed: 42,
             },
         }
@@ -602,6 +621,13 @@ impl ClusterScenarioBuilder {
     /// [`crate::faults`]).
     pub fn faults(mut self, profile: FaultProfile) -> Self {
         self.scenario.fault_profile = Some(profile);
+        self
+    }
+
+    /// Sets the rack/power-domain structure of the fleet (default:
+    /// [`TopologyConfig::Flat`] — no structure; see [`crate::topology`]).
+    pub fn topology(mut self, topology: TopologyConfig) -> Self {
+        self.scenario.topology = topology;
         self
     }
 
@@ -946,6 +972,69 @@ mod tests {
         let err = serde_json::from_str::<ClusterScenario>(&corrupted)
             .expect_err("out-of-range scheduled fault must not deserialize");
         assert!(err.to_string().contains("fault"));
+    }
+
+    #[test]
+    fn topology_round_trips_and_legacy_archives_default_to_flat() {
+        let racked = ClusterScenario::builder(ServiceId::Memcached)
+            .nodes(6)
+            .jobs(jobs(6))
+            .topology(TopologyConfig::Racks {
+                racks: 2,
+                nodes_per_rack: 3,
+                rack_power_w: Some(450.0),
+            })
+            .build();
+        let json = serde_json::to_string(&racked).expect("serializable");
+        assert!(json.contains("nodes_per_rack"));
+        let back: ClusterScenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, racked);
+
+        // Flat scenarios omit the field entirely, and archives without it (everything
+        // written before the topology layer existed) deserialize as Flat.
+        let flat = ClusterScenario::builder(ServiceId::Memcached)
+            .jobs(jobs(4))
+            .build();
+        let json = serde_json::to_string(&flat).expect("serializable");
+        assert!(!json.contains("topology"));
+        let back: ClusterScenario = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back.topology, TopologyConfig::Flat);
+
+        // A grid that does not cover the fleet is rejected at both boundaries.
+        assert_eq!(
+            ClusterScenario::builder(ServiceId::Memcached)
+                .nodes(5)
+                .jobs(jobs(5))
+                .topology(TopologyConfig::Racks {
+                    racks: 2,
+                    nodes_per_rack: 3,
+                    rack_power_w: None,
+                })
+                .try_build()
+                .unwrap_err(),
+            ClusterScenarioError::InvalidTopology(TopologyConfigError::NodeCountMismatch {
+                racks: 2,
+                nodes_per_rack: 3,
+                nodes: 5,
+            })
+        );
+        // Surplus jobs keep the job-count invariant satisfied after the corruption,
+        // so the failure isolated here is the topology coverage check.
+        let surplus = ClusterScenario::builder(ServiceId::Memcached)
+            .nodes(6)
+            .jobs(jobs(8))
+            .topology(TopologyConfig::Racks {
+                racks: 2,
+                nodes_per_rack: 3,
+                rack_power_w: None,
+            })
+            .build();
+        let corrupted = serde_json::to_string(&surplus)
+            .expect("serializable")
+            .replace("\"nodes\":6", "\"nodes\":7");
+        let err = serde_json::from_str::<ClusterScenario>(&corrupted)
+            .expect_err("a grid that does not cover the fleet must not deserialize");
+        assert!(err.to_string().contains("does not cover"), "got: {err}");
     }
 
     #[test]

@@ -36,6 +36,9 @@ use pliant_approx::catalog::{AppId, Catalog};
 use pliant_telemetry::obs::{
     Event, EventLog, ObsBuffer, ObsLevel, PowerStateKind, ScaleTrigger, DEFAULT_FLEET_CAPACITY,
 };
+use pliant_telemetry::rng::{derive_seed, rng_from_state_words, rng_state_words, seeded_rng};
+use rand::rngs::SmallRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::autoscaler::{Autoscaler, AutoscalerSnapshot, NodePowerState};
@@ -46,6 +49,11 @@ use crate::pool::NodeWorkerPool;
 use crate::population::NodePopulation;
 use crate::scenario::ClusterScenario;
 use crate::scheduler::{BatchScheduler, SchedulerStats};
+use crate::topology::Topology;
+
+/// Seed-derivation stream for the rack-placement sampling RNG (racked topologies
+/// only; flat fleets never create the stream, let alone draw from it).
+const RACK_SAMPLE_STREAM: u64 = 0x7090_0001;
 
 /// Everything the fleet produced during one decision interval.
 #[derive(Debug, Clone)]
@@ -115,6 +123,26 @@ pub struct ClusterSim {
     /// Autoscaler power states at the start of the previous plan, used to diff out
     /// [`Event::AutoscalerTransition`]s (traced runs only).
     power_state_scratch: Vec<NodePowerState>,
+    /// The resolved physical topology: racks as shared power budgets and failure
+    /// domains. A flat scenario resolves to one unbudgeted rack holding the whole
+    /// fleet and takes the historical code paths byte-for-byte.
+    topology: Topology,
+    /// Rack of each instance, via its seed member (replica groups never span racks —
+    /// see [`NodeGroup::rack`](crate::population::NodeGroup::rack) — so the seed
+    /// member's rack is every member's rack).
+    instance_racks: Vec<usize>,
+    /// Sampling stream for rack-level online placement (`None` on a flat topology,
+    /// which never samples).
+    rack_rng: Option<SmallRng>,
+    /// Per-rack measured power draw over the previous interval, in watts (empty on a
+    /// flat topology).
+    rack_power_w: Vec<f64>,
+    /// Scratch: per-rack admission flags for the current interval (power caps).
+    rack_admissible: Vec<bool>,
+    /// Scratch: candidate racks for one placement sampling round.
+    rack_candidates: Vec<usize>,
+    /// Scratch: instances parked by the mid-interval consolidation pass.
+    park_scratch: Vec<usize>,
 }
 
 /// Converts an autoscaler power state into its telemetry mirror.
@@ -156,6 +184,7 @@ impl ClusterSim {
         let initial = scenario.initial_job_count();
         let population = NodePopulation::from_scenario(scenario);
         let clustered = scenario.approximation.is_clustered();
+        let topology = Topology::resolve(&scenario.topology, scenario.nodes);
         let fault_schedule = scenario
             .fault_profile
             .as_ref()
@@ -165,6 +194,7 @@ impl ClusterSim {
                     profile,
                     scenario.seed,
                     &population,
+                    &topology,
                     scenario.max_intervals(),
                 )
             });
@@ -233,6 +263,17 @@ impl ClusterSim {
             }
         }
         let replica_weights: Vec<usize> = plans.iter().map(|p| p.replicas).collect();
+        let instance_racks: Vec<usize> = plans
+            .iter()
+            .map(|p| topology.rack_of(p.seed_member))
+            .collect();
+        let rack_rng = (!topology.is_flat())
+            .then(|| seeded_rng(derive_seed(scenario.seed, RACK_SAMPLE_STREAM)));
+        let rack_power_w = if topology.is_flat() {
+            Vec::new()
+        } else {
+            vec![0.0; topology.rack_count()]
+        };
         let balancer = scenario.balancer.build(
             nodes.len(),
             pliant_telemetry::rng::derive_seed(scenario.seed, 0xBA_1A_4C_E0),
@@ -268,7 +309,25 @@ impl ClusterSim {
             requeue_scratch: Vec::new(),
             fleet_obs,
             power_state_scratch: Vec::new(),
+            topology,
+            instance_racks,
+            rack_rng,
+            rack_power_w,
+            rack_admissible: Vec::new(),
+            rack_candidates: Vec::new(),
+            park_scratch: Vec::new(),
         }
+    }
+
+    /// The resolved physical topology the fleet runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Per-rack measured power draw over the previous interval, in watts. Empty on a
+    /// flat topology, which does not track rack power.
+    pub fn rack_power_w(&self) -> &[f64] {
+        &self.rack_power_w
     }
 
     /// Takes the merged decision-event stream of the run so far: the coordinator's
@@ -391,6 +450,36 @@ impl ClusterSim {
             .expect("node slots are only empty while a step is in flight")
     }
 
+    /// Scores a candidate rack for online placement: fractional power headroom
+    /// (1.0 when unbudgeted) plus the replica-weighted mean QoS slack of its member
+    /// instances. Returns `(score, headroom_w, mean_slack)`; the headroom in watts is
+    /// reported as 0.0 for unbudgeted racks, which have no meaningful wattage.
+    fn rack_score(&self, rack: usize, snapshots: &[NodeSnapshot]) -> (f64, f64, f64) {
+        let (headroom_frac, headroom_w) = match self.topology.power_budget_w(rack) {
+            Some(budget) if budget > 0.0 => {
+                let headroom = (budget - self.rack_power_w[rack]).max(0.0);
+                ((headroom / budget).min(1.0), headroom)
+            }
+            _ => (1.0, 0.0),
+        };
+        let mut slack_sum = 0.0;
+        let mut members = 0usize;
+        for snap in snapshots {
+            if self.instance_racks[snap.index] != rack {
+                continue;
+            }
+            let weight = self.replica_weights[snap.index];
+            slack_sum += snap.slack_fraction() * weight as f64;
+            members += weight;
+        }
+        let mean_slack = if members > 0 {
+            slack_sum / members as f64
+        } else {
+            0.0
+        };
+        (headroom_frac + mean_slack, headroom_w, mean_slack)
+    }
+
     /// Advances the fleet one decision interval on the calling thread.
     pub fn advance(&mut self) -> ClusterInterval {
         self.advance_threads(1)
@@ -419,6 +508,7 @@ impl ClusterSim {
     pub fn advance_threads(&mut self, threads: usize) -> ClusterInterval {
         let n = self.nodes.len();
         let dt = self.scenario.decision_interval_s;
+        let racked = !self.topology.is_flat();
 
         // 0. Fault injection: recover nodes whose outage/degradation expired, then
         //    apply every fault scheduled for this interval (a zero-allocation cursor
@@ -428,6 +518,26 @@ impl ClusterSim {
         if let Some(faults) = self.faults.as_mut() {
             let interval = self.intervals as u64;
             let obs_interval = self.intervals as u32;
+            // A rack outage lands as per-member crashes (compiled into the schedule),
+            // but the cause is a fleet-level event: record each power-domain failure
+            // the interval it strikes, before its member crashes are applied.
+            if self.fleet_obs.enabled() {
+                if let Some(profile) = &self.scenario.fault_profile {
+                    for outage in &profile.rack_outages {
+                        if outage.at_interval == interval {
+                            self.fleet_obs.emit(
+                                obs_interval,
+                                self.time_s,
+                                Event::RackOutage {
+                                    rack: outage.rack as u32,
+                                    nodes: self.topology.racks()[outage.rack].members.len() as u32,
+                                    duration_intervals: outage.duration_intervals as u32,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
             // Recoveries first, so a node can be struck again the interval it returns.
             for (i, health) in faults.health.iter_mut().enumerate() {
                 match *health {
@@ -649,6 +759,148 @@ impl ClusterSim {
             }
         }
 
+        // 1d. Rack power admission: a rack whose measured draw reached its budget over
+        //     the previous interval admits no new work this interval — neither queue
+        //     placements nor migration arrivals. Flat fleets have a single unbudgeted
+        //     rack and skip the scan entirely.
+        if racked {
+            self.rack_admissible.clear();
+            for rack in 0..self.topology.rack_count() {
+                let admissible = self
+                    .topology
+                    .power_budget_w(rack)
+                    .is_none_or(|budget| self.rack_power_w[rack] < budget);
+                self.rack_admissible.push(admissible);
+                if !admissible && self.fleet_obs.enabled() {
+                    self.fleet_obs.emit(
+                        self.intervals as u32,
+                        self.time_s,
+                        Event::RackPowerCapped {
+                            rack: rack as u32,
+                            power_w: self.rack_power_w[rack],
+                            budget_w: self.topology.power_budget_w(rack).unwrap_or(0.0),
+                        },
+                    );
+                }
+            }
+        }
+
+        // 1e. Active consolidation: instead of waiting for a draining node's batch
+        //     jobs to run to completion, migrate their in-flight state onto active
+        //     nodes with free slots, then park every drain the migrations completed —
+        //     in the same interval, so the node bills the parked draw from here on and
+        //     the active-node trace never double-counts it. Deterministic by
+        //     construction: sources scan in instance order, each job lands on the
+        //     lowest-indexed admissible destination, and no RNG is drawn.
+        if self
+            .autoscaler
+            .as_ref()
+            .is_some_and(|a| a.config().consolidate)
+        {
+            let mut migrations = 0usize;
+            for src in 0..n {
+                let draining = self
+                    .autoscaler
+                    .as_ref()
+                    .is_some_and(|a| a.states()[src] == NodePowerState::Draining);
+                let serving = self
+                    .faults
+                    .as_ref()
+                    .is_none_or(|f| f.health[src].is_serving());
+                // A crashed drain has nothing live to move: the crash pass already
+                // aborted (and requeued) its unfinished jobs.
+                if !draining || !serving {
+                    continue;
+                }
+                loop {
+                    // Pick the destination *before* extracting: extraction latches the
+                    // source slot irreversibly, so a job must never leave its node
+                    // without a confirmed landing spot.
+                    let dst = (0..n).find(|&d| {
+                        d != src
+                            && self
+                                .autoscaler
+                                .as_ref()
+                                .is_some_and(|a| a.states()[d] == NodePowerState::Active)
+                            && self
+                                .faults
+                                .as_ref()
+                                .is_none_or(|f| f.health[d].is_serving())
+                            && (!racked || self.rack_admissible[self.instance_racks[d]])
+                            && Self::expect_node(&self.nodes[d]).free_slots() > 0
+                    });
+                    let Some(dst) = dst else { break };
+                    let Some((state, weight)) = self.nodes[src]
+                        .as_mut()
+                        // pliant-lint: allow(panic-hygiene): slots are full here — the
+                        // pool hands every node back before the previous step returns.
+                        .expect("node slots are only empty while a step is in flight")
+                        .extract_job()
+                    else {
+                        break;
+                    };
+                    let implanted = self.nodes[dst]
+                        .as_mut()
+                        // pliant-lint: allow(panic-hygiene): slots are full here — the
+                        // pool hands every node back before the previous step returns.
+                        .expect("node slots are only empty while a step is in flight")
+                        .implant_job(state, weight);
+                    assert!(
+                        implanted.is_some(),
+                        "destination advertised a free slot but refused the implant"
+                    );
+                    migrations += 1;
+                    if self.fleet_obs.enabled() {
+                        self.fleet_obs.emit(
+                            self.intervals as u32,
+                            self.time_s,
+                            Event::JobMigrated {
+                                node: src as u32,
+                                to_node: dst as u32,
+                                weight: weight as u32,
+                            },
+                        );
+                    }
+                }
+            }
+            if migrations > 0 {
+                if let Some(scaler) = &mut self.autoscaler {
+                    let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
+                    snapshots.clear();
+                    snapshots.extend(self.nodes.iter().map(|s| Self::expect_node(s).snapshot()));
+                    let mut parked = std::mem::take(&mut self.park_scratch);
+                    parked.clear();
+                    scaler.park_fully_drained(
+                        &snapshots,
+                        self.scenario.slots_per_node,
+                        &mut parked,
+                    );
+                    for &i in &parked {
+                        self.nodes[i]
+                            .as_mut()
+                            // pliant-lint: allow(panic-hygiene): slots are full here —
+                            // the pool hands every node back before a step returns.
+                            .expect("node slots are only empty while a step is in flight")
+                            .set_parked(true);
+                        if self.fleet_obs.enabled() {
+                            self.fleet_obs.emit(
+                                self.intervals as u32,
+                                self.time_s,
+                                Event::AutoscalerTransition {
+                                    node: i as u32,
+                                    from: PowerStateKind::Draining,
+                                    to: PowerStateKind::Parked,
+                                    trigger: ScaleTrigger::DrainComplete,
+                                },
+                            );
+                        }
+                    }
+                    self.park_scratch = parked;
+                    self.snapshot_scratch = snapshots;
+                }
+            }
+        }
+
         // 2. Place queued jobs into slots freed by the previous interval. Snapshots are
         //    refreshed after every placement so one node does not soak up the whole
         //    queue just because it was chosen first. Nodes outside the active set
@@ -671,6 +923,83 @@ impl ClusterSim {
                 // fresh jobs to a node that cannot run them.
                 for (snap, health) in snapshots.iter_mut().zip(&faults.health) {
                     if !health.is_serving() {
+                        snap.free_slots = 0;
+                    }
+                }
+            }
+            if racked {
+                // Online rack placement: sample up to two admissible candidate racks
+                // with free capacity, score each by fractional power headroom plus
+                // mean QoS slack, and confine this placement to the winner (the
+                // power-aware sampling of Microsoft's online rack placement; the job
+                // queue itself is untouched). An empty queue or an empty candidate
+                // set ends the round *before* any sampling draw, so RNG consumption
+                // is a pure function of simulation state, never of tracing level.
+                if self.scheduler.pending() == 0 {
+                    self.snapshot_scratch = snapshots;
+                    break;
+                }
+                self.rack_candidates.clear();
+                for rack in 0..self.topology.rack_count() {
+                    let has_free = snapshots
+                        .iter()
+                        .any(|s| self.instance_racks[s.index] == rack && s.free_slots > 0);
+                    if self.rack_admissible[rack] && has_free {
+                        self.rack_candidates.push(rack);
+                    }
+                }
+                if self.rack_candidates.is_empty() {
+                    self.snapshot_scratch = snapshots;
+                    break;
+                }
+                let k = self.rack_candidates.len();
+                let (first, second) = if k == 1 {
+                    (0, 0)
+                } else {
+                    let rng = self
+                        .rack_rng
+                        .as_mut()
+                        // pliant-lint: allow(panic-hygiene): racked fleets always
+                        // construct the sampling stream; see `with_obs`.
+                        .expect("racked fleets carry a rack-sampling stream");
+                    let first = rng.gen_range(0..k);
+                    let mut second = rng.gen_range(0..k - 1);
+                    if second >= first {
+                        second += 1;
+                    }
+                    (first, second)
+                };
+                let mut winner = self.rack_candidates[first];
+                let mut best = self.rack_score(winner, &snapshots);
+                if second != first {
+                    let other = self.rack_candidates[second];
+                    let score = self.rack_score(other, &snapshots);
+                    match score.0.total_cmp(&best.0) {
+                        std::cmp::Ordering::Greater => {
+                            winner = other;
+                            best = score;
+                        }
+                        std::cmp::Ordering::Equal if other < winner => {
+                            winner = other;
+                            best = score;
+                        }
+                        _ => {}
+                    }
+                }
+                if self.fleet_obs.enabled() {
+                    self.fleet_obs.emit(
+                        self.intervals as u32,
+                        self.time_s,
+                        Event::RackPlacement {
+                            rack: winner as u32,
+                            candidates: if k == 1 { 1 } else { 2 },
+                            power_headroom_w: best.1,
+                            qos_slack: best.2,
+                        },
+                    );
+                }
+                for snap in snapshots.iter_mut() {
+                    if self.instance_racks[snap.index] != winner {
                         snap.free_slots = 0;
                     }
                 }
@@ -887,6 +1216,17 @@ impl ClusterSim {
 
         let completions: usize = node_intervals.iter().map(|ni| ni.jobs_completed).sum();
         self.scheduler.record_completions(completions);
+        // Measure each rack's draw over the interval just stepped; the admission scan
+        // at the top of the next interval compares it against the rack budget.
+        if racked {
+            for power in self.rack_power_w.iter_mut() {
+                *power = 0.0;
+            }
+            for ni in &node_intervals {
+                self.rack_power_w[self.instance_racks[ni.node]] +=
+                    ni.observation.energy_j * ni.replicas as f64 / dt;
+            }
+        }
         if self.clustered {
             self.assigned_scratch = assigned;
         }
@@ -946,6 +1286,8 @@ impl ClusterSim {
             scheduler_stats: self.scheduler.stats(),
             autoscaler: self.autoscaler.as_ref().map(|a| a.snapshot()),
             faults: self.faults.as_ref().map(|f| f.snapshot()),
+            rack_rng: self.rack_rng.as_ref().map(rng_state_words),
+            rack_power_w: (!self.topology.is_flat()).then(|| self.rack_power_w.clone()),
             node_checkpoints: self
                 .nodes
                 .iter()
@@ -1011,6 +1353,35 @@ impl ClusterSim {
                 )
             }
         }
+        match (&mut self.rack_rng, &checkpoint.rack_rng) {
+            (Some(rng), Some(words)) => {
+                *rng = rng_from_state_words(words).map_err(|e| format!("rack sampler: {e}"))?;
+            }
+            (None, None) => {}
+            _ => {
+                return Err(
+                    "checkpoint rack-sampling state does not match the scenario's topology".into(),
+                )
+            }
+        }
+        match (self.topology.is_flat(), &checkpoint.rack_power_w) {
+            (false, Some(power)) => {
+                if power.len() != self.rack_power_w.len() {
+                    return Err(format!(
+                        "checkpoint covers {} racks, topology has {}",
+                        power.len(),
+                        self.rack_power_w.len()
+                    ));
+                }
+                self.rack_power_w.clone_from(power);
+            }
+            (true, None) => {}
+            _ => {
+                return Err(
+                    "checkpoint rack-power state does not match the scenario's topology".into(),
+                )
+            }
+        }
         self.balancer
             .restore_rng_state(&checkpoint.balancer_rng)
             .map_err(|e| format!("balancer: {e}"))?;
@@ -1073,6 +1444,15 @@ pub struct ClusterCheckpoint {
     /// Fault-injection state, when the scenario carries a non-empty fault profile.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultStateSnapshot>,
+    /// Rack-placement sampling stream (xoshiro256++ words), when the scenario has a
+    /// racked topology. Absent on flat fleets, so pre-topology checkpoints round-trip
+    /// unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rack_rng: Option<Vec<u64>>,
+    /// Per-rack measured power draw over the interval before capture, in watts
+    /// (racked topologies only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rack_power_w: Option<Vec<f64>>,
     /// Per-instance node state, in instance order.
     pub node_checkpoints: Vec<NodeCheckpoint>,
 }

@@ -19,9 +19,11 @@ pub struct LintConfig {
     /// (iteration order reaches archives, statistics, or RNG consumption order). The
     /// `crates/cluster/` prefix deliberately covers the fault-injection and
     /// checkpoint/restore modules (`faults.rs`, the checkpoint halves of `sim.rs`,
-    /// `node.rs`, and `engine.rs`): resume-byte-identity is a determinism guarantee,
-    /// so those files face the same wall-clock and hash-order denials as the
-    /// simulation core (pinned in the lint integration tests).
+    /// `node.rs`, and `engine.rs`) as well as the rack-topology layer
+    /// (`topology.rs` and the placement sampling in `sim.rs`): resume-byte-identity
+    /// and seeded rack sampling are determinism guarantees, so those files face the
+    /// same wall-clock and hash-order denials as the simulation core (pinned in the
+    /// lint integration tests).
     pub hash_container_scoped: Vec<String>,
     /// Path prefixes where `unwrap()`/`expect()` in non-test code are denied.
     pub panic_hygiene_scoped: Vec<String>,
@@ -68,6 +70,17 @@ impl LintConfig {
                 // same dispatch path as split/split_grouped above.
                 "NodeHealth::is_serving",
                 "LoadBalancer::split_active",
+                // The topology placement/migration path (PR 10): rack scoring runs at
+                // every placement decision, the extract/implant pair moves in-flight
+                // batch state between nodes on the consolidation pass, and the drain
+                // check walks every instance each interval — all inside the
+                // per-interval loop, all required to reuse caller-provided buffers.
+                "ClusterSim::rack_score",
+                "ClusterNode::extract_job",
+                "ClusterNode::implant_job",
+                "ColocationSim::extract_app",
+                "ColocationSim::implant_app",
+                "Autoscaler::park_fully_drained",
             ]),
             wallclock_allowed: s(&["crates/bench/", "crates/compat/criterion/"]),
             hash_container_scoped: s(&[

@@ -141,6 +141,57 @@ fn fault_and_checkpoint_modules_stay_in_the_determinism_scopes() {
     }
 }
 
+/// Regression (topology PR): rack sampling draws from a seeded RNG and placement and
+/// migration run inside the per-interval loop, so the topology module must stay inside
+/// the nondeterminism scope and the placement/migration functions on the
+/// hot-path-alloc denylist.
+#[test]
+fn topology_placement_and_migration_stay_in_the_determinism_scopes() {
+    let cfg = LintConfig::repo_default();
+    let path = "crates/cluster/src/topology.rs";
+    assert!(
+        pliant_lint::config::path_in(path, &cfg.hash_container_scoped),
+        "{path} must sit inside the nondeterminism hash-container scope"
+    );
+    assert!(
+        !pliant_lint::config::path_in(path, &cfg.wallclock_allowed),
+        "{path} must not be allowed to read the wall clock"
+    );
+    let findings = lint_source(
+        path,
+        "fn rack_of() { let m: HashMap<u32, u64> = HashMap::new(); }",
+        &cfg,
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "nondeterminism"),
+        "a HashMap in {path} must be flagged, got:\n{}",
+        render(&findings)
+    );
+    for hot in [
+        "ClusterSim::rack_score",
+        "ClusterNode::extract_job",
+        "ClusterNode::implant_job",
+        "ColocationSim::extract_app",
+        "ColocationSim::implant_app",
+        "Autoscaler::park_fully_drained",
+    ] {
+        assert!(
+            cfg.hot_path_fns.iter().any(|f| f == hot),
+            "{hot} must stay on the hot-path-alloc denylist"
+        );
+        // An allocation seeded into any of these functions is a finding: the
+        // consolidation pass runs them every interval on racked fleets.
+        let (ty, name) = hot.split_once("::").unwrap();
+        let src = format!("impl {ty} {{ fn {name}(&mut self) {{ let v = Vec::new(); }} }}");
+        let findings = lint_source("crates/cluster/src/sim.rs", &src, &cfg);
+        assert!(
+            findings.iter().any(|f| f.rule == "hot-path-alloc"),
+            "a Vec::new inside {hot} must be flagged, got:\n{}",
+            render(&findings)
+        );
+    }
+}
+
 #[test]
 fn cli_check_fails_on_the_violations_fixture() {
     let (code, stdout, stderr) = run_cli(&fixtures_dir(), &["--check", "violations.rs"]);

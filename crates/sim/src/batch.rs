@@ -147,6 +147,49 @@ impl BatchAppState {
         }
     }
 
+    /// Rebases a live-migrated application onto a destination slot's fair share.
+    ///
+    /// The job keeps its progress, work-weighted quality ledger, elapsed time, active
+    /// variant, and switch count — only the core accounting restarts from the
+    /// destination's `slot_share`. The caller then reclaims cores down to the
+    /// destination's current allocation, mirroring how
+    /// [`ColocationSim::replace_app`](crate::colocation::ColocationSim::replace_app)
+    /// seeds a fresh job.
+    pub fn rebase_to_share(&mut self, slot_share: u32) {
+        let share = slot_share.max(1);
+        self.initial_cores = share;
+        self.cores = share;
+    }
+
+    /// Creates an already-finished placeholder for a slot vacated by migration: it
+    /// exerts no pressure, makes no progress, and reports zero inaccuracy. Keeping the
+    /// slot occupied (rather than shrinking the app list) preserves slot arity, so
+    /// schedulers and checkpoints see the same shape before and after an extraction.
+    /// The placeholder keeps the slot's core split — `slot_share` is the slot's
+    /// original fair share, `cores` what the outgoing job currently held — so a later
+    /// slot refill seeds the next job exactly as it would after a normal completion.
+    pub fn finished_placeholder(
+        profile: AppProfile,
+        slot_share: u32,
+        cores: u32,
+        instrumented: bool,
+        now_s: f64,
+    ) -> Self {
+        let share = slot_share.max(1);
+        Self {
+            profile,
+            initial_cores: share,
+            cores: cores.clamp(1, share),
+            variant: None,
+            progress: 1.0,
+            weighted_inaccuracy: 0.0,
+            elapsed_s: 0.0,
+            finished_at_s: Some(now_s),
+            switches: 0,
+            instrumented,
+        }
+    }
+
     /// Advances the application by `dt` seconds of wall-clock time under the given
     /// interference slowdown. `now_s` is the absolute experiment time at the *end* of the
     /// step (used to record the completion timestamp).

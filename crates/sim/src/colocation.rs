@@ -445,6 +445,57 @@ impl ColocationSim {
         true
     }
 
+    /// Extracts the **in-flight** batch application from slot `index` for live
+    /// migration, leaving an already-finished placeholder in the slot.
+    ///
+    /// The extracted state keeps its progress, work-weighted quality ledger, active
+    /// variant, and elapsed time — everything the destination needs to continue the
+    /// job exactly where it stopped. The vacated slot keeps its current core split
+    /// (any cores the service reclaimed from the slot stay with the service), so the
+    /// slot looks exactly like one whose job completed normally: a later
+    /// [`Self::replace_app`] or [`Self::implant_app`] refills it with the usual
+    /// semantics. Pure state manipulation — no RNG stream is touched, so migration
+    /// never perturbs the node's stochastic sequences.
+    ///
+    /// Returns `None` (and changes nothing) if the slot's job has already finished —
+    /// there is nothing to migrate.
+    pub fn extract_app(&mut self, index: usize) -> Option<BatchAppState> {
+        if self.apps[index].is_finished() {
+            return None;
+        }
+        let placeholder = BatchAppState::finished_placeholder(
+            self.apps[index].profile().clone(),
+            self.apps[index].initial_cores(),
+            self.apps[index].cores(),
+            self.config.instrumented,
+            self.time_s,
+        );
+        Some(std::mem::replace(&mut self.apps[index], placeholder))
+    }
+
+    /// Implants a live-migrated batch application into the **finished** slot `index`.
+    ///
+    /// Mirrors [`Self::replace_app`]: the incoming job is rebased onto the slot's
+    /// original fair share and then reclaims down to the cores the slot currently
+    /// holds, so any cores the service reclaimed from the slot stay with the service.
+    /// The job's progress, quality ledger, variant, and elapsed time carry over
+    /// unchanged. Returns `false` (and changes nothing) if the slot's current job has
+    /// not finished.
+    pub fn implant_app(&mut self, index: usize, mut state: BatchAppState) -> bool {
+        if !self.apps[index].is_finished() {
+            return false;
+        }
+        let slot_share = self.apps[index].initial_cores();
+        let current = self.apps[index].cores();
+        state.rebase_to_share(slot_share);
+        for _ in current..slot_share {
+            state.reclaim_core();
+        }
+        self.config.apps[index] = state.profile().id;
+        self.apps[index] = state;
+        true
+    }
+
     /// Switches application `index` to the given variant (`None` = precise). Returns
     /// whether the variant changed.
     pub fn set_variant(&mut self, index: usize, variant: Option<usize>) -> bool {
@@ -1095,6 +1146,61 @@ mod tests {
         assert!(sim.return_core(0));
         assert_eq!(sim.app(0).cores(), slot_share);
         assert!(!sim.return_core(0), "cannot exceed the slot's fair share");
+    }
+
+    #[test]
+    fn extract_and_implant_migrate_in_flight_state() {
+        let catalog = catalog();
+        // Source node: run canneal partway under an approximate variant.
+        let src_cfg = ColocationConfig::paper_default(ServiceId::Memcached, &[AppId::Canneal], 3);
+        let mut src = ColocationSim::new(src_cfg, &catalog);
+        src.set_variant(0, Some(1));
+        assert!(src.reclaim_core(0));
+        for _ in 0..5 {
+            let _ = src.advance(1.0);
+        }
+        let progress = src.app(0).progress();
+        assert!(progress > 0.0 && !src.app(0).is_finished());
+        let slot_share = src.app(0).initial_cores();
+        let held = src.app(0).cores();
+
+        let state = src.extract_app(0).expect("in-flight job extracts");
+        assert_eq!(state.progress(), progress);
+        assert_eq!(state.variant(), Some(1));
+        // The vacated slot is a finished placeholder with the same core split.
+        assert!(src.app(0).is_finished());
+        assert_eq!(src.app(0).initial_cores(), slot_share);
+        assert_eq!(src.app(0).cores(), held);
+        assert!(
+            src.extract_app(0).is_none(),
+            "a finished placeholder has nothing to migrate"
+        );
+
+        // Destination node: its raytrace slot must finish before the implant lands.
+        let dst_cfg = ColocationConfig::paper_default(ServiceId::MongoDb, &[AppId::Raytrace], 5);
+        let mut dst = ColocationSim::new(dst_cfg, &catalog);
+        assert!(
+            !dst.implant_app(0, state.clone()),
+            "a running destination slot must not be evicted"
+        );
+        for _ in 0..120 {
+            if dst.advance(1.0).all_apps_finished {
+                break;
+            }
+        }
+        let dst_share = dst.app(0).initial_cores();
+        assert!(dst.implant_app(0, state));
+        // The implanted job continues where it stopped, rebased onto the new slot.
+        assert_eq!(dst.app(0).profile().id, AppId::Canneal);
+        assert_eq!(dst.config().apps[0], AppId::Canneal);
+        assert_eq!(dst.app(0).progress(), progress);
+        assert_eq!(dst.app(0).variant(), Some(1));
+        assert_eq!(dst.app(0).initial_cores(), dst_share);
+        assert!(!dst.app(0).is_finished());
+        // It keeps making progress on the destination.
+        let before = dst.app(0).progress();
+        let _ = dst.advance(1.0);
+        assert!(dst.app(0).progress() > before);
     }
 
     #[test]

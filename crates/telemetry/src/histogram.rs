@@ -60,8 +60,12 @@ pub struct LatencyHistogram {
     buckets: Vec<u64>,
     count: u64,
     sum: f64,
-    min: f64,
-    max: f64,
+    // `None` until a value is recorded. The empty extremes must not be stored as
+    // ±infinity: JSON has no encoding for non-finite floats (they serialize as
+    // `null`), and an empty histogram inside a checkpoint has to survive a JSON
+    // round-trip.
+    min: Option<f64>,
+    max: Option<f64>,
 }
 
 impl Default for LatencyHistogram {
@@ -77,8 +81,8 @@ impl LatencyHistogram {
             buckets: vec![0; SUB_BUCKETS * EXP_BUCKETS],
             count: 0,
             sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
+            min: None,
+            max: None,
         }
     }
 
@@ -169,11 +173,11 @@ impl LatencyHistogram {
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v;
-        if v < self.min {
-            self.min = v;
+        if self.min.is_none_or(|m| v < m) {
+            self.min = Some(v);
         }
-        if v > self.max {
-            self.max = v;
+        if self.max.is_none_or(|m| v > m) {
+            self.max = Some(v);
         }
     }
 
@@ -197,11 +201,11 @@ impl LatencyHistogram {
         self.buckets[idx] += n;
         self.count += n;
         self.sum += v * n as f64;
-        if v < self.min {
-            self.min = v;
+        if self.min.is_none_or(|m| v < m) {
+            self.min = Some(v);
         }
-        if v > self.max {
-            self.max = v;
+        if self.max.is_none_or(|m| v > m) {
+            self.max = Some(v);
         }
     }
 
@@ -254,8 +258,14 @@ impl LatencyHistogram {
         }
         self.count += other.count;
         self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
         Ok(())
     }
 
@@ -280,20 +290,12 @@ impl LatencyHistogram {
 
     /// Smallest recorded value, or 0.0 when empty.
     pub fn min(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.min
-        }
+        self.min.unwrap_or(0.0)
     }
 
     /// Largest recorded value, or 0.0 when empty.
     pub fn max(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.max
-        }
+        self.max.unwrap_or(0.0)
     }
 
     /// Value at quantile `q` (`0.0..=1.0`).
@@ -317,10 +319,10 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_value(i).clamp(self.min, self.max);
+                return Self::bucket_value(i).clamp(self.min(), self.max());
             }
         }
-        self.max
+        self.max()
     }
 
     /// Convenience accessor for the 99th percentile — the QoS metric used throughout the
@@ -346,8 +348,8 @@ impl LatencyHistogram {
         }
         self.count = 0;
         self.sum = 0.0;
-        self.min = f64::INFINITY;
-        self.max = f64::NEG_INFINITY;
+        self.min = None;
+        self.max = None;
     }
 }
 

@@ -294,6 +294,52 @@ pub enum Event {
         /// Logical jobs placed at the start of the interval.
         jobs_placed: u32,
     },
+    /// The sampling-based online placement picked a rack for this interval's batch
+    /// admissions: `rack` won among `candidates` sampled power domains on combined
+    /// power headroom and QoS slack.
+    RackPlacement {
+        /// The winning rack, in topology order.
+        rack: u32,
+        /// Racks sampled and scored this decision.
+        candidates: u32,
+        /// The winner's power headroom against its rack budget, in watts
+        /// (`f64::INFINITY` serialized as a very large number never occurs: an
+        /// unbudgeted rack reports the sampled score's neutral headroom of `0.0`).
+        power_headroom_w: f64,
+        /// The winner's mean QoS slack fraction across its serving members.
+        qos_slack: f64,
+    },
+    /// A live migration moved an in-flight batch job between nodes (consolidation
+    /// draining a node without waiting for its jobs to finish).
+    JobMigrated {
+        /// Instance index the job was extracted from (the draining node).
+        node: u32,
+        /// Instance index the job was implanted into.
+        to_node: u32,
+        /// Logical jobs the migration stands for (replica-weighted).
+        weight: u32,
+    },
+    /// A rack's measured power crossed its budget: the scheduler stopped admitting
+    /// placements into the rack until its draw fell back under the cap.
+    RackPowerCapped {
+        /// The capped rack, in topology order.
+        rack: u32,
+        /// The rack's measured power over the previous interval, in watts.
+        power_w: f64,
+        /// The rack's configured budget, in watts.
+        budget_w: f64,
+    },
+    /// A rack power domain failed: every member node crashes at once for the duration
+    /// (the fault schedule carries the per-member crashes; this fleet-level event
+    /// marks the correlated cause).
+    RackOutage {
+        /// The failed rack, in topology order.
+        rack: u32,
+        /// Member nodes taken down together.
+        nodes: u32,
+        /// Length of the outage, in decision intervals.
+        duration_intervals: u32,
+    },
 }
 
 /// Event kinds, used to index [`MetricsRegistry`] counters. Order is the stable
@@ -337,10 +383,18 @@ pub enum EventKind {
     AutoscalerTransition,
     /// [`Event::IntervalSummary`].
     IntervalSummary,
+    /// [`Event::RackPlacement`].
+    RackPlacement,
+    /// [`Event::JobMigrated`].
+    JobMigrated,
+    /// [`Event::RackPowerCapped`].
+    RackPowerCapped,
+    /// [`Event::RackOutage`].
+    RackOutage,
 }
 
 /// Number of event kinds (length of [`EventKind::ALL`]).
-pub const EVENT_KINDS: usize = 18;
+pub const EVENT_KINDS: usize = 22;
 
 impl EventKind {
     /// Every kind, in counter order.
@@ -363,6 +417,10 @@ impl EventKind {
         EventKind::JobRequeued,
         EventKind::AutoscalerTransition,
         EventKind::IntervalSummary,
+        EventKind::RackPlacement,
+        EventKind::JobMigrated,
+        EventKind::RackPowerCapped,
+        EventKind::RackOutage,
     ];
 
     /// The kind's stable name (matches the [`Event`] variant name).
@@ -386,6 +444,10 @@ impl EventKind {
             EventKind::JobRequeued => "JobRequeued",
             EventKind::AutoscalerTransition => "AutoscalerTransition",
             EventKind::IntervalSummary => "IntervalSummary",
+            EventKind::RackPlacement => "RackPlacement",
+            EventKind::JobMigrated => "JobMigrated",
+            EventKind::RackPowerCapped => "RackPowerCapped",
+            EventKind::RackOutage => "RackOutage",
         }
     }
 
@@ -417,6 +479,10 @@ impl Event {
             Event::JobRequeued { .. } => EventKind::JobRequeued,
             Event::AutoscalerTransition { .. } => EventKind::AutoscalerTransition,
             Event::IntervalSummary { .. } => EventKind::IntervalSummary,
+            Event::RackPlacement { .. } => EventKind::RackPlacement,
+            Event::JobMigrated { .. } => EventKind::JobMigrated,
+            Event::RackPowerCapped { .. } => EventKind::RackPowerCapped,
+            Event::RackOutage { .. } => EventKind::RackOutage,
         }
     }
 
@@ -429,7 +495,9 @@ impl Event {
     }
 
     /// The instance index the event is about, when it has one (fleet-wide events —
-    /// `FleetStart`, `ApproximationPlan`, `IntervalSummary` — have none).
+    /// `FleetStart`, `ApproximationPlan`, `IntervalSummary`, and the rack-scoped
+    /// events — have none; a migration reports its *source* node, the one being
+    /// drained).
     pub fn node(&self) -> Option<u32> {
         match *self {
             Event::ControllerDecision { node, .. }
@@ -446,10 +514,14 @@ impl Event {
             | Event::NodeRecovered { node }
             | Event::NodeDegraded { node, .. }
             | Event::JobRequeued { node, .. }
-            | Event::AutoscalerTransition { node, .. } => Some(node),
+            | Event::AutoscalerTransition { node, .. }
+            | Event::JobMigrated { node, .. } => Some(node),
             Event::FleetStart { .. }
             | Event::ApproximationPlan { .. }
-            | Event::IntervalSummary { .. } => None,
+            | Event::IntervalSummary { .. }
+            | Event::RackPlacement { .. }
+            | Event::RackPowerCapped { .. }
+            | Event::RackOutage { .. } => None,
         }
     }
 }

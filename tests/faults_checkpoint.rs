@@ -87,6 +87,62 @@ fn checkpoint_roundtrip_is_byte_identical_in_every_mode() {
 }
 
 #[test]
+fn checkpoint_roundtrip_is_byte_identical_with_a_job_mid_migration() {
+    // The topology operating point: a racked Pliant fleet with active consolidation,
+    // where the autoscaler live-migrates a batch job off a draining node (interval 46
+    // on this seed) and parks the drain the same interval. Snapshot at interval 48:
+    // the migrated job is still in flight on its destination — its extracted/implanted
+    // state, the source's latched placeholder slot, the rack-sampling RNG, and the
+    // per-rack power measurements must all travel in the checkpoint for the resumed
+    // run to land on the same bytes.
+    for approximation in [
+        FleetApproximation::Exact,
+        FleetApproximation::Clustered {
+            representatives_per_group: 2,
+        },
+    ] {
+        let mut scenario = pliant_bench::cluster_topology_scenario(PolicyKind::Pliant, true, 7);
+        scenario.approximation = approximation;
+        let engine = Engine::new().parallel();
+
+        // Pin that the snapshot really lands mid-migration: the traced twin (tracing
+        // observes decisions, it never alters them) must migrate before interval 48.
+        let (_, log) = engine.run_cluster_traced(&scenario, ObsLevel::Decisions);
+        let migrated_at: Vec<u32> = log
+            .records
+            .iter()
+            .filter(|r| matches!(r.event, pliant::telemetry::obs::Event::JobMigrated { .. }))
+            .map(|r| r.interval)
+            .collect();
+        assert!(
+            migrated_at.iter().any(|&i| i < 48),
+            "{approximation:?}: the operating point must migrate a job before the \
+             snapshot interval (got migrations at {migrated_at:?})"
+        );
+
+        let (uninterrupted, _) = ClusterRun::new(&scenario, &engine).finish();
+
+        let mut first_leg = ClusterRun::new(&scenario, &engine);
+        while first_leg.intervals() < 48 && first_leg.step() {}
+        let wire =
+            serde_json::to_string(&first_leg.checkpoint()).expect("checkpoints are serializable");
+        let checkpoint: ClusterRunCheckpoint =
+            serde_json::from_str(&wire).expect("checkpoints round-trip through JSON");
+
+        let mut resumed = ClusterRun::new(&scenario, &engine);
+        resumed.restore(&checkpoint).expect("restore succeeds");
+        let (resumed_outcome, _) = resumed.finish();
+
+        assert_eq!(
+            outcome_json(&uninterrupted),
+            outcome_json(&resumed_outcome),
+            "{approximation:?}: a resume with a job mid-migration must be \
+             byte-identical to the uninterrupted run"
+        );
+    }
+}
+
+#[test]
 fn restore_rejects_a_checkpoint_from_a_different_scenario() {
     let engine = Engine::new();
     let mut donor = ClusterRun::new(&failure_scenario(6, PolicyKind::Pliant), &engine);
@@ -292,6 +348,73 @@ fn clustered_group_fault_splits_the_group_and_conserves_totals() {
          ({} clustered vs {} exact)",
         approx.fleet_samples,
         exact.fleet_samples
+    );
+}
+
+#[test]
+fn rack_outage_takes_down_the_whole_power_domain() {
+    // The topology operating point injects one whole-rack power-domain failure:
+    // rack 0 (nodes 0 and 1) crashes at interval 40 for 25 intervals. The outage
+    // must compose with the fault-stats subsystem exactly like per-node crashes —
+    // availability accounts both members' downtime — and the clustered
+    // approximation must agree on the logical-unit fault accounting while staying
+    // within the established hyperscale bounds on the fleet aggregates.
+    let engine = Engine::new().parallel();
+    let scenario = pliant_bench::cluster_topology_scenario(PolicyKind::Pliant, false, 7);
+    let (exact, log) = engine.run_cluster_traced(&scenario, ObsLevel::Decisions);
+
+    let stats = exact
+        .faults
+        .expect("rack-outage scenarios carry fault stats");
+    assert_eq!(stats.crashes, 2, "both members of rack 0 crash");
+    assert_eq!(
+        stats.down_node_intervals,
+        2 * 25,
+        "availability accounts whole-rack downtime"
+    );
+    let expected = 1.0 - (2.0 * 25.0) / (8.0 * exact.intervals as f64);
+    assert!(
+        (stats.availability - expected).abs() < 1e-12,
+        "availability {} must equal {expected}",
+        stats.availability
+    );
+
+    // The cause surfaces once as a fleet-level event; the per-member crashes it
+    // expands into surface as ordinary NodeFailed events.
+    let summary = log.summary();
+    let count = |kind| summary.counter(kind).map_or(0, |c: &_| c.count);
+    assert_eq!(count(EventKind::RackOutage), 1);
+    assert_eq!(count(EventKind::NodeFailed), 2);
+    assert_eq!(count(EventKind::NodeRecovered), 2);
+
+    // Clustered runs agree on the logical-unit fault accounting and conserve the
+    // population, within the fault-free hyperscale error bounds.
+    let mut clustered_scenario = scenario;
+    clustered_scenario.approximation = FleetApproximation::Clustered {
+        representatives_per_group: 2,
+    };
+    let approx = engine.run_cluster(&clustered_scenario);
+    let approx_stats = approx.faults.expect("fault stats");
+    assert_eq!(approx_stats.crashes, stats.crashes);
+    assert_eq!(approx_stats.down_node_intervals, stats.down_node_intervals);
+    assert_eq!(approx_stats.availability, stats.availability);
+    let replicated: usize = approx.node_outcomes.iter().map(|n| n.replicas).sum();
+    assert_eq!(replicated, 8, "replica weights conserve the population");
+    let p99_err = rel_err(approx.fleet_p99_s, exact.fleet_p99_s);
+    assert!(
+        p99_err < P99_REL_BOUND,
+        "racked fleet p99 error {p99_err:.4} exceeds the {P99_REL_BOUND} bound"
+    );
+    let energy_err = rel_err(approx.fleet_energy_j, exact.fleet_energy_j);
+    assert!(
+        energy_err < ENERGY_REL_BOUND,
+        "racked fleet energy error {energy_err:.4} exceeds the {ENERGY_REL_BOUND} bound"
+    );
+    let violation_diff =
+        (approx.fleet_qos_violation_fraction - exact.fleet_qos_violation_fraction).abs();
+    assert!(
+        violation_diff < VIOLATION_ABS_BOUND,
+        "racked QoS-violation fraction differs by {violation_diff:.4}"
     );
 }
 
